@@ -1,0 +1,164 @@
+//! Shared candidate and feature machinery for the learned baselines
+//! (Zhou-style ML extractor, Apostolova-style SVM).
+//!
+//! Candidates are Tesseract-style text lines; features are hashed bags of
+//! textual and (optionally) visual descriptors. Training labels come from
+//! the ground-truth annotations of the 60% split.
+
+use crate::seg::{Segmenter, TesseractSegmenter};
+use vs2_core::segment::LogicalBlock;
+use vs2_core::select::BlockText;
+use vs2_docmodel::{AnnotatedDocument, Document};
+use vs2_eval::texts_match;
+use vs2_ml::{FeatureHasher, SparseVec};
+use vs2_nlp::stem::stem;
+use vs2_nlp::stopwords::is_stopword;
+
+/// Hash-space dimensionality shared by the learned baselines.
+pub const DIMS: u32 = 1 << 13;
+
+/// Candidate spans: the Tesseract-style lines of a document.
+pub fn line_candidates(doc: &Document) -> Vec<LogicalBlock> {
+    // A pure line segmentation: paragraphs disabled by a zero leading cap.
+    let seg = TesseractSegmenter {
+        max_leading: 0.0,
+        ..TesseractSegmenter::default()
+    };
+    seg.segment(doc)
+}
+
+/// Textual feature names of a candidate line.
+pub fn text_features(doc: &Document, block: &LogicalBlock) -> Vec<String> {
+    let bt = BlockText::build(doc, block);
+    let mut out = Vec::new();
+    for t in &bt.ann.tokens {
+        if !t.norm.is_empty() && !is_stopword(&t.norm) {
+            if t.is_numeric() {
+                out.push("has_number".to_string());
+            } else {
+                out.push(format!("stem={}", stem(&t.norm)));
+            }
+        }
+    }
+    for span in &bt.ann.ner {
+        out.push(format!("ner={:?}", span.tag));
+    }
+    out.push(format!("len_bucket={}", (bt.len() / 4).min(6)));
+    for r in &block.elements {
+        if let vs2_docmodel::ElementRef::Text(i) = r {
+            if let Some(m) = doc.texts[*i].markup {
+                out.push(format!("markup={m:?}"));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Visual feature names of a candidate line (the Apostolova extension).
+pub fn visual_features(doc: &Document, block: &LogicalBlock) -> Vec<String> {
+    let b = block.bbox;
+    let max_font = doc
+        .texts
+        .iter()
+        .map(|t| t.bbox.h)
+        .fold(1e-9, f64::max);
+    let font = block
+        .elements
+        .iter()
+        .map(|r| doc.bbox_of(*r).h)
+        .fold(0.0, f64::max);
+    let mut out = vec![
+        format!("ypos={}", ((b.centroid().y / doc.height.max(1e-9)) * 10.0) as u32),
+        format!("xpos={}", ((b.centroid().x / doc.width.max(1e-9)) * 4.0) as u32),
+        format!("font_rel={}", ((font / max_font) * 5.0) as u32),
+        format!(
+            "width_rel={}",
+            ((b.w / doc.width.max(1e-9)) * 5.0) as u32
+        ),
+    ];
+    if let Some(vs2_docmodel::ElementRef::Text(i)) = block.elements.first() {
+        out.push(format!("light={}", (doc.texts[*i].color.l / 25.0) as u32));
+    }
+    out
+}
+
+/// Hashes a feature-name bag into a sparse vector.
+pub fn vectorize(names: &[String]) -> SparseVec {
+    let h = FeatureHasher::new(DIMS);
+    h.vectorize(names.iter().map(|n| (n.as_str(), 1.0)))
+}
+
+/// `true` when a candidate line carries the ground truth of `entity`
+/// in `doc` — used to label training candidates.
+pub fn line_is_positive(
+    doc: &Document,
+    block: &LogicalBlock,
+    annotated: &AnnotatedDocument,
+    entity: &str,
+) -> bool {
+    annotated.annotations_for(entity).iter().any(|a| {
+        block.bbox.iou(&a.bbox) >= 0.5
+            || a.bbox.contains_box(&block.bbox)
+            || texts_match(&doc.transcribe(&block.elements), &a.text)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_docmodel::{BBox, EntityAnnotation, TextElement};
+
+    fn doc() -> Document {
+        let mut d = Document::new("c", 300.0, 100.0);
+        for (i, w) in ["Phone", "614-555-0175"].iter().enumerate() {
+            d.push_text(TextElement::word(
+                *w,
+                BBox::new(10.0 + 80.0 * i as f64, 10.0, 70.0, 10.0),
+            ));
+        }
+        for (i, w) in ["spacious", "warehouse"].iter().enumerate() {
+            d.push_text(TextElement::word(
+                *w,
+                BBox::new(10.0 + 80.0 * i as f64, 50.0, 70.0, 10.0),
+            ));
+        }
+        d
+    }
+
+    #[test]
+    fn lines_are_candidates() {
+        let d = doc();
+        let lines = line_candidates(&d);
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn features_are_informative() {
+        let d = doc();
+        let lines = line_candidates(&d);
+        let tf = text_features(&d, &lines[0]);
+        assert!(tf.iter().any(|f| f.starts_with("ner=Phone")), "{tf:?}");
+        assert!(tf.iter().any(|f| f == "stem=phone"), "{tf:?}");
+        let vf = visual_features(&d, &lines[0]);
+        assert!(vf.iter().any(|f| f.starts_with("ypos=")));
+        let v = vectorize(&tf);
+        assert!(v.nnz() > 0);
+    }
+
+    #[test]
+    fn positive_labeling() {
+        let d = doc();
+        let lines = line_candidates(&d);
+        let annotated = AnnotatedDocument {
+            doc: d.clone(),
+            annotations: vec![EntityAnnotation::new(
+                "phone",
+                BBox::new(10.0, 10.0, 150.0, 10.0),
+                "614-555-0175",
+            )],
+        };
+        assert!(line_is_positive(&d, &lines[0], &annotated, "phone"));
+        assert!(!line_is_positive(&d, &lines[1], &annotated, "phone"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Table 7 baseline: ClausIE-style clause-based open information
+//! extraction (Del Corro & Gemulla, WWW 2013).
+//!
+//! ClausIE derives clauses (subject–verb–object structures) from raw
+//! text and applies clause-level rules per entity. Over visually rich
+//! documents the raw transcription rarely forms grammatical clauses, so
+//! recall collapses — the paper's weakest baseline on D2/D3, and not
+//! applicable to D1's form fields at all.
+
+use crate::ie::{Extractor, Prediction};
+use std::collections::BTreeMap;
+use vs2_core::pipeline::{DisambiguationMode, Vs2Config, Vs2Pipeline};
+use vs2_core::segment::LogicalBlock;
+use vs2_core::select::SyntacticPattern;
+use vs2_docmodel::Document;
+use vs2_nlp::chunk::PhraseKind;
+
+/// Clause-rule extraction over the raw, unsegmented transcription.
+#[derive(Debug, Clone)]
+pub struct ClausIeExtractor {
+    pipeline: Vs2Pipeline,
+}
+
+impl ClausIeExtractor {
+    /// Restricts a learned pattern inventory to clause-level (VP/SVO)
+    /// windows — the clause rules ClausIE would derive.
+    pub fn new(source: &Vs2Pipeline) -> Self {
+        let clause_patterns: BTreeMap<String, Vec<SyntacticPattern>> = source
+            .patterns()
+            .iter()
+            .map(|(entity, patterns)| {
+                let clauses: Vec<SyntacticPattern> = patterns
+                    .iter()
+                    .filter_map(|p| match p {
+                        SyntacticPattern::Window { kind, required } => match kind {
+                            Some(PhraseKind::Vp) | Some(PhraseKind::Svo) | None => {
+                                Some(p.clone())
+                            }
+                            // Noun-phrase rules become clause-argument
+                            // windows (NER spans / whole clause).
+                            Some(PhraseKind::Np) => Some(SyntacticPattern::Window {
+                                kind: None,
+                                required: required.clone(),
+                            }),
+                        },
+                        SyntacticPattern::ExactPhrase(_) => None,
+                    })
+                    .collect();
+                (entity.clone(), clauses)
+            })
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
+        let config = Vs2Config {
+            disambiguation: DisambiguationMode::FirstMatch,
+            ..source.config
+        };
+        Self {
+            pipeline: Vs2Pipeline::with_patterns(clause_patterns, config),
+        }
+    }
+}
+
+impl Extractor for ClausIeExtractor {
+    fn name(&self) -> &'static str {
+        "ClausIE"
+    }
+
+    fn supports_markup_free(&self) -> bool {
+        // Form fields carry no clause structure; the paper marks D1 "-".
+        false
+    }
+
+    fn extract(&self, doc: &Document) -> Vec<Prediction> {
+        // No segmentation: one block spanning the whole page.
+        let whole = LogicalBlock {
+            bbox: doc.page_bbox(),
+            elements: doc.element_refs(),
+        };
+        self.pipeline
+            .extract_on_blocks(doc, &[whole])
+            .into_iter()
+            .map(|e| Prediction {
+                entity: e.entity,
+                text: e.text,
+                bbox: e.span_bbox,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_docmodel::{BBox, TextElement};
+
+    fn learned() -> Vs2Pipeline {
+        let entries: Vec<(&str, &str, &str)> = vec![
+            ("who", "James Wilson", "x"),
+            ("who", "Robert Brown", "x"),
+            ("who", "Linda Garcia", "x"),
+        ];
+        Vs2Pipeline::learn(entries, Vs2Config::default())
+    }
+
+    #[test]
+    fn keeps_only_clause_patterns() {
+        let clausie = ClausIeExtractor::new(&learned());
+        for patterns in clausie.pipeline.patterns().values() {
+            for p in patterns {
+                match p {
+                    SyntacticPattern::Window { kind, .. } => {
+                        assert!(!matches!(kind, Some(PhraseKind::Np)));
+                    }
+                    SyntacticPattern::ExactPhrase(_) => panic!("exact pattern kept"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extracts_from_clause_text() {
+        // A grammatical clause — ClausIE's home turf.
+        let entries: Vec<(&str, &str, &str)> = vec![
+            ("who", "hosted by James Wilson", "x"),
+            ("who", "hosted by Robert Brown", "x"),
+            ("who", "hosted by Linda Garcia", "x"),
+        ];
+        let pipeline = Vs2Pipeline::learn(entries, Vs2Config::default());
+        let clausie = ClausIeExtractor::new(&pipeline);
+        let mut d = Document::new("c", 400.0, 50.0);
+        for (i, w) in ["the", "gala", "is", "hosted", "by", "Mary", "Davis"].iter().enumerate() {
+            d.push_text(TextElement::word(
+                *w,
+                BBox::new(10.0 + 45.0 * i as f64, 10.0, 40.0, 10.0),
+            ));
+        }
+        let preds = clausie.extract(&d);
+        assert!(!preds.is_empty());
+    }
+
+    #[test]
+    fn not_applicable_to_markup_free() {
+        assert!(!ClausIeExtractor::new(&learned()).supports_markup_free());
+    }
+}

@@ -1,0 +1,85 @@
+//! Table 7 baseline: Frequent Subtree Mining extraction (FSM).
+//!
+//! "For every named entity to be extracted, it finds the most frequent
+//! subtrees within the dependency trees for entries against that named
+//! entity in the holdout corpus. The syntactic patterns defined by these
+//! subtrees are then searched within the transcribed text of a test
+//! document" — i.e. exactly VS2's learned patterns, but with **no visual
+//! segmentation**: the whole transcription is one context, and conflicts
+//! resolve by gloss overlap. The gap between FSM and VS2 in Table 7 is
+//! therefore precisely the value of the logical blocks.
+
+use crate::ie::{Extractor, Prediction};
+use vs2_core::pipeline::{DisambiguationMode, Vs2Pipeline};
+use vs2_core::segment::LogicalBlock;
+use vs2_docmodel::Document;
+
+/// Learned-pattern search over the unsegmented document.
+#[derive(Debug, Clone)]
+pub struct FsmExtractor {
+    pipeline: Vs2Pipeline,
+}
+
+impl FsmExtractor {
+    /// Uses the same learned pipeline, with Lesk conflict resolution.
+    pub fn new(mut pipeline: Vs2Pipeline) -> Self {
+        pipeline.config.disambiguation = DisambiguationMode::Lesk;
+        Self { pipeline }
+    }
+}
+
+impl Extractor for FsmExtractor {
+    fn name(&self) -> &'static str {
+        "FSM"
+    }
+
+    fn extract(&self, doc: &Document) -> Vec<Prediction> {
+        let whole = LogicalBlock {
+            bbox: doc.page_bbox(),
+            elements: doc.element_refs(),
+        };
+        self.pipeline
+            .extract_on_blocks(doc, &[whole])
+            .into_iter()
+            .map(|e| Prediction {
+                entity: e.entity,
+                text: e.text,
+                bbox: e.span_bbox,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_core::pipeline::Vs2Config;
+    use vs2_docmodel::{BBox, TextElement};
+
+    #[test]
+    fn whole_document_context_finds_patterns() {
+        let entries: Vec<(&str, &str, &str)> = vec![
+            ("phone", "(614) 555-0175", "call (614) 555-0175"),
+            ("phone", "330-555-8921", "call 330-555-8921"),
+            ("phone", "(740) 555-3321", "call (740) 555-3321"),
+        ];
+        let pipeline = Vs2Pipeline::learn(entries, Vs2Config::default());
+        let fsm = FsmExtractor::new(pipeline);
+        let mut d = Document::new("f", 400.0, 50.0);
+        for (i, w) in ["call", "614-555-0175", "today"].iter().enumerate() {
+            d.push_text(TextElement::word(
+                *w,
+                BBox::new(10.0 + 80.0 * i as f64, 10.0, 70.0, 10.0),
+            ));
+        }
+        let preds = fsm.extract(&d);
+        assert_eq!(preds.len(), 1);
+        assert!(preds[0].text.contains("614"));
+    }
+
+    #[test]
+    fn applicable_everywhere() {
+        let pipeline = Vs2Pipeline::with_patterns(Default::default(), Vs2Config::default());
+        assert!(FsmExtractor::new(pipeline).supports_markup_free());
+    }
+}

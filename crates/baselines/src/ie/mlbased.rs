@@ -1,0 +1,149 @@
+//! Table 7 baseline: the supervised ML-based extractor (Zhou & Mashuq).
+//!
+//! A per-entity logistic-regression classifier over candidate text lines
+//! with *textual* features only, trained on the labelled 60% split. The
+//! paper notes it requires HTML conversion, so it is not applicable to
+//! the scanned D1 forms.
+
+use crate::ie::candidates::{line_candidates, line_is_positive, text_features, vectorize, DIMS};
+use crate::ie::{Extractor, Prediction};
+use std::collections::BTreeMap;
+use vs2_docmodel::{AnnotatedDocument, Document};
+use vs2_ml::{train_logistic, Example, LinearModel, TrainConfig};
+
+/// Per-entity logistic-regression line classifier.
+#[derive(Debug, Clone)]
+pub struct MlBasedExtractor {
+    models: BTreeMap<String, LinearModel>,
+    /// Minimum probability to emit a prediction.
+    pub min_probability: f64,
+}
+
+impl MlBasedExtractor {
+    /// Trains one classifier per entity on labelled documents.
+    pub fn train(docs: &[AnnotatedDocument], entities: &[String], seed: u64) -> Self {
+        let mut per_entity: BTreeMap<String, Vec<Example>> = BTreeMap::new();
+        for ad in docs {
+            let lines = line_candidates(&ad.doc);
+            for line in &lines {
+                let features = vectorize(&text_features(&ad.doc, line));
+                for entity in entities {
+                    per_entity.entry(entity.clone()).or_default().push(Example {
+                        features: features.clone(),
+                        label: line_is_positive(&ad.doc, line, ad, entity),
+                    });
+                }
+            }
+        }
+        let models = per_entity
+            .into_iter()
+            .map(|(entity, examples)| {
+                let cfg = TrainConfig {
+                    dims: DIMS,
+                    epochs: 12,
+                    rate: 0.3,
+                    l2: 1e-5,
+                    seed,
+                };
+                (entity, train_logistic(&examples, cfg))
+            })
+            .collect();
+        Self {
+            models,
+            min_probability: 0.35,
+        }
+    }
+
+    /// Entities with a trained model.
+    pub fn entities(&self) -> Vec<&str> {
+        self.models.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+impl Extractor for MlBasedExtractor {
+    fn name(&self) -> &'static str {
+        "ML-based"
+    }
+
+    fn supports_markup_free(&self) -> bool {
+        // Requires HTML conversion (paper: "-" on D1).
+        false
+    }
+
+    fn extract(&self, doc: &Document) -> Vec<Prediction> {
+        let lines = line_candidates(doc);
+        let feats: Vec<_> = lines
+            .iter()
+            .map(|l| vectorize(&text_features(doc, l)))
+            .collect();
+        let mut out = Vec::new();
+        for (entity, model) in &self.models {
+            let best = lines
+                .iter()
+                .zip(&feats)
+                .map(|(l, f)| (model.probability(f), l))
+                .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            if let Some((p, line)) = best {
+                if p >= self.min_probability {
+                    out.push(Prediction {
+                        entity: entity.clone(),
+                        text: doc.transcribe(&line.elements),
+                        bbox: line.bbox,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_docmodel::{BBox, EntityAnnotation, TextElement};
+
+    fn labelled_doc(phone: &str, seed_y: f64) -> AnnotatedDocument {
+        let mut d = Document::new(format!("m{seed_y}"), 300.0, 120.0);
+        let mut ann = Vec::new();
+        for (i, w) in ["Phone", phone].iter().enumerate() {
+            d.push_text(TextElement::word(
+                *w,
+                BBox::new(10.0 + 80.0 * i as f64, seed_y, 70.0, 10.0),
+            ));
+        }
+        ann.push(EntityAnnotation::new(
+            "phone",
+            BBox::new(10.0, seed_y, 150.0, 10.0),
+            phone.to_string(),
+        ));
+        for (i, w) in ["spacious", "warehouse", "available"].iter().enumerate() {
+            d.push_text(TextElement::word(
+                *w,
+                BBox::new(10.0 + 80.0 * i as f64, seed_y + 40.0, 70.0, 10.0),
+            ));
+        }
+        AnnotatedDocument {
+            doc: d,
+            annotations: ann,
+        }
+    }
+
+    #[test]
+    fn learns_to_pick_phone_lines() {
+        let train: Vec<AnnotatedDocument> = (0..8)
+            .map(|i| labelled_doc(&format!("61{i}-555-017{i}"), 10.0 + i as f64))
+            .collect();
+        let model = MlBasedExtractor::train(&train, &["phone".to_string()], 3);
+        assert_eq!(model.entities(), vec!["phone"]);
+        let test = labelled_doc("330-555-9999", 12.0);
+        let preds = model.extract(&test.doc);
+        assert_eq!(preds.len(), 1, "{preds:?}");
+        assert!(preds[0].text.contains("330-555-9999"));
+    }
+
+    #[test]
+    fn not_applicable_to_markup_free() {
+        let model = MlBasedExtractor::train(&[], &[], 1);
+        assert!(!model.supports_markup_free());
+    }
+}

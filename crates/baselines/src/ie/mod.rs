@@ -1,0 +1,48 @@
+//! End-to-end information-extraction baselines of Table 7 (and the
+//! text-only baseline of Tables 6 and 8).
+//!
+//! Every baseline implements [`Extractor`]; trained baselines additionally
+//! take labelled documents (the paper's 60%/40% split) at construction.
+
+pub mod apostolova;
+pub mod candidates;
+pub mod clausie;
+pub mod fsm;
+pub mod mlbased;
+pub mod reportminer;
+pub mod textonly;
+
+use vs2_docmodel::{BBox, Document};
+
+/// One predicted entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Entity key.
+    pub entity: String,
+    /// Extracted text.
+    pub text: String,
+    /// Bounding box of the extraction.
+    pub bbox: BBox,
+}
+
+/// An end-to-end extractor.
+pub trait Extractor {
+    /// Display name used in the Table 7 rows.
+    fn name(&self) -> &'static str;
+
+    /// Extracts at most one prediction per entity from a document.
+    fn extract(&self, doc: &Document) -> Vec<Prediction>;
+
+    /// `false` when the method cannot run on the dataset class (the
+    /// paper's "-" rows: ClausIE and the ML-based extractor on D1).
+    fn supports_markup_free(&self) -> bool {
+        true
+    }
+}
+
+pub use apostolova::ApostolovaExtractor;
+pub use clausie::ClausIeExtractor;
+pub use fsm::FsmExtractor;
+pub use mlbased::MlBasedExtractor;
+pub use reportminer::ReportMinerExtractor;
+pub use textonly::TextOnlyExtractor;

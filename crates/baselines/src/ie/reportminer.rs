@@ -1,0 +1,197 @@
+//! Table 7 baseline: ReportMiner-style rule masks.
+//!
+//! ReportMiner is a commercial human-in-the-loop tool: experts draw a
+//! custom mask (a region) per named entity for each document layout, and
+//! "for each test document, the most appropriate rule is selected
+//! manually". The reproduction automates the expert: masks are recorded
+//! from the 60% training split (the entity's normalised bounding box per
+//! layout), layouts are keyed by a coarse occupancy signature, and at
+//! test time the nearest stored layout's masks are applied. Excellent on
+//! fixed templates (D1), degraded as layout variability grows (the
+//! paper: "performance worsened as the variability in document layouts
+//! increased").
+
+use crate::ie::{Extractor, Prediction};
+use std::collections::BTreeMap;
+use vs2_docmodel::{AnnotatedDocument, BBox, Document};
+
+/// Grid resolution of the layout signature.
+const SIG: usize = 8;
+
+/// Occupancy signature: fraction of each cell of an 8×8 page grid
+/// covered by text.
+fn signature(doc: &Document) -> [f64; SIG * SIG] {
+    let mut sig = [0.0; SIG * SIG];
+    let (cw, ch) = (doc.width / SIG as f64, doc.height / SIG as f64);
+    if cw <= 0.0 || ch <= 0.0 {
+        return sig;
+    }
+    for t in &doc.texts {
+        let c = t.bbox.centroid();
+        let col = ((c.x / cw) as usize).min(SIG - 1);
+        let row = ((c.y / ch) as usize).min(SIG - 1);
+        sig[row * SIG + col] += t.bbox.area();
+    }
+    let total: f64 = sig.iter().sum();
+    if total > 0.0 {
+        for v in sig.iter_mut() {
+            *v /= total;
+        }
+    }
+    sig
+}
+
+fn signature_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// One stored layout: its signature plus per-entity masks in normalised
+/// page coordinates.
+#[derive(Debug, Clone)]
+struct LayoutRule {
+    signature: [f64; SIG * SIG],
+    masks: BTreeMap<String, BBox>,
+}
+
+/// Mask-based template extractor.
+#[derive(Debug, Clone)]
+pub struct ReportMinerExtractor {
+    rules: Vec<LayoutRule>,
+}
+
+impl ReportMinerExtractor {
+    /// Records one rule per training document (the expert's mask set).
+    pub fn train(docs: &[AnnotatedDocument]) -> Self {
+        let rules = docs
+            .iter()
+            .map(|ad| {
+                let masks = ad
+                    .annotations
+                    .iter()
+                    .map(|a| {
+                        let norm = BBox::new(
+                            a.bbox.x / ad.doc.width.max(1e-9),
+                            a.bbox.y / ad.doc.height.max(1e-9),
+                            a.bbox.w / ad.doc.width.max(1e-9),
+                            a.bbox.h / ad.doc.height.max(1e-9),
+                        );
+                        (a.entity.clone(), norm)
+                    })
+                    .collect();
+                LayoutRule {
+                    signature: signature(&ad.doc),
+                    masks,
+                }
+            })
+            .collect();
+        Self { rules }
+    }
+
+    /// Number of stored rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+impl Extractor for ReportMinerExtractor {
+    fn name(&self) -> &'static str {
+        "ReportMiner"
+    }
+
+    fn extract(&self, doc: &Document) -> Vec<Prediction> {
+        let sig = signature(doc);
+        let Some(rule) = self
+            .rules
+            .iter()
+            .min_by(|a, b| {
+                signature_distance(&a.signature, &sig)
+                    .partial_cmp(&signature_distance(&b.signature, &sig))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        else {
+            return Vec::new();
+        };
+        rule.masks
+            .iter()
+            .filter_map(|(entity, mask)| {
+                let region = BBox::new(
+                    mask.x * doc.width,
+                    mask.y * doc.height,
+                    mask.w * doc.width,
+                    mask.h * doc.height,
+                )
+                .inflate(2.0);
+                let elems = doc.elements_in(&region);
+                let text = doc.transcribe(&elems);
+                if text.is_empty() {
+                    return None;
+                }
+                let boxes: Vec<BBox> = elems.iter().map(|r| doc.bbox_of(*r)).collect();
+                Some(Prediction {
+                    entity: entity.clone(),
+                    text,
+                    bbox: BBox::enclosing(boxes.iter()).unwrap_or(region),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_docmodel::{EntityAnnotation, TextElement};
+
+    fn template_doc(value: &str) -> AnnotatedDocument {
+        let mut d = Document::new(format!("r-{value}"), 200.0, 200.0);
+        d.push_text(TextElement::word("Label", BBox::new(10.0, 10.0, 40.0, 10.0)));
+        d.push_text(TextElement::word(value, BBox::new(60.0, 10.0, 60.0, 10.0)));
+        d.push_text(TextElement::word("footer", BBox::new(10.0, 180.0, 40.0, 8.0)));
+        AnnotatedDocument {
+            doc: d,
+            annotations: vec![EntityAnnotation::new(
+                "field",
+                BBox::new(60.0, 10.0, 60.0, 10.0),
+                value,
+            )],
+        }
+    }
+
+    #[test]
+    fn masks_extract_from_matching_template() {
+        let train = vec![template_doc("aaa"), template_doc("bbb")];
+        let rm = ReportMinerExtractor::train(&train);
+        assert_eq!(rm.rule_count(), 2);
+        let test = template_doc("ccc");
+        let preds = rm.extract(&test.doc);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].text, "ccc");
+    }
+
+    #[test]
+    fn mask_fails_on_shifted_layout() {
+        let train = vec![template_doc("aaa")];
+        let rm = ReportMinerExtractor::train(&train);
+        // A document whose value sits elsewhere entirely.
+        let mut d = Document::new("shift", 200.0, 200.0);
+        d.push_text(TextElement::word("Label", BBox::new(10.0, 150.0, 40.0, 10.0)));
+        d.push_text(TextElement::word("xyz", BBox::new(60.0, 150.0, 60.0, 10.0)));
+        let preds = rm.extract(&d);
+        // The mask region (top of page) holds no text → no/garbled output.
+        assert!(preds.is_empty() || preds[0].text != "xyz");
+    }
+
+    #[test]
+    fn empty_training() {
+        let rm = ReportMinerExtractor::train(&[]);
+        assert!(rm.extract(&template_doc("x").doc).is_empty());
+    }
+
+    #[test]
+    fn signature_is_normalised() {
+        let d = template_doc("aaa").doc;
+        let s = signature(&d);
+        let total: f64 = s.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

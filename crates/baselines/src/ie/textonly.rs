@@ -1,0 +1,78 @@
+//! The text-only IE baseline of §6.4 (the ΔF1 reference of Tables 6/8).
+//!
+//! "Using Tesseract to segment the input document, it searches for
+//! syntactic patterns within the text transcribed from each segmented
+//! area. Entity disambiguation is performed using Lesk." — i.e. the same
+//! learned patterns as VS2, but typographic segmentation instead of
+//! VS2-Segment and gloss overlap instead of the multimodal Eq. 2.
+
+use crate::ie::{Extractor, Prediction};
+use crate::seg::{Segmenter, TesseractSegmenter};
+use vs2_core::pipeline::{DisambiguationMode, Vs2Pipeline};
+use vs2_docmodel::Document;
+
+/// Tesseract segmentation + pattern search + Lesk disambiguation.
+#[derive(Debug, Clone)]
+pub struct TextOnlyExtractor {
+    pipeline: Vs2Pipeline,
+    segmenter: TesseractSegmenter,
+}
+
+impl TextOnlyExtractor {
+    /// Wraps a learned pipeline, forcing Lesk disambiguation.
+    pub fn new(mut pipeline: Vs2Pipeline) -> Self {
+        pipeline.config.disambiguation = DisambiguationMode::Lesk;
+        Self {
+            pipeline,
+            segmenter: TesseractSegmenter::default(),
+        }
+    }
+}
+
+impl Extractor for TextOnlyExtractor {
+    fn name(&self) -> &'static str {
+        "Text-only"
+    }
+
+    fn extract(&self, doc: &Document) -> Vec<Prediction> {
+        let blocks = self.segmenter.segment(doc);
+        self.pipeline
+            .extract_on_blocks(doc, &blocks)
+            .into_iter()
+            .map(|e| Prediction {
+                entity: e.entity,
+                text: e.text,
+                bbox: e.span_bbox,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_core::pipeline::Vs2Config;
+
+    #[test]
+    fn extracts_with_lesk_selection() {
+        let entries: Vec<(&str, &str, &str)> = vec![
+            ("who", "James Wilson", "hosted by James Wilson"),
+            ("who", "Robert Brown", "hosted by Robert Brown"),
+            ("who", "Linda Garcia", "hosted by Linda Garcia"),
+        ];
+        let pipeline = Vs2Pipeline::learn(entries, Vs2Config::default());
+        let ex = TextOnlyExtractor::new(pipeline);
+        assert_eq!(ex.pipeline.config.disambiguation, DisambiguationMode::Lesk);
+
+        let mut d = Document::new("t", 300.0, 100.0);
+        for (i, w) in ["Hosted", "by", "James", "Wilson"].iter().enumerate() {
+            d.push_text(vs2_docmodel::TextElement::word(
+                *w,
+                vs2_docmodel::BBox::new(10.0 + 50.0 * i as f64, 10.0, 45.0, 10.0),
+            ));
+        }
+        let preds = ex.extract(&d);
+        assert_eq!(preds.len(), 1);
+        assert!(preds[0].text.contains("James"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # vs2-baselines
+//!
+//! Every comparison method of the VS2 paper's evaluation (§6), rebuilt on
+//! the shared substrate:
+//!
+//! * [`seg`] — the Table 5 segmentation baselines: text-only embedding
+//!   clustering (A1), recursive XY-Cut (A2), Voronoi-style tessellation
+//!   (A3), VIPS-like markup segmentation (A4), Tesseract-like layout
+//!   analysis (A5), plus a wrapper for VS2-Segment itself (A6);
+//! * [`ie`] — the Table 7 end-to-end baselines: the text-only pipeline
+//!   (Tesseract + patterns + Lesk), ClausIE-style clause rules, FSM
+//!   (patterns without segmentation), the Zhou-style supervised ML
+//!   extractor, the Apostolova-style visual+textual SVM, and
+//!   ReportMiner-style template masks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ie;
+pub mod seg;
+
+pub use ie::{
+    ApostolovaExtractor, ClausIeExtractor, Extractor, FsmExtractor, MlBasedExtractor,
+    Prediction, ReportMinerExtractor, TextOnlyExtractor,
+};
+pub use seg::{
+    Segmenter, TesseractSegmenter, TextOnlySegmenter, VipsSegmenter, VoronoiSegmenter,
+    Vs2Segmenter, XyCutSegmenter,
+};

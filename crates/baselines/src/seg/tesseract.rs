@@ -1,0 +1,209 @@
+//! Baseline A5: Tesseract-style hierarchical layout analysis.
+//!
+//! Mirrors Tesseract's page layout stage at the granularity VS2 consumes:
+//! words → text lines (by vertical overlap) → paragraph blocks (lines
+//! joined when the leading is ordinary and the indentation compatible).
+//! Purely typographic: it has no notion of semantic coherence, so it
+//! over-segments visually ornate documents into many small paragraph
+//! fragments — the behaviour the paper reports for A5 on D2/D3.
+
+use crate::seg::Segmenter;
+use vs2_core::segment::LogicalBlock;
+use vs2_docmodel::{BBox, Document, ElementRef};
+
+/// Tesseract-like line/paragraph segmenter.
+#[derive(Debug, Clone, Copy)]
+pub struct TesseractSegmenter {
+    /// Maximum baseline distance for two lines to share a paragraph, as a
+    /// multiple of the line height.
+    pub max_leading: f64,
+    /// Maximum font-size ratio within a paragraph.
+    pub max_font_ratio: f64,
+    /// Maximum horizontal misalignment of line starts, in multiples of
+    /// the line height.
+    pub max_indent: f64,
+}
+
+impl Default for TesseractSegmenter {
+    fn default() -> Self {
+        Self {
+            max_leading: 1.8,
+            max_font_ratio: 1.25,
+            max_indent: 2.5,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    bbox: BBox,
+    elements: Vec<ElementRef>,
+}
+
+fn build_lines(doc: &Document) -> Vec<Line> {
+    let mut items: Vec<(ElementRef, BBox)> = doc
+        .element_refs()
+        .into_iter()
+        .map(|r| (r, doc.bbox_of(r)))
+        .collect();
+    items.sort_by(|a, b| a.1.y.partial_cmp(&b.1.y).unwrap_or(std::cmp::Ordering::Equal));
+    let mut rows: Vec<Line> = Vec::new();
+    for (r, b) in items {
+        let mut placed = false;
+        for line in rows.iter_mut() {
+            let overlap = (line.bbox.bottom().min(b.bottom()) - line.bbox.y.max(b.y)).max(0.0);
+            let min_h = line.bbox.h.min(b.h).max(1e-9);
+            if overlap / min_h > 0.5 {
+                line.bbox = line.bbox.union(&b);
+                line.elements.push(r);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            rows.push(Line {
+                bbox: b,
+                elements: vec![r],
+            });
+        }
+    }
+    // Tesseract detects columns: a physical row splits into separate
+    // lines at horizontal gaps larger than ~3x the text height.
+    let mut lines: Vec<Line> = Vec::new();
+    for row in rows {
+        let mut elems: Vec<(ElementRef, BBox)> = row
+            .elements
+            .into_iter()
+            .map(|r| (r, doc.bbox_of(r)))
+            .collect();
+        elems.sort_by(|a, b| a.1.x.partial_cmp(&b.1.x).unwrap_or(std::cmp::Ordering::Equal));
+        let mut current: Vec<(ElementRef, BBox)> = Vec::new();
+        for (r, b) in elems {
+            let split = current.last().is_some_and(|(_, prev)| {
+                b.x - prev.right() > 3.0 * prev.h.max(b.h).max(1e-9)
+            });
+            if split {
+                let bbox = current
+                    .iter()
+                    .map(|(_, b)| *b)
+                    .reduce(|a, b| a.union(&b))
+                    .unwrap();
+                lines.push(Line {
+                    bbox,
+                    elements: current.drain(..).map(|(r, _)| r).collect(),
+                });
+            }
+            current.push((r, b));
+        }
+        if !current.is_empty() {
+            let bbox = current
+                .iter()
+                .map(|(_, b)| *b)
+                .reduce(|a, b| a.union(&b))
+                .unwrap();
+            lines.push(Line {
+                bbox,
+                elements: current.into_iter().map(|(r, _)| r).collect(),
+            });
+        }
+    }
+    lines.sort_by(|a, b| a.bbox.y.partial_cmp(&b.bbox.y).unwrap_or(std::cmp::Ordering::Equal));
+    lines
+}
+
+impl Segmenter for TesseractSegmenter {
+    fn name(&self) -> &'static str {
+        "Tesseract"
+    }
+
+    fn segment(&self, doc: &Document) -> Vec<LogicalBlock> {
+        let lines = build_lines(doc);
+        let mut paragraphs: Vec<Vec<Line>> = Vec::new();
+        for line in lines {
+            let joined = paragraphs.last_mut().is_some_and(|para| {
+                let prev = para.last().unwrap();
+                let leading = line.bbox.y - prev.bbox.y;
+                let h = prev.bbox.h.max(1e-9);
+                let font_ratio = {
+                    let (a, b) = (prev.bbox.h.max(1e-9), line.bbox.h.max(1e-9));
+                    (a / b).max(b / a)
+                };
+                let indent = (line.bbox.x - prev.bbox.x).abs();
+                // Horizontally, the lines must overlap at all.
+                let x_overlap = line.bbox.right().min(prev.bbox.right())
+                    - line.bbox.x.max(prev.bbox.x);
+                leading <= self.max_leading * h
+                    && font_ratio <= self.max_font_ratio
+                    && indent <= self.max_indent * h
+                    && x_overlap > 0.0
+            });
+            if joined {
+                paragraphs.last_mut().unwrap().push(line);
+            } else {
+                paragraphs.push(vec![line]);
+            }
+        }
+        paragraphs
+            .into_iter()
+            .map(|para| {
+                let bbox = para
+                    .iter()
+                    .map(|l| l.bbox)
+                    .reduce(|a, b| a.union(&b))
+                    .unwrap();
+                LogicalBlock {
+                    bbox,
+                    elements: para.into_iter().flat_map(|l| l.elements).collect(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seg::testdoc::two_paragraphs;
+    use vs2_docmodel::TextElement;
+
+    #[test]
+    fn paragraphs_form_from_lines() {
+        let doc = two_paragraphs();
+        let blocks = TesseractSegmenter::default().segment(&doc);
+        assert_eq!(blocks.len(), 2, "{blocks:?}");
+    }
+
+    #[test]
+    fn font_change_breaks_paragraphs() {
+        let mut d = Document::new("fonts", 300.0, 100.0);
+        d.push_text(TextElement::word("TITLE", BBox::new(10.0, 10.0, 120.0, 28.0)));
+        d.push_text(TextElement::word("body", BBox::new(10.0, 44.0, 60.0, 9.0)));
+        let blocks = TesseractSegmenter::default().segment(&d);
+        assert_eq!(blocks.len(), 2);
+    }
+
+    #[test]
+    fn column_misalignment_breaks_paragraphs() {
+        // Same font, ordinary leading, but the second line starts far to
+        // the right (a different column) — split.
+        let mut d = Document::new("cols", 400.0, 100.0);
+        d.push_text(TextElement::word("left", BBox::new(10.0, 10.0, 60.0, 10.0)));
+        d.push_text(TextElement::word("right", BBox::new(250.0, 24.0, 60.0, 10.0)));
+        let blocks = TesseractSegmenter::default().segment(&d);
+        assert_eq!(blocks.len(), 2);
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = Document::new("e", 10.0, 10.0);
+        assert!(TesseractSegmenter::default().segment(&d).is_empty());
+    }
+
+    #[test]
+    fn elements_preserved() {
+        let doc = two_paragraphs();
+        let blocks = TesseractSegmenter::default().segment(&doc);
+        let total: usize = blocks.iter().map(|b| b.elements.len()).sum();
+        assert_eq!(total, doc.len());
+    }
+}

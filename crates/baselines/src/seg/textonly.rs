@@ -1,0 +1,126 @@
+//! Baseline A1: text-only embedding clustering.
+//!
+//! "A text-based baseline method that groups words with similar
+//! word-embeddings into the same clusters" — no visual features at all.
+//! The transcription is walked in reading order and a new cluster opens
+//! whenever a word's embedding departs from the running cluster centroid
+//! (TextTiling-style sequential segmentation). Geometry plays no role,
+//! so any layout whose reading order interleaves regions shatters or
+//! fuses — the failure the paper's A1 row exhibits on D2/D3, while the
+//! strictly row-major D1 forms survive better.
+
+use crate::seg::Segmenter;
+use vs2_core::segment::LogicalBlock;
+use vs2_docmodel::{BBox, Document, ElementRef};
+use vs2_nlp::embedding::{cosine, Embedder, LexiconEmbedding, Vector};
+
+/// Sequential embedding segmentation of the reading-order stream.
+#[derive(Debug, Clone, Copy)]
+pub struct TextOnlySegmenter {
+    /// Cosine similarity below which a new cluster opens.
+    pub min_similarity: f64,
+}
+
+impl Default for TextOnlySegmenter {
+    fn default() -> Self {
+        Self { min_similarity: 0.30 }
+    }
+}
+
+impl Segmenter for TextOnlySegmenter {
+    fn name(&self) -> &'static str {
+        "Text-only"
+    }
+
+    fn segment(&self, doc: &Document) -> Vec<LogicalBlock> {
+        let embedder = LexiconEmbedding;
+        let order = doc.reading_order(&doc.element_refs());
+        let mut clusters: Vec<(Vector, usize, Vec<ElementRef>)> = Vec::new();
+        for r in order {
+            let Some(text) = doc.text_of(r) else {
+                clusters.push(([0.0; vs2_nlp::DIM], 0, vec![r]));
+                continue;
+            };
+            let v = embedder.embed(text);
+            let joined = clusters.last_mut().is_some_and(|(sum, count, _)| {
+                if *count == 0 {
+                    return false;
+                }
+                let mut mean = *sum;
+                let n = *count as f64;
+                for x in mean.iter_mut() {
+                    *x /= n;
+                }
+                cosine(&v, &mean) >= self.min_similarity
+            });
+            if joined {
+                let (sum, count, members) = clusters.last_mut().unwrap();
+                for (acc, x) in sum.iter_mut().zip(v.iter()) {
+                    *acc += x;
+                }
+                *count += 1;
+                members.push(r);
+            } else {
+                clusters.push((v, 1, vec![r]));
+            }
+        }
+        clusters
+            .into_iter()
+            .map(|(_, _, elements)| {
+                let boxes: Vec<BBox> = elements.iter().map(|r| doc.bbox_of(*r)).collect();
+                LogicalBlock {
+                    bbox: BBox::enclosing(boxes.iter()).unwrap_or_default(),
+                    elements,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_docmodel::TextElement;
+
+    #[test]
+    fn topic_shift_opens_a_new_block() {
+        let mut d = Document::new("t", 600.0, 40.0);
+        for (i, w) in ["concert", "festival", "workshop", "acres", "sqft", "beds"]
+            .iter()
+            .enumerate()
+        {
+            d.push_text(TextElement::word(
+                *w,
+                BBox::new(10.0 + 60.0 * i as f64, 10.0, 50.0, 10.0),
+            ));
+        }
+        let blocks = TextOnlySegmenter::default().segment(&d);
+        assert_eq!(blocks.len(), 2, "{blocks:?}");
+        assert_eq!(blocks[0].elements.len(), 3);
+    }
+
+    #[test]
+    fn interleaved_reading_order_shatters_blocks() {
+        // Two columns; reading order alternates topics — the sequential
+        // text-only method opens a block on every word.
+        let mut d = Document::new("cols", 400.0, 100.0);
+        for i in 0..3 {
+            d.push_text(TextElement::word(
+                "concert",
+                BBox::new(10.0, 10.0 + 14.0 * i as f64, 60.0, 10.0),
+            ));
+            d.push_text(TextElement::word(
+                "acres",
+                BBox::new(300.0, 10.0 + 14.0 * i as f64, 60.0, 10.0),
+            ));
+        }
+        let blocks = TextOnlySegmenter::default().segment(&d);
+        assert!(blocks.len() >= 4, "{blocks:?}");
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = Document::new("e", 10.0, 10.0);
+        assert!(TextOnlySegmenter::default().segment(&d).is_empty());
+    }
+}

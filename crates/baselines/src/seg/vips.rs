@@ -1,0 +1,129 @@
+//! Baseline A4: VIPS-style vision-based page segmentation.
+//!
+//! Cai et al.'s VIPS exploits HTML-specific features — tag boundaries
+//! plus rectangular separators — to partition a rendered page. The
+//! reproduction consumes the [`MarkupClass`] hints that HTML-born
+//! documents carry: a block boundary opens whenever the markup class
+//! changes or a large vertical gap intervenes. Documents without markup
+//! (scanned forms, mobile captures) cannot be processed — "Evidently, A4
+//! could not be applied on dataset D1" — and the paper's noted weakness,
+//! the inability to separate areas not delimited by a rectangular
+//! separator or a tag change, carries over.
+
+use crate::seg::Segmenter;
+use vs2_core::segment::LogicalBlock;
+use vs2_docmodel::{BBox, Document, ElementRef, MarkupClass};
+
+/// VIPS-like markup-driven segmenter.
+#[derive(Debug, Clone, Copy)]
+pub struct VipsSegmenter {
+    /// Vertical gap (multiples of font height) that separates blocks even
+    /// within one markup class.
+    pub gap_factor: f64,
+}
+
+impl Default for VipsSegmenter {
+    fn default() -> Self {
+        Self { gap_factor: 2.0 }
+    }
+}
+
+impl Segmenter for VipsSegmenter {
+    fn name(&self) -> &'static str {
+        "VIPS"
+    }
+
+    fn requires_markup(&self) -> bool {
+        true
+    }
+
+    fn segment(&self, doc: &Document) -> Vec<LogicalBlock> {
+        // Reading-order walk; a new block opens on markup-class change or
+        // a rectangular (large vertical) separator.
+        let order = doc.reading_order(&doc.element_refs());
+        let mut blocks: Vec<(Option<MarkupClass>, BBox, Vec<ElementRef>)> = Vec::new();
+        for r in order {
+            let bbox = doc.bbox_of(r);
+            let markup = match r {
+                ElementRef::Text(i) => doc.texts[i].markup,
+                ElementRef::Image(_) => None,
+            };
+            let fits = blocks.last().is_some_and(|(m, bb, _)| {
+                let gap = (bbox.y - bb.bottom()).max(0.0);
+                *m == markup && gap <= self.gap_factor * bbox.h.max(1e-9)
+            });
+            if fits {
+                let (_, bb, elems) = blocks.last_mut().unwrap();
+                *bb = bb.union(&bbox);
+                elems.push(r);
+            } else {
+                blocks.push((markup, bbox, vec![r]));
+            }
+        }
+        blocks
+            .into_iter()
+            .map(|(_, bbox, elements)| LogicalBlock { bbox, elements })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seg::testdoc::two_paragraphs;
+    use vs2_docmodel::TextElement;
+
+    #[test]
+    fn markup_change_opens_blocks() {
+        let doc = two_paragraphs(); // Heading2 then Paragraph markup
+        let blocks = VipsSegmenter::default().segment(&doc);
+        assert_eq!(blocks.len(), 2, "{blocks:?}");
+    }
+
+    #[test]
+    fn same_markup_with_overlapping_content_merges() {
+        // Two visually separate columns that share a markup class and
+        // interleave in reading order — VIPS cannot separate them (the
+        // paper's under-segmentation failure mode).
+        let mut d = Document::new("cols", 400.0, 60.0);
+        for i in 0..3 {
+            d.push_text(
+                TextElement::word("left", BBox::new(10.0, 10.0 + i as f64 * 14.0, 60.0, 10.0))
+                    .with_markup(MarkupClass::Paragraph),
+            );
+            d.push_text(
+                TextElement::word("right", BBox::new(300.0, 10.0 + i as f64 * 14.0, 60.0, 10.0))
+                    .with_markup(MarkupClass::Paragraph),
+            );
+        }
+        let blocks = VipsSegmenter::default().segment(&d);
+        assert_eq!(blocks.len(), 1, "{blocks:?}");
+    }
+
+    #[test]
+    fn requires_markup_flag() {
+        assert!(VipsSegmenter::default().requires_markup());
+        assert!(!crate::seg::XyCutSegmenter::default().requires_markup());
+    }
+
+    #[test]
+    fn large_gap_splits_same_markup() {
+        let mut d = Document::new("gap", 100.0, 300.0);
+        d.push_text(
+            TextElement::word("a", BBox::new(10.0, 10.0, 30.0, 10.0))
+                .with_markup(MarkupClass::Paragraph),
+        );
+        d.push_text(
+            TextElement::word("b", BBox::new(10.0, 200.0, 30.0, 10.0))
+                .with_markup(MarkupClass::Paragraph),
+        );
+        let blocks = VipsSegmenter::default().segment(&d);
+        assert_eq!(blocks.len(), 2);
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = Document::new("e", 10.0, 10.0);
+        assert!(VipsSegmenter::default().segment(&d).is_empty());
+    }
+}

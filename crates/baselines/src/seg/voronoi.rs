@@ -1,0 +1,169 @@
+//! Baseline A3: Voronoi-style area segmentation.
+//!
+//! Kise-style point-diagram segmentation approximated over word boxes:
+//! neighbouring elements are linked when their gap is small relative to
+//! the corpus-level statistics of nearest-neighbour distances and their
+//! font sizes agree ("summary statistics such as the distribution of font
+//! size, area ratio, angular distance are taken into consideration");
+//! connected components of the link graph are the blocks. Bottom-up and
+//! adaptive, it is the strongest classical baseline in Table 5.
+
+use crate::seg::Segmenter;
+use vs2_core::segment::LogicalBlock;
+use vs2_docmodel::{BBox, Document, ElementRef};
+
+/// Voronoi-style connected-component segmenter.
+#[derive(Debug, Clone, Copy)]
+pub struct VoronoiSegmenter {
+    /// Link threshold as a multiple of the median nearest-neighbour gap.
+    pub gap_factor: f64,
+    /// Maximum allowed font-size ratio between linked elements.
+    pub max_font_ratio: f64,
+}
+
+impl Default for VoronoiSegmenter {
+    fn default() -> Self {
+        Self {
+            gap_factor: 2.2,
+            max_font_ratio: 1.8,
+        }
+    }
+}
+
+impl Segmenter for VoronoiSegmenter {
+    fn name(&self) -> &'static str {
+        "Voronoi"
+    }
+
+    fn segment(&self, doc: &Document) -> Vec<LogicalBlock> {
+        let elements = doc.element_refs();
+        let n = elements.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let boxes: Vec<BBox> = elements.iter().map(|r| doc.bbox_of(*r)).collect();
+
+        // Median nearest-neighbour gap — the adaptive scale.
+        let mut nn_gaps: Vec<f64> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| boxes[i].distance(&boxes[j]))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .filter(|g| g.is_finite())
+            .collect();
+        nn_gaps.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median_gap = nn_gaps.get(nn_gaps.len() / 2).copied().unwrap_or(0.0);
+        let threshold = (median_gap * self.gap_factor).max(1.0);
+
+        // Union-find over qualifying links.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                let gap = boxes[i].distance(&boxes[j]);
+                let (ha, hb) = (boxes[i].h.max(1e-9), boxes[j].h.max(1e-9));
+                // Link when the gap is small by the *global* statistic or
+                // by the *local* font scale (Kise-style area ratios).
+                let local = 1.25 * ha.min(hb);
+                if gap > threshold.max(local) {
+                    continue;
+                }
+                let font_ratio = (ha / hb).max(hb / ha);
+                if font_ratio > self.max_font_ratio {
+                    continue;
+                }
+                let (ra, rb) = (find(&mut parent, i), find(&mut parent, j));
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+
+        let mut groups: std::collections::BTreeMap<usize, Vec<ElementRef>> =
+            std::collections::BTreeMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(elements[i]);
+        }
+        groups
+            .into_values()
+            .map(|elems| {
+                let bs: Vec<BBox> = elems.iter().map(|r| doc.bbox_of(*r)).collect();
+                LogicalBlock {
+                    bbox: BBox::enclosing(bs.iter()).unwrap(),
+                    elements: elems,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seg::testdoc::two_paragraphs;
+
+    #[test]
+    fn splits_paragraphs_by_distance() {
+        let doc = two_paragraphs();
+        let blocks = VoronoiSegmenter::default().segment(&doc);
+        assert_eq!(blocks.len(), 2, "{blocks:?}");
+    }
+
+    #[test]
+    fn font_contrast_breaks_links() {
+        // Two adjacent lines with very different fonts stay separate.
+        let mut d = Document::new("fonts", 300.0, 100.0);
+        d.push_text(vs2_docmodel::TextElement::word(
+            "TITLE",
+            BBox::new(10.0, 10.0, 120.0, 30.0),
+        ));
+        d.push_text(vs2_docmodel::TextElement::word(
+            "body",
+            BBox::new(10.0, 44.0, 40.0, 9.0),
+        ));
+        d.push_text(vs2_docmodel::TextElement::word(
+            "text",
+            BBox::new(55.0, 44.0, 40.0, 9.0),
+        ));
+        let blocks = VoronoiSegmenter::default().segment(&d);
+        assert_eq!(blocks.len(), 2, "{blocks:?}");
+    }
+
+    #[test]
+    fn adapts_to_dense_layouts() {
+        // Uniformly dense words: everything is one component regardless of
+        // the absolute scale.
+        let mut d = Document::new("dense", 100.0, 100.0);
+        for row in 0..5 {
+            for col in 0..5 {
+                d.push_text(vs2_docmodel::TextElement::word(
+                    "w",
+                    BBox::new(col as f64 * 18.0, row as f64 * 12.0, 14.0, 8.0),
+                ));
+            }
+        }
+        let blocks = VoronoiSegmenter::default().segment(&d);
+        assert_eq!(blocks.len(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let d = Document::new("e", 10.0, 10.0);
+        assert!(VoronoiSegmenter::default().segment(&d).is_empty());
+        let mut d1 = Document::new("one", 10.0, 10.0);
+        d1.push_text(vs2_docmodel::TextElement::word(
+            "x",
+            BBox::new(1.0, 1.0, 3.0, 3.0),
+        ));
+        assert_eq!(VoronoiSegmenter::default().segment(&d1).len(), 1);
+    }
+}

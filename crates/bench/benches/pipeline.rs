@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of the end-to-end VS2 pipeline and its
+//! per-dataset cost profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vs2_bench::{build_pipeline, dataset_docs, RunConfig};
+use vs2_core::pipeline::Vs2Config;
+use vs2_synth::DatasetId;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let cfg = RunConfig { n_docs: 4, seed: 7 };
+    let mut group = c.benchmark_group("pipeline/extract");
+    group.sample_size(10);
+    for id in DatasetId::ALL {
+        let docs = dataset_docs(id, &cfg);
+        let pipeline = build_pipeline(id, cfg.seed, Vs2Config::default());
+        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &docs, |b, docs| {
+            b.iter(|| {
+                for d in docs {
+                    std::hint::black_box(pipeline.extract(&d.doc));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/learn");
+    group.sample_size(10);
+    for id in [DatasetId::D2, DatasetId::D3] {
+        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &id, |b, id| {
+            b.iter(|| std::hint::black_box(build_pipeline(*id, 7, Vs2Config::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_pattern_learning);
+criterion_main!(benches);

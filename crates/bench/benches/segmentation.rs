@@ -1,0 +1,106 @@
+//! Criterion benchmarks of VS2-Segment against the Table 5 baselines,
+//! plus ablation benches for the stage-level design choices DESIGN.md
+//! calls out (cut detection, clustering, semantic merging).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vs2_baselines::{
+    Segmenter, TesseractSegmenter, TextOnlySegmenter, VoronoiSegmenter, Vs2Segmenter,
+    XyCutSegmenter,
+};
+use vs2_core::segment::{logical_blocks, SegmentConfig};
+use vs2_synth::{generate, DatasetConfig, DatasetId};
+
+fn bench_segmenters(c: &mut Criterion) {
+    let docs = generate(DatasetId::D2, DatasetConfig::new(4, 7));
+    let mut group = c.benchmark_group("segmentation/algorithms");
+    group.sample_size(10);
+
+    let algorithms: Vec<(&str, Box<dyn Segmenter>)> = vec![
+        ("text_only", Box::new(TextOnlySegmenter::default())),
+        ("xy_cut", Box::new(XyCutSegmenter::default())),
+        ("voronoi", Box::new(VoronoiSegmenter::default())),
+        ("tesseract", Box::new(TesseractSegmenter::default())),
+        ("vs2_segment", Box::new(Vs2Segmenter::default())),
+    ];
+    for (name, algo) in &algorithms {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), algo, |b, algo| {
+            b.iter(|| {
+                for d in &docs {
+                    std::hint::black_box(algo.segment(&d.doc));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stage_ablations(c: &mut Criterion) {
+    let docs = generate(DatasetId::D2, DatasetConfig::new(4, 7));
+    let mut group = c.benchmark_group("segmentation/ablations");
+    group.sample_size(10);
+
+    let configs: Vec<(&str, SegmentConfig)> = vec![
+        ("full", SegmentConfig::default()),
+        (
+            "no_semantic_merge",
+            SegmentConfig {
+                use_semantic_merge: false,
+                ..SegmentConfig::default()
+            },
+        ),
+        (
+            "no_visual_clustering",
+            SegmentConfig {
+                use_visual_clustering: false,
+                ..SegmentConfig::default()
+            },
+        ),
+        (
+            "coarse_raster",
+            SegmentConfig {
+                cell_size: 8.0,
+                ..SegmentConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in &configs {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), cfg, |b, cfg| {
+            b.iter(|| {
+                for d in &docs {
+                    std::hint::black_box(logical_blocks(&d.doc, cfg));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_document_scale(c: &mut Criterion) {
+    // Cost vs document size: forms have ~3x the elements of posters.
+    let mut group = c.benchmark_group("segmentation/scale");
+    group.sample_size(10);
+    for id in DatasetId::ALL {
+        let docs = generate(id, DatasetConfig::new(2, 7));
+        let elems: usize = docs.iter().map(|d| d.doc.len()).sum();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_{}elems", id.name(), elems)),
+            &docs,
+            |b, docs| {
+                b.iter(|| {
+                    for d in docs {
+                        std::hint::black_box(logical_blocks(&d.doc, &SegmentConfig::default()));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_segmenters,
+    bench_stage_ablations,
+    bench_document_scale
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benchmarks of the substrate crates: NLP annotation,
+//! frequent-subtree mining, embeddings and whitespace-cut detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vs2_core::segment::all_runs;
+use vs2_docmodel::{BBox, OccupancyGrid};
+use vs2_nlp::annotate::annotate;
+use vs2_nlp::deptree::build_tree;
+use vs2_nlp::embedding::{Embedder, LexiconEmbedding, TrainedEmbedding};
+use vs2_treemine::{mine, MineConfig, Tree};
+
+const SAMPLE: &str = "Grand Jazz Festival hosted by James Wilson at Memorial Hall \
+                      1458 Maple Avenue Columbus OH 43210 Saturday April 5 7:30 pm \
+                      join us for a famous concert with amazing music and more";
+
+fn bench_nlp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/nlp");
+    group.bench_function("annotate", |b| {
+        b.iter(|| std::hint::black_box(annotate(SAMPLE)))
+    });
+    let ann = annotate(SAMPLE);
+    group.bench_function("deptree", |b| {
+        b.iter(|| std::hint::black_box(build_tree(&ann)))
+    });
+    group.finish();
+}
+
+fn bench_embeddings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/embedding");
+    let words: Vec<&str> = SAMPLE.split_whitespace().collect();
+    group.bench_function("lexicon_embed_text", |b| {
+        b.iter(|| std::hint::black_box(LexiconEmbedding.embed_text(words.iter().copied())))
+    });
+    let corpus: Vec<Vec<String>> = (0..60)
+        .map(|_| SAMPLE.split_whitespace().map(String::from).collect())
+        .collect();
+    group.sample_size(10);
+    group.bench_function("ppmi_svd_train", |b| {
+        b.iter(|| std::hint::black_box(TrainedEmbedding::train(&corpus, 3)))
+    });
+    group.finish();
+}
+
+fn bench_treemine(c: &mut Criterion) {
+    let trees: Vec<Tree> = (0..40)
+        .map(|i| {
+            Tree::parse(if i % 2 == 0 {
+                "S(NP(CD NER:phone) NP(SENSE:measure CD) VP(VSENSE:captain))"
+            } else {
+                "S(NP(NER:person) VP(VSENSE:create) NP(CD JJ))"
+            })
+            .unwrap()
+        })
+        .collect();
+    let mut group = c.benchmark_group("substrates/treemine");
+    group.bench_function("mine_frequent", |b| {
+        b.iter(|| {
+            std::hint::black_box(mine(
+                &trees,
+                MineConfig {
+                    min_support: 8,
+                    max_size: 5,
+                    min_size: 1,
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_cuts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/cuts");
+    for cell in [2.0f64, 4.0, 8.0] {
+        // A page of 30 lines of 8 words.
+        let mut boxes = Vec::new();
+        for row in 0..30 {
+            for col in 0..8 {
+                boxes.push(BBox::new(
+                    20.0 + col as f64 * 70.0,
+                    20.0 + row as f64 * 24.0,
+                    60.0,
+                    10.0,
+                ));
+            }
+        }
+        let area = BBox::new(0.0, 0.0, 612.0, 792.0);
+        let grid = OccupancyGrid::rasterize(&area, &boxes, cell);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("cell_{cell}")),
+            &grid,
+            |b, grid| b.iter(|| std::hint::black_box(all_runs(grid))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nlp, bench_embeddings, bench_treemine, bench_cuts);
+criterion_main!(benches);

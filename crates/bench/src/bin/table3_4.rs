@@ -1,0 +1,71 @@
+//! Regenerates **Tables 3 and 4**: the learned lexico-syntactic pattern
+//! inventories for D2 and D3, plus the §5.2.1 corpus-construction
+//! diagnostics (Shapiro–Wilk normality of the pattern distribution).
+//!
+//! The paper's tables list hand-described patterns; this binary prints
+//! the patterns the distant-supervision pipeline actually *learned* from
+//! the holdout corpora, so the two can be compared side by side (see
+//! EXPERIMENTS.md for the correspondence).
+
+use vs2_bench::{build_pipeline, ResultTable, RunConfig};
+use vs2_core::pipeline::Vs2Config;
+use vs2_core::select::SyntacticPattern;
+use vs2_eval::shapiro_wilk;
+use vs2_synth::{holdout_corpus, DatasetId};
+
+fn describe(p: &SyntacticPattern) -> String {
+    match p {
+        SyntacticPattern::ExactPhrase(s) => format!("exact phrase {s:?}"),
+        SyntacticPattern::Window { kind, required } => {
+            let kind = match kind {
+                Some(vs2_nlp::PhraseKind::Np) => "NP",
+                Some(vs2_nlp::PhraseKind::Vp) => "VP",
+                Some(vs2_nlp::PhraseKind::Svo) => "SVO",
+                None => "any",
+            };
+            format!("{kind} with {required:?}")
+        }
+    }
+}
+
+fn main() {
+    let cfg = RunConfig::default();
+    for (id, name) in [(DatasetId::D2, "table3"), (DatasetId::D3, "table4")] {
+        let pipeline = build_pipeline(id, cfg.seed, Vs2Config::default());
+        let mut table = ResultTable::new(
+            format!(
+                "Table {}: learned syntactic patterns for {}",
+                if id == DatasetId::D2 { 3 } else { 4 },
+                id.name()
+            ),
+            vec!["Named entity".into(), "Learned patterns".into()],
+        );
+        for (entity, patterns) in pipeline.patterns() {
+            let joined = patterns
+                .iter()
+                .take(4)
+                .map(describe)
+                .collect::<Vec<_>>()
+                .join(" | ");
+            table.push_row(vec![entity.clone(), joined]);
+        }
+
+        // §5.2.1 stopping rule: the distribution of distinct syntactic
+        // pattern shapes across corpus entries is approximately normal.
+        let corpus = holdout_corpus(id, cfg.seed ^ 0x4001);
+        let lengths: Vec<f64> = corpus
+            .entries
+            .iter()
+            .map(|e| e.text.split_whitespace().count() as f64)
+            .collect();
+        let sw = shapiro_wilk(&lengths);
+        table.push_note(format!(
+            "holdout corpus: {} entries; Shapiro-Wilk on per-entry pattern sizes: W = {:.4}, p = {:.4}",
+            corpus.len(),
+            sw.statistic,
+            sw.p_value
+        ));
+        println!("{}", table.render());
+        table.save(name).expect("write results");
+    }
+}

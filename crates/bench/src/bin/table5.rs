@@ -1,0 +1,68 @@
+//! Regenerates **Table 5**: segmentation precision/recall of A1–A6 on
+//! D1/D2/D3.
+//!
+//! Each algorithm's blocks feed the same VS2-Select stage; its per-entity
+//! localisation proposals are matched label-free against ground truth at
+//! IoU ≥ 0.65 (§6.2). VIPS (A4) is skipped on D1, as in the paper.
+
+use vs2_bench::{build_pipeline, dataset_docs, pct, phase1_scores, ResultTable, RunConfig};
+use vs2_baselines::{
+    Segmenter, TesseractSegmenter, TextOnlySegmenter, VipsSegmenter, VoronoiSegmenter,
+    Vs2Segmenter, XyCutSegmenter,
+};
+use vs2_core::pipeline::Vs2Config;
+use vs2_synth::DatasetId;
+
+fn main() {
+    let cfg = RunConfig::default();
+    let algorithms: Vec<(&str, Box<dyn Segmenter>)> = vec![
+        ("A1 Text-only", Box::new(TextOnlySegmenter::default())),
+        ("A2 XY-Cut", Box::new(XyCutSegmenter::default())),
+        ("A3 Voronoi", Box::new(VoronoiSegmenter::default())),
+        ("A4 VIPS", Box::new(VipsSegmenter::default())),
+        ("A5 Tesseract", Box::new(TesseractSegmenter::default())),
+        ("A6 VS2-Segment", Box::new(Vs2Segmenter::default())),
+    ];
+
+    let mut table = ResultTable::new(
+        "Table 5: Evaluation of VS2-Segment on experimental datasets",
+        vec![
+            "Algorithm".into(),
+            "D1 P".into(),
+            "D1 R".into(),
+            "D2 P".into(),
+            "D2 R".into(),
+            "D3 P".into(),
+            "D3 R".into(),
+        ],
+    );
+
+    // Per-dataset documents and pipelines are shared by all algorithms.
+    let mut data = Vec::new();
+    for id in DatasetId::ALL {
+        let docs = dataset_docs(id, &cfg);
+        let pipeline = build_pipeline(id, cfg.seed, Vs2Config::default());
+        data.push((id, docs, pipeline));
+    }
+
+    for (name, algo) in &algorithms {
+        let mut row = vec![name.to_string()];
+        for (id, docs, pipeline) in &data {
+            if algo.requires_markup() && !id.has_markup() {
+                row.push("-".into());
+                row.push("-".into());
+                continue;
+            }
+            let counts = phase1_scores(algo.as_ref(), pipeline, docs);
+            row.push(pct(counts.precision()));
+            row.push(pct(counts.recall()));
+        }
+        table.push_row(row);
+        eprintln!("done: {name}");
+    }
+
+    table.push_note(format!("{} documents per dataset, seed {:#x}", cfg.n_docs, cfg.seed));
+    table.push_note("proposals: per-entity localisations through the shared Select stage; IoU >= 0.65, label-free");
+    println!("{}", table.render());
+    table.save("table5").expect("write results/table5");
+}

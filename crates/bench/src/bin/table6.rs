@@ -1,0 +1,76 @@
+//! Regenerates **Table 6**: end-to-end evaluation of VS2 on D2, per
+//! named entity (N1–N5), with ΔF1 against the text-only baseline and the
+//! §6.4 significance test.
+
+use vs2_baselines::TextOnlyExtractor;
+use vs2_bench::{
+    build_pipeline, dataset_docs, pct, phase2_scores, phase2_scores_for_entity, ResultTable,
+    RunConfig, Vs2Extractor,
+};
+use vs2_core::pipeline::Vs2Config;
+use vs2_eval::welch_t_test;
+use vs2_synth::posters::entities;
+use vs2_synth::DatasetId;
+
+fn main() {
+    let cfg = RunConfig::default();
+    let docs = dataset_docs(DatasetId::D2, &cfg);
+    let pipeline = build_pipeline(DatasetId::D2, cfg.seed, Vs2Config::default());
+    let vs2 = Vs2Extractor {
+        pipeline: pipeline.clone(),
+    };
+    let text_only = TextOnlyExtractor::new(pipeline);
+
+    let mut table = ResultTable::new(
+        "Table 6: End-to-end evaluation of VS2 on D2",
+        vec![
+            "Named Entity".into(),
+            "Pr. (%)".into(),
+            "Rec. (%)".into(),
+            "dF1 (%)".into(),
+        ],
+    );
+
+    let names = [
+        ("N1 Event Title", entities::EVENT_TITLE),
+        ("N2 Event Place", entities::EVENT_PLACE),
+        ("N3 Event Time", entities::EVENT_TIME),
+        ("N4 Event Organizer", entities::EVENT_ORGANIZER),
+        ("N5 Event Description", entities::EVENT_DESCRIPTION),
+    ];
+    for (label, key) in names {
+        let ours = phase2_scores_for_entity(&vs2, &docs, key);
+        let base = phase2_scores_for_entity(&text_only, &docs, key);
+        table.push_row(vec![
+            label.to_string(),
+            pct(ours.precision()),
+            pct(ours.recall()),
+            format!("{:+.2}", 100.0 * (ours.f1() - base.f1())),
+        ]);
+        eprintln!("done: {label}");
+    }
+
+    let (overall, f1_vs2) = phase2_scores(&vs2, &docs);
+    let (base_overall, f1_base) = phase2_scores(&text_only, &docs);
+    table.push_row(vec![
+        "Overall".into(),
+        pct(overall.precision()),
+        pct(overall.recall()),
+        format!("{:+.2}", 100.0 * (overall.f1() - base_overall.f1())),
+    ]);
+
+    let t = welch_t_test(&f1_vs2, &f1_base);
+    table.push_note(format!(
+        "Welch t-test VS2 vs text-only per-document F1: t = {:.3}, p = {:.5} ({})",
+        t.statistic,
+        t.p_value,
+        if t.p_value < 0.05 {
+            "significant at 0.05, as in the paper"
+        } else {
+            "not significant"
+        }
+    ));
+    table.push_note(format!("{} documents, seed {:#x}", cfg.n_docs, cfg.seed));
+    println!("{}", table.render());
+    table.save("table6").expect("write results/table6");
+}

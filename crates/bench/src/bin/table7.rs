@@ -1,0 +1,103 @@
+//! Regenerates **Table 7**: end-to-end comparison of VS2 against
+//! ClausIE, FSM, the ML-based extractor, Apostolova et al.'s SVM and
+//! ReportMiner on all three datasets.
+//!
+//! Trained baselines use the paper's 60%/40% split (train on 60% of each
+//! dataset, evaluate everyone on the remaining 40%). ClausIE and the
+//! ML-based method are not applicable to D1, as in the paper.
+
+use vs2_baselines::{
+    ApostolovaExtractor, ClausIeExtractor, Extractor, FsmExtractor, MlBasedExtractor,
+    ReportMinerExtractor,
+};
+use vs2_bench::{build_pipeline, dataset_docs, pct, phase2_scores, ResultTable, RunConfig, Vs2Extractor};
+use vs2_core::pipeline::Vs2Config;
+use vs2_docmodel::AnnotatedDocument;
+use vs2_synth::DatasetId;
+
+fn main() {
+    let cfg = RunConfig::default();
+    let mut table = ResultTable::new(
+        "Table 7: Comparison of end-to-end performance against existing methods",
+        vec![
+            "Algorithm".into(),
+            "D1 P".into(),
+            "D1 R".into(),
+            "D2 P".into(),
+            "D2 R".into(),
+            "D3 P".into(),
+            "D3 R".into(),
+        ],
+    );
+
+    // Per-dataset: 60/40 split, trained baselines, learned pipeline.
+    struct Prepared {
+        id: DatasetId,
+        test: Vec<AnnotatedDocument>,
+        extractors: Vec<(String, Box<dyn Extractor>)>,
+    }
+    let mut prepared: Vec<Prepared> = Vec::new();
+    for id in DatasetId::ALL {
+        let docs = dataset_docs(id, &cfg);
+        let split = (docs.len() * 6) / 10;
+        let (train, test) = docs.split_at(split);
+        let pipeline = build_pipeline(id, cfg.seed, Vs2Config::default());
+        let entities = id.entity_types();
+
+        let mut extractors: Vec<(String, Box<dyn Extractor>)> = Vec::new();
+        extractors.push((
+            "A1 ClausIE".into(),
+            Box::new(ClausIeExtractor::new(&pipeline)),
+        ));
+        extractors.push(("A2 FSM".into(), Box::new(FsmExtractor::new(pipeline.clone()))));
+        extractors.push((
+            "A3 ML-based".into(),
+            Box::new(MlBasedExtractor::train(train, &entities, cfg.seed)),
+        ));
+        extractors.push((
+            "A4 Apostolova".into(),
+            Box::new(ApostolovaExtractor::train(train, &entities, cfg.seed)),
+        ));
+        extractors.push((
+            "A5 ReportMiner".into(),
+            Box::new(ReportMinerExtractor::train(train)),
+        ));
+        extractors.push(("A6 VS2".into(), Box::new(Vs2Extractor { pipeline })));
+
+        prepared.push(Prepared {
+            id,
+            test: test.to_vec(),
+            extractors,
+        });
+        eprintln!("prepared {}", id.name());
+    }
+
+    let names: Vec<String> = prepared[0]
+        .extractors
+        .iter()
+        .map(|(n, _)| n.clone())
+        .collect();
+    for (row_idx, name) in names.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        for p in &prepared {
+            let (_, extractor) = &p.extractors[row_idx];
+            if !extractor.supports_markup_free() && !p.id.has_markup() {
+                row.push("-".into());
+                row.push("-".into());
+                continue;
+            }
+            let (counts, _) = phase2_scores(extractor.as_ref(), &p.test);
+            row.push(pct(counts.precision()));
+            row.push(pct(counts.recall()));
+        }
+        table.push_row(row);
+        eprintln!("done: {name}");
+    }
+
+    table.push_note(format!(
+        "{} documents per dataset; trained baselines use a 60/40 split; all methods evaluated on the 40% test partition",
+        cfg.n_docs
+    ));
+    println!("{}", table.render());
+    table.save("table7").expect("write results/table7");
+}

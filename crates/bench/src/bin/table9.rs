@@ -1,0 +1,77 @@
+//! Regenerates **Table 9**: the ablation study of §6.5.
+//!
+//! Each row disables one component of VS2 and reports the drop in
+//! overall F1 (ΔF1, percentage points) on each dataset:
+//!
+//! * A1 — semantic-feature-based merging off;
+//! * A2 — visual-feature clustering off;
+//! * A3 — entity disambiguation off (first match wins);
+//! * A4 — text-only (Lesk) disambiguation instead of Eq. 2.
+
+use vs2_bench::{build_pipeline, dataset_docs, phase2_scores, ResultTable, RunConfig, Vs2Extractor};
+use vs2_core::pipeline::{DisambiguationMode, Vs2Config};
+use vs2_synth::DatasetId;
+
+fn ablations() -> Vec<(&'static str, Box<dyn Fn(&mut Vs2Config)>)> {
+    vec![
+        (
+            "A1 no semantic merging",
+            Box::new(|c: &mut Vs2Config| c.segment.use_semantic_merge = false),
+        ),
+        (
+            "A2 no visual clustering",
+            Box::new(|c: &mut Vs2Config| c.segment.use_visual_clustering = false),
+        ),
+        (
+            "A3 no disambiguation",
+            Box::new(|c: &mut Vs2Config| c.disambiguation = DisambiguationMode::FirstMatch),
+        ),
+        (
+            "A4 text-only (Lesk) disamb.",
+            Box::new(|c: &mut Vs2Config| c.disambiguation = DisambiguationMode::Lesk),
+        ),
+    ]
+}
+
+fn main() {
+    let cfg = RunConfig::default();
+    let mut table = ResultTable::new(
+        "Table 9: Evaluating individual components in VS2 by ablation study (dF1, pp)",
+        vec![
+            "Ablation".into(),
+            "D1 dF1".into(),
+            "D2 dF1".into(),
+            "D3 dF1".into(),
+        ],
+    );
+
+    // Baseline (full VS2) F1 per dataset.
+    let mut full_f1 = Vec::new();
+    let mut datasets = Vec::new();
+    for id in DatasetId::ALL {
+        let docs = dataset_docs(id, &cfg);
+        let pipeline = build_pipeline(id, cfg.seed, Vs2Config::default());
+        let (counts, _) = phase2_scores(&Vs2Extractor { pipeline }, &docs);
+        full_f1.push(counts.f1());
+        datasets.push((id, docs));
+        eprintln!("full VS2 on {}: F1 {:.4}", id.name(), counts.f1());
+    }
+
+    for (name, mutate) in ablations() {
+        let mut row = vec![name.to_string()];
+        for ((id, docs), full) in datasets.iter().zip(&full_f1) {
+            let mut config = Vs2Config::default();
+            mutate(&mut config);
+            let pipeline = build_pipeline(*id, cfg.seed, config);
+            let (counts, _) = phase2_scores(&Vs2Extractor { pipeline }, docs);
+            row.push(format!("{:+.2}", 100.0 * (full - counts.f1())));
+        }
+        table.push_row(row);
+        eprintln!("done: {name}");
+    }
+
+    table.push_note("dF1 = F1(full VS2) - F1(ablated); positive means the component helps");
+    table.push_note(format!("{} documents per dataset, seed {:#x}", cfg.n_docs, cfg.seed));
+    println!("{}", table.render());
+    table.save("table9").expect("write results/table9");
+}

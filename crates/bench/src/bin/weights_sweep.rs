@@ -1,0 +1,46 @@
+//! Extension experiment (the paper's §7 future work): learn the Eq. 2
+//! weights from a labelled validation split instead of the qualitative
+//! §5.3.2 presets, and compare against the presets on held-out data.
+
+use vs2_bench::{build_pipeline, dataset_docs, pct, phase2_scores, ResultTable, RunConfig, Vs2Extractor};
+use vs2_core::pipeline::Vs2Config;
+use vs2_core::select::{learn_weights, Eq2Weights, WeightSearchConfig};
+use vs2_synth::DatasetId;
+
+fn main() {
+    let cfg = RunConfig { n_docs: 60, seed: 0xC0FFEE };
+    let mut table = ResultTable::new(
+        "Extension: learned Eq. 2 weights vs the qualitative presets",
+        vec![
+            "Dataset".into(),
+            "preset (a,b,g,v)".into(),
+            "preset F1".into(),
+            "learned (a,b,g,v)".into(),
+            "learned F1".into(),
+        ],
+    );
+    for id in DatasetId::ALL {
+        let docs = dataset_docs(id, &cfg);
+        let (validation, test) = docs.split_at(docs.len() / 3);
+        let preset = build_pipeline(id, cfg.seed, Vs2Config::default());
+        let preset_w = preset.config.weights;
+        let (learned_w, _) = learn_weights(&preset, validation, WeightSearchConfig::default());
+        let mut learned = preset.clone();
+        learned.config.weights = learned_w;
+
+        let (pc, _) = phase2_scores(&Vs2Extractor { pipeline: preset }, test);
+        let (lc, _) = phase2_scores(&Vs2Extractor { pipeline: learned }, test);
+        let fmt = |w: Eq2Weights| format!("{:.2},{:.2},{:.2},{:.2}", w.alpha, w.beta, w.gamma, w.nu);
+        table.push_row(vec![
+            id.name().into(),
+            fmt(preset_w),
+            pct(pc.f1()),
+            fmt(learned_w),
+            pct(lc.f1()),
+        ]);
+        eprintln!("done {}", id.name());
+    }
+    table.push_note("weights grid-searched on a 1/3 validation split (simplex, 1/4 steps); F1 on the held-out 2/3");
+    println!("{}", table.render());
+    table.save("weights_sweep").expect("write results");
+}

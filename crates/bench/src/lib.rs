@@ -1,0 +1,16 @@
+//! # vs2-bench
+//!
+//! The benchmark harness of the VS2 reproduction: one binary per paper
+//! table/figure (`table5` … `table9`, `table3_4`, `fig3`, `fig6`), plus
+//! Criterion micro-benchmarks of the pipeline stages. [`harness`] holds
+//! the shared experiment machinery and the evaluation protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    build_pipeline, dataset_docs, pct, phase1_scores, phase2_scores, phase2_scores_for_entity,
+    weights_for, ResultTable, RunConfig, Vs2Extractor,
+};

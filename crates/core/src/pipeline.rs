@@ -1,0 +1,535 @@
+//! The end-to-end VS2 pipeline: segment → search → select (§5, Fig. 2).
+//!
+//! [`Vs2Pipeline`] owns the learned per-entity pattern inventory and the
+//! configuration of both phases. For each document it (1) decomposes the
+//! page into logical blocks with VS2-Segment, (2) searches every entity's
+//! lexico-syntactic patterns within each block's context boundary, and
+//! (3) resolves multiple matches with the multimodal disambiguation of
+//! Eq. 2 (or, for the §6.5 ablations, first-match / Lesk selection).
+
+use crate::segment::{logical_blocks, LogicalBlock, SegmentConfig};
+use crate::select::blocktext::BlockText;
+use crate::select::disambiguate::{
+    distance_to_nearest, AreaEncoding, Eq2Weights, PageScale,
+};
+use crate::select::interest::interest_points;
+use crate::select::learn::{learn_patterns, LearnConfig};
+use crate::select::pattern::{PatternMatch, SyntacticPattern};
+use std::collections::BTreeMap;
+use vs2_docmodel::{BBox, Document};
+use vs2_nlp::embedding::Embedder;
+use vs2_nlp::wsd::Lesk;
+use vs2_nlp::LexiconEmbedding;
+
+/// How conflicting matches are resolved — the §6.5 ablation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisambiguationMode {
+    /// Eq. 2 multimodal distance to the nearest interest point (VS2).
+    Multimodal,
+    /// No disambiguation: first match in reading order (ablation A3).
+    FirstMatch,
+    /// Text-only Lesk gloss overlap (ablation A4).
+    Lesk,
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Vs2Config {
+    /// VS2-Segment configuration (including its ablation switches).
+    pub segment: SegmentConfig,
+    /// Eq. 2 weights.
+    pub weights: Eq2Weights,
+    /// Conflict-resolution mode.
+    pub disambiguation: DisambiguationMode,
+    /// Pattern-learning knobs.
+    pub learn: LearnConfig,
+}
+
+impl Default for Vs2Config {
+    fn default() -> Self {
+        Self {
+            segment: SegmentConfig::default(),
+            weights: Eq2Weights::balanced(),
+            disambiguation: DisambiguationMode::Multimodal,
+            learn: LearnConfig::default(),
+        }
+    }
+}
+
+/// One extracted entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extraction {
+    /// Entity key.
+    pub entity: String,
+    /// Extracted text `t_i`.
+    pub text: String,
+    /// Bounding box of the logical block that localised the entity (the
+    /// §6.2 proposal).
+    pub block_bbox: BBox,
+    /// Bounding box of the matched tokens themselves.
+    pub span_bbox: BBox,
+    /// Selection score (lower is better for multimodal/first-match,
+    /// higher for Lesk; comparable only within one entity's candidates).
+    pub score: f64,
+}
+
+/// Distant-supervision profile of an entity: the embedding centroid and
+/// verbosity of its holdout texts. Used as additional textual descriptors
+/// when ranking candidates (§5.3.2's "visual and semantic descriptors").
+#[derive(Debug, Clone)]
+struct EntityProfile {
+    centroid: vs2_nlp::Vector,
+    mean_log_len: f64,
+}
+
+/// The VS2 extractor.
+#[derive(Debug, Clone)]
+pub struct Vs2Pipeline {
+    patterns: BTreeMap<String, Vec<SyntacticPattern>>,
+    glosses: Lesk,
+    profiles: BTreeMap<String, EntityProfile>,
+    /// Pipeline configuration (public for ablation sweeps).
+    pub config: Vs2Config,
+}
+
+impl Vs2Pipeline {
+    /// Learns patterns from holdout entries `(entity, text, context)` and
+    /// builds the pipeline. Contexts feed the Lesk glosses used by the
+    /// text-only disambiguation ablation.
+    pub fn learn<'a, I>(entries: I, config: Vs2Config) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, &'a str, &'a str)> + Clone,
+    {
+        let patterns = learn_patterns(
+            entries.clone().into_iter().map(|(e, t, _)| (e, t)),
+            &config.learn,
+        );
+        let mut glosses = Lesk::new();
+        let embedder = LexiconEmbedding;
+        let mut sums: BTreeMap<String, (vs2_nlp::Vector, f64, usize)> = BTreeMap::new();
+        for (entity, text, context) in entries {
+            glosses.add_gloss(entity, context.split_whitespace());
+            let v = embedder.embed_text(text.split_whitespace());
+            let n_words = text.split_whitespace().count().max(1);
+            let slot = sums
+                .entry(entity.to_string())
+                .or_insert(([0.0; vs2_nlp::DIM], 0.0, 0));
+            for (acc, x) in slot.0.iter_mut().zip(v.iter()) {
+                *acc += x;
+            }
+            slot.1 += (n_words as f64).ln();
+            slot.2 += 1;
+        }
+        let profiles = sums
+            .into_iter()
+            .map(|(entity, (mut vec, log_len, n))| {
+                let norm: f64 = vec.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if norm > 0.0 {
+                    for x in vec.iter_mut() {
+                        *x /= norm;
+                    }
+                }
+                (
+                    entity,
+                    EntityProfile {
+                        centroid: vec,
+                        mean_log_len: log_len / n as f64,
+                    },
+                )
+            })
+            .collect();
+        Self {
+            patterns,
+            glosses,
+            profiles,
+            config,
+        }
+    }
+
+    /// Builds a pipeline from an explicit pattern inventory (e.g. the
+    /// hand-written Table 3/4 sets).
+    pub fn with_patterns(
+        patterns: BTreeMap<String, Vec<SyntacticPattern>>,
+        config: Vs2Config,
+    ) -> Self {
+        Self {
+            patterns,
+            glosses: Lesk::new(),
+            profiles: BTreeMap::new(),
+            config,
+        }
+    }
+
+    /// The learned pattern inventory.
+    pub fn patterns(&self) -> &BTreeMap<String, Vec<SyntacticPattern>> {
+        &self.patterns
+    }
+
+    /// Entities the pipeline knows how to extract.
+    pub fn entities(&self) -> Vec<&str> {
+        self.patterns.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Segments the document and returns all candidates per entity,
+    /// ranked best-first. The first candidate per entity is the
+    /// pipeline's extraction.
+    pub fn candidates(&self, doc: &Document) -> BTreeMap<String, Vec<Extraction>> {
+        let blocks = logical_blocks(doc, &self.config.segment);
+        self.candidates_on_blocks(doc, &blocks)
+    }
+
+    /// Runs the search-and-select phase over an externally provided block
+    /// partition — the hook that plugs alternative segmentation
+    /// algorithms (the Table 5 baselines) into the same VS2-Select stage.
+    pub fn candidates_on_blocks(
+        &self,
+        doc: &Document,
+        blocks: &[LogicalBlock],
+    ) -> BTreeMap<String, Vec<Extraction>> {
+        let embedder = LexiconEmbedding;
+        let texts: Vec<BlockText> = blocks.iter().map(|b| BlockText::build(doc, b)).collect();
+
+        // Interest-point encodings for the multimodal mode.
+        let ip_idx = interest_points(doc, blocks, &embedder);
+        let encode_block = |b: &LogicalBlock, bt: &BlockText| AreaEncoding {
+            bbox: b.bbox,
+            embedding: embedder.embed_text(bt.ann.content_words()),
+            density: doc.word_density(&b.bbox),
+        };
+        let ip_enc: Vec<AreaEncoding> = ip_idx
+            .iter()
+            .map(|&i| encode_block(&blocks[i], &texts[i]))
+            .collect();
+        let page = PageScale {
+            width: doc.width,
+            height: doc.height,
+        };
+
+        let mut out: BTreeMap<String, Vec<Extraction>> = BTreeMap::new();
+        for (entity, patterns) in &self.patterns {
+            let mut cands: Vec<Extraction> = Vec::new();
+            for (bi, bt) in texts.iter().enumerate() {
+                if bt.is_empty() {
+                    continue;
+                }
+                // Best (longest) match across this entity's patterns,
+                // tracking the specificity of the most demanding pattern
+                // that fired in this block ("the most optimal matched
+                // pattern", §5.2).
+                let mut best: Option<(PatternMatch, bool)> = None;
+                let mut specificity = 0usize;
+                for p in patterns {
+                    let (exact, spec) = match p {
+                        SyntacticPattern::ExactPhrase(_) => (true, 4),
+                        SyntacticPattern::Window { required, .. } => {
+                            (false, required.len().min(4))
+                        }
+                    };
+                    for m in p.matches(bt) {
+                        specificity = specificity.max(spec);
+                        let better = match &best {
+                            None => true,
+                            Some((cur, _)) => (m.end - m.start) > (cur.end - cur.start),
+                        };
+                        if better {
+                            best = Some((m, exact));
+                        }
+                    }
+                }
+                let Some((m, exact)) = best else { continue };
+                let (text, span_bbox) = if exact {
+                    // D1 semantics: the descriptor locates the field; the
+                    // extraction is the value adjacent to it (bounded to a
+                    // handful of tokens so an under-segmented block does
+                    // not leak the whole page).
+                    let after_end = (m.end + 3).min(bt.len());
+                    let after = bt.span_text(m.end, after_end);
+                    let before_start = m.start.saturating_sub(3);
+                    let before = bt.span_text(before_start, m.start);
+                    if !after.trim().is_empty() {
+                        (after, bt.span_bbox(doc, m.end, after_end))
+                    } else if !before.trim().is_empty() {
+                        (before, bt.span_bbox(doc, before_start, m.start))
+                    } else {
+                        (bt.span_text(m.start, m.end), bt.span_bbox(doc, m.start, m.end))
+                    }
+                } else {
+                    (bt.span_text(m.start, m.end), bt.span_bbox(doc, m.start, m.end))
+                };
+                let score = match self.config.disambiguation {
+                    DisambiguationMode::Multimodal => {
+                        let enc = AreaEncoding {
+                            bbox: span_bbox,
+                            embedding: embedder
+                                .embed_text(text.split_whitespace()),
+                            density: doc.word_density(&blocks[bi].bbox),
+                        };
+                        // Specificity acts as a tie-break: a block where a
+                        // more demanding pattern fired is a better-typed
+                        // candidate at equal multimodal distance. The
+                        // entity's holdout profile contributes two further
+                        // textual descriptors: embedding affinity and
+                        // verbosity agreement.
+                        let mut score =
+                            distance_to_nearest(&enc, &ip_enc, &self.config.weights, &page)
+                                - 0.05 * specificity as f64;
+                        if let Some(profile) = self.profiles.get(entity) {
+                            let sim = vs2_nlp::cosine(&enc.embedding, &profile.centroid);
+                            score += 0.25 * (1.0 - sim.clamp(-1.0, 1.0)) / 2.0;
+                            let n_words = text.split_whitespace().count().max(1);
+                            let dlen = ((n_words as f64).ln() - profile.mean_log_len).abs();
+                            score += 0.25 * (dlen / 2.0).min(1.0);
+                        }
+                        // Holdout-context gloss overlap (the block's words
+                        // vs the entity's fixed-format contexts) — the
+                        // cue that separates "Phone …" from "Fax …".
+                        let ctx = bt.ann.content_words();
+                        score -= 0.15 * self.glosses.score(entity, ctx).min(1.0);
+                        score
+                    }
+                    DisambiguationMode::FirstMatch => {
+                        // Reading order: top-to-bottom, left-to-right.
+                        blocks[bi].bbox.y * 10_000.0 + blocks[bi].bbox.x
+                    }
+                    DisambiguationMode::Lesk => {
+                        let ctx = bt.ann.content_words();
+                        -self.glosses.score(entity, ctx)
+                    }
+                };
+                cands.push(Extraction {
+                    entity: entity.clone(),
+                    text,
+                    block_bbox: blocks[bi].bbox,
+                    span_bbox,
+                    score,
+                });
+            }
+            if cands.is_empty() {
+                continue;
+            }
+            cands.sort_by(|a, b| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            out.insert(entity.clone(), cands);
+        }
+        out
+    }
+
+    /// Extracts the best candidate per entity over externally provided
+    /// blocks.
+    pub fn extract_on_blocks(&self, doc: &Document, blocks: &[LogicalBlock]) -> Vec<Extraction> {
+        assign(self.candidates_on_blocks(doc, blocks))
+    }
+
+    /// Extracts the best candidate per entity.
+    pub fn extract(&self, doc: &Document) -> Vec<Extraction> {
+        assign(self.candidates(doc))
+    }
+}
+
+/// Greedy joint assignment of candidates to entities: the globally
+/// best-scoring (entity, candidate) pairs claim their blocks one-to-one,
+/// so two entities never extract from the same logical block while an
+/// alternative exists. Entities whose candidates are all claimed fall
+/// back to their best candidate.
+fn assign(candidates: BTreeMap<String, Vec<Extraction>>) -> Vec<Extraction> {
+    let block_key = |e: &Extraction| -> (i64, i64, i64, i64) {
+        (
+            (e.block_bbox.x * 8.0) as i64,
+            (e.block_bbox.y * 8.0) as i64,
+            (e.block_bbox.w * 8.0) as i64,
+            (e.block_bbox.h * 8.0) as i64,
+        )
+    };
+    let mut claimed: std::collections::BTreeSet<(i64, i64, i64, i64)> =
+        std::collections::BTreeSet::new();
+    let mut unassigned: Vec<&String> = candidates.keys().collect();
+    let mut chosen: BTreeMap<String, Extraction> = BTreeMap::new();
+
+    // Regret-based greedy: at each round, the entity that would lose the
+    // most by not getting its current best unclaimed candidate (the gap
+    // to its second choice) assigns first.
+    while !unassigned.is_empty() {
+        let mut best_pick: Option<(f64, usize, &Extraction)> = None; // (regret, pos, cand)
+        for (pos, entity) in unassigned.iter().enumerate() {
+            let mut free = candidates[*entity]
+                .iter()
+                .filter(|c| !claimed.contains(&block_key(c)));
+            let Some(first) = free.next() else { continue };
+            let regret = free
+                .next()
+                .map(|second| second.score - first.score)
+                .unwrap_or(f64::INFINITY);
+            let better = match &best_pick {
+                None => true,
+                Some((r, _, _)) => regret > *r,
+            };
+            if better {
+                best_pick = Some((regret, pos, first));
+            }
+        }
+        match best_pick {
+            Some((_, pos, cand)) => {
+                claimed.insert(block_key(cand));
+                let entity = unassigned.remove(pos);
+                chosen.insert(entity.clone(), cand.clone());
+            }
+            None => break, // remaining entities have no free candidates
+        }
+    }
+    // Fallback: an entity whose candidates were all claimed still emits
+    // its best candidate.
+    for (entity, cands) in &candidates {
+        if !chosen.contains_key(entity) {
+            if let Some(best) = cands.first() {
+                chosen.insert(entity.clone(), best.clone());
+            }
+        }
+    }
+    chosen.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::pattern::Feature;
+    use vs2_docmodel::TextElement;
+    use vs2_nlp::ner::NerTag;
+
+    /// A toy two-block document: a salient title + organiser block at the
+    /// top, and a low-salience sponsor credit at the bottom — both match
+    /// a person-pattern; disambiguation must pick the top one.
+    fn poster() -> Document {
+        let mut d = Document::new("pipe", 400.0, 400.0);
+        // Title (interest point): big font.
+        for (i, w) in ["Grand", "Jazz", "Festival"].iter().enumerate() {
+            d.push_text(TextElement::word(
+                *w,
+                BBox::new(40.0 + 110.0 * i as f64, 20.0, 100.0, 34.0),
+            ));
+        }
+        // Organizer line just below the title.
+        for (i, w) in ["Hosted", "by", "James", "Wilson"].iter().enumerate() {
+            d.push_text(TextElement::word(
+                *w,
+                BBox::new(60.0 + 70.0 * i as f64, 80.0, 60.0, 13.0),
+            ));
+        }
+        // Sponsor credit far below, small font.
+        for (i, w) in ["Sponsored", "by", "Mary", "Davis"].iter().enumerate() {
+            d.push_text(TextElement::word(
+                *w,
+                BBox::new(60.0 + 55.0 * i as f64, 370.0, 50.0, 8.0),
+            ));
+        }
+        d
+    }
+
+    fn organizer_patterns() -> BTreeMap<String, Vec<SyntacticPattern>> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "event_organizer".to_string(),
+            vec![SyntacticPattern::Window {
+                kind: None,
+                required: vec![Feature::ner(NerTag::Person)],
+            }],
+        );
+        m
+    }
+
+    #[test]
+    fn multimodal_disambiguation_prefers_salient_candidate() {
+        let doc = poster();
+        let pipeline = Vs2Pipeline::with_patterns(organizer_patterns(), Vs2Config::default());
+        let cands = pipeline.candidates(&doc);
+        let organizer = &cands["event_organizer"];
+        assert!(organizer.len() >= 2, "need both candidates: {organizer:?}");
+        // The winner is the one near the title (y ≈ 80), not the footer.
+        assert!(
+            organizer[0].block_bbox.y < 200.0,
+            "picked footer: {organizer:?}"
+        );
+        assert!(organizer[0].text.contains("James"));
+    }
+
+    #[test]
+    fn first_match_mode_picks_reading_order() {
+        let doc = poster();
+        let cfg = Vs2Config {
+            disambiguation: DisambiguationMode::FirstMatch,
+            ..Vs2Config::default()
+        };
+        let pipeline = Vs2Pipeline::with_patterns(organizer_patterns(), cfg);
+        let ex = pipeline.extract(&doc);
+        let organizer = ex.iter().find(|e| e.entity == "event_organizer").unwrap();
+        assert!(organizer.block_bbox.y < 200.0);
+    }
+
+    #[test]
+    fn exact_phrase_extracts_the_value() {
+        let mut d = Document::new("form", 300.0, 60.0);
+        for (i, w) in ["Total", "wages", "amount", "12,345.00"].iter().enumerate() {
+            d.push_text(TextElement::word(
+                *w,
+                BBox::new(10.0 + 60.0 * i as f64, 10.0, 55.0, 10.0),
+            ));
+        }
+        let mut patterns = BTreeMap::new();
+        patterns.insert(
+            "field_x".to_string(),
+            vec![SyntacticPattern::ExactPhrase("total wages amount".into())],
+        );
+        let pipeline = Vs2Pipeline::with_patterns(patterns, Vs2Config::default());
+        let ex = pipeline.extract(&d);
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].text, "12,345.00");
+    }
+
+    #[test]
+    fn learned_pipeline_end_to_end() {
+        let entries: Vec<(&str, &str, &str)> = vec![
+            ("who", "James Wilson", "hosted by James Wilson"),
+            ("who", "Mary Davis", "hosted by Mary Davis"),
+            ("who", "Robert Brown", "organized by Robert Brown"),
+            ("who", "Linda Garcia", "presented by Linda Garcia"),
+        ];
+        let pipeline = Vs2Pipeline::learn(entries, Vs2Config::default());
+        assert!(!pipeline.patterns()["who"].is_empty());
+        let doc = poster();
+        let ex = pipeline.extract(&doc);
+        let who = ex.iter().find(|e| e.entity == "who");
+        assert!(who.is_some(), "{ex:?}");
+    }
+
+    #[test]
+    fn lesk_mode_uses_glosses() {
+        // Note: none of the corpus names besides "James Wilson" appear on
+        // the poster — the gloss must favour the hosted-by block through
+        // its context words, not through a name collision.
+        let entries: Vec<(&str, &str, &str)> = vec![
+            ("who", "James Wilson", "hosted by James Wilson tonight"),
+            ("who", "Robert Brown", "hosted by Robert Brown tonight"),
+            ("who", "Linda Garcia", "hosted by Linda Garcia tonight"),
+        ];
+        let cfg = Vs2Config {
+            disambiguation: DisambiguationMode::Lesk,
+            ..Vs2Config::default()
+        };
+        let pipeline = Vs2Pipeline::learn(entries, cfg);
+        let doc = poster();
+        let ex = pipeline.extract(&doc);
+        // "Hosted" appears in the gloss, so the hosted-by block wins over
+        // the sponsored-by block.
+        let who = ex.iter().find(|e| e.entity == "who").unwrap();
+        assert!(who.text.contains("James"), "{who:?}");
+    }
+
+    #[test]
+    fn no_patterns_no_extractions() {
+        let pipeline = Vs2Pipeline::with_patterns(BTreeMap::new(), Vs2Config::default());
+        assert!(pipeline.extract(&poster()).is_empty());
+        assert!(pipeline.entities().is_empty());
+    }
+}

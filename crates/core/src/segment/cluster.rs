@@ -1,0 +1,421 @@
+//! Visual clustering of atomic elements (§5.1.2, Table 1).
+//!
+//! When no explicit visual delimiter is found inside an area, VS2-Segment
+//! groups the atomic elements by pairwise similarity of low-level visual
+//! features — the implicit modifiers (proximity, alignment, negative
+//! space) that whitespace cuts cannot see. Table 1's features are used:
+//! centroid position, bounding-box height, average Lab colour, angular
+//! distance of the centroid from the origin, and the (pairwise) sum of
+//! angular distances. The process is seeded from a 2×2 grid over the
+//! area (the medoid of each occupied cell) and elements are iteratively
+//! reassigned to their nearest cluster until a fixed point.
+
+use vs2_docmodel::{BBox, Document, ElementRef, Lab, Point};
+
+/// The Table 1 feature encoding of one atomic element, normalised to the
+/// enclosing area.
+#[derive(Debug, Clone, Copy)]
+pub struct VisualFeatures {
+    /// Centroid, normalised to the area (`[0,1]²`).
+    pub centroid: Point,
+    /// Bounding-box height, normalised by the tallest element.
+    pub height: f64,
+    /// Average colour.
+    pub color: Lab,
+    /// Angular distance of the centroid from the area origin, in
+    /// `[0, π/2]`, normalised to `[0, 1]`.
+    pub angular: f64,
+}
+
+/// Relative weights of the feature groups in the pairwise distance.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Weight of centroid proximity.
+    pub w_position: f64,
+    /// Weight of height (font-size) difference.
+    pub w_height: f64,
+    /// Weight of colour difference (ΔE, scaled by 1/100).
+    pub w_color: f64,
+    /// Weight of angular-distance difference.
+    pub w_angular: f64,
+    /// Weight of the pairwise sum-of-angular-distances feature.
+    pub w_sum_angular: f64,
+    /// Maximum reassignment sweeps.
+    pub max_iters: usize,
+    /// Two clusters collapse when their average inter-cluster distance is
+    /// below this multiple of the larger intra-cluster spread — the guard
+    /// that keeps a visually homogeneous area in one cluster instead of
+    /// four grid shards.
+    pub collapse_factor: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            w_position: 1.0,
+            w_height: 0.6,
+            w_color: 0.4,
+            w_angular: 0.15,
+            w_sum_angular: 0.05,
+            max_iters: 12,
+            collapse_factor: 1.6,
+        }
+    }
+}
+
+fn features_of(doc: &Document, area: &BBox, r: ElementRef, max_h: f64) -> VisualFeatures {
+    let b = doc.bbox_of(r);
+    let c = b.centroid();
+    let color = match r {
+        ElementRef::Text(i) => doc.texts[i].color,
+        ElementRef::Image(i) => doc.images[i].avg_color,
+    };
+    let local = Point::new(
+        ((c.x - area.x) / area.w.max(1e-9)).clamp(0.0, 1.0),
+        ((c.y - area.y) / area.h.max(1e-9)).clamp(0.0, 1.0),
+    );
+    VisualFeatures {
+        centroid: local,
+        height: b.h / max_h.max(1e-9),
+        color,
+        angular: local.angular_distance() / std::f64::consts::FRAC_PI_2,
+    }
+}
+
+/// Pairwise distance in the Table 1 feature space.
+pub fn feature_distance(a: &VisualFeatures, b: &VisualFeatures, cfg: &ClusterConfig) -> f64 {
+    let dpos = a.centroid.distance(&b.centroid);
+    let dh = (a.height - b.height).abs();
+    let dc = a.color.delta_e(&b.color) / 100.0;
+    let da = (a.angular - b.angular).abs();
+    let sa = a.angular + b.angular; // sum of angular distances (Table 1)
+    cfg.w_position * dpos
+        + cfg.w_height * dh
+        + cfg.w_color * dc
+        + cfg.w_angular * da
+        + cfg.w_sum_angular * sa
+}
+
+/// Clusters the elements of an area. Returns a partition (each part
+/// non-empty); a single part means "no split found".
+pub fn cluster(
+    doc: &Document,
+    area: &BBox,
+    elements: &[ElementRef],
+    cfg: &ClusterConfig,
+) -> Vec<Vec<ElementRef>> {
+    // Images are atomic visual units: each forms its own part, and only
+    // the text elements participate in feature clustering (merging text
+    // into an image's cluster by mere proximity would glue banners to
+    // titles).
+    let images: Vec<ElementRef> = elements.iter().copied().filter(|r| !r.is_text()).collect();
+    let texts: Vec<ElementRef> = elements.iter().copied().filter(|r| r.is_text()).collect();
+    if !images.is_empty() {
+        let mut parts: Vec<Vec<ElementRef>> =
+            images.into_iter().map(|r| vec![r]).collect();
+        if !texts.is_empty() {
+            parts.extend(cluster(doc, area, &texts, cfg));
+        }
+        return parts;
+    }
+    let elements = &texts[..];
+    let n = elements.len();
+    if n < 2 {
+        return vec![elements.to_vec()];
+    }
+    let max_h = elements
+        .iter()
+        .map(|r| doc.bbox_of(*r).h)
+        .fold(0.0, f64::max);
+    let feats: Vec<VisualFeatures> = elements
+        .iter()
+        .map(|r| features_of(doc, area, *r, max_h))
+        .collect();
+
+    // 2×2 grid seeding: the medoid of each occupied quadrant.
+    let mut seeds: Vec<usize> = Vec::new();
+    for qy in 0..2 {
+        for qx in 0..2 {
+            let members: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    let c = feats[i].centroid;
+                    (c.x >= qx as f64 * 0.5 && c.x < (qx + 1) as f64 * 0.5 || (qx == 1 && c.x == 1.0))
+                        && (c.y >= qy as f64 * 0.5 && c.y < (qy + 1) as f64 * 0.5
+                            || (qy == 1 && c.y == 1.0))
+                })
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            // Medoid: minimum average distance to the rest of the cell.
+            let medoid = *members
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let da: f64 = members
+                        .iter()
+                        .map(|&m| feature_distance(&feats[a], &feats[m], cfg))
+                        .sum();
+                    let db: f64 = members
+                        .iter()
+                        .map(|&m| feature_distance(&feats[b], &feats[m], cfg))
+                        .sum();
+                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap();
+            seeds.push(medoid);
+        }
+    }
+    if seeds.len() < 2 {
+        return vec![elements.to_vec()];
+    }
+
+    // Iterative reassignment to the nearest cluster (by average distance
+    // to members) until stable.
+    let mut assign: Vec<usize> = (0..n)
+        .map(|i| {
+            seeds
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    feature_distance(&feats[i], &feats[a], cfg)
+                        .partial_cmp(&feature_distance(&feats[i], &feats[b], cfg))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(k, _)| k)
+                .unwrap()
+        })
+        .collect();
+
+    for _ in 0..cfg.max_iters {
+        let mut changed = false;
+        for i in 0..n {
+            let mut best = assign[i];
+            let mut best_d = f64::INFINITY;
+            for k in 0..seeds.len() {
+                let members: Vec<usize> =
+                    (0..n).filter(|&j| assign[j] == k && j != i).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let d: f64 = members
+                    .iter()
+                    .map(|&m| feature_distance(&feats[i], &feats[m], cfg))
+                    .sum::<f64>()
+                    / members.len() as f64;
+                if d < best_d {
+                    best_d = d;
+                    best = k;
+                }
+            }
+            if best != assign[i] {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); seeds.len()];
+    for (i, &k) in assign.iter().enumerate() {
+        parts[k].push(i);
+    }
+    parts.retain(|p| !p.is_empty());
+
+    // Collapse clusters that are not meaningfully separated: a visually
+    // homogeneous area must stay one block, not four grid shards. Average
+    // intra-cluster spread vs average inter-cluster (linkage) distance.
+    let intra = |p: &[usize]| -> f64 {
+        if p.len() < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (ai, &a) in p.iter().enumerate() {
+            for &b in &p[ai + 1..] {
+                sum += feature_distance(&feats[a], &feats[b], cfg);
+                n += 1;
+            }
+        }
+        sum / n as f64
+    };
+    let inter = |p: &[usize], q: &[usize]| -> f64 {
+        let mut sum = 0.0;
+        for &a in p {
+            for &b in q {
+                sum += feature_distance(&feats[a], &feats[b], cfg);
+            }
+        }
+        sum / (p.len() * q.len()) as f64
+    };
+    // Spatial adjacency: two clusters whose bounding boxes (nearly) touch
+    // are not visually separated, whatever the feature ratio says — a
+    // continuous line of text must never shatter by position alone.
+    let part_bbox = |p: &[usize]| -> BBox {
+        BBox::enclosing(
+            p.iter()
+                .map(|&i| doc.bbox_of(elements[i]))
+                .collect::<Vec<_>>()
+                .iter(),
+        )
+        .unwrap_or_default()
+    };
+    // The font scale of a cluster pair for the adjacency test: each
+    // cluster's tallest *text* element (an image's extent is not a font
+    // size), combined by MIN — a gap next to a headline still reads
+    // against the smaller neighbouring text, and a huge font must not
+    // swallow its neighbours.
+    let cluster_font = |p: &[usize]| -> f64 {
+        let text_max = p
+            .iter()
+            .filter(|&&i| elements[i].is_text())
+            .map(|&i| doc.bbox_of(elements[i]).h)
+            .fold(0.0, f64::max);
+        if text_max > 0.0 {
+            text_max
+        } else {
+            p.iter()
+                .map(|&i| doc.bbox_of(elements[i]).h)
+                .fold(0.0, f64::max)
+        }
+    };
+    let pair_font = |p: &[usize], q: &[usize]| -> f64 {
+        cluster_font(p).min(cluster_font(q))
+    };
+    loop {
+        let mut best: Option<(usize, usize)> = None;
+        let mut best_ratio = cfg.collapse_factor;
+        for i in 0..parts.len() {
+            for j in i + 1..parts.len() {
+                let spread = intra(&parts[i]).max(intra(&parts[j])).max(1e-3);
+                let mut ratio = inter(&parts[i], &parts[j]) / spread;
+                let gap = part_bbox(&parts[i]).distance(&part_bbox(&parts[j]));
+                let font = pair_font(&parts[i], &parts[j]).max(1e-9);
+                let has_text =
+                    |p: &[usize]| p.iter().any(|&k| elements[k].is_text());
+                let (ti, tj) = (has_text(&parts[i]), has_text(&parts[j]));
+                if ti != tj {
+                    // An image is its own visual unit; it never joins a
+                    // text cluster, however close or similar.
+                    continue;
+                }
+                if gap / font < 0.7 && ti && tj {
+                    ratio = 0.0; // adjacent — always collapse
+                }
+                if ratio < best_ratio {
+                    best_ratio = ratio;
+                    best = Some((i, j));
+                }
+            }
+        }
+        match best {
+            Some((i, j)) => {
+                let merged = parts.remove(j);
+                parts[i].extend(merged);
+            }
+            None => break,
+        }
+    }
+
+    parts
+        .into_iter()
+        .map(|p| p.into_iter().map(|i| elements[i]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_docmodel::TextElement;
+
+    fn doc_with(words: &[(&str, f64, f64, f64)]) -> (Document, Vec<ElementRef>) {
+        let mut d = Document::new("c", 100.0, 100.0);
+        let mut refs = Vec::new();
+        for (w, x, y, h) in words {
+            refs.push(d.push_text(TextElement::word(*w, BBox::new(*x, *y, 20.0, *h))));
+        }
+        (d, refs)
+    }
+
+    #[test]
+    fn spatially_separate_corners_split() {
+        let (doc, refs) = doc_with(&[
+            ("a", 5.0, 5.0, 10.0),
+            ("b", 10.0, 8.0, 10.0),
+            ("c", 80.0, 85.0, 10.0),
+            ("d", 85.0, 80.0, 10.0),
+        ]);
+        let parts = cluster(&doc, &doc.page_bbox(), &refs, &ClusterConfig::default());
+        assert_eq!(parts.len(), 2, "{parts:?}");
+        assert_eq!(parts[0].len() + parts[1].len(), 4);
+    }
+
+    #[test]
+    fn single_element_is_one_cluster() {
+        let (doc, refs) = doc_with(&[("a", 5.0, 5.0, 10.0)]);
+        let parts = cluster(&doc, &doc.page_bbox(), &refs, &ClusterConfig::default());
+        assert_eq!(parts.len(), 1);
+    }
+
+    #[test]
+    fn tight_cluster_stays_together() {
+        let (doc, refs) = doc_with(&[
+            ("a", 40.0, 40.0, 10.0),
+            ("b", 45.0, 41.0, 10.0),
+            ("c", 50.0, 42.0, 10.0),
+        ]);
+        let parts = cluster(&doc, &doc.page_bbox(), &refs, &ClusterConfig::default());
+        // All in one quadrant-ish area — the partition must not scatter
+        // them into three singletons.
+        assert!(parts.len() <= 2, "{parts:?}");
+        let largest = parts.iter().map(|p| p.len()).max().unwrap();
+        assert!(largest >= 2);
+    }
+
+    #[test]
+    fn font_size_contrast_contributes() {
+        let cfg = ClusterConfig::default();
+        let a = VisualFeatures {
+            centroid: Point::new(0.5, 0.5),
+            height: 1.0,
+            color: Lab::default(),
+            angular: 0.5,
+        };
+        let mut b = a;
+        b.height = 0.2;
+        assert!(feature_distance(&a, &b, &cfg) > 0.0);
+        assert_eq!(feature_distance(&a, &a, &cfg), cfg.w_sum_angular * 1.0);
+    }
+
+    #[test]
+    fn partition_preserves_all_elements() {
+        let (doc, refs) = doc_with(&[
+            ("a", 5.0, 5.0, 8.0),
+            ("b", 90.0, 5.0, 24.0),
+            ("c", 5.0, 90.0, 8.0),
+            ("d", 90.0, 90.0, 24.0),
+            ("e", 50.0, 50.0, 12.0),
+        ]);
+        let parts = cluster(&doc, &doc.page_bbox(), &refs, &ClusterConfig::default());
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, refs.len());
+        let mut seen: Vec<ElementRef> = parts.concat();
+        seen.sort();
+        let mut expected = refs.clone();
+        expected.sort();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (doc, refs) = doc_with(&[
+            ("a", 5.0, 5.0, 10.0),
+            ("b", 80.0, 80.0, 10.0),
+            ("c", 20.0, 15.0, 10.0),
+        ]);
+        let p1 = cluster(&doc, &doc.page_bbox(), &refs, &ClusterConfig::default());
+        let p2 = cluster(&doc, &doc.page_bbox(), &refs, &ClusterConfig::default());
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,307 @@
+//! Whitespace movements and cuts (§5.1.1 of the paper).
+//!
+//! A *whitespace position* is a grid cell covered by no element bounding
+//! box. A *valid 1-hop horizontal movement* from `(x, y)` advances to
+//! `(x+1, y)`, `(x+1, y−1)` or `(x+1, y+1)` provided the target is
+//! whitespace; vertical movements are symmetric. A **horizontal cut**
+//! originates at `(0, y)` when a valid `W`-hop horizontal movement exists
+//! from it — i.e. a whitespace path with ±1 drift spans the full width.
+//! Runs of consecutive cut origins form the candidate visual separators
+//! that Algorithm 1 classifies.
+//!
+//! The implementation is a bitset frontier sweep: for each origin, the
+//! set of rows reachable at column `x` is a bitset; one column transition
+//! is `(S | S≪1 | S≫1) & whitespace(x)`.
+
+use vs2_docmodel::OccupancyGrid;
+
+/// A maximal run of consecutive valid cuts (a candidate separator strip).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutRun {
+    /// `true` for horizontal cuts (a horizontal strip separating content
+    /// above from below); `false` for vertical.
+    pub horizontal: bool,
+    /// First cut origin (row index for horizontal, column for vertical).
+    pub start: usize,
+    /// Number of consecutive origins in the run (its cardinality `|s|`).
+    pub len: usize,
+}
+
+impl CutRun {
+    /// Centre origin of the run.
+    pub fn center(&self) -> f64 {
+        self.start as f64 + self.len as f64 / 2.0
+    }
+
+    /// One past the last origin.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// A dense bitset over `n` positions.
+#[derive(Clone)]
+struct Bits {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl Bits {
+    fn zero(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(64)],
+            n,
+        }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// `self ∩ mask` — a non-drifting transition.
+    fn mask_only(&self, mask: &Bits) -> Bits {
+        let mut out = Bits::zero(self.n);
+        for (i, w) in self.words.iter().enumerate() {
+            out.words[i] = w & mask.words[i];
+        }
+        out
+    }
+
+    /// `self ∪ (self ≪ 1) ∪ (self ≫ 1)`, then mask to `other` — one
+    /// column/row transition of the frontier sweep.
+    fn drift_and_mask(&self, mask: &Bits) -> Bits {
+        let mut out = Bits::zero(self.n);
+        let k = self.words.len();
+        for i in 0..k {
+            let w = self.words[i];
+            let mut v = w | (w << 1) | (w >> 1);
+            if i > 0 {
+                v |= self.words[i - 1] >> 63;
+            }
+            if i + 1 < k {
+                v |= self.words[i + 1] << 63;
+            }
+            out.words[i] = v & mask.words[i];
+        }
+        // Clear any bits past n.
+        let excess = k * 64 - self.n;
+        if excess > 0 && k > 0 {
+            out.words[k - 1] &= u64::MAX >> excess;
+        }
+        out
+    }
+}
+
+/// Whitespace bitset of one column (over rows) or one row (over columns).
+fn line_mask(grid: &OccupancyGrid, index: usize, column: bool) -> Bits {
+    if column {
+        let mut b = Bits::zero(grid.rows());
+        for r in 0..grid.rows() {
+            if grid.is_whitespace(index, r) {
+                b.set(r);
+            }
+        }
+        b
+    } else {
+        let mut b = Bits::zero(grid.cols());
+        for c in 0..grid.cols() {
+            if grid.is_whitespace(c, index) {
+                b.set(c);
+            }
+        }
+        b
+    }
+}
+
+/// How often the ±1 drift of a valid movement may be exercised: once
+/// every `DRIFT_PERIOD` hops. The paper's literal definition allows a
+/// drift on *every* hop — a 45° slope at raster resolution — which lets a
+/// "cut" zigzag through the inter-word gaps of a fully occupied text
+/// line. Rate-limiting the drift to one step per three hops (≈ 18°)
+/// keeps the intended tolerance to skew and offset blocks while making
+/// a run of words an actual obstacle. See DESIGN.md.
+pub const DRIFT_PERIOD: usize = 3;
+
+fn sweep(masks: &[Bits], n_positions: usize, origin_mask: &Bits) -> Vec<usize> {
+    let mut out = Vec::new();
+    for p0 in 0..n_positions {
+        if !origin_mask.get(p0) {
+            continue;
+        }
+        let mut frontier = Bits::zero(n_positions);
+        frontier.set(p0);
+        let mut alive = true;
+        for (step, mask) in masks.iter().enumerate().skip(1) {
+            frontier = if step % DRIFT_PERIOD == 0 {
+                frontier.drift_and_mask(mask)
+            } else {
+                frontier.mask_only(mask)
+            };
+            if frontier.is_empty() {
+                alive = false;
+                break;
+            }
+        }
+        if alive {
+            out.push(p0);
+        }
+    }
+    out
+}
+
+/// Rows `y` such that a horizontal cut originates from `(0, y)`: a valid
+/// `W`-hop horizontal movement (with rate-limited drift) spans the area.
+pub fn horizontal_cuts(grid: &OccupancyGrid) -> Vec<usize> {
+    let (cols, rows) = (grid.cols(), grid.rows());
+    if cols == 0 || rows == 0 {
+        return Vec::new();
+    }
+    let masks: Vec<Bits> = (0..cols).map(|c| line_mask(grid, c, true)).collect();
+    sweep(&masks, rows, &masks[0])
+}
+
+/// Columns `x` such that a vertical cut originates from `(x, 0)`.
+pub fn vertical_cuts(grid: &OccupancyGrid) -> Vec<usize> {
+    let (cols, rows) = (grid.cols(), grid.rows());
+    if cols == 0 || rows == 0 {
+        return Vec::new();
+    }
+    let masks: Vec<Bits> = (0..rows).map(|r| line_mask(grid, r, false)).collect();
+    sweep(&masks, cols, &masks[0])
+}
+
+/// Groups sorted cut origins into maximal consecutive runs.
+pub fn cut_runs(origins: &[usize], horizontal: bool) -> Vec<CutRun> {
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < origins.len() {
+        let start = origins[i];
+        let mut len = 1;
+        while i + 1 < origins.len() && origins[i + 1] == origins[i] + 1 {
+            i += 1;
+            len += 1;
+        }
+        runs.push(CutRun {
+            horizontal,
+            start,
+            len,
+        });
+        i += 1;
+    }
+    runs
+}
+
+/// Convenience: both kinds of runs for a grid.
+pub fn all_runs(grid: &OccupancyGrid) -> Vec<CutRun> {
+    let mut runs = cut_runs(&horizontal_cuts(grid), true);
+    runs.extend(cut_runs(&vertical_cuts(grid), false));
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_docmodel::BBox;
+
+    fn grid(boxes: &[BBox]) -> OccupancyGrid {
+        OccupancyGrid::rasterize(&BBox::new(0.0, 0.0, 40.0, 40.0), boxes, 1.0)
+    }
+
+    #[test]
+    fn empty_area_is_all_cuts() {
+        let g = grid(&[]);
+        assert_eq!(horizontal_cuts(&g).len(), 40);
+        assert_eq!(vertical_cuts(&g).len(), 40);
+    }
+
+    #[test]
+    fn full_width_band_blocks_horizontal_cuts_through_it() {
+        // A band occupying rows 10..20 across the full width.
+        let g = grid(&[BBox::new(0.0, 10.0, 40.0, 10.0)]);
+        let cuts = horizontal_cuts(&g);
+        assert!(cuts.contains(&5));
+        assert!(cuts.contains(&25));
+        for y in 10..20 {
+            assert!(!cuts.contains(&y), "row {y} should be blocked");
+        }
+        // Vertical cuts are blocked everywhere (the band spans all columns).
+        assert!(vertical_cuts(&g).is_empty());
+    }
+
+    #[test]
+    fn drift_navigates_around_offset_obstacles() {
+        // Two boxes with a one-row vertical offset leave a drifting path:
+        // left box occupies rows 10..20 in cols 0..18, right box rows
+        // 12..22 in cols 22..40. A path from row 21 can drift up… row 21
+        // is blocked at right box (12..22). Row 9 is free on the left,
+        // blocked? right box starts at row 12 — row 9..11 free on the
+        // right. A cut from row 21 must drift to rows ≥ 22 on the right.
+        let g = grid(&[
+            BBox::new(0.0, 10.0, 18.0, 10.0),
+            BBox::new(22.0, 12.0, 18.0, 10.0),
+        ]);
+        let cuts = horizontal_cuts(&g);
+        // Row 21: free of the left box (ends at 20), blocked on the right
+        // (12..22) but only needs to drift one row down by column 22.
+        assert!(cuts.contains(&21), "cuts: {cuts:?}");
+        // Row 11: blocked on the left (10..20); no cut can originate there.
+        assert!(!cuts.contains(&11));
+    }
+
+    #[test]
+    fn vertical_gap_between_columns_is_a_vertical_cut() {
+        // Two columns of text with a gap at cols 18..22.
+        let g = grid(&[
+            BBox::new(0.0, 0.0, 18.0, 40.0),
+            BBox::new(22.0, 0.0, 18.0, 40.0),
+        ]);
+        let cuts = vertical_cuts(&g);
+        assert_eq!(cuts, vec![18, 19, 20, 21]);
+    }
+
+    #[test]
+    fn runs_group_consecutive_origins() {
+        let runs = cut_runs(&[3, 4, 5, 9, 10, 20], true);
+        assert_eq!(
+            runs,
+            vec![
+                CutRun { horizontal: true, start: 3, len: 3 },
+                CutRun { horizontal: true, start: 9, len: 2 },
+                CutRun { horizontal: true, start: 20, len: 1 },
+            ]
+        );
+        assert_eq!(runs[0].center(), 4.5);
+        assert_eq!(runs[0].end(), 6);
+    }
+
+    #[test]
+    fn all_runs_combines_directions() {
+        let g = grid(&[BBox::new(0.0, 10.0, 40.0, 10.0)]);
+        let runs = all_runs(&g);
+        assert!(runs.iter().all(|r| r.horizontal));
+        assert_eq!(runs.len(), 2, "{runs:?}"); // above and below the band
+    }
+
+    #[test]
+    fn empty_grid_dimensions() {
+        let g = OccupancyGrid::rasterize(&BBox::new(0.0, 0.0, 0.0, 0.0), &[], 1.0);
+        assert!(horizontal_cuts(&g).is_empty());
+        assert!(vertical_cuts(&g).is_empty());
+    }
+
+    #[test]
+    fn bitset_boundary_rows_work() {
+        // Obstacle leaving only the very last row free.
+        let g = grid(&[BBox::new(0.0, 0.0, 40.0, 39.0)]);
+        let cuts = horizontal_cuts(&g);
+        assert_eq!(cuts, vec![39]);
+    }
+}

@@ -1,0 +1,367 @@
+//! Visual-delimiter identification — Algorithm 1 of the paper.
+//!
+//! Given the candidate separator strips (runs of consecutive valid cuts)
+//! inside a visual area, decide which strips are *visual delimiters*
+//! between semantically diverse areas and which are ordinary intra-block
+//! spacing (line leading, word gaps).
+//!
+//! The paper's Algorithm 1 rests on two assumptions: (a) the distribution
+//! of inter-area separation differs from intra-area separation, and (b)
+//! font size is uniform within a coherent area. Each run's width is
+//! normalised by the height of its *neighbouring bounding box* (the
+//! element at minimum distance from the strip), the runs are ranked by
+//! normalised width, and the first inflection point of the ranked
+//! distribution splits delimiters from spacing. The Pearson correlation
+//! between run widths and neighbour heights is computed as the
+//! diagnostic the algorithm scans (lines 8–11); an explicit minimum
+//! width ratio guards degenerate distributions. Interpretation choices
+//! are documented in DESIGN.md.
+
+use crate::segment::cuts::CutRun;
+use vs2_docmodel::{BBox, OccupancyGrid};
+
+/// A separator strip with its Algorithm-1 statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoredRun {
+    /// The underlying run of consecutive valid cuts.
+    pub run: CutRun,
+    /// Strip extent in document units (`|s| ×` cell size).
+    pub gap: f64,
+    /// Height of the nearest neighbouring element bounding box.
+    pub neighbor_height: f64,
+    /// `gap / neighbor_height` — the normalised width of Algorithm 1.
+    pub width: f64,
+}
+
+/// Tuning knobs for delimiter selection.
+#[derive(Debug, Clone, Copy)]
+pub struct DelimiterConfig {
+    /// Runs narrower than this ratio of neighbouring text height are never
+    /// delimiters (ordinary leading is ≈ 0.35 of the font size).
+    pub min_width_ratio: f64,
+    /// Runs at least this ratio are always delimiters.
+    pub strong_width_ratio: f64,
+    /// Minimum relative drop between ranked widths to accept an inflection.
+    pub min_drop: f64,
+}
+
+impl Default for DelimiterConfig {
+    fn default() -> Self {
+        Self {
+            min_width_ratio: 0.7,
+            strong_width_ratio: 1.4,
+            min_drop: 1.35,
+        }
+    }
+}
+
+/// The bounding box of the strip a run occupies, in document coordinates.
+pub fn run_strip(run: &CutRun, grid: &OccupancyGrid, area: &BBox) -> BBox {
+    let cell = grid.cell_size();
+    if run.horizontal {
+        BBox::new(
+            area.x,
+            grid.origin().y + run.start as f64 * cell,
+            area.w,
+            run.len as f64 * cell,
+        )
+    } else {
+        BBox::new(
+            grid.origin().x + run.start as f64 * cell,
+            area.y,
+            run.len as f64 * cell,
+            area.h,
+        )
+    }
+}
+
+/// Scores each run against the element boxes of the area.
+///
+/// `all_boxes` supplies the geometry (the true gap between the content on
+/// either side of the strip); `text_boxes` supplies the neighbour-height
+/// normalisation — text only, because an image's extent says nothing
+/// about the local font size (assumption (b) of Algorithm 1 concerns
+/// text). The *true* gap is used rather than the run's cardinality: drift
+/// paths inflate a run by the page-margin width, which would distort the
+/// width distribution Algorithm 1 ranks.
+pub fn score_runs(
+    runs: &[CutRun],
+    grid: &OccupancyGrid,
+    area: &BBox,
+    all_boxes: &[BBox],
+    text_boxes: &[BBox],
+) -> Vec<ScoredRun> {
+    let text_boxes = if text_boxes.is_empty() {
+        all_boxes
+    } else {
+        text_boxes
+    };
+    let max_h = text_boxes.iter().map(|b| b.h).fold(0.0, f64::max).max(1e-9);
+    runs.iter()
+        .map(|run| {
+            let strip = run_strip(run, grid, area);
+            // Neighbouring bounding box: minimum distance from the strip.
+            let neighbor_height = text_boxes
+                .iter()
+                .min_by(|a, b| {
+                    strip
+                        .distance(a)
+                        .partial_cmp(&strip.distance(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|b| b.h)
+                .unwrap_or(max_h);
+            // True gap: distance between the closest content on either
+            // side of the strip centre. Falls back to the run extent for
+            // offset layouts where the sides overlap.
+            let center = strip.centroid();
+            let gap = if run.horizontal {
+                let above = all_boxes
+                    .iter()
+                    .filter(|b| b.centroid().y < center.y)
+                    .map(|b| b.bottom())
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let below = all_boxes
+                    .iter()
+                    .filter(|b| b.centroid().y > center.y)
+                    .map(|b| b.y)
+                    .fold(f64::INFINITY, f64::min);
+                below - above
+            } else {
+                let left = all_boxes
+                    .iter()
+                    .filter(|b| b.centroid().x < center.x)
+                    .map(|b| b.right())
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let right = all_boxes
+                    .iter()
+                    .filter(|b| b.centroid().x > center.x)
+                    .map(|b| b.x)
+                    .fold(f64::INFINITY, f64::min);
+                right - left
+            };
+            let gap = if gap.is_finite() && gap > 0.0 {
+                gap
+            } else {
+                run.len as f64 * grid.cell_size()
+            };
+            ScoredRun {
+                run: *run,
+                gap,
+                neighbor_height: neighbor_height.max(1e-9),
+                width: gap / neighbor_height.max(1e-9),
+            }
+        })
+        .collect()
+}
+
+/// Pearson correlation coefficient; 0 when undefined.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs[..n].iter().sum::<f64>() / n as f64;
+    let my = ys[..n].iter().sum::<f64>() / n as f64;
+    let (mut cov, mut vx, mut vy) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Running Pearson correlation between run widths and neighbour heights
+/// over document-order prefixes — the diagnostic sequence of Algorithm 1
+/// (lines 8–11).
+pub fn correlation_profile(scored: &[ScoredRun]) -> Vec<f64> {
+    let mut ordered: Vec<&ScoredRun> = scored.iter().collect();
+    ordered.sort_by(|a, b| {
+        (a.run.horizontal, a.run.start)
+            .partial_cmp(&(b.run.horizontal, b.run.start))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let ws: Vec<f64> = ordered.iter().map(|s| s.width).collect();
+    let hs: Vec<f64> = ordered.iter().map(|s| s.neighbor_height).collect();
+    (2..=ws.len()).map(|i| pearson(&ws[..i], &hs[..i])).collect()
+}
+
+/// Selects the visual delimiters among scored runs.
+///
+/// Runs are ranked by normalised width (descending); the first inflection
+/// point — the largest relative drop between consecutive ranked widths —
+/// splits delimiters from intra-block spacing, guarded by the configured
+/// width-ratio floor and ceiling.
+pub fn select_delimiters(scored: &[ScoredRun], config: &DelimiterConfig) -> Vec<ScoredRun> {
+    if scored.is_empty() {
+        return Vec::new();
+    }
+    let mut ranked: Vec<&ScoredRun> = scored.iter().collect();
+    ranked.sort_by(|a, b| b.width.partial_cmp(&a.width).unwrap_or(std::cmp::Ordering::Equal));
+
+    // First inflection: the largest relative drop in the ranked widths.
+    // When no significant drop exists the spacing is uniform (assumption
+    // (a) fails to discriminate) and only the strong-ratio rule applies.
+    let mut split = 0;
+    let mut best_drop = config.min_drop;
+    for i in 0..ranked.len() - 1 {
+        let hi = ranked[i].width;
+        let lo = ranked[i + 1].width.max(1e-9);
+        let drop = hi / lo;
+        if drop > best_drop {
+            best_drop = drop;
+            split = i + 1;
+        }
+    }
+
+    ranked
+        .into_iter()
+        .enumerate()
+        .filter(|(rank, s)| {
+            if s.width < config.min_width_ratio {
+                return false;
+            }
+            if s.width >= config.strong_width_ratio {
+                return true;
+            }
+            // Mid-band: a horizontal strip that cleanly separates complete
+            // lines is a delimiter at ≥ min ratio (intra-line content never
+            // produces horizontal runs, so there is no uniform-leading
+            // distribution to confuse it with once true gaps are used).
+            // Vertical strips need the inflection contrast.
+            s.run.horizontal || *rank < split
+        })
+        .map(|(_, s)| *s)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::cuts::{all_runs, CutRun};
+
+    fn make(area: BBox, boxes: &[BBox]) -> (OccupancyGrid, Vec<CutRun>) {
+        let grid = OccupancyGrid::rasterize(&area, boxes, 1.0);
+        let runs = all_runs(&grid);
+        (grid, runs)
+    }
+
+    /// Three lines of 10-unit text with 4-unit leading, then a 20-unit gap,
+    /// then three more lines — the gap must be the only delimiter.
+    fn two_paragraph_layout() -> (BBox, Vec<BBox>) {
+        let area = BBox::new(0.0, 0.0, 100.0, 120.0);
+        let mut boxes = Vec::new();
+        let mut y = 2.0;
+        for _ in 0..3 {
+            boxes.push(BBox::new(2.0, y, 96.0, 10.0));
+            y += 14.0; // 4-unit leading
+        }
+        y += 20.0; // inter-paragraph gap
+        for _ in 0..3 {
+            boxes.push(BBox::new(2.0, y, 96.0, 10.0));
+            y += 14.0;
+        }
+        (area, boxes)
+    }
+
+    #[test]
+    fn paragraph_gap_is_the_delimiter() {
+        let (area, boxes) = two_paragraph_layout();
+        let (grid, runs) = make(area, &boxes);
+        let scored = score_runs(&runs, &grid, &area, &boxes, &boxes);
+        // Interior strips only: ignore page-margin runs above/below all
+        // content (the segmenter trims to content anyway).
+        let interior: Vec<ScoredRun> = scored
+            .into_iter()
+            .filter(|s| {
+                s.run.horizontal && s.run.start > 2 && (s.run.end() as f64) < area.h - 2.0
+            })
+            .collect();
+        let selected = select_delimiters(&interior, &DelimiterConfig::default());
+        // The 24-unit gap (20 + leading) is selected; the 4-unit leadings
+        // (width 0.4 < min ratio) are not.
+        assert_eq!(selected.len(), 1, "{selected:?}");
+        assert!(selected[0].gap >= 18.0);
+    }
+
+    #[test]
+    fn uniform_leading_yields_no_delimiters() {
+        let area = BBox::new(0.0, 0.0, 100.0, 100.0);
+        let mut boxes = Vec::new();
+        let mut y = 2.0;
+        for _ in 0..6 {
+            boxes.push(BBox::new(2.0, y, 96.0, 10.0));
+            y += 14.0;
+        }
+        let (grid, runs) = make(area, &boxes);
+        let scored = score_runs(&runs, &grid, &area, &boxes, &boxes);
+        let interior: Vec<ScoredRun> = scored
+            .into_iter()
+            .filter(|s| s.run.horizontal && s.run.start > 2 && s.run.end() < 90)
+            .collect();
+        let selected = select_delimiters(&interior, &DelimiterConfig::default());
+        assert!(selected.is_empty(), "{selected:?}");
+    }
+
+    #[test]
+    fn normalisation_accounts_for_font_size() {
+        // The same 12-unit gap: a delimiter next to 8-unit text, not next
+        // to 30-unit text.
+        let small_cfg = DelimiterConfig::default();
+        let run = CutRun { horizontal: true, start: 10, len: 12 };
+        let area = BBox::new(0.0, 0.0, 50.0, 50.0);
+        let grid = OccupancyGrid::rasterize(&area, &[], 1.0);
+        let small_text = vec![BBox::new(0.0, 0.0, 50.0, 8.0)];
+        let big_text = vec![BBox::new(0.0, 0.0, 50.0, 30.0)];
+        let s_small = score_runs(&[run], &grid, &area, &small_text, &small_text);
+        let s_big = score_runs(&[run], &grid, &area, &big_text, &big_text);
+        assert!(s_small[0].width > 1.0);
+        assert!(s_big[0].width < 0.5);
+        assert_eq!(select_delimiters(&s_small, &small_cfg).len(), 1);
+        assert_eq!(select_delimiters(&s_big, &small_cfg).len(), 0);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let inv = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &inv) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0, "zero variance");
+    }
+
+    #[test]
+    fn correlation_profile_length() {
+        let (area, boxes) = two_paragraph_layout();
+        let (grid, runs) = make(area, &boxes);
+        let scored = score_runs(&runs, &grid, &area, &boxes, &boxes);
+        let profile = correlation_profile(&scored);
+        assert_eq!(profile.len(), scored.len().saturating_sub(1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(select_delimiters(&[], &DelimiterConfig::default()).is_empty());
+        assert!(correlation_profile(&[]).is_empty());
+    }
+
+    #[test]
+    fn strip_geometry() {
+        let area = BBox::new(10.0, 20.0, 100.0, 50.0);
+        let grid = OccupancyGrid::rasterize(&area, &[], 2.0);
+        let run = CutRun { horizontal: true, start: 5, len: 3 };
+        let strip = run_strip(&run, &grid, &area);
+        assert_eq!(strip, BBox::new(10.0, 30.0, 100.0, 6.0));
+        let vrun = CutRun { horizontal: false, start: 10, len: 2 };
+        let vstrip = run_strip(&vrun, &grid, &area);
+        assert_eq!(vstrip, BBox::new(30.0, 20.0, 4.0, 50.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Skew estimation and correction — the "cleaning" step of Fig. 2.
+//!
+//! The paper's workflow "starts with cleaning (which includes perspective
+//! warping, skew correction, and binarization)" before localisation. In
+//! this reproduction the only geometric distortion the OCR channel
+//! introduces is a global rotation, so cleaning reduces to deskewing:
+//! estimate the page's skew angle from the text lines and rotate the
+//! element boxes back.
+//!
+//! Estimation fits a straight line through each text line's word
+//! centroids (least squares) and takes the median slope — robust to
+//! short lines and to the odd vertical feature.
+
+use vs2_docmodel::{BBox, Document, Point};
+
+/// Minimum words on a line for its slope to vote.
+const MIN_LINE_WORDS: usize = 3;
+
+/// Estimates the page skew in radians (positive = clockwise text flow).
+/// Returns 0.0 when too few usable lines exist.
+pub fn estimate_skew(doc: &Document) -> f64 {
+    // Group words into lines by vertical overlap (same rule the reading
+    // order uses).
+    let refs = doc.element_refs();
+    let mut items: Vec<BBox> = refs
+        .iter()
+        .filter(|r| r.is_text())
+        .map(|r| doc.bbox_of(*r))
+        .collect();
+    items.sort_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal));
+    let mut lines: Vec<(BBox, Vec<Point>)> = Vec::new();
+    for b in items {
+        let c = b.centroid();
+        let mut placed = false;
+        for (lb, pts) in lines.iter_mut() {
+            let overlap = (lb.bottom().min(b.bottom()) - lb.y.max(b.y)).max(0.0);
+            if overlap / lb.h.min(b.h).max(1e-9) > 0.5 {
+                *lb = lb.union(&b);
+                pts.push(c);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            lines.push((b, vec![c]));
+        }
+    }
+
+    // Least-squares slope per line; median over lines.
+    let mut slopes: Vec<f64> = Vec::new();
+    for (_, pts) in &lines {
+        if pts.len() < MIN_LINE_WORDS {
+            continue;
+        }
+        let n = pts.len() as f64;
+        let mx = pts.iter().map(|p| p.x).sum::<f64>() / n;
+        let my = pts.iter().map(|p| p.y).sum::<f64>() / n;
+        let sxx: f64 = pts.iter().map(|p| (p.x - mx).powi(2)).sum();
+        if sxx < 1e-9 {
+            continue;
+        }
+        let sxy: f64 = pts.iter().map(|p| (p.x - mx) * (p.y - my)).sum();
+        slopes.push(sxy / sxx);
+    }
+    if slopes.is_empty() {
+        return 0.0;
+    }
+    slopes.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    slopes[slopes.len() / 2].atan()
+}
+
+fn rotate_bbox(b: &BBox, center: Point, cos: f64, sin: f64) -> BBox {
+    let c = b.centroid();
+    let dx = c.x - center.x;
+    let dy = c.y - center.y;
+    let nx = center.x + dx * cos - dy * sin;
+    let ny = center.y + dx * sin + dy * cos;
+    BBox::new(nx - b.w / 2.0, ny - b.h / 2.0, b.w, b.h)
+}
+
+/// Rotates every element box by `-angle` around the page centre,
+/// straightening an `angle`-skewed page. Text content is untouched.
+pub fn rotate_elements(doc: &Document, angle: f64) -> Document {
+    let mut out = doc.clone();
+    let center = Point::new(doc.width / 2.0, doc.height / 2.0);
+    let (sin, cos) = (-angle).sin_cos();
+    for t in out.texts.iter_mut() {
+        t.bbox = rotate_bbox(&t.bbox, center, cos, sin);
+    }
+    for i in out.images.iter_mut() {
+        i.bbox = rotate_bbox(&i.bbox, center, cos, sin);
+    }
+    out
+}
+
+/// The cleaning step: estimates the skew and returns the straightened
+/// document together with the removed angle (radians). Angles below ~0.1°
+/// are ignored (no distortion to correct).
+pub fn deskew(doc: &Document) -> (Document, f64) {
+    let angle = estimate_skew(doc);
+    if angle.abs() < 0.002 {
+        return (doc.clone(), 0.0);
+    }
+    (rotate_elements(doc, angle), angle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_docmodel::TextElement;
+
+    /// A three-line page rotated by `deg` degrees.
+    fn skewed_doc(deg: f64) -> Document {
+        let mut d = Document::new("skew", 400.0, 200.0);
+        for line in 0..3 {
+            for col in 0..6 {
+                d.push_text(TextElement::word(
+                    "word",
+                    BBox::new(20.0 + col as f64 * 60.0, 30.0 + line as f64 * 40.0, 50.0, 10.0),
+                ));
+            }
+        }
+        rotate_elements(&d, -deg.to_radians())
+    }
+
+    #[test]
+    fn estimates_known_skew() {
+        for deg in [1.0f64, 2.5, -3.0] {
+            let d = skewed_doc(deg);
+            let est = estimate_skew(&d).to_degrees();
+            assert!(
+                (est - deg).abs() < 0.4,
+                "deg {deg}: estimated {est:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn straight_page_estimates_zero() {
+        let d = skewed_doc(0.0);
+        assert!(estimate_skew(&d).abs() < 1e-6);
+        let (out, removed) = deskew(&d);
+        assert_eq!(removed, 0.0);
+        assert_eq!(out, d);
+    }
+
+    #[test]
+    fn deskew_straightens_lines() {
+        let d = skewed_doc(3.0);
+        let (out, removed) = deskew(&d);
+        assert!(removed.abs() > 0.02, "removed {removed}");
+        let residual = estimate_skew(&out).to_degrees().abs();
+        assert!(residual < 0.5, "residual skew {residual:.2}");
+    }
+
+    #[test]
+    fn empty_and_sparse_documents() {
+        let d = Document::new("e", 10.0, 10.0);
+        assert_eq!(estimate_skew(&d), 0.0);
+        let mut sparse = Document::new("s", 100.0, 100.0);
+        sparse.push_text(TextElement::word("one", BBox::new(1.0, 1.0, 10.0, 5.0)));
+        assert_eq!(estimate_skew(&sparse), 0.0, "too few words per line");
+    }
+
+    #[test]
+    fn rotation_roundtrip_preserves_extents() {
+        let d = skewed_doc(2.0);
+        let (out, _) = deskew(&d);
+        assert_eq!(out.texts.len(), d.texts.len());
+        for (a, b) in d.texts.iter().zip(&out.texts) {
+            assert_eq!(a.text, b.text);
+            assert!((a.bbox.w - b.bbox.w).abs() < 1e-9);
+            assert!((a.bbox.h - b.bbox.h).abs() < 1e-9);
+        }
+    }
+}

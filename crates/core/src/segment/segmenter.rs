@@ -1,0 +1,491 @@
+//! The recursive VS2-Segment driver (§5.1.2).
+//!
+//! Each iteration searches a visual area for explicit visual delimiters
+//! (runs of consecutive valid cuts accepted by Algorithm 1) and splits
+//! along them; when no delimiter exists, the implicit-modifier clustering
+//! over Table 1 features is tried. New child areas are appended to the
+//! layout tree and processed in turn. After the recursion converges, the
+//! semantic-merging step of Eq. 1 repairs over-segmentation. The leaves
+//! of the resulting tree are the document's logical blocks.
+
+use crate::segment::cluster::{cluster, ClusterConfig};
+use crate::segment::cuts::{all_runs, CutRun};
+use crate::segment::delimiter::{
+    run_strip, score_runs, select_delimiters, DelimiterConfig, ScoredRun,
+};
+use crate::segment::merge::{semantic_merge, MergeConfig};
+use vs2_docmodel::{BBox, Document, ElementRef, LayoutTree, NodeId};
+use vs2_nlp::LexiconEmbedding;
+
+/// Full configuration of VS2-Segment, including the ablation switches of
+/// §6.5 (Table 9).
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentConfig {
+    /// Apply the Fig. 2 cleaning step (skew correction) before
+    /// segmentation.
+    pub deskew: bool,
+    /// Raster cell size in document units.
+    pub cell_size: f64,
+    /// Areas with fewer elements are never split further.
+    pub min_block_elements: usize,
+    /// Maximum recursion depth (safety bound).
+    pub max_depth: usize,
+    /// Ablation A2: enable the visual-feature clustering stage.
+    pub use_visual_clustering: bool,
+    /// Ablation A1: enable semantic merging.
+    pub use_semantic_merge: bool,
+    /// Delimiter-selection knobs (Algorithm 1).
+    pub delimiter: DelimiterConfig,
+    /// Clustering knobs (Table 1 weights).
+    pub cluster: ClusterConfig,
+    /// Semantic-merge thresholds (Eq. 1 footnote).
+    pub merge: MergeConfig,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        Self {
+            deskew: true,
+            cell_size: 4.0,
+            min_block_elements: 2,
+            max_depth: 8,
+            use_visual_clustering: true,
+            use_semantic_merge: true,
+            delimiter: DelimiterConfig::default(),
+            cluster: ClusterConfig::default(),
+            merge: MergeConfig::default(),
+        }
+    }
+}
+
+/// A logical block: a leaf of the converged layout tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalBlock {
+    /// Smallest bounding box enclosing the block's elements.
+    pub bbox: BBox,
+    /// The block's atomic elements.
+    pub elements: Vec<ElementRef>,
+}
+
+fn tight_bbox(doc: &Document, elements: &[ElementRef]) -> BBox {
+    BBox::enclosing(elements.iter().map(|r| doc.bbox_of(*r)).collect::<Vec<_>>().iter())
+        .unwrap_or_default()
+}
+
+/// An interior delimiter must have content on both sides of its centre
+/// line (a drift path may extend a run past the last element, so the
+/// strip's extremities are not a reliable boundary test).
+fn is_interior(delim: &ScoredRun, boxes: &[BBox], grid_area: &BBox, cell: f64) -> bool {
+    let run = &delim.run;
+    let center = run.center() * cell;
+    if run.horizontal {
+        let y = grid_area.y + center;
+        let above = boxes.iter().any(|b| b.centroid().y < y);
+        let below = boxes.iter().any(|b| b.centroid().y > y);
+        above && below
+    } else {
+        let x = grid_area.x + center;
+        let left = boxes.iter().any(|b| b.centroid().x < x);
+        let right = boxes.iter().any(|b| b.centroid().x > x);
+        left && right
+    }
+}
+
+/// Groups elements into *text lines* by transitive vertical overlap: two
+/// elements share a line when their vertical extents overlap by more than
+/// half the smaller height. A horizontal delimiter must never split a
+/// line — on skewed scans a line straddles the cut's centre row.
+fn group_lines(doc: &Document, elements: &[ElementRef]) -> Vec<Vec<ElementRef>> {
+    let mut items: Vec<(ElementRef, BBox)> =
+        elements.iter().map(|r| (*r, doc.bbox_of(*r))).collect();
+    items.sort_by(|a, b| a.1.y.partial_cmp(&b.1.y).unwrap_or(std::cmp::Ordering::Equal));
+    let mut lines: Vec<(BBox, Vec<ElementRef>)> = Vec::new();
+    for (r, b) in items {
+        let mut placed = false;
+        for (lb, line) in lines.iter_mut() {
+            let overlap = (lb.bottom().min(b.bottom()) - lb.y.max(b.y)).max(0.0);
+            let min_h = lb.h.min(b.h).max(1e-9);
+            if overlap / min_h > 0.5 {
+                *lb = lb.union(&b);
+                line.push(r);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            lines.push((b, vec![r]));
+        }
+    }
+    lines.into_iter().map(|(_, l)| l).collect()
+}
+
+/// Splits elements into bands along the chosen delimiters (all of one
+/// direction). Horizontal splits band whole text lines; vertical splits
+/// band individual elements by centroid.
+fn split_by_delimiters(
+    doc: &Document,
+    elements: &[ElementRef],
+    delims: &[ScoredRun],
+    horizontal: bool,
+    grid_area: &BBox,
+    cell: f64,
+) -> Vec<Vec<ElementRef>> {
+    let mut cuts: Vec<f64> = delims
+        .iter()
+        .filter(|d| d.run.horizontal == horizontal)
+        .map(|d| {
+            let c = d.run.center() * cell;
+            if horizontal {
+                grid_area.y + c
+            } else {
+                grid_area.x + c
+            }
+        })
+        .collect();
+    cuts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    cuts.dedup_by(|a, b| (*a - *b).abs() < cell);
+    if cuts.is_empty() {
+        return vec![elements.to_vec()];
+    }
+    let mut bands: Vec<Vec<ElementRef>> = vec![Vec::new(); cuts.len() + 1];
+    if horizontal {
+        for line in group_lines(doc, elements) {
+            let cy = {
+                let boxes: Vec<BBox> = line.iter().map(|r| doc.bbox_of(*r)).collect();
+                BBox::enclosing(boxes.iter()).map(|b| b.centroid().y).unwrap_or(0.0)
+            };
+            let band = cuts.iter().position(|&cut| cy < cut).unwrap_or(cuts.len());
+            bands[band].extend(line);
+        }
+    } else {
+        for &r in elements {
+            let cx = doc.bbox_of(r).centroid().x;
+            let band = cuts.iter().position(|&cut| cx < cut).unwrap_or(cuts.len());
+            bands[band].push(r);
+        }
+    }
+    bands.retain(|b| !b.is_empty());
+    bands
+}
+
+/// Runs VS2-Segment over a document and returns the layout tree. The
+/// tree's leaves are the logical blocks.
+pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
+    // Cleaning (Fig. 2 step a): straighten a skewed capture first. The
+    // resulting tree's boxes live in the original coordinate frame — only
+    // the *analysis* runs on the deskewed geometry, and element indices
+    // carry the partition back.
+    if config.deskew {
+        let angle = crate::segment::deskew::estimate_skew(doc);
+        if angle.abs() >= 0.005 {
+            let straightened = crate::segment::deskew::rotate_elements(doc, angle);
+            let mut cfg = *config;
+            cfg.deskew = false;
+            let tree = segment(&straightened, &cfg);
+            return rebuild_in_original_frame(doc, &tree);
+        }
+    }
+    let all = doc.element_refs();
+    let root_bbox = if all.is_empty() {
+        doc.page_bbox()
+    } else {
+        tight_bbox(doc, &all)
+    };
+    let mut tree = LayoutTree::new(root_bbox, all.clone());
+    let mut queue: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
+
+    while let Some((node, depth)) = queue.pop() {
+        if depth >= config.max_depth {
+            continue;
+        }
+        let elements = tree.node(node).elements.clone();
+        if elements.len() < config.min_block_elements.max(2) {
+            continue;
+        }
+        let area = tight_bbox(doc, &elements).inflate(config.cell_size);
+        let boxes: Vec<BBox> = elements.iter().map(|r| doc.bbox_of(*r)).collect();
+        let text_boxes: Vec<BBox> = elements
+            .iter()
+            .filter(|r| r.is_text())
+            .map(|r| doc.bbox_of(*r))
+            .collect();
+        let norm_boxes = if text_boxes.is_empty() { &boxes } else { &text_boxes };
+        let grid = vs2_docmodel::OccupancyGrid::rasterize(&area, &boxes, config.cell_size);
+
+        // Phase 1: explicit delimiters.
+        let runs: Vec<CutRun> = all_runs(&grid);
+        let scored = score_runs(&runs, &grid, &area, &boxes, norm_boxes);
+        let interior: Vec<ScoredRun> = scored
+            .into_iter()
+            .filter(|s| is_interior(s, &boxes, &area, config.cell_size))
+            .collect();
+        let delims = select_delimiters(&interior, &config.delimiter);
+
+        let mut parts: Vec<Vec<ElementRef>> = Vec::new();
+        if !delims.is_empty() {
+            // Split along the direction of the widest delimiter first; the
+            // recursion handles the other direction.
+            let widest = delims
+                .iter()
+                .max_by(|a, b| {
+                    a.width
+                        .partial_cmp(&b.width)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap();
+            let horizontal = widest.run.horizontal;
+            parts = split_by_delimiters(doc, &elements, &delims, horizontal, &area, config.cell_size);
+        }
+
+        // Phase 2: implicit modifiers via clustering.
+        if parts.len() < 2 && config.use_visual_clustering {
+            let clustered = cluster(doc, &area, &elements, &config.cluster);
+            if clustered.len() >= 2 {
+                parts = clustered;
+            }
+        }
+
+        if parts.len() >= 2 {
+            for part in parts {
+                let bbox = tight_bbox(doc, &part);
+                let child = tree.add_child(node, bbox, part);
+                queue.push((child, depth + 1));
+            }
+        }
+    }
+
+    if config.use_semantic_merge {
+        semantic_merge(doc, &mut tree, &LexiconEmbedding, &config.merge);
+    }
+    tree
+}
+
+/// Recomputes every node's bounding box from its elements in the
+/// original (pre-deskew) document frame, preserving the tree structure.
+fn rebuild_in_original_frame(doc: &Document, tree: &LayoutTree) -> LayoutTree {
+    let root_elems = tree.node(tree.root()).elements.clone();
+    let root_bbox = if root_elems.is_empty() {
+        doc.page_bbox()
+    } else {
+        tight_bbox(doc, &root_elems)
+    };
+    let mut out = LayoutTree::new(root_bbox, root_elems);
+    fn copy(
+        doc: &Document,
+        src: &LayoutTree,
+        src_node: NodeId,
+        dst: &mut LayoutTree,
+        dst_node: NodeId,
+    ) {
+        for &child in &src.node(src_node).children {
+            let elems = src.node(child).elements.clone();
+            let bbox = if elems.is_empty() {
+                src.node(child).bbox
+            } else {
+                tight_bbox(doc, &elems)
+            };
+            let new_child = dst.add_child(dst_node, bbox, elems);
+            copy(doc, src, child, dst, new_child);
+        }
+    }
+    let dst_root = out.root();
+    copy(doc, tree, tree.root(), &mut out, dst_root);
+    out
+}
+
+/// Convenience: the logical blocks (leaves with at least one element).
+pub fn logical_blocks(doc: &Document, config: &SegmentConfig) -> Vec<LogicalBlock> {
+    let tree = segment(doc, config);
+    blocks_of_tree(&tree)
+}
+
+/// Extracts the logical blocks of an already-built layout tree.
+pub fn blocks_of_tree(tree: &LayoutTree) -> Vec<LogicalBlock> {
+    tree.leaves()
+        .into_iter()
+        .map(|id| {
+            let n = tree.node(id);
+            LogicalBlock {
+                bbox: n.bbox,
+                elements: n.elements.clone(),
+            }
+        })
+        .filter(|b| !b.elements.is_empty())
+        .collect()
+}
+
+/// Dumps the strip geometry of the selected delimiters of one area — used
+/// by the Fig. 5 reproduction tests and diagnostics.
+pub fn delimiters_of_area(
+    doc: &Document,
+    elements: &[ElementRef],
+    config: &SegmentConfig,
+) -> Vec<BBox> {
+    let area = tight_bbox(doc, elements).inflate(config.cell_size);
+    let boxes: Vec<BBox> = elements.iter().map(|r| doc.bbox_of(*r)).collect();
+    let text_boxes: Vec<BBox> = elements
+        .iter()
+        .filter(|r| r.is_text())
+        .map(|r| doc.bbox_of(*r))
+        .collect();
+    let norm_boxes = if text_boxes.is_empty() { &boxes } else { &text_boxes };
+    let grid = vs2_docmodel::OccupancyGrid::rasterize(&area, &boxes, config.cell_size);
+    let runs = all_runs(&grid);
+    let scored = score_runs(&runs, &grid, &area, &boxes, norm_boxes);
+    let interior: Vec<ScoredRun> = scored
+        .into_iter()
+        .filter(|s| is_interior(s, &boxes, &area, config.cell_size))
+        .collect();
+    select_delimiters(&interior, &config.delimiter)
+        .into_iter()
+        .map(|s| run_strip(&s.run, &grid, &area))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_docmodel::TextElement;
+
+    /// Two well-separated paragraphs of same-font text.
+    fn two_block_doc() -> Document {
+        let mut d = Document::new("seg", 200.0, 200.0);
+        for line in 0..3 {
+            for col in 0..4 {
+                d.push_text(TextElement::word(
+                    "concert",
+                    BBox::new(10.0 + col as f64 * 45.0, 10.0 + line as f64 * 14.0, 40.0, 10.0),
+                ));
+            }
+        }
+        for line in 0..3 {
+            for col in 0..4 {
+                d.push_text(TextElement::word(
+                    "acres",
+                    BBox::new(10.0 + col as f64 * 45.0, 120.0 + line as f64 * 14.0, 40.0, 10.0),
+                ));
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn splits_two_paragraphs() {
+        let doc = two_block_doc();
+        let blocks = logical_blocks(&doc, &SegmentConfig::default());
+        assert_eq!(blocks.len(), 2, "{blocks:?}");
+        let total: usize = blocks.iter().map(|b| b.elements.len()).sum();
+        assert_eq!(total, 24);
+        // Blocks are vertically disjoint.
+        assert!(blocks[0].bbox.intersection(&blocks[1].bbox).is_none());
+    }
+
+    #[test]
+    fn single_paragraph_is_one_block() {
+        let mut d = Document::new("one", 200.0, 100.0);
+        for line in 0..3 {
+            for col in 0..4 {
+                d.push_text(TextElement::word(
+                    "concert",
+                    BBox::new(10.0 + col as f64 * 45.0, 10.0 + line as f64 * 14.0, 40.0, 10.0),
+                ));
+            }
+        }
+        let blocks = logical_blocks(&d, &SegmentConfig::default());
+        assert_eq!(blocks.len(), 1, "{blocks:?}");
+    }
+
+    #[test]
+    fn columns_split_vertically() {
+        let mut d = Document::new("cols", 300.0, 100.0);
+        for line in 0..4 {
+            d.push_text(TextElement::word(
+                "concert",
+                BBox::new(10.0, 10.0 + line as f64 * 14.0, 80.0, 10.0),
+            ));
+            d.push_text(TextElement::word(
+                "acres",
+                BBox::new(200.0, 10.0 + line as f64 * 14.0, 80.0, 10.0),
+            ));
+        }
+        let blocks = logical_blocks(&d, &SegmentConfig::default());
+        assert_eq!(blocks.len(), 2, "{blocks:?}");
+        assert!(blocks.iter().any(|b| b.bbox.x < 100.0));
+        assert!(blocks.iter().any(|b| b.bbox.x > 150.0));
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = Document::new("empty", 100.0, 100.0);
+        let blocks = logical_blocks(&d, &SegmentConfig::default());
+        assert!(blocks.is_empty());
+    }
+
+    #[test]
+    fn all_elements_preserved_in_blocks() {
+        let doc = two_block_doc();
+        let blocks = logical_blocks(&doc, &SegmentConfig::default());
+        let mut seen: Vec<ElementRef> = blocks.iter().flat_map(|b| b.elements.clone()).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), doc.len(), "elements lost or duplicated");
+    }
+
+    #[test]
+    fn merge_repairs_oversegmentation() {
+        // Same content, same font, small gap — if clustering splits it,
+        // semantic merging must reunite it.
+        let mut d = Document::new("over", 200.0, 120.0);
+        for line in 0..6 {
+            for col in 0..3 {
+                d.push_text(TextElement::word(
+                    "concert",
+                    BBox::new(10.0 + col as f64 * 50.0, 10.0 + line as f64 * 16.0, 45.0, 10.0),
+                ));
+            }
+        }
+        let with_merge = logical_blocks(&d, &SegmentConfig::default());
+        let without = logical_blocks(
+            &d,
+            &SegmentConfig {
+                use_semantic_merge: false,
+                ..SegmentConfig::default()
+            },
+        );
+        assert!(with_merge.len() <= without.len());
+    }
+
+    #[test]
+    fn ablation_flags_change_behavior() {
+        let doc = two_block_doc();
+        let cfg_no_cluster = SegmentConfig {
+            use_visual_clustering: false,
+            ..SegmentConfig::default()
+        };
+        // Delimiter-based split still works without clustering.
+        let blocks = logical_blocks(&doc, &cfg_no_cluster);
+        assert_eq!(blocks.len(), 2);
+    }
+
+    #[test]
+    fn delimiters_of_area_reports_strips() {
+        let doc = two_block_doc();
+        let delims = delimiters_of_area(&doc, &doc.element_refs(), &SegmentConfig::default());
+        assert!(!delims.is_empty());
+        // The reported strip lies between the paragraphs.
+        assert!(delims.iter().any(|s| s.y > 40.0 && s.bottom() < 125.0), "{delims:?}");
+    }
+
+    #[test]
+    fn tree_structure_is_consistent() {
+        let doc = two_block_doc();
+        let tree = segment(&doc, &SegmentConfig::default());
+        for id in tree.live_ids() {
+            let n = tree.node(id);
+            for c in &n.children {
+                assert_eq!(tree.node(*c).parent, Some(id));
+            }
+        }
+        assert!(tree.height() >= 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Token-to-element alignment for logical blocks.
+//!
+//! VS2-Select matches patterns over the *transcription* of a logical
+//! block, but extractions must come back with bounding boxes. A
+//! [`BlockText`] tokenises each word element separately, so every token
+//! knows which atomic element produced it, and carries the full NLP
+//! annotation of the block's text.
+
+use crate::segment::LogicalBlock;
+use vs2_docmodel::{BBox, Document, ElementRef};
+use vs2_nlp::annotate::Annotated;
+use vs2_nlp::chunk::chunk;
+use vs2_nlp::ner::recognize;
+use vs2_nlp::pos::tag;
+use vs2_nlp::token::{tokenize, Token};
+
+/// The annotated transcription of one logical block, with per-token
+/// element provenance.
+#[derive(Debug, Clone)]
+pub struct BlockText {
+    /// The block this text came from.
+    pub bbox: BBox,
+    /// Full NLP annotation (tokens, POS, phrases, NER).
+    pub ann: Annotated,
+    /// For each token, the element that produced it.
+    pub elem_of: Vec<ElementRef>,
+}
+
+impl BlockText {
+    /// Builds the aligned, annotated text of a block. Words are taken in
+    /// reading order; each word may tokenise into several tokens (a
+    /// trailing comma, say), all inheriting the word's element.
+    pub fn build(doc: &Document, block: &LogicalBlock) -> Self {
+        let order = doc.reading_order(&block.elements);
+        let mut tokens: Vec<Token> = Vec::new();
+        let mut elem_of: Vec<ElementRef> = Vec::new();
+        for r in order {
+            let Some(text) = doc.text_of(r) else { continue };
+            for t in tokenize(text) {
+                tokens.push(t);
+                elem_of.push(r);
+            }
+        }
+        let pos = tag(&tokens);
+        let phrases = chunk(&tokens, &pos);
+        let ner = recognize(&tokens, &pos);
+        BlockText {
+            bbox: block.bbox,
+            ann: Annotated {
+                tokens,
+                pos,
+                phrases,
+                ner,
+            },
+            elem_of,
+        }
+    }
+
+    /// Bounding box of the token span `[start, end)` — the union of the
+    /// producing elements' boxes.
+    pub fn span_bbox(&self, doc: &Document, start: usize, end: usize) -> BBox {
+        let boxes: Vec<BBox> = self.elem_of[start..end.min(self.elem_of.len())]
+            .iter()
+            .map(|r| doc.bbox_of(*r))
+            .collect();
+        BBox::enclosing(boxes.iter()).unwrap_or(self.bbox)
+    }
+
+    /// Raw text of a token span.
+    pub fn span_text(&self, start: usize, end: usize) -> String {
+        self.ann.span_text(start, end)
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.ann.tokens.len()
+    }
+
+    /// `true` when the block transcribed to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ann.tokens.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_docmodel::TextElement;
+
+    fn block_with(words: &[(&str, f64)]) -> (Document, LogicalBlock) {
+        let mut d = Document::new("bt", 300.0, 50.0);
+        let mut elems = Vec::new();
+        for (i, (w, x)) in words.iter().enumerate() {
+            let _ = i;
+            elems.push(d.push_text(TextElement::word(*w, BBox::new(*x, 10.0, 30.0, 10.0))));
+        }
+        let bbox = BBox::enclosing(
+            elems
+                .iter()
+                .map(|r| d.bbox_of(*r))
+                .collect::<Vec<_>>()
+                .iter(),
+        )
+        .unwrap();
+        (
+            d,
+            LogicalBlock {
+                bbox,
+                elements: elems,
+            },
+        )
+    }
+
+    #[test]
+    fn tokens_align_to_elements() {
+        let (d, b) = block_with(&[("Hosted", 10.0), ("by", 45.0), ("James,", 80.0)]);
+        let bt = BlockText::build(&d, &b);
+        // "James," splits into "James" + "," — 4 tokens from 3 elements.
+        assert_eq!(bt.len(), 4);
+        assert_eq!(bt.elem_of[2], bt.elem_of[3]);
+        assert_ne!(bt.elem_of[0], bt.elem_of[2]);
+    }
+
+    #[test]
+    fn span_bbox_covers_producing_words() {
+        let (d, b) = block_with(&[("a", 10.0), ("b", 50.0), ("c", 90.0)]);
+        let bt = BlockText::build(&d, &b);
+        let bb = bt.span_bbox(&d, 1, 3);
+        assert_eq!(bb.x, 50.0);
+        assert_eq!(bb.right(), 120.0);
+        // Full span equals the block bbox.
+        assert_eq!(bt.span_bbox(&d, 0, 3), b.bbox);
+    }
+
+    #[test]
+    fn annotation_is_present() {
+        let (d, b) = block_with(&[("Hosted", 10.0), ("by", 45.0), ("James", 80.0), ("Wilson", 115.0)]);
+        let bt = BlockText::build(&d, &b);
+        assert!(bt.ann.ner.iter().any(|s| s.tag == vs2_nlp::NerTag::Person));
+        assert!(!bt.is_empty());
+    }
+
+    #[test]
+    fn empty_block() {
+        let d = Document::new("e", 10.0, 10.0);
+        let b = LogicalBlock {
+            bbox: BBox::new(0.0, 0.0, 5.0, 5.0),
+            elements: vec![],
+        };
+        let bt = BlockText::build(&d, &b);
+        assert!(bt.is_empty());
+        assert_eq!(bt.span_bbox(&d, 0, 0), b.bbox);
+    }
+}

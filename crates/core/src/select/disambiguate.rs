@@ -1,0 +1,200 @@
+//! Multimodal entity disambiguation (§5.3.2, Eq. 2).
+//!
+//! When several candidates match an entity's patterns, each candidate is
+//! encoded with visual and textual descriptors and ranked by its distance
+//! to the *closest interest point* in the multimodal space:
+//!
+//! ```text
+//! F(s, c) = α·ΔD(s, c) + β·ΔH(s, c) + γ·ΔSim(s, c) + ν·ΔWd(s, c)
+//! ```
+//!
+//! where ΔD is the L1 distance between centroids, ΔH the height
+//! difference, ΔSim the embedding dissimilarity of the texts, and ΔWd the
+//! difference of distance-normalised word densities. All terms are
+//! normalised to `[0, 1]`; the candidate with the minimal F against its
+//! nearest interest point wins.
+
+use vs2_docmodel::BBox;
+use vs2_nlp::embedding::{cosine, Vector};
+
+/// The Eq. 2 mixing weights. `α + β + γ + ν = 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eq2Weights {
+    /// Weight of centroid distance ΔD.
+    pub alpha: f64,
+    /// Weight of height difference ΔH.
+    pub beta: f64,
+    /// Weight of textual dissimilarity ΔSim.
+    pub gamma: f64,
+    /// Weight of word-density difference ΔWd.
+    pub nu: f64,
+}
+
+impl Eq2Weights {
+    /// Balanced weights — "for a balanced corpus (e.g. first and third
+    /// datasets), it is safe to assume α ≈ β ≈ ν ≈ γ" (§5.3.2).
+    pub fn balanced() -> Self {
+        Self {
+            alpha: 0.25,
+            beta: 0.25,
+            gamma: 0.25,
+            nu: 0.25,
+        }
+    }
+
+    /// Visual-heavy weights for ornate, non-verbose corpora (dataset D2):
+    /// "if the documents are not verbose but visually ornate, then
+    /// α, β, ν ≥ γ".
+    pub fn visual_heavy() -> Self {
+        Self {
+            alpha: 0.3,
+            beta: 0.3,
+            gamma: 0.1,
+            nu: 0.3,
+        }
+    }
+
+    /// Text-heavy weights for verbose, visually plain corpora:
+    /// "if the corpus is not visually rich but verbose, then γ ≥ α, β, ν".
+    pub fn text_heavy() -> Self {
+        Self {
+            alpha: 0.15,
+            beta: 0.15,
+            gamma: 0.55,
+            nu: 0.15,
+        }
+    }
+
+    /// `true` when the weights form a convex combination.
+    pub fn is_valid(&self) -> bool {
+        let sum = self.alpha + self.beta + self.gamma + self.nu;
+        (sum - 1.0).abs() < 1e-9
+            && [self.alpha, self.beta, self.gamma, self.nu]
+                .iter()
+                .all(|w| (0.0..=1.0).contains(w))
+    }
+}
+
+/// The multimodal encoding of a visual area (candidate or interest
+/// point): geometry plus text embedding plus word density.
+#[derive(Debug, Clone)]
+pub struct AreaEncoding {
+    /// Bounding box of the area.
+    pub bbox: BBox,
+    /// Embedding of the area's text.
+    pub embedding: Vector,
+    /// Average word density of the area.
+    pub density: f64,
+}
+
+/// Page-scale normalisers for Eq. 2.
+#[derive(Debug, Clone, Copy)]
+pub struct PageScale {
+    /// Page width.
+    pub width: f64,
+    /// Page height.
+    pub height: f64,
+}
+
+/// Eq. 2: the weighted multimodal distance between a candidate area `s`
+/// and an interest point `c`.
+pub fn eq2_distance(s: &AreaEncoding, c: &AreaEncoding, w: &Eq2Weights, page: &PageScale) -> f64 {
+    let diag = (page.width + page.height).max(1e-9);
+    let dd = s.bbox.centroid().l1_distance(&c.bbox.centroid()) / diag;
+    let dh = (s.bbox.h - c.bbox.h).abs() / (s.bbox.h.max(c.bbox.h).max(1e-9));
+    let dsim = 1.0 - cosine(&s.embedding, &c.embedding).clamp(-1.0, 1.0);
+    let dwd = (s.density - c.density).abs() / s.density.max(c.density).max(1e-9);
+    w.alpha * dd + w.beta * dh + w.gamma * (dsim / 2.0) + w.nu * dwd
+}
+
+/// Distance from a candidate to its *closest* interest point — the value
+/// VS2-Select minimises over candidates.
+pub fn distance_to_nearest(
+    s: &AreaEncoding,
+    interest: &[AreaEncoding],
+    w: &Eq2Weights,
+    page: &PageScale,
+) -> f64 {
+    interest
+        .iter()
+        .map(|c| eq2_distance(s, c, w, page))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_nlp::embedding::{Embedder, LexiconEmbedding};
+
+    fn enc(x: f64, y: f64, h: f64, words: &[&str], density: f64) -> AreaEncoding {
+        AreaEncoding {
+            bbox: BBox::new(x, y, 100.0, h),
+            embedding: LexiconEmbedding.embed_text(words.iter().copied()),
+            density,
+        }
+    }
+
+    const PAGE: PageScale = PageScale {
+        width: 612.0,
+        height: 792.0,
+    };
+
+    #[test]
+    fn weights_presets_are_valid() {
+        assert!(Eq2Weights::balanced().is_valid());
+        assert!(Eq2Weights::visual_heavy().is_valid());
+        assert!(Eq2Weights::text_heavy().is_valid());
+        assert!(!Eq2Weights { alpha: 0.5, beta: 0.5, gamma: 0.5, nu: 0.5 }.is_valid());
+    }
+
+    #[test]
+    fn identical_areas_have_zero_distance() {
+        let a = enc(10.0, 10.0, 20.0, &["concert"], 1.0);
+        let d = eq2_distance(&a, &a, &Eq2Weights::balanced(), &PAGE);
+        assert!(d.abs() < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn proximity_dominates_under_alpha() {
+        let w = Eq2Weights { alpha: 1.0, beta: 0.0, gamma: 0.0, nu: 0.0 };
+        let ip = enc(100.0, 100.0, 20.0, &["concert"], 1.0);
+        let near = enc(120.0, 110.0, 20.0, &["acres"], 5.0);
+        let far = enc(500.0, 700.0, 20.0, &["concert"], 1.0);
+        assert!(eq2_distance(&near, &ip, &w, &PAGE) < eq2_distance(&far, &ip, &w, &PAGE));
+    }
+
+    #[test]
+    fn similarity_dominates_under_gamma() {
+        let w = Eq2Weights { alpha: 0.0, beta: 0.0, gamma: 1.0, nu: 0.0 };
+        let ip = enc(100.0, 100.0, 20.0, &["concert", "festival"], 1.0);
+        let similar = enc(500.0, 700.0, 20.0, &["workshop"], 1.0);
+        let dissimilar = enc(120.0, 110.0, 20.0, &["acres"], 1.0);
+        assert!(eq2_distance(&similar, &ip, &w, &PAGE) < eq2_distance(&dissimilar, &ip, &w, &PAGE));
+    }
+
+    #[test]
+    fn nearest_interest_point_is_used() {
+        let w = Eq2Weights::balanced();
+        let cand = enc(100.0, 100.0, 20.0, &["concert"], 1.0);
+        let near_ip = enc(110.0, 105.0, 20.0, &["concert"], 1.0);
+        let far_ip = enc(500.0, 700.0, 40.0, &["acres"], 9.0);
+        let d = distance_to_nearest(&cand, &[far_ip.clone(), near_ip.clone()], &w, &PAGE);
+        assert!((d - eq2_distance(&cand, &near_ip, &w, &PAGE)).abs() < 1e-12);
+        assert!(d < eq2_distance(&cand, &far_ip, &w, &PAGE));
+    }
+
+    #[test]
+    fn empty_interest_set_gives_infinity() {
+        let cand = enc(0.0, 0.0, 10.0, &["x"], 1.0);
+        assert!(distance_to_nearest(&cand, &[], &Eq2Weights::balanced(), &PAGE).is_infinite());
+    }
+
+    #[test]
+    fn all_terms_bounded() {
+        let a = enc(0.0, 0.0, 5.0, &["concert"], 0.1);
+        let b = enc(612.0, 792.0, 500.0, &["acres"], 99.0);
+        let d = eq2_distance(&a, &b, &Eq2Weights::balanced(), &PAGE);
+        assert!(d <= 1.0 + 1e-9, "d = {d}");
+        assert!(d > 0.0);
+    }
+}

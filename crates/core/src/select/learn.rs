@@ -1,0 +1,286 @@
+//! Distant-supervision pattern learning (§5.2.1).
+//!
+//! For every named entity, the annotated text entries of the holdout
+//! corpus are NLP-annotated, turned into dependency-lite trees, and the
+//! **maximal frequent subtrees** across those trees are mined with the
+//! TreeMiner stand-in. Each mined tree compiles into a
+//! [`SyntacticPattern`]: its phrase nodes become window constraints whose
+//! required features are the mined leaf labels. Entities with a single
+//! corpus entry (D1's field descriptors) compile to exact-phrase
+//! patterns, as the paper does for D1.
+
+use crate::select::pattern::{Feature, SyntacticPattern};
+use std::collections::BTreeMap;
+use vs2_nlp::annotate::annotate;
+use vs2_nlp::chunk::PhraseKind;
+use vs2_nlp::deptree::{build_tree, DepNode};
+use vs2_treemine::{closed_with_tolerance, mine, MineConfig, Tree};
+
+/// Learning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LearnConfig {
+    /// Minimum support as a fraction of an entity's corpus entries.
+    pub min_support_frac: f64,
+    /// Maximum mined-pattern size in tree nodes.
+    pub max_tree_size: usize,
+    /// Maximum number of compiled patterns kept per entity.
+    pub max_patterns: usize,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        Self {
+            min_support_frac: 0.3,
+            max_tree_size: 5,
+            max_patterns: 10,
+        }
+    }
+}
+
+fn dep_to_tree(d: &DepNode) -> Tree {
+    Tree {
+        label: d.label.clone(),
+        children: d.children.iter().map(dep_to_tree).collect(),
+    }
+}
+
+fn phrase_kind_of(label: &str) -> Option<PhraseKind> {
+    match label {
+        "NP" => Some(PhraseKind::Np),
+        "VP" => Some(PhraseKind::Vp),
+        "SVO" => Some(PhraseKind::Svo),
+        _ => None,
+    }
+}
+
+/// Compiles one mined tree into window patterns — one per phrase child of
+/// the sentence root. Feature-free noun windows are dropped (they would
+/// match any noun phrase).
+fn compile(tree: &Tree) -> Vec<SyntacticPattern> {
+    let phrase_nodes: Vec<&Tree> = if tree.label == "S" {
+        tree.children.iter().collect()
+    } else {
+        vec![tree]
+    };
+    let mut out = Vec::new();
+    for p in phrase_nodes {
+        let Some(kind) = phrase_kind_of(&p.label) else {
+            continue;
+        };
+        let mut required: Vec<Feature> = p
+            .children
+            .iter()
+            .filter_map(|c| Feature::from_label(&c.label))
+            .collect();
+        required.sort();
+        required.dedup();
+        let informative = !required.is_empty()
+            || matches!(kind, PhraseKind::Svo | PhraseKind::Vp);
+        if informative {
+            out.push(SyntacticPattern::Window {
+                kind: Some(kind),
+                required,
+            });
+        }
+    }
+    out
+}
+
+/// Ranks compiled patterns: higher corpus support first, then fewer
+/// lexical stem anchors and more semantic features (they generalise
+/// better to unseen documents).
+fn pattern_rank(p: &SyntacticPattern, support: usize) -> (i64, i64, i64) {
+    match p {
+        SyntacticPattern::ExactPhrase(_) => (i64::MIN, 0, 0),
+        SyntacticPattern::Window { required, .. } => {
+            let stems = required
+                .iter()
+                .filter(|f| matches!(f, Feature::Stem(_)))
+                .count() as i64;
+            let semantic = required.len() as i64 - stems;
+            (-(support as i64), stems, -semantic)
+        }
+    }
+}
+
+/// Learns the per-entity pattern inventory from `(entity, text)` pairs.
+pub fn learn_patterns<'a, I>(entries: I, config: &LearnConfig) -> BTreeMap<String, Vec<SyntacticPattern>>
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut by_entity: BTreeMap<String, Vec<&'a str>> = BTreeMap::new();
+    for (entity, text) in entries {
+        by_entity.entry(entity.to_string()).or_default().push(text);
+    }
+
+    let mut out = BTreeMap::new();
+    for (entity, texts) in by_entity {
+        if texts.len() == 1 {
+            // D1 mode: exact string match against the field descriptor.
+            out.insert(
+                entity,
+                vec![SyntacticPattern::ExactPhrase(texts[0].to_lowercase())],
+            );
+            continue;
+        }
+        let trees: Vec<Tree> = texts
+            .iter()
+            .map(|t| dep_to_tree(&build_tree(&annotate(t))))
+            .collect();
+        let min_support =
+            ((texts.len() as f64 * config.min_support_frac).ceil() as usize).max(2);
+        let mined = mine(
+            &trees,
+            MineConfig {
+                min_support,
+                max_size: config.max_tree_size,
+                min_size: 1,
+            },
+        );
+        // Tolerantly-closed patterns: a general pattern survives only when
+        // its specialisations lose real support (< 85%) — otherwise the
+        // specialisation is the rule and the generic form only adds false
+        // matches (e.g. a bare NP(CD) next to NP(CD, NER:phone)).
+        let closed_patterns = closed_with_tolerance(&mined, 0.85);
+
+        // Compile windows, keeping each window's best supporting tree.
+        let mut windows: Vec<(SyntacticPattern, usize)> = Vec::new();
+        for p in &closed_patterns {
+            for w in compile(&p.tree) {
+                match windows.iter_mut().find(|(existing, _)| *existing == w) {
+                    Some((_, s)) => *s = (*s).max(p.support),
+                    None => windows.push((w, p.support)),
+                }
+            }
+        }
+        // Window-level subset filtering with the same support tolerance:
+        // a window whose requirements are a subset of a stronger window's
+        // (same kind, ≥ 85% of its support) is redundant — the closed-tree
+        // filter cannot see windows that re-emerge from separate phrase
+        // children of one large tree.
+        let is_subset = |a: &SyntacticPattern, b: &SyntacticPattern| -> bool {
+            match (a, b) {
+                (
+                    SyntacticPattern::Window { kind: ka, required: ra },
+                    SyntacticPattern::Window { kind: kb, required: rb },
+                ) => ka == kb && ra.len() < rb.len() && ra.iter().all(|f| rb.contains(f)),
+                _ => false,
+            }
+        };
+        let kept: Vec<(SyntacticPattern, usize)> = windows
+            .iter()
+            .filter(|(w, s)| {
+                !windows.iter().any(|(other, os)| {
+                    is_subset(w, other) && (*os as f64) >= 0.85 * *s as f64
+                })
+            })
+            .cloned()
+            .collect();
+
+        let mut kept = kept;
+        kept.sort_by(|(a, sa), (b, sb)| {
+            pattern_rank(a, *sa)
+                .cmp(&pattern_rank(b, *sb))
+                .then_with(|| format!("{a:?}").cmp(&format!("{b:?}")))
+        });
+        let mut compiled: Vec<SyntacticPattern> = kept.into_iter().map(|(w, _)| w).collect();
+        compiled.dedup();
+        compiled.truncate(config.max_patterns);
+        out.insert(entity, compiled);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_nlp::ner::NerTag;
+
+    #[test]
+    fn single_entry_entities_become_exact_phrases() {
+        let patterns = learn_patterns(
+            [("field_a", "Total wages amount"), ("field_b", "Refund owed")],
+            &LearnConfig::default(),
+        );
+        assert_eq!(
+            patterns["field_a"],
+            vec![SyntacticPattern::ExactPhrase("total wages amount".into())]
+        );
+        assert_eq!(patterns.len(), 2);
+    }
+
+    #[test]
+    fn organizer_patterns_require_person_or_org() {
+        let entries: Vec<(&str, &str)> = vec![
+            ("org", "James Wilson"),
+            ("org", "Mary Davis"),
+            ("org", "Robert Brown"),
+            ("org", "Linda Garcia"),
+        ];
+        let patterns = learn_patterns(entries, &LearnConfig::default());
+        let has_person = patterns["org"].iter().any(|p| match p {
+            SyntacticPattern::Window { required, .. } => {
+                required.contains(&Feature::ner(NerTag::Person))
+            }
+            _ => false,
+        });
+        assert!(has_person, "{:?}", patterns["org"]);
+    }
+
+    #[test]
+    fn measure_patterns_from_size_strings() {
+        let entries: Vec<(&str, &str)> = vec![
+            ("size", "4 beds 2 baths 2,465 sqft"),
+            ("size", "3 beds 1 baths 1,200 sqft"),
+            ("size", "6 beds 3 baths 4,100 sqft"),
+        ];
+        let patterns = learn_patterns(entries, &LearnConfig::default());
+        let has_measure = patterns["size"].iter().any(|p| match p {
+            SyntacticPattern::Window { required, .. } => {
+                required.contains(&Feature::Cd)
+                    && required
+                        .iter()
+                        .any(|f| matches!(f, Feature::Sense(_)))
+            }
+            _ => false,
+        });
+        assert!(has_measure, "{:?}", patterns["size"]);
+    }
+
+    #[test]
+    fn phone_patterns() {
+        let entries: Vec<(&str, &str)> = vec![
+            ("phone", "(614) 555-0175"),
+            ("phone", "614-555-0175"),
+            ("phone", "(330) 555-8921"),
+            ("phone", "740-555-3321"),
+        ];
+        let patterns = learn_patterns(entries, &LearnConfig::default());
+        let has_phone = patterns["phone"].iter().any(|p| match p {
+            SyntacticPattern::Window { required, .. } => {
+                required.contains(&Feature::ner(NerTag::Phone))
+            }
+            _ => false,
+        });
+        assert!(has_phone, "{:?}", patterns["phone"]);
+    }
+
+    #[test]
+    fn pattern_cap_is_respected() {
+        let cfg = LearnConfig {
+            max_patterns: 2,
+            ..LearnConfig::default()
+        };
+        let entries: Vec<(&str, &str)> = (0..6)
+            .map(|_| ("e", "grand jazz festival with live music tonight"))
+            .collect();
+        let patterns = learn_patterns(entries, &cfg);
+        assert!(patterns["e"].len() <= 2);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let patterns = learn_patterns(std::iter::empty::<(&str, &str)>(), &LearnConfig::default());
+        assert!(patterns.is_empty());
+    }
+}

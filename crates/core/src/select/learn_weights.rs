@@ -1,0 +1,142 @@
+//! Learning the Eq. 2 weights from labelled documents.
+//!
+//! §7 of the paper lists "learning to weight each feature based on
+//! observed data" as future work; §5.3.2 only gives qualitative guidance
+//! (visual-heavy for ornate corpora, text-heavy for verbose ones). This
+//! module implements that extension: a coordinate grid search over the
+//! simplex (α, β, γ, ν) that maximises end-to-end F1-like agreement on a
+//! small labelled validation split.
+
+use crate::pipeline::{Vs2Config, Vs2Pipeline};
+use crate::select::disambiguate::Eq2Weights;
+use vs2_docmodel::AnnotatedDocument;
+
+/// Grid-search configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightSearchConfig {
+    /// Number of grid steps per axis (weights move in `1/steps`
+    /// increments over the simplex).
+    pub steps: usize,
+}
+
+impl Default for WeightSearchConfig {
+    fn default() -> Self {
+        Self { steps: 4 }
+    }
+}
+
+/// Agreement of a pipeline's extractions with the validation annotations:
+/// the fraction of annotated entities whose extraction matches textually
+/// or geometrically. (A lightweight F1 surrogate that needs no external
+/// evaluator — `vs2-core` must not depend on `vs2-eval`.)
+fn agreement(pipeline: &Vs2Pipeline, docs: &[AnnotatedDocument]) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for ad in docs {
+        let extractions = pipeline.extract(&ad.doc);
+        for a in &ad.annotations {
+            total += 1;
+            let matched = extractions.iter().any(|e| {
+                e.entity == a.entity
+                    && (e.span_bbox.iou(&a.bbox) >= 0.5
+                        || a.bbox.inflate(0.5).contains_box(&e.span_bbox)
+                        || normalized(&e.text) == normalized(&a.text))
+            });
+            if matched {
+                hit += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hit as f64 / total as f64
+    }
+}
+
+fn normalized(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(|c| c.to_lowercase())
+        .collect()
+}
+
+/// All weight combinations on the simplex with `1/steps` resolution.
+/// `steps = 0` yields the empty grid (no candidates — the caller's
+/// baseline weights win by default).
+pub fn weight_grid(steps: usize) -> Vec<Eq2Weights> {
+    if steps == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for a in 0..=steps {
+        for b in 0..=steps.saturating_sub(a) {
+            for g in 0..=steps.saturating_sub(a + b) {
+                let n = steps - a - b - g;
+                let s = steps as f64;
+                out.push(Eq2Weights {
+                    alpha: a as f64 / s,
+                    beta: b as f64 / s,
+                    gamma: g as f64 / s,
+                    nu: n as f64 / s,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Grid-searches the Eq. 2 weights on a validation split. Returns the
+/// best weights and their agreement score. The pipeline is re-scored (not
+/// re-learned) per candidate, so the search costs
+/// `O(grid × validation docs)` extractions.
+pub fn learn_weights(
+    base: &Vs2Pipeline,
+    validation: &[AnnotatedDocument],
+    config: WeightSearchConfig,
+) -> (Eq2Weights, f64) {
+    let mut best = (base.config.weights, agreement(base, validation));
+    for w in weight_grid(config.steps) {
+        let mut candidate = base.clone();
+        candidate.config = Vs2Config {
+            weights: w,
+            ..base.config
+        };
+        let score = agreement(&candidate, validation);
+        if score > best.1 {
+            best = (w, score);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_the_simplex() {
+        let g = weight_grid(4);
+        // C(4+3, 3) = 35 compositions of 4 into 4 parts.
+        assert_eq!(g.len(), 35);
+        for w in &g {
+            assert!(w.is_valid(), "{w:?}");
+        }
+        // The corners are present.
+        assert!(g.iter().any(|w| w.alpha == 1.0));
+        assert!(g.iter().any(|w| w.nu == 1.0));
+    }
+
+    #[test]
+    fn grid_of_one_step() {
+        let g = weight_grid(1);
+        assert_eq!(g.len(), 4, "{g:?}");
+        assert!(weight_grid(0).is_empty());
+    }
+
+    #[test]
+    fn normalization_helper() {
+        assert_eq!(normalized("(614) 555-0175"), "6145550175");
+        assert_eq!(normalized("James  Wilson!"), "jameswilson");
+    }
+}

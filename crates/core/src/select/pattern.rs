@@ -1,0 +1,522 @@
+//! The lexico-syntactic pattern language of VS2-Select (Tables 3 and 4).
+//!
+//! A pattern constrains a phrase window: its phrase kind (noun phrase,
+//! verb phrase, SVO) and a conjunction of *features* that must hold
+//! within the window — POS modifiers (`CD`/`JJ`), NER categories, TIMEX3
+//! validity, geocode validity, hypernym senses, VerbNet senses, lexical
+//! stems, and regex-like surface classes (phone, e-mail). Patterns are
+//! either compiled from mined frequent subtrees (distant supervision,
+//! §5.2.1) or written directly (the Table 3/4 inventories); an exact
+//! phrase form covers D1's field-descriptor matching.
+
+use crate::select::blocktext::BlockText;
+use std::collections::BTreeSet;
+use vs2_nlp::chunk::PhraseKind;
+use vs2_nlp::hypernym::{self, Sense};
+use vs2_nlp::ner::NerTag;
+use vs2_nlp::stem::stem;
+use vs2_nlp::stopwords::is_stopword;
+use vs2_nlp::verbs::{self, VerbSense};
+use vs2_nlp::{geocode, timex};
+
+/// A single feature requirement inside a phrase window.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Feature {
+    /// A cardinal-number modifier.
+    Cd,
+    /// An adjectival modifier.
+    Jj,
+    /// The window normalises as a TIMEX3 expression.
+    Timex,
+    /// The window carries a valid geocode tag.
+    Geo,
+    /// A named entity of the given category (ordered by its label).
+    Ner(u8),
+    /// A noun with the given hypernym sense.
+    Sense(u8),
+    /// A verb with the given VerbNet-lite sense.
+    VSense(u8),
+    /// A content word with the given stem.
+    Stem(String),
+}
+
+impl Feature {
+    /// Feature for an NER category.
+    pub fn ner(tag: NerTag) -> Self {
+        Feature::Ner(ner_code(tag))
+    }
+
+    /// Feature for a hypernym sense.
+    pub fn sense(s: Sense) -> Self {
+        Feature::Sense(sense_code(s))
+    }
+
+    /// Feature for a verb sense.
+    pub fn vsense(v: VerbSense) -> Self {
+        Feature::VSense(vsense_code(v))
+    }
+
+    /// Parses a dependency-tree leaf label (`CD`, `NER:person`, …).
+    pub fn from_label(label: &str) -> Option<Feature> {
+        match label {
+            "CD" => Some(Feature::Cd),
+            "JJ" => Some(Feature::Jj),
+            "TIMEX" => Some(Feature::Timex),
+            "GEO" => Some(Feature::Geo),
+            _ => {
+                if let Some(n) = label.strip_prefix("NER:") {
+                    ner_from_str(n).map(Feature::ner)
+                } else if let Some(s) = label.strip_prefix("SENSE:") {
+                    sense_from_str(s).map(Feature::sense)
+                } else if let Some(v) = label.strip_prefix("VSENSE:") {
+                    vsense_from_str(v).map(Feature::vsense)
+                } else {
+                    label
+                        .strip_prefix("STEM:")
+                        .map(|s| Feature::Stem(s.to_string()))
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn ner_code(tag: NerTag) -> u8 {
+    match tag {
+        NerTag::Person => 0,
+        NerTag::Organization => 1,
+        NerTag::Location => 2,
+        NerTag::Date => 3,
+        NerTag::Time => 4,
+        NerTag::Money => 5,
+        NerTag::Email => 6,
+        NerTag::Phone => 7,
+    }
+}
+
+fn ner_from_str(s: &str) -> Option<NerTag> {
+    Some(match s {
+        "person" => NerTag::Person,
+        "org" => NerTag::Organization,
+        "location" => NerTag::Location,
+        "date" => NerTag::Date,
+        "time" => NerTag::Time,
+        "money" => NerTag::Money,
+        "email" => NerTag::Email,
+        "phone" => NerTag::Phone,
+        _ => return None,
+    })
+}
+
+fn sense_code(s: Sense) -> u8 {
+    match s {
+        Sense::Measure => 0,
+        Sense::Structure => 1,
+        Sense::Estate => 2,
+        Sense::Event => 3,
+        Sense::Person => 4,
+        Sense::Group => 5,
+        Sense::Location => 6,
+        Sense::TimeEntity => 7,
+        Sense::Money => 8,
+        Sense::Communication => 9,
+        Sense::Entity => 10,
+    }
+}
+
+fn sense_from_str(s: &str) -> Option<Sense> {
+    Some(match s {
+        "measure" => Sense::Measure,
+        "structure" => Sense::Structure,
+        "estate" => Sense::Estate,
+        "event" => Sense::Event,
+        "person" => Sense::Person,
+        "group" => Sense::Group,
+        "location" => Sense::Location,
+        "time" => Sense::TimeEntity,
+        "money" => Sense::Money,
+        "communication" => Sense::Communication,
+        "entity" => Sense::Entity,
+        _ => return None,
+    })
+}
+
+fn vsense_code(v: VerbSense) -> u8 {
+    match v {
+        VerbSense::Captain => 0,
+        VerbSense::Create => 1,
+        VerbSense::ReflexiveAppearance => 2,
+        VerbSense::Transfer => 3,
+        VerbSense::Communicate => 4,
+        VerbSense::Motion => 5,
+    }
+}
+
+fn vsense_from_str(s: &str) -> Option<VerbSense> {
+    Some(match s {
+        "captain" => VerbSense::Captain,
+        "create" => VerbSense::Create,
+        "reflexive_appearance" => VerbSense::ReflexiveAppearance,
+        "transfer" => VerbSense::Transfer,
+        "communicate" => VerbSense::Communicate,
+        "motion" => VerbSense::Motion,
+        _ => return None,
+    })
+}
+
+/// A compiled syntactic pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyntacticPattern {
+    /// Exact (normalised) phrase match — D1's field descriptors.
+    ExactPhrase(String),
+    /// A phrase window of the given kind containing all required features.
+    Window {
+        /// Required phrase kind; `None` matches any NER span or the whole
+        /// block when it is short.
+        kind: Option<PhraseKind>,
+        /// Conjunction of required features.
+        required: Vec<Feature>,
+    },
+}
+
+/// A pattern match: a token span within a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternMatch {
+    /// First token index.
+    pub start: usize,
+    /// One past the last token.
+    pub end: usize,
+}
+
+/// Computes the feature set of a token window (mirrors the leaf labels of
+/// `vs2-nlp::deptree`).
+pub fn features_of_span(bt: &BlockText, start: usize, end: usize) -> BTreeSet<Feature> {
+    let ann = &bt.ann;
+    let end = end.min(ann.tokens.len());
+    let mut set = BTreeSet::new();
+    let text = ann.span_text(start, end);
+    if timex::is_valid_timex(&text) {
+        set.insert(Feature::Timex);
+    }
+    if geocode::is_valid_geocode(&text) {
+        set.insert(Feature::Geo);
+    }
+    for span in &ann.ner {
+        // Intersection, not containment: a span may begin on punctuation
+        // the phrase window excludes (the "(" of a phone number).
+        if span.start < end && span.end > start {
+            set.insert(Feature::ner(span.tag));
+        }
+    }
+    for i in start..end {
+        let tok = &ann.tokens[i];
+        let pos = ann.pos[i];
+        match pos {
+            vs2_nlp::PosTag::Cd => {
+                set.insert(Feature::Cd);
+            }
+            vs2_nlp::PosTag::Jj => {
+                set.insert(Feature::Jj);
+            }
+            _ => {}
+        }
+        if pos.is_verb() {
+            for v in verbs::senses_of(&tok.norm) {
+                set.insert(Feature::vsense(v));
+            }
+        } else if pos.is_noun() {
+            let s = hypernym::sense_of(&tok.norm);
+            if s != Sense::Entity {
+                set.insert(Feature::sense(s));
+            }
+        }
+        if !tok.norm.is_empty() && !is_stopword(&tok.norm) && !tok.is_numeric() {
+            set.insert(Feature::Stem(stem(&tok.norm)));
+        }
+    }
+    set
+}
+
+impl SyntacticPattern {
+    /// All matches of the pattern within a block.
+    pub fn matches(&self, bt: &BlockText) -> Vec<PatternMatch> {
+        match self {
+            SyntacticPattern::ExactPhrase(phrase) => exact_matches(bt, phrase),
+            SyntacticPattern::Window { kind, required } => {
+                let mut out = Vec::new();
+                let windows: Vec<(usize, usize)> = match kind {
+                    Some(k) => bt
+                        .ann
+                        .phrases
+                        .iter()
+                        .filter(|p| p.kind == *k)
+                        .map(|p| (p.start, p.end))
+                        .collect(),
+                    None => {
+                        // NER spans plus the whole block as fallback windows.
+                        let mut w: Vec<(usize, usize)> =
+                            bt.ann.ner.iter().map(|s| (s.start, s.end)).collect();
+                        w.push((0, bt.len()));
+                        w
+                    }
+                };
+                for (s, e) in windows {
+                    if e <= s {
+                        continue;
+                    }
+                    let have = features_of_span(bt, s, e);
+                    if required.iter().all(|f| have.contains(f)) {
+                        // Regex-class entities (phone, e-mail — Table 4's
+                        // "regular expression" patterns) return the NER
+                        // span itself; other windows extend over any NER
+                        // span they clip (the chunker may exclude the "("
+                        // of a phone number).
+                        let contact: Vec<NerTag> = required
+                            .iter()
+                            .filter_map(|f| match f {
+                                Feature::Ner(c) => match c {
+                                    6 => Some(NerTag::Email),
+                                    7 => Some(NerTag::Phone),
+                                    _ => None,
+                                },
+                                _ => None,
+                            })
+                            .collect();
+                        if !contact.is_empty() {
+                            let mut found = false;
+                            for span in &bt.ann.ner {
+                                if contact.contains(&span.tag)
+                                    && span.start < e
+                                    && span.end > s
+                                {
+                                    out.push(PatternMatch {
+                                        start: span.start,
+                                        end: span.end,
+                                    });
+                                    found = true;
+                                }
+                            }
+                            if found {
+                                continue;
+                            }
+                        }
+                        let required_ner: Vec<u8> = required
+                            .iter()
+                            .filter_map(|f| match f {
+                                Feature::Ner(c) => Some(*c),
+                                _ => None,
+                            })
+                            .collect();
+                        let (mut s2, mut e2) = (s, e);
+                        for span in &bt.ann.ner {
+                            let intersects = span.start < e2 && span.end > s2;
+                            // A span of a *required* category anywhere in
+                            // the block joins the match ("December 1" plus
+                            // its "8:30 pm" two phrases later).
+                            let required_tag =
+                                required_ner.contains(&ner_code(span.tag));
+                            if intersects || required_tag {
+                                s2 = s2.min(span.start);
+                                e2 = e2.max(span.end);
+                            }
+                        }
+                        out.push(PatternMatch { start: s2, end: e2 });
+                    }
+                }
+                out.sort_by_key(|m| (m.start, m.end));
+                out.dedup();
+                out
+            }
+        }
+    }
+}
+
+/// Token-subsequence search for a normalised phrase.
+fn exact_matches(bt: &BlockText, phrase: &str) -> Vec<PatternMatch> {
+    let needle: Vec<String> = phrase
+        .split_whitespace()
+        .map(|w| w.to_lowercase())
+        .collect();
+    if needle.is_empty() {
+        return Vec::new();
+    }
+    let norms: Vec<&str> = bt.ann.tokens.iter().map(|t| t.norm.as_str()).collect();
+    let word_matches = |have: &str, want: &str| -> bool {
+        have == want
+            || (want.len() >= 4 && vs2_nlp::lexicon::within_edit_one(have, want))
+    };
+    // Greedy aligner tolerating OCR word merges and splits: a block token
+    // may equal the concatenation of two consecutive needle words, and a
+    // needle word may have been split across two consecutive block tokens.
+    let align_at = |start: usize| -> Option<usize> {
+        let mut i = start;
+        let mut j = 0;
+        while j < needle.len() {
+            if i >= norms.len() {
+                return None;
+            }
+            if word_matches(norms[i], &needle[j]) {
+                i += 1;
+                j += 1;
+                continue;
+            }
+            if j + 1 < needle.len() {
+                let merged = format!("{}{}", needle[j], needle[j + 1]);
+                if word_matches(norms[i], &merged) {
+                    i += 1;
+                    j += 2;
+                    continue;
+                }
+            }
+            if i + 1 < norms.len() {
+                let rejoined = format!("{}{}", norms[i], norms[i + 1]);
+                if word_matches(&rejoined, &needle[j]) {
+                    i += 2;
+                    j += 1;
+                    continue;
+                }
+            }
+            return None;
+        }
+        Some(i)
+    };
+    let mut out = Vec::new();
+    for i in 0..norms.len() {
+        if let Some(end) = align_at(i) {
+            out.push(PatternMatch { start: i, end });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::LogicalBlock;
+    use vs2_docmodel::{BBox, Document, TextElement};
+
+    fn bt(text: &str) -> (Document, BlockText) {
+        let mut d = Document::new("p", 500.0, 50.0);
+        let mut elems = Vec::new();
+        for (i, w) in text.split_whitespace().enumerate() {
+            elems.push(d.push_text(TextElement::word(
+                w,
+                BBox::new(10.0 + 40.0 * i as f64, 10.0, 35.0, 10.0),
+            )));
+        }
+        let block = LogicalBlock {
+            bbox: BBox::new(10.0, 10.0, 40.0 * text.split_whitespace().count() as f64, 10.0),
+            elements: elems,
+        };
+        let bt = BlockText::build(&d, &block);
+        (d, bt)
+    }
+
+    #[test]
+    fn exact_phrase_matching() {
+        let (_, b) = bt("Total wages income amount due");
+        let p = SyntacticPattern::ExactPhrase("wages income".into());
+        let ms = p.matches(&b);
+        assert_eq!(ms, vec![PatternMatch { start: 1, end: 3 }]);
+        // Case-insensitive.
+        let p = SyntacticPattern::ExactPhrase("TOTAL WAGES".into());
+        assert_eq!(p.matches(&b).len(), 1);
+        // Absent phrase.
+        let p = SyntacticPattern::ExactPhrase("refund owed".into());
+        assert!(p.matches(&b).is_empty());
+    }
+
+    #[test]
+    fn organizer_window() {
+        let (_, b) = bt("Hosted by James Wilson tonight");
+        let p = SyntacticPattern::Window {
+            kind: None,
+            required: vec![Feature::vsense(VerbSense::Captain), Feature::ner(NerTag::Person)],
+        };
+        let ms = p.matches(&b);
+        assert!(!ms.is_empty());
+    }
+
+    #[test]
+    fn np_with_cd_modifier() {
+        let (_, b) = bt("4 beds 2 baths");
+        let p = SyntacticPattern::Window {
+            kind: Some(PhraseKind::Np),
+            required: vec![Feature::Cd, Feature::sense(Sense::Measure)],
+        };
+        assert!(!p.matches(&b).is_empty());
+        // A plain NP without numbers must not match.
+        let (_, b2) = bt("spacious warehouse available");
+        assert!(p.matches(&b2).is_empty());
+    }
+
+    #[test]
+    fn timex_and_geo_windows() {
+        let (_, b) = bt("Saturday April 5 7 pm");
+        let p = SyntacticPattern::Window {
+            kind: None,
+            required: vec![Feature::Timex],
+        };
+        assert!(!p.matches(&b).is_empty());
+
+        let (_, b) = bt("1458 Maple Ave Columbus OH 43210");
+        let p = SyntacticPattern::Window {
+            kind: None,
+            required: vec![Feature::Geo],
+        };
+        assert!(!p.matches(&b).is_empty());
+    }
+
+    #[test]
+    fn phone_and_email_features() {
+        let (_, b) = bt("call ( 614 ) 555-0175 or mary.davis@example.com");
+        let phone = SyntacticPattern::Window {
+            kind: None,
+            required: vec![Feature::ner(NerTag::Phone)],
+        };
+        assert!(!phone.matches(&b).is_empty());
+        let email = SyntacticPattern::Window {
+            kind: None,
+            required: vec![Feature::ner(NerTag::Email)],
+        };
+        assert!(!email.matches(&b).is_empty());
+    }
+
+    #[test]
+    fn stem_requirement() {
+        let (_, b) = bt("spacious warehouse with parking");
+        let p = SyntacticPattern::Window {
+            kind: Some(PhraseKind::Np),
+            required: vec![Feature::Stem(stem("warehouses"))],
+        };
+        assert!(!p.matches(&b).is_empty());
+    }
+
+    #[test]
+    fn feature_label_roundtrip() {
+        for label in [
+            "CD",
+            "JJ",
+            "TIMEX",
+            "GEO",
+            "NER:person",
+            "NER:phone",
+            "SENSE:measure",
+            "VSENSE:captain",
+            "STEM:host",
+        ] {
+            assert!(Feature::from_label(label).is_some(), "{label}");
+        }
+        assert!(Feature::from_label("NER:unknown").is_none());
+        assert!(Feature::from_label("NP").is_none());
+    }
+
+    #[test]
+    fn features_of_span_is_window_scoped() {
+        let (_, b) = bt("free concert 1458 Maple Ave Columbus");
+        let left = features_of_span(&b, 0, 2);
+        let right = features_of_span(&b, 2, 6);
+        assert!(left.contains(&Feature::Jj) || left.contains(&Feature::sense(Sense::Event)));
+        assert!(!left.contains(&Feature::Geo));
+        assert!(right.contains(&Feature::Geo));
+    }
+}

@@ -1,0 +1,159 @@
+//! Colour representation in the CIE L\*a\*b\* space.
+//!
+//! The paper's textual elements carry "the average color distribution (in
+//! LAB colorspace) of the visual area" (§4.1.1), and `color` is one of the
+//! low-level clustering features of Table 1. We implement the standard
+//! sRGB → XYZ (D65) → L\*a\*b\* conversion and the ΔE\*76 distance.
+
+/// An sRGB colour with 8-bit channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Creates an sRGB colour.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Self { r, g, b }
+    }
+
+    /// Pure black.
+    pub const BLACK: Rgb = Rgb::new(0, 0, 0);
+    /// Pure white.
+    pub const WHITE: Rgb = Rgb::new(255, 255, 255);
+
+    /// Converts to CIE L\*a\*b\* under the D65 illuminant.
+    pub fn to_lab(self) -> Lab {
+        fn srgb_to_linear(c: u8) -> f64 {
+            let c = c as f64 / 255.0;
+            if c <= 0.04045 {
+                c / 12.92
+            } else {
+                ((c + 0.055) / 1.055).powf(2.4)
+            }
+        }
+        let r = srgb_to_linear(self.r);
+        let g = srgb_to_linear(self.g);
+        let b = srgb_to_linear(self.b);
+
+        // sRGB D65 reference primaries.
+        let x = 0.4124564 * r + 0.3575761 * g + 0.1804375 * b;
+        let y = 0.2126729 * r + 0.7151522 * g + 0.0721750 * b;
+        let z = 0.0193339 * r + 0.1191920 * g + 0.9503041 * b;
+
+        // D65 white point.
+        let (xn, yn, zn) = (0.95047, 1.0, 1.08883);
+        fn f(t: f64) -> f64 {
+            const DELTA: f64 = 6.0 / 29.0;
+            if t > DELTA.powi(3) {
+                t.cbrt()
+            } else {
+                t / (3.0 * DELTA * DELTA) + 4.0 / 29.0
+            }
+        }
+        let (fx, fy, fz) = (f(x / xn), f(y / yn), f(z / zn));
+        Lab {
+            l: 116.0 * fy - 16.0,
+            a: 500.0 * (fx - fy),
+            b: 200.0 * (fy - fz),
+        }
+    }
+}
+
+/// A CIE L\*a\*b\* colour. `l ∈ [0, 100]`; `a`, `b` roughly in `[-128, 127]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Lab {
+    /// Lightness, `[0, 100]`.
+    pub l: f64,
+    /// Green-red axis.
+    pub a: f64,
+    /// Blue-yellow axis.
+    pub b: f64,
+}
+
+impl Lab {
+    /// Creates a Lab colour from raw components.
+    pub const fn new(l: f64, a: f64, b: f64) -> Self {
+        Self { l, a, b }
+    }
+
+    /// Perceptual distance ΔE\*76 (Euclidean distance in Lab space).
+    pub fn delta_e(&self, other: &Lab) -> f64 {
+        ((self.l - other.l).powi(2) + (self.a - other.a).powi(2) + (self.b - other.b).powi(2))
+            .sqrt()
+    }
+
+    /// Component-wise average of a non-empty sequence of colours; `None`
+    /// when empty. Used to compute the average colour of a visual area.
+    pub fn average<'a, I: IntoIterator<Item = &'a Lab>>(colors: I) -> Option<Lab> {
+        let mut n = 0usize;
+        let mut acc = Lab::default();
+        for c in colors {
+            acc.l += c.l;
+            acc.a += c.a;
+            acc.b += c.b;
+            n += 1;
+        }
+        if n == 0 {
+            return None;
+        }
+        let n = n as f64;
+        Some(Lab::new(acc.l / n, acc.a / n, acc.b / n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn black_and_white_endpoints() {
+        let black = Rgb::BLACK.to_lab();
+        assert!(black.l.abs() < 1e-6, "black L* = {}", black.l);
+        let white = Rgb::WHITE.to_lab();
+        assert!((white.l - 100.0).abs() < 1e-3, "white L* = {}", white.l);
+        assert!(white.a.abs() < 0.01 && white.b.abs() < 0.01);
+    }
+
+    #[test]
+    fn grey_is_neutral() {
+        let grey = Rgb::new(128, 128, 128).to_lab();
+        assert!(grey.a.abs() < 0.01 && grey.b.abs() < 0.01);
+        assert!(grey.l > 50.0 && grey.l < 55.0, "mid grey L* = {}", grey.l);
+    }
+
+    #[test]
+    fn red_has_positive_a() {
+        let red = Rgb::new(255, 0, 0).to_lab();
+        assert!(red.a > 60.0, "red a* = {}", red.a);
+        assert!(red.b > 40.0);
+    }
+
+    #[test]
+    fn blue_has_negative_b() {
+        let blue = Rgb::new(0, 0, 255).to_lab();
+        assert!(blue.b < -80.0, "blue b* = {}", blue.b);
+    }
+
+    #[test]
+    fn delta_e_properties() {
+        let a = Rgb::new(10, 200, 30).to_lab();
+        let b = Rgb::new(200, 10, 30).to_lab();
+        assert_eq!(a.delta_e(&a), 0.0);
+        assert!((a.delta_e(&b) - b.delta_e(&a)).abs() < 1e-12);
+        assert!(a.delta_e(&b) > 0.0);
+    }
+
+    #[test]
+    fn average_of_colors() {
+        let cs = [Lab::new(0.0, 10.0, -10.0), Lab::new(100.0, -10.0, 10.0)];
+        let avg = Lab::average(cs.iter()).unwrap();
+        assert_eq!(avg, Lab::new(50.0, 0.0, 0.0));
+        assert!(Lab::average(std::iter::empty()).is_none());
+    }
+}

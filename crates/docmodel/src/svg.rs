@@ -1,0 +1,158 @@
+//! SVG rendering of documents and block overlays.
+//!
+//! Used to regenerate the paper's qualitative figures: Fig. 4 (layout-model
+//! nesting), Fig. 6 (logical blocks and interest points) and Fig. 8
+//! (ground-truth annotations).
+
+use crate::document::Document;
+use crate::geometry::BBox;
+use crate::layout::LayoutTree;
+
+/// A labelled rectangle overlay.
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    /// Rectangle to draw.
+    pub bbox: BBox,
+    /// Stroke colour (any SVG colour string).
+    pub stroke: String,
+    /// Optional caption drawn at the rectangle's top-left corner.
+    pub label: Option<String>,
+}
+
+impl Overlay {
+    /// Creates an overlay with the given stroke colour.
+    pub fn new(bbox: BBox, stroke: impl Into<String>) -> Self {
+        Self {
+            bbox,
+            stroke: stroke.into(),
+            label: None,
+        }
+    }
+
+    /// Builder-style label assignment.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Renders a document with overlays to an SVG string. Words are drawn as
+/// their text at their bounding-box position; images as grey rectangles.
+pub fn render_svg(doc: &Document, overlays: &[Overlay]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\">\n",
+        w = doc.width,
+        h = doc.height
+    ));
+    out.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    for img in &doc.images {
+        out.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+             fill=\"#d8d8d8\" stroke=\"#aaaaaa\"/>\n",
+            img.bbox.x, img.bbox.y, img.bbox.w, img.bbox.h
+        ));
+    }
+    for t in &doc.texts {
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"{:.1}\" \
+             font-family=\"sans-serif\">{}</text>\n",
+            t.bbox.x,
+            t.bbox.bottom(),
+            t.font_size,
+            escape(&t.text)
+        ));
+    }
+    for ov in overlays {
+        out.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+             fill=\"none\" stroke=\"{}\" stroke-width=\"1.5\"/>\n",
+            ov.bbox.x,
+            ov.bbox.y,
+            ov.bbox.w,
+            ov.bbox.h,
+            escape(&ov.stroke)
+        ));
+        if let Some(label) = &ov.label {
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"8\" fill=\"{}\">{}</text>\n",
+                ov.bbox.x,
+                (ov.bbox.y - 2.0).max(8.0),
+                escape(&ov.stroke),
+                escape(label)
+            ));
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders a layout tree over its document: every node becomes an overlay
+/// whose colour encodes its depth (the Fig. 4 reproduction).
+pub fn render_layout_tree(doc: &Document, tree: &LayoutTree) -> String {
+    const PALETTE: [&str; 6] = [
+        "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+    ];
+    let overlays: Vec<Overlay> = tree
+        .preorder()
+        .into_iter()
+        .map(|id| {
+            let d = tree.depth(id);
+            Overlay::new(tree.node(id).bbox, PALETTE[d % PALETTE.len()])
+        })
+        .collect();
+    render_svg(doc, &overlays)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::TextElement;
+
+    fn sample_doc() -> Document {
+        let mut d = Document::new("svg-test", 100.0, 80.0);
+        d.push_text(TextElement::word("Hello", BBox::new(10.0, 10.0, 30.0, 10.0)));
+        d.push_text(TextElement::word("<&>", BBox::new(10.0, 30.0, 20.0, 10.0)));
+        d
+    }
+
+    #[test]
+    fn svg_contains_words_and_overlays() {
+        let doc = sample_doc();
+        let svg = render_svg(
+            &doc,
+            &[Overlay::new(BBox::new(5.0, 5.0, 50.0, 20.0), "red").with_label("block")],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("Hello"));
+        assert!(svg.contains("stroke=\"red\""));
+        assert!(svg.contains(">block<"));
+    }
+
+    #[test]
+    fn svg_escapes_markup_characters() {
+        let doc = sample_doc();
+        let svg = render_svg(&doc, &[]);
+        assert!(svg.contains("&lt;&amp;&gt;"));
+        assert!(!svg.contains("><&>"));
+    }
+
+    #[test]
+    fn layout_tree_render_has_one_rect_per_node() {
+        let doc = sample_doc();
+        let mut tree = LayoutTree::new(doc.page_bbox(), doc.element_refs());
+        tree.add_child(tree.root(), BBox::new(0.0, 0.0, 50.0, 40.0), vec![]);
+        let svg = render_layout_tree(&doc, &tree);
+        let rects = svg.matches("fill=\"none\"").count();
+        assert_eq!(rects, 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Phase-2 (end-to-end) evaluation with text-aware matching.
+//!
+//! The paper's phase 2 compares "the predicted label for all localized
+//! and semantically classified named entities … against their
+//! corresponding ground-truth labels" (§6.2). A prediction is correct
+//! when its label matches and it localises the same ground-truth item —
+//! established here either geometrically (IoU of the matched-token box)
+//! or textually (the extracted text equals the annotated text after
+//! normalisation), so a correct extraction from a coarser logical block
+//! still counts, exactly as a label comparison post-localisation would.
+
+use crate::matching::PrCounts;
+use vs2_docmodel::BBox;
+
+/// A prediction or ground-truth item carrying label, box and text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionItem {
+    /// Entity label.
+    pub label: String,
+    /// Bounding box (matched tokens for predictions; annotation box for
+    /// ground truth).
+    pub bbox: BBox,
+    /// Extracted / annotated text.
+    pub text: String,
+}
+
+impl ExtractionItem {
+    /// Creates an item.
+    pub fn new(label: impl Into<String>, bbox: BBox, text: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            bbox,
+            text: text.into(),
+        }
+    }
+}
+
+/// Normalises text for comparison: lower-case, alphanumeric runs only.
+pub fn normalize_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_was_space = true;
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            out.extend(c.to_lowercase());
+            last_was_space = false;
+        } else if !last_was_space {
+            out.push(' ');
+            last_was_space = true;
+        }
+    }
+    out.trim_end().to_string()
+}
+
+/// `true` when a predicted text matches an annotated text: equal after
+/// normalisation, or one contains the other with at least half the
+/// length (an extraction covering a superset phrase still identifies the
+/// entity).
+pub fn texts_match(predicted: &str, truth: &str) -> bool {
+    let p = normalize_text(predicted);
+    let t = normalize_text(truth);
+    if p.is_empty() || t.is_empty() {
+        return false;
+    }
+    if p == t {
+        return true;
+    }
+    let contains = |hay: &str, needle: &str| {
+        hay.split(' ')
+            .collect::<Vec<_>>()
+            .windows(needle.split(' ').count())
+            .any(|w| w.join(" ") == needle)
+    };
+    (contains(&p, &t) && t.len() * 2 >= p.len()) || (contains(&t, &p) && p.len() * 2 >= t.len())
+}
+
+/// Geometric-or-textual IoU threshold for phase-2 span matching.
+pub const SPAN_IOU_THRESHOLD: f64 = 0.5;
+
+fn item_matches(pred: &ExtractionItem, truth: &ExtractionItem) -> bool {
+    // Half-unit tolerance on containment: coordinates roundtrip through
+    // the OCR channel's geometry and lose exactness.
+    pred.label == truth.label
+        && (pred.bbox.iou(&truth.bbox) >= SPAN_IOU_THRESHOLD
+            || truth.bbox.inflate(0.5).contains_box(&pred.bbox)
+            || texts_match(&pred.text, &truth.text))
+}
+
+/// Greedy one-to-one phase-2 matching: label equality plus geometric or
+/// textual agreement.
+pub fn evaluate_end_to_end(predictions: &[ExtractionItem], truth: &[ExtractionItem]) -> PrCounts {
+    let mut used_t = vec![false; truth.len()];
+    let mut tp = 0usize;
+    for p in predictions {
+        if let Some(ti) = truth
+            .iter()
+            .enumerate()
+            .position(|(ti, t)| !used_t[ti] && item_matches(p, t))
+        {
+            used_t[ti] = true;
+            tp += 1;
+        }
+    }
+    PrCounts {
+        true_positives: tp,
+        false_positives: predictions.len() - tp,
+        false_negatives: truth.len() - tp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize_text("  (614) 555-0175! "), "614 555 0175");
+        assert_eq!(normalize_text("Grand—Gala"), "grand gala");
+        assert_eq!(normalize_text(""), "");
+    }
+
+    #[test]
+    fn text_matching_rules() {
+        assert!(texts_match("James Wilson", "james wilson"));
+        assert!(texts_match("Hosted by James Wilson", "James Wilson"));
+        assert!(!texts_match("James Wilson", "Mary Davis"));
+        // Containment with wild length mismatch does not count.
+        assert!(!texts_match(
+            "a b c d e f g h i j k l m n o p James Wilson",
+            "James Wilson"
+        ));
+        assert!(!texts_match("", "x"));
+    }
+
+    #[test]
+    fn phone_punctuation_matches() {
+        assert!(texts_match("(614) 555-0175", "614-555-0175"));
+    }
+
+    #[test]
+    fn label_gates_matching() {
+        let bbox = BBox::new(0.0, 0.0, 10.0, 10.0);
+        let p = vec![ExtractionItem::new("a", bbox, "text")];
+        let t = vec![ExtractionItem::new("b", bbox, "text")];
+        let c = evaluate_end_to_end(&p, &t);
+        assert_eq!(c.true_positives, 0);
+    }
+
+    #[test]
+    fn geometric_match_without_text() {
+        let p = vec![ExtractionItem::new(
+            "a",
+            BBox::new(0.0, 0.0, 10.0, 10.0),
+            "ocr-garbled",
+        )];
+        let t = vec![ExtractionItem::new(
+            "a",
+            BBox::new(0.5, 0.0, 10.0, 10.0),
+            "clean text",
+        )];
+        let c = evaluate_end_to_end(&p, &t);
+        assert_eq!(c.true_positives, 1);
+    }
+
+    #[test]
+    fn textual_match_without_geometry() {
+        let p = vec![ExtractionItem::new(
+            "a",
+            BBox::new(500.0, 500.0, 10.0, 10.0),
+            "James Wilson",
+        )];
+        let t = vec![ExtractionItem::new(
+            "a",
+            BBox::new(0.0, 0.0, 10.0, 10.0),
+            "James Wilson",
+        )];
+        let c = evaluate_end_to_end(&p, &t);
+        assert_eq!(c.true_positives, 1);
+    }
+
+    #[test]
+    fn span_inside_truth_box_matches() {
+        let p = vec![ExtractionItem::new(
+            "a",
+            BBox::new(2.0, 2.0, 3.0, 3.0),
+            "partial",
+        )];
+        let t = vec![ExtractionItem::new(
+            "a",
+            BBox::new(0.0, 0.0, 10.0, 10.0),
+            "whole line text",
+        )];
+        assert_eq!(evaluate_end_to_end(&p, &t).true_positives, 1);
+    }
+
+    #[test]
+    fn one_to_one_discipline() {
+        let bbox = BBox::new(0.0, 0.0, 10.0, 10.0);
+        let p = vec![
+            ExtractionItem::new("a", bbox, "x"),
+            ExtractionItem::new("a", bbox, "x"),
+        ];
+        let t = vec![ExtractionItem::new("a", bbox, "x")];
+        let c = evaluate_end_to_end(&p, &t);
+        assert_eq!(c.true_positives, 1);
+        assert_eq!(c.false_positives, 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! # vs2-eval
+//!
+//! The evaluation protocol of the VS2 paper (§6.2) plus the statistical
+//! tests its analysis cites:
+//!
+//! * [`matching`] — IoU ≥ 0.65 greedy one-to-one matching (Everingham
+//!   et al.'s protocol), phase-1 (label-free segmentation) and phase-2
+//!   (label-gated end-to-end) precision/recall/F1;
+//! * [`stats`] — Pearson correlation, Welch's t-test (the §6.4
+//!   significance claim) and a Shapiro–Wilk normality check (the §5.2.1
+//!   corpus-construction stopping rule).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extraction;
+pub mod matching;
+pub mod stats;
+
+pub use extraction::{evaluate_end_to_end, normalize_text, texts_match, ExtractionItem};
+pub use matching::{
+    evaluate_extraction, evaluate_segmentation, match_boxes, LabeledBox, PrCounts, IOU_THRESHOLD,
+};
+pub use stats::{pearson, shapiro_wilk, welch_t_test, TestResult};
+
+#[cfg(test)]
+mod proptests {
+    use crate::matching::{evaluate_segmentation, match_boxes};
+    use proptest::prelude::*;
+    use vs2_docmodel::BBox;
+
+    fn arb_boxes() -> impl Strategy<Value = Vec<BBox>> {
+        proptest::collection::vec(
+            (0.0..200.0f64, 0.0..200.0f64, 1.0..60.0f64, 1.0..60.0f64)
+                .prop_map(|(x, y, w, h)| BBox::new(x, y, w, h)),
+            0..12,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn matching_is_one_to_one(p in arb_boxes(), t in arb_boxes()) {
+            let m = match_boxes(&p, &t, 0.3);
+            let mut ps: Vec<usize> = m.iter().map(|x| x.0).collect();
+            let mut ts: Vec<usize> = m.iter().map(|x| x.1).collect();
+            let (lp, lt) = (ps.len(), ts.len());
+            ps.sort_unstable(); ps.dedup();
+            ts.sort_unstable(); ts.dedup();
+            prop_assert_eq!(ps.len(), lp);
+            prop_assert_eq!(ts.len(), lt);
+        }
+
+        #[test]
+        fn counts_are_consistent(p in arb_boxes(), t in arb_boxes()) {
+            let c = evaluate_segmentation(&p, &t);
+            prop_assert_eq!(c.true_positives + c.false_positives, p.len());
+            prop_assert_eq!(c.true_positives + c.false_negatives, t.len());
+            prop_assert!((0.0..=1.0).contains(&c.precision()));
+            prop_assert!((0.0..=1.0).contains(&c.recall()));
+            prop_assert!((0.0..=1.0).contains(&c.f1()));
+        }
+
+        #[test]
+        fn self_evaluation_is_perfect(p in arb_boxes()) {
+            let c = evaluate_segmentation(&p, &p);
+            prop_assert_eq!(c.false_negatives, 0);
+            // Duplicate-free inputs match perfectly; duplicates may
+            // compete for the same truth box, so only recall is exact.
+            prop_assert_eq!(c.recall(), 1.0);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! IoU-based proposal matching and precision/recall (§6.2 of the paper).
+//!
+//! Following Everingham et al.'s protocol, a proposal is accurate when
+//! its IoU against a ground-truth box is at least 0.65. Matching is
+//! greedy one-to-one, best IoU first. Phase 1 (segmentation) ignores
+//! labels; phase 2 (end-to-end) additionally requires the predicted
+//! entity label to equal the ground truth's.
+
+use vs2_docmodel::BBox;
+
+/// The paper's IoU acceptance threshold.
+pub const IOU_THRESHOLD: f64 = 0.65;
+
+/// Precision/recall counts of one evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrCounts {
+    /// Matched proposals.
+    pub true_positives: usize,
+    /// Unmatched proposals.
+    pub false_positives: usize,
+    /// Unmatched ground-truth items.
+    pub false_negatives: usize,
+}
+
+impl PrCounts {
+    /// Precision in `[0, 1]`; 1 when there are no proposals.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall in `[0, 1]`; 1 when there is no ground truth.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accumulates another count.
+    pub fn add(&mut self, other: &PrCounts) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+    }
+}
+
+/// Greedy one-to-one matching of proposals to ground truth by IoU.
+/// Returns `(proposal index, ground-truth index, iou)` triples.
+pub fn match_boxes(proposals: &[BBox], truth: &[BBox], threshold: f64) -> Vec<(usize, usize, f64)> {
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    for (pi, p) in proposals.iter().enumerate() {
+        for (ti, t) in truth.iter().enumerate() {
+            let iou = p.iou(t);
+            if iou >= threshold {
+                pairs.push((pi, ti, iou));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let mut used_p = vec![false; proposals.len()];
+    let mut used_t = vec![false; truth.len()];
+    let mut out = Vec::new();
+    for (pi, ti, iou) in pairs {
+        if used_p[pi] || used_t[ti] {
+            continue;
+        }
+        used_p[pi] = true;
+        used_t[ti] = true;
+        out.push((pi, ti, iou));
+    }
+    out
+}
+
+/// Phase-1 (segmentation) evaluation: label-free box matching.
+pub fn evaluate_segmentation(proposals: &[BBox], truth: &[BBox]) -> PrCounts {
+    let matched = match_boxes(proposals, truth, IOU_THRESHOLD);
+    PrCounts {
+        true_positives: matched.len(),
+        false_positives: proposals.len() - matched.len(),
+        false_negatives: truth.len() - matched.len(),
+    }
+}
+
+/// A labelled proposal or ground-truth item for phase-2 evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledBox {
+    /// Entity label.
+    pub label: String,
+    /// Bounding box.
+    pub bbox: BBox,
+}
+
+impl LabeledBox {
+    /// Creates a labelled box.
+    pub fn new(label: impl Into<String>, bbox: BBox) -> Self {
+        Self {
+            label: label.into(),
+            bbox,
+        }
+    }
+}
+
+/// Phase-2 (end-to-end) evaluation: a proposal is correct when it matches
+/// a ground-truth box by IoU *and* carries the same label.
+pub fn evaluate_extraction(proposals: &[LabeledBox], truth: &[LabeledBox]) -> PrCounts {
+    // Match within each label group independently (labels partition both
+    // sides; cross-label matches can never count).
+    let mut labels: Vec<&str> = proposals
+        .iter()
+        .map(|p| p.label.as_str())
+        .chain(truth.iter().map(|t| t.label.as_str()))
+        .collect();
+    labels.sort_unstable();
+    labels.dedup();
+
+    let mut counts = PrCounts::default();
+    for label in labels {
+        let p: Vec<BBox> = proposals
+            .iter()
+            .filter(|x| x.label == label)
+            .map(|x| x.bbox)
+            .collect();
+        let t: Vec<BBox> = truth
+            .iter()
+            .filter(|x| x.label == label)
+            .map(|x| x.bbox)
+            .collect();
+        counts.add(&evaluate_segmentation(&p, &t));
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_segmentation() {
+        let boxes = vec![BBox::new(0.0, 0.0, 10.0, 10.0), BBox::new(20.0, 0.0, 10.0, 10.0)];
+        let c = evaluate_segmentation(&boxes, &boxes);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn near_miss_below_threshold_fails() {
+        let p = vec![BBox::new(0.0, 0.0, 10.0, 10.0)];
+        let t = vec![BBox::new(5.0, 0.0, 10.0, 10.0)]; // IoU = 1/3
+        let c = evaluate_segmentation(&p, &t);
+        assert_eq!(c.true_positives, 0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+    }
+
+    #[test]
+    fn slight_jitter_above_threshold_passes() {
+        let p = vec![BBox::new(0.0, 0.0, 100.0, 20.0)];
+        let t = vec![BBox::new(2.0, 1.0, 100.0, 20.0)];
+        assert!(p[0].iou(&t[0]) > IOU_THRESHOLD);
+        let c = evaluate_segmentation(&p, &t);
+        assert_eq!(c.true_positives, 1);
+    }
+
+    #[test]
+    fn greedy_matching_is_one_to_one() {
+        // Two proposals over one truth: only one may match.
+        let p = vec![BBox::new(0.0, 0.0, 10.0, 10.0), BBox::new(0.5, 0.0, 10.0, 10.0)];
+        let t = vec![BBox::new(0.0, 0.0, 10.0, 10.0)];
+        let c = evaluate_segmentation(&p, &t);
+        assert_eq!(c.true_positives, 1);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.false_negatives, 0);
+    }
+
+    #[test]
+    fn best_iou_wins_the_match() {
+        let p = vec![BBox::new(1.0, 0.0, 10.0, 10.0), BBox::new(0.0, 0.0, 10.0, 10.0)];
+        let t = vec![BBox::new(0.0, 0.0, 10.0, 10.0)];
+        let m = match_boxes(&p, &t, 0.5);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].0, 1, "exact proposal must take the match");
+    }
+
+    #[test]
+    fn labels_gate_extraction_matches() {
+        let bbox = BBox::new(0.0, 0.0, 10.0, 10.0);
+        let p = vec![LabeledBox::new("title", bbox)];
+        let t = vec![LabeledBox::new("organizer", bbox)];
+        let c = evaluate_extraction(&p, &t);
+        assert_eq!(c.true_positives, 0);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.false_negatives, 1);
+
+        let t2 = vec![LabeledBox::new("title", bbox)];
+        let c2 = evaluate_extraction(&p, &t2);
+        assert_eq!(c2.true_positives, 1);
+        assert_eq!(c2.f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let c = evaluate_segmentation(&[], &[]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        let c = evaluate_segmentation(&[], &[BBox::new(0.0, 0.0, 1.0, 1.0)]);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.precision(), 1.0);
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut a = PrCounts {
+            true_positives: 1,
+            false_positives: 2,
+            false_negatives: 3,
+        };
+        a.add(&PrCounts {
+            true_positives: 4,
+            false_positives: 5,
+            false_negatives: 6,
+        });
+        assert_eq!(a.true_positives, 5);
+        assert_eq!(a.false_positives, 7);
+        assert_eq!(a.false_negatives, 9);
+    }
+}

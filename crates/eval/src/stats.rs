@@ -1,0 +1,388 @@
+//! Statistical tests used in the paper's evaluation.
+//!
+//! * Pearson correlation — Algorithm 1's diagnostic (also re-exported
+//!   from `vs2-core`, implemented here independently for the harness);
+//! * Welch's t-test — "the average improvement in performance using VS2
+//!   was statistically significant (t-test reveals p < 0.05)" (§6.4);
+//! * Shapiro–Wilk normality test (reference [40]) — the holdout corpus
+//!   grows "until the distribution of distinct syntactic patterns … was
+//!   approximately normal" (§5.2.1).
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Pearson correlation coefficient; 0 when undefined.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(&xs[..n]);
+    let my = mean(&ys[..n]);
+    let (mut cov, mut vx, mut vy) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        cov += (xs[i] - mx) * (ys[i] - my);
+        vx += (xs[i] - mx).powi(2);
+        vy += (ys[i] - my).powi(2);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Result of a two-sample test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic.
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Welch's unequal-variance t-test (two-sided).
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> TestResult {
+    if a.len() < 2 || b.len() < 2 {
+        return TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+        };
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return TestResult {
+            statistic: if ma == mb { 0.0 } else { f64::INFINITY },
+            p_value: if ma == mb { 1.0 } else { 0.0 },
+        };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2.powi(2)
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(1e-300);
+    TestResult {
+        statistic: t,
+        p_value: 2.0 * (1.0 - student_t_cdf(t.abs(), df)),
+    }
+}
+
+/// Student-t CDF via the regularised incomplete beta function.
+fn student_t_cdf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 1.0;
+    }
+    let x = df / (df + t * t);
+    1.0 - 0.5 * incomplete_beta(df / 2.0, 0.5, x)
+}
+
+/// Regularised incomplete beta `I_x(a, b)` by continued fraction
+/// (Numerical-Recipes-style `betacf`).
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 1e-12;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < 1e-300 {
+        d = 1e-300;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < 1e-300 {
+            d = 1e-300;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < 1e-300 {
+            c = 1e-300;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < 1e-300 {
+            d = 1e-300;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < 1e-300 {
+            c = 1e-300;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos log-gamma.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = G[0];
+    for (i, g) in G.iter().enumerate().skip(1) {
+        acc += g / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Shapiro–Wilk-style normality check. Computes the W statistic using the
+/// Royston approximation of the order-statistic weights and reports an
+/// approximate p-value; adequate for the corpus-construction stopping
+/// rule of §5.2.1.
+pub fn shapiro_wilk(xs: &[f64]) -> TestResult {
+    let n = xs.len();
+    if n < 3 {
+        return TestResult {
+            statistic: 1.0,
+            p_value: 1.0,
+        };
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Blom scores → normalised weights (Royston's approximation).
+    let m: Vec<f64> = (1..=n)
+        .map(|i| normal_quantile((i as f64 - 0.375) / (n as f64 + 0.25)))
+        .collect();
+    let m_norm: f64 = m.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let a: Vec<f64> = m.iter().map(|x| x / m_norm).collect();
+
+    let mu = mean(&sorted);
+    let ss: f64 = sorted.iter().map(|x| (x - mu).powi(2)).sum();
+    if ss <= 0.0 {
+        return TestResult {
+            statistic: 1.0,
+            p_value: 1.0,
+        };
+    }
+    let b: f64 = a.iter().zip(&sorted).map(|(ai, xi)| ai * xi).sum();
+    let w = (b * b / ss).clamp(0.0, 1.0);
+
+    // Royston's normalising transform for p-value (n in 12..=2000-ish;
+    // for smaller n the constants still give a usable approximation).
+    let nf = n as f64;
+    let ln_n = nf.ln();
+    let (mu_w, sigma_w) = (
+        0.0038915 * ln_n.powi(3) - 0.083751 * ln_n.powi(2) - 0.31082 * ln_n - 1.5861,
+        (0.0030302 * ln_n.powi(2) - 0.082676 * ln_n - 0.4803).exp(),
+    );
+    let z = ((1.0 - w).ln() - mu_w) / sigma_w;
+    TestResult {
+        statistic: w,
+        p_value: 1.0 - standard_normal_cdf(z),
+    }
+}
+
+/// Standard normal CDF.
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function (Abramowitz–Stegun 7.1.26, |err| ≤ 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Inverse standard-normal CDF (Acklam's rational approximation).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "p in (0,1)");
+    const A: [f64; 6] = [
+        -39.696_830_286_653_76,
+        220.946_098_424_520_8,
+        -275.928_510_446_969_,
+        138.357_751_867_269,
+        -30.664_798_066_147_16,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -54.476_098_798_224_06,
+        161.585_836_858_040_9,
+        -155.698_979_859_886_6,
+        66.801_311_887_719_72,
+        -13.280_681_552_885_72,
+    ];
+    const C: [f64; 6] = [
+        -0.007_784_894_002_430_293,
+        -0.322_396_458_041_136_4,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        0.007_784_695_709_041_462,
+        0.322_467_129_070_039_8,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(variance(&[1.0, 2.0, 3.0]), 1.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_extremes() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let inv: Vec<f64> = y.iter().rev().copied().collect();
+        assert!((pearson(&x, &inv) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_detects_separated_means() {
+        let a: Vec<f64> = (0..30).map(|i| 0.80 + (i % 5) as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..30).map(|i| 0.70 + (i % 5) as f64 * 0.01).collect();
+        let r = welch_t_test(&a, &b);
+        assert!(r.p_value < 0.001, "p = {}", r.p_value);
+        assert!(r.statistic > 0.0);
+    }
+
+    #[test]
+    fn welch_accepts_identical_samples() {
+        let a: Vec<f64> = (0..30).map(|i| 0.8 + (i % 7) as f64 * 0.01).collect();
+        let r = welch_t_test(&a, &a);
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn normal_quantile_symmetry() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normal_cdf_endpoints() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!(standard_normal_cdf(5.0) > 0.999999);
+        assert!(standard_normal_cdf(-5.0) < 1e-6);
+    }
+
+    #[test]
+    fn t_cdf_is_monotone() {
+        assert!(student_t_cdf(0.0, 10.0) - 0.5 < 1e-9);
+        assert!(student_t_cdf(2.0, 10.0) > student_t_cdf(1.0, 10.0));
+        // Large df approaches the normal.
+        let t = student_t_cdf(1.96, 10_000.0);
+        assert!((t - 0.975).abs() < 0.002, "{t}");
+    }
+
+    #[test]
+    fn shapiro_wilk_accepts_normalish_data() {
+        // Deterministic normal-ish sample via the quantile function.
+        let xs: Vec<f64> = (1..=50)
+            .map(|i| normal_quantile(i as f64 / 51.0))
+            .collect();
+        let r = shapiro_wilk(&xs);
+        assert!(r.statistic > 0.97, "W = {}", r.statistic);
+        assert!(r.p_value > 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn shapiro_wilk_rejects_bimodal_data() {
+        let mut xs = vec![0.0; 25];
+        xs.extend(vec![10.0; 25]);
+        let r = shapiro_wilk(&xs);
+        assert!(r.statistic < 0.85, "W = {}", r.statistic);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(welch_t_test(&[1.0], &[2.0]).p_value, 1.0);
+        assert_eq!(shapiro_wilk(&[1.0, 2.0]).p_value, 1.0);
+        assert_eq!(shapiro_wilk(&[3.0; 10]).statistic, 1.0);
+    }
+}

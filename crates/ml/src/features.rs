@@ -1,0 +1,154 @@
+//! Sparse feature vectors and feature hashing.
+//!
+//! The supervised baselines of the paper (Zhou et al.'s ML extractor and
+//! Apostolova et al.'s SVM) train on bags of textual and visual features.
+//! Feature hashing keeps the reproduction's models dependency-free and
+//! deterministic.
+
+/// A sparse feature vector: `(index, value)` pairs sorted by index with no
+/// duplicates (duplicate contributions are summed at construction).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVec(Vec<(u32, f64)>);
+
+impl SparseVec {
+    /// Builds a vector from unsorted, possibly duplicated pairs.
+    pub fn from_pairs(mut pairs: Vec<(u32, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        let mut out: Vec<(u32, f64)> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            match out.last_mut() {
+                Some((li, lv)) if *li == i => *lv += v,
+                _ => out.push((i, v)),
+            }
+        }
+        out.retain(|(_, v)| *v != 0.0);
+        Self(out)
+    }
+
+    /// The underlying pairs.
+    pub fn pairs(&self) -> &[(u32, f64)] {
+        &self.0
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dot product with a dense weight vector (indices beyond the dense
+    /// length contribute nothing).
+    pub fn dot(&self, dense: &[f64]) -> f64 {
+        self.0
+            .iter()
+            .filter(|(i, _)| (*i as usize) < dense.len())
+            .map(|(i, v)| dense[*i as usize] * v)
+            .sum()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f64 {
+        self.0.iter().map(|(_, v)| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Hashes named features into a fixed index space.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureHasher {
+    /// Number of hash buckets (the dense dimensionality).
+    pub dims: u32,
+}
+
+impl FeatureHasher {
+    /// Creates a hasher with `dims` buckets.
+    pub fn new(dims: u32) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        Self { dims }
+    }
+
+    /// Bucket of a feature name (FNV-1a).
+    pub fn index(&self, name: &str) -> u32 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % self.dims as u64) as u32
+    }
+
+    /// Hashes `(name, value)` features into a sparse vector.
+    pub fn vectorize<'a, I: IntoIterator<Item = (&'a str, f64)>>(&self, feats: I) -> SparseVec {
+        SparseVec::from_pairs(
+            feats
+                .into_iter()
+                .map(|(n, v)| (self.index(n), v))
+                .collect(),
+        )
+    }
+}
+
+/// A labelled training example for binary classifiers.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// Feature vector.
+    pub features: SparseVec,
+    /// Binary label.
+    pub label: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let v = SparseVec::from_pairs(vec![(3, 1.0), (1, 2.0), (3, 0.5)]);
+        assert_eq!(v.pairs(), &[(1, 2.0), (3, 1.5)]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn zero_values_are_dropped() {
+        let v = SparseVec::from_pairs(vec![(1, 1.0), (1, -1.0), (2, 3.0)]);
+        assert_eq!(v.pairs(), &[(2, 3.0)]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let v = SparseVec::from_pairs(vec![(0, 2.0), (2, 3.0)]);
+        let dense = vec![1.0, 10.0, 0.5];
+        assert_eq!(v.dot(&dense), 3.5);
+        // Out-of-range indices are ignored.
+        let big = SparseVec::from_pairs(vec![(100, 1.0)]);
+        assert_eq!(big.dot(&dense), 0.0);
+    }
+
+    #[test]
+    fn norm() {
+        let v = SparseVec::from_pairs(vec![(0, 3.0), (1, 4.0)]);
+        assert_eq!(v.norm(), 5.0);
+    }
+
+    #[test]
+    fn hasher_is_deterministic_and_bounded() {
+        let h = FeatureHasher::new(64);
+        assert_eq!(h.index("word=concert"), h.index("word=concert"));
+        for name in ["a", "b", "font_size", "word=broker"] {
+            assert!(h.index(name) < 64);
+        }
+    }
+
+    #[test]
+    fn vectorize_merges_collisions() {
+        let h = FeatureHasher::new(2);
+        let v = h.vectorize(vec![("a", 1.0), ("b", 1.0), ("c", 1.0)]);
+        // With 2 buckets some features must collide; total mass preserved.
+        let total: f64 = v.pairs().iter().map(|(_, x)| x).sum();
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_panics() {
+        FeatureHasher::new(0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # vs2-ml
+//!
+//! Minimal deterministic machine-learning substrate for the learned
+//! baselines of the VS2 reproduction (§6.4 of the paper): feature hashing,
+//! logistic regression (for the Zhou-et-al-style ML extractor), a Pegasos
+//! linear SVM (for the Apostolova-et-al-style visual+textual classifier),
+//! and Bernoulli naive Bayes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod linear;
+pub mod nb;
+
+pub use features::{Example, FeatureHasher, SparseVec};
+pub use linear::{train_logistic, train_svm, LinearModel, TrainConfig};
+pub use nb::NaiveBayes;
+
+#[cfg(test)]
+mod proptests {
+    use crate::features::SparseVec;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn from_pairs_is_sorted_and_unique(pairs in proptest::collection::vec((0u32..64, -5.0..5.0f64), 0..40)) {
+            let v = SparseVec::from_pairs(pairs);
+            let idx: Vec<u32> = v.pairs().iter().map(|(i, _)| *i).collect();
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(idx, sorted);
+            prop_assert!(v.pairs().iter().all(|(_, x)| *x != 0.0));
+        }
+
+        #[test]
+        fn dot_is_linear_in_scaling(pairs in proptest::collection::vec((0u32..16, -3.0..3.0f64), 1..10), k in -3.0..3.0f64) {
+            let v = SparseVec::from_pairs(pairs.clone());
+            let scaled = SparseVec::from_pairs(pairs.iter().map(|(i, x)| (*i, x * k)).collect());
+            let dense: Vec<f64> = (0..16).map(|i| i as f64 * 0.5 - 2.0).collect();
+            prop_assert!((scaled.dot(&dense) - k * v.dot(&dense)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Linear binary classifiers: logistic regression (SGD) and a Pegasos
+//! linear SVM.
+//!
+//! Stand-ins for the learned baselines of §6.4: Zhou et al.'s supervised
+//! ML extractor (logistic regression here) and Apostolova et al.'s SVM on
+//! visual + textual features (the Pegasos SVM here). Both train on hashed
+//! sparse features and are fully deterministic given a seed.
+
+use crate::features::{Example, SparseVec};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A trained linear decision function `w·x + b`.
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    /// Dense weights, indexed by hashed feature bucket.
+    pub weights: Vec<f64>,
+    /// Bias term.
+    pub bias: f64,
+}
+
+impl LinearModel {
+    /// Raw decision value.
+    pub fn decision(&self, x: &SparseVec) -> f64 {
+        x.dot(&self.weights) + self.bias
+    }
+
+    /// Predicted label.
+    pub fn predict(&self, x: &SparseVec) -> bool {
+        self.decision(x) > 0.0
+    }
+
+    /// Probability under the logistic link (meaningful for logistic
+    /// regression; a monotone score for the SVM).
+    pub fn probability(&self, x: &SparseVec) -> f64 {
+        1.0 / (1.0 + (-self.decision(x)).exp())
+    }
+}
+
+/// Training hyper-parameters shared by both trainers.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Dense dimensionality (must cover the feature hasher's `dims`).
+    pub dims: u32,
+    /// Number of passes over the shuffled data.
+    pub epochs: usize,
+    /// Base learning rate (logistic) / inverse-regularisation (SVM λ).
+    pub rate: f64,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            dims: 1 << 14,
+            epochs: 20,
+            rate: 0.1,
+            l2: 1e-4,
+            seed: 7,
+        }
+    }
+}
+
+/// Trains logistic regression with plain SGD.
+pub fn train_logistic(examples: &[Example], config: TrainConfig) -> LinearModel {
+    let mut w = vec![0.0; config.dims as usize];
+    let mut b = 0.0;
+    let mut order: Vec<usize> = (0..examples.len()).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut t = 0usize;
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        for &i in &order {
+            t += 1;
+            let lr = config.rate / (1.0 + config.rate * config.l2 * t as f64);
+            let ex = &examples[i];
+            let y = if ex.label { 1.0 } else { 0.0 };
+            let p = 1.0 / (1.0 + (-(ex.features.dot(&w) + b)).exp());
+            let g = p - y;
+            for &(idx, v) in ex.features.pairs() {
+                let wi = &mut w[idx as usize];
+                *wi -= lr * (g * v + config.l2 * *wi);
+            }
+            b -= lr * g;
+        }
+    }
+    LinearModel { weights: w, bias: b }
+}
+
+/// Trains a linear SVM with the Pegasos sub-gradient method.
+pub fn train_svm(examples: &[Example], config: TrainConfig) -> LinearModel {
+    let lambda = config.l2.max(1e-8);
+    let mut w = vec![0.0; config.dims as usize];
+    let mut b = 0.0;
+    let mut order: Vec<usize> = (0..examples.len()).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut t = 1usize;
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        for &i in &order {
+            // Cap the Pegasos step: 1/(λt) is enormous for small t and
+            // destabilises the bias; capping preserves convergence.
+            let eta = (1.0 / (lambda * t as f64)).min(1.0);
+            let ex = &examples[i];
+            let y = if ex.label { 1.0 } else { -1.0 };
+            let margin = y * (ex.features.dot(&w) + b);
+            // w ← (1 − ηλ)w [+ ηy x if margin < 1]
+            let scale = 1.0 - eta * lambda;
+            if scale > 0.0 {
+                for wi in w.iter_mut() {
+                    *wi *= scale;
+                }
+            }
+            if margin < 1.0 {
+                for &(idx, v) in ex.features.pairs() {
+                    w[idx as usize] += eta * y * v;
+                }
+                b += eta * y;
+            }
+            t += 1;
+        }
+    }
+    LinearModel { weights: w, bias: b }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureHasher;
+
+    fn toy_data() -> (Vec<Example>, FeatureHasher) {
+        // Positive: has "broker" and "phone"; negative: has "concert".
+        let h = FeatureHasher::new(256);
+        let mut data = Vec::new();
+        for i in 0..40 {
+            let extra = format!("noise{}", i % 7);
+            data.push(Example {
+                features: h.vectorize(vec![("broker", 1.0), ("phone", 1.0), (extra.as_str(), 1.0)]),
+                label: true,
+            });
+            data.push(Example {
+                features: h.vectorize(vec![("concert", 1.0), ("stage", 1.0), (extra.as_str(), 1.0)]),
+                label: false,
+            });
+        }
+        (data, h)
+    }
+
+    fn cfg() -> TrainConfig {
+        TrainConfig {
+            dims: 256,
+            epochs: 30,
+            rate: 0.5,
+            l2: 1e-4,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn logistic_separates_toy_data() {
+        let (data, h) = toy_data();
+        let m = train_logistic(&data, cfg());
+        let pos = h.vectorize(vec![("broker", 1.0), ("phone", 1.0)]);
+        let neg = h.vectorize(vec![("concert", 1.0), ("stage", 1.0)]);
+        assert!(m.predict(&pos));
+        assert!(!m.predict(&neg));
+        assert!(m.probability(&pos) > 0.8);
+        assert!(m.probability(&neg) < 0.2);
+    }
+
+    #[test]
+    fn svm_separates_toy_data() {
+        let (data, h) = toy_data();
+        let m = train_svm(&data, cfg());
+        let pos = h.vectorize(vec![("broker", 1.0), ("phone", 1.0)]);
+        let neg = h.vectorize(vec![("concert", 1.0), ("stage", 1.0)]);
+        assert!(m.decision(&pos) > m.decision(&neg));
+        assert!(m.predict(&pos));
+        assert!(!m.predict(&neg));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (data, _) = toy_data();
+        let a = train_logistic(&data, cfg());
+        let b = train_logistic(&data, cfg());
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.bias, b.bias);
+    }
+
+    #[test]
+    fn empty_training_set_yields_zero_model() {
+        let m = train_logistic(&[], cfg());
+        assert!(m.weights.iter().all(|w| *w == 0.0));
+        let m = train_svm(&[], cfg());
+        assert!(m.weights.iter().all(|w| *w == 0.0));
+    }
+
+    #[test]
+    fn probability_is_monotone_in_decision() {
+        let (data, h) = toy_data();
+        let m = train_logistic(&data, cfg());
+        let strong = h.vectorize(vec![("broker", 2.0), ("phone", 2.0)]);
+        let weak = h.vectorize(vec![("broker", 0.5)]);
+        assert!(m.probability(&strong) > m.probability(&weak));
+    }
+}

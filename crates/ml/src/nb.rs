@@ -1,0 +1,153 @@
+//! Bernoulli naive Bayes.
+//!
+//! A lightweight probabilistic alternative to the linear models; used by
+//! ablation variants of the learned baselines and handy as a calibration
+//! reference in benches.
+
+use crate::features::{Example, SparseVec};
+use std::collections::HashMap;
+
+/// A trained Bernoulli naive-Bayes model over hashed feature presence.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    log_prior_pos: f64,
+    log_prior_neg: f64,
+    /// Per-feature log-likelihood ratios for presence.
+    feature_llr: HashMap<u32, (f64, f64)>,
+    default_pos: f64,
+    default_neg: f64,
+}
+
+impl NaiveBayes {
+    /// Trains with Laplace smoothing.
+    pub fn train(examples: &[Example]) -> Self {
+        let n_pos = examples.iter().filter(|e| e.label).count();
+        let n_neg = examples.len() - n_pos;
+        let mut counts: HashMap<u32, (usize, usize)> = HashMap::new();
+        for ex in examples {
+            for &(i, v) in ex.features.pairs() {
+                if v != 0.0 {
+                    let c = counts.entry(i).or_insert((0, 0));
+                    if ex.label {
+                        c.0 += 1;
+                    } else {
+                        c.1 += 1;
+                    }
+                }
+            }
+        }
+        let denom_pos = (n_pos + 2) as f64;
+        let denom_neg = (n_neg + 2) as f64;
+        let feature_llr = counts
+            .into_iter()
+            .map(|(i, (cp, cn))| {
+                let lp = ((cp + 1) as f64 / denom_pos).ln();
+                let ln = ((cn + 1) as f64 / denom_neg).ln();
+                (i, (lp, ln))
+            })
+            .collect();
+        let total = (examples.len().max(1)) as f64;
+        Self {
+            log_prior_pos: ((n_pos.max(1)) as f64 / total).ln(),
+            log_prior_neg: ((n_neg.max(1)) as f64 / total).ln(),
+            feature_llr,
+            default_pos: (1.0 / denom_pos).ln(),
+            default_neg: (1.0 / denom_neg).ln(),
+        }
+    }
+
+    /// Log-odds of the positive class.
+    pub fn log_odds(&self, x: &SparseVec) -> f64 {
+        let mut pos = self.log_prior_pos;
+        let mut neg = self.log_prior_neg;
+        for &(i, v) in x.pairs() {
+            if v == 0.0 {
+                continue;
+            }
+            let (lp, ln) = self
+                .feature_llr
+                .get(&i)
+                .copied()
+                .unwrap_or((self.default_pos, self.default_neg));
+            pos += lp;
+            neg += ln;
+        }
+        pos - neg
+    }
+
+    /// Predicted label.
+    pub fn predict(&self, x: &SparseVec) -> bool {
+        self.log_odds(x) > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureHasher;
+
+    #[test]
+    fn separates_obvious_classes() {
+        // 4096 buckets: the test words must not collide ("acres" and
+        // "concert" collide at 128).
+        let h = FeatureHasher::new(4096);
+        let mut data = Vec::new();
+        for _ in 0..20 {
+            data.push(Example {
+                features: h.vectorize(vec![("acres", 1.0), ("broker", 1.0)]),
+                label: true,
+            });
+            data.push(Example {
+                features: h.vectorize(vec![("concert", 1.0), ("tickets", 1.0)]),
+                label: false,
+            });
+        }
+        let m = NaiveBayes::train(&data);
+        assert!(m.predict(&h.vectorize(vec![("acres", 1.0)])));
+        assert!(!m.predict(&h.vectorize(vec![("tickets", 1.0)])));
+    }
+
+    #[test]
+    fn unseen_features_fall_back_to_smoothing() {
+        let h = FeatureHasher::new(128);
+        let data = vec![
+            Example {
+                features: h.vectorize(vec![("a", 1.0)]),
+                label: true,
+            },
+            Example {
+                features: h.vectorize(vec![("b", 1.0)]),
+                label: false,
+            },
+        ];
+        let m = NaiveBayes::train(&data);
+        // A vector of only unseen features decides by prior (balanced here),
+        // and must not panic.
+        let _ = m.predict(&h.vectorize(vec![("zzz", 1.0)]));
+    }
+
+    #[test]
+    fn skewed_priors_matter() {
+        let h = FeatureHasher::new(128);
+        let mut data = Vec::new();
+        for _ in 0..30 {
+            data.push(Example {
+                features: h.vectorize(vec![("x", 1.0)]),
+                label: true,
+            });
+        }
+        data.push(Example {
+            features: h.vectorize(vec![("x", 1.0)]),
+            label: false,
+        });
+        let m = NaiveBayes::train(&data);
+        assert!(m.log_odds(&h.vectorize(vec![("x", 1.0)])) > 0.0);
+    }
+
+    #[test]
+    fn empty_training_does_not_panic() {
+        let m = NaiveBayes::train(&[]);
+        let h = FeatureHasher::new(8);
+        let _ = m.predict(&h.vectorize(vec![("a", 1.0)]));
+    }
+}

@@ -1,0 +1,128 @@
+//! The combined annotation pipeline.
+//!
+//! §5.2: "the transcribed text within the document is normalized, its
+//! stopwords are removed, dependency trees are constructed, and named
+//! entities are recognized." [`annotate`] runs tokenisation → POS →
+//! chunking → NER over a transcription and returns everything the
+//! pattern matcher and tree builder consume.
+
+use crate::chunk::{chunk, Phrase};
+use crate::ner::{recognize, NerSpan};
+use crate::pos::{tag, PosTag};
+use crate::stopwords::is_stopword;
+use crate::token::{tokenize, Token};
+
+/// A fully annotated text: tokens with POS tags, shallow phrases and NER
+/// spans, all index-aligned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotated {
+    /// The tokens.
+    pub tokens: Vec<Token>,
+    /// POS tag per token.
+    pub pos: Vec<PosTag>,
+    /// Shallow phrases (NP/VP/SVO).
+    pub phrases: Vec<Phrase>,
+    /// Named-entity spans.
+    pub ner: Vec<NerSpan>,
+}
+
+impl Annotated {
+    /// Raw text of the token span `[start, end)`.
+    pub fn span_text(&self, start: usize, end: usize) -> String {
+        self.tokens[start..end.min(self.tokens.len())]
+            .iter()
+            .map(|t| t.raw.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Normalised content words of the whole text (stopwords and bare
+    /// punctuation removed) — the bag the semantic operations work on.
+    pub fn content_words(&self) -> Vec<&str> {
+        self.tokens
+            .iter()
+            .filter(|t| !t.norm.is_empty() && !is_stopword(&t.norm))
+            .map(|t| t.norm.as_str())
+            .collect()
+    }
+
+    /// Token count.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// `true` for an empty annotation.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// NER spans whose range lies within `[start, end)`.
+    pub fn ner_within(&self, start: usize, end: usize) -> Vec<&NerSpan> {
+        self.ner
+            .iter()
+            .filter(|s| s.start >= start && s.end <= end)
+            .collect()
+    }
+}
+
+/// Annotates a text with the full pipeline.
+pub fn annotate(text: &str) -> Annotated {
+    let tokens = tokenize(text);
+    let pos = tag(&tokens);
+    let phrases = chunk(&tokens, &pos);
+    let ner = recognize(&tokens, &pos);
+    Annotated {
+        tokens,
+        pos,
+        phrases,
+        ner,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::PhraseKind;
+    use crate::ner::NerTag;
+
+    #[test]
+    fn end_to_end_annotation() {
+        let ann = annotate("Jazz concert hosted by James Wilson at 7 pm");
+        assert!(!ann.is_empty());
+        assert_eq!(ann.tokens.len(), ann.pos.len());
+        assert!(ann.phrases.iter().any(|p| p.kind == PhraseKind::Np));
+        assert!(ann.phrases.iter().any(|p| p.kind == PhraseKind::Vp));
+        assert!(ann.ner.iter().any(|s| s.tag == NerTag::Person));
+        assert!(ann.ner.iter().any(|s| s.tag == NerTag::Time));
+    }
+
+    #[test]
+    fn span_text_roundtrip() {
+        let ann = annotate("hello brave world");
+        assert_eq!(ann.span_text(1, 3), "brave world");
+        assert_eq!(ann.span_text(0, 99), "hello brave world");
+    }
+
+    #[test]
+    fn content_words_drop_stopwords() {
+        let ann = annotate("the concert and the gala");
+        assert_eq!(ann.content_words(), vec!["concert", "gala"]);
+    }
+
+    #[test]
+    fn ner_within_filters_by_range() {
+        let ann = annotate("James Wilson spoke then Mary Davis left");
+        let all = ann.ner.len();
+        assert!(all >= 2);
+        let first_half = ann.ner_within(0, 3);
+        assert!(first_half.len() < all);
+    }
+
+    #[test]
+    fn empty_text() {
+        let ann = annotate("");
+        assert!(ann.is_empty());
+        assert!(ann.phrases.is_empty());
+        assert!(ann.ner.is_empty());
+    }
+}

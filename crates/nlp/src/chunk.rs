@@ -1,0 +1,260 @@
+//! Shallow phrase chunking.
+//!
+//! The pattern vocabulary of Tables 3 and 4 is phrase-level: *verb
+//! phrase*, *noun phrase with numeric (CD) or textual (JJ) modifiers*,
+//! and *SVO*. This chunker performs greedy finite-state grouping of POS
+//! tags into those phrase types, and marks SVO triples where a noun
+//! phrase, a verb phrase and another noun phrase appear in sequence.
+
+use crate::pos::PosTag;
+use crate::token::Token;
+
+/// Kind of a shallow phrase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhraseKind {
+    /// Noun phrase.
+    Np,
+    /// Verb phrase.
+    Vp,
+    /// A subject–verb–object triple (spans an NP + VP + NP sequence).
+    Svo,
+}
+
+/// A phrase over token span `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phrase {
+    /// Phrase kind.
+    pub kind: PhraseKind,
+    /// First token index.
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+    /// `true` when the phrase contains a cardinal-number (CD) modifier.
+    pub has_cd: bool,
+    /// `true` when the phrase contains an adjectival (JJ) modifier.
+    pub has_jj: bool,
+}
+
+impl Phrase {
+    /// Phrase length in tokens.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` for a zero-length phrase (never produced by the chunker).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Chunks a tagged token sequence into NP/VP phrases, then overlays SVO
+/// triples. Phrases of one kind never overlap; SVO spans overlap the
+/// NP/VP phrases they are built from.
+pub fn chunk(tokens: &[Token], pos: &[PosTag]) -> Vec<Phrase> {
+    assert_eq!(tokens.len(), pos.len(), "tokens and tags must align");
+    let n = tokens.len();
+    let mut phrases: Vec<Phrase> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        match pos[i] {
+            // NP: (DT)? (JJ|CD)* (NN|NNS|NNP)+ (CD)?
+            PosTag::Dt | PosTag::Jj | PosTag::Cd | PosTag::Nn | PosTag::Nns | PosTag::Nnp => {
+                let start = i;
+                let mut has_cd = false;
+                let mut has_jj = false;
+                if pos[i] == PosTag::Dt {
+                    i += 1;
+                }
+                while i < n && matches!(pos[i], PosTag::Jj | PosTag::Cd) {
+                    has_cd |= pos[i] == PosTag::Cd;
+                    has_jj |= pos[i] == PosTag::Jj;
+                    i += 1;
+                }
+                let noun_start = i;
+                while i < n && pos[i].is_noun() {
+                    i += 1;
+                }
+                if i < n && pos[i] == PosTag::Cd && i > noun_start {
+                    has_cd = true;
+                    i += 1;
+                }
+                if i > noun_start {
+                    // At least one noun head.
+                    phrases.push(Phrase {
+                        kind: PhraseKind::Np,
+                        start,
+                        end: i,
+                        has_cd,
+                        has_jj,
+                    });
+                } else if has_cd && i > start {
+                    // A bare number run still forms a (numeric) NP — poster
+                    // fragments like "$25" or "2,465" act as noun phrases.
+                    phrases.push(Phrase {
+                        kind: PhraseKind::Np,
+                        start,
+                        end: i,
+                        has_cd,
+                        has_jj,
+                    });
+                } else if i == start {
+                    i += 1; // lone DT/JJ with no head — skip
+                }
+            }
+            // VP: (RB)? (VB|VBD|VBG)+
+            PosTag::Vb | PosTag::Vbd | PosTag::Vbg | PosTag::Rb => {
+                let start = i;
+                if pos[i] == PosTag::Rb {
+                    i += 1;
+                }
+                let verb_start = i;
+                while i < n && pos[i].is_verb() {
+                    i += 1;
+                }
+                if i > verb_start {
+                    phrases.push(Phrase {
+                        kind: PhraseKind::Vp,
+                        start,
+                        end: i,
+                        has_cd: false,
+                        has_jj: false,
+                    });
+                } else {
+                    i += 1; // lone adverb
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    // SVO overlay: NP VP NP with nothing but function words between.
+    let mut svos = Vec::new();
+    for w in 0..phrases.len() {
+        if phrases[w].kind != PhraseKind::Np {
+            continue;
+        }
+        let Some(vp) = phrases[w + 1..]
+            .iter()
+            .take(2)
+            .find(|p| p.kind == PhraseKind::Vp)
+        else {
+            continue;
+        };
+        let Some(obj) = phrases
+            .iter()
+            .find(|p| p.kind == PhraseKind::Np && p.start >= vp.end && p.start - vp.end <= 2)
+        else {
+            continue;
+        };
+        svos.push(Phrase {
+            kind: PhraseKind::Svo,
+            start: phrases[w].start,
+            end: obj.end,
+            has_cd: phrases[w].has_cd || obj.has_cd,
+            has_jj: phrases[w].has_jj || obj.has_jj,
+        });
+    }
+    phrases.extend(svos);
+    phrases.sort_by_key(|p| (p.start, p.end));
+    phrases.dedup();
+    phrases
+}
+
+/// Convenience: the phrases of a given kind.
+pub fn phrases_of_kind(phrases: &[Phrase], kind: PhraseKind) -> Vec<Phrase> {
+    phrases.iter().filter(|p| p.kind == kind).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::tag;
+    use crate::token::tokenize;
+
+    fn phrases(text: &str) -> Vec<(PhraseKind, String)> {
+        let toks = tokenize(text);
+        let pos = tag(&toks);
+        chunk(&toks, &pos)
+            .into_iter()
+            .map(|p| {
+                let words: Vec<&str> =
+                    (p.start..p.end).map(|i| toks[i].raw.as_str()).collect();
+                (p.kind, words.join(" "))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_np() {
+        let ps = phrases("the grand concert");
+        assert!(ps.contains(&(PhraseKind::Np, "the grand concert".into())), "{ps:?}");
+    }
+
+    #[test]
+    fn np_with_modifiers_sets_flags() {
+        let toks = tokenize("4 beds");
+        let pos = tag(&toks);
+        let ps = chunk(&toks, &pos);
+        let np = ps.iter().find(|p| p.kind == PhraseKind::Np).unwrap();
+        assert!(np.has_cd);
+        assert!(!np.has_jj);
+
+        let toks = tokenize("spacious warehouse");
+        let pos = tag(&toks);
+        let ps = chunk(&toks, &pos);
+        let np = ps.iter().find(|p| p.kind == PhraseKind::Np).unwrap();
+        assert!(np.has_jj);
+    }
+
+    #[test]
+    fn trailing_number_joins_np() {
+        let toks = tokenize("suite 200");
+        let pos = tag(&toks);
+        let ps = chunk(&toks, &pos);
+        let np = ps.iter().find(|p| p.kind == PhraseKind::Np).unwrap();
+        assert_eq!((np.start, np.end), (0, 2));
+        assert!(np.has_cd);
+    }
+
+    #[test]
+    fn verb_phrases() {
+        let ps = phrases("hosted by the club");
+        assert!(ps.contains(&(PhraseKind::Vp, "hosted".into())), "{ps:?}");
+    }
+
+    #[test]
+    fn svo_detection() {
+        let ps = phrases("the society presents a concert");
+        assert!(
+            ps.iter().any(|(k, s)| *k == PhraseKind::Svo && s.contains("presents")),
+            "{ps:?}"
+        );
+    }
+
+    #[test]
+    fn no_svo_without_object() {
+        let ps = phrases("the concert tonight");
+        assert!(ps.iter().all(|(k, _)| *k != PhraseKind::Svo));
+    }
+
+    #[test]
+    fn numeric_only_np() {
+        let ps = phrases("$25");
+        assert!(!ps.is_empty());
+    }
+
+    #[test]
+    fn kind_filter() {
+        let toks = tokenize("the club hosts a gala");
+        let pos = tag(&toks);
+        let all = chunk(&toks, &pos);
+        let nps = phrases_of_kind(&all, PhraseKind::Np);
+        assert!(nps.len() >= 2);
+        assert!(nps.iter().all(|p| p.kind == PhraseKind::Np));
+    }
+
+    #[test]
+    fn empty_input_yields_no_phrases() {
+        assert!(phrases("").is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Dependency-lite parse trees.
+//!
+//! §5.2.1: holdout-corpus entries are chunked, "dependency parse trees
+//! were obtained", the chunks annotated with NER / geocode / hypernym /
+//! VerbNet features, and "the maximal frequent subtrees across the chunks
+//! were obtained" with TreeMiner. This module builds those labelled
+//! ordered trees; `vs2-treemine` mines them.
+//!
+//! The tree is two-levelled: a sentence root, phrase nodes (`NP`, `VP`,
+//! `SVO`), and feature leaves (`CD`, `JJ`, `NER:person`, `SENSE:measure`,
+//! `TIMEX`, `GEO`, `VSENSE:create`, `STEM:…`). Frequent subtrees over
+//! this label vocabulary *are* the lexico-syntactic patterns of Tables 3
+//! and 4.
+
+use crate::annotate::Annotated;
+use crate::chunk::PhraseKind;
+use crate::hypernym;
+use crate::ner::NerTag;
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use crate::timex;
+use crate::verbs;
+
+/// A labelled ordered tree node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DepNode {
+    /// Node label.
+    pub label: String,
+    /// Ordered children.
+    pub children: Vec<DepNode>,
+}
+
+impl DepNode {
+    /// Creates a leaf.
+    pub fn leaf(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Creates an internal node.
+    pub fn node(label: impl Into<String>, children: Vec<DepNode>) -> Self {
+        Self {
+            label: label.into(),
+            children,
+        }
+    }
+
+    /// Total number of nodes in the subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(DepNode::size).sum::<usize>()
+    }
+
+    /// Canonical bracketed form, e.g. `S(NP(NER:person) VP(VSENSE:captain))`.
+    pub fn bracketed(&self) -> String {
+        if self.children.is_empty() {
+            self.label.clone()
+        } else {
+            format!(
+                "{}({})",
+                self.label,
+                self.children
+                    .iter()
+                    .map(DepNode::bracketed)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )
+        }
+    }
+}
+
+fn ner_label(tag: NerTag) -> &'static str {
+    match tag {
+        NerTag::Person => "NER:person",
+        NerTag::Organization => "NER:org",
+        NerTag::Location => "NER:location",
+        NerTag::Date => "NER:date",
+        NerTag::Time => "NER:time",
+        NerTag::Money => "NER:money",
+        NerTag::Email => "NER:email",
+        NerTag::Phone => "NER:phone",
+    }
+}
+
+/// Builds the dependency-lite tree for an annotated text.
+///
+/// Every phrase becomes a child of the sentence root; phrase children are
+/// the semantic feature leaves of the tokens the phrase covers, in order:
+/// NER tags win over POS-derived features; nouns additionally emit their
+/// hypernym sense; verbs emit their VerbNet-lite senses; content-word
+/// stems are kept so lexical anchors can be mined too.
+pub fn build_tree(ann: &Annotated) -> DepNode {
+    let mut root_children = Vec::new();
+    for phrase in &ann.phrases {
+        // SVO spans duplicate their constituent NP/VP material; mine them
+        // as a bare marker instead of repeating the leaves.
+        if phrase.kind == PhraseKind::Svo {
+            root_children.push(DepNode::leaf("SVO"));
+            continue;
+        }
+        let mut leaves: Vec<DepNode> = Vec::new();
+        if phrase.has_cd {
+            leaves.push(DepNode::leaf("CD"));
+        }
+        if phrase.has_jj {
+            leaves.push(DepNode::leaf("JJ"));
+        }
+        let phrase_text = ann.span_text(phrase.start, phrase.end);
+        if timex::is_valid_timex(&phrase_text) {
+            leaves.push(DepNode::leaf("TIMEX"));
+        }
+        if crate::geocode::is_valid_geocode(&phrase_text) {
+            leaves.push(DepNode::leaf("GEO"));
+        }
+        // NER spans intersecting the phrase window (a span may start on
+        // punctuation the chunker excluded, e.g. the "(" of a phone
+        // number).
+        for span in &ann.ner {
+            if span.start < phrase.end && span.end > phrase.start {
+                leaves.push(DepNode::leaf(ner_label(span.tag)));
+            }
+        }
+        let mut i = phrase.start;
+        while i < phrase.end {
+            if let Some(span) = ann.ner.iter().find(|s| s.start <= i && i < s.end) {
+                // Covered by a NER span whose leaf was already emitted.
+                i = span.end.max(i + 1);
+                continue;
+            }
+            let tok = &ann.tokens[i];
+            let pos = ann.pos[i];
+            if pos.is_verb() {
+                for sense in verbs::senses_of(&tok.norm) {
+                    leaves.push(DepNode::leaf(format!("VSENSE:{}", sense.label())));
+                }
+            } else if pos.is_noun() {
+                let sense = hypernym::sense_of(&tok.norm);
+                if sense != hypernym::Sense::Entity {
+                    leaves.push(DepNode::leaf(format!("SENSE:{}", sense.label())));
+                }
+            }
+            if !tok.norm.is_empty() && !is_stopword(&tok.norm) && !tok.is_numeric() {
+                leaves.push(DepNode::leaf(format!("STEM:{}", stem(&tok.norm))));
+            }
+            i += 1;
+        }
+        let label = match phrase.kind {
+            PhraseKind::Np => "NP",
+            PhraseKind::Vp => "VP",
+            PhraseKind::Svo => unreachable!("handled above"),
+        };
+        root_children.push(DepNode::node(label, leaves));
+    }
+    DepNode::node("S", root_children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate;
+
+    #[test]
+    fn tree_shape_for_organizer_phrase() {
+        let ann = annotate("hosted by James Wilson");
+        let tree = build_tree(&ann);
+        assert_eq!(tree.label, "S");
+        let s = tree.bracketed();
+        assert!(s.contains("VSENSE:captain"), "{s}");
+        assert!(s.contains("NER:person"), "{s}");
+    }
+
+    #[test]
+    fn measure_sense_leaves() {
+        let ann = annotate("4 beds 2,465 acres");
+        let tree = build_tree(&ann);
+        let s = tree.bracketed();
+        assert!(s.contains("SENSE:measure"), "{s}");
+        assert!(s.contains("CD"), "{s}");
+    }
+
+    #[test]
+    fn timex_and_geo_leaves() {
+        let ann = annotate("April 5, 2019");
+        let s = build_tree(&ann).bracketed();
+        assert!(s.contains("TIMEX") || s.contains("NER:date"), "{s}");
+
+        let ann = annotate("1458 Maple Avenue Columbus");
+        let s = build_tree(&ann).bracketed();
+        assert!(s.contains("GEO"), "{s}");
+    }
+
+    #[test]
+    fn svo_marker() {
+        let ann = annotate("the society presents a concert");
+        let s = build_tree(&ann).bracketed();
+        assert!(s.contains("SVO"), "{s}");
+    }
+
+    #[test]
+    fn size_and_bracketing() {
+        let t = DepNode::node(
+            "S",
+            vec![DepNode::node("NP", vec![DepNode::leaf("CD")]), DepNode::leaf("SVO")],
+        );
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.bracketed(), "S(NP(CD) SVO)");
+    }
+
+    #[test]
+    fn stems_appear_for_content_words() {
+        let ann = annotate("spacious warehouse");
+        let s = build_tree(&ann).bracketed();
+        assert!(s.contains("STEM:warehous") || s.contains("STEM:warehouse"), "{s}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Geocode-lite: postal-address validation.
+//!
+//! Stand-in for the Google Maps geocoding API (the paper's reference
+//! [24]): named entities of category *Location* are "further augmented
+//! with a geocode tag". Tables 3 and 4 require "noun phrases with valid
+//! geocode tags" for *Event Place* and *Property Address*. A span earns a
+//! geocode tag when it parses as a street address or a city/state pair.
+
+use crate::lexicon::{self, Topic};
+
+/// A parsed address with whatever components were present.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Geocode {
+    /// Street number, when present.
+    pub street_number: Option<String>,
+    /// Street name words (without the suffix).
+    pub street_name: Vec<String>,
+    /// Street-type suffix (`st`, `ave`, …), when present.
+    pub street_suffix: Option<String>,
+    /// City name, when present.
+    pub city: Option<String>,
+    /// State name or abbreviation, when present.
+    pub state: Option<String>,
+    /// 5-digit ZIP code, when present.
+    pub zip: Option<String>,
+}
+
+impl Geocode {
+    /// Confidence in `[0, 1]`: how many address components were resolved.
+    pub fn confidence(&self) -> f64 {
+        let mut score = 0.0;
+        if self.street_number.is_some() {
+            score += 0.25;
+        }
+        if !self.street_name.is_empty() && self.street_suffix.is_some() {
+            score += 0.35;
+        }
+        if self.city.is_some() {
+            score += 0.2;
+        }
+        if self.state.is_some() {
+            score += 0.1;
+        }
+        if self.zip.is_some() {
+            score += 0.1;
+        }
+        score
+    }
+}
+
+fn is_zip(w: &str) -> bool {
+    w.len() == 5 && w.chars().all(|c| c.is_ascii_digit())
+}
+
+fn is_street_number(w: &str) -> bool {
+    (1..=6).contains(&w.len()) && w.chars().all(|c| c.is_ascii_digit())
+}
+
+/// Attempts to geocode a textual span. Returns `None` when the span lacks
+/// both a street-address shape and a city/state mention.
+pub fn geocode(text: &str) -> Option<Geocode> {
+    let words: Vec<String> = text
+        .split_whitespace()
+        .map(|w| {
+            w.trim_matches(|c: char| matches!(c, ',' | '.' | '!' | '?' | '(' | ')' | '#'))
+                .to_lowercase()
+        })
+        .filter(|w| !w.is_empty())
+        .collect();
+    if words.is_empty() {
+        return None;
+    }
+
+    let mut g = Geocode::default();
+    let mut i = 0;
+
+    // Optional leading street number.
+    if is_street_number(&words[0]) && words.len() > 1 {
+        g.street_number = Some(words[0].clone());
+        i = 1;
+    }
+
+    // Street name words up to a street suffix.
+    let mut name_acc: Vec<String> = Vec::new();
+    let mut j = i;
+    while j < words.len() {
+        let w = &words[j];
+        if lexicon::topic_of(w) == Some(Topic::StreetSuffix) && !name_acc.is_empty() {
+            g.street_name = std::mem::take(&mut name_acc);
+            g.street_suffix = Some(w.clone());
+            j += 1;
+            break;
+        }
+        if matches!(
+            lexicon::topic_of(w),
+            Some(Topic::City | Topic::State)
+        ) || is_zip(w)
+        {
+            break;
+        }
+        if w.chars().all(|c| c.is_ascii_alphabetic()) {
+            name_acc.push(w.clone());
+            j += 1;
+        } else {
+            break;
+        }
+    }
+
+    // Trailing city / state / zip in any order.
+    for w in &words[j..] {
+        match lexicon::topic_of(w) {
+            Some(Topic::City) if g.city.is_none() => g.city = Some(w.clone()),
+            Some(Topic::State) if g.state.is_none() => g.state = Some(w.clone()),
+            _ if is_zip(w) && g.zip.is_none() => g.zip = Some(w.clone()),
+            _ => {}
+        }
+    }
+
+    let has_street = g.street_number.is_some() && g.street_suffix.is_some();
+    let has_locality = g.city.is_some() || (g.state.is_some() && g.zip.is_some());
+    if has_street || has_locality {
+        Some(g)
+    } else {
+        None
+    }
+}
+
+/// `true` when the span earns a geocode tag — the validity test used by
+/// the Event Place / Property Address patterns.
+pub fn is_valid_geocode(text: &str) -> bool {
+    geocode(text).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_street_address() {
+        let g = geocode("1458 Maple Avenue Columbus OH 43210").unwrap();
+        assert_eq!(g.street_number.as_deref(), Some("1458"));
+        assert_eq!(g.street_name, vec!["maple"]);
+        assert_eq!(g.street_suffix.as_deref(), Some("avenue"));
+        assert_eq!(g.city.as_deref(), Some("columbus"));
+        assert_eq!(g.state.as_deref(), Some("oh"));
+        assert_eq!(g.zip.as_deref(), Some("43210"));
+        assert!(g.confidence() > 0.9);
+    }
+
+    #[test]
+    fn street_only() {
+        let g = geocode("22 Oak St").unwrap();
+        assert_eq!(g.street_number.as_deref(), Some("22"));
+        assert_eq!(g.street_suffix.as_deref(), Some("st"));
+        assert!(g.city.is_none());
+    }
+
+    #[test]
+    fn multiword_street_name() {
+        let g = geocode("901 North High Street").unwrap();
+        assert_eq!(g.street_name, vec!["north", "high"]);
+    }
+
+    #[test]
+    fn city_state_without_street() {
+        let g = geocode("Columbus, Ohio").unwrap();
+        assert_eq!(g.city.as_deref(), Some("columbus"));
+        assert_eq!(g.state.as_deref(), Some("ohio"));
+    }
+
+    #[test]
+    fn rejects_non_addresses() {
+        assert!(geocode("live jazz concert tonight").is_none());
+        assert!(geocode("call 614-555-0175").is_none());
+        assert!(geocode("").is_none());
+        // A bare number with no suffix or locality is not an address.
+        assert!(geocode("1458 maple").is_none());
+    }
+
+    #[test]
+    fn validity_predicate() {
+        assert!(is_valid_geocode("99 Broad Blvd Dayton"));
+        assert!(!is_valid_geocode("grand annual gala"));
+    }
+
+    #[test]
+    fn confidence_ordering() {
+        let full = geocode("1458 Maple Ave Columbus OH 43210").unwrap();
+        let partial = geocode("Columbus Ohio").unwrap();
+        assert!(full.confidence() > partial.confidence());
+    }
+}

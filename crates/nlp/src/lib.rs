@@ -1,0 +1,102 @@
+//! # vs2-nlp
+//!
+//! The miniature natural-language stack of the VS2 reproduction.
+//!
+//! The paper (Sarkhel & Nandi, SIGMOD 2019) consumes a collection of
+//! off-the-shelf NLP tools as black-box annotators: a tokenizer and POS
+//! tagger, shallow chunking and dependency parses, the Stanford NER,
+//! SUTime (TIMEX3), the Google geocoding API, WordNet hypernyms, VerbNet
+//! senses, a pre-trained Word2Vec embedding, and the Lesk word-sense
+//! disambiguator. None of those are available as offline pure-Rust
+//! artefacts, so this crate reimplements each at the fidelity the VS2
+//! pipeline actually uses (see DESIGN.md for the substitution table):
+//!
+//! | module | stands in for |
+//! |---|---|
+//! | [`token`], [`stopwords`], [`stem`] | tokenisation / normalisation |
+//! | [`lexicon`] | gazetteers + topical vocabulary |
+//! | [`pos`], [`chunk`] | POS tagging and shallow parsing |
+//! | [`ner`] | Stanford NER |
+//! | [`timex`] | SUTime / TIMEX3 |
+//! | [`geocode`] | Google Maps geocoding |
+//! | [`hypernym`] | WordNet hypernym tree |
+//! | [`verbs`] | VerbNet senses |
+//! | [`embedding`] | pre-trained Word2Vec |
+//! | [`wsd`] | Lesk disambiguation |
+//! | [`deptree`] | dependency parses fed to TreeMiner |
+//! | [`annotate`] | the combined annotation pipeline |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod chunk;
+pub mod deptree;
+pub mod embedding;
+pub mod geocode;
+pub mod hypernym;
+pub mod lexicon;
+pub mod ner;
+pub mod pos;
+pub mod stem;
+pub mod stopwords;
+pub mod timex;
+pub mod token;
+pub mod verbs;
+pub mod wsd;
+
+pub use annotate::{annotate, Annotated};
+pub use chunk::{Phrase, PhraseKind};
+pub use deptree::DepNode;
+pub use embedding::{cosine, Embedder, LexiconEmbedding, TrainedEmbedding, Vector, DIM};
+pub use ner::{NerSpan, NerTag};
+pub use pos::PosTag;
+pub use token::{tokenize, Token};
+
+#[cfg(test)]
+mod proptests {
+    use crate::embedding::{cosine, Embedder, LexiconEmbedding};
+    use crate::stem::stem;
+    use crate::token::tokenize;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tokenize_never_panics(s in "\\PC{0,200}") {
+            let _ = tokenize(&s);
+        }
+
+        #[test]
+        fn tokenize_preserves_word_count(words in proptest::collection::vec("[a-z]{1,10}", 0..20)) {
+            let text = words.join(" ");
+            let toks = tokenize(&text);
+            prop_assert_eq!(toks.len(), words.len());
+        }
+
+        #[test]
+        fn stem_reaches_a_fixed_point(w in "[a-z]{4,12}") {
+            let once = stem(&w);
+            let twice = stem(&once);
+            prop_assert_eq!(stem(&twice), twice);
+        }
+
+        #[test]
+        fn embedding_cosine_bounded(a in "[a-z]{1,12}", b in "[a-z]{1,12}") {
+            let e = LexiconEmbedding;
+            let c = cosine(&e.embed(&a), &e.embed(&b));
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+        }
+
+        #[test]
+        fn self_similarity_is_one(a in "[a-z]{1,12}") {
+            let e = LexiconEmbedding;
+            let c = cosine(&e.embed(&a), &e.embed(&a));
+            prop_assert!((c - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn annotate_never_panics(s in "\\PC{0,200}") {
+            let _ = crate::annotate::annotate(&s);
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Gazetteer- and rule-based named-entity recognition.
+//!
+//! Stand-in for the Stanford NER used by the paper (Fig. 3): recognises
+//! the categories the extraction patterns of Tables 3 and 4 consume.
+//! Like the original, it over-generates on capitalised word runs — which
+//! is precisely the behaviour the paper exploits to show why ill-defined
+//! context boundaries in a raw transcription produce false positives.
+
+use crate::lexicon::{self, Topic};
+use crate::pos::PosTag;
+use crate::token::Token;
+
+/// Entity category assigned to a token span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NerTag {
+    /// A person's name.
+    Person,
+    /// An organisation.
+    Organization,
+    /// A location (city, state or street address fragment).
+    Location,
+    /// A calendar date.
+    Date,
+    /// A clock time.
+    Time,
+    /// A monetary amount.
+    Money,
+    /// An e-mail address.
+    Email,
+    /// A telephone number.
+    Phone,
+}
+
+/// A token span `[start, end)` with its entity tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NerSpan {
+    /// Entity category.
+    pub tag: NerTag,
+    /// First token index (inclusive).
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+}
+
+impl NerSpan {
+    /// Creates a span.
+    pub fn new(tag: NerTag, start: usize, end: usize) -> Self {
+        Self { tag, start, end }
+    }
+
+    /// Span length in tokens.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` for an empty span (never produced by the recogniser).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// `true` when the token is an RFC-5322-flavoured e-mail address: exactly
+/// one `@`, non-empty local part, and a dotted domain.
+pub fn is_email(token: &str) -> bool {
+    let mut parts = token.split('@');
+    let (Some(local), Some(domain), None) = (parts.next(), parts.next(), parts.next()) else {
+        return false;
+    };
+    if local.is_empty() || domain.len() < 3 || !domain.contains('.') {
+        return false;
+    }
+    let ok_local = local
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+'));
+    let ok_domain = domain
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '-'))
+        && !domain.starts_with('.')
+        && !domain.ends_with('.');
+    ok_local && ok_domain
+}
+
+/// `true` when the token is a phone-number fragment of `d{3}-d{4}` or
+/// longer dashed/dotted digit groups (`614-555-0175`, `555.0175`).
+pub fn is_phone_fragment(token: &str) -> bool {
+    let groups: Vec<&str> = token.split(['-', '.']).collect();
+    if groups.len() < 2 {
+        return false;
+    }
+    let digits: usize = groups.iter().map(|g| g.len()).sum();
+    groups
+        .iter()
+        .all(|g| !g.is_empty() && g.chars().all(|c| c.is_ascii_digit()))
+        && (7..=11).contains(&digits)
+}
+
+/// `true` when the token is a date written with separators
+/// (`04/01/2019`, `4/1`, `2019-04-01`). The groups must satisfy calendar
+/// semantics (month ≤ 12, day ≤ 31, plausible year) so phone numbers like
+/// `614-555-0175` are not mistaken for dates.
+pub fn is_slashed_date(token: &str) -> bool {
+    let seps = token.chars().filter(|c| *c == '/' || *c == '-').count();
+    if !(1..=2).contains(&seps) {
+        return false;
+    }
+    let groups: Vec<&str> = token.split(['/', '-']).collect();
+    if groups.len() < 2
+        || !groups
+            .iter()
+            .all(|g| !g.is_empty() && g.len() <= 4 && g.chars().all(|c| c.is_ascii_digit()))
+    {
+        return false;
+    }
+    let nums: Vec<u32> = groups.iter().map(|g| g.parse().unwrap()).collect();
+    let plausible_year = |y: u32, len: usize| (len == 2) || (1900..=2100).contains(&y);
+    match nums.as_slice() {
+        [m, d] => (1..=12).contains(m) && (1..=31).contains(d),
+        [y, m, d] if groups[0].len() == 4 => {
+            (1900..=2100).contains(y) && (1..=12).contains(m) && (1..=31).contains(d)
+        }
+        [m, d, y] => {
+            (1..=12).contains(m)
+                && (1..=31).contains(d)
+                && plausible_year(*y, groups[2].len())
+        }
+        _ => false,
+    }
+}
+
+/// `true` when the token is a clock time (`7:30`, `19:00`).
+pub fn is_clock_time(token: &str) -> bool {
+    let mut parts = token.split(':');
+    let (Some(h), Some(m)) = (parts.next(), parts.next()) else {
+        return false;
+    };
+    if parts.next().is_some() {
+        return false;
+    }
+    h.parse::<u8>().map(|h| h < 24).unwrap_or(false)
+        && m.len() == 2
+        && m.parse::<u8>().map(|m| m < 60).unwrap_or(false)
+}
+
+fn topic(tok: &Token) -> Option<Topic> {
+    lexicon::topic_of(&tok.norm)
+}
+
+/// Recognises entity spans over a tagged token sequence. Spans do not
+/// overlap; earlier (longer, more specific) matches win.
+pub fn recognize(tokens: &[Token], pos: &[PosTag]) -> Vec<NerSpan> {
+    assert_eq!(tokens.len(), pos.len(), "tokens and tags must align");
+    let n = tokens.len();
+    let mut spans: Vec<NerSpan> = Vec::new();
+    let mut used = vec![false; n];
+
+    let claim = |spans: &mut Vec<NerSpan>, used: &mut Vec<bool>, s: NerSpan| {
+        if (s.start..s.end).any(|i| used[i]) {
+            return;
+        }
+        for i in s.start..s.end {
+            used[i] = true;
+        }
+        spans.push(s);
+    };
+
+    // Single-token unambiguous classes first.
+    for (i, t) in tokens.iter().enumerate() {
+        if is_email(&t.raw) {
+            claim(&mut spans, &mut used, NerSpan::new(NerTag::Email, i, i + 1));
+        } else if is_slashed_date(&t.raw) {
+            claim(&mut spans, &mut used, NerSpan::new(NerTag::Date, i, i + 1));
+        } else if t.raw.starts_with('$') && t.raw.len() > 1 {
+            claim(&mut spans, &mut used, NerSpan::new(NerTag::Money, i, i + 1));
+        }
+    }
+
+    // Phone numbers: `(` AAA `)` BBB-CCCC | AAA-BBB-CCCC | plain fragment.
+    for i in 0..n {
+        if used[i] {
+            continue;
+        }
+        if tokens[i].raw == "("
+            && i + 3 < n
+            && tokens[i + 1].raw.len() == 3
+            && tokens[i + 1].raw.chars().all(|c| c.is_ascii_digit())
+            && tokens[i + 2].raw == ")"
+            && is_phone_fragment(&tokens[i + 3].raw)
+        {
+            claim(&mut spans, &mut used, NerSpan::new(NerTag::Phone, i, i + 4));
+        } else if is_phone_fragment(&tokens[i].raw) && tokens[i].raw.len() >= 8 {
+            claim(&mut spans, &mut used, NerSpan::new(NerTag::Phone, i, i + 1));
+        }
+    }
+
+    // Times: clock tokens, optional am/pm; `7 pm`; `7pm`.
+    for i in 0..n {
+        if used[i] {
+            continue;
+        }
+        let is_ampm = |j: usize| {
+            j < n && matches!(tokens[j].norm.as_str(), "am" | "pm" | "a.m" | "p.m")
+        };
+        if is_clock_time(&tokens[i].raw) {
+            let end = if is_ampm(i + 1) { i + 2 } else { i + 1 };
+            claim(&mut spans, &mut used, NerSpan::new(NerTag::Time, i, end));
+        } else if pos[i] == PosTag::Cd && is_ampm(i + 1) {
+            claim(&mut spans, &mut used, NerSpan::new(NerTag::Time, i, i + 2));
+        } else if tokens[i].is_alphanumeric_mix()
+            && (tokens[i].norm.ends_with("am") || tokens[i].norm.ends_with("pm"))
+            && tokens[i].norm.len() <= 4
+        {
+            claim(&mut spans, &mut used, NerSpan::new(NerTag::Time, i, i + 1));
+        }
+    }
+
+    // Dates: Month CD (, CD)? | Weekday.
+    for i in 0..n {
+        if used[i] {
+            continue;
+        }
+        match topic(&tokens[i]) {
+            Some(Topic::Month) => {
+                let mut end = i + 1;
+                if end < n && pos[end] == PosTag::Cd && !used[end] {
+                    end += 1;
+                    if end + 1 < n
+                        && tokens[end].raw == ","
+                        && pos[end + 1] == PosTag::Cd
+                        && !used[end + 1]
+                    {
+                        end += 2;
+                    }
+                }
+                if end > i + 1 {
+                    claim(&mut spans, &mut used, NerSpan::new(NerTag::Date, i, end));
+                }
+            }
+            Some(Topic::Weekday) => {
+                claim(&mut spans, &mut used, NerSpan::new(NerTag::Date, i, i + 1));
+            }
+            _ => {}
+        }
+    }
+
+    // Organisations: NNP run ending in an Organization-topic word.
+    for i in 0..n {
+        if used[i] || !pos[i].is_noun() {
+            continue;
+        }
+        let mut j = i;
+        while j < n && !used[j] && (pos[j].is_noun() || pos[j] == PosTag::Jj) {
+            j += 1;
+        }
+        if j > i
+            && topic(&tokens[j - 1]) == Some(Topic::Organization)
+            && (j - i >= 2 || tokens[i].is_capitalized())
+        {
+            claim(&mut spans, &mut used, NerSpan::new(NerTag::Organization, i, j));
+        }
+    }
+
+    // Persons: first-name (+ last-name / capitalised follower), or a
+    // capitalised word followed by a known last name, or — the deliberate
+    // over-generation — two adjacent capitalised NNPs.
+    for i in 0..n {
+        if used[i] {
+            continue;
+        }
+        let t0 = topic(&tokens[i]);
+        let next_free = i + 1 < n && !used[i + 1];
+        if t0 == Some(Topic::PersonFirst) {
+            let end = if next_free && tokens[i + 1].is_capitalized() && pos[i + 1].is_noun() {
+                i + 2
+            } else {
+                i + 1
+            };
+            claim(&mut spans, &mut used, NerSpan::new(NerTag::Person, i, end));
+        } else if next_free
+            && tokens[i].is_capitalized()
+            && topic(&tokens[i + 1]) == Some(Topic::PersonLast)
+        {
+            claim(&mut spans, &mut used, NerSpan::new(NerTag::Person, i, i + 2));
+        } else if next_free
+            && pos[i] == PosTag::Nnp
+            && pos[i + 1] == PosTag::Nnp
+            && tokens[i].is_capitalized()
+            && tokens[i + 1].is_capitalized()
+            && t0.is_none()
+            && topic(&tokens[i + 1]).is_none()
+        {
+            claim(&mut spans, &mut used, NerSpan::new(NerTag::Person, i, i + 2));
+        }
+    }
+
+    // Locations: city/state gazetteer words (possibly a run). Two-letter
+    // state abbreviations only count when capitalised ("OH", not "oh").
+    let is_loc_word = |t: &Token| match topic(t) {
+        Some(Topic::City) => true,
+        Some(Topic::State) => t.norm.len() > 2 || t.is_all_caps(),
+        _ => false,
+    };
+    for i in 0..n {
+        if used[i] {
+            continue;
+        }
+        if is_loc_word(&tokens[i]) {
+            let mut j = i + 1;
+            while j < n && !used[j] && is_loc_word(&tokens[j]) {
+                j += 1;
+            }
+            claim(&mut spans, &mut used, NerSpan::new(NerTag::Location, i, j));
+        }
+    }
+
+    spans.sort_by_key(|s| (s.start, s.end));
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::tag;
+    use crate::token::tokenize;
+
+    fn spans_of(text: &str) -> Vec<(NerTag, String)> {
+        let toks = tokenize(text);
+        let pos = tag(&toks);
+        recognize(&toks, &pos)
+            .into_iter()
+            .map(|s| {
+                let words: Vec<&str> =
+                    (s.start..s.end).map(|i| toks[i].raw.as_str()).collect();
+                (s.tag, words.join(" "))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn emails() {
+        assert!(is_email("bob@example.com"));
+        assert!(is_email("a.b-c+d@mail.example.org"));
+        assert!(!is_email("bob@com"));
+        assert!(!is_email("@example.com"));
+        assert!(!is_email("a@b@c.com"));
+        let s = spans_of("contact bob@example.com today");
+        assert!(s.contains(&(NerTag::Email, "bob@example.com".into())));
+    }
+
+    #[test]
+    fn phones() {
+        assert!(is_phone_fragment("555-0175"));
+        assert!(is_phone_fragment("614-555-0175"));
+        assert!(!is_phone_fragment("2019-04"));
+        assert!(!is_phone_fragment("hello-world"));
+        let s = spans_of("call ( 614 ) 555-0175 now");
+        assert_eq!(s[0].0, NerTag::Phone);
+        assert_eq!(s[0].1, "( 614 ) 555-0175");
+        let s = spans_of("call 614-555-0175 now");
+        assert_eq!(s[0], (NerTag::Phone, "614-555-0175".into()));
+    }
+
+    #[test]
+    fn times() {
+        assert!(is_clock_time("7:30"));
+        assert!(is_clock_time("19:00"));
+        assert!(!is_clock_time("25:00"));
+        assert!(!is_clock_time("7:3"));
+        let s = spans_of("doors 7:30 pm");
+        assert_eq!(s[0], (NerTag::Time, "7:30 pm".into()));
+        let s = spans_of("starts 7 pm sharp");
+        assert_eq!(s[0], (NerTag::Time, "7 pm".into()));
+        let s = spans_of("at 7pm tonight");
+        assert!(s.contains(&(NerTag::Time, "7pm".into())));
+    }
+
+    #[test]
+    fn dates() {
+        assert!(is_slashed_date("04/01/2019"));
+        assert!(is_slashed_date("4/1"));
+        assert!(!is_slashed_date("a/b"));
+        let s = spans_of("April 5 , 2019");
+        assert_eq!(s[0], (NerTag::Date, "April 5 , 2019".into()));
+        let s = spans_of("every Saturday morning");
+        assert_eq!(s[0], (NerTag::Date, "Saturday".into()));
+    }
+
+    #[test]
+    fn money() {
+        let s = spans_of("only $25 admission");
+        assert_eq!(s[0], (NerTag::Money, "$25".into()));
+    }
+
+    #[test]
+    fn persons_from_gazetteer() {
+        let s = spans_of("hosted by James Wilson");
+        assert!(s.contains(&(NerTag::Person, "James Wilson".into())), "{s:?}");
+        let s = spans_of("with Priya tonight");
+        assert!(s.contains(&(NerTag::Person, "Priya".into())));
+    }
+
+    #[test]
+    fn organizations() {
+        let s = spans_of("presented by Riverside Realty LLC");
+        assert!(
+            s.iter().any(|(t, w)| *t == NerTag::Organization && w.contains("LLC")),
+            "{s:?}"
+        );
+        let s = spans_of("the Ohio State University");
+        assert!(s.iter().any(|(t, _)| *t == NerTag::Organization), "{s:?}");
+    }
+
+    #[test]
+    fn locations() {
+        let s = spans_of("in Columbus Ohio this week");
+        assert!(s.contains(&(NerTag::Location, "Columbus Ohio".into())), "{s:?}");
+    }
+
+    #[test]
+    fn capitalized_bigram_overgenerates_person() {
+        // Unknown capitalised bigram — the deliberate false-positive source
+        // demonstrated in the paper's Fig. 3.
+        let s = spans_of("meet Zorblax Vonkarma there");
+        assert!(s.contains(&(NerTag::Person, "Zorblax Vonkarma".into())), "{s:?}");
+    }
+
+    #[test]
+    fn spans_do_not_overlap() {
+        let toks = tokenize("James Wilson of Riverside Realty LLC in Columbus Ohio 7:30 pm");
+        let pos = tag(&toks);
+        let spans = recognize(&toks, &pos);
+        let mut seen = vec![false; toks.len()];
+        for s in &spans {
+            for i in s.start..s.end {
+                assert!(!seen[i], "overlap at {i}: {spans:?}");
+                seen[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn span_helpers() {
+        let s = NerSpan::new(NerTag::Person, 2, 4);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

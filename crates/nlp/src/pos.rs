@@ -1,0 +1,283 @@
+//! Rule-based part-of-speech tagging.
+//!
+//! The paper annotates holdout-corpus text and block transcriptions with
+//! POS tags (noun/verb phrases, `CD`/`JJ` modifiers — Tables 3 and 4) via
+//! "publicly available NLP tools". This tagger reproduces the Penn-style
+//! tag subset those patterns consume, using lexicon lookup plus
+//! morphological heuristics.
+
+use crate::lexicon::{self, Topic};
+use crate::token::Token;
+
+/// Penn-Treebank-style tag subset used by the pattern language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PosTag {
+    /// Singular or mass noun.
+    Nn,
+    /// Plural noun.
+    Nns,
+    /// Proper noun.
+    Nnp,
+    /// Verb, base/present form.
+    Vb,
+    /// Verb, past tense.
+    Vbd,
+    /// Verb, gerund/present participle.
+    Vbg,
+    /// Adjective.
+    Jj,
+    /// Cardinal number (also ordinal-ish mixes like `3rd`, `7pm`).
+    Cd,
+    /// Determiner.
+    Dt,
+    /// Preposition / subordinating conjunction.
+    In,
+    /// Coordinating conjunction.
+    Cc,
+    /// Personal pronoun.
+    Prp,
+    /// Adverb.
+    Rb,
+    /// Symbol (currency marks, standalone `@`, `#`, `$` …).
+    Sym,
+    /// Punctuation.
+    Punct,
+}
+
+impl PosTag {
+    /// `true` for any noun tag.
+    pub fn is_noun(&self) -> bool {
+        matches!(self, PosTag::Nn | PosTag::Nns | PosTag::Nnp)
+    }
+
+    /// `true` for any verb tag.
+    pub fn is_verb(&self) -> bool {
+        matches!(self, PosTag::Vb | PosTag::Vbd | PosTag::Vbg)
+    }
+
+    /// Short label used by pattern dumps and tree-mining labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PosTag::Nn => "NN",
+            PosTag::Nns => "NNS",
+            PosTag::Nnp => "NNP",
+            PosTag::Vb => "VB",
+            PosTag::Vbd => "VBD",
+            PosTag::Vbg => "VBG",
+            PosTag::Jj => "JJ",
+            PosTag::Cd => "CD",
+            PosTag::Dt => "DT",
+            PosTag::In => "IN",
+            PosTag::Cc => "CC",
+            PosTag::Prp => "PRP",
+            PosTag::Rb => "RB",
+            PosTag::Sym => "SYM",
+            PosTag::Punct => "PUNCT",
+        }
+    }
+}
+
+const DETERMINERS: &[&str] = &["the", "a", "an", "this", "that", "these", "those", "all", "some", "no", "every", "each"];
+const PREPOSITIONS: &[&str] = &[
+    "of", "to", "in", "on", "at", "by", "for", "with", "from", "as", "into", "over", "under",
+    "near", "per", "until", "till",
+];
+const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor"];
+const PRONOUNS: &[&str] = &["it", "you", "we", "they", "he", "she", "i", "your", "our", "their", "his", "her", "its"];
+const BE_VERBS: &[&str] = &["is", "are", "was", "were", "be", "been", "am"];
+
+/// Tags a single token given whether it starts a sentence (sentence-initial
+/// capitalisation is not evidence of a proper noun).
+pub fn tag_token(tok: &Token, sentence_initial: bool) -> PosTag {
+    let norm = tok.norm.as_str();
+    if norm.is_empty() {
+        return if tok.raw.chars().all(|c| matches!(c, '$' | '#' | '@' | '%' | '&' | '+' | '-' | '*' | '/')) && !tok.raw.is_empty() {
+            PosTag::Sym
+        } else {
+            PosTag::Punct
+        };
+    }
+    if tok.is_numeric() {
+        return PosTag::Cd;
+    }
+    if tok.is_alphanumeric_mix() {
+        return PosTag::Cd;
+    }
+    if DETERMINERS.contains(&norm) {
+        return PosTag::Dt;
+    }
+    if PREPOSITIONS.contains(&norm) {
+        return PosTag::In;
+    }
+    if CONJUNCTIONS.contains(&norm) {
+        return PosTag::Cc;
+    }
+    if PRONOUNS.contains(&norm) {
+        return PosTag::Prp;
+    }
+    if BE_VERBS.contains(&norm) {
+        return PosTag::Vb;
+    }
+    match lexicon::topic_of(norm) {
+        Some(Topic::ActionVerb) => {
+            return if norm.ends_with("ing") {
+                PosTag::Vbg
+            } else if norm.ends_with("ed") {
+                PosTag::Vbd
+            } else {
+                PosTag::Vb
+            };
+        }
+        Some(Topic::Descriptive) => return PosTag::Jj,
+        Some(
+            Topic::PersonFirst
+            | Topic::PersonLast
+            | Topic::Organization
+            | Topic::City
+            | Topic::State
+            | Topic::Month
+            | Topic::Weekday,
+        ) => return PosTag::Nnp,
+        Some(
+            Topic::Event
+            | Topic::Place
+            | Topic::Measure
+            | Topic::Estate
+            | Topic::Structure
+            | Topic::Contact
+            | Topic::Price
+            | Topic::Time
+            | Topic::Tax
+            | Topic::StreetSuffix,
+        ) => {
+            return if norm.ends_with('s') && norm.len() > 3 {
+                PosTag::Nns
+            } else {
+                PosTag::Nn
+            };
+        }
+        _ => {}
+    }
+    // Morphological heuristics for out-of-lexicon words.
+    if norm.ends_with("ly") {
+        return PosTag::Rb;
+    }
+    if norm.ends_with("ing") && norm.len() > 4 {
+        return PosTag::Vbg;
+    }
+    if norm.ends_with("ed") && norm.len() > 3 {
+        return PosTag::Vbd;
+    }
+    if ["ous", "ful", "ive", "ble"].iter().any(|s| norm.ends_with(s))
+        || (norm.ends_with("al") && norm.len() > 4)
+    {
+        return PosTag::Jj;
+    }
+    if tok.is_capitalized() && !sentence_initial {
+        return PosTag::Nnp;
+    }
+    if norm.ends_with('s') && norm.len() > 3 {
+        return PosTag::Nns;
+    }
+    if tok.is_capitalized() {
+        // Sentence-initial capitalised unknown word: prefer NNP in
+        // poster-like text where most lines are fragments, not sentences.
+        return PosTag::Nnp;
+    }
+    PosTag::Nn
+}
+
+/// Tags a token sequence. The first token, and each token following
+/// sentence-final punctuation, is considered sentence-initial.
+pub fn tag(tokens: &[Token]) -> Vec<PosTag> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut sentence_initial = true;
+    for t in tokens {
+        out.push(tag_token(t, sentence_initial));
+        sentence_initial = matches!(t.raw.as_str(), "." | "!" | "?");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn tags_of(text: &str) -> Vec<PosTag> {
+        tag(&tokenize(text))
+    }
+
+    #[test]
+    fn numbers_and_mixes_are_cd() {
+        assert_eq!(tags_of("2,465"), vec![PosTag::Cd]);
+        assert_eq!(tags_of("7pm"), vec![PosTag::Cd]);
+        assert_eq!(tags_of("3.5"), vec![PosTag::Cd]);
+    }
+
+    #[test]
+    fn lexicon_verbs() {
+        assert_eq!(tags_of("hosted")[0], PosTag::Vbd);
+        assert_eq!(tags_of("featuring")[0], PosTag::Vbg);
+        assert_eq!(tags_of("host")[0], PosTag::Vb);
+    }
+
+    #[test]
+    fn proper_nouns_from_gazetteers() {
+        assert_eq!(tags_of("columbus")[0], PosTag::Nnp);
+        assert_eq!(tags_of("james")[0], PosTag::Nnp);
+        assert_eq!(tags_of("january")[0], PosTag::Nnp);
+    }
+
+    #[test]
+    fn common_nouns_with_plurals() {
+        assert_eq!(tags_of("acres")[0], PosTag::Nns);
+        assert_eq!(tags_of("building")[0], PosTag::Nn);
+        assert_eq!(tags_of("concert")[0], PosTag::Nn);
+    }
+
+    #[test]
+    fn function_words() {
+        let t = tags_of("the concert at noon and");
+        assert_eq!(
+            t,
+            vec![PosTag::Dt, PosTag::Nn, PosTag::In, PosTag::Nn, PosTag::Cc]
+        );
+    }
+
+    #[test]
+    fn capitalization_mid_sentence_is_nnp() {
+        let t = tags_of("meet Zorblax tomorrow");
+        assert_eq!(t[1], PosTag::Nnp);
+    }
+
+    #[test]
+    fn morphology_for_unknown_words() {
+        assert_eq!(tags_of("quickly")[0], PosTag::Rb);
+        assert_eq!(tags_of("glimmering")[0], PosTag::Vbg);
+        assert_eq!(tags_of("fabulous")[0], PosTag::Jj);
+    }
+
+    #[test]
+    fn punctuation_and_symbols() {
+        let toks = tokenize("free ! $");
+        let t = tag(&toks);
+        assert_eq!(t[1], PosTag::Punct);
+        assert_eq!(t[2], PosTag::Sym);
+    }
+
+    #[test]
+    fn sentence_boundary_resets_initial_flag() {
+        // After ".", a capitalised known-generic word is not NNP.
+        let t = tags_of("end . The concert");
+        assert_eq!(t[2], PosTag::Dt);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(PosTag::Nnp.is_noun());
+        assert!(PosTag::Vbg.is_verb());
+        assert!(!PosTag::Jj.is_noun());
+        assert_eq!(PosTag::Cd.label(), "CD");
+    }
+}

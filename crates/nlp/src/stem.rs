@@ -1,0 +1,195 @@
+//! A compact Porter-style suffix-stripping stemmer.
+//!
+//! Pattern learning compares lexical features across holdout-corpus entries
+//! (§5.2.1); stemming collapses inflectional variants ("hosted", "hosting",
+//! "hosts" → "host") so mined patterns generalise. This is a pragmatic
+//! subset of Porter's algorithm — steps 1a/1b/1c plus a few common
+//! derivational suffixes — which is all the synthetic vocabulary needs.
+
+fn is_vowel(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => true,
+        b'y' => i > 0 && !is_vowel(bytes, i - 1),
+        _ => false,
+    }
+}
+
+fn has_vowel(word: &str) -> bool {
+    let b = word.as_bytes();
+    (0..b.len()).any(|i| is_vowel(b, i))
+}
+
+/// Measure `m` of Porter's algorithm: the number of vowel→consonant
+/// transitions ("VC" sequences) in the word.
+fn measure(word: &str) -> usize {
+    let b = word.as_bytes();
+    let mut m = 0;
+    let mut prev_vowel = false;
+    for i in 0..b.len() {
+        let v = is_vowel(b, i);
+        if prev_vowel && !v {
+            m += 1;
+        }
+        prev_vowel = v;
+    }
+    m
+}
+
+fn ends_double_consonant(word: &str) -> bool {
+    let b = word.as_bytes();
+    let n = b.len();
+    n >= 2 && b[n - 1] == b[n - 2] && !is_vowel(b, n - 1)
+}
+
+/// Stems a lower-cased word. Words of three characters or fewer, and words
+/// containing non-alphabetic characters, pass through unchanged.
+pub fn stem(word: &str) -> String {
+    if word.len() <= 3 || !word.chars().all(|c| c.is_ascii_alphabetic()) {
+        return word.to_string();
+    }
+    let mut w = word.to_string();
+
+    // Step 1a — plurals.
+    if let Some(s) = w.strip_suffix("sses") {
+        w = format!("{s}ss");
+    } else if let Some(s) = w.strip_suffix("ies") {
+        w = format!("{s}i");
+    } else if w.ends_with("ss") {
+        // keep
+    } else if let Some(s) = w.strip_suffix('s') {
+        if has_vowel(s) {
+            w = s.to_string();
+        }
+    }
+
+    // Step 1b — -ed / -ing.
+    let mut restore = false;
+    if let Some(s) = w.strip_suffix("eed") {
+        if measure(s) > 0 {
+            w.truncate(w.len() - 1);
+        }
+    } else if let Some(s) = w.strip_suffix("ed") {
+        if has_vowel(s) {
+            w.truncate(w.len() - 2);
+            restore = true;
+        }
+    } else if let Some(s) = w.strip_suffix("ing") {
+        if has_vowel(s) {
+            w.truncate(w.len() - 3);
+            restore = true;
+        }
+    }
+    if restore {
+        if w.ends_with("at") || w.ends_with("bl") || w.ends_with("iz") {
+            w.push('e');
+        } else if ends_double_consonant(&w)
+            && !w.ends_with('l')
+            && !w.ends_with('s')
+            && !w.ends_with('z')
+        {
+            w.truncate(w.len() - 1);
+        } else if measure(&w) == 1 && ends_cvc(&w) {
+            w.push('e');
+        }
+    }
+
+    // Step 1c — terminal y.
+    if w.ends_with('y') && has_vowel(&w[..w.len() - 1]) {
+        w.truncate(w.len() - 1);
+        w.push('i');
+    }
+
+    // A few derivational suffixes (subset of steps 2-4).
+    for (suffix, replacement) in [
+        ("ization", "ize"),
+        ("ational", "ate"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("iveness", "ive"),
+        ("tional", "tion"),
+        ("ation", "ate"),
+        ("ment", ""),
+        ("ness", ""),
+    ] {
+        if let Some(s) = w.strip_suffix(suffix) {
+            if measure(s) > 0 {
+                w = format!("{s}{replacement}");
+                break;
+            }
+        }
+    }
+    w
+}
+
+fn ends_cvc(word: &str) -> bool {
+    let b = word.as_bytes();
+    let n = b.len();
+    if n < 3 {
+        return false;
+    }
+    !is_vowel(b, n - 3)
+        && is_vowel(b, n - 2)
+        && !is_vowel(b, n - 1)
+        && !matches!(b[n - 1], b'w' | b'x' | b'y')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plural_stripping() {
+        assert_eq!(stem("caresses"), "caress");
+        assert_eq!(stem("ponies"), "poni");
+        assert_eq!(stem("cats"), "cat");
+        assert_eq!(stem("grass"), "grass");
+    }
+
+    #[test]
+    fn ed_ing_stripping() {
+        assert_eq!(stem("hosted"), "host");
+        assert_eq!(stem("hosting"), "host");
+        assert_eq!(stem("hopping"), "hop");
+        assert_eq!(stem("agreed"), "agree");
+        assert_eq!(stem("conflated"), "conflate");
+    }
+
+    #[test]
+    fn inflections_collapse_to_same_stem() {
+        let forms = ["organized", "organizes", "organizing"];
+        let stems: Vec<String> = forms.iter().map(|f| stem(f)).collect();
+        assert!(stems.windows(2).all(|w| w[0] == w[1]), "{stems:?}");
+    }
+
+    #[test]
+    fn y_to_i() {
+        assert_eq!(stem("happy"), "happi");
+        assert_eq!(stem("sky"), "sky"); // no vowel before y — unchanged
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(stem("the"), "the");
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("be"), "be");
+    }
+
+    #[test]
+    fn non_alpha_passes_through() {
+        assert_eq!(stem("555-0175"), "555-0175");
+        assert_eq!(stem("p.m"), "p.m");
+    }
+
+    #[test]
+    fn derivational_suffixes() {
+        assert_eq!(stem("organization"), "organize");
+        assert_eq!(stem("payment"), "pay");
+    }
+
+    #[test]
+    fn measure_counts_vc_sequences() {
+        assert_eq!(measure("tr"), 0);
+        assert_eq!(measure("trouble"), 1);
+        assert_eq!(measure("troubles"), 2);
+    }
+}

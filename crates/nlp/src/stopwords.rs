@@ -1,0 +1,50 @@
+//! Stopword filtering.
+//!
+//! VS2 removes stopwords from the transcribed text of each logical block
+//! before semantic operations (§5.2). The list is the lexicon's `Generic`
+//! pool — the same function words the generators sprinkle into documents.
+
+use crate::lexicon::{self, Topic};
+use crate::token::Token;
+
+/// `true` for function words that carry no semantic contribution.
+pub fn is_stopword(word: &str) -> bool {
+    lexicon::topic_of(&word.to_lowercase()) == Some(Topic::Generic)
+}
+
+/// Removes stopword tokens (and bare punctuation) from a token sequence.
+pub fn remove_stopwords(tokens: &[Token]) -> Vec<Token> {
+    tokens
+        .iter()
+        .filter(|t| !t.norm.is_empty() && !is_stopword(&t.norm))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "a", "and", "of", "is", "The", "AND"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["concert", "broker", "wages", "columbus"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn remove_stopwords_filters_punctuation_too() {
+        let toks = tokenize("The concert, and the gala!");
+        let kept = remove_stopwords(&toks);
+        let kept: Vec<&str> = kept.iter().map(|t| t.norm.as_str()).collect();
+        assert_eq!(kept, vec!["concert", "gala"]);
+    }
+}

@@ -1,0 +1,288 @@
+//! TIMEX3-lite time-expression normalisation.
+//!
+//! Stand-in for SUTime (the paper's reference [5]): Table 3 requires "noun
+//! phrases with valid TIMEX3 tags" for the *Event Time* entity. A span is
+//! considered TIMEX3-valid exactly when this module can normalise it.
+
+use crate::lexicon::{self, Topic};
+
+/// Kind of a normalised time expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimexKind {
+    /// A clock time.
+    Time,
+    /// A calendar date (possibly underspecified).
+    Date,
+}
+
+/// A normalised TIMEX3-style value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timex {
+    /// Whether the expression denotes a time or a date.
+    pub kind: TimexKind,
+    /// ISO-flavoured normal form, e.g. `T19:00`, `2019-04-05`, `XXXX-WXX-6`.
+    pub value: String,
+}
+
+fn month_number(word: &str) -> Option<u32> {
+    const MONTHS: [(&str, u32); 12] = [
+        ("jan", 1),
+        ("feb", 2),
+        ("mar", 3),
+        ("apr", 4),
+        ("may", 5),
+        ("jun", 6),
+        ("jul", 7),
+        ("aug", 8),
+        ("sep", 9),
+        ("oct", 10),
+        ("nov", 11),
+        ("dec", 12),
+    ];
+    let w = word.to_lowercase();
+    MONTHS
+        .iter()
+        .find(|(prefix, _)| w.starts_with(prefix))
+        .map(|(_, n)| *n)
+}
+
+fn weekday_number(word: &str) -> Option<u32> {
+    const DAYS: [(&str, u32); 7] = [
+        ("mon", 1),
+        ("tue", 2),
+        ("wed", 3),
+        ("thu", 4),
+        ("fri", 5),
+        ("sat", 6),
+        ("sun", 7),
+    ];
+    let w = word.to_lowercase();
+    DAYS.iter()
+        .find(|(prefix, _)| w.starts_with(prefix))
+        .map(|(_, n)| *n)
+}
+
+fn parse_clock(tok: &str) -> Option<(u32, u32)> {
+    if let Some((h, m)) = tok.split_once(':') {
+        let h: u32 = h.parse().ok()?;
+        let m: u32 = m.parse().ok()?;
+        if h < 24 && m < 60 {
+            return Some((h, m));
+        }
+        return None;
+    }
+    let h: u32 = tok.parse().ok()?;
+    if (1..=12).contains(&h) {
+        Some((h, 0))
+    } else {
+        None
+    }
+}
+
+/// Attempts to normalise a textual span into a TIMEX3 value.
+///
+/// Recognised forms: `7 pm`, `7:30 am`, `7pm`, `19:00`, `noon`, `midnight`,
+/// `April 5`, `April 5 2019`, `04/01/2019`, `2019-04-01`, weekday names.
+pub fn normalize(text: &str) -> Option<Timex> {
+    let words: Vec<String> = text
+        .split_whitespace()
+        .map(|w| {
+            w.trim_matches(|c: char| matches!(c, ',' | '.' | '!' | '?' | '(' | ')'))
+                .to_lowercase()
+        })
+        .filter(|w| !w.is_empty())
+        .collect();
+    if words.is_empty() {
+        return None;
+    }
+
+    // Fixed anchors.
+    if words.len() == 1 {
+        match words[0].as_str() {
+            "noon" => {
+                return Some(Timex {
+                    kind: TimexKind::Time,
+                    value: "T12:00".into(),
+                })
+            }
+            "midnight" => {
+                return Some(Timex {
+                    kind: TimexKind::Time,
+                    value: "T00:00".into(),
+                })
+            }
+            _ => {}
+        }
+    }
+
+    // Weekday.
+    if let Some(d) = words
+        .first()
+        .filter(|w| lexicon::topic_of(w) == Some(Topic::Weekday))
+        .and_then(|w| weekday_number(w))
+    {
+        return Some(Timex {
+            kind: TimexKind::Date,
+            value: format!("XXXX-WXX-{d}"),
+        });
+    }
+
+    // Month day (, year)?
+    if lexicon::topic_of(&words[0]) == Some(Topic::Month) {
+        let m = month_number(&words[0])?;
+        let day: Option<u32> = words.get(1).and_then(|w| w.parse().ok()).filter(|d| (1..=31).contains(d));
+        let year: Option<u32> = words
+            .get(2)
+            .and_then(|w| w.parse().ok())
+            .filter(|y| (1900..=2100).contains(y));
+        return match (day, year) {
+            (Some(d), Some(y)) => Some(Timex {
+                kind: TimexKind::Date,
+                value: format!("{y:04}-{m:02}-{d:02}"),
+            }),
+            (Some(d), None) => Some(Timex {
+                kind: TimexKind::Date,
+                value: format!("XXXX-{m:02}-{d:02}"),
+            }),
+            _ => Some(Timex {
+                kind: TimexKind::Date,
+                value: format!("XXXX-{m:02}"),
+            }),
+        };
+    }
+
+    // Slashed / dashed numeric dates.
+    if words.len() == 1 && (words[0].contains('/') || words[0].matches('-').count() == 2) {
+        let groups: Vec<&str> = words[0].split(['/', '-']).collect();
+        if groups.len() >= 2 && groups.iter().all(|g| g.chars().all(|c| c.is_ascii_digit()) && !g.is_empty()) {
+            let nums: Vec<u32> = groups.iter().filter_map(|g| g.parse().ok()).collect();
+            if nums.len() == groups.len() {
+                // year-first or month-first
+                if nums[0] >= 1900 && nums.len() == 3 {
+                    if nums[1] >= 1 && nums[1] <= 12 && nums[2] >= 1 && nums[2] <= 31 {
+                        return Some(Timex {
+                            kind: TimexKind::Date,
+                            value: format!("{:04}-{:02}-{:02}", nums[0], nums[1], nums[2]),
+                        });
+                    }
+                    return None;
+                } else if nums[0] >= 1 && nums[0] <= 12 && nums[1] >= 1 && nums[1] <= 31 {
+                    let year = nums.get(2).copied();
+                    return Some(Timex {
+                        kind: TimexKind::Date,
+                        value: match year {
+                            Some(y) if y >= 1900 => format!("{y:04}-{:02}-{:02}", nums[0], nums[1]),
+                            Some(y) => format!("20{y:02}-{:02}-{:02}", nums[0], nums[1]),
+                            None => format!("XXXX-{:02}-{:02}", nums[0], nums[1]),
+                        },
+                    });
+                }
+            }
+        }
+        return None;
+    }
+
+    // Clock forms: `<clock>` [am|pm] or fused `7pm`.
+    let (clock_word, meridiem) = if words.len() >= 2
+        && matches!(words[1].as_str(), "am" | "pm" | "a.m" | "p.m")
+    {
+        (words[0].as_str(), Some(words[1].starts_with('p')))
+    } else if words.len() == 1 {
+        let w = words[0].as_str();
+        if let Some(body) = w.strip_suffix("pm").or_else(|| w.strip_suffix("p.m")) {
+            (body, Some(true))
+        } else if let Some(body) = w.strip_suffix("am").or_else(|| w.strip_suffix("a.m")) {
+            (body, Some(false))
+        } else {
+            (w, None)
+        }
+    } else {
+        return None;
+    };
+    let clock_word = clock_word.trim();
+    if clock_word.is_empty() {
+        return None;
+    }
+    // Bare `19:00` is unambiguous; a bare hour without meridiem is not a
+    // time expression.
+    if meridiem.is_none() && !clock_word.contains(':') {
+        return None;
+    }
+    let (mut h, m) = parse_clock(clock_word)?;
+    if let Some(pm) = meridiem {
+        if pm && h < 12 {
+            h += 12;
+        }
+        if !pm && h == 12 {
+            h = 0;
+        }
+    }
+    Some(Timex {
+        kind: TimexKind::Time,
+        value: format!("T{h:02}:{m:02}"),
+    })
+}
+
+/// `true` when the span normalises to a TIMEX3 value — the validity test
+/// used by the Event Time pattern of Table 3.
+pub fn is_valid_timex(text: &str) -> bool {
+    normalize(text).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(text: &str) -> String {
+        normalize(text).unwrap().value
+    }
+
+    #[test]
+    fn clock_times() {
+        assert_eq!(v("7 pm"), "T19:00");
+        assert_eq!(v("7:30 am"), "T07:30");
+        assert_eq!(v("12 am"), "T00:00");
+        assert_eq!(v("12 pm"), "T12:00");
+        assert_eq!(v("19:00"), "T19:00");
+        assert_eq!(v("7pm"), "T19:00");
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(v("noon"), "T12:00");
+        assert_eq!(v("midnight"), "T00:00");
+    }
+
+    #[test]
+    fn month_dates() {
+        assert_eq!(v("April 5, 2019"), "2019-04-05");
+        assert_eq!(v("April 5"), "XXXX-04-05");
+        assert_eq!(v("September"), "XXXX-09");
+        assert_eq!(v("Sept 12"), "XXXX-09-12");
+    }
+
+    #[test]
+    fn numeric_dates() {
+        assert_eq!(v("04/01/2019"), "2019-04-01");
+        assert_eq!(v("4/1"), "XXXX-04-01");
+        assert_eq!(v("2019-04-01"), "2019-04-01");
+        assert_eq!(v("04/01/19"), "2019-04-01");
+    }
+
+    #[test]
+    fn weekdays() {
+        assert_eq!(v("Saturday"), "XXXX-WXX-6");
+        assert_eq!(v("mon"), "XXXX-WXX-1");
+    }
+
+    #[test]
+    fn invalid_forms() {
+        assert!(normalize("25:00").is_none());
+        assert!(normalize("hello world").is_none());
+        assert!(normalize("7").is_none(), "bare hour is ambiguous");
+        assert!(normalize("99/99").is_none());
+        assert!(normalize("").is_none());
+        assert!(!is_valid_timex("broker"));
+        assert!(is_valid_timex("7:30 pm"));
+    }
+}

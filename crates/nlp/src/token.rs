@@ -1,0 +1,193 @@
+//! Tokenisation of transcribed document text.
+//!
+//! VS2-Select normalises the transcription of every logical block before
+//! pattern search (§5.2): tokens are split on whitespace, punctuation is
+//! detached, and a lower-cased normal form is retained alongside the raw
+//! surface form (the raw form drives capitalisation cues in the POS tagger
+//! and NER).
+
+/// A single token with its surface and normalised forms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Surface form exactly as transcribed.
+    pub raw: String,
+    /// Lower-cased form with surrounding punctuation stripped.
+    pub norm: String,
+}
+
+impl Token {
+    /// Creates a token, deriving the normal form.
+    pub fn new(raw: impl Into<String>) -> Self {
+        let raw = raw.into();
+        let norm = raw
+            .trim_matches(|c: char| !c.is_alphanumeric())
+            .to_lowercase();
+        Self { raw, norm }
+    }
+
+    /// `true` when the surface form starts with an uppercase letter.
+    pub fn is_capitalized(&self) -> bool {
+        self.raw.chars().next().is_some_and(|c| c.is_uppercase())
+    }
+
+    /// `true` when the surface form is entirely uppercase letters.
+    pub fn is_all_caps(&self) -> bool {
+        let mut has_alpha = false;
+        for c in self.raw.chars() {
+            if c.is_alphabetic() {
+                has_alpha = true;
+                if !c.is_uppercase() {
+                    return false;
+                }
+            }
+        }
+        has_alpha
+    }
+
+    /// `true` when the normal form parses as a number (integers, decimals
+    /// and digit groups like `2,465`).
+    pub fn is_numeric(&self) -> bool {
+        let cleaned: String = self.norm.chars().filter(|c| *c != ',').collect();
+        !cleaned.is_empty() && cleaned.parse::<f64>().is_ok()
+    }
+
+    /// `true` when the token mixes digits and letters (e.g. `7pm`, `3rd`).
+    pub fn is_alphanumeric_mix(&self) -> bool {
+        let has_digit = self.norm.chars().any(|c| c.is_ascii_digit());
+        let has_alpha = self.norm.chars().any(|c| c.is_alphabetic());
+        has_digit && has_alpha
+    }
+}
+
+/// Splits text into word tokens. Whitespace separates tokens; sentence
+/// punctuation (`.,;:!?"()[]{}`) is split off into its own tokens, while
+/// word-internal punctuation (hyphens, apostrophes, `@`, `/`, `$`) is kept
+/// so emails, phone numbers, prices and dates survive as single tokens.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    for chunk in text.split_whitespace() {
+        // Strip leading detachable punctuation.
+        let mut s = chunk;
+        while let Some(c) = s.chars().next() {
+            if is_detachable(c) {
+                out.push(Token::new(c.to_string()));
+                s = &s[c.len_utf8()..];
+            } else {
+                break;
+            }
+        }
+        // Strip trailing detachable punctuation (collected then reversed).
+        let mut trailing = Vec::new();
+        while let Some(c) = s.chars().last() {
+            if is_detachable(c) && !keeps_trailing(s, c) {
+                trailing.push(Token::new(c.to_string()));
+                s = &s[..s.len() - c.len_utf8()];
+            } else {
+                break;
+            }
+        }
+        if !s.is_empty() {
+            out.push(Token::new(s));
+        }
+        out.extend(trailing.into_iter().rev());
+    }
+    out
+}
+
+fn is_detachable(c: char) -> bool {
+    matches!(
+        c,
+        '.' | ',' | ';' | ':' | '!' | '?' | '"' | '\'' | '(' | ')' | '[' | ']' | '{' | '}'
+    )
+}
+
+/// A trailing `.` stays attached when the token looks like an abbreviation
+/// or decimal (`p.m.`, `St.`, `2.5`), i.e. it contains another `.` or a
+/// digit right before it.
+fn keeps_trailing(s: &str, c: char) -> bool {
+    if c != '.' {
+        return false;
+    }
+    let body = &s[..s.len() - 1];
+    body.contains('.') || body.chars().last().is_some_and(|p| p.is_ascii_digit())
+}
+
+/// Joins tokens back into a normalised string (lower-cased words separated
+/// by single spaces, punctuation dropped). Used for cosine-similarity text
+/// comparisons where punctuation is noise.
+pub fn normalize_join(tokens: &[Token]) -> String {
+    tokens
+        .iter()
+        .filter(|t| !t.norm.is_empty())
+        .map(|t| t.norm.as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norms(text: &str) -> Vec<String> {
+        tokenize(text).into_iter().map(|t| t.raw).collect()
+    }
+
+    #[test]
+    fn splits_on_whitespace() {
+        assert_eq!(norms("hello world"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn detaches_sentence_punctuation() {
+        assert_eq!(norms("Hello, world!"), vec!["Hello", ",", "world", "!"]);
+        assert_eq!(norms("(free)"), vec!["(", "free", ")"]);
+    }
+
+    #[test]
+    fn keeps_emails_and_phones_whole() {
+        assert_eq!(norms("bob@example.com"), vec!["bob@example.com"]);
+        assert_eq!(norms("(614) 555-0175"), vec!["(", "614", ")", "555-0175"]);
+    }
+
+    #[test]
+    fn keeps_decimals_and_abbreviations() {
+        assert_eq!(norms("2.5 acres"), vec!["2.5", "acres"]);
+        assert_eq!(norms("7 p.m."), vec!["7", "p.m."]);
+    }
+
+    #[test]
+    fn detaches_final_period_of_sentence() {
+        assert_eq!(norms("the end."), vec!["the", "end", "."]);
+    }
+
+    #[test]
+    fn token_predicates() {
+        assert!(Token::new("Hello").is_capitalized());
+        assert!(!Token::new("hello").is_capitalized());
+        assert!(Token::new("NASA").is_all_caps());
+        assert!(!Token::new("NaSA").is_all_caps());
+        assert!(Token::new("2,465").is_numeric());
+        assert!(Token::new("3.14").is_numeric());
+        assert!(!Token::new("pi").is_numeric());
+        assert!(Token::new("7pm").is_alphanumeric_mix());
+        assert!(!Token::new("seven").is_alphanumeric_mix());
+    }
+
+    #[test]
+    fn norm_strips_punctuation_and_lowercases() {
+        assert_eq!(Token::new("\"Hello\"").norm, "hello");
+        assert_eq!(Token::new("p.m.").norm, "p.m");
+    }
+
+    #[test]
+    fn normalize_join_drops_bare_punctuation() {
+        let toks = tokenize("Hello, World!");
+        assert_eq!(normalize_join(&toks), "hello world");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Lesk-style word-sense disambiguation.
+//!
+//! The paper's text-only baseline resolves conflicting entity matches
+//! with Lesk (reference [3]), a gloss-overlap disambiguator, and §6.5's
+//! ablation A4 swaps VS2's multimodal disambiguation for exactly this.
+//! Senses are glossed by bags of words; a candidate context is scored by
+//! its (stemmed, stopword-free) overlap with each gloss.
+
+use crate::lexicon::{self, Topic};
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use std::collections::{HashMap, HashSet};
+
+/// A gloss-overlap disambiguator with named senses.
+#[derive(Debug, Clone, Default)]
+pub struct Lesk {
+    glosses: HashMap<String, HashSet<String>>,
+}
+
+fn gloss_set<'a, I: IntoIterator<Item = &'a str>>(words: I) -> HashSet<String> {
+    words
+        .into_iter()
+        .map(|w| w.to_lowercase())
+        .filter(|w| !w.is_empty() && !is_stopword(w))
+        .map(|w| stem(&w))
+        .collect()
+}
+
+impl Lesk {
+    /// Creates an empty disambiguator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a disambiguator whose senses are the lexicon topics,
+    /// glossed by their word pools — the generic inventory the text-only
+    /// baseline uses when nothing task-specific is available.
+    pub fn from_lexicon() -> Self {
+        let mut l = Self::new();
+        for t in lexicon::ALL_TOPICS {
+            if t == Topic::Generic {
+                continue;
+            }
+            l.add_gloss(format!("{t:?}").to_lowercase(), lexicon::words_of(t).iter().copied());
+        }
+        l
+    }
+
+    /// Adds (or extends) a sense gloss.
+    pub fn add_gloss<'a, I: IntoIterator<Item = &'a str>>(&mut self, sense: impl Into<String>, words: I) {
+        self.glosses
+            .entry(sense.into())
+            .or_default()
+            .extend(gloss_set(words));
+    }
+
+    /// Number of senses.
+    pub fn sense_count(&self) -> usize {
+        self.glosses.len()
+    }
+
+    /// Overlap score of a context against one sense's gloss: the number of
+    /// shared stems divided by the context size (0 when either is empty,
+    /// or the sense is unknown).
+    pub fn score<'a, I: IntoIterator<Item = &'a str>>(&self, sense: &str, context: I) -> f64 {
+        let Some(gloss) = self.glosses.get(sense) else {
+            return 0.0;
+        };
+        let ctx = gloss_set(context);
+        if ctx.is_empty() || gloss.is_empty() {
+            return 0.0;
+        }
+        let overlap = ctx.iter().filter(|w| gloss.contains(*w)).count();
+        overlap as f64 / ctx.len() as f64
+    }
+
+    /// Best-scoring sense for a context; `None` when no sense overlaps at
+    /// all. Ties break lexicographically for determinism.
+    pub fn best_sense<'a, I: IntoIterator<Item = &'a str> + Clone>(&self, context: I) -> Option<(String, f64)> {
+        let mut best: Option<(String, f64)> = None;
+        let mut senses: Vec<&String> = self.glosses.keys().collect();
+        senses.sort();
+        for sense in senses {
+            let s = self.score(sense, context.clone());
+            if s > 0.0 && best.as_ref().is_none_or(|(_, bs)| s > *bs) {
+                best = Some((sense.clone(), s));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_counts_stemmed_overlap() {
+        let mut l = Lesk::new();
+        l.add_gloss("events", ["concert", "festival", "tickets"]);
+        // "concerts" stems to "concert".
+        let s = l.score("events", ["concerts", "tonight"]);
+        assert!(s > 0.0 && s <= 1.0);
+        assert_eq!(l.score("missing", ["concert"]), 0.0);
+    }
+
+    #[test]
+    fn stopwords_do_not_inflate_scores() {
+        let mut l = Lesk::new();
+        l.add_gloss("g", ["broker", "the", "and"]);
+        let s = l.score("g", ["the", "and", "broker"]);
+        assert_eq!(s, 1.0, "context reduces to the single content word");
+    }
+
+    #[test]
+    fn best_sense_picks_highest() {
+        let mut l = Lesk::new();
+        l.add_gloss("estate", ["broker", "listing", "acres"]);
+        l.add_gloss("events", ["concert", "festival", "stage"]);
+        let (sense, _) = l.best_sense(["broker", "listing", "stage"]).unwrap();
+        assert_eq!(sense, "estate");
+        assert!(l.best_sense(["zzz", "qqq"]).is_none());
+    }
+
+    #[test]
+    fn lexicon_inventory() {
+        let l = Lesk::from_lexicon();
+        assert!(l.sense_count() >= 15);
+        let (sense, _) = l.best_sense(["acres", "sqft", "beds"]).unwrap();
+        assert_eq!(sense, "measure");
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut l = Lesk::new();
+        l.add_gloss("a", ["word"]);
+        l.add_gloss("b", ["word"]);
+        let (sense, _) = l.best_sense(["word"]).unwrap();
+        assert_eq!(sense, "a");
+    }
+}

@@ -1,0 +1,198 @@
+//! Dataset assembly: generation + OCR channel + holdout corpus per
+//! experimental dataset.
+
+use crate::holdout::{self, HoldoutCorpus};
+use crate::ocr::{self, OcrConfig};
+use crate::{flyers, posters, tax};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vs2_docmodel::AnnotatedDocument;
+
+/// The three experimental datasets of §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// NIST Tax forms (structured, scanned, markup-free).
+    D1,
+    /// Event posters (visually ornate, mobile captures + digital).
+    D2,
+    /// Real-estate flyers (HTML, per-broker templates).
+    D3,
+}
+
+impl DatasetId {
+    /// All datasets.
+    pub const ALL: [DatasetId; 3] = [DatasetId::D1, DatasetId::D2, DatasetId::D3];
+
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetId::D1 => "D1",
+            DatasetId::D2 => "D2",
+            DatasetId::D3 => "D3",
+        }
+    }
+
+    /// `true` when documents carry markup hints (required by VIPS-style
+    /// baselines; D1 is scanned and has none — "Evidently, A4 could not
+    /// be applied on dataset D1").
+    pub fn has_markup(&self) -> bool {
+        !matches!(self, DatasetId::D1)
+    }
+
+    /// Entity keys of the dataset's IE task.
+    pub fn entity_types(&self) -> Vec<String> {
+        match self {
+            DatasetId::D1 => tax::all_field_descriptors()
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect(),
+            DatasetId::D2 => posters::entities::ALL.iter().map(|s| s.to_string()).collect(),
+            DatasetId::D3 => flyers::entities::ALL.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetConfig {
+    /// Number of documents.
+    pub n_docs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// OCR noise override; `None` selects the per-dataset default
+    /// (light scan noise for D1, mixed mobile/digital for D2, clean for
+    /// D3's digital HTML).
+    pub ocr: Option<OcrConfig>,
+}
+
+impl DatasetConfig {
+    /// `n_docs` documents with the default noise model.
+    pub fn new(n_docs: usize, seed: u64) -> Self {
+        Self {
+            n_docs,
+            seed,
+            ocr: None,
+        }
+    }
+
+    /// Builder-style OCR override.
+    pub fn with_ocr(mut self, ocr: OcrConfig) -> Self {
+        self.ocr = Some(ocr);
+        self
+    }
+}
+
+/// Generates an annotated, OCR-noised dataset.
+pub fn generate(id: DatasetId, config: DatasetConfig) -> Vec<AnnotatedDocument> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0C12);
+    (0..config.n_docs)
+        .map(|i| {
+            let clean = match id {
+                DatasetId::D1 => tax::generate_form(i, config.seed),
+                DatasetId::D2 => posters::generate_poster(i, config.seed),
+                DatasetId::D3 => flyers::generate_flyer(i, config.seed),
+            };
+            let noise = config.ocr.unwrap_or_else(|| default_ocr(id, i));
+            ocr::apply(&clean, &noise, &mut rng)
+        })
+        .collect()
+}
+
+/// Per-dataset default OCR noise. D2 mixes mobile captures (heavy noise,
+/// ~63% of documents, matching the paper's 1375/2190) with digital PDFs.
+pub fn default_ocr(id: DatasetId, doc_index: usize) -> OcrConfig {
+    match id {
+        DatasetId::D1 => OcrConfig::light(),
+        DatasetId::D2 => {
+            if doc_index % 8 < 5 {
+                OcrConfig::heavy()
+            } else {
+                OcrConfig::clean()
+            }
+        }
+        DatasetId::D3 => OcrConfig::clean(),
+    }
+}
+
+/// Builds the dataset's holdout corpus (Table 2 analogue).
+pub fn holdout_corpus(id: DatasetId, seed: u64) -> HoldoutCorpus {
+    match id {
+        DatasetId::D1 => holdout::build_d1(),
+        // "first 500 results obtained from the search queries" for D2 and
+        // "top 100 results for each search query" for D3.
+        DatasetId::D2 => holdout::build_d2(100, seed),
+        DatasetId::D3 => holdout::build_d3(60, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_each_dataset() {
+        for id in DatasetId::ALL {
+            let docs = generate(id, DatasetConfig::new(4, 1));
+            assert_eq!(docs.len(), 4);
+            for d in &docs {
+                assert!(!d.doc.is_empty());
+                assert!(!d.annotations.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn d2_mixes_noise_levels() {
+        // Heavy-noise docs rotate; clean docs don't.
+        let heavy = default_ocr(DatasetId::D2, 0);
+        let clean = default_ocr(DatasetId::D2, 5);
+        assert!(heavy.char_sub_rate > clean.char_sub_rate);
+    }
+
+    #[test]
+    fn markup_presence_matches_dataset() {
+        assert!(!DatasetId::D1.has_markup());
+        assert!(DatasetId::D2.has_markup());
+        assert!(DatasetId::D3.has_markup());
+        let d3 = generate(DatasetId::D3, DatasetConfig::new(1, 2));
+        assert!(d3[0].doc.texts.iter().any(|t| t.markup.is_some()));
+    }
+
+    #[test]
+    fn entity_types_are_nonempty() {
+        assert!(DatasetId::D1.entity_types().len() > 100);
+        assert_eq!(DatasetId::D2.entity_types().len(), 5);
+        assert_eq!(DatasetId::D3.entity_types().len(), 6);
+    }
+
+    #[test]
+    fn holdout_corpora_exist() {
+        for id in DatasetId::ALL {
+            assert!(!holdout_corpus(id, 1).is_empty());
+        }
+    }
+
+    #[test]
+    fn ocr_override_applies() {
+        let noisy = generate(
+            DatasetId::D3,
+            DatasetConfig::new(1, 3).with_ocr(OcrConfig::heavy()),
+        );
+        let clean = generate(DatasetId::D3, DatasetConfig::new(1, 3));
+        // Heavy noise changes the transcription relative to the clean default.
+        assert_ne!(
+            noisy[0].doc.transcribe_all(),
+            clean[0].doc.transcribe_all()
+        );
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(DatasetId::D2, DatasetConfig::new(3, 9));
+        let b = generate(DatasetId::D2, DatasetConfig::new(3, 9));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.doc, y.doc);
+        }
+    }
+}

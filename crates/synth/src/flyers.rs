@@ -1,0 +1,356 @@
+//! Dataset D3 stand-in: synthetic commercial real-estate flyers.
+//!
+//! The paper's D3 is 1,200 HTML flyers from 20 broker websites with six
+//! named entities (Table 4): Broker Name, Broker Phone, Broker Email,
+//! Property Address, Property Size, Property Description. D3's defining
+//! properties — per-broker template reuse and available markup — are
+//! reproduced with 20 template *families*: documents of one family share
+//! a layout skeleton (that is what ReportMiner-style rule masks and the
+//! trained baselines exploit) while content varies per document.
+
+use crate::render::{place_text, Align, TextStyle};
+use crate::textgen;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use vs2_docmodel::{
+    AnnotatedDocument, BBox, Document, EntityAnnotation, ImageElement, MarkupClass, Rgb,
+};
+
+/// Entity keys of dataset D3.
+pub mod entities {
+    /// Full name of the listing broker.
+    pub const BROKER_NAME: &str = "broker_name";
+    /// Contact number of the listing broker.
+    pub const BROKER_PHONE: &str = "broker_phone";
+    /// E-mail address of the listing broker.
+    pub const BROKER_EMAIL: &str = "broker_email";
+    /// Full address information of the listing.
+    pub const PROPERTY_ADDRESS: &str = "property_address";
+    /// Size attributes of the listing.
+    pub const PROPERTY_SIZE: &str = "property_size";
+    /// Property type and essential details.
+    pub const PROPERTY_DESCRIPTION: &str = "property_description";
+
+    /// All D3 entity keys, in Table 4 order.
+    pub const ALL: [&str; 6] = [
+        BROKER_NAME,
+        BROKER_PHONE,
+        BROKER_EMAIL,
+        PROPERTY_ADDRESS,
+        PROPERTY_SIZE,
+        PROPERTY_DESCRIPTION,
+    ];
+}
+
+const PAGE_W: f64 = 612.0;
+const PAGE_H: f64 = 792.0;
+const MARGIN: f64 = 40.0;
+
+/// Number of broker template families ("broker websites").
+pub const FAMILIES: usize = 20;
+
+/// Layout skeleton shared by every flyer of a family.
+#[derive(Debug, Clone, Copy)]
+struct Family {
+    /// Broker block position: top banner (false) or right sidebar (true).
+    sidebar: bool,
+    /// Headline font size.
+    headline_fs: f64,
+    /// Body font size.
+    body_fs: f64,
+    /// Accent colour.
+    accent: Rgb,
+    /// Photo block present.
+    photo: bool,
+}
+
+fn family(fam: usize) -> Family {
+    let mut rng = StdRng::seed_from_u64(0xFA0_0000 + fam as u64);
+    Family {
+        sidebar: rng.gen_bool(0.35),
+        headline_fs: rng.gen_range(19.0..28.0),
+        body_fs: rng.gen_range(9.5..12.0),
+        accent: Rgb::new(
+            rng.gen_range(0..140),
+            rng.gen_range(0..140),
+            rng.gen_range(60..200),
+        ),
+        photo: rng.gen_bool(0.7),
+    }
+}
+
+/// Generates one flyer of a given family.
+pub fn generate_flyer(id: usize, seed: u64) -> AnnotatedDocument {
+    let fam_idx = id % FAMILIES;
+    let fam = family(fam_idx);
+    let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0xD1B54A32D192ED03));
+    let mut doc = Document::new(format!("d3-{id:05}"), PAGE_W, PAGE_H);
+    let mut annotations = Vec::new();
+
+    let content_w = PAGE_W - 2.0 * MARGIN;
+    let (main_x, main_w, broker_x, broker_w) = if fam.sidebar {
+        (MARGIN, content_w * 0.62, MARGIN + content_w * 0.68, content_w * 0.32)
+    } else {
+        (MARGIN, content_w, MARGIN, content_w)
+    };
+
+    // ---- Broker block (banner or sidebar). ----
+    let broker = textgen::person_name(&mut rng);
+    let phone = textgen::phone(&mut rng);
+    let email = textgen::email(&mut rng);
+    let brokerage = textgen::org_name(&mut rng);
+
+    let mut by = MARGIN;
+    let broker_style = TextStyle::body(fam.body_fs + 2.0)
+        .with_color(fam.accent)
+        .with_markup(MarkupClass::Heading2);
+    let placed = place_text(&mut doc, &broker, broker_x, by, broker_w, &broker_style);
+    annotations.push(EntityAnnotation::new(
+        entities::BROKER_NAME,
+        placed.bbox,
+        placed.text.clone(),
+    ));
+    by = placed.bbox.bottom() + 10.0;
+    let small = TextStyle::body(fam.body_fs).with_markup(MarkupClass::Paragraph);
+    let placed = place_text(&mut doc, &brokerage, broker_x, by, broker_w, &small);
+    by = placed.bbox.bottom() + 10.0;
+    let placed = place_text(
+        &mut doc,
+        &format!("Phone {phone}"),
+        broker_x,
+        by,
+        broker_w,
+        &small,
+    );
+    // Ground-truth text is the number; the annotated box is the whole
+    // contact line (the visual unit the IoU protocol compares, §6.2).
+    annotations.push(EntityAnnotation::new(
+        entities::BROKER_PHONE,
+        placed.bbox,
+        phone.clone(),
+    ));
+    by = placed.bbox.bottom() + 10.0;
+    let placed = place_text(
+        &mut doc,
+        &format!("Email {email}"),
+        broker_x,
+        by,
+        broker_w,
+        &small,
+    );
+    annotations.push(EntityAnnotation::new(
+        entities::BROKER_EMAIL,
+        placed.bbox,
+        email.clone(),
+    ));
+    by = placed.bbox.bottom() + 18.0;
+
+    // ---- Main column. ----
+    let mut y = if fam.sidebar { MARGIN } else { by + 10.0 };
+
+    // Photo block.
+    if fam.photo {
+        let h = rng.gen_range(120.0..200.0);
+        doc.push_image(ImageElement::new(
+            rng.gen(),
+            BBox::new(main_x, y, main_w, h),
+            Rgb::new(150, 150, 150).to_lab(),
+        ));
+        y += h + 24.0;
+    }
+
+    // Address headline.
+    let address = textgen::street_address(&mut rng);
+    let headline = TextStyle::body(fam.headline_fs)
+        .with_color(fam.accent)
+        .with_markup(MarkupClass::Heading1);
+    let placed = place_text(&mut doc, &address, main_x, y, main_w, &headline);
+    annotations.push(EntityAnnotation::new(
+        entities::PROPERTY_ADDRESS,
+        placed.bbox,
+        placed.text.clone(),
+    ));
+    y = placed.bbox.bottom() + 20.0;
+
+    // Listing status line (distractor numerals: price).
+    let price_line = match rng.gen_range(0..3) {
+        0 => format!("For Lease ${}/month", rng.gen_range(800..9000)),
+        1 => format!("For Sale ${}", rng.gen_range(100..900) * 1000),
+        _ => "Price negotiable contact broker".to_string(),
+    };
+    let placed = place_text(
+        &mut doc,
+        &price_line,
+        main_x,
+        y,
+        main_w,
+        &TextStyle::body(fam.body_fs + 1.0).with_markup(MarkupClass::Emphasis),
+    );
+    y = placed.bbox.bottom() + 18.0;
+
+    // Size bullets.
+    let size = textgen::property_size(&mut rng);
+    let placed = place_text(
+        &mut doc,
+        &size,
+        main_x,
+        y,
+        main_w,
+        &TextStyle::body(fam.body_fs + 1.0).with_markup(MarkupClass::TableCell),
+    );
+    annotations.push(EntityAnnotation::new(
+        entities::PROPERTY_SIZE,
+        placed.bbox,
+        placed.text.clone(),
+    ));
+    y = placed.bbox.bottom() + 20.0;
+
+    // Description paragraph.
+    let mut desc = textgen::property_description(&mut rng);
+    for _ in 0..rng.gen_range(1..3) {
+        desc.push_str(" . ");
+        desc.push_str(&textgen::description_sentence(
+            &mut rng,
+            vs2_nlp::lexicon::Topic::Structure,
+        ));
+    }
+    let placed = place_text(
+        &mut doc,
+        &desc,
+        main_x,
+        y,
+        main_w,
+        &TextStyle::body(fam.body_fs).with_markup(MarkupClass::Paragraph),
+    );
+    annotations.push(EntityAnnotation::new(
+        entities::PROPERTY_DESCRIPTION,
+        placed.bbox,
+        placed.text.clone(),
+    ));
+    y = placed.bbox.bottom() + 24.0;
+
+    // ---- Footer distractors: fax number (phone-pattern false candidate)
+    // and office e-mail, plus an office-manager name. ----
+    let footer_y = (PAGE_H - MARGIN - 26.0).max(y);
+    let footer = TextStyle::body(8.0)
+        .with_align(Align::Left)
+        .with_markup(MarkupClass::Footer);
+    if rng.gen_bool(0.7) {
+        let fax = textgen::phone(&mut rng);
+        let _ = place_text(
+            &mut doc,
+            &format!("Fax {fax} office info@realty.example.net"),
+            MARGIN,
+            footer_y,
+            content_w,
+            &footer,
+        );
+    }
+    if rng.gen_bool(0.4) {
+        let manager = textgen::person_name(&mut rng);
+        let _ = place_text(
+            &mut doc,
+            &format!("All listings verified by {manager}"),
+            MARGIN,
+            footer_y + 11.0,
+            content_w,
+            &footer,
+        );
+    }
+
+    AnnotatedDocument { doc, annotations }
+}
+
+/// Generates `n` flyers across the 20 template families.
+pub fn generate(n: usize, seed: u64) -> Vec<AnnotatedDocument> {
+    (0..n).map(|i| generate_flyer(i, seed)).collect()
+}
+
+/// Template family index of a generated flyer id.
+pub fn family_of(id: usize) -> usize {
+    id % FAMILIES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flyer_has_all_six_entities() {
+        let f = generate_flyer(0, 42);
+        for e in entities::ALL {
+            assert_eq!(f.annotations_for(e).len(), 1, "missing {e}");
+        }
+    }
+
+    #[test]
+    fn family_layouts_are_stable() {
+        // Two flyers of the same family share the sidebar/banner decision;
+        // compare broker-name x positions.
+        let a = generate_flyer(3, 1);
+        let b = generate_flyer(3 + FAMILIES, 1);
+        let ax = a.annotations_for(entities::BROKER_NAME)[0].bbox.x;
+        let bx = b.annotations_for(entities::BROKER_NAME)[0].bbox.x;
+        assert!((ax - bx).abs() < 1.0, "family layout drifted: {ax} vs {bx}");
+    }
+
+    #[test]
+    fn different_families_differ() {
+        let xs: Vec<f64> = (0..FAMILIES)
+            .map(|i| generate_flyer(i, 1).annotations_for(entities::PROPERTY_ADDRESS)[0].bbox.h)
+            .collect();
+        let mut uniq = xs.clone();
+        uniq.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        uniq.dedup();
+        assert!(uniq.len() > 3, "headline sizes should vary across families");
+    }
+
+    #[test]
+    fn markup_hints_present() {
+        let f = generate_flyer(1, 42);
+        assert!(f.doc.texts.iter().any(|t| t.markup == Some(MarkupClass::Heading1)));
+        assert!(f.doc.texts.iter().any(|t| t.markup == Some(MarkupClass::Paragraph)));
+    }
+
+    #[test]
+    fn entity_texts_parse_with_nlp() {
+        for i in 0..6 {
+            let f = generate_flyer(i, 9);
+            let phone = &f.annotations_for(entities::BROKER_PHONE)[0].text;
+            let ann = vs2_nlp::annotate(&format!("call {phone}"));
+            assert!(
+                ann.ner.iter().any(|s| s.tag == vs2_nlp::NerTag::Phone),
+                "phone not recognised: {phone}"
+            );
+            let email = &f.annotations_for(entities::BROKER_EMAIL)[0].text;
+            assert!(vs2_nlp::ner::is_email(email), "bad email {email}");
+            let addr = &f.annotations_for(entities::PROPERTY_ADDRESS)[0].text;
+            assert!(vs2_nlp::geocode::is_valid_geocode(addr), "bad addr {addr}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_flyer(7, 5).doc, generate_flyer(7, 5).doc);
+    }
+
+    #[test]
+    fn batch_covers_families() {
+        let docs = generate(40, 2);
+        assert_eq!(docs.len(), 40);
+        assert_eq!(family_of(0), family_of(FAMILIES));
+    }
+
+    #[test]
+    fn annotations_cover_words() {
+        let f = generate_flyer(2, 11);
+        for a in &f.annotations {
+            assert!(
+                !f.doc.elements_intersecting(&a.bbox).is_empty(),
+                "annotation {} covers nothing",
+                a.entity
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # vs2-synth
+//!
+//! Synthetic stand-ins for the VS2 paper's three experimental datasets
+//! (§6.1) and the assets around them:
+//!
+//! * [`tax`] — D1, the NIST Tax dataset analogue (20 fixed form faces,
+//!   labelled field descriptors, grid layout, scan noise);
+//! * [`posters`] — D2, visually ornate event posters with five named
+//!   entities and heavy layout variance;
+//! * [`flyers`] — D3, commercial real-estate flyers across 20 broker
+//!   template families with markup hints;
+//! * [`ocr`] — the Tesseract-like transcription noise channel;
+//! * [`holdout`] — the distant-supervision holdout corpora of Table 2;
+//! * [`render`] / [`textgen`] — layout and surface-text generation shared
+//!   by the generators;
+//! * [`dataset`] — one-call assembly of a noised, annotated dataset.
+//!
+//! All generation is deterministic in the provided seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod flyers;
+pub mod holdout;
+pub mod ocr;
+pub mod posters;
+pub mod render;
+pub mod tax;
+pub mod textgen;
+
+pub use dataset::{generate, holdout_corpus, DatasetConfig, DatasetId};
+pub use holdout::{HoldoutCorpus, HoldoutEntry};
+pub use ocr::OcrConfig;
+
+#[cfg(test)]
+mod proptests {
+    use crate::dataset::{generate, DatasetConfig, DatasetId};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn any_seed_generates_valid_documents(seed in 0u64..1_000_000, n in 1usize..4) {
+            for id in DatasetId::ALL {
+                let docs = generate(id, DatasetConfig::new(n, seed));
+                prop_assert_eq!(docs.len(), n);
+                for d in docs {
+                    prop_assert!(!d.doc.texts.is_empty());
+                    // Every annotation intersects at least one element or
+                    // was dropped by OCR — the bbox itself must stay sane.
+                    for a in &d.annotations {
+                        prop_assert!(a.bbox.w > 0.0 && a.bbox.h > 0.0);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The OCR noise channel.
+//!
+//! The paper transcribes documents with Tesseract and attributes most
+//! end-to-end errors to transcription noise: "low-quality transcription
+//! … inhibiting semantic merging at later iterations" (§6.3, §6.4). This
+//! channel reproduces those failure modes synthetically: character
+//! confusions, dropped words, merged and split words, bounding-box jitter
+//! and page rotation (§5.1.2 claims robustness to rotation up to 45°).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use vs2_docmodel::{AnnotatedDocument, BBox, Document, Point, TextElement};
+
+/// Noise-channel parameters. All rates are per-opportunity probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct OcrConfig {
+    /// Per-character substitution probability.
+    pub char_sub_rate: f64,
+    /// Per-word drop probability.
+    pub word_drop_rate: f64,
+    /// Probability of merging a word with its successor on the same line.
+    pub word_merge_rate: f64,
+    /// Probability of splitting a word (≥ 6 chars) in two.
+    pub word_split_rate: f64,
+    /// Maximum absolute bounding-box jitter in document units.
+    pub bbox_jitter: f64,
+    /// Page rotation in degrees (rotates both the observed document and
+    /// the ground-truth annotations, as a skewed scan would).
+    pub rotation_deg: f64,
+}
+
+impl OcrConfig {
+    /// No noise at all — digital-native documents.
+    pub fn clean() -> Self {
+        Self {
+            char_sub_rate: 0.0,
+            word_drop_rate: 0.0,
+            word_merge_rate: 0.0,
+            word_split_rate: 0.0,
+            bbox_jitter: 0.0,
+            rotation_deg: 0.0,
+        }
+    }
+
+    /// Light noise — flatbed scans of 1988 forms (dataset D1): clean
+    /// glyphs but a small feed skew, the dominant artefact of the era's
+    /// sheet-fed scanners.
+    pub fn light() -> Self {
+        Self {
+            char_sub_rate: 0.01,
+            word_drop_rate: 0.005,
+            word_merge_rate: 0.01,
+            word_split_rate: 0.005,
+            bbox_jitter: 1.0,
+            rotation_deg: 0.4,
+        }
+    }
+
+    /// Heavy noise — mobile captures (most of dataset D2).
+    pub fn heavy() -> Self {
+        Self {
+            char_sub_rate: 0.025,
+            word_drop_rate: 0.02,
+            word_merge_rate: 0.04,
+            word_split_rate: 0.02,
+            bbox_jitter: 1.2,
+            rotation_deg: 2.0,
+        }
+    }
+}
+
+/// Visually confusable character pairs (both directions where sensible).
+const CONFUSIONS: &[(char, char)] = &[
+    ('o', '0'),
+    ('0', 'o'),
+    ('l', '1'),
+    ('1', 'l'),
+    ('i', 'l'),
+    ('e', 'c'),
+    ('s', '5'),
+    ('5', 's'),
+    ('b', '6'),
+    ('a', 'o'),
+    ('u', 'v'),
+    ('m', 'n'),
+    ('g', 'q'),
+    ('t', 'f'),
+];
+
+fn corrupt_word(word: &str, rate: f64, rng: &mut StdRng) -> String {
+    if rate <= 0.0 {
+        return word.to_string();
+    }
+    word.chars()
+        .map(|c| {
+            if rng.gen_bool(rate.min(1.0)) {
+                let lower = c.to_ascii_lowercase();
+                if let Some((_, to)) = CONFUSIONS.iter().find(|(from, _)| *from == lower) {
+                    return if c.is_uppercase() {
+                        to.to_ascii_uppercase()
+                    } else {
+                        *to
+                    };
+                }
+            }
+            c
+        })
+        .collect()
+}
+
+fn rotate_bbox(b: &BBox, center: Point, cos: f64, sin: f64) -> BBox {
+    // Rotate the centroid; keep the extent axis-aligned (the downstream
+    // pipeline works on axis-aligned boxes, as OCR engines emit).
+    let c = b.centroid();
+    let dx = c.x - center.x;
+    let dy = c.y - center.y;
+    let nx = center.x + dx * cos - dy * sin;
+    let ny = center.y + dx * sin + dy * cos;
+    BBox::new(nx - b.w / 2.0, ny - b.h / 2.0, b.w, b.h)
+}
+
+/// Passes an annotated document through the OCR channel.
+///
+/// Geometric distortions (rotation) apply to both the observed document
+/// and the annotations — the experts annotated the captured image itself.
+/// Textual corruption and jitter apply only to the observed document.
+pub fn apply(input: &AnnotatedDocument, cfg: &OcrConfig, rng: &mut StdRng) -> AnnotatedDocument {
+    let doc = &input.doc;
+    let mut out = Document::new(doc.id.clone(), doc.width, doc.height);
+    let center = Point::new(doc.width / 2.0, doc.height / 2.0);
+    let theta = cfg.rotation_deg.to_radians();
+    let (sin, cos) = theta.sin_cos();
+
+    // Work in reading order so merge candidates are adjacent.
+    let order = doc.reading_order(&doc.element_refs());
+    let mut texts: Vec<TextElement> = order
+        .iter()
+        .filter_map(|r| match r {
+            vs2_docmodel::ElementRef::Text(i) => Some(doc.texts[*i].clone()),
+            vs2_docmodel::ElementRef::Image(_) => None,
+        })
+        .collect();
+
+    // Merges.
+    let mut i = 0;
+    while i + 1 < texts.len() {
+        let same_line = (texts[i].bbox.y - texts[i + 1].bbox.y).abs() < texts[i].bbox.h * 0.5;
+        let adjacent = texts[i + 1].bbox.x >= texts[i].bbox.x
+            && texts[i + 1].bbox.x - texts[i].bbox.right() < texts[i].bbox.h;
+        if same_line && adjacent && rng.gen_bool(cfg.word_merge_rate.min(1.0)) {
+            let next = texts.remove(i + 1);
+            let merged = &mut texts[i];
+            merged.text.push_str(&next.text);
+            merged.bbox = merged.bbox.union(&next.bbox);
+        } else {
+            i += 1;
+        }
+    }
+
+    for t in texts {
+        if rng.gen_bool(cfg.word_drop_rate.min(1.0)) {
+            continue;
+        }
+        let corrupted = corrupt_word(&t.text, cfg.char_sub_rate, rng);
+        let jitter = |rng: &mut StdRng| {
+            if cfg.bbox_jitter > 0.0 {
+                rng.gen_range(-cfg.bbox_jitter..cfg.bbox_jitter)
+            } else {
+                0.0
+            }
+        };
+        let mut emit = |text: String, bbox: BBox, rng: &mut StdRng| {
+            let b = BBox::new(
+                bbox.x + jitter(rng),
+                bbox.y + jitter(rng),
+                (bbox.w + jitter(rng)).max(1.0),
+                (bbox.h + jitter(rng)).max(1.0),
+            );
+            let b = rotate_bbox(&b, center, cos, sin);
+            let mut e = TextElement::word(text, b)
+                .with_color(t.color)
+                .with_font_size(t.font_size);
+            if let Some(m) = t.markup {
+                e = e.with_markup(m);
+            }
+            out.push_text(e);
+        };
+        let nchars = corrupted.chars().count();
+        if nchars >= 6 && rng.gen_bool(cfg.word_split_rate.min(1.0)) {
+            let cut = nchars / 2;
+            let byte_cut = corrupted
+                .char_indices()
+                .nth(cut)
+                .map(|(b, _)| b)
+                .unwrap_or(corrupted.len());
+            let (a, b) = corrupted.split_at(byte_cut);
+            let frac = cut as f64 / nchars as f64;
+            let left = BBox::new(t.bbox.x, t.bbox.y, t.bbox.w * frac, t.bbox.h);
+            let right = BBox::new(
+                t.bbox.x + t.bbox.w * frac + 1.0,
+                t.bbox.y,
+                t.bbox.w * (1.0 - frac) - 1.0,
+                t.bbox.h,
+            );
+            emit(a.to_string(), left, rng);
+            emit(b.to_string(), right, rng);
+        } else {
+            emit(corrupted, t.bbox, rng);
+        }
+    }
+
+    for img in &doc.images {
+        let mut im = img.clone();
+        im.bbox = rotate_bbox(&im.bbox, center, cos, sin);
+        out.push_image(im);
+    }
+
+    let annotations = input
+        .annotations
+        .iter()
+        .map(|a| {
+            let mut a = a.clone();
+            a.bbox = rotate_bbox(&a.bbox, center, cos, sin);
+            a
+        })
+        .collect();
+
+    AnnotatedDocument {
+        doc: out,
+        annotations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vs2_docmodel::EntityAnnotation;
+
+    fn sample() -> AnnotatedDocument {
+        let mut doc = Document::new("s", 200.0, 100.0);
+        for (i, w) in ["hello", "beautiful", "world", "tonight"].iter().enumerate() {
+            doc.push_text(TextElement::word(
+                *w,
+                BBox::new(10.0 + 40.0 * i as f64, 10.0, 35.0, 10.0),
+            ));
+        }
+        AnnotatedDocument {
+            doc,
+            annotations: vec![EntityAnnotation::new(
+                "x",
+                BBox::new(10.0, 10.0, 35.0, 10.0),
+                "hello",
+            )],
+        }
+    }
+
+    #[test]
+    fn clean_channel_is_identity_on_text() {
+        let input = sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = apply(&input, &OcrConfig::clean(), &mut rng);
+        assert_eq!(out.doc.texts.len(), input.doc.texts.len());
+        assert_eq!(out.doc.transcribe_all(), input.doc.transcribe_all());
+        assert_eq!(out.annotations[0].bbox, input.annotations[0].bbox);
+    }
+
+    #[test]
+    fn char_noise_changes_some_text() {
+        let input = sample();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = OcrConfig {
+            char_sub_rate: 0.8,
+            ..OcrConfig::clean()
+        };
+        let out = apply(&input, &cfg, &mut rng);
+        assert_ne!(out.doc.transcribe_all(), input.doc.transcribe_all());
+        assert_eq!(out.doc.texts.len(), input.doc.texts.len(), "no drops");
+    }
+
+    #[test]
+    fn drops_remove_words() {
+        let input = sample();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = OcrConfig {
+            word_drop_rate: 1.0,
+            ..OcrConfig::clean()
+        };
+        let out = apply(&input, &cfg, &mut rng);
+        assert!(out.doc.texts.is_empty());
+    }
+
+    #[test]
+    fn merges_concatenate_adjacent_words() {
+        let input = sample();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = OcrConfig {
+            word_merge_rate: 1.0,
+            ..OcrConfig::clean()
+        };
+        let out = apply(&input, &cfg, &mut rng);
+        assert!(out.doc.texts.len() < input.doc.texts.len());
+        let joined: String = out.doc.transcribe_all().split_whitespace().collect();
+        assert_eq!(joined, "hellobeautifulworldtonight");
+    }
+
+    #[test]
+    fn splits_divide_long_words() {
+        let input = sample();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = OcrConfig {
+            word_split_rate: 1.0,
+            ..OcrConfig::clean()
+        };
+        let out = apply(&input, &cfg, &mut rng);
+        // "beautiful" and "tonight" are ≥ 6 chars → split.
+        assert_eq!(out.doc.texts.len(), 6);
+        let rejoined: String = out.doc.transcribe_all().split_whitespace().collect();
+        assert_eq!(rejoined, "hellobeautifulworldtonight");
+    }
+
+    #[test]
+    fn rotation_moves_doc_and_annotations_together() {
+        let input = sample();
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = OcrConfig {
+            rotation_deg: 30.0,
+            ..OcrConfig::clean()
+        };
+        let out = apply(&input, &cfg, &mut rng);
+        // First word and its annotation still coincide.
+        let word_bbox = out.doc.texts[0].bbox;
+        let ann_bbox = out.annotations[0].bbox;
+        assert!(word_bbox.iou(&ann_bbox) > 0.95, "{word_bbox:?} vs {ann_bbox:?}");
+        // And the page content actually moved.
+        assert!((word_bbox.x - input.doc.texts[0].bbox.x).abs() > 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let input = sample();
+        let cfg = OcrConfig::heavy();
+        let a = apply(&input, &cfg, &mut StdRng::seed_from_u64(9));
+        let b = apply(&input, &cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.doc.transcribe_all(), b.doc.transcribe_all());
+    }
+}

@@ -1,0 +1,330 @@
+//! Dataset D2 stand-in: synthetic event posters.
+//!
+//! The paper's D2 is 2,190 event posters/flyers (1,375 mobile captures,
+//! 815 digital PDFs) with five named entities: Event Title, Event Place,
+//! Event Time, Event Organizer and Event Description (Table 3). The
+//! generator reproduces D2's defining properties: high structural
+//! variance across documents, salient visual modifiers (hero titles,
+//! colour, font-size spread), and distractor content that makes entity
+//! disambiguation non-trivial (sponsor credits, extra names, secondary
+//! times).
+
+use crate::render::{place_text, Align, TextStyle};
+use crate::textgen;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use vs2_docmodel::{
+    AnnotatedDocument, BBox, Document, EntityAnnotation, ImageElement, Rgb,
+};
+use vs2_nlp::lexicon::Topic;
+
+/// Entity keys of dataset D2.
+pub mod entities {
+    /// Short description of the event.
+    pub const EVENT_TITLE: &str = "event_title";
+    /// Full address of the event.
+    pub const EVENT_PLACE: &str = "event_place";
+    /// Time of the event.
+    pub const EVENT_TIME: &str = "event_time";
+    /// Person/organisation responsible for the event.
+    pub const EVENT_ORGANIZER: &str = "event_organizer";
+    /// Essential details of the event.
+    pub const EVENT_DESCRIPTION: &str = "event_description";
+
+    /// All D2 entity keys, in Table 3 order.
+    pub const ALL: [&str; 5] = [
+        EVENT_TITLE,
+        EVENT_PLACE,
+        EVENT_TIME,
+        EVENT_ORGANIZER,
+        EVENT_DESCRIPTION,
+    ];
+}
+
+const PAGE_W: f64 = 612.0;
+const PAGE_H: f64 = 792.0;
+const MARGIN: f64 = 44.0;
+
+fn vivid_color(rng: &mut StdRng) -> Rgb {
+    const PALETTE: [Rgb; 6] = [
+        Rgb::new(178, 24, 43),
+        Rgb::new(33, 102, 172),
+        Rgb::new(27, 120, 55),
+        Rgb::new(118, 42, 131),
+        Rgb::new(191, 91, 23),
+        Rgb::new(0, 0, 0),
+    ];
+    PALETTE[rng.gen_range(0..PALETTE.len())]
+}
+
+/// Generates one poster. Layouts vary over three archetypes; block order
+/// and typography are randomised per document.
+pub fn generate_poster(id: usize, seed: u64) -> AnnotatedDocument {
+    let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut doc = Document::new(format!("d2-{id:05}"), PAGE_W, PAGE_H);
+    let mut annotations = Vec::new();
+
+    let content_w = PAGE_W - 2.0 * MARGIN;
+    let mut y = MARGIN + rng.gen_range(0.0..30.0);
+
+    // Optional decorative banner image.
+    if rng.gen_bool(0.4) {
+        let h = rng.gen_range(40.0..90.0);
+        doc.push_image(ImageElement::new(
+            rng.gen(),
+            BBox::new(MARGIN, y, content_w, h),
+            Rgb::new(120, 140, 200).to_lab(),
+        ));
+        y += h + rng.gen_range(18.0..36.0);
+    }
+
+    // ---- Title (hero block, largest font on the page). ----
+    let title = textgen::event_title(&mut rng);
+    let title_style = TextStyle::body(rng.gen_range(30.0..44.0))
+        .with_color(vivid_color(&mut rng))
+        .with_align(Align::Center)
+        .with_markup(vs2_docmodel::MarkupClass::Heading1);
+    let placed = place_text(&mut doc, &title, MARGIN, y, content_w, &title_style);
+    annotations.push(EntityAnnotation::new(
+        entities::EVENT_TITLE,
+        placed.bbox,
+        placed.text.clone(),
+    ));
+    y = placed.bbox.bottom() + rng.gen_range(22.0..44.0);
+
+    // ---- Organizer (adjacent to the title — near the interest point). ----
+    let organizer = if rng.gen_bool(0.5) {
+        textgen::person_name(&mut rng)
+    } else {
+        textgen::org_name(&mut rng)
+    };
+    let line = textgen::organizer_line(&mut rng, &organizer);
+    let org_style = TextStyle::body(rng.gen_range(13.0..18.0))
+        .with_align(Align::Center)
+        .with_markup(vs2_docmodel::MarkupClass::Heading2);
+    let placed = place_text(&mut doc, &line, MARGIN, y, content_w, &org_style);
+    // Ground-truth *text* is the organiser name itself; the annotated
+    // bounding box is the whole organiser line — the visual unit a
+    // segmentation proposal can match under the IoU protocol (§6.2).
+    annotations.push(EntityAnnotation::new(
+        entities::EVENT_ORGANIZER,
+        placed.bbox,
+        organizer.clone(),
+    ));
+    y = placed.bbox.bottom() + rng.gen_range(26.0..50.0);
+
+    // ---- Time + place: one combined block or two stacked blocks. ----
+    let time_text = textgen::event_time(&mut rng);
+    let time_style = TextStyle::body(rng.gen_range(16.0..22.0))
+        .with_color(vivid_color(&mut rng))
+        .with_align(if rng.gen_bool(0.5) { Align::Center } else { Align::Left })
+        .with_markup(vs2_docmodel::MarkupClass::Heading2);
+    let placed = place_text(&mut doc, &time_text, MARGIN, y, content_w, &time_style);
+    annotations.push(EntityAnnotation::new(
+        entities::EVENT_TIME,
+        placed.bbox,
+        placed.text.clone(),
+    ));
+    y = placed.bbox.bottom() + rng.gen_range(20.0..36.0);
+
+    let venue = textgen::venue(&mut rng);
+    let address = textgen::street_address(&mut rng);
+    let place_style = TextStyle::body(rng.gen_range(11.0..14.0))
+        .with_align(time_style.align)
+        .with_markup(vs2_docmodel::MarkupClass::Paragraph);
+    // Venue and address form one tight two-line block (paragraph
+    // leading); the annotated box covers the block, the ground-truth text
+    // is the address.
+    let venue_placed = place_text(&mut doc, &venue, MARGIN, y, content_w, &place_style);
+    y += place_style.font_size * crate::render::LEADING;
+    let placed = place_text(&mut doc, &address, MARGIN, y, content_w, &place_style);
+    annotations.push(EntityAnnotation::new(
+        entities::EVENT_PLACE,
+        venue_placed.bbox.union(&placed.bbox),
+        placed.text.clone(),
+    ));
+    y = placed.bbox.bottom() + rng.gen_range(28.0..52.0);
+
+    // ---- Description paragraph (possibly two columns). ----
+    let mut sentences = Vec::new();
+    for _ in 0..rng.gen_range(2..5) {
+        sentences.push(textgen::description_sentence(&mut rng, Topic::Event));
+    }
+    let desc = sentences.join(" . ");
+    let desc_style = TextStyle::body(rng.gen_range(10.0..12.5))
+        .with_markup(vs2_docmodel::MarkupClass::Paragraph);
+    let two_col = rng.gen_bool(0.3);
+    let col_w = if two_col { content_w / 2.0 - 12.0 } else { content_w };
+    let placed = place_text(&mut doc, &desc, MARGIN, y, col_w, &desc_style);
+    annotations.push(EntityAnnotation::new(
+        entities::EVENT_DESCRIPTION,
+        placed.bbox,
+        placed.text.clone(),
+    ));
+    let desc_bottom = placed.bbox.bottom();
+
+    // Second column: ticket/price info (distractor numerals).
+    if two_col {
+        let price = match rng.gen_range(0..3) {
+            0 => format!("${} admission", rng.gen_range(5..60)),
+            1 => "Free admission".to_string(),
+            _ => format!("Tickets ${} at the door", rng.gen_range(5..40)),
+        };
+        let _ = place_text(
+            &mut doc,
+            &price,
+            MARGIN + content_w / 2.0 + 12.0,
+            y,
+            col_w,
+            &TextStyle::body(12.0),
+        );
+    }
+    y = desc_bottom + rng.gen_range(30.0..60.0);
+
+    // ---- Footer distractors: sponsor credit (an organiser-pattern false
+    // candidate, far from any interest point) and an RSVP contact. ----
+    if rng.gen_bool(0.6) {
+        let sponsor = textgen::org_name(&mut rng);
+        let credit = format!("Sponsored by {sponsor}");
+        let footer_style = TextStyle::body(8.5)
+            .with_align(Align::Center)
+            .with_markup(vs2_docmodel::MarkupClass::Footer);
+        let placed = place_text(
+            &mut doc,
+            &credit,
+            MARGIN,
+            (PAGE_H - MARGIN - 30.0).max(y),
+            content_w,
+            &footer_style,
+        );
+        y = y.max(placed.bbox.bottom());
+    }
+    if rng.gen_bool(0.5) {
+        let rsvp = format!("RSVP {}", textgen::email(&mut rng));
+        let footer_style = TextStyle::body(8.5)
+            .with_align(Align::Center)
+            .with_markup(vs2_docmodel::MarkupClass::Footer);
+        let _ = place_text(
+            &mut doc,
+            &rsvp,
+            MARGIN,
+            (PAGE_H - MARGIN - 14.0).max(y + 4.0),
+            content_w,
+            &footer_style,
+        );
+    }
+
+    AnnotatedDocument { doc, annotations }
+}
+
+/// Generates `n` posters with deterministic per-document seeds.
+pub fn generate(n: usize, seed: u64) -> Vec<AnnotatedDocument> {
+    (0..n).map(|i| generate_poster(i, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poster_has_all_five_entities() {
+        let p = generate_poster(0, 42);
+        for e in entities::ALL {
+            assert_eq!(p.annotations_for(e).len(), 1, "missing {e}");
+        }
+    }
+
+    #[test]
+    fn annotations_cover_actual_words() {
+        let p = generate_poster(1, 42);
+        for a in &p.annotations {
+            let covered = p.doc.elements_intersecting(&a.bbox);
+            assert!(!covered.is_empty(), "annotation {a:?} covers no words");
+        }
+    }
+
+    #[test]
+    fn title_is_visually_dominant() {
+        let p = generate_poster(2, 42);
+        let title = &p.annotations_for(entities::EVENT_TITLE)[0].bbox;
+        let max_other_h = p
+            .annotations
+            .iter()
+            .filter(|a| a.entity != entities::EVENT_TITLE)
+            .map(|a| a.bbox.h)
+            .fold(0.0, f64::max);
+        // The title run's font exceeds every other single-line entity font;
+        // wrapped entities can be taller overall, so compare per-word.
+        let title_font = p
+            .doc
+            .elements_in(title)
+            .iter()
+            .filter_map(|r| match r {
+                vs2_docmodel::ElementRef::Text(i) => Some(p.doc.texts[*i].font_size),
+                _ => None,
+            })
+            .fold(0.0, f64::max);
+        assert!(title_font >= 30.0, "title font {title_font}");
+        assert!(title.h > 0.0 && max_other_h > 0.0);
+    }
+
+    #[test]
+    fn organizer_annotation_is_just_the_name() {
+        let p = generate_poster(3, 42);
+        let a = &p.annotations_for(entities::EVENT_ORGANIZER)[0];
+        assert!(!a.text.to_lowercase().contains("hosted"));
+        assert!(!a.text.to_lowercase().contains("by"));
+        assert!(a.text.split_whitespace().count() >= 2);
+    }
+
+    #[test]
+    fn documents_vary_across_ids() {
+        let a = generate_poster(10, 42);
+        let b = generate_poster(11, 42);
+        assert_ne!(a.doc.transcribe_all(), b.doc.transcribe_all());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_poster(5, 42);
+        let b = generate_poster(5, 42);
+        assert_eq!(a.doc, b.doc);
+        assert_eq!(a.annotations, b.annotations);
+    }
+
+    #[test]
+    fn place_annotation_geocodes() {
+        for i in 0..10 {
+            let p = generate_poster(i, 7);
+            let a = &p.annotations_for(entities::EVENT_PLACE)[0];
+            assert!(
+                vs2_nlp::geocode::is_valid_geocode(&a.text),
+                "place not geocodable: {}",
+                a.text
+            );
+        }
+    }
+
+    #[test]
+    fn batch_generation() {
+        let docs = generate(8, 3);
+        assert_eq!(docs.len(), 8);
+        let ids: Vec<&str> = docs.iter().map(|d| d.doc.id.as_str()).collect();
+        let mut uniq = ids.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), ids.len());
+    }
+
+    #[test]
+    fn words_stay_within_page() {
+        for i in 0..5 {
+            let p = generate_poster(i, 99);
+            for t in &p.doc.texts {
+                assert!(t.bbox.x >= 0.0 && t.bbox.y >= 0.0, "{:?}", t.bbox);
+                assert!(t.bbox.bottom() <= PAGE_H + 30.0, "{:?}", t.bbox);
+            }
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Random surface-text generation over the shared lexicon.
+//!
+//! Every name, title, address and description in the synthetic datasets is
+//! drawn from `vs2-nlp`'s lexicon pools, so the NLP annotators and the
+//! generators agree on vocabulary — the same property the paper gets from
+//! using real-world text with broad-coverage tools.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use vs2_nlp::lexicon::{self, Topic};
+
+fn cap(word: &str) -> String {
+    let mut cs = word.chars();
+    match cs.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + cs.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Picks a random word of a topic, capitalised.
+pub fn pick_cap(rng: &mut StdRng, topic: Topic) -> String {
+    cap(pick(rng, topic))
+}
+
+/// Picks a random word of a topic.
+pub fn pick(rng: &mut StdRng, topic: Topic) -> &'static str {
+    let pool = lexicon::words_of(topic);
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// A person's full name, e.g. `James Wilson`.
+pub fn person_name(rng: &mut StdRng) -> String {
+    format!(
+        "{} {}",
+        pick_cap(rng, Topic::PersonFirst),
+        pick_cap(rng, Topic::PersonLast)
+    )
+}
+
+/// An organisation name, e.g. `Riverside Realty LLC` / `Columbus Jazz Society`.
+pub fn org_name(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3) {
+        0 => format!(
+            "{} {} {}",
+            pick_cap(rng, Topic::City),
+            cap(pick(rng, Topic::Event)),
+            pick_cap(rng, Topic::Organization)
+        ),
+        1 => format!(
+            "{} {}",
+            pick_cap(rng, Topic::PersonLast),
+            pick_cap(rng, Topic::Organization)
+        ),
+        _ => format!(
+            "{} {} {}",
+            pick_cap(rng, Topic::Descriptive),
+            pick_cap(rng, Topic::Estate),
+            pick_cap(rng, Topic::Organization)
+        ),
+    }
+}
+
+/// A street address, e.g. `1458 Maple Ave Columbus OH 43210`.
+pub fn street_address(rng: &mut StdRng) -> String {
+    let number = rng.gen_range(10..9999);
+    let name = pick_cap(rng, Topic::PersonLast);
+    let suffix = cap(pick(rng, Topic::StreetSuffix));
+    let city = pick_cap(rng, Topic::City);
+    let zip = rng.gen_range(43000..44000);
+    format!("{number} {name} {suffix} {city} OH {zip}")
+}
+
+/// A venue line, e.g. `Memorial Hall`.
+pub fn venue(rng: &mut StdRng) -> String {
+    format!(
+        "{} {}",
+        pick_cap(rng, Topic::PersonLast),
+        cap(pick(rng, Topic::Place))
+    )
+}
+
+/// A phone number in one of the three surface forms the patterns cover.
+pub fn phone(rng: &mut StdRng) -> String {
+    let area = rng.gen_range(200..990);
+    let mid = rng.gen_range(200..999);
+    let last = rng.gen_range(0..10000);
+    match rng.gen_range(0..3) {
+        0 => format!("({area}) {mid}-{last:04}"),
+        1 => format!("{area}-{mid}-{last:04}"),
+        _ => format!("{area}.{mid}.{last:04}"),
+    }
+}
+
+/// An e-mail address built from a name.
+pub fn email(rng: &mut StdRng) -> String {
+    let first = pick(rng, Topic::PersonFirst);
+    let last = pick(rng, Topic::PersonLast);
+    let domain = match rng.gen_range(0..3) {
+        0 => "example.com",
+        1 => "mail.example.org",
+        _ => "realty.example.net",
+    };
+    match rng.gen_range(0..3) {
+        0 => format!("{first}.{last}@{domain}"),
+        1 => format!("{first}{last}@{domain}"),
+        _ => format!("{}{last}@{domain}", &first[..1]),
+    }
+}
+
+/// An event title, e.g. `Grand Jazz Festival` / `Annual Hackathon 2019`.
+pub fn event_title(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3) {
+        0 => format!(
+            "{} {} {}",
+            pick_cap(rng, Topic::Descriptive),
+            pick_cap(rng, Topic::City),
+            cap(pick(rng, Topic::Event))
+        ),
+        1 => format!(
+            "{} {} {}",
+            pick_cap(rng, Topic::Descriptive),
+            cap(pick(rng, Topic::Event)),
+            rng.gen_range(2015..2020)
+        ),
+        _ => format!(
+            "{} {}",
+            pick_cap(rng, Topic::Descriptive),
+            cap(pick(rng, Topic::Event))
+        ),
+    }
+}
+
+/// An event time line, e.g. `Saturday April 5 7 pm`.
+pub fn event_time(rng: &mut StdRng) -> String {
+    let day = pick_cap(rng, Topic::Weekday);
+    let month = pick_cap(rng, Topic::Month);
+    let dom = rng.gen_range(1..29);
+    let hour = rng.gen_range(1..12);
+    let half = if rng.gen_bool(0.3) { ":30" } else { "" };
+    let ampm = if rng.gen_bool(0.7) { "pm" } else { "am" };
+    match rng.gen_range(0..3) {
+        0 => format!("{day} {month} {dom} {hour}{half} {ampm}"),
+        1 => format!("{month} {dom} at {hour}{half} {ampm}"),
+        _ => format!("{day} {hour}{half} {ampm}"),
+    }
+}
+
+/// An organiser line, e.g. `Hosted by James Wilson`.
+pub fn organizer_line(rng: &mut StdRng, organizer: &str) -> String {
+    let verb = match rng.gen_range(0..4) {
+        0 => "Hosted by",
+        1 => "Organized by",
+        2 => "Presented by",
+        _ => "Brought to you by",
+    };
+    format!("{verb} {organizer}")
+}
+
+/// A sentence of descriptive filler built around a noun topic.
+pub fn description_sentence(rng: &mut StdRng, topic: Topic) -> String {
+    let adj1 = pick(rng, Topic::Descriptive);
+    let adj2 = pick(rng, Topic::Descriptive);
+    let noun = pick(rng, topic);
+    let place = pick(rng, Topic::Place);
+    match rng.gen_range(0..4) {
+        0 => format!("join us for a {adj1} {noun} with {adj2} music and more"),
+        1 => format!("a {adj1} {noun} in the heart of the {place}"),
+        2 => format!("this {adj1} and {adj2} {noun} welcomes all"),
+        _ => format!("featuring a {adj1} {noun} and {adj2} surprises"),
+    }
+}
+
+/// A property-size line, e.g. `4 beds 2 baths 2,465 sqft`.
+pub fn property_size(rng: &mut StdRng) -> String {
+    let beds = rng.gen_range(1..8);
+    let baths = rng.gen_range(1..5);
+    match rng.gen_range(0..3) {
+        0 => {
+            let sqft = rng.gen_range(8..80) * 100;
+            let thousands = sqft / 1000;
+            let rest = sqft % 1000;
+            format!("{beds} beds {baths} baths {thousands},{rest:03} sqft")
+        }
+        1 => {
+            let acres = rng.gen_range(1..40) as f64 / 4.0;
+            format!("{acres:.2} acres zoned commercial")
+        }
+        _ => {
+            let units = rng.gen_range(2..24);
+            format!("{units} units with {beds} parking spaces")
+        }
+    }
+}
+
+/// A property-description line.
+pub fn property_description(rng: &mut StdRng) -> String {
+    let adj = pick(rng, Topic::Descriptive);
+    let structure = pick(rng, Topic::Structure);
+    match rng.gen_range(0..3) {
+        0 => format!("{adj} {structure} with parking and storage"),
+        1 => format!("renovated {structure} near grocery and transit"),
+        _ => format!("{adj} {structure} available for lease"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = rng();
+        let mut b = rng();
+        assert_eq!(person_name(&mut a), person_name(&mut b));
+        assert_eq!(street_address(&mut a), street_address(&mut b));
+    }
+
+    #[test]
+    fn person_names_are_recognizable() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let name = person_name(&mut r);
+            let ann = vs2_nlp::annotate(&name);
+            assert!(
+                ann.ner.iter().any(|s| s.tag == vs2_nlp::NerTag::Person),
+                "NER misses generated name {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn addresses_geocode() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let addr = street_address(&mut r);
+            assert!(
+                vs2_nlp::geocode::is_valid_geocode(&addr),
+                "address fails geocode: {addr}"
+            );
+        }
+    }
+
+    #[test]
+    fn times_are_valid_timex() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let t = event_time(&mut r);
+            // At minimum the clock portion must normalise.
+            let clock: Vec<&str> = t.split_whitespace().rev().take(2).collect();
+            let clock = format!("{} {}", clock[1], clock[0]);
+            assert!(
+                vs2_nlp::timex::is_valid_timex(&clock),
+                "time fails TIMEX: {t} (clock {clock})"
+            );
+        }
+    }
+
+    #[test]
+    fn phones_and_emails_parse() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let p = phone(&mut r);
+            let ann = vs2_nlp::annotate(&format!("call {p}"));
+            assert!(
+                ann.ner.iter().any(|s| s.tag == vs2_nlp::NerTag::Phone),
+                "phone not recognised: {p}"
+            );
+            let e = email(&mut r);
+            assert!(vs2_nlp::ner::is_email(&e), "bad email {e}");
+        }
+    }
+
+    #[test]
+    fn organizer_lines_have_organizer_verbs() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let line = organizer_line(&mut r, "James Wilson");
+            let first = line.split_whitespace().next().unwrap();
+            assert!(
+                vs2_nlp::verbs::is_organizer_sense(first),
+                "line {line} lacks organiser sense"
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_mention_measures() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let s = property_size(&mut r);
+            let has_measure = s.split_whitespace().any(|w| {
+                vs2_nlp::hypernym::has_sense(w, vs2_nlp::hypernym::Sense::Measure)
+            });
+            assert!(has_measure, "no measure in {s}");
+        }
+    }
+}

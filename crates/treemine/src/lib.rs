@@ -1,0 +1,73 @@
+//! # vs2-treemine
+//!
+//! Frequent subtree mining over labelled ordered trees — the
+//! reproduction's stand-in for TreeMiner (Zaki, KDD 2002), which the VS2
+//! paper uses to learn lexico-syntactic patterns from its holdout corpus
+//! (§5.2.1): holdout entries are parsed into dependency-like trees
+//! (`vs2-nlp::deptree`), the **maximal frequent subtrees** across those
+//! trees are mined, and the mined trees *are* the patterns searched inside
+//! logical blocks.
+//!
+//! The miner is FREQT-style: patterns grow by rightmost extension, each
+//! candidate induced ordered subtree is enumerated exactly once, and
+//! support counts distinct transactions (input trees).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mine;
+pub mod tree;
+
+pub use mine::{closed, closed_with_tolerance, maximal, mine, MineConfig, Pattern};
+pub use tree::{contains, FlatTree, Tree};
+
+#[cfg(test)]
+mod proptests {
+    use crate::mine::{mine, MineConfig};
+    use crate::tree::{contains, Tree};
+    use proptest::prelude::*;
+
+    /// Strategy for small random labelled trees over a tiny alphabet.
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = prop_oneof![
+            Just(Tree::leaf("A")),
+            Just(Tree::leaf("B")),
+            Just(Tree::leaf("C")),
+        ];
+        leaf.prop_recursive(3, 12, 3, |inner| {
+            (
+                prop_oneof![Just("A"), Just("B"), Just("C"), Just("S")],
+                proptest::collection::vec(inner, 1..3),
+            )
+                .prop_map(|(l, cs)| Tree::node(l, cs))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn mined_patterns_are_contained_with_reported_support(
+            trees in proptest::collection::vec(arb_tree(), 2..6)
+        ) {
+            let cfg = MineConfig { min_support: 2, max_size: 4, min_size: 1 };
+            for p in mine(&trees, cfg) {
+                let real_support = trees.iter().filter(|t| contains(t, &p.tree)).count();
+                prop_assert!(real_support >= p.support,
+                    "pattern {} support {} > real {}", p.tree, p.support, real_support);
+                prop_assert!(p.support >= cfg.min_support);
+            }
+        }
+
+        #[test]
+        fn parse_roundtrip(t in arb_tree()) {
+            let s = t.bracketed();
+            prop_assert_eq!(Tree::parse(&s).unwrap(), t);
+        }
+
+        #[test]
+        fn every_tree_contains_itself(t in arb_tree()) {
+            prop_assert!(contains(&t, &t));
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Frequent induced ordered-subtree mining (FREQT-style rightmost
+//! extension), the reproduction's TreeMiner (Zaki 2002) stand-in.
+//!
+//! §5.2.1 of the paper: "the maximal frequent subtrees across the chunks
+//! were obtained … The syntactic patterns obtained this way represent the
+//! syntactic patterns for the named entity."
+//!
+//! Support is *transaction* support: the number of input trees containing
+//! at least one occurrence of the pattern.
+
+use crate::tree::{contains, FlatTree, Tree};
+use std::collections::BTreeMap;
+
+/// A mined pattern with its transaction support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// The pattern tree.
+    pub tree: Tree,
+    /// Number of input trees containing the pattern.
+    pub support: usize,
+}
+
+/// Mining parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MineConfig {
+    /// Minimum transaction support for a pattern to be reported.
+    pub min_support: usize,
+    /// Maximum pattern size in nodes (bounds the search).
+    pub max_size: usize,
+    /// Minimum pattern size in nodes for *reporting* (growth still starts
+    /// at single nodes).
+    pub min_size: usize,
+}
+
+impl Default for MineConfig {
+    fn default() -> Self {
+        Self {
+            min_support: 2,
+            max_size: 6,
+            min_size: 2,
+        }
+    }
+}
+
+/// A pattern under construction: preorder (depth, label) pairs.
+#[derive(Debug, Clone)]
+struct PatNode {
+    depth: usize,
+    label: String,
+}
+
+/// One embedding of the pattern into a tree: `map[i]` is the tree node
+/// matched to pattern node `i` (preorder).
+#[derive(Debug, Clone)]
+struct Occurrence {
+    tree: usize,
+    map: Vec<usize>,
+}
+
+fn pattern_parent(pattern: &[PatNode], idx: usize) -> Option<usize> {
+    let d = pattern[idx].depth;
+    if d == 0 {
+        return None;
+    }
+    (0..idx).rev().find(|&j| pattern[j].depth == d - 1)
+}
+
+/// Pattern indices on the rightmost path, root first.
+fn rightmost_path(pattern: &[PatNode]) -> Vec<usize> {
+    let mut path = Vec::new();
+    let mut idx = pattern.len() - 1;
+    path.push(idx);
+    while let Some(p) = pattern_parent(pattern, idx) {
+        path.push(p);
+        idx = p;
+    }
+    path.reverse();
+    path
+}
+
+fn to_tree(pattern: &[PatNode]) -> Tree {
+    fn build(pattern: &[PatNode], i: &mut usize, depth: usize) -> Tree {
+        let node_idx = *i;
+        *i += 1;
+        let mut t = Tree::leaf(pattern[node_idx].label.clone());
+        while *i < pattern.len() && pattern[*i].depth == depth + 1 {
+            t.children.push(build(pattern, i, depth + 1));
+        }
+        t
+    }
+    let mut i = 0;
+    build(pattern, &mut i, 0)
+}
+
+fn support_of(occs: &[Occurrence]) -> usize {
+    let mut trees: Vec<usize> = occs.iter().map(|o| o.tree).collect();
+    trees.sort_unstable();
+    trees.dedup();
+    trees.len()
+}
+
+/// Mines all frequent induced ordered subtrees of `trees`.
+///
+/// Deterministic: patterns are reported in lexicographic growth order.
+pub fn mine(trees: &[Tree], config: MineConfig) -> Vec<Pattern> {
+    let flats: Vec<FlatTree> = trees.iter().map(FlatTree::from_tree).collect();
+
+    // Size-1 seeds grouped by label.
+    let mut seeds: BTreeMap<String, Vec<Occurrence>> = BTreeMap::new();
+    for (ti, f) in flats.iter().enumerate() {
+        for n in 0..f.len() {
+            seeds
+                .entry(f.labels[n].clone())
+                .or_default()
+                .push(Occurrence {
+                    tree: ti,
+                    map: vec![n],
+                });
+        }
+    }
+
+    let mut out = Vec::new();
+    for (label, occs) in seeds {
+        if support_of(&occs) < config.min_support {
+            continue;
+        }
+        let pattern = vec![PatNode { depth: 0, label }];
+        grow(&pattern, &occs, &flats, &config, &mut out);
+    }
+    out
+}
+
+fn grow(
+    pattern: &[PatNode],
+    occs: &[Occurrence],
+    flats: &[FlatTree],
+    config: &MineConfig,
+    out: &mut Vec<Pattern>,
+) {
+    let support = support_of(occs);
+    if pattern.len() >= config.min_size {
+        out.push(Pattern {
+            tree: to_tree(pattern),
+            support,
+        });
+    }
+    if pattern.len() >= config.max_size {
+        return;
+    }
+
+    // Enumerate rightmost extensions: attach a new child under each node
+    // on the rightmost path.
+    let rpath = rightmost_path(pattern);
+    // (attach pattern index, label) -> new occurrences
+    let mut extensions: BTreeMap<(usize, String), Vec<Occurrence>> = BTreeMap::new();
+    for occ in occs {
+        let f = &flats[occ.tree];
+        for &attach in &rpath {
+            let tree_node = occ.map[attach];
+            // The new child must come after the last matched child of
+            // `attach` in sibling order; children of nodes *below* attach
+            // on the rightmost path are unconstrained (they are deeper).
+            let matched_children: Vec<usize> = (0..pattern.len())
+                .filter(|&j| pattern_parent(pattern, j) == Some(attach))
+                .map(|j| occ.map[j])
+                .collect();
+            let min_sibling_pos = matched_children
+                .last()
+                .map(|&last| {
+                    f.children[tree_node]
+                        .iter()
+                        .position(|&c| c == last)
+                        .map(|p| p + 1)
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0);
+            for &child in f.children[tree_node].iter().skip(min_sibling_pos) {
+                let key = (attach, f.labels[child].clone());
+                let mut map = occ.map.clone();
+                map.push(child);
+                extensions.entry(key).or_default().push(Occurrence {
+                    tree: occ.tree,
+                    map,
+                });
+            }
+        }
+    }
+
+    for ((attach, label), new_occs) in extensions {
+        if support_of(&new_occs) < config.min_support {
+            continue;
+        }
+        let mut new_pattern = pattern.to_vec();
+        new_pattern.push(PatNode {
+            depth: pattern[attach].depth + 1,
+            label,
+        });
+        grow(&new_pattern, &new_occs, flats, config, out);
+    }
+}
+
+/// Filters a mined pattern set down to the maximal ones: patterns not
+/// strictly contained in another mined pattern.
+pub fn maximal(patterns: &[Pattern]) -> Vec<Pattern> {
+    patterns
+        .iter()
+        .filter(|p| {
+            !patterns.iter().any(|q| {
+                q.tree.size() > p.tree.size() && contains(&q.tree, &p.tree)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// Filters a mined pattern set down to the *closed* ones: a pattern is
+/// dropped only when a strictly larger pattern with the **same support**
+/// contains it. Unlike [`maximal`], a general pattern that genuinely
+/// covers more transactions than its specialisations survives — the right
+/// semantics when mined patterns become matching rules.
+pub fn closed(patterns: &[Pattern]) -> Vec<Pattern> {
+    closed_with_tolerance(patterns, 1.0)
+}
+
+/// Tolerant closedness: a pattern is dropped when a strictly larger
+/// pattern contains it and retains at least `tolerance` of its support
+/// (`tolerance = 1.0` is exact closedness). Useful when mined patterns
+/// become matching rules: a generic pattern whose specialisation covers
+/// almost the same transactions adds only false matches.
+pub fn closed_with_tolerance(patterns: &[Pattern], tolerance: f64) -> Vec<Pattern> {
+    patterns
+        .iter()
+        .filter(|p| {
+            !patterns.iter().any(|q| {
+                q.tree.size() > p.tree.size()
+                    && (q.support as f64) >= tolerance * p.support as f64
+                    && contains(&q.tree, &p.tree)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Tree {
+        Tree::parse(s).unwrap()
+    }
+
+    #[test]
+    fn mines_shared_structure() {
+        let trees = vec![
+            t("S(NP(CD NN) VP(VB))"),
+            t("S(NP(CD NN))"),
+            t("S(VP(VB) NP(CD))"),
+        ];
+        let patterns = mine(&trees, MineConfig::default());
+        let brackets: Vec<String> = patterns.iter().map(|p| p.tree.bracketed()).collect();
+        assert!(brackets.contains(&"NP(CD)".to_string()), "{brackets:?}");
+        assert!(brackets.contains(&"S(NP(CD))".to_string()), "{brackets:?}");
+        // NP(CD NN) appears in two trees.
+        let p = patterns
+            .iter()
+            .find(|p| p.tree.bracketed() == "NP(CD NN)")
+            .unwrap();
+        assert_eq!(p.support, 2);
+    }
+
+    #[test]
+    fn min_support_prunes() {
+        let trees = vec![t("A(B)"), t("A(C)"), t("A(B)")];
+        let cfg = MineConfig {
+            min_support: 2,
+            ..MineConfig::default()
+        };
+        let patterns = mine(&trees, cfg);
+        let brackets: Vec<String> = patterns.iter().map(|p| p.tree.bracketed()).collect();
+        assert!(brackets.contains(&"A(B)".to_string()));
+        assert!(!brackets.contains(&"A(C)".to_string()));
+    }
+
+    #[test]
+    fn support_is_per_transaction_not_per_occurrence() {
+        // Two occurrences inside one tree count once.
+        let trees = vec![t("A(B B)"), t("A(B)")];
+        let cfg = MineConfig {
+            min_support: 2,
+            min_size: 1,
+            ..MineConfig::default()
+        };
+        let patterns = mine(&trees, cfg);
+        let b = patterns.iter().find(|p| p.tree.bracketed() == "B").unwrap();
+        assert_eq!(b.support, 2);
+    }
+
+    #[test]
+    fn order_matters() {
+        let trees = vec![t("A(B C)"), t("A(B C)"), t("A(C B)")];
+        let cfg = MineConfig {
+            min_support: 3,
+            ..MineConfig::default()
+        };
+        let patterns = mine(&trees, cfg);
+        let brackets: Vec<String> = patterns.iter().map(|p| p.tree.bracketed()).collect();
+        // A(B) and A(C) appear in all three; A(B C) only in two.
+        assert!(brackets.contains(&"A(B)".to_string()));
+        assert!(brackets.contains(&"A(C)".to_string()));
+        assert!(!brackets.contains(&"A(B C)".to_string()));
+    }
+
+    #[test]
+    fn max_size_bounds_growth() {
+        let trees = vec![t("A(B(C(D)))"), t("A(B(C(D)))")];
+        let cfg = MineConfig {
+            min_support: 2,
+            max_size: 2,
+            min_size: 2,
+        };
+        let patterns = mine(&trees, cfg);
+        assert!(patterns.iter().all(|p| p.tree.size() <= 2));
+        assert!(!patterns.is_empty());
+    }
+
+    #[test]
+    fn maximal_filters_contained_patterns() {
+        let trees = vec![t("S(NP(CD NN))"), t("S(NP(CD NN))")];
+        let patterns = mine(&trees, MineConfig::default());
+        let maxed = maximal(&patterns);
+        let brackets: Vec<String> = maxed.iter().map(|p| p.tree.bracketed()).collect();
+        assert_eq!(brackets, vec!["S(NP(CD NN))".to_string()], "{brackets:?}");
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(mine(&[], MineConfig::default()).is_empty());
+        let one = vec![t("A(B)")];
+        // min_support 2 > corpus size.
+        assert!(mine(&one, MineConfig::default()).is_empty());
+        let cfg = MineConfig {
+            min_support: 1,
+            ..MineConfig::default()
+        };
+        assert!(!mine(&one, cfg).is_empty());
+    }
+
+    #[test]
+    fn deterministic_output_order() {
+        let trees = vec![t("S(NP VP)"), t("S(NP VP)")];
+        let a = mine(&trees, MineConfig::default());
+        let b = mine(&trees, MineConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_duplicate_patterns() {
+        let trees = vec![t("S(NP(CD) NP(CD))"), t("S(NP(CD) NP(CD))")];
+        let patterns = mine(&trees, MineConfig::default());
+        let mut brackets: Vec<String> = patterns.iter().map(|p| p.tree.bracketed()).collect();
+        let len = brackets.len();
+        brackets.sort();
+        brackets.dedup();
+        assert_eq!(brackets.len(), len, "duplicate patterns mined");
+    }
+}

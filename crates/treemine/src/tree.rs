@@ -1,0 +1,268 @@
+//! Labelled ordered trees and induced-subtree matching.
+
+use std::fmt;
+
+/// A labelled ordered tree, built recursively.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tree {
+    /// Node label.
+    pub label: String,
+    /// Ordered children.
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    /// Creates a leaf.
+    pub fn leaf(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Creates an internal node.
+    pub fn node(label: impl Into<String>, children: Vec<Tree>) -> Self {
+        Self {
+            label: label.into(),
+            children,
+        }
+    }
+
+    /// Total node count.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(Tree::size).sum::<usize>()
+    }
+
+    /// Canonical bracketed form, e.g. `S(NP(CD) VP)`.
+    pub fn bracketed(&self) -> String {
+        if self.children.is_empty() {
+            self.label.clone()
+        } else {
+            format!(
+                "{}({})",
+                self.label,
+                self.children
+                    .iter()
+                    .map(Tree::bracketed)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )
+        }
+    }
+
+    /// Parses the bracketed form produced by [`Tree::bracketed`].
+    /// Returns `None` on malformed input.
+    pub fn parse(s: &str) -> Option<Tree> {
+        let mut chars = s.char_indices().peekable();
+        let tree = parse_node(s, &mut chars)?;
+        if chars.next().is_some() {
+            return None;
+        }
+        Some(tree)
+    }
+}
+
+fn parse_node(
+    s: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Option<Tree> {
+    // Label runs until '(', ')' or ' '.
+    let start = chars.peek()?.0;
+    let mut end = start;
+    while let Some(&(i, c)) = chars.peek() {
+        if c == '(' || c == ')' || c == ' ' {
+            break;
+        }
+        end = i + c.len_utf8();
+        chars.next();
+    }
+    if end == start {
+        return None;
+    }
+    let label = s[start..end].to_string();
+    let mut children = Vec::new();
+    if let Some(&(_, '(')) = chars.peek() {
+        chars.next();
+        loop {
+            children.push(parse_node(s, chars)?);
+            match chars.peek() {
+                Some(&(_, ' ')) => {
+                    chars.next();
+                }
+                Some(&(_, ')')) => {
+                    chars.next();
+                    break;
+                }
+                _ => return None,
+            }
+        }
+    }
+    Some(Tree { label, children })
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.bracketed())
+    }
+}
+
+/// Flattened (preorder) view used by the miner: parallel arrays of labels,
+/// parent links and child lists.
+#[derive(Debug, Clone)]
+pub struct FlatTree {
+    /// Label of each node, preorder.
+    pub labels: Vec<String>,
+    /// Parent index of each node (`usize::MAX` for the root).
+    pub parent: Vec<usize>,
+    /// Children indices of each node, in order.
+    pub children: Vec<Vec<usize>>,
+}
+
+impl FlatTree {
+    /// Flattens a recursive tree.
+    pub fn from_tree(t: &Tree) -> Self {
+        let mut f = FlatTree {
+            labels: Vec::with_capacity(t.size()),
+            parent: Vec::new(),
+            children: Vec::new(),
+        };
+        fn walk(t: &Tree, parent: usize, f: &mut FlatTree) -> usize {
+            let id = f.labels.len();
+            f.labels.push(t.label.clone());
+            f.parent.push(parent);
+            f.children.push(Vec::new());
+            if parent != usize::MAX {
+                f.children[parent].push(id);
+            }
+            for c in &t.children {
+                walk(c, id, f);
+            }
+            id
+        }
+        walk(t, usize::MAX, &mut f);
+        f
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` for an empty tree (never constructed from a `Tree`).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// `true` when `small` occurs in `big` as an *induced ordered* subtree:
+/// there is an injective mapping preserving labels, parent-child edges and
+/// sibling order.
+pub fn contains(big: &Tree, small: &Tree) -> bool {
+    fn matches_at(big: &Tree, small: &Tree) -> bool {
+        if big.label != small.label {
+            return false;
+        }
+        // Ordered subsequence matching of children.
+        let mut bi = 0;
+        for sc in &small.children {
+            let mut found = false;
+            while bi < big.children.len() {
+                if matches_at(&big.children[bi], sc) {
+                    found = true;
+                    bi += 1;
+                    break;
+                }
+                bi += 1;
+            }
+            if !found {
+                return false;
+            }
+        }
+        true
+    }
+    fn walk(big: &Tree, small: &Tree) -> bool {
+        if matches_at(big, small) {
+            return true;
+        }
+        big.children.iter().any(|c| walk(c, small))
+    }
+    walk(big, small)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tree {
+        Tree::node(
+            "S",
+            vec![
+                Tree::node("NP", vec![Tree::leaf("CD"), Tree::leaf("NN")]),
+                Tree::node("VP", vec![Tree::leaf("VB")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn size_and_display() {
+        let t = sample();
+        assert_eq!(t.size(), 6);
+        assert_eq!(t.to_string(), "S(NP(CD NN) VP(VB))");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let t = sample();
+        let parsed = Tree::parse(&t.bracketed()).unwrap();
+        assert_eq!(parsed, t);
+        assert_eq!(Tree::parse("X").unwrap(), Tree::leaf("X"));
+        assert!(Tree::parse("").is_none());
+        assert!(Tree::parse("A(").is_none());
+        assert!(Tree::parse("A(B").is_none());
+    }
+
+    #[test]
+    fn flatten_preserves_structure() {
+        let f = FlatTree::from_tree(&sample());
+        assert_eq!(f.len(), 6);
+        assert_eq!(f.labels[0], "S");
+        assert_eq!(f.parent[0], usize::MAX);
+        assert_eq!(f.children[0].len(), 2);
+        let np = f.children[0][0];
+        assert_eq!(f.labels[np], "NP");
+        assert_eq!(f.children[np].len(), 2);
+    }
+
+    #[test]
+    fn containment_positive() {
+        let big = sample();
+        assert!(contains(&big, &Tree::leaf("CD")));
+        assert!(contains(&big, &Tree::node("NP", vec![Tree::leaf("NN")])));
+        assert!(contains(&big, &Tree::node("S", vec![Tree::leaf("VP")])));
+        assert!(contains(&big, &big.clone()));
+    }
+
+    #[test]
+    fn containment_respects_order() {
+        let big = sample();
+        // NN before CD violates sibling order.
+        let wrong_order = Tree::node("NP", vec![Tree::leaf("NN"), Tree::leaf("CD")]);
+        assert!(!contains(&big, &wrong_order));
+    }
+
+    #[test]
+    fn containment_negative() {
+        let big = sample();
+        assert!(!contains(&big, &Tree::leaf("XX")));
+        assert!(!contains(&big, &Tree::node("VP", vec![Tree::leaf("CD")])));
+    }
+
+    #[test]
+    fn containment_is_induced_not_embedded() {
+        // S(NP(CD)) requires CD to be a *child* of NP — it is.
+        let big = sample();
+        assert!(contains(&big, &Tree::node("S", vec![Tree::node("NP", vec![Tree::leaf("CD")])])));
+        // S(CD) would require CD as a direct child of S — it is not.
+        assert!(!contains(&big, &Tree::node("S", vec![Tree::leaf("CD")])));
+    }
+}

@@ -1,0 +1,85 @@
+//! Extraction over the synthetic real-estate flyer dataset (the paper's
+//! D3 workload), including a comparison against the text-only baseline
+//! on the same documents — the experiment behind Table 8's ΔF1 column.
+//!
+//! ```sh
+//! cargo run -p vs2-core --example real_estate
+//! ```
+
+use vs2_baselines::{Extractor, TextOnlyExtractor};
+use vs2_core::pipeline::{Vs2Config, Vs2Pipeline};
+use vs2_eval::{evaluate_end_to_end, ExtractionItem, PrCounts};
+use vs2_synth::{generate, holdout_corpus, DatasetConfig, DatasetId};
+
+fn score<E: Extractor>(
+    extractor: &E,
+    docs: &[vs2_docmodel::AnnotatedDocument],
+) -> PrCounts {
+    let mut counts = PrCounts::default();
+    for ad in docs {
+        let preds: Vec<ExtractionItem> = extractor
+            .extract(&ad.doc)
+            .into_iter()
+            .map(|p| ExtractionItem::new(p.entity, p.bbox, p.text))
+            .collect();
+        let truth: Vec<ExtractionItem> = ad
+            .annotations
+            .iter()
+            .map(|a| ExtractionItem::new(a.entity.clone(), a.bbox, a.text.clone()))
+            .collect();
+        counts.add(&evaluate_end_to_end(&preds, &truth));
+    }
+    counts
+}
+
+/// Thin wrapper exposing the VS2 pipeline through the `Extractor` trait.
+struct Vs2 {
+    pipeline: Vs2Pipeline,
+}
+
+impl Extractor for Vs2 {
+    fn name(&self) -> &'static str {
+        "VS2"
+    }
+    fn extract(&self, doc: &vs2_docmodel::Document) -> Vec<vs2_baselines::Prediction> {
+        self.pipeline
+            .extract(doc)
+            .into_iter()
+            .map(|e| vs2_baselines::Prediction {
+                entity: e.entity,
+                text: e.text,
+                bbox: e.span_bbox,
+            })
+            .collect()
+    }
+}
+
+fn main() {
+    let corpus = holdout_corpus(DatasetId::D3, 42);
+    let entries: Vec<(&str, &str, &str)> = corpus
+        .entries
+        .iter()
+        .map(|e| (e.entity.as_str(), e.text.as_str(), e.context.as_str()))
+        .collect();
+    let pipeline = Vs2Pipeline::learn(entries, Vs2Config::default());
+
+    let docs = generate(DatasetId::D3, DatasetConfig::new(30, 42));
+
+    // Show one flyer's extractions in full.
+    let ad = &docs[0];
+    println!("=== {} ===", ad.doc.id);
+    for e in pipeline.extract(&ad.doc) {
+        println!("  {:22} {}", e.entity, e.text);
+    }
+
+    // Aggregate comparison against the text-only baseline.
+    let vs2 = Vs2 {
+        pipeline: pipeline.clone(),
+    };
+    let text_only = TextOnlyExtractor::new(pipeline);
+    let ours = score(&vs2, &docs);
+    let base = score(&text_only, &docs);
+    println!("\nVS2:       P {:.1}%  R {:.1}%  F1 {:.1}%", 100.0 * ours.precision(), 100.0 * ours.recall(), 100.0 * ours.f1());
+    println!("text-only: P {:.1}%  R {:.1}%  F1 {:.1}%", 100.0 * base.precision(), 100.0 * base.recall(), 100.0 * base.f1());
+    println!("dF1: {:+.1} percentage points", 100.0 * (ours.f1() - base.f1()));
+}

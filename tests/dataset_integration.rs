@@ -1,0 +1,103 @@
+//! Cross-crate integration: dataset generators, the OCR channel, the
+//! holdout corpora and the NLP annotators agree with each other.
+
+use vs2_nlp::Embedder;
+use vs2_synth::{generate, holdout_corpus, DatasetConfig, DatasetId, OcrConfig};
+
+#[test]
+fn entity_texts_are_recoverable_by_their_own_patterns() {
+    // Every D3 holdout entity text must carry the features its learned
+    // pattern requires — the distant-supervision contract.
+    let corpus = holdout_corpus(DatasetId::D3, 7);
+    for e in corpus.for_entity(vs2_synth::flyers::entities::BROKER_EMAIL) {
+        assert!(vs2_nlp::ner::is_email(&e.text), "bad email {:?}", e.text);
+    }
+    for e in corpus.for_entity(vs2_synth::flyers::entities::PROPERTY_ADDRESS) {
+        assert!(
+            vs2_nlp::geocode::is_valid_geocode(&e.text),
+            "bad address {:?}",
+            e.text
+        );
+    }
+}
+
+#[test]
+fn ocr_noise_monotonically_degrades_transcription() {
+    let clean_docs = generate(
+        DatasetId::D2,
+        DatasetConfig::new(4, 3).with_ocr(OcrConfig::clean()),
+    );
+    let noisy_docs = generate(
+        DatasetId::D2,
+        DatasetConfig::new(4, 3).with_ocr(OcrConfig::heavy()),
+    );
+    let mut changed = 0;
+    for (c, n) in clean_docs.iter().zip(&noisy_docs) {
+        if c.doc.transcribe_all() != n.doc.transcribe_all() {
+            changed += 1;
+        }
+    }
+    assert!(changed >= 3, "heavy noise changed only {changed}/4 docs");
+}
+
+#[test]
+fn annotations_survive_the_ocr_channel_geometrically() {
+    for id in DatasetId::ALL {
+        let docs = generate(id, DatasetConfig::new(3, 17));
+        for ad in &docs {
+            for a in &ad.annotations {
+                // Each annotation still overlaps document content.
+                assert!(
+                    !ad.doc.elements_intersecting(&a.bbox.inflate(2.0)).is_empty(),
+                    "{}: annotation {} lost its content",
+                    ad.doc.id,
+                    a.entity
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn embeddings_separate_dataset_vocabularies() {
+    // The lexicon embedding must give the semantic-merging step a usable
+    // signal: event vocabulary coheres, estate vocabulary coheres, and
+    // the two fields stay apart.
+    let e = vs2_nlp::LexiconEmbedding;
+    let event = e.embed_text(["concert", "festival", "gala"]);
+    let event2 = e.embed_text(["workshop", "seminar"]);
+    let estate = e.embed_text(["lease", "listing", "zoned"]);
+    assert!(vs2_nlp::cosine(&event, &event2) > 0.8);
+    assert!(vs2_nlp::cosine(&event, &estate) < 0.4);
+}
+
+#[test]
+fn trained_embedding_learns_from_holdout_corpus() {
+    // The PPMI-SVD trainer consumes the holdout corpus end-to-end.
+    let corpus = holdout_corpus(DatasetId::D2, 5);
+    let sentences: Vec<Vec<String>> = corpus
+        .entries
+        .iter()
+        .take(200)
+        .map(|e| e.context.split_whitespace().map(String::from).collect())
+        .collect();
+    let emb = vs2_nlp::TrainedEmbedding::train(&sentences, 3);
+    assert!(emb.vocab_size() > 50);
+    // "hosted" and "organized" share contexts in organiser lines.
+    let sim = vs2_nlp::cosine(&emb.embed("hosted"), &emb.embed("organized"));
+    let cross = vs2_nlp::cosine(&emb.embed("hosted"), &emb.embed("43210"));
+    assert!(sim > cross, "distributional signal missing: {sim} vs {cross}");
+}
+
+#[test]
+fn dataset_sizes_and_determinism() {
+    for id in DatasetId::ALL {
+        let a = generate(id, DatasetConfig::new(5, 42));
+        let b = generate(id, DatasetConfig::new(5, 42));
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.doc, y.doc, "{id:?} not deterministic");
+            assert_eq!(x.annotations, y.annotations);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration: the full learned pipeline end-to-end on all
+//! three datasets, with minimum quality floors so regressions in any
+//! substrate (NLP, mining, segmentation, disambiguation) surface here.
+
+use vs2_core::pipeline::{DisambiguationMode, Vs2Config, Vs2Pipeline};
+use vs2_core::select::Eq2Weights;
+use vs2_eval::{evaluate_end_to_end, ExtractionItem, PrCounts};
+use vs2_synth::{generate, holdout_corpus, DatasetConfig, DatasetId};
+
+fn learned_pipeline(id: DatasetId, config: Vs2Config) -> Vs2Pipeline {
+    let corpus = holdout_corpus(id, 99);
+    let entries: Vec<(String, String, String)> = corpus
+        .entries
+        .iter()
+        .map(|e| (e.entity.clone(), e.text.clone(), e.context.clone()))
+        .collect();
+    Vs2Pipeline::learn(
+        entries
+            .iter()
+            .map(|(a, b, c)| (a.as_str(), b.as_str(), c.as_str())),
+        config,
+    )
+}
+
+fn end_to_end(id: DatasetId, config: Vs2Config, n: usize) -> PrCounts {
+    let pipeline = learned_pipeline(id, config);
+    let docs = generate(id, DatasetConfig::new(n, 1234));
+    let mut counts = PrCounts::default();
+    for ad in &docs {
+        let preds: Vec<ExtractionItem> = pipeline
+            .extract(&ad.doc)
+            .into_iter()
+            .map(|e| ExtractionItem::new(e.entity, e.span_bbox, e.text))
+            .collect();
+        let truth: Vec<ExtractionItem> = ad
+            .annotations
+            .iter()
+            .map(|a| ExtractionItem::new(a.entity.clone(), a.bbox, a.text.clone()))
+            .collect();
+        counts.add(&evaluate_end_to_end(&preds, &truth));
+    }
+    counts
+}
+
+#[test]
+fn d1_end_to_end_quality_floor() {
+    let c = end_to_end(DatasetId::D1, Vs2Config::default(), 10);
+    assert!(c.f1() > 0.6, "D1 F1 regressed: {:.3}", c.f1());
+}
+
+#[test]
+fn d2_end_to_end_quality_floor() {
+    let config = Vs2Config {
+        weights: Eq2Weights::visual_heavy(),
+        ..Vs2Config::default()
+    };
+    let c = end_to_end(DatasetId::D2, config, 10);
+    assert!(c.f1() > 0.5, "D2 F1 regressed: {:.3}", c.f1());
+}
+
+#[test]
+fn d3_end_to_end_quality_floor() {
+    let c = end_to_end(DatasetId::D3, Vs2Config::default(), 10);
+    assert!(c.f1() > 0.65, "D3 F1 regressed: {:.3}", c.f1());
+}
+
+#[test]
+fn every_dataset_learns_patterns_for_all_entities() {
+    for id in DatasetId::ALL {
+        let pipeline = learned_pipeline(id, Vs2Config::default());
+        for entity in id.entity_types() {
+            assert!(
+                pipeline
+                    .patterns()
+                    .get(&entity)
+                    .is_some_and(|p| !p.is_empty()),
+                "{id:?}: no patterns for {entity}"
+            );
+        }
+    }
+}
+
+#[test]
+fn disambiguation_modes_all_run() {
+    let docs = generate(DatasetId::D2, DatasetConfig::new(2, 5));
+    for mode in [
+        DisambiguationMode::Multimodal,
+        DisambiguationMode::FirstMatch,
+        DisambiguationMode::Lesk,
+    ] {
+        let config = Vs2Config {
+            disambiguation: mode,
+            ..Vs2Config::default()
+        };
+        let pipeline = learned_pipeline(DatasetId::D2, config);
+        for d in &docs {
+            let ex = pipeline.extract(&d.doc);
+            assert!(!ex.is_empty(), "{mode:?} extracted nothing");
+        }
+    }
+}
+
+#[test]
+fn weight_learning_never_degrades_validation_agreement() {
+    use vs2_core::select::{learn_weights, WeightSearchConfig};
+    let pipeline = learned_pipeline(DatasetId::D2, Vs2Config::default());
+    let docs = generate(DatasetId::D2, DatasetConfig::new(3, 21));
+    let (w, score) = learn_weights(&pipeline, &docs, WeightSearchConfig { steps: 2 });
+    assert!(w.is_valid() || w == pipeline.config.weights, "{w:?}");
+    assert!((0.0..=1.0).contains(&score));
+    // The search returns at least the baseline's own agreement.
+    let (_, base_score) = learn_weights(&pipeline, &docs, WeightSearchConfig { steps: 0 });
+    assert!(score + 1e-9 >= base_score);
+}
+
+#[test]
+fn extractions_claim_distinct_blocks() {
+    // The joint assignment must not hand the same block to two entities
+    // while alternatives exist.
+    let pipeline = learned_pipeline(DatasetId::D2, Vs2Config::default());
+    let docs = generate(DatasetId::D2, DatasetConfig::new(4, 11));
+    for d in &docs {
+        let ex = pipeline.extract(&d.doc);
+        let mut keys: Vec<String> = ex
+            .iter()
+            .map(|e| format!("{:.0},{:.0},{:.0}", e.block_bbox.x, e.block_bbox.y, e.block_bbox.w))
+            .collect();
+        let n = keys.len();
+        keys.sort();
+        keys.dedup();
+        // Allow at most one duplicated block (the exhausted-candidates
+        // fallback); systematic duplication is a bug.
+        assert!(keys.len() + 1 >= n, "block duplication in {}", d.doc.id);
+    }
+}

@@ -1,0 +1,85 @@
+//! Cross-crate integration: VS2-Segment over the synthetic datasets.
+
+use vs2_core::segment::{logical_blocks, segment, SegmentConfig};
+use vs2_synth::{generate, DatasetConfig, DatasetId};
+
+#[test]
+fn poster_segmentation_yields_plausible_blocks() {
+    let docs = generate(DatasetId::D2, DatasetConfig::new(3, 77));
+    for d in &docs {
+        let blocks = logical_blocks(&d.doc, &SegmentConfig::default());
+        assert!(blocks.len() >= 3, "too few blocks: {} for {}", blocks.len(), d.doc.id);
+        assert!(blocks.len() <= 40, "too many blocks: {} for {}", blocks.len(), d.doc.id);
+        let total: usize = blocks.iter().map(|b| b.elements.len()).sum();
+        assert_eq!(total, d.doc.len(), "elements lost in {}", d.doc.id);
+    }
+}
+
+#[test]
+fn tax_form_segmentation_isolates_rows() {
+    let docs = generate(DatasetId::D1, DatasetConfig::new(2, 77));
+    for d in &docs {
+        let blocks = logical_blocks(&d.doc, &SegmentConfig::default());
+        // A form has 24 fields + header + signature; expect a block count
+        // in that region, not 1 and not hundreds.
+        assert!(blocks.len() >= 8, "under-segmented: {}", blocks.len());
+        assert!(blocks.len() <= 60, "over-segmented: {}", blocks.len());
+    }
+}
+
+#[test]
+fn flyer_segmentation_is_stable() {
+    let docs = generate(DatasetId::D3, DatasetConfig::new(2, 77));
+    for d in &docs {
+        let a = logical_blocks(&d.doc, &SegmentConfig::default());
+        let b = logical_blocks(&d.doc, &SegmentConfig::default());
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() >= 3, "{}", a.len());
+    }
+}
+
+#[test]
+fn layout_tree_parents_enclose_children() {
+    let docs = generate(DatasetId::D2, DatasetConfig::new(2, 3));
+    for d in &docs {
+        let tree = segment(&d.doc, &SegmentConfig::default());
+        for id in tree.live_ids() {
+            let n = tree.node(id);
+            for c in &n.children {
+                assert_eq!(tree.node(*c).parent, Some(id), "broken parent link");
+                // Children's elements are a subset of the parent's.
+                for e in &tree.node(*c).elements {
+                    assert!(
+                        n.elements.contains(e),
+                        "child element missing from parent in {}",
+                        d.doc.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn segmentation_is_robust_to_rotation() {
+    // §5.1.2 claims robustness to rotation; verify the block count stays
+    // in the same ballpark under a visible skew.
+    use vs2_synth::OcrConfig;
+    let straight = generate(
+        DatasetId::D3,
+        DatasetConfig::new(2, 9).with_ocr(OcrConfig::clean()),
+    );
+    let skew = OcrConfig {
+        rotation_deg: 4.0,
+        ..OcrConfig::clean()
+    };
+    let rotated = generate(DatasetId::D3, DatasetConfig::new(2, 9).with_ocr(skew));
+    for (s, r) in straight.iter().zip(&rotated) {
+        let bs = logical_blocks(&s.doc, &SegmentConfig::default()).len() as i64;
+        let br = logical_blocks(&r.doc, &SegmentConfig::default()).len() as i64;
+        assert!(
+            (bs - br).abs() <= bs / 2 + 2,
+            "rotation changed block count too much: {bs} vs {br}"
+        );
+    }
+}
