@@ -104,8 +104,7 @@ mod tests {
         let mut d = Document::new(format!("a{i}"), 300.0, 200.0);
         let title_word = format!("zz{i}q"); // out-of-lexicon, varies per doc
         d.push_text(
-            TextElement::word(&title_word, BBox::new(40.0, 15.0, 180.0, 30.0))
-                .with_font_size(30.0),
+            TextElement::word(&title_word, BBox::new(40.0, 15.0, 180.0, 30.0)).with_font_size(30.0),
         );
         for (k, w) in ["body", "words", "below"].iter().enumerate() {
             d.push_text(TextElement::word(

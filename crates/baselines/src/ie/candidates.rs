@@ -58,24 +58,23 @@ pub fn text_features(doc: &Document, block: &LogicalBlock) -> Vec<String> {
 /// Visual feature names of a candidate line (the Apostolova extension).
 pub fn visual_features(doc: &Document, block: &LogicalBlock) -> Vec<String> {
     let b = block.bbox;
-    let max_font = doc
-        .texts
-        .iter()
-        .map(|t| t.bbox.h)
-        .fold(1e-9, f64::max);
+    let max_font = doc.texts.iter().map(|t| t.bbox.h).fold(1e-9, f64::max);
     let font = block
         .elements
         .iter()
         .map(|r| doc.bbox_of(*r).h)
         .fold(0.0, f64::max);
     let mut out = vec![
-        format!("ypos={}", ((b.centroid().y / doc.height.max(1e-9)) * 10.0) as u32),
-        format!("xpos={}", ((b.centroid().x / doc.width.max(1e-9)) * 4.0) as u32),
-        format!("font_rel={}", ((font / max_font) * 5.0) as u32),
         format!(
-            "width_rel={}",
-            ((b.w / doc.width.max(1e-9)) * 5.0) as u32
+            "ypos={}",
+            ((b.centroid().y / doc.height.max(1e-9)) * 10.0) as u32
         ),
+        format!(
+            "xpos={}",
+            ((b.centroid().x / doc.width.max(1e-9)) * 4.0) as u32
+        ),
+        format!("font_rel={}", ((font / max_font) * 5.0) as u32),
+        format!("width_rel={}", ((b.w / doc.width.max(1e-9)) * 5.0) as u32),
     ];
     if let Some(vs2_docmodel::ElementRef::Text(i)) = block.elements.first() {
         out.push(format!("light={}", (doc.texts[*i].color.l / 25.0) as u32));

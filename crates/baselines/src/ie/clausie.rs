@@ -33,9 +33,7 @@ impl ClausIeExtractor {
                     .iter()
                     .filter_map(|p| match p {
                         SyntacticPattern::Window { kind, required } => match kind {
-                            Some(PhraseKind::Vp) | Some(PhraseKind::Svo) | None => {
-                                Some(p.clone())
-                            }
+                            Some(PhraseKind::Vp) | Some(PhraseKind::Svo) | None => Some(p.clone()),
                             // Noun-phrase rules become clause-argument
                             // windows (NER spans / whole clause).
                             Some(PhraseKind::Np) => Some(SyntacticPattern::Window {
@@ -128,7 +126,10 @@ mod tests {
         let pipeline = Vs2Pipeline::learn(entries, Vs2Config::default());
         let clausie = ClausIeExtractor::new(&pipeline);
         let mut d = Document::new("c", 400.0, 50.0);
-        for (i, w) in ["the", "gala", "is", "hosted", "by", "Mary", "Davis"].iter().enumerate() {
+        for (i, w) in ["the", "gala", "is", "hosted", "by", "Mary", "Davis"]
+            .iter()
+            .enumerate()
+        {
             d.push_text(TextElement::word(
                 *w,
                 BBox::new(10.0 + 45.0 * i as f64, 10.0, 40.0, 10.0),

@@ -100,15 +100,11 @@ impl Extractor for ReportMinerExtractor {
 
     fn extract(&self, doc: &Document) -> Vec<Prediction> {
         let sig = signature(doc);
-        let Some(rule) = self
-            .rules
-            .iter()
-            .min_by(|a, b| {
-                signature_distance(&a.signature, &sig)
-                    .partial_cmp(&signature_distance(&b.signature, &sig))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-        else {
+        let Some(rule) = self.rules.iter().min_by(|a, b| {
+            signature_distance(&a.signature, &sig)
+                .partial_cmp(&signature_distance(&b.signature, &sig))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }) else {
             return Vec::new();
         };
         rule.masks
@@ -144,9 +140,15 @@ mod tests {
 
     fn template_doc(value: &str) -> AnnotatedDocument {
         let mut d = Document::new(format!("r-{value}"), 200.0, 200.0);
-        d.push_text(TextElement::word("Label", BBox::new(10.0, 10.0, 40.0, 10.0)));
+        d.push_text(TextElement::word(
+            "Label",
+            BBox::new(10.0, 10.0, 40.0, 10.0),
+        ));
         d.push_text(TextElement::word(value, BBox::new(60.0, 10.0, 60.0, 10.0)));
-        d.push_text(TextElement::word("footer", BBox::new(10.0, 180.0, 40.0, 8.0)));
+        d.push_text(TextElement::word(
+            "footer",
+            BBox::new(10.0, 180.0, 40.0, 8.0),
+        ));
         AnnotatedDocument {
             doc: d,
             annotations: vec![EntityAnnotation::new(
@@ -174,7 +176,10 @@ mod tests {
         let rm = ReportMinerExtractor::train(&train);
         // A document whose value sits elsewhere entirely.
         let mut d = Document::new("shift", 200.0, 200.0);
-        d.push_text(TextElement::word("Label", BBox::new(10.0, 150.0, 40.0, 10.0)));
+        d.push_text(TextElement::word(
+            "Label",
+            BBox::new(10.0, 150.0, 40.0, 10.0),
+        ));
         d.push_text(TextElement::word("xyz", BBox::new(60.0, 150.0, 60.0, 10.0)));
         let preds = rm.extract(&d);
         // The mask region (top of page) holds no text → no/garbled output.

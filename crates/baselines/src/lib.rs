@@ -20,8 +20,8 @@ pub mod ie;
 pub mod seg;
 
 pub use ie::{
-    ApostolovaExtractor, ClausIeExtractor, Extractor, FsmExtractor, MlBasedExtractor,
-    Prediction, ReportMinerExtractor, TextOnlyExtractor,
+    ApostolovaExtractor, ClausIeExtractor, Extractor, FsmExtractor, MlBasedExtractor, Prediction,
+    ReportMinerExtractor, TextOnlyExtractor,
 };
 pub use seg::{
     Segmenter, TesseractSegmenter, TextOnlySegmenter, VipsSegmenter, VoronoiSegmenter,

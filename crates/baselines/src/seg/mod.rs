@@ -65,7 +65,12 @@ pub(crate) mod testdoc {
                 d.push_text(
                     TextElement::word(
                         "concert",
-                        BBox::new(10.0 + col as f64 * 45.0, 10.0 + line as f64 * 14.0, 40.0, 10.0),
+                        BBox::new(
+                            10.0 + col as f64 * 45.0,
+                            10.0 + line as f64 * 14.0,
+                            40.0,
+                            10.0,
+                        ),
                     )
                     .with_markup(MarkupClass::Heading2),
                 );
@@ -76,7 +81,12 @@ pub(crate) mod testdoc {
                 d.push_text(
                     TextElement::word(
                         "acres",
-                        BBox::new(10.0 + col as f64 * 45.0, 140.0 + line as f64 * 14.0, 40.0, 10.0),
+                        BBox::new(
+                            10.0 + col as f64 * 45.0,
+                            140.0 + line as f64 * 14.0,
+                            40.0,
+                            10.0,
+                        ),
                     )
                     .with_markup(MarkupClass::Paragraph),
                 );

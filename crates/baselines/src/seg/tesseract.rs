@@ -46,7 +46,11 @@ fn build_lines(doc: &Document) -> Vec<Line> {
         .into_iter()
         .map(|r| (r, doc.bbox_of(r)))
         .collect();
-    items.sort_by(|a, b| a.1.y.partial_cmp(&b.1.y).unwrap_or(std::cmp::Ordering::Equal));
+    items.sort_by(|a, b| {
+        a.1.y
+            .partial_cmp(&b.1.y)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut rows: Vec<Line> = Vec::new();
     for (r, b) in items {
         let mut placed = false;
@@ -76,12 +80,16 @@ fn build_lines(doc: &Document) -> Vec<Line> {
             .into_iter()
             .map(|r| (r, doc.bbox_of(r)))
             .collect();
-        elems.sort_by(|a, b| a.1.x.partial_cmp(&b.1.x).unwrap_or(std::cmp::Ordering::Equal));
+        elems.sort_by(|a, b| {
+            a.1.x
+                .partial_cmp(&b.1.x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut current: Vec<(ElementRef, BBox)> = Vec::new();
         for (r, b) in elems {
-            let split = current.last().is_some_and(|(_, prev)| {
-                b.x - prev.right() > 3.0 * prev.h.max(b.h).max(1e-9)
-            });
+            let split = current
+                .last()
+                .is_some_and(|(_, prev)| b.x - prev.right() > 3.0 * prev.h.max(b.h).max(1e-9));
             if split {
                 let bbox = current
                     .iter()
@@ -107,7 +115,12 @@ fn build_lines(doc: &Document) -> Vec<Line> {
             });
         }
     }
-    lines.sort_by(|a, b| a.bbox.y.partial_cmp(&b.bbox.y).unwrap_or(std::cmp::Ordering::Equal));
+    lines.sort_by(|a, b| {
+        a.bbox
+            .y
+            .partial_cmp(&b.bbox.y)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     lines
 }
 
@@ -130,8 +143,8 @@ impl Segmenter for TesseractSegmenter {
                 };
                 let indent = (line.bbox.x - prev.bbox.x).abs();
                 // Horizontally, the lines must overlap at all.
-                let x_overlap = line.bbox.right().min(prev.bbox.right())
-                    - line.bbox.x.max(prev.bbox.x);
+                let x_overlap =
+                    line.bbox.right().min(prev.bbox.right()) - line.bbox.x.max(prev.bbox.x);
                 leading <= self.max_leading * h
                     && font_ratio <= self.max_font_ratio
                     && indent <= self.max_indent * h
@@ -176,7 +189,10 @@ mod tests {
     #[test]
     fn font_change_breaks_paragraphs() {
         let mut d = Document::new("fonts", 300.0, 100.0);
-        d.push_text(TextElement::word("TITLE", BBox::new(10.0, 10.0, 120.0, 28.0)));
+        d.push_text(TextElement::word(
+            "TITLE",
+            BBox::new(10.0, 10.0, 120.0, 28.0),
+        ));
         d.push_text(TextElement::word("body", BBox::new(10.0, 44.0, 60.0, 9.0)));
         let blocks = TesseractSegmenter::default().segment(&d);
         assert_eq!(blocks.len(), 2);
@@ -188,7 +204,10 @@ mod tests {
         // the right (a different column) — split.
         let mut d = Document::new("cols", 400.0, 100.0);
         d.push_text(TextElement::word("left", BBox::new(10.0, 10.0, 60.0, 10.0)));
-        d.push_text(TextElement::word("right", BBox::new(250.0, 24.0, 60.0, 10.0)));
+        d.push_text(TextElement::word(
+            "right",
+            BBox::new(250.0, 24.0, 60.0, 10.0),
+        ));
         let blocks = TesseractSegmenter::default().segment(&d);
         assert_eq!(blocks.len(), 2);
     }

@@ -23,7 +23,9 @@ pub struct TextOnlySegmenter {
 
 impl Default for TextOnlySegmenter {
     fn default() -> Self {
-        Self { min_similarity: 0.30 }
+        Self {
+            min_similarity: 0.30,
+        }
     }
 }
 

@@ -92,8 +92,11 @@ mod tests {
                     .with_markup(MarkupClass::Paragraph),
             );
             d.push_text(
-                TextElement::word("right", BBox::new(300.0, 10.0 + i as f64 * 14.0, 60.0, 10.0))
-                    .with_markup(MarkupClass::Paragraph),
+                TextElement::word(
+                    "right",
+                    BBox::new(300.0, 10.0 + i as f64 * 14.0, 60.0, 10.0),
+                )
+                .with_markup(MarkupClass::Paragraph),
             );
         }
         let blocks = VipsSegmenter::default().segment(&d);

@@ -89,9 +89,9 @@ impl Segmenter for VoronoiSegmenter {
 
         let mut groups: std::collections::BTreeMap<usize, Vec<ElementRef>> =
             std::collections::BTreeMap::new();
-        for i in 0..n {
+        for (i, el) in elements.iter().enumerate() {
             let root = find(&mut parent, i);
-            groups.entry(root).or_default().push(elements[i]);
+            groups.entry(root).or_default().push(*el);
         }
         groups
             .into_values()

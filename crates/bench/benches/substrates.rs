@@ -94,5 +94,11 @@ fn bench_cuts(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_nlp, bench_embeddings, bench_treemine, bench_cuts);
+criterion_group!(
+    benches,
+    bench_nlp,
+    bench_embeddings,
+    bench_treemine,
+    bench_cuts
+);
 criterion_main!(benches);

@@ -9,14 +9,14 @@
 //! transcription and (b) the per-block transcriptions, and reports the
 //! reduction in ambiguity VS2's segmentation buys.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use vs2_bench::{pct, ResultTable};
 use vs2_core::segment::{logical_blocks, SegmentConfig};
 use vs2_core::select::BlockText;
 use vs2_nlp::ner::NerTag;
 use vs2_synth::ocr::OcrConfig;
 use vs2_synth::posters::generate_poster;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn person_org_texts(text: &str) -> Vec<String> {
     let ann = vs2_nlp::annotate(text);
@@ -53,7 +53,7 @@ fn main() {
     for (name, ocr) in configs {
         let mut raw_total = 0usize;
         let mut phantom_total = 0usize;
-        let mut rng = StdRng::seed_from_u64(0xF16_3);
+        let mut rng = StdRng::seed_from_u64(0xF163);
         for i in 0..n_docs {
             let clean = generate_poster(i, 0xF163);
             let noisy = vs2_synth::ocr::apply(&clean, &ocr, &mut rng);
@@ -75,9 +75,7 @@ fn main() {
                         .ann
                         .ner
                         .iter()
-                        .filter(|s| {
-                            matches!(s.tag, NerTag::Person | NerTag::Organization)
-                        })
+                        .filter(|s| matches!(s.tag, NerTag::Person | NerTag::Organization))
                         .map(|s| {
                             bt.ann.tokens[s.start..s.end]
                                 .iter()
@@ -89,10 +87,7 @@ fn main() {
                     texts
                 })
                 .collect();
-            phantom_total += raw
-                .iter()
-                .filter(|r| !block_texts.contains(r))
-                .count();
+            phantom_total += raw.iter().filter(|r| !block_texts.contains(r)).count();
         }
         let raw = raw_total as f64 / n_docs as f64;
         let phantom = phantom_total as f64 / n_docs as f64;

@@ -16,8 +16,11 @@ fn main() {
 
     // Fig. 4: the layout tree, nodes coloured by depth.
     let tree = segment(doc, &SegmentConfig::default());
-    std::fs::write("results/fig4_layout_tree.svg", render_layout_tree(doc, &tree))
-        .expect("write fig4 svg");
+    std::fs::write(
+        "results/fig4_layout_tree.svg",
+        render_layout_tree(doc, &tree),
+    )
+    .expect("write fig4 svg");
     std::fs::write("results/fig4_layout_tree.txt", tree.dump()).expect("write fig4 txt");
 
     // Fig. 6: logical blocks (blue) with interest points (solid red).
@@ -34,9 +37,17 @@ fn main() {
             }
         })
         .collect();
-    overlays.sort_by(|a, b| a.bbox.y.partial_cmp(&b.bbox.y).unwrap_or(std::cmp::Ordering::Equal));
-    std::fs::write("results/fig6_logical_blocks.svg", render_svg(doc, &overlays))
-        .expect("write fig6 svg");
+    overlays.sort_by(|a, b| {
+        a.bbox
+            .y
+            .partial_cmp(&b.bbox.y)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    std::fs::write(
+        "results/fig6_logical_blocks.svg",
+        render_svg(doc, &overlays),
+    )
+    .expect("write fig6 svg");
 
     // Fig. 8: ground-truth annotations.
     let gt_overlays: Vec<Overlay> = ad
@@ -44,8 +55,11 @@ fn main() {
         .iter()
         .map(|a| Overlay::new(a.bbox, "#2ca02c").with_label(a.entity.clone()))
         .collect();
-    std::fs::write("results/fig8_ground_truth.svg", render_svg(doc, &gt_overlays))
-        .expect("write fig8 svg");
+    std::fs::write(
+        "results/fig8_ground_truth.svg",
+        render_svg(doc, &gt_overlays),
+    )
+    .expect("write fig8 svg");
 
     println!(
         "wrote results/fig4_layout_tree.svg (+.txt), results/fig6_logical_blocks.svg, \

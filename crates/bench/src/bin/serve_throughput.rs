@@ -1,0 +1,159 @@
+//! Serving-layer throughput bench: batch extraction over the synthetic
+//! tax corpus (D1) at 1/2/4/8 workers.
+//!
+//! Writes `results/serve_throughput.{txt,json}` plus `BENCH_serve.json`
+//! at the workspace root — the workers × docs/s × p95 trajectory later
+//! scaling PRs have to beat. Scaling is bounded by the host: the JSON
+//! records `host_parallelism` so a 1-core CI run is not misread as a
+//! scalability regression.
+//!
+//! Usage: `cargo run --release -p vs2-bench --bin serve_throughput [n_docs]`
+
+use std::time::{Duration, Instant};
+
+use vs2_bench::ResultTable;
+use vs2_serve::{EngineConfig, ExtractService, JobSource, JobSpec, LatencySummary};
+use vs2_synth::DatasetId;
+
+const DATASET: DatasetId = DatasetId::D1;
+const SEED: u64 = 0xC0FFEE;
+
+struct Run {
+    workers: usize,
+    wall: Duration,
+    docs_per_s: f64,
+    lat: LatencySummary,
+    queue_stalls: u64,
+}
+
+fn spec(doc_index: usize) -> JobSpec {
+    JobSpec {
+        job_id: None,
+        dataset: DATASET,
+        source: JobSource::Synthetic {
+            doc_index,
+            seed: SEED,
+        },
+    }
+}
+
+fn run(workers: usize, n_docs: usize) -> Run {
+    let mut service = ExtractService::new(
+        EngineConfig {
+            workers,
+            queue_capacity: 2 * workers.max(4),
+            job_timeout: None,
+        },
+        SEED,
+        None,
+    );
+    // Warm the model cache so the timed section measures extraction
+    // throughput, not one-off pattern mining.
+    service.submit(spec(0));
+    service.drain();
+
+    let started = Instant::now();
+    for i in 0..n_docs {
+        service.submit(spec(i));
+    }
+    let results = service.drain();
+    let wall = started.elapsed();
+    let stats = service.shutdown();
+    assert_eq!(results.len(), n_docs);
+    assert!(results.iter().all(|r| r.outcome.is_ok()));
+    let latencies: Vec<Duration> = results.iter().map(|r| r.latency).collect();
+    Run {
+        workers,
+        wall,
+        docs_per_s: n_docs as f64 / wall.as_secs_f64(),
+        lat: LatencySummary::from_latencies(&latencies),
+        queue_stalls: stats.queue_stalls,
+    }
+}
+
+fn main() {
+    let n_docs: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("n_docs"))
+        .unwrap_or(200);
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut table = ResultTable::new(
+        "Serving throughput: synthetic tax corpus (D1)",
+        vec![
+            "workers".into(),
+            "docs/s".into(),
+            "speedup".into(),
+            "p50 (us)".into(),
+            "p95 (us)".into(),
+            "p99 (us)".into(),
+            "stalls".into(),
+        ],
+    );
+    table.push_note(format!(
+        "{n_docs} documents, seed {SEED:#x}, host parallelism {host_parallelism}"
+    ));
+
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let r = run(workers, n_docs);
+        eprintln!(
+            "workers={} docs/s={:.2} wall={:.2}s p95={}us",
+            r.workers,
+            r.docs_per_s,
+            r.wall.as_secs_f64(),
+            r.lat.p95_us
+        );
+        runs.push(r);
+    }
+    let base = runs[0].docs_per_s;
+    for r in &runs {
+        table.push_row(vec![
+            r.workers.to_string(),
+            format!("{:.2}", r.docs_per_s),
+            format!("{:.2}x", r.docs_per_s / base),
+            r.lat.p50_us.to_string(),
+            r.lat.p95_us.to_string(),
+            r.lat.p99_us.to_string(),
+            r.queue_stalls.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    table.save("serve_throughput").expect("write results/");
+
+    let bench = serde::Value::Object(vec![
+        ("dataset".into(), serde::Value::Str("D1".into())),
+        ("n_docs".into(), serde::Value::UInt(n_docs as u64)),
+        (
+            "host_parallelism".into(),
+            serde::Value::UInt(host_parallelism as u64),
+        ),
+        (
+            "runs".into(),
+            serde::Value::Array(
+                runs.iter()
+                    .map(|r| {
+                        serde::Value::Object(vec![
+                            ("workers".into(), serde::Value::UInt(r.workers as u64)),
+                            ("docs_per_s".into(), serde::Value::Float(r.docs_per_s)),
+                            (
+                                "speedup_vs_1".into(),
+                                serde::Value::Float(r.docs_per_s / base),
+                            ),
+                            ("wall_s".into(), serde::Value::Float(r.wall.as_secs_f64())),
+                            ("p50_us".into(), serde::Value::UInt(r.lat.p50_us)),
+                            ("p95_us".into(), serde::Value::UInt(r.lat.p95_us)),
+                            ("p99_us".into(), serde::Value::UInt(r.lat.p99_us)),
+                            ("queue_stalls".into(), serde::Value::UInt(r.queue_stalls)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(
+        "BENCH_serve.json",
+        serde_json::to_string_pretty(&bench).expect("bench serialises"),
+    )
+    .expect("write BENCH_serve.json");
+}

@@ -5,11 +5,11 @@
 //! localisation proposals are matched label-free against ground truth at
 //! IoU ≥ 0.65 (§6.2). VIPS (A4) is skipped on D1, as in the paper.
 
-use vs2_bench::{build_pipeline, dataset_docs, pct, phase1_scores, ResultTable, RunConfig};
 use vs2_baselines::{
     Segmenter, TesseractSegmenter, TextOnlySegmenter, VipsSegmenter, VoronoiSegmenter,
     Vs2Segmenter, XyCutSegmenter,
 };
+use vs2_bench::{build_pipeline, dataset_docs, pct, phase1_scores, ResultTable, RunConfig};
 use vs2_core::pipeline::Vs2Config;
 use vs2_synth::DatasetId;
 
@@ -61,7 +61,10 @@ fn main() {
         eprintln!("done: {name}");
     }
 
-    table.push_note(format!("{} documents per dataset, seed {:#x}", cfg.n_docs, cfg.seed));
+    table.push_note(format!(
+        "{} documents per dataset, seed {:#x}",
+        cfg.n_docs, cfg.seed
+    ));
     table.push_note("proposals: per-entity localisations through the shared Select stage; IoU >= 0.65, label-free");
     println!("{}", table.render());
     table.save("table5").expect("write results/table5");

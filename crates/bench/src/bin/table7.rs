@@ -10,7 +10,9 @@ use vs2_baselines::{
     ApostolovaExtractor, ClausIeExtractor, Extractor, FsmExtractor, MlBasedExtractor,
     ReportMinerExtractor,
 };
-use vs2_bench::{build_pipeline, dataset_docs, pct, phase2_scores, ResultTable, RunConfig, Vs2Extractor};
+use vs2_bench::{
+    build_pipeline, dataset_docs, pct, phase2_scores, ResultTable, RunConfig, Vs2Extractor,
+};
 use vs2_core::pipeline::Vs2Config;
 use vs2_docmodel::AnnotatedDocument;
 use vs2_synth::DatasetId;
@@ -44,25 +46,29 @@ fn main() {
         let pipeline = build_pipeline(id, cfg.seed, Vs2Config::default());
         let entities = id.entity_types();
 
-        let mut extractors: Vec<(String, Box<dyn Extractor>)> = Vec::new();
-        extractors.push((
-            "A1 ClausIE".into(),
-            Box::new(ClausIeExtractor::new(&pipeline)),
-        ));
-        extractors.push(("A2 FSM".into(), Box::new(FsmExtractor::new(pipeline.clone()))));
-        extractors.push((
-            "A3 ML-based".into(),
-            Box::new(MlBasedExtractor::train(train, &entities, cfg.seed)),
-        ));
-        extractors.push((
-            "A4 Apostolova".into(),
-            Box::new(ApostolovaExtractor::train(train, &entities, cfg.seed)),
-        ));
-        extractors.push((
-            "A5 ReportMiner".into(),
-            Box::new(ReportMinerExtractor::train(train)),
-        ));
-        extractors.push(("A6 VS2".into(), Box::new(Vs2Extractor { pipeline })));
+        let extractors: Vec<(String, Box<dyn Extractor>)> = vec![
+            (
+                "A1 ClausIE".into(),
+                Box::new(ClausIeExtractor::new(&pipeline)),
+            ),
+            (
+                "A2 FSM".into(),
+                Box::new(FsmExtractor::new(pipeline.clone())),
+            ),
+            (
+                "A3 ML-based".into(),
+                Box::new(MlBasedExtractor::train(train, &entities, cfg.seed)),
+            ),
+            (
+                "A4 Apostolova".into(),
+                Box::new(ApostolovaExtractor::train(train, &entities, cfg.seed)),
+            ),
+            (
+                "A5 ReportMiner".into(),
+                Box::new(ReportMinerExtractor::train(train)),
+            ),
+            ("A6 VS2".into(), Box::new(Vs2Extractor { pipeline })),
+        ];
 
         prepared.push(Prepared {
             id,

@@ -8,11 +8,15 @@
 //! * A3 — entity disambiguation off (first match wins);
 //! * A4 — text-only (Lesk) disambiguation instead of Eq. 2.
 
-use vs2_bench::{build_pipeline, dataset_docs, phase2_scores, ResultTable, RunConfig, Vs2Extractor};
+use vs2_bench::{
+    build_pipeline, dataset_docs, phase2_scores, ResultTable, RunConfig, Vs2Extractor,
+};
 use vs2_core::pipeline::{DisambiguationMode, Vs2Config};
 use vs2_synth::DatasetId;
 
-fn ablations() -> Vec<(&'static str, Box<dyn Fn(&mut Vs2Config)>)> {
+type Ablation = (&'static str, Box<dyn Fn(&mut Vs2Config)>);
+
+fn ablations() -> Vec<Ablation> {
     vec![
         (
             "A1 no semantic merging",
@@ -71,7 +75,10 @@ fn main() {
     }
 
     table.push_note("dF1 = F1(full VS2) - F1(ablated); positive means the component helps");
-    table.push_note(format!("{} documents per dataset, seed {:#x}", cfg.n_docs, cfg.seed));
+    table.push_note(format!(
+        "{} documents per dataset, seed {:#x}",
+        cfg.n_docs, cfg.seed
+    ));
     println!("{}", table.render());
     table.save("table9").expect("write results/table9");
 }

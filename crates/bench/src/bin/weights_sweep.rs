@@ -2,13 +2,18 @@
 //! weights from a labelled validation split instead of the qualitative
 //! §5.3.2 presets, and compare against the presets on held-out data.
 
-use vs2_bench::{build_pipeline, dataset_docs, pct, phase2_scores, ResultTable, RunConfig, Vs2Extractor};
+use vs2_bench::{
+    build_pipeline, dataset_docs, pct, phase2_scores, ResultTable, RunConfig, Vs2Extractor,
+};
 use vs2_core::pipeline::Vs2Config;
 use vs2_core::select::{learn_weights, Eq2Weights, WeightSearchConfig};
 use vs2_synth::DatasetId;
 
 fn main() {
-    let cfg = RunConfig { n_docs: 60, seed: 0xC0FFEE };
+    let cfg = RunConfig {
+        n_docs: 60,
+        seed: 0xC0FFEE,
+    };
     let mut table = ResultTable::new(
         "Extension: learned Eq. 2 weights vs the qualitative presets",
         vec![
@@ -30,7 +35,8 @@ fn main() {
 
         let (pc, _) = phase2_scores(&Vs2Extractor { pipeline: preset }, test);
         let (lc, _) = phase2_scores(&Vs2Extractor { pipeline: learned }, test);
-        let fmt = |w: Eq2Weights| format!("{:.2},{:.2},{:.2},{:.2}", w.alpha, w.beta, w.gamma, w.nu);
+        let fmt =
+            |w: Eq2Weights| format!("{:.2},{:.2},{:.2},{:.2}", w.alpha, w.beta, w.gamma, w.nu);
         table.push_row(vec![
             id.name().into(),
             fmt(preset_w),

@@ -162,7 +162,7 @@ impl Extractor for Vs2Extractor {
 }
 
 /// A simple fixed-width table printer with JSON export.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct ResultTable {
     /// Table title (e.g. `Table 5`).
     pub title: String,
@@ -173,6 +173,13 @@ pub struct ResultTable {
     /// Free-form notes printed under the table.
     pub notes: Vec<String>,
 }
+
+serde::impl_serde_struct!(ResultTable {
+    title,
+    headers,
+    rows,
+    notes
+});
 
 impl ResultTable {
     /// Creates a table.
@@ -254,10 +261,7 @@ mod tests {
 
     #[test]
     fn table_rendering() {
-        let mut t = ResultTable::new(
-            "Table X",
-            vec!["Algo".into(), "P".into(), "R".into()],
-        );
+        let mut t = ResultTable::new("Table X", vec!["Algo".into(), "P".into(), "R".into()]);
         t.push_row(vec!["VS2".into(), "95.50".into(), "98.65".into()]);
         t.push_note("sample");
         let s = t.render();

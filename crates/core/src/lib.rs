@@ -41,7 +41,9 @@
 pub mod pipeline;
 pub mod segment;
 pub mod select;
+#[cfg(feature = "serde")]
+mod serde_impls;
 
-pub use pipeline::{DisambiguationMode, Extraction, Vs2Config, Vs2Pipeline};
+pub use pipeline::{DisambiguationMode, Extraction, Vs2Config, Vs2Model, Vs2Pipeline};
 pub use segment::{logical_blocks, segment, LogicalBlock, SegmentConfig};
 pub use select::{Eq2Weights, SyntacticPattern};

@@ -9,13 +9,12 @@
 
 use crate::segment::{logical_blocks, LogicalBlock, SegmentConfig};
 use crate::select::blocktext::BlockText;
-use crate::select::disambiguate::{
-    distance_to_nearest, AreaEncoding, Eq2Weights, PageScale,
-};
+use crate::select::disambiguate::{distance_to_nearest, AreaEncoding, Eq2Weights, PageScale};
 use crate::select::interest::interest_points;
 use crate::select::learn::{learn_patterns, LearnConfig};
 use crate::select::pattern::{PatternMatch, SyntacticPattern};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use vs2_docmodel::{BBox, Document};
 use vs2_nlp::embedding::Embedder;
 use vs2_nlp::wsd::Lesk;
@@ -82,28 +81,30 @@ struct EntityProfile {
     mean_log_len: f64,
 }
 
-/// The VS2 extractor.
+/// The learned, immutable state of a VS2 extractor: the per-entity
+/// pattern inventory, Lesk glosses, and distant-supervision profiles.
+///
+/// Learning is the expensive phase ("learn once, extract many"): a model
+/// is built once and then shared read-only — typically behind an [`Arc`]
+/// — across any number of pipelines and worker threads. All per-document
+/// state lives on the stack of [`Vs2Pipeline::extract`], so a single
+/// model serves concurrent extractions without locking.
 #[derive(Debug, Clone)]
-pub struct Vs2Pipeline {
+pub struct Vs2Model {
     patterns: BTreeMap<String, Vec<SyntacticPattern>>,
     glosses: Lesk,
     profiles: BTreeMap<String, EntityProfile>,
-    /// Pipeline configuration (public for ablation sweeps).
-    pub config: Vs2Config,
 }
 
-impl Vs2Pipeline {
-    /// Learns patterns from holdout entries `(entity, text, context)` and
-    /// builds the pipeline. Contexts feed the Lesk glosses used by the
-    /// text-only disambiguation ablation.
-    pub fn learn<'a, I>(entries: I, config: Vs2Config) -> Self
+impl Vs2Model {
+    /// Learns a model from holdout entries `(entity, text, context)`.
+    /// Contexts feed the Lesk glosses used by the text-only
+    /// disambiguation ablation.
+    pub fn learn<'a, I>(entries: I, learn: &LearnConfig) -> Self
     where
         I: IntoIterator<Item = (&'a str, &'a str, &'a str)> + Clone,
     {
-        let patterns = learn_patterns(
-            entries.clone().into_iter().map(|(e, t, _)| (e, t)),
-            &config.learn,
-        );
+        let patterns = learn_patterns(entries.clone().into_iter().map(|(e, t, _)| (e, t)), learn);
         let mut glosses = Lesk::new();
         let embedder = LexiconEmbedding;
         let mut sums: BTreeMap<String, (vs2_nlp::Vector, f64, usize)> = BTreeMap::new();
@@ -142,21 +143,16 @@ impl Vs2Pipeline {
             patterns,
             glosses,
             profiles,
-            config,
         }
     }
 
-    /// Builds a pipeline from an explicit pattern inventory (e.g. the
-    /// hand-written Table 3/4 sets).
-    pub fn with_patterns(
-        patterns: BTreeMap<String, Vec<SyntacticPattern>>,
-        config: Vs2Config,
-    ) -> Self {
+    /// Builds a model from an explicit pattern inventory (e.g. the
+    /// hand-written Table 3/4 sets) with no glosses or profiles.
+    pub fn with_patterns(patterns: BTreeMap<String, Vec<SyntacticPattern>>) -> Self {
         Self {
             patterns,
             glosses: Lesk::new(),
             profiles: BTreeMap::new(),
-            config,
         }
     }
 
@@ -165,9 +161,72 @@ impl Vs2Pipeline {
         &self.patterns
     }
 
-    /// Entities the pipeline knows how to extract.
+    /// Entities the model knows how to extract.
     pub fn entities(&self) -> Vec<&str> {
         self.patterns.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+/// The VS2 extractor: an [`Arc`]-shared learned [`Vs2Model`] plus the
+/// (small, copyable) run configuration.
+///
+/// Cloning a pipeline is cheap — the model is shared, only the config is
+/// copied — so ablation sweeps and worker pools can stamp out per-thread
+/// or per-configuration pipelines from one learned model.
+#[derive(Debug, Clone)]
+pub struct Vs2Pipeline {
+    model: Arc<Vs2Model>,
+    /// Pipeline configuration (public for ablation sweeps).
+    pub config: Vs2Config,
+}
+
+// The serving layer shares one pipeline across worker threads; keep that
+// property from regressing silently.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Vs2Model>();
+    assert_send_sync::<Vs2Pipeline>();
+    assert_send_sync::<Vs2Config>();
+};
+
+impl Vs2Pipeline {
+    /// Learns patterns from holdout entries `(entity, text, context)` and
+    /// builds the pipeline. Contexts feed the Lesk glosses used by the
+    /// text-only disambiguation ablation.
+    pub fn learn<'a, I>(entries: I, config: Vs2Config) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, &'a str, &'a str)> + Clone,
+    {
+        Self::from_model(Arc::new(Vs2Model::learn(entries, &config.learn)), config)
+    }
+
+    /// Builds a pipeline from an explicit pattern inventory (e.g. the
+    /// hand-written Table 3/4 sets).
+    pub fn with_patterns(
+        patterns: BTreeMap<String, Vec<SyntacticPattern>>,
+        config: Vs2Config,
+    ) -> Self {
+        Self::from_model(Arc::new(Vs2Model::with_patterns(patterns)), config)
+    }
+
+    /// Wraps an already learned (possibly shared) model.
+    pub fn from_model(model: Arc<Vs2Model>, config: Vs2Config) -> Self {
+        Self { model, config }
+    }
+
+    /// The shared learned model.
+    pub fn model(&self) -> &Arc<Vs2Model> {
+        &self.model
+    }
+
+    /// The learned pattern inventory.
+    pub fn patterns(&self) -> &BTreeMap<String, Vec<SyntacticPattern>> {
+        self.model.patterns()
+    }
+
+    /// Entities the pipeline knows how to extract.
+    pub fn entities(&self) -> Vec<&str> {
+        self.model.entities()
     }
 
     /// Segments the document and returns all candidates per entity,
@@ -206,7 +265,7 @@ impl Vs2Pipeline {
         };
 
         let mut out: BTreeMap<String, Vec<Extraction>> = BTreeMap::new();
-        for (entity, patterns) in &self.patterns {
+        for (entity, patterns) in self.model.patterns() {
             let mut cands: Vec<Extraction> = Vec::new();
             for (bi, bt) in texts.iter().enumerate() {
                 if bt.is_empty() {
@@ -221,9 +280,7 @@ impl Vs2Pipeline {
                 for p in patterns {
                     let (exact, spec) = match p {
                         SyntacticPattern::ExactPhrase(_) => (true, 4),
-                        SyntacticPattern::Window { required, .. } => {
-                            (false, required.len().min(4))
-                        }
+                        SyntacticPattern::Window { required, .. } => (false, required.len().min(4)),
                     };
                     for m in p.matches(bt) {
                         specificity = specificity.max(spec);
@@ -251,17 +308,22 @@ impl Vs2Pipeline {
                     } else if !before.trim().is_empty() {
                         (before, bt.span_bbox(doc, before_start, m.start))
                     } else {
-                        (bt.span_text(m.start, m.end), bt.span_bbox(doc, m.start, m.end))
+                        (
+                            bt.span_text(m.start, m.end),
+                            bt.span_bbox(doc, m.start, m.end),
+                        )
                     }
                 } else {
-                    (bt.span_text(m.start, m.end), bt.span_bbox(doc, m.start, m.end))
+                    (
+                        bt.span_text(m.start, m.end),
+                        bt.span_bbox(doc, m.start, m.end),
+                    )
                 };
                 let score = match self.config.disambiguation {
                     DisambiguationMode::Multimodal => {
                         let enc = AreaEncoding {
                             bbox: span_bbox,
-                            embedding: embedder
-                                .embed_text(text.split_whitespace()),
+                            embedding: embedder.embed_text(text.split_whitespace()),
                             density: doc.word_density(&blocks[bi].bbox),
                         };
                         // Specificity acts as a tie-break: a block where a
@@ -273,7 +335,7 @@ impl Vs2Pipeline {
                         let mut score =
                             distance_to_nearest(&enc, &ip_enc, &self.config.weights, &page)
                                 - 0.05 * specificity as f64;
-                        if let Some(profile) = self.profiles.get(entity) {
+                        if let Some(profile) = self.model.profiles.get(entity) {
                             let sim = vs2_nlp::cosine(&enc.embedding, &profile.centroid);
                             score += 0.25 * (1.0 - sim.clamp(-1.0, 1.0)) / 2.0;
                             let n_words = text.split_whitespace().count().max(1);
@@ -284,7 +346,7 @@ impl Vs2Pipeline {
                         // vs the entity's fixed-format contexts) — the
                         // cue that separates "Phone …" from "Fax …".
                         let ctx = bt.ann.content_words();
-                        score -= 0.15 * self.glosses.score(entity, ctx).min(1.0);
+                        score -= 0.15 * self.model.glosses.score(entity, ctx).min(1.0);
                         score
                     }
                     DisambiguationMode::FirstMatch => {
@@ -293,7 +355,7 @@ impl Vs2Pipeline {
                     }
                     DisambiguationMode::Lesk => {
                         let ctx = bt.ann.content_words();
-                        -self.glosses.score(entity, ctx)
+                        -self.model.glosses.score(entity, ctx)
                     }
                 };
                 cands.push(Extraction {

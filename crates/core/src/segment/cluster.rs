@@ -111,8 +111,7 @@ pub fn cluster(
     let images: Vec<ElementRef> = elements.iter().copied().filter(|r| !r.is_text()).collect();
     let texts: Vec<ElementRef> = elements.iter().copied().filter(|r| r.is_text()).collect();
     if !images.is_empty() {
-        let mut parts: Vec<Vec<ElementRef>> =
-            images.into_iter().map(|r| vec![r]).collect();
+        let mut parts: Vec<Vec<ElementRef>> = images.into_iter().map(|r| vec![r]).collect();
         if !texts.is_empty() {
             parts.extend(cluster(doc, area, &texts, cfg));
         }
@@ -139,7 +138,8 @@ pub fn cluster(
             let members: Vec<usize> = (0..n)
                 .filter(|&i| {
                     let c = feats[i].centroid;
-                    (c.x >= qx as f64 * 0.5 && c.x < (qx + 1) as f64 * 0.5 || (qx == 1 && c.x == 1.0))
+                    (c.x >= qx as f64 * 0.5 && c.x < (qx + 1) as f64 * 0.5
+                        || (qx == 1 && c.x == 1.0))
                         && (c.y >= qy as f64 * 0.5 && c.y < (qy + 1) as f64 * 0.5
                             || (qy == 1 && c.y == 1.0))
                 })
@@ -192,8 +192,7 @@ pub fn cluster(
             let mut best = assign[i];
             let mut best_d = f64::INFINITY;
             for k in 0..seeds.len() {
-                let members: Vec<usize> =
-                    (0..n).filter(|&j| assign[j] == k && j != i).collect();
+                let members: Vec<usize> = (0..n).filter(|&j| assign[j] == k && j != i).collect();
                 if members.is_empty() {
                     continue;
                 }
@@ -280,9 +279,7 @@ pub fn cluster(
                 .fold(0.0, f64::max)
         }
     };
-    let pair_font = |p: &[usize], q: &[usize]| -> f64 {
-        cluster_font(p).min(cluster_font(q))
-    };
+    let pair_font = |p: &[usize], q: &[usize]| -> f64 { cluster_font(p).min(cluster_font(q)) };
     loop {
         let mut best: Option<(usize, usize)> = None;
         let mut best_ratio = cfg.collapse_factor;
@@ -292,8 +289,7 @@ pub fn cluster(
                 let mut ratio = inter(&parts[i], &parts[j]) / spread;
                 let gap = part_bbox(&parts[i]).distance(&part_bbox(&parts[j]));
                 let font = pair_font(&parts[i], &parts[j]).max(1e-9);
-                let has_text =
-                    |p: &[usize]| p.iter().any(|&k| elements[k].is_text());
+                let has_text = |p: &[usize]| p.iter().any(|&k| elements[k].is_text());
                 let (ti, tj) = (has_text(&parts[i]), has_text(&parts[j]));
                 if ti != tj {
                     // An image is its own visual unit; it never joins a

@@ -273,9 +273,21 @@ mod tests {
         assert_eq!(
             runs,
             vec![
-                CutRun { horizontal: true, start: 3, len: 3 },
-                CutRun { horizontal: true, start: 9, len: 2 },
-                CutRun { horizontal: true, start: 20, len: 1 },
+                CutRun {
+                    horizontal: true,
+                    start: 3,
+                    len: 3
+                },
+                CutRun {
+                    horizontal: true,
+                    start: 9,
+                    len: 2
+                },
+                CutRun {
+                    horizontal: true,
+                    start: 20,
+                    len: 1
+                },
             ]
         );
         assert_eq!(runs[0].center(), 4.5);

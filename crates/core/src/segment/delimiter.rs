@@ -189,7 +189,9 @@ pub fn correlation_profile(scored: &[ScoredRun]) -> Vec<f64> {
     });
     let ws: Vec<f64> = ordered.iter().map(|s| s.width).collect();
     let hs: Vec<f64> = ordered.iter().map(|s| s.neighbor_height).collect();
-    (2..=ws.len()).map(|i| pearson(&ws[..i], &hs[..i])).collect()
+    (2..=ws.len())
+        .map(|i| pearson(&ws[..i], &hs[..i]))
+        .collect()
 }
 
 /// Selects the visual delimiters among scored runs.
@@ -203,7 +205,11 @@ pub fn select_delimiters(scored: &[ScoredRun], config: &DelimiterConfig) -> Vec<
         return Vec::new();
     }
     let mut ranked: Vec<&ScoredRun> = scored.iter().collect();
-    ranked.sort_by(|a, b| b.width.partial_cmp(&a.width).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| {
+        b.width
+            .partial_cmp(&a.width)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     // First inflection: the largest relative drop in the ranked widths.
     // When no significant drop exists the spacing is uniform (assumption
@@ -279,9 +285,7 @@ mod tests {
         // content (the segmenter trims to content anyway).
         let interior: Vec<ScoredRun> = scored
             .into_iter()
-            .filter(|s| {
-                s.run.horizontal && s.run.start > 2 && (s.run.end() as f64) < area.h - 2.0
-            })
+            .filter(|s| s.run.horizontal && s.run.start > 2 && (s.run.end() as f64) < area.h - 2.0)
             .collect();
         let selected = select_delimiters(&interior, &DelimiterConfig::default());
         // The 24-unit gap (20 + leading) is selected; the 4-unit leadings
@@ -314,7 +318,11 @@ mod tests {
         // The same 12-unit gap: a delimiter next to 8-unit text, not next
         // to 30-unit text.
         let small_cfg = DelimiterConfig::default();
-        let run = CutRun { horizontal: true, start: 10, len: 12 };
+        let run = CutRun {
+            horizontal: true,
+            start: 10,
+            len: 12,
+        };
         let area = BBox::new(0.0, 0.0, 50.0, 50.0);
         let grid = OccupancyGrid::rasterize(&area, &[], 1.0);
         let small_text = vec![BBox::new(0.0, 0.0, 50.0, 8.0)];
@@ -357,10 +365,18 @@ mod tests {
     fn strip_geometry() {
         let area = BBox::new(10.0, 20.0, 100.0, 50.0);
         let grid = OccupancyGrid::rasterize(&area, &[], 2.0);
-        let run = CutRun { horizontal: true, start: 5, len: 3 };
+        let run = CutRun {
+            horizontal: true,
+            start: 5,
+            len: 3,
+        };
         let strip = run_strip(&run, &grid, &area);
         assert_eq!(strip, BBox::new(10.0, 30.0, 100.0, 6.0));
-        let vrun = CutRun { horizontal: false, start: 10, len: 2 };
+        let vrun = CutRun {
+            horizontal: false,
+            start: 10,
+            len: 2,
+        };
         let vstrip = run_strip(&vrun, &grid, &area);
         assert_eq!(vstrip, BBox::new(30.0, 20.0, 4.0, 50.0));
     }

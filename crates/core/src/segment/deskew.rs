@@ -116,7 +116,12 @@ mod tests {
             for col in 0..6 {
                 d.push_text(TextElement::word(
                     "word",
-                    BBox::new(20.0 + col as f64 * 60.0, 30.0 + line as f64 * 40.0, 50.0, 10.0),
+                    BBox::new(
+                        20.0 + col as f64 * 60.0,
+                        30.0 + line as f64 * 40.0,
+                        50.0,
+                        10.0,
+                    ),
                 ));
             }
         }
@@ -128,10 +133,7 @@ mod tests {
         for deg in [1.0f64, 2.5, -3.0] {
             let d = skewed_doc(deg);
             let est = estimate_skew(&d).to_degrees();
-            assert!(
-                (est - deg).abs() < 0.4,
-                "deg {deg}: estimated {est:.2}"
-            );
+            assert!((est - deg).abs() < 0.4, "deg {deg}: estimated {est:.2}");
         }
     }
 

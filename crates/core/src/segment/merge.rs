@@ -56,10 +56,7 @@ pub fn theta(cfg: &MergeConfig, h: usize) -> f64 {
 
 /// Embedding of a node: the normalised mean of its words' vectors.
 fn node_embedding<E: Embedder>(doc: &Document, elements: &[ElementRef], embedder: &E) -> Vector {
-    let words: Vec<&str> = elements
-        .iter()
-        .filter_map(|r| doc.text_of(*r))
-        .collect();
+    let words: Vec<&str> = elements.iter().filter_map(|r| doc.text_of(*r)).collect();
     embedder.embed_text(words)
 }
 
@@ -190,13 +187,11 @@ pub fn semantic_merge<E: Embedder>(
                     continue;
                 }
                 // Most similar sibling, not visually separated.
-                let best = (0..children.len())
-                    .filter(|&j| j != ci)
-                    .max_by(|&a, &b| {
-                        cosine(&embeddings[ci], &embeddings[a])
-                            .partial_cmp(&cosine(&embeddings[ci], &embeddings[b]))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    });
+                let best = (0..children.len()).filter(|&j| j != ci).max_by(|&a, &b| {
+                    cosine(&embeddings[ci], &embeddings[a])
+                        .partial_cmp(&cosine(&embeddings[ci], &embeddings[b]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
                 let Some(bj) = best else { continue };
                 if cosine(&embeddings[ci], &embeddings[bj]) < cfg.min_pair_similarity {
                     continue;
@@ -305,7 +300,11 @@ mod tests {
             BBox::new(80.0, 10.0, 40.0, 10.0),
             vec![refs[3], refs[4], refs[5]],
         );
-        tree.add_child(tree.root(), BBox::new(170.0, 10.0, 30.0, 10.0), vec![refs[1]]);
+        tree.add_child(
+            tree.root(),
+            BBox::new(170.0, 10.0, 30.0, 10.0),
+            vec![refs[1]],
+        );
         let merges = semantic_merge(&d, &mut tree, &LexiconEmbedding, &MergeConfig::default());
         assert_eq!(merges, 0, "separated siblings must not merge across");
     }

@@ -68,8 +68,14 @@ pub struct LogicalBlock {
 }
 
 fn tight_bbox(doc: &Document, elements: &[ElementRef]) -> BBox {
-    BBox::enclosing(elements.iter().map(|r| doc.bbox_of(*r)).collect::<Vec<_>>().iter())
-        .unwrap_or_default()
+    BBox::enclosing(
+        elements
+            .iter()
+            .map(|r| doc.bbox_of(*r))
+            .collect::<Vec<_>>()
+            .iter(),
+    )
+    .unwrap_or_default()
 }
 
 /// An interior delimiter must have content on both sides of its centre
@@ -98,7 +104,11 @@ fn is_interior(delim: &ScoredRun, boxes: &[BBox], grid_area: &BBox, cell: f64) -
 fn group_lines(doc: &Document, elements: &[ElementRef]) -> Vec<Vec<ElementRef>> {
     let mut items: Vec<(ElementRef, BBox)> =
         elements.iter().map(|r| (*r, doc.bbox_of(*r))).collect();
-    items.sort_by(|a, b| a.1.y.partial_cmp(&b.1.y).unwrap_or(std::cmp::Ordering::Equal));
+    items.sort_by(|a, b| {
+        a.1.y
+            .partial_cmp(&b.1.y)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut lines: Vec<(BBox, Vec<ElementRef>)> = Vec::new();
     for (r, b) in items {
         let mut placed = false;
@@ -152,7 +162,9 @@ fn split_by_delimiters(
         for line in group_lines(doc, elements) {
             let cy = {
                 let boxes: Vec<BBox> = line.iter().map(|r| doc.bbox_of(*r)).collect();
-                BBox::enclosing(boxes.iter()).map(|b| b.centroid().y).unwrap_or(0.0)
+                BBox::enclosing(boxes.iter())
+                    .map(|b| b.centroid().y)
+                    .unwrap_or(0.0)
             };
             let band = cuts.iter().position(|&cut| cy < cut).unwrap_or(cuts.len());
             bands[band].extend(line);
@@ -209,7 +221,11 @@ pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
             .filter(|r| r.is_text())
             .map(|r| doc.bbox_of(*r))
             .collect();
-        let norm_boxes = if text_boxes.is_empty() { &boxes } else { &text_boxes };
+        let norm_boxes = if text_boxes.is_empty() {
+            &boxes
+        } else {
+            &text_boxes
+        };
         let grid = vs2_docmodel::OccupancyGrid::rasterize(&area, &boxes, config.cell_size);
 
         // Phase 1: explicit delimiters.
@@ -234,7 +250,8 @@ pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
                 })
                 .unwrap();
             let horizontal = widest.run.horizontal;
-            parts = split_by_delimiters(doc, &elements, &delims, horizontal, &area, config.cell_size);
+            parts =
+                split_by_delimiters(doc, &elements, &delims, horizontal, &area, config.cell_size);
         }
 
         // Phase 2: implicit modifiers via clustering.
@@ -328,7 +345,11 @@ pub fn delimiters_of_area(
         .filter(|r| r.is_text())
         .map(|r| doc.bbox_of(*r))
         .collect();
-    let norm_boxes = if text_boxes.is_empty() { &boxes } else { &text_boxes };
+    let norm_boxes = if text_boxes.is_empty() {
+        &boxes
+    } else {
+        &text_boxes
+    };
     let grid = vs2_docmodel::OccupancyGrid::rasterize(&area, &boxes, config.cell_size);
     let runs = all_runs(&grid);
     let scored = score_runs(&runs, &grid, &area, &boxes, norm_boxes);
@@ -354,7 +375,12 @@ mod tests {
             for col in 0..4 {
                 d.push_text(TextElement::word(
                     "concert",
-                    BBox::new(10.0 + col as f64 * 45.0, 10.0 + line as f64 * 14.0, 40.0, 10.0),
+                    BBox::new(
+                        10.0 + col as f64 * 45.0,
+                        10.0 + line as f64 * 14.0,
+                        40.0,
+                        10.0,
+                    ),
                 ));
             }
         }
@@ -362,7 +388,12 @@ mod tests {
             for col in 0..4 {
                 d.push_text(TextElement::word(
                     "acres",
-                    BBox::new(10.0 + col as f64 * 45.0, 120.0 + line as f64 * 14.0, 40.0, 10.0),
+                    BBox::new(
+                        10.0 + col as f64 * 45.0,
+                        120.0 + line as f64 * 14.0,
+                        40.0,
+                        10.0,
+                    ),
                 ));
             }
         }
@@ -387,7 +418,12 @@ mod tests {
             for col in 0..4 {
                 d.push_text(TextElement::word(
                     "concert",
-                    BBox::new(10.0 + col as f64 * 45.0, 10.0 + line as f64 * 14.0, 40.0, 10.0),
+                    BBox::new(
+                        10.0 + col as f64 * 45.0,
+                        10.0 + line as f64 * 14.0,
+                        40.0,
+                        10.0,
+                    ),
                 ));
             }
         }
@@ -440,7 +476,12 @@ mod tests {
             for col in 0..3 {
                 d.push_text(TextElement::word(
                     "concert",
-                    BBox::new(10.0 + col as f64 * 50.0, 10.0 + line as f64 * 16.0, 45.0, 10.0),
+                    BBox::new(
+                        10.0 + col as f64 * 50.0,
+                        10.0 + line as f64 * 16.0,
+                        45.0,
+                        10.0,
+                    ),
                 ));
             }
         }
@@ -473,7 +514,10 @@ mod tests {
         let delims = delimiters_of_area(&doc, &doc.element_refs(), &SegmentConfig::default());
         assert!(!delims.is_empty());
         // The reported strip lies between the paragraphs.
-        assert!(delims.iter().any(|s| s.y > 40.0 && s.bottom() < 125.0), "{delims:?}");
+        assert!(
+            delims.iter().any(|s| s.y > 40.0 && s.bottom() < 125.0),
+            "{delims:?}"
+        );
     }
 
     #[test]

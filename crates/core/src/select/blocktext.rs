@@ -134,7 +134,12 @@ mod tests {
 
     #[test]
     fn annotation_is_present() {
-        let (d, b) = block_with(&[("Hosted", 10.0), ("by", 45.0), ("James", 80.0), ("Wilson", 115.0)]);
+        let (d, b) = block_with(&[
+            ("Hosted", 10.0),
+            ("by", 45.0),
+            ("James", 80.0),
+            ("Wilson", 115.0),
+        ]);
         let bt = BlockText::build(&d, &b);
         assert!(bt.ann.ner.iter().any(|s| s.tag == vs2_nlp::NerTag::Person));
         assert!(!bt.is_empty());

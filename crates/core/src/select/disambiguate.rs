@@ -144,7 +144,13 @@ mod tests {
         assert!(Eq2Weights::balanced().is_valid());
         assert!(Eq2Weights::visual_heavy().is_valid());
         assert!(Eq2Weights::text_heavy().is_valid());
-        assert!(!Eq2Weights { alpha: 0.5, beta: 0.5, gamma: 0.5, nu: 0.5 }.is_valid());
+        assert!(!Eq2Weights {
+            alpha: 0.5,
+            beta: 0.5,
+            gamma: 0.5,
+            nu: 0.5
+        }
+        .is_valid());
     }
 
     #[test]
@@ -156,7 +162,12 @@ mod tests {
 
     #[test]
     fn proximity_dominates_under_alpha() {
-        let w = Eq2Weights { alpha: 1.0, beta: 0.0, gamma: 0.0, nu: 0.0 };
+        let w = Eq2Weights {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            nu: 0.0,
+        };
         let ip = enc(100.0, 100.0, 20.0, &["concert"], 1.0);
         let near = enc(120.0, 110.0, 20.0, &["acres"], 5.0);
         let far = enc(500.0, 700.0, 20.0, &["concert"], 1.0);
@@ -165,7 +176,12 @@ mod tests {
 
     #[test]
     fn similarity_dominates_under_gamma() {
-        let w = Eq2Weights { alpha: 0.0, beta: 0.0, gamma: 1.0, nu: 0.0 };
+        let w = Eq2Weights {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 1.0,
+            nu: 0.0,
+        };
         let ip = enc(100.0, 100.0, 20.0, &["concert", "festival"], 1.0);
         let similar = enc(500.0, 700.0, 20.0, &["workshop"], 1.0);
         let dissimilar = enc(120.0, 110.0, 20.0, &["acres"], 1.0);

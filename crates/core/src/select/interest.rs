@@ -73,7 +73,12 @@ pub fn interest_points<E: Embedder>(
         .map(|b| objectives(doc, b, embedder))
         .collect();
     (0..blocks.len())
-        .filter(|&i| !objs.iter().enumerate().any(|(j, o)| j != i && dominates(o, &objs[i])))
+        .filter(|&i| {
+            !objs
+                .iter()
+                .enumerate()
+                .any(|(j, o)| j != i && dominates(o, &objs[i]))
+        })
         .collect()
 }
 
@@ -96,13 +101,19 @@ mod tests {
                 .iter(),
         )
         .unwrap();
-        LogicalBlock { bbox, elements: elems }
+        LogicalBlock {
+            bbox,
+            elements: elems,
+        }
     }
 
     #[test]
     fn title_block_is_an_interest_point() {
         let mut d = Document::new("ip", 400.0, 300.0);
-        let title = block(&mut d, &[("Grand", 10.0, 10.0, 36.0), ("Festival", 80.0, 10.0, 36.0)]);
+        let title = block(
+            &mut d,
+            &[("Grand", 10.0, 10.0, 36.0), ("Festival", 80.0, 10.0, 36.0)],
+        );
         let body = block(
             &mut d,
             &[
@@ -121,12 +132,24 @@ mod tests {
 
     #[test]
     fn dominated_block_is_excluded() {
-        let a = Objectives { height: 30.0, coherence: 0.8, density: 1.0 };
-        let b = Objectives { height: 10.0, coherence: 0.5, density: 2.0 };
+        let a = Objectives {
+            height: 30.0,
+            coherence: 0.8,
+            density: 1.0,
+        };
+        let b = Objectives {
+            height: 10.0,
+            coherence: 0.5,
+            density: 2.0,
+        };
         assert!(dominates(&a, &b));
         assert!(!dominates(&b, &a));
         // Incomparable blocks both stay.
-        let c = Objectives { height: 40.0, coherence: 0.2, density: 0.5 };
+        let c = Objectives {
+            height: 40.0,
+            coherence: 0.2,
+            density: 0.5,
+        };
         assert!(!dominates(&a, &c) && !dominates(&c, &a));
     }
 
@@ -151,7 +174,10 @@ mod tests {
         let mut d = Document::new("coh", 400.0, 300.0);
         let homog = block(
             &mut d,
-            &[("concert", 10.0, 10.0, 10.0), ("festival", 60.0, 10.0, 10.0)],
+            &[
+                ("concert", 10.0, 10.0, 10.0),
+                ("festival", 60.0, 10.0, 10.0),
+            ],
         );
         let mixed = block(
             &mut d,

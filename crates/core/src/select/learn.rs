@@ -74,8 +74,7 @@ fn compile(tree: &Tree) -> Vec<SyntacticPattern> {
             .collect();
         required.sort();
         required.dedup();
-        let informative = !required.is_empty()
-            || matches!(kind, PhraseKind::Svo | PhraseKind::Vp);
+        let informative = !required.is_empty() || matches!(kind, PhraseKind::Svo | PhraseKind::Vp);
         if informative {
             out.push(SyntacticPattern::Window {
                 kind: Some(kind),
@@ -104,7 +103,10 @@ fn pattern_rank(p: &SyntacticPattern, support: usize) -> (i64, i64, i64) {
 }
 
 /// Learns the per-entity pattern inventory from `(entity, text)` pairs.
-pub fn learn_patterns<'a, I>(entries: I, config: &LearnConfig) -> BTreeMap<String, Vec<SyntacticPattern>>
+pub fn learn_patterns<'a, I>(
+    entries: I,
+    config: &LearnConfig,
+) -> BTreeMap<String, Vec<SyntacticPattern>>
 where
     I: IntoIterator<Item = (&'a str, &'a str)>,
 {
@@ -127,8 +129,7 @@ where
             .iter()
             .map(|t| dep_to_tree(&build_tree(&annotate(t))))
             .collect();
-        let min_support =
-            ((texts.len() as f64 * config.min_support_frac).ceil() as usize).max(2);
+        let min_support = ((texts.len() as f64 * config.min_support_frac).ceil() as usize).max(2);
         let mined = mine(
             &trees,
             MineConfig {
@@ -161,8 +162,14 @@ where
         let is_subset = |a: &SyntacticPattern, b: &SyntacticPattern| -> bool {
             match (a, b) {
                 (
-                    SyntacticPattern::Window { kind: ka, required: ra },
-                    SyntacticPattern::Window { kind: kb, required: rb },
+                    SyntacticPattern::Window {
+                        kind: ka,
+                        required: ra,
+                    },
+                    SyntacticPattern::Window {
+                        kind: kb,
+                        required: rb,
+                    },
                 ) => ka == kb && ra.len() < rb.len() && ra.iter().all(|f| rb.contains(f)),
                 _ => false,
             }
@@ -170,9 +177,9 @@ where
         let kept: Vec<(SyntacticPattern, usize)> = windows
             .iter()
             .filter(|(w, s)| {
-                !windows.iter().any(|(other, os)| {
-                    is_subset(w, other) && (*os as f64) >= 0.85 * *s as f64
-                })
+                !windows
+                    .iter()
+                    .any(|(other, os)| is_subset(w, other) && (*os as f64) >= 0.85 * *s as f64)
             })
             .cloned()
             .collect();
@@ -199,7 +206,10 @@ mod tests {
     #[test]
     fn single_entry_entities_become_exact_phrases() {
         let patterns = learn_patterns(
-            [("field_a", "Total wages amount"), ("field_b", "Refund owed")],
+            [
+                ("field_a", "Total wages amount"),
+                ("field_b", "Refund owed"),
+            ],
             &LearnConfig::default(),
         );
         assert_eq!(
@@ -238,9 +248,7 @@ mod tests {
         let has_measure = patterns["size"].iter().any(|p| match p {
             SyntacticPattern::Window { required, .. } => {
                 required.contains(&Feature::Cd)
-                    && required
-                        .iter()
-                        .any(|f| matches!(f, Feature::Sense(_)))
+                    && required.iter().any(|f| matches!(f, Feature::Sense(_)))
             }
             _ => false,
         });

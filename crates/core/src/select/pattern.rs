@@ -284,10 +284,7 @@ impl SyntacticPattern {
                         if !contact.is_empty() {
                             let mut found = false;
                             for span in &bt.ann.ner {
-                                if contact.contains(&span.tag)
-                                    && span.start < e
-                                    && span.end > s
-                                {
+                                if contact.contains(&span.tag) && span.start < e && span.end > s {
                                     out.push(PatternMatch {
                                         start: span.start,
                                         end: span.end,
@@ -312,8 +309,7 @@ impl SyntacticPattern {
                             // A span of a *required* category anywhere in
                             // the block joins the match ("December 1" plus
                             // its "8:30 pm" two phrases later).
-                            let required_tag =
-                                required_ner.contains(&ner_code(span.tag));
+                            let required_tag = required_ner.contains(&ner_code(span.tag));
                             if intersects || required_tag {
                                 s2 = s2.min(span.start);
                                 e2 = e2.max(span.end);
@@ -341,8 +337,7 @@ fn exact_matches(bt: &BlockText, phrase: &str) -> Vec<PatternMatch> {
     }
     let norms: Vec<&str> = bt.ann.tokens.iter().map(|t| t.norm.as_str()).collect();
     let word_matches = |have: &str, want: &str| -> bool {
-        have == want
-            || (want.len() >= 4 && vs2_nlp::lexicon::within_edit_one(have, want))
+        have == want || (want.len() >= 4 && vs2_nlp::lexicon::within_edit_one(have, want))
     };
     // Greedy aligner tolerating OCR word merges and splits: a block token
     // may equal the concatenation of two consecutive needle words, and a
@@ -404,7 +399,12 @@ mod tests {
             )));
         }
         let block = LogicalBlock {
-            bbox: BBox::new(10.0, 10.0, 40.0 * text.split_whitespace().count() as f64, 10.0),
+            bbox: BBox::new(
+                10.0,
+                10.0,
+                40.0 * text.split_whitespace().count() as f64,
+                10.0,
+            ),
             elements: elems,
         };
         let bt = BlockText::build(&d, &block);
@@ -430,7 +430,10 @@ mod tests {
         let (_, b) = bt("Hosted by James Wilson tonight");
         let p = SyntacticPattern::Window {
             kind: None,
-            required: vec![Feature::vsense(VerbSense::Captain), Feature::ner(NerTag::Person)],
+            required: vec![
+                Feature::vsense(VerbSense::Captain),
+                Feature::ner(NerTag::Person),
+            ],
         };
         let ms = p.matches(&b);
         assert!(!ms.is_empty());

@@ -153,7 +153,10 @@ pub fn table4() -> BTreeMap<String, Vec<SyntacticPattern>> {
         "property_description".to_string(),
         vec![
             np(vec![Feature::Jj, Feature::sense(Sense::Structure)]),
-            np(vec![Feature::sense(Sense::Structure), Feature::sense(Sense::Estate)]),
+            np(vec![
+                Feature::sense(Sense::Structure),
+                Feature::sense(Sense::Estate),
+            ]),
             vp(vec![Feature::vsense(VerbSense::Transfer)]),
         ],
     );

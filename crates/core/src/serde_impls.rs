@@ -1,0 +1,124 @@
+//! JSON (de)serialization of pipeline configuration and results, enabled
+//! by the `serde` feature: job specs and extraction results round-trip as
+//! JSON, which the serving layer (`vs2-serve`) relies on.
+
+use crate::pipeline::{DisambiguationMode, Extraction, Vs2Config};
+use crate::segment::cluster::ClusterConfig;
+use crate::segment::delimiter::DelimiterConfig;
+use crate::segment::merge::MergeConfig;
+use crate::segment::SegmentConfig;
+use crate::select::disambiguate::Eq2Weights;
+use crate::select::learn::LearnConfig;
+
+serde::impl_serde_struct!(DelimiterConfig {
+    min_width_ratio,
+    strong_width_ratio,
+    min_drop
+});
+serde::impl_serde_struct!(ClusterConfig {
+    w_position,
+    w_height,
+    w_color,
+    w_angular,
+    w_sum_angular,
+    max_iters,
+    collapse_factor
+});
+serde::impl_serde_struct!(MergeConfig {
+    theta_min,
+    theta_max,
+    max_sweeps,
+    min_pair_similarity,
+    separation_gap_ratio
+});
+serde::impl_serde_struct!(SegmentConfig {
+    deskew,
+    cell_size,
+    min_block_elements,
+    max_depth,
+    use_visual_clustering,
+    use_semantic_merge,
+    delimiter,
+    cluster,
+    merge
+});
+serde::impl_serde_struct!(Eq2Weights {
+    alpha,
+    beta,
+    gamma,
+    nu
+});
+serde::impl_serde_struct!(LearnConfig {
+    min_support_frac,
+    max_tree_size,
+    max_patterns
+});
+serde::impl_serde_unit_enum!(DisambiguationMode {
+    Multimodal,
+    FirstMatch,
+    Lesk
+});
+serde::impl_serde_struct!(Vs2Config {
+    segment,
+    weights,
+    disambiguation,
+    learn
+});
+serde::impl_serde_struct!(Extraction {
+    entity,
+    text,
+    block_bbox,
+    span_bbox,
+    score
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_round_trips() {
+        let cfg = Vs2Config::default();
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        let back: Vs2Config = serde_json::from_str(&json).unwrap();
+        // Vs2Config has no PartialEq (it is Copy + Debug); compare the
+        // canonical JSON forms instead.
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&cfg).unwrap()
+        );
+        assert!(
+            json.contains("\"disambiguation\": \"Multimodal\""),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn modified_config_survives() {
+        let mut cfg = Vs2Config {
+            disambiguation: DisambiguationMode::Lesk,
+            weights: Eq2Weights::visual_heavy(),
+            ..Vs2Config::default()
+        };
+        cfg.segment.max_depth = 3;
+        cfg.segment.delimiter.min_drop = 2.5;
+        let back: Vs2Config = serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+        assert_eq!(back.disambiguation, DisambiguationMode::Lesk);
+        assert_eq!(back.weights, Eq2Weights::visual_heavy());
+        assert_eq!(back.segment.max_depth, 3);
+        assert_eq!(back.segment.delimiter.min_drop, 2.5);
+    }
+
+    #[test]
+    fn extraction_round_trips() {
+        let e = Extraction {
+            entity: "who".into(),
+            text: "James Wilson".into(),
+            block_bbox: vs2_docmodel::BBox::new(1.0, 2.0, 3.0, 4.0),
+            span_bbox: vs2_docmodel::BBox::new(1.5, 2.0, 2.0, 1.0),
+            score: -0.25,
+        };
+        let back: Extraction = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -254,16 +254,16 @@ mod tests {
 
     #[test]
     fn reading_order_tolerates_small_vertical_jitter() {
-        let d = doc_with_words(&[
-            ("b", 30.0, 12.0, 10.0, 10.0),
-            ("a", 5.0, 10.0, 10.0, 10.0),
-        ]);
+        let d = doc_with_words(&[("b", 30.0, 12.0, 10.0, 10.0), ("a", 5.0, 10.0, 10.0, 10.0)]);
         assert_eq!(d.transcribe_all(), "a b");
     }
 
     #[test]
     fn elements_in_vs_intersecting() {
-        let d = doc_with_words(&[("in", 10.0, 10.0, 10.0, 10.0), ("edge", 25.0, 10.0, 10.0, 10.0)]);
+        let d = doc_with_words(&[
+            ("in", 10.0, 10.0, 10.0, 10.0),
+            ("edge", 25.0, 10.0, 10.0, 10.0),
+        ]);
         let area = BBox::new(5.0, 5.0, 25.0, 20.0);
         assert_eq!(d.elements_in(&area).len(), 1);
         assert_eq!(d.elements_intersecting(&area).len(), 2);

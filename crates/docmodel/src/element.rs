@@ -150,11 +150,19 @@ mod tests {
 
     #[test]
     fn element_ref_ordering_groups_texts_before_images() {
-        let mut refs = vec![ElementRef::Image(0), ElementRef::Text(3), ElementRef::Text(1)];
+        let mut refs = vec![
+            ElementRef::Image(0),
+            ElementRef::Text(3),
+            ElementRef::Text(1),
+        ];
         refs.sort();
         assert_eq!(
             refs,
-            vec![ElementRef::Text(1), ElementRef::Text(3), ElementRef::Image(0)]
+            vec![
+                ElementRef::Text(1),
+                ElementRef::Text(3),
+                ElementRef::Image(0)
+            ]
         );
         assert!(refs[0].is_text());
         assert!(!ElementRef::Image(9).is_text());

@@ -164,7 +164,9 @@ impl BBox {
     /// or overlap). Used to find the *neighbouring bounding box* of a run of
     /// consecutive valid cuts in Algorithm 1.
     pub fn distance(&self, other: &BBox) -> f64 {
-        let dx = (other.x - self.right()).max(self.x - other.right()).max(0.0);
+        let dx = (other.x - self.right())
+            .max(self.x - other.right())
+            .max(0.0);
         let dy = (other.y - self.bottom())
             .max(self.y - other.bottom())
             .max(0.0);
@@ -295,10 +297,7 @@ mod tests {
 
     #[test]
     fn enclosing_of_boxes() {
-        let boxes = [
-            BBox::new(0.0, 0.0, 1.0, 1.0),
-            BBox::new(9.0, 9.0, 1.0, 1.0),
-        ];
+        let boxes = [BBox::new(0.0, 0.0, 1.0, 1.0), BBox::new(9.0, 9.0, 1.0, 1.0)];
         let e = BBox::enclosing(boxes.iter()).unwrap();
         assert_eq!(e, BBox::new(0.0, 0.0, 10.0, 10.0));
         assert!(BBox::enclosing(std::iter::empty()).is_none());

@@ -101,10 +101,10 @@ impl OccupancyGrid {
     /// input to XY-Cut-style baselines.
     pub fn col_profile(&self) -> Vec<usize> {
         let mut p = vec![0usize; self.cols];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                if self.occ[r * self.cols + c] {
-                    p[c] += 1;
+        for row in self.occ.chunks(self.cols) {
+            for (cell, count) in row.iter().zip(p.iter_mut()) {
+                if *cell {
+                    *count += 1;
                 }
             }
         }
@@ -113,15 +113,10 @@ impl OccupancyGrid {
 
     /// Occupied cell count per row (horizontal projection profile).
     pub fn row_profile(&self) -> Vec<usize> {
-        let mut p = vec![0usize; self.rows];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                if self.occ[r * self.cols + c] {
-                    p[r] += 1;
-                }
-            }
-        }
-        p
+        self.occ
+            .chunks(self.cols)
+            .map(|row| row.iter().filter(|&&occupied| occupied).count())
+            .collect()
     }
 
     /// Converts a grid column back to a document-space x coordinate (cell

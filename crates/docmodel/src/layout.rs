@@ -238,9 +238,21 @@ mod tests {
 
     fn simple_tree() -> (LayoutTree, NodeId, NodeId, NodeId) {
         let mut t = LayoutTree::new(BBox::new(0.0, 0.0, 100.0, 100.0), vec![]);
-        let a = t.add_child(t.root(), BBox::new(0.0, 0.0, 50.0, 50.0), vec![ElementRef::Text(0)]);
-        let b = t.add_child(t.root(), BBox::new(50.0, 0.0, 50.0, 50.0), vec![ElementRef::Text(1)]);
-        let c = t.add_child(a, BBox::new(0.0, 0.0, 25.0, 25.0), vec![ElementRef::Text(2)]);
+        let a = t.add_child(
+            t.root(),
+            BBox::new(0.0, 0.0, 50.0, 50.0),
+            vec![ElementRef::Text(0)],
+        );
+        let b = t.add_child(
+            t.root(),
+            BBox::new(50.0, 0.0, 50.0, 50.0),
+            vec![ElementRef::Text(1)],
+        );
+        let c = t.add_child(
+            a,
+            BBox::new(0.0, 0.0, 25.0, 25.0),
+            vec![ElementRef::Text(2)],
+        );
         (t, a, b, c)
     }
 

@@ -28,6 +28,8 @@ pub mod element;
 pub mod geometry;
 pub mod grid;
 pub mod layout;
+#[cfg(feature = "serde")]
+mod serde_impls;
 pub mod svg;
 
 pub use color::{Lab, Rgb};

@@ -1,0 +1,103 @@
+//! JSON (de)serialization of the document model, enabled by the `serde`
+//! feature. Backed by the in-tree serde shim (`shims/serde`): structs
+//! encode as ordered objects, field-less enums as variant-name strings,
+//! so output is deterministic and round-trips exactly (including 64-bit
+//! image ids).
+
+use crate::color::Lab;
+use crate::document::{AnnotatedDocument, Document, EntityAnnotation};
+use crate::element::{ImageElement, MarkupClass, TextElement};
+use crate::geometry::{BBox, Point};
+
+serde::impl_serde_struct!(Point { x, y });
+serde::impl_serde_struct!(BBox { x, y, w, h });
+serde::impl_serde_struct!(Lab { l, a, b });
+serde::impl_serde_unit_enum!(MarkupClass {
+    Heading1,
+    Heading2,
+    Paragraph,
+    ListItem,
+    TableCell,
+    Footer,
+    Emphasis,
+});
+serde::impl_serde_struct!(TextElement {
+    text,
+    bbox,
+    color,
+    font_size,
+    markup
+});
+serde::impl_serde_struct!(ImageElement {
+    image_id,
+    bbox,
+    avg_color
+});
+serde::impl_serde_struct!(Document {
+    id,
+    width,
+    height,
+    texts,
+    images
+});
+serde::impl_serde_struct!(EntityAnnotation { entity, bbox, text });
+serde::impl_serde_struct!(AnnotatedDocument { doc, annotations });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AnnotatedDocument {
+        let mut doc = Document::new("doc-7", 612.0, 792.0);
+        doc.push_text(
+            TextElement::word("Total", BBox::new(10.0, 20.0, 38.5, 12.0))
+                .with_color(Lab::new(35.0, 2.0, -1.5))
+                .with_markup(MarkupClass::TableCell),
+        );
+        doc.push_text(TextElement::word(
+            "12,345.00",
+            BBox::new(52.0, 20.0, 60.0, 12.0),
+        ));
+        doc.push_image(ImageElement::new(
+            u64::MAX - 17,
+            BBox::new(0.0, 700.0, 612.0, 80.0),
+            Lab::new(60.0, 10.0, 10.0),
+        ));
+        AnnotatedDocument {
+            doc,
+            annotations: vec![EntityAnnotation::new(
+                "total_wages",
+                BBox::new(52.0, 20.0, 60.0, 12.0),
+                "12,345.00",
+            )],
+        }
+    }
+
+    #[test]
+    fn annotated_document_round_trips() {
+        let ad = sample();
+        let json = serde_json::to_string(&ad).unwrap();
+        let back: AnnotatedDocument = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ad);
+        // Including full u64 image-id precision.
+        assert_eq!(back.doc.images[0].image_id, u64::MAX - 17);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let ad = sample();
+        assert_eq!(
+            serde_json::to_string(&ad).unwrap(),
+            serde_json::to_string(&ad).unwrap()
+        );
+    }
+
+    #[test]
+    fn optional_markup_encodes_as_null() {
+        let w = TextElement::word("x", BBox::new(0.0, 0.0, 1.0, 1.0));
+        let json = serde_json::to_string(&w).unwrap();
+        assert!(json.contains("\"markup\":null"), "{json}");
+        let back: TextElement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, w);
+    }
+}

@@ -119,7 +119,10 @@ mod tests {
 
     fn sample_doc() -> Document {
         let mut d = Document::new("svg-test", 100.0, 80.0);
-        d.push_text(TextElement::word("Hello", BBox::new(10.0, 10.0, 30.0, 10.0)));
+        d.push_text(TextElement::word(
+            "Hello",
+            BBox::new(10.0, 10.0, 30.0, 10.0),
+        ));
         d.push_text(TextElement::word("<&>", BBox::new(10.0, 30.0, 20.0, 10.0)));
         d
     }

@@ -154,7 +154,10 @@ mod tests {
 
     #[test]
     fn perfect_segmentation() {
-        let boxes = vec![BBox::new(0.0, 0.0, 10.0, 10.0), BBox::new(20.0, 0.0, 10.0, 10.0)];
+        let boxes = vec![
+            BBox::new(0.0, 0.0, 10.0, 10.0),
+            BBox::new(20.0, 0.0, 10.0, 10.0),
+        ];
         let c = evaluate_segmentation(&boxes, &boxes);
         assert_eq!(c.true_positives, 2);
         assert_eq!(c.precision(), 1.0);
@@ -184,7 +187,10 @@ mod tests {
     #[test]
     fn greedy_matching_is_one_to_one() {
         // Two proposals over one truth: only one may match.
-        let p = vec![BBox::new(0.0, 0.0, 10.0, 10.0), BBox::new(0.5, 0.0, 10.0, 10.0)];
+        let p = vec![
+            BBox::new(0.0, 0.0, 10.0, 10.0),
+            BBox::new(0.5, 0.0, 10.0, 10.0),
+        ];
         let t = vec![BBox::new(0.0, 0.0, 10.0, 10.0)];
         let c = evaluate_segmentation(&p, &t);
         assert_eq!(c.true_positives, 1);
@@ -194,7 +200,10 @@ mod tests {
 
     #[test]
     fn best_iou_wins_the_match() {
-        let p = vec![BBox::new(1.0, 0.0, 10.0, 10.0), BBox::new(0.0, 0.0, 10.0, 10.0)];
+        let p = vec![
+            BBox::new(1.0, 0.0, 10.0, 10.0),
+            BBox::new(0.0, 0.0, 10.0, 10.0),
+        ];
         let t = vec![BBox::new(0.0, 0.0, 10.0, 10.0)];
         let m = match_boxes(&p, &t, 0.5);
         assert_eq!(m.len(), 1);

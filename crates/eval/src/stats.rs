@@ -75,8 +75,8 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> TestResult {
     }
     let t = (ma - mb) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2.powi(2)
-        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(1e-300);
+    let df =
+        se2.powi(2) / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(1e-300);
     TestResult {
         statistic: t,
         p_value: 2.0 * (1.0 - student_t_cdf(t.abs(), df)),
@@ -362,9 +362,7 @@ mod tests {
     #[test]
     fn shapiro_wilk_accepts_normalish_data() {
         // Deterministic normal-ish sample via the quantile function.
-        let xs: Vec<f64> = (1..=50)
-            .map(|i| normal_quantile(i as f64 / 51.0))
-            .collect();
+        let xs: Vec<f64> = (1..=50).map(|i| normal_quantile(i as f64 / 51.0)).collect();
         let r = shapiro_wilk(&xs);
         assert!(r.statistic > 0.97, "W = {}", r.statistic);
         assert!(r.p_value > 0.05, "p = {}", r.p_value);

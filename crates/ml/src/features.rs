@@ -77,12 +77,7 @@ impl FeatureHasher {
 
     /// Hashes `(name, value)` features into a sparse vector.
     pub fn vectorize<'a, I: IntoIterator<Item = (&'a str, f64)>>(&self, feats: I) -> SparseVec {
-        SparseVec::from_pairs(
-            feats
-                .into_iter()
-                .map(|(n, v)| (self.index(n), v))
-                .collect(),
-        )
+        SparseVec::from_pairs(feats.into_iter().map(|(n, v)| (self.index(n), v)).collect())
     }
 }
 

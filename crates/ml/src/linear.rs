@@ -88,7 +88,10 @@ pub fn train_logistic(examples: &[Example], config: TrainConfig) -> LinearModel 
             b -= lr * g;
         }
     }
-    LinearModel { weights: w, bias: b }
+    LinearModel {
+        weights: w,
+        bias: b,
+    }
 }
 
 /// Trains a linear SVM with the Pegasos sub-gradient method.
@@ -124,7 +127,10 @@ pub fn train_svm(examples: &[Example], config: TrainConfig) -> LinearModel {
             t += 1;
         }
     }
-    LinearModel { weights: w, bias: b }
+    LinearModel {
+        weights: w,
+        bias: b,
+    }
 }
 
 #[cfg(test)]
@@ -143,7 +149,11 @@ mod tests {
                 label: true,
             });
             data.push(Example {
-                features: h.vectorize(vec![("concert", 1.0), ("stage", 1.0), (extra.as_str(), 1.0)]),
+                features: h.vectorize(vec![
+                    ("concert", 1.0),
+                    ("stage", 1.0),
+                    (extra.as_str(), 1.0),
+                ]),
                 label: false,
             });
         }

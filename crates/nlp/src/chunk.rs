@@ -177,8 +177,7 @@ mod tests {
         chunk(&toks, &pos)
             .into_iter()
             .map(|p| {
-                let words: Vec<&str> =
-                    (p.start..p.end).map(|i| toks[i].raw.as_str()).collect();
+                let words: Vec<&str> = (p.start..p.end).map(|i| toks[i].raw.as_str()).collect();
                 (p.kind, words.join(" "))
             })
             .collect()
@@ -187,7 +186,10 @@ mod tests {
     #[test]
     fn simple_np() {
         let ps = phrases("the grand concert");
-        assert!(ps.contains(&(PhraseKind::Np, "the grand concert".into())), "{ps:?}");
+        assert!(
+            ps.contains(&(PhraseKind::Np, "the grand concert".into())),
+            "{ps:?}"
+        );
     }
 
     #[test]
@@ -226,7 +228,8 @@ mod tests {
     fn svo_detection() {
         let ps = phrases("the society presents a concert");
         assert!(
-            ps.iter().any(|(k, s)| *k == PhraseKind::Svo && s.contains("presents")),
+            ps.iter()
+                .any(|(k, s)| *k == PhraseKind::Svo && s.contains("presents")),
             "{ps:?}"
         );
     }

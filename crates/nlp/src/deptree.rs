@@ -201,7 +201,10 @@ mod tests {
     fn size_and_bracketing() {
         let t = DepNode::node(
             "S",
-            vec![DepNode::node("NP", vec![DepNode::leaf("CD")]), DepNode::leaf("SVO")],
+            vec![
+                DepNode::node("NP", vec![DepNode::leaf("CD")]),
+                DepNode::leaf("SVO"),
+            ],
         );
         assert_eq!(t.size(), 4);
         assert_eq!(t.bracketed(), "S(NP(CD) SVO)");
@@ -211,6 +214,9 @@ mod tests {
     fn stems_appear_for_content_words() {
         let ann = annotate("spacious warehouse");
         let s = build_tree(&ann).bracketed();
-        assert!(s.contains("STEM:warehous") || s.contains("STEM:warehouse"), "{s}");
+        assert!(
+            s.contains("STEM:warehous") || s.contains("STEM:warehouse"),
+            "{s}"
+        );
     }
 }

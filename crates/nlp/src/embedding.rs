@@ -164,7 +164,9 @@ impl Embedder for LexiconEmbedding {
     fn embed(&self, word: &str) -> Vector {
         let w = word.to_lowercase();
         let word_noise = hash_vector(fnv1a(&w));
-        let centroid = if w.chars().all(|c| c.is_ascii_digit() || c == ',' || c == '.')
+        let centroid = if w
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == ',' || c == '.')
             && w.chars().any(|c| c.is_ascii_digit())
         {
             Some(Self::numeric_centroid())
@@ -246,8 +248,7 @@ impl TrainedEmbedding {
             for b in 0..n {
                 let c = counts[a * n + b];
                 if c > 0.0 {
-                    let pmi =
-                        ((c * total) / (word_count[a] * word_count[b]).max(1e-12)).ln();
+                    let pmi = ((c * total) / (word_count[a] * word_count[b]).max(1e-12)).ln();
                     if pmi > 0.0 {
                         m[a * n + b] = pmi;
                     }
@@ -283,9 +284,12 @@ impl TrainedEmbedding {
             // Q = orth(Z) by modified Gram-Schmidt.
             for j in 0..k {
                 for prev in 0..j {
-                    let dot: f64 = (0..n).map(|i| z[j][i] * z[prev][i]).sum();
-                    for i in 0..n {
-                        z[j][i] -= dot * z[prev][i];
+                    let (head, tail) = z.split_at_mut(j);
+                    let prev_row = &head[prev];
+                    let row = &mut tail[0];
+                    let dot: f64 = row.iter().zip(prev_row).map(|(x, y)| x * y).sum();
+                    for (x, y) in row.iter_mut().zip(prev_row) {
+                        *x -= dot * y;
                     }
                 }
                 let norm: f64 = z[j].iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -356,7 +360,10 @@ mod tests {
         assert_eq!(hash_vector(42), hash_vector(42));
         let a = hash_vector(1);
         let b = hash_vector(2);
-        assert!(cosine(&a, &b).abs() < 0.6, "random vectors nearly orthogonal");
+        assert!(
+            cosine(&a, &b).abs() < 0.6,
+            "random vectors nearly orthogonal"
+        );
     }
 
     #[test]
@@ -438,7 +445,10 @@ mod tests {
         // "warehouse" lives in a different context family.
         let cw = cosine(&emb.embed("concert"), &emb.embed("workshop"));
         let ch = cosine(&emb.embed("concert"), &emb.embed("warehouse"));
-        assert!(cw > ch, "distributional: concert~workshop {cw} vs ~warehouse {ch}");
+        assert!(
+            cw > ch,
+            "distributional: concert~workshop {cw} vs ~warehouse {ch}"
+        );
     }
 
     #[test]

@@ -91,11 +91,7 @@ pub fn geocode(text: &str) -> Option<Geocode> {
             j += 1;
             break;
         }
-        if matches!(
-            lexicon::topic_of(w),
-            Some(Topic::City | Topic::State)
-        ) || is_zip(w)
-        {
+        if matches!(lexicon::topic_of(w), Some(Topic::City | Topic::State)) || is_zip(w) {
             break;
         }
         if w.chars().all(|c| c.is_ascii_alphabetic()) {

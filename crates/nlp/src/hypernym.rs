@@ -75,8 +75,22 @@ pub fn chain(sense: Sense) -> &'static [Sense] {
 }
 
 const PERSON_ROLES: &[&str] = &[
-    "broker", "agent", "owner", "tenant", "landlord", "speaker", "organizer", "host", "artist",
-    "performer", "instructor", "teacher", "professor", "taxpayer", "spouse", "dependent",
+    "broker",
+    "agent",
+    "owner",
+    "tenant",
+    "landlord",
+    "speaker",
+    "organizer",
+    "host",
+    "artist",
+    "performer",
+    "instructor",
+    "teacher",
+    "professor",
+    "taxpayer",
+    "spouse",
+    "dependent",
 ];
 
 /// Primary hypernym sense of a (lower-cased) noun. Stems the word first so

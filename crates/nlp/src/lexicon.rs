@@ -85,169 +85,766 @@ pub const ALL_TOPICS: [Topic; 20] = [
 
 /// Given names (a deliberately diverse, fixed pool).
 pub const PERSON_FIRST: &[&str] = &[
-    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
-    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
-    "sarah", "carlos", "karen", "daniel", "lisa", "matthew", "nancy", "anthony", "betty",
-    "aisha", "sandra", "rahul", "ashley", "wei", "emily", "omar", "donna", "yuki", "michelle",
-    "priya", "carol", "diego", "amanda", "fatima", "melissa", "ivan", "deborah", "chen",
-    "stephanie", "amara", "rebecca", "kofi", "laura",
+    "james",
+    "mary",
+    "robert",
+    "patricia",
+    "john",
+    "jennifer",
+    "michael",
+    "linda",
+    "david",
+    "elizabeth",
+    "william",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "carlos",
+    "karen",
+    "daniel",
+    "lisa",
+    "matthew",
+    "nancy",
+    "anthony",
+    "betty",
+    "aisha",
+    "sandra",
+    "rahul",
+    "ashley",
+    "wei",
+    "emily",
+    "omar",
+    "donna",
+    "yuki",
+    "michelle",
+    "priya",
+    "carol",
+    "diego",
+    "amanda",
+    "fatima",
+    "melissa",
+    "ivan",
+    "deborah",
+    "chen",
+    "stephanie",
+    "amara",
+    "rebecca",
+    "kofi",
+    "laura",
 ];
 
 /// Family names.
 pub const PERSON_LAST: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
-    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
-    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker",
-    "hall", "rivera", "campbell", "mitchell", "carter", "roberts", "sarkhel", "nandi",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
+    "green",
+    "adams",
+    "nelson",
+    "baker",
+    "hall",
+    "rivera",
+    "campbell",
+    "mitchell",
+    "carter",
+    "roberts",
+    "sarkhel",
+    "nandi",
 ];
 
 /// Organisation head nouns and suffixes.
 pub const ORGANIZATION: &[&str] = &[
-    "inc", "llc", "ltd", "corp", "corporation", "company", "group", "university", "college",
-    "institute", "society", "association", "foundation", "club", "council", "committee",
-    "department", "laboratory", "realty", "properties", "brokerage", "holdings", "partners",
-    "agency", "bureau", "center", "chamber", "coalition", "consortium", "guild", "league",
-    "ministry", "network", "office", "trust", "union", "ventures", "enterprises", "studios",
+    "inc",
+    "llc",
+    "ltd",
+    "corp",
+    "corporation",
+    "company",
+    "group",
+    "university",
+    "college",
+    "institute",
+    "society",
+    "association",
+    "foundation",
+    "club",
+    "council",
+    "committee",
+    "department",
+    "laboratory",
+    "realty",
+    "properties",
+    "brokerage",
+    "holdings",
+    "partners",
+    "agency",
+    "bureau",
+    "center",
+    "chamber",
+    "coalition",
+    "consortium",
+    "guild",
+    "league",
+    "ministry",
+    "network",
+    "office",
+    "trust",
+    "union",
+    "ventures",
+    "enterprises",
+    "studios",
 ];
 
 /// Event-domain nouns.
 pub const EVENT: &[&str] = &[
-    "event", "concert", "workshop", "seminar", "lecture", "meetup", "festival", "conference",
-    "symposium", "talk", "class", "course", "session", "hackathon", "fundraiser", "gala",
-    "exhibition", "fair", "show", "screening", "recital", "performance", "tournament",
-    "webinar", "bootcamp", "orientation", "ceremony", "celebration", "parade", "marathon",
-    "auction", "tasting", "retreat", "panel", "keynote", "premiere", "launch", "openhouse",
+    "event",
+    "concert",
+    "workshop",
+    "seminar",
+    "lecture",
+    "meetup",
+    "festival",
+    "conference",
+    "symposium",
+    "talk",
+    "class",
+    "course",
+    "session",
+    "hackathon",
+    "fundraiser",
+    "gala",
+    "exhibition",
+    "fair",
+    "show",
+    "screening",
+    "recital",
+    "performance",
+    "tournament",
+    "webinar",
+    "bootcamp",
+    "orientation",
+    "ceremony",
+    "celebration",
+    "parade",
+    "marathon",
+    "auction",
+    "tasting",
+    "retreat",
+    "panel",
+    "keynote",
+    "premiere",
+    "launch",
+    "openhouse",
 ];
 
 /// Time-of-day and scheduling words.
 pub const TIME: &[&str] = &[
-    "am", "pm", "a.m", "p.m", "noon", "midnight", "morning", "afternoon", "evening", "night",
-    "doors", "oclock", "o'clock", "sharp", "daily", "weekly", "hourly", "schedule", "time",
-    "starts", "ends", "until", "till", "today", "tonight", "tomorrow",
+    "am",
+    "pm",
+    "a.m",
+    "p.m",
+    "noon",
+    "midnight",
+    "morning",
+    "afternoon",
+    "evening",
+    "night",
+    "doors",
+    "oclock",
+    "o'clock",
+    "sharp",
+    "daily",
+    "weekly",
+    "hourly",
+    "schedule",
+    "time",
+    "starts",
+    "ends",
+    "until",
+    "till",
+    "today",
+    "tonight",
+    "tomorrow",
 ];
 
 /// Month names and their usual abbreviations.
 pub const MONTH: &[&str] = &[
-    "january", "february", "march", "april", "may", "june", "july", "august", "september",
-    "october", "november", "december", "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep",
-    "sept", "oct", "nov", "dec",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+    "jan",
+    "feb",
+    "mar",
+    "apr",
+    "jun",
+    "jul",
+    "aug",
+    "sep",
+    "sept",
+    "oct",
+    "nov",
+    "dec",
 ];
 
 /// Weekday names and abbreviations.
 pub const WEEKDAY: &[&str] = &[
-    "monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday", "mon", "tue",
-    "tues", "wed", "thu", "thur", "thurs", "fri", "sat", "sun",
+    "monday",
+    "tuesday",
+    "wednesday",
+    "thursday",
+    "friday",
+    "saturday",
+    "sunday",
+    "mon",
+    "tue",
+    "tues",
+    "wed",
+    "thu",
+    "thur",
+    "thurs",
+    "fri",
+    "sat",
+    "sun",
 ];
 
 /// Street-type suffixes (with and without periods normalised away).
 pub const STREET_SUFFIX: &[&str] = &[
-    "street", "st", "avenue", "ave", "boulevard", "blvd", "road", "rd", "drive", "dr", "lane",
-    "ln", "court", "ct", "place", "pl", "way", "terrace", "ter", "circle", "cir", "parkway",
-    "pkwy", "highway", "hwy", "square", "sq", "trail", "trl", "alley",
+    "street",
+    "st",
+    "avenue",
+    "ave",
+    "boulevard",
+    "blvd",
+    "road",
+    "rd",
+    "drive",
+    "dr",
+    "lane",
+    "ln",
+    "court",
+    "ct",
+    "place",
+    "pl",
+    "way",
+    "terrace",
+    "ter",
+    "circle",
+    "cir",
+    "parkway",
+    "pkwy",
+    "highway",
+    "hwy",
+    "square",
+    "sq",
+    "trail",
+    "trl",
+    "alley",
 ];
 
 /// City names (midwestern-flavoured, as in the paper's D3).
 pub const CITY: &[&str] = &[
-    "columbus", "cleveland", "cincinnati", "dayton", "toledo", "akron", "dublin", "westerville",
-    "gahanna", "hilliard", "grandview", "bexley", "worthington", "delaware", "newark",
-    "springfield", "lancaster", "marion", "mansfield", "zanesville", "chicago", "pittsburgh",
-    "indianapolis", "louisville", "detroit", "buffalo", "rochester", "albany", "syracuse",
-    "brooklyn", "queens", "manhattan",
+    "columbus",
+    "cleveland",
+    "cincinnati",
+    "dayton",
+    "toledo",
+    "akron",
+    "dublin",
+    "westerville",
+    "gahanna",
+    "hilliard",
+    "grandview",
+    "bexley",
+    "worthington",
+    "delaware",
+    "newark",
+    "springfield",
+    "lancaster",
+    "marion",
+    "mansfield",
+    "zanesville",
+    "chicago",
+    "pittsburgh",
+    "indianapolis",
+    "louisville",
+    "detroit",
+    "buffalo",
+    "rochester",
+    "albany",
+    "syracuse",
+    "brooklyn",
+    "queens",
+    "manhattan",
 ];
 
 /// US state names and postal abbreviations. `in` (Indiana) is omitted
 /// deliberately — it is unresolvably ambiguous with the preposition.
 pub const STATE: &[&str] = &[
-    "ohio", "oh", "newyork", "ny", "michigan", "mi", "indiana", "kentucky", "ky",
-    "pennsylvania", "pa", "illinois", "il", "wisconsin", "wi", "westvirginia", "wv",
-    "california", "ca", "texas", "tx", "florida", "fl",
+    "ohio",
+    "oh",
+    "newyork",
+    "ny",
+    "michigan",
+    "mi",
+    "indiana",
+    "kentucky",
+    "ky",
+    "pennsylvania",
+    "pa",
+    "illinois",
+    "il",
+    "wisconsin",
+    "wi",
+    "westvirginia",
+    "wv",
+    "california",
+    "ca",
+    "texas",
+    "tx",
+    "florida",
+    "fl",
 ];
 
 /// Venue / place nouns.
 pub const PLACE: &[&str] = &[
-    "hall", "auditorium", "theater", "theatre", "stadium", "arena", "park", "plaza", "campus",
-    "library", "museum", "gallery", "church", "temple", "ballroom", "pavilion", "gym",
-    "gymnasium", "cafeteria", "lounge", "rooftop", "garden", "courtyard", "atrium", "venue",
-    "room", "location", "address", "downtown",
+    "hall",
+    "auditorium",
+    "theater",
+    "theatre",
+    "stadium",
+    "arena",
+    "park",
+    "plaza",
+    "campus",
+    "library",
+    "museum",
+    "gallery",
+    "church",
+    "temple",
+    "ballroom",
+    "pavilion",
+    "gym",
+    "gymnasium",
+    "cafeteria",
+    "lounge",
+    "rooftop",
+    "garden",
+    "courtyard",
+    "atrium",
+    "venue",
+    "room",
+    "location",
+    "address",
+    "downtown",
 ];
 
 /// Units of measure and size attributes.
 pub const MEASURE: &[&str] = &[
-    "acres", "acre", "sqft", "sf", "feet", "ft", "foot", "beds", "bed", "baths", "bath",
-    "bedrooms", "bedroom", "bathrooms", "bathroom", "stories", "story", "units", "unit",
-    "spaces", "space", "miles", "mile", "yards", "meters", "hectares", "rooms", "parking",
+    "acres",
+    "acre",
+    "sqft",
+    "sf",
+    "feet",
+    "ft",
+    "foot",
+    "beds",
+    "bed",
+    "baths",
+    "bath",
+    "bedrooms",
+    "bedroom",
+    "bathrooms",
+    "bathroom",
+    "stories",
+    "story",
+    "units",
+    "unit",
+    "spaces",
+    "space",
+    "miles",
+    "mile",
+    "yards",
+    "meters",
+    "hectares",
+    "rooms",
+    "parking",
 ];
 
 /// Real-estate domain nouns.
 pub const ESTATE: &[&str] = &[
-    "property", "listing", "lease", "sale", "rent", "rental", "estate", "realty", "zoned",
-    "zoning", "commercial", "residential", "retail", "industrial", "land", "lot", "parcel",
-    "acreage", "investment", "tenant", "landlord", "owner", "broker", "agent", "mls",
-    "available", "occupancy", "vacancy", "frontage",
+    "property",
+    "listing",
+    "lease",
+    "sale",
+    "rent",
+    "rental",
+    "estate",
+    "realty",
+    "zoned",
+    "zoning",
+    "commercial",
+    "residential",
+    "retail",
+    "industrial",
+    "land",
+    "lot",
+    "parcel",
+    "acreage",
+    "investment",
+    "tenant",
+    "landlord",
+    "owner",
+    "broker",
+    "agent",
+    "mls",
+    "available",
+    "occupancy",
+    "vacancy",
+    "frontage",
 ];
 
 /// Building / structure nouns.
 pub const STRUCTURE: &[&str] = &[
-    "building", "floor", "suite", "warehouse", "office", "storefront", "basement", "garage",
-    "roof", "lobby", "elevator", "tower", "complex", "condo", "condominium", "apartment",
-    "duplex", "townhouse", "house", "home", "barn", "shed", "facility", "structure", "wing",
-    "storage", "dock", "loft",
+    "building",
+    "floor",
+    "suite",
+    "warehouse",
+    "office",
+    "storefront",
+    "basement",
+    "garage",
+    "roof",
+    "lobby",
+    "elevator",
+    "tower",
+    "complex",
+    "condo",
+    "condominium",
+    "apartment",
+    "duplex",
+    "townhouse",
+    "house",
+    "home",
+    "barn",
+    "shed",
+    "facility",
+    "structure",
+    "wing",
+    "storage",
+    "dock",
+    "loft",
 ];
 
 /// Contact-channel words.
 pub const CONTACT: &[&str] = &[
-    "phone", "tel", "telephone", "call", "email", "e-mail", "mail", "contact", "fax", "cell",
-    "mobile", "office", "direct", "info", "rsvp", "register", "registration", "tickets",
-    "website", "web", "visit", "inquiries",
+    "phone",
+    "tel",
+    "telephone",
+    "call",
+    "email",
+    "e-mail",
+    "mail",
+    "contact",
+    "fax",
+    "cell",
+    "mobile",
+    "office",
+    "direct",
+    "info",
+    "rsvp",
+    "register",
+    "registration",
+    "tickets",
+    "website",
+    "web",
+    "visit",
+    "inquiries",
 ];
 
 /// Price and money words.
 pub const PRICE: &[&str] = &[
-    "price", "cost", "fee", "free", "admission", "rent", "deposit", "usd", "dollars", "dollar",
-    "month", "year", "annual", "monthly", "negotiable", "asking", "offer", "discount", "sale",
-    "pricing", "rate", "per",
+    "price",
+    "cost",
+    "fee",
+    "free",
+    "admission",
+    "rent",
+    "deposit",
+    "usd",
+    "dollars",
+    "dollar",
+    "month",
+    "year",
+    "annual",
+    "monthly",
+    "negotiable",
+    "asking",
+    "offer",
+    "discount",
+    "sale",
+    "pricing",
+    "rate",
+    "per",
 ];
 
 /// Descriptive adjectives used in posters and flyers.
 pub const DESCRIPTIVE: &[&str] = &[
-    "new", "grand", "annual", "live", "special", "exclusive", "prime", "spacious", "modern",
-    "renovated", "historic", "beautiful", "stunning", "excellent", "premier", "famous",
-    "amazing", "unique", "rare", "huge", "cozy", "bright", "quiet", "busy", "local",
-    "international", "community", "public", "private", "open", "great", "ideal", "perfect",
-    "convenient", "affordable", "luxurious", "charming",
+    "new",
+    "grand",
+    "annual",
+    "live",
+    "special",
+    "exclusive",
+    "prime",
+    "spacious",
+    "modern",
+    "renovated",
+    "historic",
+    "beautiful",
+    "stunning",
+    "excellent",
+    "premier",
+    "famous",
+    "amazing",
+    "unique",
+    "rare",
+    "huge",
+    "cozy",
+    "bright",
+    "quiet",
+    "busy",
+    "local",
+    "international",
+    "community",
+    "public",
+    "private",
+    "open",
+    "great",
+    "ideal",
+    "perfect",
+    "convenient",
+    "affordable",
+    "luxurious",
+    "charming",
 ];
 
 /// Verbs of organising / presenting / appearing.
 pub const ACTION_VERB: &[&str] = &[
-    "hosted", "hosts", "host", "organized", "organizes", "organize", "presented", "presents",
-    "present", "sponsored", "sponsors", "sponsor", "featuring", "features", "featured",
-    "brought", "brings", "bring", "offered", "offers", "offer", "listed", "lists", "list",
-    "managed", "manages", "manage", "directed", "directs", "produced", "produces", "curated",
-    "join", "joins", "attend", "attends", "perform", "performs", "performing", "speaks",
-    "speaking", "led", "leads", "teaches", "taught", "contact", "call", "visit", "appears",
+    "hosted",
+    "hosts",
+    "host",
+    "organized",
+    "organizes",
+    "organize",
+    "presented",
+    "presents",
+    "present",
+    "sponsored",
+    "sponsors",
+    "sponsor",
+    "featuring",
+    "features",
+    "featured",
+    "brought",
+    "brings",
+    "bring",
+    "offered",
+    "offers",
+    "offer",
+    "listed",
+    "lists",
+    "list",
+    "managed",
+    "manages",
+    "manage",
+    "directed",
+    "directs",
+    "produced",
+    "produces",
+    "curated",
+    "join",
+    "joins",
+    "attend",
+    "attends",
+    "perform",
+    "performs",
+    "performing",
+    "speaks",
+    "speaking",
+    "led",
+    "leads",
+    "teaches",
+    "taught",
+    "contact",
+    "call",
+    "visit",
+    "appears",
     "appearing",
 ];
 
 /// Tax-form vocabulary.
 pub const TAX: &[&str] = &[
-    "wages", "salaries", "tips", "income", "interest", "dividends", "refund", "owed",
-    "deduction", "deductions", "exemption", "exemptions", "filing", "status", "dependent",
-    "dependents", "taxable", "withheld", "withholding", "credit", "credits", "adjusted",
-    "gross", "schedule", "form", "line", "amount", "total", "spouse", "employer", "social",
-    "security", "pension", "annuity", "royalties", "alimony", "business", "capital", "gain",
-    "loss", "ira", "unemployment", "compensation", "estimated", "payments", "penalty",
-    "signature", "occupation", "taxpayer",
+    "wages",
+    "salaries",
+    "tips",
+    "income",
+    "interest",
+    "dividends",
+    "refund",
+    "owed",
+    "deduction",
+    "deductions",
+    "exemption",
+    "exemptions",
+    "filing",
+    "status",
+    "dependent",
+    "dependents",
+    "taxable",
+    "withheld",
+    "withholding",
+    "credit",
+    "credits",
+    "adjusted",
+    "gross",
+    "schedule",
+    "form",
+    "line",
+    "amount",
+    "total",
+    "spouse",
+    "employer",
+    "social",
+    "security",
+    "pension",
+    "annuity",
+    "royalties",
+    "alimony",
+    "business",
+    "capital",
+    "gain",
+    "loss",
+    "ira",
+    "unemployment",
+    "compensation",
+    "estimated",
+    "payments",
+    "penalty",
+    "signature",
+    "occupation",
+    "taxpayer",
 ];
 
 /// Generic function words (also the stopword list's backbone).
 pub const GENERIC: &[&str] = &[
-    "the", "a", "an", "and", "or", "but", "of", "to", "in", "on", "at", "by", "for", "with",
-    "from", "is", "are", "was", "were", "be", "been", "this", "that", "these", "those", "it",
-    "its", "as", "all", "more", "most", "other", "some", "such", "no", "not", "only", "own",
-    "same", "so", "than", "too", "very", "can", "will", "just", "your", "our", "their", "his",
-    "her", "you", "we", "they", "please", "welcome", "details", "information",
+    "the",
+    "a",
+    "an",
+    "and",
+    "or",
+    "but",
+    "of",
+    "to",
+    "in",
+    "on",
+    "at",
+    "by",
+    "for",
+    "with",
+    "from",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "this",
+    "that",
+    "these",
+    "those",
+    "it",
+    "its",
+    "as",
+    "all",
+    "more",
+    "most",
+    "other",
+    "some",
+    "such",
+    "no",
+    "not",
+    "only",
+    "own",
+    "same",
+    "so",
+    "than",
+    "too",
+    "very",
+    "can",
+    "will",
+    "just",
+    "your",
+    "our",
+    "their",
+    "his",
+    "her",
+    "you",
+    "we",
+    "they",
+    "please",
+    "welcome",
+    "details",
+    "information",
 ];
 
 fn topic_pools() -> &'static [(Topic, &'static [&'static str])] {

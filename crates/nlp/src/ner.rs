@@ -119,9 +119,7 @@ pub fn is_slashed_date(token: &str) -> bool {
             (1900..=2100).contains(y) && (1..=12).contains(m) && (1..=31).contains(d)
         }
         [m, d, y] => {
-            (1..=12).contains(m)
-                && (1..=31).contains(d)
-                && plausible_year(*y, groups[2].len())
+            (1..=12).contains(m) && (1..=31).contains(d) && plausible_year(*y, groups[2].len())
         }
         _ => false,
     }
@@ -157,8 +155,8 @@ pub fn recognize(tokens: &[Token], pos: &[PosTag]) -> Vec<NerSpan> {
         if (s.start..s.end).any(|i| used[i]) {
             return;
         }
-        for i in s.start..s.end {
-            used[i] = true;
+        for slot in &mut used[s.start..s.end] {
+            *slot = true;
         }
         spans.push(s);
     };
@@ -197,9 +195,8 @@ pub fn recognize(tokens: &[Token], pos: &[PosTag]) -> Vec<NerSpan> {
         if used[i] {
             continue;
         }
-        let is_ampm = |j: usize| {
-            j < n && matches!(tokens[j].norm.as_str(), "am" | "pm" | "a.m" | "p.m")
-        };
+        let is_ampm =
+            |j: usize| j < n && matches!(tokens[j].norm.as_str(), "am" | "pm" | "a.m" | "p.m");
         if is_clock_time(&tokens[i].raw) {
             let end = if is_ampm(i + 1) { i + 2 } else { i + 1 };
             claim(&mut spans, &mut used, NerSpan::new(NerTag::Time, i, end));
@@ -255,7 +252,11 @@ pub fn recognize(tokens: &[Token], pos: &[PosTag]) -> Vec<NerSpan> {
             && topic(&tokens[j - 1]) == Some(Topic::Organization)
             && (j - i >= 2 || tokens[i].is_capitalized())
         {
-            claim(&mut spans, &mut used, NerSpan::new(NerTag::Organization, i, j));
+            claim(
+                &mut spans,
+                &mut used,
+                NerSpan::new(NerTag::Organization, i, j),
+            );
         }
     }
 
@@ -277,18 +278,18 @@ pub fn recognize(tokens: &[Token], pos: &[PosTag]) -> Vec<NerSpan> {
             claim(&mut spans, &mut used, NerSpan::new(NerTag::Person, i, end));
         } else if next_free
             && tokens[i].is_capitalized()
-            && topic(&tokens[i + 1]) == Some(Topic::PersonLast)
+            && (topic(&tokens[i + 1]) == Some(Topic::PersonLast)
+                || (pos[i] == PosTag::Nnp
+                    && pos[i + 1] == PosTag::Nnp
+                    && tokens[i + 1].is_capitalized()
+                    && t0.is_none()
+                    && topic(&tokens[i + 1]).is_none()))
         {
-            claim(&mut spans, &mut used, NerSpan::new(NerTag::Person, i, i + 2));
-        } else if next_free
-            && pos[i] == PosTag::Nnp
-            && pos[i + 1] == PosTag::Nnp
-            && tokens[i].is_capitalized()
-            && tokens[i + 1].is_capitalized()
-            && t0.is_none()
-            && topic(&tokens[i + 1]).is_none()
-        {
-            claim(&mut spans, &mut used, NerSpan::new(NerTag::Person, i, i + 2));
+            claim(
+                &mut spans,
+                &mut used,
+                NerSpan::new(NerTag::Person, i, i + 2),
+            );
         }
     }
 
@@ -328,8 +329,7 @@ mod tests {
         recognize(&toks, &pos)
             .into_iter()
             .map(|s| {
-                let words: Vec<&str> =
-                    (s.start..s.end).map(|i| toks[i].raw.as_str()).collect();
+                let words: Vec<&str> = (s.start..s.end).map(|i| toks[i].raw.as_str()).collect();
                 (s.tag, words.join(" "))
             })
             .collect()
@@ -393,7 +393,10 @@ mod tests {
     #[test]
     fn persons_from_gazetteer() {
         let s = spans_of("hosted by James Wilson");
-        assert!(s.contains(&(NerTag::Person, "James Wilson".into())), "{s:?}");
+        assert!(
+            s.contains(&(NerTag::Person, "James Wilson".into())),
+            "{s:?}"
+        );
         let s = spans_of("with Priya tonight");
         assert!(s.contains(&(NerTag::Person, "Priya".into())));
     }
@@ -402,7 +405,8 @@ mod tests {
     fn organizations() {
         let s = spans_of("presented by Riverside Realty LLC");
         assert!(
-            s.iter().any(|(t, w)| *t == NerTag::Organization && w.contains("LLC")),
+            s.iter()
+                .any(|(t, w)| *t == NerTag::Organization && w.contains("LLC")),
             "{s:?}"
         );
         let s = spans_of("the Ohio State University");
@@ -412,7 +416,10 @@ mod tests {
     #[test]
     fn locations() {
         let s = spans_of("in Columbus Ohio this week");
-        assert!(s.contains(&(NerTag::Location, "Columbus Ohio".into())), "{s:?}");
+        assert!(
+            s.contains(&(NerTag::Location, "Columbus Ohio".into())),
+            "{s:?}"
+        );
     }
 
     #[test]
@@ -420,7 +427,10 @@ mod tests {
         // Unknown capitalised bigram — the deliberate false-positive source
         // demonstrated in the paper's Fig. 3.
         let s = spans_of("meet Zorblax Vonkarma there");
-        assert!(s.contains(&(NerTag::Person, "Zorblax Vonkarma".into())), "{s:?}");
+        assert!(
+            s.contains(&(NerTag::Person, "Zorblax Vonkarma".into())),
+            "{s:?}"
+        );
     }
 
     #[test]
@@ -430,9 +440,9 @@ mod tests {
         let spans = recognize(&toks, &pos);
         let mut seen = vec![false; toks.len()];
         for s in &spans {
-            for i in s.start..s.end {
-                assert!(!seen[i], "overlap at {i}: {spans:?}");
-                seen[i] = true;
+            for (off, slot) in seen[s.start..s.end].iter_mut().enumerate() {
+                assert!(!*slot, "overlap at {}: {spans:?}", s.start + off);
+                *slot = true;
             }
         }
     }

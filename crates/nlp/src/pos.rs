@@ -77,13 +77,17 @@ impl PosTag {
     }
 }
 
-const DETERMINERS: &[&str] = &["the", "a", "an", "this", "that", "these", "those", "all", "some", "no", "every", "each"];
+const DETERMINERS: &[&str] = &[
+    "the", "a", "an", "this", "that", "these", "those", "all", "some", "no", "every", "each",
+];
 const PREPOSITIONS: &[&str] = &[
     "of", "to", "in", "on", "at", "by", "for", "with", "from", "as", "into", "over", "under",
     "near", "per", "until", "till",
 ];
 const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor"];
-const PRONOUNS: &[&str] = &["it", "you", "we", "they", "he", "she", "i", "your", "our", "their", "his", "her", "its"];
+const PRONOUNS: &[&str] = &[
+    "it", "you", "we", "they", "he", "she", "i", "your", "our", "their", "his", "her", "its",
+];
 const BE_VERBS: &[&str] = &["is", "are", "was", "were", "be", "been", "am"];
 
 /// Tags a single token given whether it starts a sentence (sentence-initial
@@ -91,7 +95,12 @@ const BE_VERBS: &[&str] = &["is", "are", "was", "were", "be", "been", "am"];
 pub fn tag_token(tok: &Token, sentence_initial: bool) -> PosTag {
     let norm = tok.norm.as_str();
     if norm.is_empty() {
-        return if tok.raw.chars().all(|c| matches!(c, '$' | '#' | '@' | '%' | '&' | '+' | '-' | '*' | '/')) && !tok.raw.is_empty() {
+        return if tok
+            .raw
+            .chars()
+            .all(|c| matches!(c, '$' | '#' | '@' | '%' | '&' | '+' | '-' | '*' | '/'))
+            && !tok.raw.is_empty()
+        {
             PosTag::Sym
         } else {
             PosTag::Punct
@@ -168,7 +177,9 @@ pub fn tag_token(tok: &Token, sentence_initial: bool) -> PosTag {
     if norm.ends_with("ed") && norm.len() > 3 {
         return PosTag::Vbd;
     }
-    if ["ous", "ful", "ive", "ble"].iter().any(|s| norm.ends_with(s))
+    if ["ous", "ful", "ive", "ble"]
+        .iter()
+        .any(|s| norm.ends_with(s))
         || (norm.ends_with("al") && norm.len() > 4)
     {
         return PosTag::Jj;

@@ -130,7 +130,10 @@ pub fn normalize(text: &str) -> Option<Timex> {
     // Month day (, year)?
     if lexicon::topic_of(&words[0]) == Some(Topic::Month) {
         let m = month_number(&words[0])?;
-        let day: Option<u32> = words.get(1).and_then(|w| w.parse().ok()).filter(|d| (1..=31).contains(d));
+        let day: Option<u32> = words
+            .get(1)
+            .and_then(|w| w.parse().ok())
+            .filter(|d| (1..=31).contains(d));
         let year: Option<u32> = words
             .get(2)
             .and_then(|w| w.parse().ok())
@@ -154,7 +157,11 @@ pub fn normalize(text: &str) -> Option<Timex> {
     // Slashed / dashed numeric dates.
     if words.len() == 1 && (words[0].contains('/') || words[0].matches('-').count() == 2) {
         let groups: Vec<&str> = words[0].split(['/', '-']).collect();
-        if groups.len() >= 2 && groups.iter().all(|g| g.chars().all(|c| c.is_ascii_digit()) && !g.is_empty()) {
+        if groups.len() >= 2
+            && groups
+                .iter()
+                .all(|g| g.chars().all(|c| c.is_ascii_digit()) && !g.is_empty())
+        {
             let nums: Vec<u32> = groups.iter().filter_map(|g| g.parse().ok()).collect();
             if nums.len() == groups.len() {
                 // year-first or month-first
@@ -183,22 +190,21 @@ pub fn normalize(text: &str) -> Option<Timex> {
     }
 
     // Clock forms: `<clock>` [am|pm] or fused `7pm`.
-    let (clock_word, meridiem) = if words.len() >= 2
-        && matches!(words[1].as_str(), "am" | "pm" | "a.m" | "p.m")
-    {
-        (words[0].as_str(), Some(words[1].starts_with('p')))
-    } else if words.len() == 1 {
-        let w = words[0].as_str();
-        if let Some(body) = w.strip_suffix("pm").or_else(|| w.strip_suffix("p.m")) {
-            (body, Some(true))
-        } else if let Some(body) = w.strip_suffix("am").or_else(|| w.strip_suffix("a.m")) {
-            (body, Some(false))
+    let (clock_word, meridiem) =
+        if words.len() >= 2 && matches!(words[1].as_str(), "am" | "pm" | "a.m" | "p.m") {
+            (words[0].as_str(), Some(words[1].starts_with('p')))
+        } else if words.len() == 1 {
+            let w = words[0].as_str();
+            if let Some(body) = w.strip_suffix("pm").or_else(|| w.strip_suffix("p.m")) {
+                (body, Some(true))
+            } else if let Some(body) = w.strip_suffix("am").or_else(|| w.strip_suffix("a.m")) {
+                (body, Some(false))
+            } else {
+                (w, None)
+            }
         } else {
-            (w, None)
-        }
-    } else {
-        return None;
-    };
+            return None;
+        };
     let clock_word = clock_word.trim();
     if clock_word.is_empty() {
         return None;

@@ -39,11 +39,17 @@ impl VerbSense {
     }
 }
 
-const CAPTAIN: &[&str] = &["host", "direct", "lead", "led", "manag", "chair", "curat", "teach", "taught"];
-const CREATE: &[&str] = &["organ", "produc", "creat", "present", "sponsor", "brought", "bring", "found", "arrang"];
+const CAPTAIN: &[&str] = &[
+    "host", "direct", "lead", "led", "manag", "chair", "curat", "teach", "taught",
+];
+const CREATE: &[&str] = &[
+    "organ", "produc", "creat", "present", "sponsor", "brought", "bring", "found", "arrang",
+];
 const REFLEXIVE: &[&str] = &["featur", "appear", "star", "perform", "speak", "spoke"];
 const TRANSFER: &[&str] = &["offer", "list", "sell", "sold", "rent", "leas", "provid"];
-const COMMUNICATE: &[&str] = &["contact", "call", "email", "rsvp", "regist", "visit", "inquir"];
+const COMMUNICATE: &[&str] = &[
+    "contact", "call", "email", "rsvp", "regist", "visit", "inquir",
+];
 const MOTION: &[&str] = &["join", "attend", "come", "arriv", "meet"];
 
 /// Senses of a verb form (any inflection). A verb may belong to several
@@ -91,7 +97,14 @@ mod tests {
 
     #[test]
     fn organizer_verbs() {
-        for v in ["hosted", "hosting", "organized", "presents", "sponsored", "featuring"] {
+        for v in [
+            "hosted",
+            "hosting",
+            "organized",
+            "presents",
+            "sponsored",
+            "featuring",
+        ] {
             assert!(is_organizer_sense(v), "{v} should be an organizer verb");
         }
     }
@@ -99,7 +112,10 @@ mod tests {
     #[test]
     fn non_organizer_verbs() {
         for v in ["call", "join", "offered", "running"] {
-            assert!(!is_organizer_sense(v), "{v} should not be an organizer verb");
+            assert!(
+                !is_organizer_sense(v),
+                "{v} should not be an organizer verb"
+            );
         }
     }
 
@@ -120,6 +136,9 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(VerbSense::ReflexiveAppearance.label(), "reflexive_appearance");
+        assert_eq!(
+            VerbSense::ReflexiveAppearance.label(),
+            "reflexive_appearance"
+        );
     }
 }

@@ -41,13 +41,20 @@ impl Lesk {
             if t == Topic::Generic {
                 continue;
             }
-            l.add_gloss(format!("{t:?}").to_lowercase(), lexicon::words_of(t).iter().copied());
+            l.add_gloss(
+                format!("{t:?}").to_lowercase(),
+                lexicon::words_of(t).iter().copied(),
+            );
         }
         l
     }
 
     /// Adds (or extends) a sense gloss.
-    pub fn add_gloss<'a, I: IntoIterator<Item = &'a str>>(&mut self, sense: impl Into<String>, words: I) {
+    pub fn add_gloss<'a, I: IntoIterator<Item = &'a str>>(
+        &mut self,
+        sense: impl Into<String>,
+        words: I,
+    ) {
         self.glosses
             .entry(sense.into())
             .or_default()
@@ -76,7 +83,10 @@ impl Lesk {
 
     /// Best-scoring sense for a context; `None` when no sense overlaps at
     /// all. Ties break lexicographically for determinism.
-    pub fn best_sense<'a, I: IntoIterator<Item = &'a str> + Clone>(&self, context: I) -> Option<(String, f64)> {
+    pub fn best_sense<'a, I: IntoIterator<Item = &'a str> + Clone>(
+        &self,
+        context: I,
+    ) -> Option<(String, f64)> {
         let mut best: Option<(String, f64)> = None;
         let mut senses: Vec<&String> = self.glosses.keys().collect();
         senses.sort();

@@ -1,0 +1,331 @@
+//! `vs2d` — batch document-extraction daemon front end.
+//!
+//! Reads JSONL job specs from a file or stdin, streams JSONL results to
+//! stdout in input order, prints a throughput/latency summary to stderr
+//! on shutdown. Run `vs2d --help` for the flag reference.
+//!
+//! ```text
+//! $ printf '%s\n' '{"dataset":"D1","doc_index":0}' '{"dataset":"D2","doc_index":1}' \
+//!     | vs2d --workers 4
+//! {"seq":0,"job_id":"job-0","status":"ok","extractions":[...]}
+//! {"seq":1,"job_id":"job-1","status":"ok","extractions":[...]}
+//! vs2d: 2 jobs (2 ok, 0 panicked, 0 timed_out, 0 invalid) in 0.84s — 2.4 docs/s
+//! vs2d: latency p50 212332us p95 341007us p99 341007us | queue stalls 0 | model cache 2 miss, 0 hit | 4 workers
+//! ```
+//!
+//! Result lines omit `latency_us` unless `--latency` is given, so the
+//! default output of a batch is byte-identical across runs and worker
+//! counts.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use vs2_core::pipeline::Vs2Config;
+use vs2_serve::{
+    EngineConfig, ExtractService, JobOutcome, JobResult, JobSpec, JobStatus, LatencySummary,
+    DEFAULT_DOC_SEED,
+};
+
+const USAGE: &str = "\
+vs2d — VS2 batch document-extraction service
+
+USAGE: vs2d [OPTIONS]
+  --input PATH         job-spec JSONL file, `-` for stdin (default -)
+  --workers N          worker threads (default: available parallelism)
+  --queue-capacity N   work-queue bound; submission blocks beyond it (default 32)
+  --timeout-ms N       soft per-job deadline; 0 disables (default 0)
+  --model-seed N       holdout-corpus seed for model learning (default 0xC0FFEE)
+  --config PATH        Vs2Config JSON applied to every dataset
+                       (default: per-dataset defaults)
+  --latency            include per-job latency_us on result lines
+                       (off by default so output is byte-stable)
+  --summary-json PATH  also write the shutdown summary as JSON
+";
+
+struct Options {
+    input: String,
+    workers: usize,
+    queue_capacity: usize,
+    timeout_ms: u64,
+    model_seed: u64,
+    config_path: Option<String>,
+    latency: bool,
+    summary_json: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            input: "-".into(),
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_capacity: 32,
+            timeout_ms: 0,
+            model_seed: DEFAULT_DOC_SEED,
+            config_path: None,
+            latency: false,
+            summary_json: None,
+        }
+    }
+}
+
+fn parse_seed(raw: &str) -> Result<u64, String> {
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|e| e.to_string())
+    } else {
+        raw.parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())
+    }
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--input" => opts.input = value("--input")?,
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-capacity" => {
+                opts.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--queue-capacity: {e}"))?;
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?;
+            }
+            "--model-seed" => {
+                let raw = value("--model-seed")?;
+                opts.model_seed = parse_seed(&raw).map_err(|e| format!("--model-seed: {e}"))?;
+            }
+            "--config" => opts.config_path = Some(value("--config")?),
+            "--latency" => opts.latency = true,
+            "--summary-json" => opts.summary_json = Some(value("--summary-json")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("vs2d: {message}");
+    std::process::exit(2);
+}
+
+/// What the result emitter must produce for one input line, in order.
+enum LineFate {
+    /// A job went into the engine; wait for its result.
+    Submitted { job_id: String },
+    /// The line failed to parse; report `invalid` immediately.
+    Invalid { job_id: String, error: String },
+}
+
+/// Outcome of the submit/emit phase: per-job latencies plus the count of
+/// invalid input lines.
+struct BatchRun {
+    latencies: Vec<Duration>,
+    invalid: u64,
+}
+
+/// Submits every job spec from `reader` while a second thread streams
+/// results to stdout in input order. Engine sequence numbers are
+/// assigned in submission order, so the emitter simply waits on
+/// 0, 1, 2, … as the fates arrive.
+fn run_batch(
+    service: &ExtractService,
+    reader: Box<dyn BufRead>,
+    include_latency: bool,
+) -> BatchRun {
+    let (fate_tx, fate_rx) = mpsc::channel::<LineFate>();
+    let mut invalid = 0u64;
+    let latencies = std::thread::scope(|scope| {
+        let emitter = scope.spawn(move || {
+            let mut out = BufWriter::new(std::io::stdout().lock());
+            let mut lats = Vec::new();
+            let mut engine_seq = 0u64;
+            for (out_seq, fate) in fate_rx.iter().enumerate() {
+                let out_seq = out_seq as u64;
+                let result = match fate {
+                    LineFate::Submitted { job_id } => {
+                        let done = service.wait_result(engine_seq);
+                        engine_seq += 1;
+                        lats.push(done.latency);
+                        let (status, extractions, error) = match done.outcome {
+                            JobOutcome::Ok(ex) => (JobStatus::Ok, ex, None),
+                            JobOutcome::Panicked(msg) => (JobStatus::Panicked, vec![], Some(msg)),
+                            JobOutcome::TimedOut => (JobStatus::TimedOut, vec![], None),
+                        };
+                        JobResult {
+                            seq: out_seq,
+                            job_id,
+                            status,
+                            extractions,
+                            error,
+                            latency_us: if include_latency {
+                                Some(u64::try_from(done.latency.as_micros()).unwrap_or(u64::MAX))
+                            } else {
+                                None
+                            },
+                        }
+                    }
+                    LineFate::Invalid { job_id, error } => JobResult {
+                        seq: out_seq,
+                        job_id,
+                        status: JobStatus::Invalid,
+                        extractions: vec![],
+                        error: Some(error),
+                        latency_us: None,
+                    },
+                };
+                let line = serde_json::to_string(&result).expect("result serialises");
+                writeln!(out, "{line}").expect("write stdout");
+            }
+            out.flush().expect("flush stdout");
+            lats
+        });
+        for (line_no, line) in reader.lines().enumerate() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("vs2d: input read error: {e}");
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let default_id = format!("job-{line_no}");
+            match serde_json::from_str::<JobSpec>(&line) {
+                Ok(spec) => {
+                    let job_id = spec.job_id.clone().unwrap_or(default_id);
+                    // Backpressure: blocks while the work queue is full.
+                    service.submit(spec);
+                    let _ = fate_tx.send(LineFate::Submitted { job_id });
+                }
+                Err(e) => {
+                    invalid += 1;
+                    let _ = fate_tx.send(LineFate::Invalid {
+                        job_id: default_id,
+                        error: e.to_string(),
+                    });
+                }
+            }
+        }
+        drop(fate_tx);
+        emitter.join().expect("emitter thread")
+    });
+    BatchRun { latencies, invalid }
+}
+
+fn main() {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => fail(&e),
+    };
+    let config: Option<Vs2Config> = opts.config_path.as_ref().map(|path| {
+        let raw = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read --config {path}: {e}")));
+        serde_json::from_str(&raw)
+            .unwrap_or_else(|e| fail(&format!("invalid --config {path}: {e}")))
+    });
+    let reader: Box<dyn BufRead> = if opts.input == "-" {
+        Box::new(std::io::stdin().lock())
+    } else {
+        match std::fs::File::open(&opts.input) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => fail(&format!("cannot open --input {}: {e}", opts.input)),
+        }
+    };
+
+    let service = ExtractService::new(
+        EngineConfig {
+            workers: opts.workers,
+            queue_capacity: opts.queue_capacity,
+            job_timeout: (opts.timeout_ms > 0).then(|| Duration::from_millis(opts.timeout_ms)),
+        },
+        opts.model_seed,
+        config,
+    );
+
+    let started = Instant::now();
+    let run = run_batch(&service, reader, opts.latency);
+    let wall = started.elapsed();
+
+    let stats = service.stats();
+    let (cache_hits, cache_misses) = service.cache_counters();
+    service.shutdown();
+
+    let lat = LatencySummary::from_latencies(&run.latencies);
+    let jobs = stats.submitted + run.invalid;
+    let docs_per_s = if wall.as_secs_f64() > 0.0 {
+        stats.completed as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    eprintln!(
+        "vs2d: {jobs} jobs ({} ok, {} panicked, {} timed_out, {} invalid) in {:.2}s — {:.1} docs/s",
+        stats.ok,
+        stats.panicked,
+        stats.timed_out,
+        run.invalid,
+        wall.as_secs_f64(),
+        docs_per_s,
+    );
+    eprintln!(
+        "vs2d: latency p50 {}us p95 {}us p99 {}us | queue stalls {} | model cache {} miss, {} hit | {} workers",
+        lat.p50_us,
+        lat.p95_us,
+        lat.p99_us,
+        stats.queue_stalls,
+        cache_misses,
+        cache_hits,
+        opts.workers,
+    );
+    if let Some(path) = &opts.summary_json {
+        let summary = serde::Value::Object(vec![
+            ("workers".into(), serde::Value::UInt(opts.workers as u64)),
+            (
+                "queue_capacity".into(),
+                serde::Value::UInt(opts.queue_capacity as u64),
+            ),
+            ("jobs".into(), serde::Value::UInt(jobs)),
+            ("ok".into(), serde::Value::UInt(stats.ok)),
+            ("panicked".into(), serde::Value::UInt(stats.panicked)),
+            ("timed_out".into(), serde::Value::UInt(stats.timed_out)),
+            ("invalid".into(), serde::Value::UInt(run.invalid)),
+            ("wall_s".into(), serde::Value::Float(wall.as_secs_f64())),
+            ("docs_per_s".into(), serde::Value::Float(docs_per_s)),
+            ("p50_us".into(), serde::Value::UInt(lat.p50_us)),
+            ("p95_us".into(), serde::Value::UInt(lat.p95_us)),
+            ("p99_us".into(), serde::Value::UInt(lat.p99_us)),
+            (
+                "queue_stalls".into(),
+                serde::Value::UInt(stats.queue_stalls),
+            ),
+            ("cache_misses".into(), serde::Value::UInt(cache_misses)),
+            ("cache_hits".into(), serde::Value::UInt(cache_hits)),
+        ]);
+        if let Err(e) = std::fs::write(
+            path,
+            serde_json::to_string_pretty(&summary).expect("summary serialises"),
+        ) {
+            eprintln!("vs2d: cannot write --summary-json {path}: {e}");
+        }
+    }
+    if stats.panicked + stats.timed_out + run.invalid > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,518 @@
+//! The batch engine: a worker pool pulling jobs off a bounded queue and
+//! publishing outcomes into an ordered result map.
+//!
+//! Design notes:
+//!
+//! * **Determinism.** Every submitted job gets a monotonically increasing
+//!   sequence number; results are keyed by it. However many workers race,
+//!   [`BatchEngine::drain`] returns outcomes in submission order, so a
+//!   4-worker run is byte-identical to a 1-worker run.
+//! * **Panic isolation.** Each job runs under `catch_unwind`; a panicking
+//!   job is reported as [`JobOutcome::Panicked`] and the worker thread
+//!   returns to the pool.
+//! * **Soft timeouts.** A watchdog thread scans in-flight jobs; one that
+//!   exceeds the deadline is reported as [`JobOutcome::TimedOut`]
+//!   immediately (waiters unblock at the deadline, not at completion).
+//!   The worker keeps running the job — threads cannot be killed safely —
+//!   and its late result is discarded.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::queue::BoundedQueue;
+
+/// Worker-pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of worker threads (minimum 1).
+    pub workers: usize,
+    /// Work-queue capacity; submitters block (backpressure) beyond it.
+    pub queue_capacity: usize,
+    /// Soft per-job deadline, measured from the moment a worker picks the
+    /// job up. `None` disables the watchdog.
+    pub job_timeout: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_capacity: 32,
+            job_timeout: None,
+        }
+    }
+}
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome<O> {
+    /// The processor returned normally.
+    Ok(O),
+    /// The processor panicked; the payload is the panic message.
+    Panicked(String),
+    /// The job exceeded [`EngineConfig::job_timeout`].
+    TimedOut,
+}
+
+impl<O> JobOutcome<O> {
+    /// `true` for [`JobOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobOutcome::Ok(_))
+    }
+}
+
+/// One finished job: outcome plus processing latency (queue wait
+/// excluded; for a timeout, the latency is the elapsed time at the
+/// moment the watchdog fired).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completed<O> {
+    /// Submission sequence number.
+    pub seq: u64,
+    /// Terminal state.
+    pub outcome: JobOutcome<O>,
+    /// Processing latency.
+    pub latency: Duration,
+}
+
+/// Counters snapshot; see [`BatchEngine::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs accepted by `submit`.
+    pub submitted: u64,
+    /// Jobs with a published outcome.
+    pub completed: u64,
+    /// Jobs that finished normally.
+    pub ok: u64,
+    /// Jobs that panicked.
+    pub panicked: u64,
+    /// Jobs cut off by the watchdog.
+    pub timed_out: u64,
+    /// Submissions that blocked on a full queue.
+    pub queue_stalls: u64,
+}
+
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    ok: AtomicU64,
+    panicked: AtomicU64,
+    timed_out: AtomicU64,
+}
+
+struct ResultsState<O> {
+    map: BTreeMap<u64, Completed<O>>,
+    /// Every seq ever published — the exactly-once guard. A worker's late
+    /// result must stay discarded even after `wait_result` has consumed
+    /// the watchdog's `TimedOut` entry for the same seq.
+    done: HashSet<u64>,
+}
+
+struct Shared<J, O> {
+    queue: BoundedQueue<(u64, J)>,
+    results: Mutex<ResultsState<O>>,
+    results_cv: Condvar,
+    inflight: Mutex<HashMap<u64, Instant>>,
+    counters: Counters,
+    timeout: Option<Duration>,
+    stopping: AtomicBool,
+}
+
+impl<J, O> Shared<J, O> {
+    /// Publishes `seq`'s outcome unless something (the watchdog) already
+    /// did; late results of timed-out jobs are discarded here.
+    fn publish(&self, seq: u64, outcome: JobOutcome<O>, latency: Duration) {
+        let mut results = self.results.lock().unwrap();
+        if !results.done.insert(seq) {
+            return;
+        }
+        match &outcome {
+            JobOutcome::Ok(_) => self.counters.ok.fetch_add(1, Ordering::Relaxed),
+            JobOutcome::Panicked(_) => self.counters.panicked.fetch_add(1, Ordering::Relaxed),
+            JobOutcome::TimedOut => self.counters.timed_out.fetch_add(1, Ordering::Relaxed),
+        };
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        results.map.insert(
+            seq,
+            Completed {
+                seq,
+                outcome,
+                latency,
+            },
+        );
+        drop(results);
+        self.results_cv.notify_all();
+    }
+}
+
+/// A concurrent batch processor: submit jobs, harvest outcomes in
+/// submission order. Generic over the job and output types so tests can
+/// inject slow or panicking processors; the extraction service plugs a
+/// shared-model [`crate::cache::ModelCache`] processor in.
+pub struct BatchEngine<J: Send + 'static, O: Send + 'static> {
+    shared: Arc<Shared<J, O>>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+    next_seq: AtomicU64,
+    next_drain: u64,
+    config: EngineConfig,
+}
+
+impl<J: Send + 'static, O: Send + 'static> BatchEngine<J, O> {
+    /// Spawns the worker pool (and, with a timeout configured, the
+    /// watchdog). `process` runs on worker threads and must therefore be
+    /// `Send + Sync`; shared read-only state (the model cache) goes in
+    /// via `Arc` capture.
+    pub fn new<F>(config: EngineConfig, process: F) -> Self
+    where
+        F: Fn(&J) -> O + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            results: Mutex::new(ResultsState {
+                map: BTreeMap::new(),
+                done: HashSet::new(),
+            }),
+            results_cv: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            counters: Counters {
+                submitted: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                ok: AtomicU64::new(0),
+                panicked: AtomicU64::new(0),
+                timed_out: AtomicU64::new(0),
+            },
+            timeout: config.job_timeout,
+            stopping: AtomicBool::new(false),
+        });
+        let process = Arc::new(process);
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let process = Arc::clone(&process);
+                std::thread::Builder::new()
+                    .name(format!("vs2-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &*process))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let watchdog = config.job_timeout.map(|timeout| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("vs2-watchdog".into())
+                .spawn(move || watchdog_loop(&shared, timeout))
+                .expect("spawn watchdog thread")
+        });
+        Self {
+            shared,
+            workers,
+            watchdog,
+            next_seq: AtomicU64::new(0),
+            next_drain: 0,
+            config,
+        }
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Submits a job, blocking while the queue is full (backpressure).
+    /// Returns the job's sequence number.
+    ///
+    /// # Panics
+    /// If called after [`BatchEngine::shutdown`] began (the queue is
+    /// closed).
+    pub fn submit(&self, job: J) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        if self.shared.queue.push((seq, job)).is_err() {
+            panic!("submit on a shut-down engine");
+        }
+        seq
+    }
+
+    /// Blocks until job `seq`'s outcome is available and removes it.
+    /// Waiting on a sequence number that was never submitted (or was
+    /// already taken) blocks forever — sequence numbers come from
+    /// [`BatchEngine::submit`] and each may be waited on once.
+    pub fn wait_result(&self, seq: u64) -> Completed<O> {
+        let mut results = self.shared.results.lock().unwrap();
+        loop {
+            if let Some(done) = results.map.remove(&seq) {
+                return done;
+            }
+            results = self.shared.results_cv.wait(results).unwrap();
+        }
+    }
+
+    /// Waits for every job submitted so far and returns their outcomes in
+    /// submission order. May be called repeatedly; each call covers the
+    /// jobs submitted since the previous one. The engine stays usable.
+    pub fn drain(&mut self) -> Vec<Completed<O>> {
+        let upto = self.next_seq.load(Ordering::Relaxed);
+        let mut out = Vec::with_capacity((upto - self.next_drain) as usize);
+        for seq in self.next_drain..upto {
+            out.push(self.wait_result(seq));
+        }
+        self.next_drain = upto;
+        // Drained seqs can no longer race with a late worker result, so
+        // the exactly-once guard may forget them.
+        self.shared
+            .results
+            .lock()
+            .unwrap()
+            .done
+            .retain(|&seq| seq >= upto);
+        out
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            submitted: self.shared.counters.submitted.load(Ordering::Relaxed),
+            completed: self.shared.counters.completed.load(Ordering::Relaxed),
+            ok: self.shared.counters.ok.load(Ordering::Relaxed),
+            panicked: self.shared.counters.panicked.load(Ordering::Relaxed),
+            timed_out: self.shared.counters.timed_out.load(Ordering::Relaxed),
+            queue_stalls: self.shared.queue.stall_count(),
+        }
+    }
+
+    /// Closes the queue, waits for the workers to finish the backlog and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        self.shared.stopping.store(true, Ordering::Relaxed);
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl<J: Send + 'static, O: Send + 'static> Drop for BatchEngine<J, O> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop<J, O>(shared: &Shared<J, O>, process: &(dyn Fn(&J) -> O + Send + Sync)) {
+    while let Some((seq, job)) = shared.queue.pop() {
+        let start = Instant::now();
+        shared.inflight.lock().unwrap().insert(seq, start);
+        let result = catch_unwind(AssertUnwindSafe(|| process(&job)));
+        let latency = start.elapsed();
+        shared.inflight.lock().unwrap().remove(&seq);
+        // A job past its deadline reports TimedOut whether or not the
+        // watchdog happened to catch it first — keeps the label
+        // deterministic under scheduling jitter.
+        let late = shared.timeout.is_some_and(|t| latency >= t);
+        let outcome = if late {
+            JobOutcome::TimedOut
+        } else {
+            match result {
+                Ok(output) => JobOutcome::Ok(output),
+                Err(payload) => JobOutcome::Panicked(panic_message(&*payload)),
+            }
+        };
+        shared.publish(seq, outcome, latency);
+    }
+}
+
+fn watchdog_loop<J, O>(shared: &Shared<J, O>, timeout: Duration) {
+    // Wake often enough that a timeout is detected within ~a quarter of
+    // the deadline, but never spin faster than once a millisecond.
+    let tick = (timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    loop {
+        std::thread::sleep(tick);
+        let now = Instant::now();
+        let expired: Vec<(u64, Duration)> = {
+            let mut inflight = shared.inflight.lock().unwrap();
+            let seqs: Vec<u64> = inflight
+                .iter()
+                .filter(|(_, started)| now.duration_since(**started) >= timeout)
+                .map(|(seq, _)| *seq)
+                .collect();
+            seqs.into_iter()
+                .map(|seq| {
+                    let started = inflight.remove(&seq).unwrap();
+                    (seq, now.duration_since(started))
+                })
+                .collect()
+        };
+        for (seq, elapsed) in expired {
+            shared.publish(seq, JobOutcome::TimedOut, elapsed);
+        }
+        if shared.stopping.load(Ordering::Relaxed)
+            && shared.queue.is_empty()
+            && shared.inflight.lock().unwrap().is_empty()
+        {
+            return;
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_arrive_in_submission_order() {
+        let mut engine = BatchEngine::new(
+            EngineConfig {
+                workers: 4,
+                queue_capacity: 8,
+                job_timeout: None,
+            },
+            |job: &u64| {
+                // Earlier jobs sleep longer, so completion order inverts
+                // submission order — drain must still return 0,1,2,…
+                std::thread::sleep(Duration::from_millis(20 - job.min(&19)));
+                job * 2
+            },
+        );
+        for i in 0..20u64 {
+            engine.submit(i);
+        }
+        let results = engine.drain();
+        let values: Vec<u64> = results
+            .iter()
+            .map(|c| match c.outcome {
+                JobOutcome::Ok(v) => v,
+                ref other => panic!("unexpected outcome {other:?}"),
+            })
+            .collect();
+        assert_eq!(values, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(results.iter().all(|c| c.latency > Duration::ZERO));
+    }
+
+    #[test]
+    fn drain_is_incremental_and_engine_reusable() {
+        let mut engine = BatchEngine::new(EngineConfig::default(), |j: &u32| j + 1);
+        engine.submit(1);
+        assert_eq!(engine.drain().len(), 1);
+        engine.submit(2);
+        engine.submit(3);
+        let second = engine.drain();
+        assert_eq!(second.len(), 2);
+        assert_eq!(second[0].seq, 1);
+        let stats = engine.shutdown();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.ok, 3);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated() {
+        let mut engine = BatchEngine::new(
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 4,
+                job_timeout: None,
+            },
+            |job: &u32| {
+                if *job == 13 {
+                    panic!("poisoned document {job}");
+                }
+                *job
+            },
+        );
+        for j in [11u32, 13, 17] {
+            engine.submit(j);
+        }
+        let results = engine.drain();
+        assert_eq!(results[0].outcome, JobOutcome::Ok(11));
+        assert_eq!(
+            results[1].outcome,
+            JobOutcome::Panicked("poisoned document 13".into())
+        );
+        assert_eq!(results[2].outcome, JobOutcome::Ok(17));
+        // The pool survives the panic and keeps serving.
+        engine.submit(23);
+        assert_eq!(engine.drain()[0].outcome, JobOutcome::Ok(23));
+        assert_eq!(engine.stats().panicked, 1);
+    }
+
+    #[test]
+    fn slow_job_times_out_without_blocking_the_batch() {
+        let mut engine = BatchEngine::new(
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 8,
+                job_timeout: Some(Duration::from_millis(40)),
+            },
+            |job: &u64| {
+                if *job == 1 {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                *job
+            },
+        );
+        let t0 = Instant::now();
+        for j in 0..4u64 {
+            engine.submit(j);
+        }
+        let results = engine.drain();
+        // The timed-out job was reported at its deadline, well before the
+        // sleeping worker finished.
+        assert!(t0.elapsed() < Duration::from_millis(350));
+        assert_eq!(results[1].outcome, JobOutcome::TimedOut);
+        assert!(results[1].latency >= Duration::from_millis(40));
+        for i in [0usize, 2, 3] {
+            assert_eq!(results[i].outcome, JobOutcome::Ok(i as u64));
+        }
+        assert_eq!(engine.stats().timed_out, 1);
+    }
+
+    #[test]
+    fn submission_backpressure_blocks_and_is_counted() {
+        let engine = Arc::new(BatchEngine::new(
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 1,
+                job_timeout: None,
+            },
+            |_: &u32| std::thread::sleep(Duration::from_millis(15)),
+        ));
+        let submitter = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for j in 0..6u32 {
+                    engine.submit(j);
+                }
+            })
+        };
+        submitter.join().unwrap();
+        let engine = Arc::into_inner(engine).unwrap();
+        let stats = engine.shutdown();
+        assert_eq!(stats.ok, 6);
+        assert!(
+            stats.queue_stalls > 0,
+            "a 1-deep queue over a slow worker must stall submissions"
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! JSONL job specs and results — the `vs2d` wire format.
+//!
+//! One job per line. A job addresses a document either synthetically
+//! (`dataset` + `doc_index` [+ `seed`], resolved through
+//! `vs2_synth::generate_one`) or inline (`dataset` + a serialized
+//! `doc`; the dataset still selects the served model):
+//!
+//! ```text
+//! {"job_id":"t-17","dataset":"D1","doc_index":17}
+//! {"job_id":"p-3","dataset":"D2","doc_index":3,"seed":99}
+//! {"dataset":"D3","doc":{"id":"upload-1","width":612.0,...}}
+//! ```
+//!
+//! Result lines mirror submission order. `latency_us` is emitted only
+//! when requested (`vs2d --latency`) so that default output is
+//! byte-identical across runs and worker counts.
+
+use serde::{Deserialize, Error, Serialize, Value};
+use vs2_core::Extraction;
+use vs2_docmodel::Document;
+use vs2_synth::dataset::{generate_one, DatasetConfig, DatasetId};
+
+/// Generation seed used when a synthetic job spec omits `seed`; matches
+/// the bench harness default.
+pub const DEFAULT_DOC_SEED: u64 = 0xC0FFEE;
+
+/// Where a job's document comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSource {
+    /// Generate document `doc_index` of the `(dataset, seed)` stream.
+    Synthetic {
+        /// Index into the synthetic document stream.
+        doc_index: usize,
+        /// Stream master seed.
+        seed: u64,
+    },
+    /// The document is embedded in the job spec.
+    Inline(Box<Document>),
+}
+
+/// One extraction job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Caller-chosen id echoed into the result; defaults to the input
+    /// line number rendered as `job-<n>`.
+    pub job_id: Option<String>,
+    /// Dataset the document belongs to — selects the served model.
+    pub dataset: DatasetId,
+    /// Document source.
+    pub source: JobSource,
+}
+
+impl JobSpec {
+    /// Materialises the job's document (generating it if synthetic).
+    pub fn document(&self) -> Document {
+        match &self.source {
+            JobSource::Synthetic { doc_index, seed } => {
+                generate_one(self.dataset, *doc_index, DatasetConfig::new(1, *seed)).doc
+            }
+            JobSource::Inline(doc) => (**doc).clone(),
+        }
+    }
+}
+
+impl Serialize for JobSpec {
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::new();
+        if let Some(id) = &self.job_id {
+            fields.push(("job_id".to_string(), Value::Str(id.clone())));
+        }
+        fields.push(("dataset".to_string(), self.dataset.to_value()));
+        match &self.source {
+            JobSource::Synthetic { doc_index, seed } => {
+                fields.push(("doc_index".to_string(), Value::UInt(*doc_index as u64)));
+                fields.push(("seed".to_string(), Value::UInt(*seed)));
+            }
+            JobSource::Inline(doc) => {
+                fields.push(("doc".to_string(), doc.to_value()));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for JobSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let job_id = match v.get("job_id") {
+            Some(Value::Null) | None => None,
+            Some(val) => Some(String::from_value(val)?),
+        };
+        let dataset: DatasetId = v.field("dataset")?;
+        let source = if let Some(doc) = v.get("doc") {
+            if v.get("doc_index").is_some() {
+                return Err(Error::new("job has both `doc` and `doc_index`"));
+            }
+            JobSource::Inline(Box::new(Document::from_value(doc)?))
+        } else {
+            JobSource::Synthetic {
+                doc_index: v
+                    .field("doc_index")
+                    .map_err(|e| Error::new(format!("job needs `doc` or `doc_index`: {e}")))?,
+                seed: v.field_or("seed", DEFAULT_DOC_SEED)?,
+            }
+        };
+        Ok(Self {
+            job_id,
+            dataset,
+            source,
+        })
+    }
+}
+
+/// Terminal status of a job, as reported on the result line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Extraction succeeded.
+    Ok,
+    /// The job panicked inside the worker.
+    Panicked,
+    /// The job exceeded the per-job deadline.
+    TimedOut,
+    /// The input line was not a valid job spec.
+    Invalid,
+}
+
+impl JobStatus {
+    /// Wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Panicked => "panicked",
+            JobStatus::TimedOut => "timed_out",
+            JobStatus::Invalid => "invalid",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, Error> {
+        match s {
+            "ok" => Ok(JobStatus::Ok),
+            "panicked" => Ok(JobStatus::Panicked),
+            "timed_out" => Ok(JobStatus::TimedOut),
+            "invalid" => Ok(JobStatus::Invalid),
+            other => Err(Error::new(format!("unknown job status `{other}`"))),
+        }
+    }
+}
+
+/// One result line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Input line number (0-based); results stream in this order.
+    pub seq: u64,
+    /// Echo of the job id.
+    pub job_id: String,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Extractions (empty unless `status == Ok`).
+    pub extractions: Vec<Extraction>,
+    /// Failure detail for panicked/invalid jobs.
+    pub error: Option<String>,
+    /// Processing latency in microseconds; omitted in stable output.
+    pub latency_us: Option<u64>,
+}
+
+impl Serialize for JobResult {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("seq".to_string(), Value::UInt(self.seq)),
+            ("job_id".to_string(), Value::Str(self.job_id.clone())),
+            (
+                "status".to_string(),
+                Value::Str(self.status.as_str().to_string()),
+            ),
+            ("extractions".to_string(), self.extractions.to_value()),
+        ];
+        if let Some(err) = &self.error {
+            fields.push(("error".to_string(), Value::Str(err.clone())));
+        }
+        if let Some(us) = self.latency_us {
+            fields.push(("latency_us".to_string(), Value::UInt(us)));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for JobResult {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let status_name: String = v.field("status")?;
+        Ok(Self {
+            seq: v.field("seq")?,
+            job_id: v.field("job_id")?,
+            status: JobStatus::parse(&status_name)?,
+            extractions: v.field("extractions")?,
+            error: match v.get("error") {
+                Some(Value::Null) | None => None,
+                Some(val) => Some(String::from_value(val)?),
+            },
+            latency_us: match v.get("latency_us") {
+                Some(Value::Null) | None => None,
+                Some(val) => Some(u64::from_value(val)?),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_spec_round_trips_with_default_seed() {
+        let spec: JobSpec =
+            serde_json::from_str(r#"{"job_id":"a","dataset":"D1","doc_index":4}"#).unwrap();
+        assert_eq!(spec.dataset, DatasetId::D1);
+        assert_eq!(
+            spec.source,
+            JobSource::Synthetic {
+                doc_index: 4,
+                seed: DEFAULT_DOC_SEED
+            }
+        );
+        let back: JobSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn inline_spec_round_trips() {
+        let doc = generate_one(DatasetId::D3, 0, DatasetConfig::new(1, 5)).doc;
+        let spec = JobSpec {
+            job_id: None,
+            dataset: DatasetId::D3,
+            source: JobSource::Inline(Box::new(doc.clone())),
+        };
+        let back: JobSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.document(), doc);
+    }
+
+    #[test]
+    fn spec_validation_rejects_ambiguity() {
+        assert!(serde_json::from_str::<JobSpec>(r#"{"dataset":"D1"}"#).is_err());
+        assert!(serde_json::from_str::<JobSpec>(
+            r#"{"dataset":"D1","doc_index":0,"doc":{"id":"x","width":1.0,"height":1.0,"texts":[],"images":[]}}"#
+        )
+        .is_err());
+        assert!(serde_json::from_str::<JobSpec>(r#"{"dataset":"D9","doc_index":0}"#).is_err());
+    }
+
+    #[test]
+    fn synthetic_document_matches_dataset_stream() {
+        let spec: JobSpec =
+            serde_json::from_str(r#"{"dataset":"D2","doc_index":2,"seed":9}"#).unwrap();
+        let expected = generate_one(DatasetId::D2, 2, DatasetConfig::new(1, 9)).doc;
+        assert_eq!(spec.document(), expected);
+    }
+
+    #[test]
+    fn result_line_round_trips_and_omits_absent_fields() {
+        let r = JobResult {
+            seq: 3,
+            job_id: "job-3".into(),
+            status: JobStatus::Ok,
+            extractions: vec![],
+            error: None,
+            latency_us: None,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(!json.contains("error"), "{json}");
+        assert!(!json.contains("latency_us"), "{json}");
+        let back: JobResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        let failed = JobResult {
+            status: JobStatus::Panicked,
+            error: Some("boom".into()),
+            latency_us: Some(120),
+            ..r
+        };
+        let back: JobResult =
+            serde_json::from_str(&serde_json::to_string(&failed).unwrap()).unwrap();
+        assert_eq!(back, failed);
+    }
+}

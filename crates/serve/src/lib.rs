@@ -1,0 +1,50 @@
+//! # vs2-serve
+//!
+//! Concurrent batch-extraction service over the VS2 pipeline: learn a
+//! dataset's pattern inventory once, then extract from many documents in
+//! parallel with bounded memory and reproducible output.
+//!
+//! ```text
+//!                    ┌────────────────────────────┐
+//!  submit ──────────▶│  BoundedQueue (cap N)      │   backpressure:
+//!  (blocks if full)  └──────────┬─────────────────┘   stalls counted
+//!                               │ pop
+//!            ┌──────────┬───────┴──┬──────────┐
+//!            ▼          ▼          ▼          ▼
+//!        worker-0   worker-1   worker-2   worker-3     std::thread pool
+//!            │          │          │          │        catch_unwind per job
+//!            └────┬─────┴────┬─────┴──────────┘
+//!                 │          ▼
+//!                 │   ModelCache (Arc<Vs2Model>)       learn once per
+//!                 │   dataset × seed × learn-config    (dataset, seed)
+//!                 ▼
+//!        results: BTreeMap<seq, outcome>               drain() replays
+//!                 ▲                                    submission order
+//!            watchdog (soft per-job timeout)
+//! ```
+//!
+//! Layers, bottom up:
+//!
+//! * [`queue::BoundedQueue`] — blocking MPMC queue; the bound is the
+//!   service's backpressure.
+//! * [`engine::BatchEngine`] — generic worker pool with per-job panic
+//!   isolation, soft timeouts and submission-ordered results.
+//! * [`cache::ModelCache`] — learn-once/extract-many `Vs2Model` sharing.
+//! * [`service::ExtractService`] — the three wired together over
+//!   [`job::JobSpec`]s.
+//! * the `vs2d` binary — JSONL front end over [`service::ExtractService`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod job;
+pub mod queue;
+pub mod service;
+
+pub use cache::{default_config_for, weights_for, ModelCache};
+pub use engine::{BatchEngine, Completed, EngineConfig, EngineStats, JobOutcome};
+pub use job::{JobResult, JobSource, JobSpec, JobStatus, DEFAULT_DOC_SEED};
+pub use queue::BoundedQueue;
+pub use service::{ExtractService, LatencySummary};

@@ -1,0 +1,169 @@
+//! A bounded multi-producer/multi-consumer work queue built on
+//! `Mutex` + `Condvar`.
+//!
+//! `push` blocks while the queue is at capacity — that blocking *is* the
+//! service's backpressure: a submitter can never race ahead of the worker
+//! pool by more than `capacity` jobs. Every push that had to wait at
+//! least once bumps a stall counter, surfaced in the shutdown summary so
+//! operators can see when the queue (not the workers) was the bottleneck.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded blocking MPMC queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    stalls: AtomicU64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+            stalls: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns the
+    /// item back if the queue was closed before space opened up.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock().unwrap();
+        let mut stalled = false;
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.items.len() < self.capacity {
+                break;
+            }
+            if !stalled {
+                stalled = true;
+                self.stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            st = self.not_full.wait(st).unwrap();
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained — the
+    /// worker-loop termination signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Closes the queue: pending items stay poppable, new pushes fail,
+    /// blocked poppers wake once the backlog drains.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of queued (not yet popped) items.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pushes that blocked at least once on a full queue.
+    pub fn stall_count(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_blocks_and_counts_stalls() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        assert_eq!(q.stall_count(), 0);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(1).unwrap());
+        // Give the producer time to hit the full queue.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.len(), 1, "second push must wait for space");
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.stall_count(), 1);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(7).unwrap();
+        assert_eq!(q.pop(), Some(7));
+    }
+}

@@ -1,0 +1,126 @@
+//! The extraction service: a [`BatchEngine`] whose processor resolves
+//! job specs against the shared [`ModelCache`] and runs
+//! `Vs2Pipeline::extract`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use vs2_core::pipeline::Vs2Config;
+use vs2_core::Extraction;
+
+use crate::cache::{default_config_for, ModelCache};
+use crate::engine::{BatchEngine, Completed, EngineConfig, EngineStats};
+use crate::job::JobSpec;
+
+/// Learn-once / extract-many document-extraction service.
+///
+/// `submit` blocks when the work queue is full (backpressure); results
+/// come back in submission order regardless of worker count, so batch
+/// output is reproducible byte for byte.
+pub struct ExtractService {
+    engine: BatchEngine<JobSpec, Vec<Extraction>>,
+    cache: Arc<ModelCache>,
+}
+
+impl ExtractService {
+    /// Builds the service. `config: None` serves each dataset with its
+    /// default configuration ([`default_config_for`]); `Some(cfg)`
+    /// applies `cfg` verbatim to every dataset. `model_seed` addresses
+    /// the holdout corpus used for learning (see
+    /// [`ModelCache::model_for`]).
+    pub fn new(engine_config: EngineConfig, model_seed: u64, config: Option<Vs2Config>) -> Self {
+        let cache = Arc::new(ModelCache::new());
+        let worker_cache = Arc::clone(&cache);
+        let engine = BatchEngine::new(engine_config, move |spec: &JobSpec| {
+            let config = config.unwrap_or_else(|| default_config_for(spec.dataset));
+            let pipeline = worker_cache.pipeline_for(spec.dataset, model_seed, config);
+            pipeline.extract(&spec.document())
+        });
+        Self { engine, cache }
+    }
+
+    /// Submits a job (blocking on a full queue); returns its sequence
+    /// number.
+    pub fn submit(&self, spec: JobSpec) -> u64 {
+        self.engine.submit(spec)
+    }
+
+    /// Blocks until job `seq` finishes; see [`BatchEngine::wait_result`].
+    pub fn wait_result(&self, seq: u64) -> Completed<Vec<Extraction>> {
+        self.engine.wait_result(seq)
+    }
+
+    /// Waits for all submitted jobs, in submission order.
+    pub fn drain(&mut self) -> Vec<Completed<Vec<Extraction>>> {
+        self.engine.drain()
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Model-cache `(hits, misses)`.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        self.cache.counters()
+    }
+
+    /// Shuts the worker pool down and returns final counters.
+    pub fn shutdown(self) -> EngineStats {
+        self.engine.shutdown()
+    }
+}
+
+/// Latency percentiles over a finished batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarises a batch; zeroes when empty.
+    pub fn from_latencies(latencies: &[Duration]) -> Self {
+        let mut us: Vec<u64> = latencies
+            .iter()
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+            .collect();
+        us.sort_unstable();
+        let pick = |p: f64| -> u64 {
+            if us.is_empty() {
+                return 0;
+            }
+            // Nearest-rank percentile.
+            let rank = ((p / 100.0) * us.len() as f64).ceil() as usize;
+            us[rank.clamp(1, us.len()) - 1]
+        };
+        Self {
+            count: us.len(),
+            p50_us: pick(50.0),
+            p95_us: pick(95.0),
+            p99_us: pick(99.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let lat: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let s = LatencySummary::from_latencies(&lat);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(LatencySummary::from_latencies(&[]).p99_us, 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end service tests: real pipeline, real synthetic documents.
+
+use std::time::Duration;
+
+use serde::Serialize;
+use vs2_serve::{
+    Completed, EngineConfig, ExtractService, JobOutcome, JobSource, JobSpec, DEFAULT_DOC_SEED,
+};
+use vs2_synth::dataset::{generate_one, DatasetConfig, DatasetId};
+
+fn job(dataset: DatasetId, doc_index: usize) -> JobSpec {
+    JobSpec {
+        job_id: None,
+        dataset,
+        source: JobSource::Synthetic {
+            doc_index,
+            seed: DEFAULT_DOC_SEED,
+        },
+    }
+}
+
+fn mixed_batch() -> Vec<JobSpec> {
+    // Interleave datasets so worker scheduling and cache population
+    // order genuinely vary between runs.
+    (0..4)
+        .flat_map(|i| {
+            [
+                job(DatasetId::D1, i),
+                job(DatasetId::D2, i),
+                job(DatasetId::D3, i),
+            ]
+        })
+        .collect()
+}
+
+fn run_batch(workers: usize, specs: &[JobSpec]) -> Vec<String> {
+    let mut service = ExtractService::new(
+        EngineConfig {
+            workers,
+            queue_capacity: 4,
+            job_timeout: Some(Duration::from_secs(60)),
+        },
+        DEFAULT_DOC_SEED,
+        None,
+    );
+    for spec in specs {
+        service.submit(spec.clone());
+    }
+    let results = service.drain();
+    let stats = service.shutdown();
+    assert_eq!(stats.ok, specs.len() as u64);
+    results
+        .iter()
+        .map(|done: &Completed<_>| match &done.outcome {
+            JobOutcome::Ok(extractions) => serde_json::to_string(&extractions.to_value()).unwrap(),
+            other => panic!("job {} failed: {other:?}", done.seq),
+        })
+        .collect()
+}
+
+#[test]
+fn output_is_identical_for_any_worker_count() {
+    let specs = mixed_batch();
+    let one = run_batch(1, &specs);
+    for workers in [2, 4] {
+        assert_eq!(
+            run_batch(workers, &specs),
+            one,
+            "{workers}-worker output diverged from the 1-worker run"
+        );
+    }
+}
+
+#[test]
+fn extractions_match_unserved_pipeline() {
+    // A served job must produce exactly what a directly-built pipeline
+    // produces on the same document.
+    let dataset = DatasetId::D2;
+    let spec = job(dataset, 1);
+    let mut service = ExtractService::new(
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 2,
+            job_timeout: None,
+        },
+        DEFAULT_DOC_SEED,
+        None,
+    );
+    service.submit(spec.clone());
+    let served = match service.drain().remove(0).outcome {
+        JobOutcome::Ok(ex) => ex,
+        other => panic!("{other:?}"),
+    };
+
+    let cache = vs2_serve::ModelCache::new();
+    let pipeline = cache.pipeline_for(
+        dataset,
+        DEFAULT_DOC_SEED,
+        vs2_serve::default_config_for(dataset),
+    );
+    let doc = generate_one(dataset, 1, DatasetConfig::new(1, DEFAULT_DOC_SEED)).doc;
+    assert_eq!(served, pipeline.extract(&doc));
+}
+
+#[test]
+fn one_model_learned_per_dataset() {
+    // Single worker so cache hit/miss counts are deterministic; the
+    // concurrent learn-once property is covered by the cache unit tests.
+    let mut service = ExtractService::new(
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 8,
+            job_timeout: None,
+        },
+        DEFAULT_DOC_SEED,
+        None,
+    );
+    for spec in mixed_batch() {
+        service.submit(spec);
+    }
+    let results = service.drain();
+    assert_eq!(results.len(), 12);
+    let (hits, misses) = service.cache_counters();
+    assert_eq!(misses, 3, "one learn per dataset, shared across workers");
+    assert_eq!(hits + misses, 12);
+}

@@ -46,11 +46,21 @@ impl DatasetId {
                 .into_iter()
                 .map(|(k, _)| k)
                 .collect(),
-            DatasetId::D2 => posters::entities::ALL.iter().map(|s| s.to_string()).collect(),
-            DatasetId::D3 => flyers::entities::ALL.iter().map(|s| s.to_string()).collect(),
+            DatasetId::D2 => posters::entities::ALL
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            DatasetId::D3 => flyers::entities::ALL
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
         }
     }
 }
+
+// Job specs address datasets by name ("D1"…); see `vs2-serve`.
+#[cfg(feature = "serde")]
+serde::impl_serde_unit_enum!(DatasetId { D1, D2, D3 });
 
 /// Generation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -83,19 +93,34 @@ impl DatasetConfig {
 }
 
 /// Generates an annotated, OCR-noised dataset.
+///
+/// Equivalent to `(0..n_docs).map(|i| generate_one(id, i, config))`: every
+/// document derives its own OCR randomness from `(seed, doc_index)`, so
+/// any document of the stream can be regenerated in isolation.
 pub fn generate(id: DatasetId, config: DatasetConfig) -> Vec<AnnotatedDocument> {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0C12);
     (0..config.n_docs)
-        .map(|i| {
-            let clean = match id {
-                DatasetId::D1 => tax::generate_form(i, config.seed),
-                DatasetId::D2 => posters::generate_poster(i, config.seed),
-                DatasetId::D3 => flyers::generate_flyer(i, config.seed),
-            };
-            let noise = config.ocr.unwrap_or_else(|| default_ocr(id, i));
-            ocr::apply(&clean, &noise, &mut rng)
-        })
+        .map(|i| generate_one(id, i, config))
         .collect()
+}
+
+/// Generates document `doc_index` of the dataset stream addressed by
+/// `(id, config.seed)` without generating its predecessors — the
+/// doc-id-addressable entry point batch-serving job specs rely on.
+/// `config.n_docs` is ignored; `doc_index` may lie anywhere in the
+/// stream.
+pub fn generate_one(id: DatasetId, doc_index: usize, config: DatasetConfig) -> AnnotatedDocument {
+    let clean = match id {
+        DatasetId::D1 => tax::generate_form(doc_index, config.seed),
+        DatasetId::D2 => posters::generate_poster(doc_index, config.seed),
+        DatasetId::D3 => flyers::generate_flyer(doc_index, config.seed),
+    };
+    let noise = config.ocr.unwrap_or_else(|| default_ocr(id, doc_index));
+    // Per-document OCR stream: splitting by doc index keeps document i
+    // identical whether it is generated alone or as part of a batch.
+    let mut rng = StdRng::seed_from_u64(
+        (config.seed ^ 0x0C12).wrapping_add((doc_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    ocr::apply(&clean, &noise, &mut rng)
 }
 
 /// Per-dataset default OCR noise. D2 mixes mobile captures (heavy noise,
@@ -180,10 +205,7 @@ mod tests {
         );
         let clean = generate(DatasetId::D3, DatasetConfig::new(1, 3));
         // Heavy noise changes the transcription relative to the clean default.
-        assert_ne!(
-            noisy[0].doc.transcribe_all(),
-            clean[0].doc.transcribe_all()
-        );
+        assert_ne!(noisy[0].doc.transcribe_all(), clean[0].doc.transcribe_all());
     }
 
     #[test]
@@ -193,6 +215,19 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.doc, y.doc);
+        }
+    }
+
+    #[test]
+    fn generate_one_is_addressable() {
+        // Document i regenerated in isolation matches the batch stream —
+        // including OCR noise.
+        for id in DatasetId::ALL {
+            let batch = generate(id, DatasetConfig::new(4, 9));
+            for (i, expected) in batch.iter().enumerate() {
+                let solo = generate_one(id, i, DatasetConfig::new(1, 9));
+                assert_eq!(&solo, expected, "{id:?} doc {i}");
+            }
         }
     }
 }

@@ -90,7 +90,12 @@ pub fn generate_flyer(id: usize, seed: u64) -> AnnotatedDocument {
 
     let content_w = PAGE_W - 2.0 * MARGIN;
     let (main_x, main_w, broker_x, broker_w) = if fam.sidebar {
-        (MARGIN, content_w * 0.62, MARGIN + content_w * 0.68, content_w * 0.32)
+        (
+            MARGIN,
+            content_w * 0.62,
+            MARGIN + content_w * 0.68,
+            content_w * 0.32,
+        )
     } else {
         (MARGIN, content_w, MARGIN, content_w)
     };
@@ -298,7 +303,11 @@ mod tests {
     #[test]
     fn different_families_differ() {
         let xs: Vec<f64> = (0..FAMILIES)
-            .map(|i| generate_flyer(i, 1).annotations_for(entities::PROPERTY_ADDRESS)[0].bbox.h)
+            .map(|i| {
+                generate_flyer(i, 1).annotations_for(entities::PROPERTY_ADDRESS)[0]
+                    .bbox
+                    .h
+            })
             .collect();
         let mut uniq = xs.clone();
         uniq.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -309,8 +318,16 @@ mod tests {
     #[test]
     fn markup_hints_present() {
         let f = generate_flyer(1, 42);
-        assert!(f.doc.texts.iter().any(|t| t.markup == Some(MarkupClass::Heading1)));
-        assert!(f.doc.texts.iter().any(|t| t.markup == Some(MarkupClass::Paragraph)));
+        assert!(f
+            .doc
+            .texts
+            .iter()
+            .any(|t| t.markup == Some(MarkupClass::Heading1)));
+        assert!(f
+            .doc
+            .texts
+            .iter()
+            .any(|t| t.markup == Some(MarkupClass::Paragraph)));
     }
 
     #[test]

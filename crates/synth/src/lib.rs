@@ -29,7 +29,7 @@ pub mod render;
 pub mod tax;
 pub mod textgen;
 
-pub use dataset::{generate, holdout_corpus, DatasetConfig, DatasetId};
+pub use dataset::{generate, generate_one, holdout_corpus, DatasetConfig, DatasetId};
 pub use holdout::{HoldoutCorpus, HoldoutEntry};
 pub use ocr::OcrConfig;
 

@@ -239,7 +239,10 @@ mod tests {
 
     fn sample() -> AnnotatedDocument {
         let mut doc = Document::new("s", 200.0, 100.0);
-        for (i, w) in ["hello", "beautiful", "world", "tonight"].iter().enumerate() {
+        for (i, w) in ["hello", "beautiful", "world", "tonight"]
+            .iter()
+            .enumerate()
+        {
             doc.push_text(TextElement::word(
                 *w,
                 BBox::new(10.0 + 40.0 * i as f64, 10.0, 35.0, 10.0),
@@ -331,7 +334,10 @@ mod tests {
         // First word and its annotation still coincide.
         let word_bbox = out.doc.texts[0].bbox;
         let ann_bbox = out.annotations[0].bbox;
-        assert!(word_bbox.iou(&ann_bbox) > 0.95, "{word_bbox:?} vs {ann_bbox:?}");
+        assert!(
+            word_bbox.iou(&ann_bbox) > 0.95,
+            "{word_bbox:?} vs {ann_bbox:?}"
+        );
         // And the page content actually moved.
         assert!((word_bbox.x - input.doc.texts[0].bbox.x).abs() > 1.0);
     }

@@ -14,9 +14,7 @@ use crate::textgen;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use vs2_docmodel::{
-    AnnotatedDocument, BBox, Document, EntityAnnotation, ImageElement, Rgb,
-};
+use vs2_docmodel::{AnnotatedDocument, BBox, Document, EntityAnnotation, ImageElement, Rgb};
 use vs2_nlp::lexicon::Topic;
 
 /// Entity keys of dataset D2.
@@ -118,7 +116,11 @@ pub fn generate_poster(id: usize, seed: u64) -> AnnotatedDocument {
     let time_text = textgen::event_time(&mut rng);
     let time_style = TextStyle::body(rng.gen_range(16.0..22.0))
         .with_color(vivid_color(&mut rng))
-        .with_align(if rng.gen_bool(0.5) { Align::Center } else { Align::Left })
+        .with_align(if rng.gen_bool(0.5) {
+            Align::Center
+        } else {
+            Align::Left
+        })
         .with_markup(vs2_docmodel::MarkupClass::Heading2);
     let placed = place_text(&mut doc, &time_text, MARGIN, y, content_w, &time_style);
     annotations.push(EntityAnnotation::new(
@@ -155,7 +157,11 @@ pub fn generate_poster(id: usize, seed: u64) -> AnnotatedDocument {
     let desc_style = TextStyle::body(rng.gen_range(10.0..12.5))
         .with_markup(vs2_docmodel::MarkupClass::Paragraph);
     let two_col = rng.gen_bool(0.3);
-    let col_w = if two_col { content_w / 2.0 - 12.0 } else { content_w };
+    let col_w = if two_col {
+        content_w / 2.0 - 12.0
+    } else {
+        content_w
+    };
     let placed = place_text(&mut doc, &desc, MARGIN, y, col_w, &desc_style);
     annotations.push(EntityAnnotation::new(
         entities::EVENT_DESCRIPTION,

@@ -128,10 +128,7 @@ pub fn place_text(
         if line.is_empty() {
             continue;
         }
-        let line_width: f64 = line
-            .iter()
-            .map(|w| word_width(w, fs))
-            .sum::<f64>()
+        let line_width: f64 = line.iter().map(|w| word_width(w, fs)).sum::<f64>()
             + WORD_GAP_EM * fs * (line.len().saturating_sub(1)) as f64;
         let mut cur_x = match style.align {
             Align::Left => x,
@@ -171,7 +168,14 @@ mod tests {
     #[test]
     fn single_line_metrics() {
         let mut doc = Document::new("t", 612.0, 792.0);
-        let p = place_text(&mut doc, "hello world", 10.0, 20.0, 600.0, &TextStyle::body(10.0));
+        let p = place_text(
+            &mut doc,
+            "hello world",
+            10.0,
+            20.0,
+            600.0,
+            &TextStyle::body(10.0),
+        );
         assert_eq!(p.word_indices.len(), 2);
         assert_eq!(p.text, "hello world");
         assert_eq!(p.bbox.y, 20.0);
@@ -183,10 +187,21 @@ mod tests {
     #[test]
     fn wrapping_advances_lines() {
         let mut doc = Document::new("t", 612.0, 792.0);
-        let p = place_text(&mut doc, "aaaa bbbb cccc", 0.0, 0.0, 50.0, &TextStyle::body(10.0));
+        let p = place_text(
+            &mut doc,
+            "aaaa bbbb cccc",
+            0.0,
+            0.0,
+            50.0,
+            &TextStyle::body(10.0),
+        );
         // Each word is 22 wide; two fit per 50-wide line (22+3+22=47).
         assert!(p.bbox.h > 10.0, "wrapped run spans multiple lines");
-        let ys: Vec<f64> = p.word_indices.iter().map(|i| doc.texts[*i].bbox.y).collect();
+        let ys: Vec<f64> = p
+            .word_indices
+            .iter()
+            .map(|i| doc.texts[*i].bbox.y)
+            .collect();
         assert!(ys.iter().any(|y| *y > 0.0));
     }
 
@@ -233,7 +248,14 @@ mod tests {
     #[test]
     fn overlong_word_still_places() {
         let mut doc = Document::new("t", 612.0, 792.0);
-        let p = place_text(&mut doc, "supercalifragilistic", 0.0, 0.0, 20.0, &TextStyle::body(10.0));
+        let p = place_text(
+            &mut doc,
+            "supercalifragilistic",
+            0.0,
+            0.0,
+            20.0,
+            &TextStyle::body(10.0),
+        );
         assert_eq!(p.word_indices.len(), 1);
         assert!(p.bbox.w > 20.0);
     }

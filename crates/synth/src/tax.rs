@@ -86,7 +86,14 @@ pub fn generate_form(id: usize, seed: u64) -> AnnotatedDocument {
         (b'A' + face as u8) as char
     );
     let header_style = TextStyle::body(13.0);
-    let placed = place_text(&mut doc, &header, MARGIN, MARGIN, PAGE_W - 2.0 * MARGIN, &header_style);
+    let placed = place_text(
+        &mut doc,
+        &header,
+        MARGIN,
+        MARGIN,
+        PAGE_W - 2.0 * MARGIN,
+        &header_style,
+    );
     let mut y = placed.bbox.bottom() + 18.0;
 
     // Field grid: two columns of label/value rows.
@@ -174,7 +181,9 @@ mod tests {
     #[test]
     fn descriptors_are_stable_and_distinct_within_face() {
         assert_eq!(field_descriptor(3, 5), field_descriptor(3, 5));
-        let mut ds: Vec<String> = (0..FIELDS_PER_FACE).map(|i| field_descriptor(0, i)).collect();
+        let mut ds: Vec<String> = (0..FIELDS_PER_FACE)
+            .map(|i| field_descriptor(0, i))
+            .collect();
         let n = ds.len();
         ds.sort();
         ds.dedup();

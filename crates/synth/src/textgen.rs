@@ -293,9 +293,9 @@ mod tests {
         let mut r = rng();
         for _ in 0..20 {
             let s = property_size(&mut r);
-            let has_measure = s.split_whitespace().any(|w| {
-                vs2_nlp::hypernym::has_sense(w, vs2_nlp::hypernym::Sense::Measure)
-            });
+            let has_measure = s
+                .split_whitespace()
+                .any(|w| vs2_nlp::hypernym::has_sense(w, vs2_nlp::hypernym::Sense::Measure));
             assert!(has_measure, "no measure in {s}");
         }
     }

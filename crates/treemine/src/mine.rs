@@ -205,9 +205,9 @@ pub fn maximal(patterns: &[Pattern]) -> Vec<Pattern> {
     patterns
         .iter()
         .filter(|p| {
-            !patterns.iter().any(|q| {
-                q.tree.size() > p.tree.size() && contains(&q.tree, &p.tree)
-            })
+            !patterns
+                .iter()
+                .any(|q| q.tree.size() > p.tree.size() && contains(&q.tree, &p.tree))
         })
         .cloned()
         .collect()

@@ -62,10 +62,7 @@ impl Tree {
     }
 }
 
-fn parse_node(
-    s: &str,
-    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
-) -> Option<Tree> {
+fn parse_node(s: &str, chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) -> Option<Tree> {
     // Label runs until '(', ')' or ' '.
     let start = chars.peek()?.0;
     let mut end = start;
@@ -261,7 +258,10 @@ mod tests {
     fn containment_is_induced_not_embedded() {
         // S(NP(CD)) requires CD to be a *child* of NP — it is.
         let big = sample();
-        assert!(contains(&big, &Tree::node("S", vec![Tree::node("NP", vec![Tree::leaf("CD")])])));
+        assert!(contains(
+            &big,
+            &Tree::node("S", vec![Tree::node("NP", vec![Tree::leaf("CD")])])
+        ));
         // S(CD) would require CD as a direct child of S — it is not.
         assert!(!contains(&big, &Tree::node("S", vec![Tree::leaf("CD")])));
     }

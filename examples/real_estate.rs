@@ -11,10 +11,7 @@ use vs2_core::pipeline::{Vs2Config, Vs2Pipeline};
 use vs2_eval::{evaluate_end_to_end, ExtractionItem, PrCounts};
 use vs2_synth::{generate, holdout_corpus, DatasetConfig, DatasetId};
 
-fn score<E: Extractor>(
-    extractor: &E,
-    docs: &[vs2_docmodel::AnnotatedDocument],
-) -> PrCounts {
+fn score<E: Extractor>(extractor: &E, docs: &[vs2_docmodel::AnnotatedDocument]) -> PrCounts {
     let mut counts = PrCounts::default();
     for ad in docs {
         let preds: Vec<ExtractionItem> = extractor
@@ -79,7 +76,20 @@ fn main() {
     let text_only = TextOnlyExtractor::new(pipeline);
     let ours = score(&vs2, &docs);
     let base = score(&text_only, &docs);
-    println!("\nVS2:       P {:.1}%  R {:.1}%  F1 {:.1}%", 100.0 * ours.precision(), 100.0 * ours.recall(), 100.0 * ours.f1());
-    println!("text-only: P {:.1}%  R {:.1}%  F1 {:.1}%", 100.0 * base.precision(), 100.0 * base.recall(), 100.0 * base.f1());
-    println!("dF1: {:+.1} percentage points", 100.0 * (ours.f1() - base.f1()));
+    println!(
+        "\nVS2:       P {:.1}%  R {:.1}%  F1 {:.1}%",
+        100.0 * ours.precision(),
+        100.0 * ours.recall(),
+        100.0 * ours.f1()
+    );
+    println!(
+        "text-only: P {:.1}%  R {:.1}%  F1 {:.1}%",
+        100.0 * base.precision(),
+        100.0 * base.recall(),
+        100.0 * base.f1()
+    );
+    println!(
+        "dF1: {:+.1} percentage points",
+        100.0 * (ours.f1() - base.f1())
+    );
 }

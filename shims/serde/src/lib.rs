@@ -1,0 +1,475 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no network access, so the workspace ships a
+//! minimal self-describing data model instead of the real serde:
+//!
+//! * [`Value`] — a JSON-shaped tree (null / bool / int / float / string /
+//!   array / ordered object).
+//! * [`Serialize`] / [`Deserialize`] — conversion to and from [`Value`].
+//! * [`impl_serde_struct!`] / [`impl_serde_unit_enum!`] — macro
+//!   replacements for `#[derive(Serialize, Deserialize)]` on structs with
+//!   named fields and on field-less enums.
+//!
+//! The `serde_json` shim crate layers JSON text on top of this model.
+//! Object keys keep insertion order so serialized output is deterministic.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A self-describing value: the interchange format between [`Serialize`]
+/// and concrete encodings (JSON via the `serde_json` shim).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer (covers i64; u64 above `i64::MAX` uses [`Value::UInt`]).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX` (e.g. random 64-bit ids).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Deserializes the field `key` of an object value.
+    pub fn field<T: Deserialize>(&self, key: &str) -> Result<T, Error> {
+        match self.get(key) {
+            Some(v) => T::from_value(v).map_err(|e| Error::new(format!("field `{key}`: {e}"))),
+            None => Err(Error::new(format!("missing field `{key}`"))),
+        }
+    }
+
+    /// Deserializes the field `key`, falling back to `default` when absent.
+    pub fn field_or<T: Deserialize>(&self, key: &str, default: T) -> Result<T, Error> {
+        match self.get(key) {
+            Some(v) => T::from_value(v).map_err(|e| Error::new(format!("field `{key}`: {e}"))),
+            None => Ok(default),
+        }
+    }
+
+    /// The value as an `f64` when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the self-describing [`Value`] model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the self-describing [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Deserializes from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i64 = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u)
+                        .map_err(|_| Error::new("integer out of range"))?,
+                    Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => f as i64,
+                    ref other => return Err(Error::new(format!("expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )+};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: u64 = match *v {
+                    Value::Int(i) => u64::try_from(i)
+                        .map_err(|_| Error::new("negative integer for unsigned field"))?,
+                    Value::UInt(u) => u,
+                    Value::Float(f) if f.fract() == 0.0 && (0.0..1.9e19).contains(&f) => f as u64,
+                    ref other => return Err(Error::new(format!("expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )+};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::new(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::new(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(Error::new(format!(
+                                "expected {expected}-tuple, got {} items", items.len())));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::new(format!("expected array, got {other:?}"))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// Implements [`Serialize`] and [`Deserialize`] for a struct with named
+/// fields, mirroring what `#[derive(Serialize, Deserialize)]` would do:
+///
+/// ```
+/// #[derive(PartialEq, Debug)]
+/// struct P { x: f64, y: f64 }
+/// serde::impl_serde_struct!(P { x, y });
+/// let v = serde::Serialize::to_value(&P { x: 1.0, y: 2.0 });
+/// let back: P = serde::Deserialize::from_value(&v).unwrap();
+/// assert_eq!(back, P { x: 1.0, y: 2.0 });
+/// ```
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::Serialize::to_value(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok(Self {
+                    $($field: v.field(stringify!($field))?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`Serialize`] and [`Deserialize`] for a field-less enum,
+/// encoding variants as their name string.
+#[macro_export]
+macro_rules! impl_serde_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                let name = match self {
+                    $(Self::$variant => stringify!($variant),)+
+                };
+                $crate::Value::Str(name.to_string())
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                match v {
+                    $crate::Value::Str(s) => match s.as_str() {
+                        $(stringify!($variant) => Ok(Self::$variant),)+
+                        other => Err($crate::Error::new(format!(
+                            concat!("unknown ", stringify!($ty), " variant `{}`"), other))),
+                    },
+                    other => Err($crate::Error::new(format!(
+                        "expected string, got {other:?}"))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        name: String,
+        count: u64,
+        ratio: f64,
+        tags: Vec<String>,
+        maybe: Option<i32>,
+    }
+
+    impl_serde_struct!(Demo {
+        name,
+        count,
+        ratio,
+        tags,
+        maybe
+    });
+
+    #[derive(Debug, PartialEq)]
+    enum Mode {
+        Fast,
+        Slow,
+    }
+
+    impl_serde_unit_enum!(Mode { Fast, Slow });
+
+    #[test]
+    fn struct_round_trip() {
+        let d = Demo {
+            name: "x".into(),
+            count: u64::MAX,
+            ratio: -1.5,
+            tags: vec!["a".into(), "b".into()],
+            maybe: None,
+        };
+        let back = Demo::from_value(&d.to_value()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn enum_round_trip_and_errors() {
+        assert_eq!(Mode::from_value(&Mode::Fast.to_value()), Ok(Mode::Fast));
+        assert!(Mode::from_value(&Value::Str("Nope".into())).is_err());
+        assert!(Mode::from_value(&Value::Int(3)).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_an_error_with_context() {
+        let v = Value::Object(vec![("name".into(), Value::Str("x".into()))]);
+        let err = Demo::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("count"), "{err}");
+    }
+
+    #[test]
+    fn field_or_defaults() {
+        let v = Value::Object(vec![]);
+        assert_eq!(v.field_or("missing", 7i64).unwrap(), 7);
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let big = u64::MAX - 3;
+        let v = big.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), big);
+    }
+}

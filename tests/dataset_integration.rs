@@ -48,7 +48,9 @@ fn annotations_survive_the_ocr_channel_geometrically() {
             for a in &ad.annotations {
                 // Each annotation still overlaps document content.
                 assert!(
-                    !ad.doc.elements_intersecting(&a.bbox.inflate(2.0)).is_empty(),
+                    !ad.doc
+                        .elements_intersecting(&a.bbox.inflate(2.0))
+                        .is_empty(),
                     "{}: annotation {} lost its content",
                     ad.doc.id,
                     a.entity
@@ -86,7 +88,10 @@ fn trained_embedding_learns_from_holdout_corpus() {
     // "hosted" and "organized" share contexts in organiser lines.
     let sim = vs2_nlp::cosine(&emb.embed("hosted"), &emb.embed("organized"));
     let cross = vs2_nlp::cosine(&emb.embed("hosted"), &emb.embed("43210"));
-    assert!(sim > cross, "distributional signal missing: {sim} vs {cross}");
+    assert!(
+        sim > cross,
+        "distributional signal missing: {sim} vs {cross}"
+    );
 }
 
 #[test]

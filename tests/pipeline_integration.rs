@@ -123,7 +123,12 @@ fn extractions_claim_distinct_blocks() {
         let ex = pipeline.extract(&d.doc);
         let mut keys: Vec<String> = ex
             .iter()
-            .map(|e| format!("{:.0},{:.0},{:.0}", e.block_bbox.x, e.block_bbox.y, e.block_bbox.w))
+            .map(|e| {
+                format!(
+                    "{:.0},{:.0},{:.0}",
+                    e.block_bbox.x, e.block_bbox.y, e.block_bbox.w
+                )
+            })
             .collect();
         let n = keys.len();
         keys.sort();

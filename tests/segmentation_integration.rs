@@ -8,8 +8,18 @@ fn poster_segmentation_yields_plausible_blocks() {
     let docs = generate(DatasetId::D2, DatasetConfig::new(3, 77));
     for d in &docs {
         let blocks = logical_blocks(&d.doc, &SegmentConfig::default());
-        assert!(blocks.len() >= 3, "too few blocks: {} for {}", blocks.len(), d.doc.id);
-        assert!(blocks.len() <= 40, "too many blocks: {} for {}", blocks.len(), d.doc.id);
+        assert!(
+            blocks.len() >= 3,
+            "too few blocks: {} for {}",
+            blocks.len(),
+            d.doc.id
+        );
+        assert!(
+            blocks.len() <= 40,
+            "too many blocks: {} for {}",
+            blocks.len(),
+            d.doc.id
+        );
         let total: usize = blocks.iter().map(|b| b.elements.len()).sum();
         assert_eq!(total, d.doc.len(), "elements lost in {}", d.doc.id);
     }
