@@ -1,0 +1,56 @@
+//! Golden-snapshot tool.
+//!
+//! * `cargo run -p vs2-conformance --bin golden` — check mode: renders
+//!   the live snapshot for every dataset and diffs it against the
+//!   checked-in fixture; exits non-zero on drift or a missing fixture.
+//! * `cargo run -p vs2-conformance --bin golden -- --bless` —
+//!   regenerates every fixture in place.
+
+use std::process::ExitCode;
+
+use vs2_conformance::golden::{check_golden, dataset_name, golden_path, golden_snapshot};
+use vs2_synth::DatasetId;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bless = match args.as_slice() {
+        [] => false,
+        [flag] if flag == "--bless" => true,
+        other => {
+            eprintln!("usage: golden [--bless] (got {other:?})");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    for dataset in DatasetId::ALL {
+        if bless {
+            let path = golden_path(dataset);
+            if let Some(dir) = path.parent() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            let snapshot = golden_snapshot(dataset);
+            if let Err(e) = std::fs::write(&path, &snapshot) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("blessed {} ({} bytes)", path.display(), snapshot.len());
+        } else {
+            match check_golden(dataset) {
+                Ok(()) => println!("{}: ok", dataset_name(dataset)),
+                Err(e) => {
+                    eprintln!("{}: {e}", dataset_name(dataset));
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

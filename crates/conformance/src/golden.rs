@@ -1,0 +1,118 @@
+//! Golden-snapshot plumbing.
+//!
+//! A snapshot pins the full extraction output of the served pipeline —
+//! model learning included — over the first [`N_GOLDEN_DOCS`] documents
+//! of each synthetic dataset at [`DEFAULT_DOC_SEED`]. The fixtures live
+//! in `crates/conformance/golden/<dataset>.json`; the `golden` bin
+//! checks them (default) or regenerates them (`--bless`), and
+//! `tests/golden.rs` compares against them on every run.
+//!
+//! The snapshots derive from the repo's *synthetic* datasets, not the
+//! paper's corpora — they pin this implementation against itself, not
+//! against published figures.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Serialize as _, Value};
+use vs2_serve::{default_config_for, ModelCache, DEFAULT_DOC_SEED};
+use vs2_synth::{generate_one, DatasetConfig, DatasetId};
+
+/// Documents snapshotted per dataset.
+pub const N_GOLDEN_DOCS: usize = 4;
+
+/// Stable fixture stem for a dataset (`D1` / `D2` / `D3`).
+pub fn dataset_name(dataset: DatasetId) -> &'static str {
+    match dataset {
+        DatasetId::D1 => "D1",
+        DatasetId::D2 => "D2",
+        DatasetId::D3 => "D3",
+    }
+}
+
+/// Path of the checked-in fixture for `dataset`.
+pub fn golden_path(dataset: DatasetId) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{}.json", dataset_name(dataset)))
+}
+
+/// Renders the current snapshot for `dataset`: learns the model once
+/// (exactly the served configuration) and extracts every golden
+/// document, serialising the results as pretty JSON with a trailing
+/// newline.
+pub fn golden_snapshot(dataset: DatasetId) -> String {
+    let cache = ModelCache::new();
+    let pipeline = cache.pipeline_for(dataset, DEFAULT_DOC_SEED, default_config_for(dataset));
+    let docs: Vec<Value> = (0..N_GOLDEN_DOCS)
+        .map(|i| {
+            let doc = generate_one(dataset, i, DatasetConfig::new(1, DEFAULT_DOC_SEED)).doc;
+            let extractions = pipeline.extract(&doc);
+            Value::Object(vec![
+                ("doc_id".into(), Value::Str(doc.id.clone())),
+                ("extractions".into(), extractions.to_value()),
+            ])
+        })
+        .collect();
+    let snapshot = Value::Object(vec![
+        ("dataset".into(), Value::Str(dataset_name(dataset).into())),
+        ("model_seed".into(), DEFAULT_DOC_SEED.to_value()),
+        ("documents".into(), Value::Array(docs)),
+    ]);
+    let mut text = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
+    text.push('\n');
+    text
+}
+
+/// Compares the live snapshot for `dataset` against the checked-in
+/// fixture. `Ok(())` on a match; `Err` describes the drift (or a missing
+/// fixture) and names the bless command.
+pub fn check_golden(dataset: DatasetId) -> Result<(), String> {
+    let path = golden_path(dataset);
+    let expected = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "missing golden fixture {} ({e}); generate it with \
+             `cargo run -p vs2-conformance --bin golden -- --bless`",
+            path.display()
+        )
+    })?;
+    let actual = golden_snapshot(dataset);
+    if actual == expected {
+        return Ok(());
+    }
+    let diff_line = expected
+        .lines()
+        .zip(actual.lines())
+        .position(|(e, a)| e != a)
+        .map_or_else(
+            || "line counts differ".to_string(),
+            |i| format!("first divergence at line {}", i + 1),
+        );
+    Err(format!(
+        "golden snapshot for {} drifted ({diff_line}). If the change is \
+         intentional, re-bless with \
+         `cargo run -p vs2-conformance --bin golden -- --bless` and review \
+         the fixture diff.",
+        dataset_name(dataset)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let a = golden_snapshot(DatasetId::D2);
+        let b = golden_snapshot(DatasetId::D2);
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n'));
+        assert!(a.contains("\"dataset\""));
+    }
+
+    #[test]
+    fn golden_paths_are_distinct_per_dataset() {
+        let paths: Vec<_> = DatasetId::ALL.iter().map(|d| golden_path(*d)).collect();
+        assert_eq!(paths.len(), 3);
+        assert!(paths.windows(2).all(|w| w[0] != w[1]));
+    }
+}

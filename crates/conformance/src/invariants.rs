@@ -1,0 +1,193 @@
+//! Structural invariants over segmentation output.
+//!
+//! These are the properties every segmentation of every document must
+//! satisfy, independent of layout quality: the logical blocks partition
+//! the element set exactly, and the layout tree is a proper hierarchy of
+//! disjoint partitions at every level.
+
+use std::collections::BTreeSet;
+use vs2_core::segment::LogicalBlock;
+use vs2_docmodel::{Document, ElementRef, LayoutTree};
+
+/// A canonical, `ElementRef`-free encoding of a block: the sorted list of
+/// `kind|text|bits(x)|bits(y)|bits(w)|bits(h)` strings of its elements.
+/// Two blocks over permuted documents compare equal iff they hold the
+/// same element *content* — exactly what the permutation property needs.
+pub fn canonical_block(doc: &Document, block: &LogicalBlock) -> Vec<String> {
+    let mut entries: Vec<String> = block
+        .elements
+        .iter()
+        .map(|r| {
+            let b = doc.bbox_of(*r);
+            let (kind, text) = match r {
+                ElementRef::Text(i) => ("T", doc.texts[*i].text.as_str()),
+                ElementRef::Image(_) => ("I", ""),
+            };
+            format!(
+                "{kind}|{text}|{:016x}|{:016x}|{:016x}|{:016x}",
+                b.x.to_bits(),
+                b.y.to_bits(),
+                b.w.to_bits(),
+                b.h.to_bits()
+            )
+        })
+        .collect();
+    entries.sort_unstable();
+    entries
+}
+
+/// The canonical encoding of a whole segmentation: the sorted multiset of
+/// [`canonical_block`] encodings.
+pub fn canonical_blocks(doc: &Document, blocks: &[LogicalBlock]) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = blocks.iter().map(|b| canonical_block(doc, b)).collect();
+    out.sort_unstable();
+    out
+}
+
+/// The segmentation as a partition of `ElementRef` index sets, sorted for
+/// order-free comparison. Valid when both sides index the *same*
+/// document element order (translation/scaling, not permutation).
+pub fn partition_of(blocks: &[LogicalBlock]) -> Vec<Vec<ElementRef>> {
+    let mut out: Vec<Vec<ElementRef>> = blocks
+        .iter()
+        .map(|b| {
+            let mut refs = b.elements.clone();
+            refs.sort_unstable();
+            refs
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Panics unless every element of `doc` appears in exactly one block —
+/// jointly exhaustive, pairwise disjoint.
+pub fn assert_exact_cover(doc: &Document, blocks: &[LogicalBlock]) {
+    let mut seen: BTreeSet<ElementRef> = BTreeSet::new();
+    for block in blocks {
+        for r in &block.elements {
+            assert!(
+                seen.insert(*r),
+                "element {r:?} of `{}` appears in more than one block",
+                doc.id
+            );
+        }
+    }
+    let all: BTreeSet<ElementRef> = doc.element_refs().into_iter().collect();
+    assert_eq!(
+        seen, all,
+        "blocks of `{}` do not cover the document's elements exactly",
+        doc.id
+    );
+}
+
+/// Panics unless every live node's children carry pairwise-disjoint
+/// element sets whose union equals the node's own elements — the tree is
+/// a partition refinement at every level.
+pub fn assert_tree_partition(doc: &Document, tree: &LayoutTree) {
+    for id in tree.live_ids() {
+        let node = tree.node(id);
+        if node.is_leaf() {
+            continue;
+        }
+        let parent: BTreeSet<ElementRef> = node.elements.iter().copied().collect();
+        let mut union: BTreeSet<ElementRef> = BTreeSet::new();
+        for child in &node.children {
+            for r in &tree.node(*child).elements {
+                assert!(
+                    union.insert(*r),
+                    "element {r:?} of `{}` is shared by siblings under node {id:?}",
+                    doc.id
+                );
+            }
+        }
+        assert_eq!(
+            union, parent,
+            "children of node {id:?} in `{}` do not partition their parent",
+            doc.id
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_docmodel::{BBox, TextElement};
+
+    fn doc() -> Document {
+        let mut d = Document::new("inv", 100.0, 100.0);
+        for i in 0..4 {
+            d.push_text(TextElement::word(
+                format!("w{i}"),
+                BBox::new(20.0 * i as f64, 10.0, 10.0, 5.0),
+            ));
+        }
+        d
+    }
+
+    fn block(refs: &[usize]) -> LogicalBlock {
+        LogicalBlock {
+            bbox: BBox::new(0.0, 0.0, 1.0, 1.0),
+            elements: refs.iter().map(|i| ElementRef::Text(*i)).collect(),
+        }
+    }
+
+    #[test]
+    fn exact_cover_accepts_a_partition() {
+        assert_exact_cover(&doc(), &[block(&[0, 1]), block(&[2, 3])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one block")]
+    fn exact_cover_rejects_overlap() {
+        assert_exact_cover(&doc(), &[block(&[0, 1]), block(&[1, 2, 3])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not cover")]
+    fn exact_cover_rejects_missing_elements() {
+        assert_exact_cover(&doc(), &[block(&[0, 1])]);
+    }
+
+    #[test]
+    fn canonical_blocks_are_order_free() {
+        let d = doc();
+        let a = canonical_blocks(&d, &[block(&[0, 1]), block(&[2, 3])]);
+        let b = canonical_blocks(&d, &[block(&[3, 2]), block(&[1, 0])]);
+        assert_eq!(a, b);
+        let c = canonical_blocks(&d, &[block(&[0, 2]), block(&[1, 3])]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tree_partition_catches_shared_elements() {
+        let d = doc();
+        let refs = d.element_refs();
+        let mut tree = LayoutTree::new(d.page_bbox(), refs.clone());
+        tree.add_child(
+            tree.root(),
+            BBox::new(0.0, 0.0, 50.0, 50.0),
+            refs[..2].to_vec(),
+        );
+        tree.add_child(
+            tree.root(),
+            BBox::new(50.0, 0.0, 50.0, 50.0),
+            refs[2..].to_vec(),
+        );
+        assert_tree_partition(&d, &tree);
+
+        let mut bad = LayoutTree::new(d.page_bbox(), refs.clone());
+        bad.add_child(
+            bad.root(),
+            BBox::new(0.0, 0.0, 50.0, 50.0),
+            refs[..3].to_vec(),
+        );
+        bad.add_child(
+            bad.root(),
+            BBox::new(50.0, 0.0, 50.0, 50.0),
+            refs[2..].to_vec(),
+        );
+        let outcome = std::panic::catch_unwind(|| assert_tree_partition(&d, &bad));
+        assert!(outcome.is_err());
+    }
+}

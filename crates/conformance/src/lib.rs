@@ -1,0 +1,33 @@
+//! # vs2-conformance
+//!
+//! The correctness backstop for the VS2 pipeline and its serving layer.
+//! Perf and scaling PRs land against this crate's suite:
+//!
+//! * [`strategy`] — `proptest`-shim strategies for arbitrary (and
+//!   deliberately degenerate) [`vs2_docmodel::Document`]s. Coordinates
+//!   are quantised to 0.25-unit steps so rigid transforms stay exact in
+//!   `f64` and metamorphic comparisons can be bitwise.
+//! * [`transform`] — the metamorphic document transforms (permutation,
+//!   rigid translation, uniform power-of-two scaling).
+//! * [`invariants`] — structural checks over segmentation output:
+//!   exact element coverage, partition disjointness at every tree level,
+//!   canonical (order-independent) block encodings for comparison.
+//! * [`golden`] — golden-snapshot plumbing shared by the `golden` bin
+//!   (`--bless`) and the snapshot tests.
+//!
+//! The actual properties live in `tests/`: `properties.rs` (metamorphic
+//! and structural), `differential.rs` (serve-vs-direct and 1-vs-N-worker
+//! byte equality), `golden.rs` (snapshot drift), and `regression.rs`
+//! (previously-panicking degenerate inputs, pinned).
+//!
+//! Suite-wide knobs (see the `proptest` shim): `VS2_PROPTEST_CASES` caps
+//! per-property case counts (CI sets a small value), `VS2_PROPTEST_SEED`
+//! replays one failing case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod golden;
+pub mod invariants;
+pub mod strategy;
+pub mod transform;

@@ -1,0 +1,175 @@
+//! Document strategies for the proptest shim.
+//!
+//! All geometry is quantised to [`QUANTUM`]-unit steps. Quarter units are
+//! dyadic rationals, so translating by a quantised offset or scaling by a
+//! power of two is *exact* in `f64` — the metamorphic properties can then
+//! demand bitwise-identical derived geometry instead of approximate
+//! equality.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use vs2_docmodel::{BBox, Document, ImageElement, Lab, TextElement};
+
+/// Geometry quantum: every generated coordinate and extent is a multiple
+/// of this (exactly representable) step.
+pub const QUANTUM: f64 = 0.25;
+
+/// Converts quantum steps to document units.
+pub fn q(steps: u32) -> f64 {
+    f64::from(steps) * QUANTUM
+}
+
+/// One generated word: text plus quantised geometry (x, y, w, h in
+/// steps).
+#[derive(Debug, Clone)]
+pub struct ArbWord {
+    /// Word text (lowercase ASCII, 1–8 chars).
+    pub text: String,
+    /// Position and extent in quantum steps.
+    pub geom: (u32, u32, u32, u32),
+}
+
+fn arb_word() -> impl Strategy<Value = ArbWord> {
+    ("[a-z]{1,8}", (0u32..3200, 0u32..4200, 8u32..240, 8u32..80))
+        .prop_map(|(text, geom)| ArbWord { text, geom })
+}
+
+fn build_doc(id: &str, page: (u32, u32), words: Vec<ArbWord>) -> Document {
+    let mut d = Document::new(id, q(page.0), q(page.1));
+    for w in words {
+        let (x, y, wd, h) = w.geom;
+        d.push_text(TextElement::word(
+            w.text,
+            BBox::new(q(x), q(y), q(wd), q(h)),
+        ));
+    }
+    d
+}
+
+/// Arbitrary "plausible" documents: random word count and placement on a
+/// random page, occasionally with images.
+pub fn arb_document() -> BoxedStrategy<Document> {
+    (
+        (800u32..4000, 800u32..4800),
+        vec(arb_word(), 0..40),
+        vec(
+            (
+                (0u32..3000, 0u32..3000, 40u32..600, 40u32..600),
+                0.0..100.0f64,
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(page, words, images)| {
+            let mut d = build_doc("arb", page, words);
+            for (i, ((x, y, w, h), l)) in images.into_iter().enumerate() {
+                d.push_image(ImageElement::new(
+                    i as u64,
+                    BBox::new(q(x), q(y), q(w), q(h)),
+                    Lab::new(l, 0.0, 0.0),
+                ));
+            }
+            d
+        })
+        .boxed()
+}
+
+/// Degenerate documents: empty pages, zero-area boxes, duplicate
+/// positions, extreme page aspect ratios — the inputs that crash naive
+/// layout code.
+pub fn arb_degenerate_document() -> BoxedStrategy<Document> {
+    let empty = (100u32..4000, 100u32..4000).prop_map(|page| build_doc("deg-empty", page, vec![]));
+    let zero_area = vec((0u32..3200, 0u32..3200), 1..12).prop_map(|spots| {
+        let mut d = Document::new("deg-zero", 800.0, 800.0);
+        for (x, y) in spots {
+            d.push_text(TextElement::word("z", BBox::new(q(x), q(y), 0.0, 0.0)));
+        }
+        d
+    });
+    let duplicates = ((0u32..3000, 0u32..3000, 40u32..160, 20u32..60), 2usize..12).prop_map(
+        |((x, y, w, h), n)| {
+            let mut d = Document::new("deg-dup", 800.0, 800.0);
+            for _ in 0..n {
+                d.push_text(TextElement::word("dup", BBox::new(q(x), q(y), q(w), q(h))));
+            }
+            d
+        },
+    );
+    let extreme_aspect = (vec(arb_word(), 1..10), 1u32..3).prop_map(|(mut words, thin)| {
+        for w in &mut words {
+            w.geom.3 = thin; // squash everything into a sliver-tall band
+            w.geom.1 = 0;
+        }
+        build_doc("deg-aspect", (400_000, thin), words)
+    });
+    prop_oneof![empty, zero_area, duplicates, extreme_aspect].boxed()
+}
+
+/// The union of plausible and degenerate documents — what the structural
+/// invariants must survive.
+pub fn arb_any_document() -> BoxedStrategy<Document> {
+    prop_oneof![
+        arb_document(),
+        arb_document(),
+        arb_document(),
+        arb_degenerate_document(),
+    ]
+    .boxed()
+}
+
+/// Documents whose words all have *distinct x coordinates* (and no
+/// images). Reading order — and with it block transcription — is then a
+/// pure function of geometry, which the permutation property requires.
+pub fn arb_distinct_x_document() -> BoxedStrategy<Document> {
+    ((800u32..4000, 800u32..4800), vec(arb_word(), 1..40))
+        .prop_map(|(page, mut words)| {
+            let mut seen = std::collections::HashSet::new();
+            words.retain(|w| seen.insert(w.geom.0));
+            build_doc("arb-distinct", page, words)
+        })
+        .boxed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::TestRng;
+
+    #[test]
+    fn quantised_geometry_is_exactly_representable() {
+        let mut rng = TestRng::from_label("strategy-quant");
+        for _ in 0..50 {
+            let d = Strategy::generate(&arb_document(), &mut rng);
+            for t in &d.texts {
+                for v in [t.bbox.x, t.bbox.y, t.bbox.w, t.bbox.h] {
+                    assert_eq!(v, (v / QUANTUM).round() * QUANTUM, "{v} not quantised");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_strategy_hits_every_shape() {
+        let mut rng = TestRng::from_label("strategy-deg");
+        let mut ids = std::collections::HashSet::new();
+        for _ in 0..100 {
+            ids.insert(Strategy::generate(&arb_degenerate_document(), &mut rng).id);
+        }
+        for expect in ["deg-empty", "deg-zero", "deg-dup", "deg-aspect"] {
+            assert!(ids.contains(expect), "never generated {expect}");
+        }
+    }
+
+    #[test]
+    fn distinct_x_documents_have_unique_x() {
+        let mut rng = TestRng::from_label("strategy-distinct");
+        for _ in 0..50 {
+            let d = Strategy::generate(&arb_distinct_x_document(), &mut rng);
+            let mut xs: Vec<u64> = d.texts.iter().map(|t| t.bbox.x.to_bits()).collect();
+            xs.sort_unstable();
+            let n = xs.len();
+            xs.dedup();
+            assert_eq!(xs.len(), n);
+        }
+    }
+}

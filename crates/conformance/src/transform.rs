@@ -1,0 +1,121 @@
+//! Metamorphic document transforms.
+//!
+//! Each transform produces a document whose segmentation is *provably*
+//! related to the original's — the properties in `tests/properties.rs`
+//! assert those relations. Translation and scaling assume quantised
+//! input geometry (see [`crate::strategy::QUANTUM`]) so the arithmetic
+//! is exact in `f64`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom as _;
+use rand::SeedableRng as _;
+use vs2_docmodel::Document;
+
+/// Rigidly translates every element (and the page box) by `(dx, dy)`.
+/// With quantised inputs and offsets the translated coordinates are
+/// exact, so segmentation commutes with translation bit-for-bit.
+pub fn translate_document(doc: &Document, dx: f64, dy: f64) -> Document {
+    let mut out = Document::new(doc.id.clone(), doc.width, doc.height);
+    for t in &doc.texts {
+        let mut t = t.clone();
+        t.bbox = t.bbox.translate(dx, dy);
+        out.push_text(t);
+    }
+    for i in &doc.images {
+        let mut i = i.clone();
+        i.bbox = i.bbox.translate(dx, dy);
+        out.push_image(i);
+    }
+    out
+}
+
+/// Uniformly scales every element, the page, and `font_size` by `k`.
+/// For power-of-two `k` and quantised inputs, scaling is exact; scale
+/// `cell_size` by the same `k` to make segmentation commute with it.
+pub fn scale_document(doc: &Document, k: f64) -> Document {
+    let mut out = Document::new(doc.id.clone(), doc.width * k, doc.height * k);
+    for t in &doc.texts {
+        let mut t = t.clone();
+        t.bbox = vs2_docmodel::BBox::new(t.bbox.x * k, t.bbox.y * k, t.bbox.w * k, t.bbox.h * k);
+        t.font_size *= k;
+        out.push_text(t);
+    }
+    for i in &doc.images {
+        let mut i = i.clone();
+        i.bbox = vs2_docmodel::BBox::new(i.bbox.x * k, i.bbox.y * k, i.bbox.w * k, i.bbox.h * k);
+        out.push_image(i);
+    }
+    out
+}
+
+/// Rebuilds the document with its text and image element lists shuffled
+/// (deterministically in `seed`). `ElementRef` indices change; element
+/// content does not.
+pub fn permute_document(doc: &Document, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut texts = doc.texts.clone();
+    let mut images = doc.images.clone();
+    texts.shuffle(&mut rng);
+    images.shuffle(&mut rng);
+    let mut out = Document::new(doc.id.clone(), doc.width, doc.height);
+    for t in texts {
+        out.push_text(t);
+    }
+    for i in images {
+        out.push_image(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_docmodel::{BBox, TextElement};
+
+    fn doc() -> Document {
+        let mut d = Document::new("t", 100.0, 100.0);
+        for i in 0..6 {
+            d.push_text(TextElement::word(
+                format!("w{i}"),
+                BBox::new(10.0 * i as f64, 5.0, 8.0, 4.0),
+            ));
+        }
+        d
+    }
+
+    #[test]
+    fn translate_is_exact_for_quantised_offsets() {
+        let d = doc();
+        let t = translate_document(&d, 12.25, -3.5);
+        for (a, b) in d.texts.iter().zip(&t.texts) {
+            assert_eq!(a.bbox.x + 12.25, b.bbox.x);
+            assert_eq!(a.bbox.y - 3.5, b.bbox.y);
+            assert_eq!(a.bbox.w.to_bits(), b.bbox.w.to_bits());
+        }
+    }
+
+    #[test]
+    fn scale_by_power_of_two_is_exact() {
+        let d = doc();
+        let s = scale_document(&d, 4.0);
+        assert_eq!(s.width, 400.0);
+        for (a, b) in d.texts.iter().zip(&s.texts) {
+            assert_eq!(a.bbox.x * 4.0, b.bbox.x);
+            assert_eq!(a.bbox.h * 4.0, b.bbox.h);
+        }
+    }
+
+    #[test]
+    fn permutation_preserves_content_and_changes_order() {
+        let d = doc();
+        let p = permute_document(&d, 7);
+        assert_eq!(d.texts.len(), p.texts.len());
+        let mut a: Vec<&str> = d.texts.iter().map(|t| t.text.as_str()).collect();
+        let mut b: Vec<&str> = p.texts.iter().map(|t| t.text.as_str()).collect();
+        let order_changed = a != b;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "content multiset must survive permutation");
+        assert!(order_changed, "seed 7 should actually shuffle 6 elements");
+    }
+}

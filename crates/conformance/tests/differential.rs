@@ -1,0 +1,126 @@
+//! Differential tests: independent execution paths through the same
+//! pipeline must produce byte-identical results.
+//!
+//! Two axes are compared: the served path (`ExtractService`, worker
+//! threads, model cache) versus a directly built `Vs2Pipeline`, and a
+//! 1-worker engine versus an N-worker engine over an interleaved batch.
+//! Results are compared as serialised JSON so every field — entity,
+//! value, geometry, score — participates in the comparison.
+
+use std::time::Duration;
+
+use serde::Serialize as _;
+use vs2_serve::{
+    default_config_for, Completed, EngineConfig, ExtractService, JobOutcome, JobSource, JobSpec,
+    ModelCache, DEFAULT_DOC_SEED,
+};
+use vs2_synth::{generate_one, DatasetConfig, DatasetId};
+
+fn job(dataset: DatasetId, doc_index: usize) -> JobSpec {
+    JobSpec {
+        job_id: None,
+        dataset,
+        source: JobSource::Synthetic {
+            doc_index,
+            seed: DEFAULT_DOC_SEED,
+        },
+    }
+}
+
+fn interleaved_batch(per_dataset: usize) -> Vec<JobSpec> {
+    (0..per_dataset)
+        .flat_map(|i| {
+            [
+                job(DatasetId::D1, i),
+                job(DatasetId::D2, i),
+                job(DatasetId::D3, i),
+            ]
+        })
+        .collect()
+}
+
+/// Runs a batch through a fresh service and serialises every outcome in
+/// submission order.
+fn run_batch(workers: usize, queue_capacity: usize, specs: &[JobSpec]) -> Vec<String> {
+    let mut service = ExtractService::new(
+        EngineConfig {
+            workers,
+            queue_capacity,
+            job_timeout: Some(Duration::from_secs(120)),
+        },
+        DEFAULT_DOC_SEED,
+        None,
+    );
+    for spec in specs {
+        service.submit(spec.clone());
+    }
+    let results = service.drain();
+    service.shutdown();
+    results
+        .iter()
+        .map(|done: &Completed<_>| match &done.outcome {
+            JobOutcome::Ok(extractions) => serde_json::to_string(&extractions.to_value()).unwrap(),
+            other => panic!("job {} failed: {other:?}", done.seq),
+        })
+        .collect()
+}
+
+/// Differential 1: the served path must agree byte-for-byte with a
+/// directly constructed pipeline on every dataset and document.
+#[test]
+fn served_extractions_equal_direct_pipeline() {
+    let specs = interleaved_batch(3);
+    let served = run_batch(2, 4, &specs);
+
+    let cache = ModelCache::new();
+    for (spec, served_json) in specs.iter().zip(&served) {
+        let pipeline = cache.pipeline_for(
+            spec.dataset,
+            DEFAULT_DOC_SEED,
+            default_config_for(spec.dataset),
+        );
+        let JobSource::Synthetic { doc_index, seed } = &spec.source else {
+            panic!("batch is synthetic by construction");
+        };
+        let doc = generate_one(spec.dataset, *doc_index, DatasetConfig::new(1, *seed)).doc;
+        let direct = serde_json::to_string(&pipeline.extract(&doc).to_value()).unwrap();
+        assert_eq!(
+            &direct, served_json,
+            "served output diverged from direct extraction for {:?} doc {doc_index}",
+            spec.dataset
+        );
+    }
+}
+
+/// Differential 2: worker parallelism must not change results — a
+/// 1-worker run and 4-worker runs (including one with a tight queue that
+/// forces backpressure) are byte-identical.
+#[test]
+fn one_worker_and_many_workers_are_byte_identical() {
+    let specs = interleaved_batch(4);
+    let sequential = run_batch(1, 4, &specs);
+    assert_eq!(sequential.len(), specs.len());
+    for (workers, queue_capacity) in [(4, 8), (4, 1)] {
+        assert_eq!(
+            run_batch(workers, queue_capacity, &specs),
+            sequential,
+            "{workers}-worker / queue {queue_capacity} run diverged from sequential"
+        );
+    }
+}
+
+/// Differential 3: a document submitted inline must extract identically
+/// to the same document fetched through the synthetic source.
+#[test]
+fn inline_and_synthetic_sources_agree() {
+    let dataset = DatasetId::D3;
+    let doc = generate_one(dataset, 2, DatasetConfig::new(1, DEFAULT_DOC_SEED)).doc;
+    let inline_spec = JobSpec {
+        job_id: None,
+        dataset,
+        source: JobSource::Inline(Box::new(doc)),
+    };
+    let synthetic = run_batch(2, 4, &[job(dataset, 2)]);
+    let inline = run_batch(2, 4, &[inline_spec]);
+    assert_eq!(synthetic, inline);
+}

@@ -1,0 +1,158 @@
+//! Metamorphic and structural properties of VS2-Segment and the full
+//! pipeline.
+//!
+//! The metamorphic properties (permutation, translation, scaling) run
+//! with `deskew: false`: skew estimation averages over elements, and
+//! `sum / n` rounding plus rotation arithmetic are not exactly
+//! translation- or order-invariant in `f64`. Deskew correctness is
+//! covered by its own unit tests in `vs2-core`. The permutation property
+//! additionally disables visual clustering — its reassignment loop
+//! iterates elements in index order, making cluster shapes legitimately
+//! order-dependent — and generates elements with distinct x coordinates
+//! so reading order is a pure function of geometry.
+//!
+//! Case counts honour `VS2_PROPTEST_CASES`; failures print a
+//! `VS2_PROPTEST_SEED` repro command (see the `proptest` shim docs).
+
+use proptest::prelude::*;
+use vs2_conformance::invariants::{
+    assert_exact_cover, assert_tree_partition, canonical_blocks, partition_of,
+};
+use vs2_conformance::strategy::{arb_any_document, arb_distinct_x_document, arb_document, QUANTUM};
+use vs2_conformance::transform::{permute_document, scale_document, translate_document};
+use vs2_core::segment::{logical_blocks, segment, SegmentConfig};
+use vs2_core::Vs2Config;
+use vs2_serve::{default_config_for, ModelCache, DEFAULT_DOC_SEED};
+use vs2_synth::{generate_one, DatasetConfig, DatasetId};
+
+/// Segmentation config for exact metamorphic comparison: no deskew (see
+/// module docs), everything else at defaults.
+fn rigid_config() -> SegmentConfig {
+    SegmentConfig {
+        deskew: false,
+        ..SegmentConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1 (coverage): every element lands in exactly one logical
+    /// block, for arbitrary and degenerate documents alike.
+    #[test]
+    fn blocks_exactly_cover_the_document(doc in arb_any_document()) {
+        let blocks = logical_blocks(&doc, &SegmentConfig::default());
+        assert_exact_cover(&doc, &blocks);
+    }
+
+    /// Property 2 (non-overlap / hierarchy): at every level of the layout
+    /// tree, sibling element sets are pairwise disjoint and jointly equal
+    /// their parent's.
+    #[test]
+    fn layout_tree_partitions_at_every_level(doc in arb_any_document()) {
+        let tree = segment(&doc, &SegmentConfig::default());
+        assert_tree_partition(&doc, &tree);
+    }
+
+    /// Property 3 (permutation invariance): shuffling the element lists
+    /// changes `ElementRef` indices but not which elements end up
+    /// grouped together.
+    #[test]
+    fn segmentation_ignores_element_order(
+        doc in arb_distinct_x_document(),
+        seed in 0u64..1_000_000,
+    ) {
+        let config = SegmentConfig {
+            use_visual_clustering: false,
+            ..rigid_config()
+        };
+        let base = canonical_blocks(&doc, &logical_blocks(&doc, &config));
+        let shuffled = permute_document(&doc, seed);
+        let permuted = canonical_blocks(&shuffled, &logical_blocks(&shuffled, &config));
+        prop_assert_eq!(base, permuted);
+    }
+
+    /// Property 4 (translation invariance): rigidly moving the page moves
+    /// the segmentation with it — identical partition of element indices.
+    #[test]
+    fn segmentation_commutes_with_translation(
+        doc in arb_document(),
+        steps in (1u32..4000, 1u32..4000),
+    ) {
+        let config = rigid_config();
+        let (dx, dy) = (f64::from(steps.0) * QUANTUM, f64::from(steps.1) * QUANTUM);
+        let base = partition_of(&logical_blocks(&doc, &config));
+        let moved = translate_document(&doc, dx, dy);
+        let translated = partition_of(&logical_blocks(&moved, &config));
+        prop_assert_eq!(base, translated);
+    }
+
+    /// Property 5 (scale invariance): uniformly scaling the page by a
+    /// power of two (with `cell_size` scaled alongside) yields the same
+    /// partition of element indices.
+    #[test]
+    fn segmentation_commutes_with_uniform_scaling(
+        doc in arb_document(),
+        k in prop_oneof![Just(0.5f64), Just(2.0f64), Just(4.0f64)],
+    ) {
+        let config = rigid_config();
+        let base = partition_of(&logical_blocks(&doc, &config));
+        let scaled_doc = scale_document(&doc, k);
+        let scaled_config = SegmentConfig {
+            cell_size: config.cell_size * k,
+            ..config
+        };
+        let scaled = partition_of(&logical_blocks(&scaled_doc, &scaled_config));
+        prop_assert_eq!(base, scaled);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property 6 (determinism): segmenting twice is bit-identical, and
+    /// two independently learned pipelines with the same seed extract
+    /// identically.
+    #[test]
+    fn pipeline_is_deterministic_for_a_fixed_seed(doc_index in 0usize..6) {
+        let dataset = DatasetId::D2;
+        let doc = generate_one(dataset, doc_index, DatasetConfig::new(1, DEFAULT_DOC_SEED)).doc;
+
+        let once = logical_blocks(&doc, &SegmentConfig::default());
+        let twice = logical_blocks(&doc, &SegmentConfig::default());
+        prop_assert_eq!(once, twice);
+
+        let config: Vs2Config = default_config_for(dataset);
+        let a = ModelCache::new()
+            .pipeline_for(dataset, DEFAULT_DOC_SEED, config)
+            .extract(&doc);
+        let b = ModelCache::new()
+            .pipeline_for(dataset, DEFAULT_DOC_SEED, config)
+            .extract(&doc);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// The adversarial corpus — known-hostile degenerate documents — must
+/// survive segmentation with the invariants intact, and extraction must
+/// not panic on any of them.
+#[test]
+fn adversarial_corpus_survives_segmentation_and_extraction() {
+    let pipeline = ModelCache::new().pipeline_for(
+        DatasetId::D1,
+        DEFAULT_DOC_SEED,
+        default_config_for(DatasetId::D1),
+    );
+    for (name, doc) in vs2_synth::adversarial::corpus() {
+        let tree = segment(&doc, &SegmentConfig::default());
+        assert_tree_partition(&doc, &tree);
+        let blocks = logical_blocks(&doc, &SegmentConfig::default());
+        assert_exact_cover(&doc, &blocks);
+        // Extraction on a foreign model must not panic either.
+        let _ = pipeline.extract(&doc);
+        assert!(
+            blocks.len() <= doc.len().max(1),
+            "{name}: more blocks than elements"
+        );
+    }
+}

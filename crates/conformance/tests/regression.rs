@@ -1,0 +1,89 @@
+//! Pinned regressions: degenerate inputs that previously panicked or
+//! aborted, now required to segment cleanly forever.
+
+use vs2_conformance::invariants::{assert_exact_cover, assert_tree_partition};
+use vs2_core::segment::{logical_blocks, segment, SegmentConfig};
+use vs2_docmodel::{BBox, Document, OccupancyGrid, TextElement};
+use vs2_synth::adversarial;
+
+/// Regression 1: a handful of far-apart words on a ~1e8×1e8 page. The
+/// tight bounding box spans the whole page, so at the default 4-unit
+/// cell the raster wanted ~6.25×10¹⁴ cells — a multi-hundred-terabyte
+/// `Vec<bool>` whose allocation aborted the process. The segmenter now
+/// grows the cell size to keep any raster under its cell budget.
+#[test]
+fn huge_page_with_far_apart_elements_segments_without_aborting() {
+    let doc = adversarial::far_apart_elements();
+    let blocks = logical_blocks(&doc, &SegmentConfig::default());
+    assert_exact_cover(&doc, &blocks);
+    // The far-apart pairs must not be lumped by accident of the grown
+    // cell: the document still yields a real segmentation, not one
+    // degenerate catch-all block with nothing learned from layout.
+    assert!(!blocks.is_empty());
+}
+
+/// Regression 2: the same failure one layer down — `OccupancyGrid`
+/// itself, handed a non-finite extent (as produced by overflowing
+/// geometry), used to cast `inf` to `usize` and attempt a
+/// `usize::MAX`-element allocation. It must rasterise empty instead.
+#[test]
+fn occupancy_grid_survives_non_finite_extents() {
+    for w in [f64::INFINITY, f64::NAN] {
+        let area = BBox::new(0.0, 0.0, w, 100.0);
+        let g = OccupancyGrid::rasterize(&area, &[BBox::new(1.0, 1.0, 2.0, 2.0)], 4.0);
+        assert_eq!(g.cols(), 0);
+        assert_eq!(g.occupancy(), 0.0);
+    }
+}
+
+/// Regression 3: non-finite element coordinates flow through
+/// `tight_bbox` into the raster area; segmentation must degrade to a
+/// trivial block rather than panic.
+#[test]
+fn non_finite_coordinates_do_not_panic() {
+    let mut doc = Document::new("reg-nan", 612.0, 792.0);
+    doc.push_text(TextElement::word("ok", BBox::new(10.0, 10.0, 40.0, 10.0)));
+    doc.push_text(TextElement::word(
+        "nan",
+        BBox::new(f64::NAN, 20.0, 40.0, 10.0),
+    ));
+    doc.push_text(TextElement::word(
+        "inf",
+        BBox::new(1.0e300, 20.0, 1.0e300, 10.0),
+    ));
+    let blocks = logical_blocks(&doc, &SegmentConfig::default());
+    assert_exact_cover(&doc, &blocks);
+}
+
+/// Regression 4: duplicate positions make every inter-element distance
+/// zero — ties in medoid selection, cluster assignment, and semantic
+/// merge all at once. Must terminate with the invariants intact.
+#[test]
+fn all_identical_positions_terminate() {
+    let doc = adversarial::duplicate_positions();
+    let tree = segment(&doc, &SegmentConfig::default());
+    assert_tree_partition(&doc, &tree);
+    assert_exact_cover(&doc, &logical_blocks(&doc, &SegmentConfig::default()));
+}
+
+/// Regression 5: zero-area boxes previously risked NaN feature values
+/// (0/0 in area-normalised features) reaching `sort_by(partial_cmp)`
+/// comparators. With `total_cmp` everywhere the ordering is total and
+/// segmentation is deterministic even with NaN features in play.
+#[test]
+fn zero_area_elements_segment_deterministically() {
+    let doc = adversarial::zero_area_elements();
+    let a = logical_blocks(&doc, &SegmentConfig::default());
+    let b = logical_blocks(&doc, &SegmentConfig::default());
+    assert_eq!(a, b);
+    assert_exact_cover(&doc, &a);
+}
+
+/// Regression 6: an extreme-aspect page (100 000 × 1 unit) stresses the
+/// raster in one dimension only; the cell-budget cap must handle
+/// anisotropy, not just large areas.
+#[test]
+fn extreme_aspect_page_segments() {
+    let doc = adversarial::extreme_aspect_page();
+    assert_exact_cover(&doc, &logical_blocks(&doc, &SegmentConfig::default()));
+}

@@ -369,11 +369,7 @@ impl Vs2Pipeline {
             if cands.is_empty() {
                 continue;
             }
-            cands.sort_by(|a, b| {
-                a.score
-                    .partial_cmp(&b.score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            cands.sort_by(|a, b| a.score.total_cmp(&b.score));
             out.insert(entity.clone(), cands);
         }
         out

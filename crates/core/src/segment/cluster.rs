@@ -159,7 +159,7 @@ pub fn cluster(
                         .iter()
                         .map(|&m| feature_distance(&feats[b], &feats[m], cfg))
                         .sum();
-                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    da.total_cmp(&db)
                 })
                 .unwrap();
             seeds.push(medoid);
@@ -178,8 +178,7 @@ pub fn cluster(
                 .enumerate()
                 .min_by(|(_, &a), (_, &b)| {
                     feature_distance(&feats[i], &feats[a], cfg)
-                        .partial_cmp(&feature_distance(&feats[i], &feats[b], cfg))
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .total_cmp(&feature_distance(&feats[i], &feats[b], cfg))
                 })
                 .map(|(k, _)| k)
                 .unwrap()

@@ -103,12 +103,7 @@ pub fn score_runs(
             // Neighbouring bounding box: minimum distance from the strip.
             let neighbor_height = text_boxes
                 .iter()
-                .min_by(|a, b| {
-                    strip
-                        .distance(a)
-                        .partial_cmp(&strip.distance(b))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .min_by(|a, b| strip.distance(a).total_cmp(&strip.distance(b)))
                 .map(|b| b.h)
                 .unwrap_or(max_h);
             // True gap: distance between the closest content on either
@@ -182,11 +177,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 /// (lines 8–11).
 pub fn correlation_profile(scored: &[ScoredRun]) -> Vec<f64> {
     let mut ordered: Vec<&ScoredRun> = scored.iter().collect();
-    ordered.sort_by(|a, b| {
-        (a.run.horizontal, a.run.start)
-            .partial_cmp(&(b.run.horizontal, b.run.start))
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    ordered.sort_by_key(|d| (d.run.horizontal, d.run.start));
     let ws: Vec<f64> = ordered.iter().map(|s| s.width).collect();
     let hs: Vec<f64> = ordered.iter().map(|s| s.neighbor_height).collect();
     (2..=ws.len())
@@ -205,11 +196,7 @@ pub fn select_delimiters(scored: &[ScoredRun], config: &DelimiterConfig) -> Vec<
         return Vec::new();
     }
     let mut ranked: Vec<&ScoredRun> = scored.iter().collect();
-    ranked.sort_by(|a, b| {
-        b.width
-            .partial_cmp(&a.width)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    ranked.sort_by(|a, b| b.width.total_cmp(&a.width));
 
     // First inflection: the largest relative drop in the ranked widths.
     // When no significant drop exists the spacing is uniform (assumption

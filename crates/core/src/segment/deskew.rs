@@ -27,7 +27,7 @@ pub fn estimate_skew(doc: &Document) -> f64 {
         .filter(|r| r.is_text())
         .map(|r| doc.bbox_of(*r))
         .collect();
-    items.sort_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal));
+    items.sort_by(|a, b| a.y.total_cmp(&b.y));
     let mut lines: Vec<(BBox, Vec<Point>)> = Vec::new();
     for b in items {
         let c = b.centroid();
@@ -65,7 +65,7 @@ pub fn estimate_skew(doc: &Document) -> f64 {
     if slopes.is_empty() {
         return 0.0;
     }
-    slopes.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    slopes.sort_by(|a, b| a.total_cmp(b));
     slopes[slopes.len() / 2].atan()
 }
 

@@ -189,8 +189,7 @@ pub fn semantic_merge<E: Embedder>(
                 // Most similar sibling, not visually separated.
                 let best = (0..children.len()).filter(|&j| j != ci).max_by(|&a, &b| {
                     cosine(&embeddings[ci], &embeddings[a])
-                        .partial_cmp(&cosine(&embeddings[ci], &embeddings[b]))
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .total_cmp(&cosine(&embeddings[ci], &embeddings[b]))
                 });
                 let Some(bj) = best else { continue };
                 if cosine(&embeddings[ci], &embeddings[bj]) < cfg.min_pair_similarity {

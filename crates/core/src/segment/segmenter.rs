@@ -78,6 +78,30 @@ fn tight_bbox(doc: &Document, elements: &[ElementRef]) -> BBox {
     .unwrap_or_default()
 }
 
+/// Upper bound on raster cells per area. A handful of far-apart elements
+/// on a huge page would otherwise demand a multi-terabyte occupancy grid
+/// and abort on allocation; growing the cell instead keeps the raster
+/// bounded while normal pages (a few thousand cells) are unaffected.
+const MAX_GRID_CELLS: f64 = 4_000_000.0;
+
+/// The configured cell size, grown just enough that rasterising `area`
+/// stays within [`MAX_GRID_CELLS`].
+fn effective_cell_size(area: &BBox, cell: f64) -> f64 {
+    let cells = (area.w / cell) * (area.h / cell);
+    // Within budget — and NaN/degenerate areas rasterise to an empty grid,
+    // so they keep the configured cell too.
+    if cells.partial_cmp(&MAX_GRID_CELLS) != Some(std::cmp::Ordering::Greater) {
+        return cell;
+    }
+    let grown = cell * (cells / MAX_GRID_CELLS).sqrt();
+    if grown.is_finite() {
+        grown
+    } else {
+        // Area so large its cell count overflows f64: one giant cell.
+        f64::MAX.sqrt()
+    }
+}
+
 /// An interior delimiter must have content on both sides of its centre
 /// line (a drift path may extend a run past the last element, so the
 /// strip's extremities are not a reliable boundary test).
@@ -104,11 +128,7 @@ fn is_interior(delim: &ScoredRun, boxes: &[BBox], grid_area: &BBox, cell: f64) -
 fn group_lines(doc: &Document, elements: &[ElementRef]) -> Vec<Vec<ElementRef>> {
     let mut items: Vec<(ElementRef, BBox)> =
         elements.iter().map(|r| (*r, doc.bbox_of(*r))).collect();
-    items.sort_by(|a, b| {
-        a.1.y
-            .partial_cmp(&b.1.y)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    items.sort_by(|a, b| a.1.y.total_cmp(&b.1.y));
     let mut lines: Vec<(BBox, Vec<ElementRef>)> = Vec::new();
     for (r, b) in items {
         let mut placed = false;
@@ -152,7 +172,7 @@ fn split_by_delimiters(
             }
         })
         .collect();
-    cuts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    cuts.sort_by(|a, b| a.total_cmp(b));
     cuts.dedup_by(|a, b| (*a - *b).abs() < cell);
     if cuts.is_empty() {
         return vec![elements.to_vec()];
@@ -214,7 +234,9 @@ pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
         if elements.len() < config.min_block_elements.max(2) {
             continue;
         }
-        let area = tight_bbox(doc, &elements).inflate(config.cell_size);
+        let tight = tight_bbox(doc, &elements);
+        let cell = effective_cell_size(&tight.inflate(config.cell_size), config.cell_size);
+        let area = tight.inflate(cell);
         let boxes: Vec<BBox> = elements.iter().map(|r| doc.bbox_of(*r)).collect();
         let text_boxes: Vec<BBox> = elements
             .iter()
@@ -226,32 +248,25 @@ pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
         } else {
             &text_boxes
         };
-        let grid = vs2_docmodel::OccupancyGrid::rasterize(&area, &boxes, config.cell_size);
+        let grid = vs2_docmodel::OccupancyGrid::rasterize(&area, &boxes, cell);
 
         // Phase 1: explicit delimiters.
         let runs: Vec<CutRun> = all_runs(&grid);
         let scored = score_runs(&runs, &grid, &area, &boxes, norm_boxes);
         let interior: Vec<ScoredRun> = scored
             .into_iter()
-            .filter(|s| is_interior(s, &boxes, &area, config.cell_size))
+            .filter(|s| is_interior(s, &boxes, &area, cell))
             .collect();
         let delims = select_delimiters(&interior, &config.delimiter);
 
         let mut parts: Vec<Vec<ElementRef>> = Vec::new();
-        if !delims.is_empty() {
-            // Split along the direction of the widest delimiter first; the
-            // recursion handles the other direction.
-            let widest = delims
-                .iter()
-                .max_by(|a, b| {
-                    a.width
-                        .partial_cmp(&b.width)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .unwrap();
+        // Split along the direction of the widest delimiter first; the
+        // recursion handles the other direction. (`max_by` is None on an
+        // empty delimiter set — degenerate areas simply fall through to
+        // clustering instead of panicking.)
+        if let Some(widest) = delims.iter().max_by(|a, b| a.width.total_cmp(&b.width)) {
             let horizontal = widest.run.horizontal;
-            parts =
-                split_by_delimiters(doc, &elements, &delims, horizontal, &area, config.cell_size);
+            parts = split_by_delimiters(doc, &elements, &delims, horizontal, &area, cell);
         }
 
         // Phase 2: implicit modifiers via clustering.
@@ -338,7 +353,9 @@ pub fn delimiters_of_area(
     elements: &[ElementRef],
     config: &SegmentConfig,
 ) -> Vec<BBox> {
-    let area = tight_bbox(doc, elements).inflate(config.cell_size);
+    let tight = tight_bbox(doc, elements);
+    let cell = effective_cell_size(&tight.inflate(config.cell_size), config.cell_size);
+    let area = tight.inflate(cell);
     let boxes: Vec<BBox> = elements.iter().map(|r| doc.bbox_of(*r)).collect();
     let text_boxes: Vec<BBox> = elements
         .iter()
@@ -350,12 +367,12 @@ pub fn delimiters_of_area(
     } else {
         &text_boxes
     };
-    let grid = vs2_docmodel::OccupancyGrid::rasterize(&area, &boxes, config.cell_size);
+    let grid = vs2_docmodel::OccupancyGrid::rasterize(&area, &boxes, cell);
     let runs = all_runs(&grid);
     let scored = score_runs(&runs, &grid, &area, &boxes, norm_boxes);
     let interior: Vec<ScoredRun> = scored
         .into_iter()
-        .filter(|s| is_interior(s, &boxes, &area, config.cell_size))
+        .filter(|s| is_interior(s, &boxes, &area, cell))
         .collect();
     select_delimiters(&interior, &config.delimiter)
         .into_iter()

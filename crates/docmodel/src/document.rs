@@ -131,11 +131,7 @@ impl Document {
             refs.iter().map(|r| (*r, self.bbox_of(*r))).collect();
         // Group into lines: two elements are on the same line when their
         // vertical extents overlap by more than half the smaller height.
-        items.sort_by(|a, b| {
-            a.1.y
-                .partial_cmp(&b.1.y)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        items.sort_by(|a, b| a.1.y.total_cmp(&b.1.y));
         let mut lines: Vec<(BBox, Vec<(ElementRef, BBox)>)> = Vec::new();
         for (r, b) in items {
             let mut placed = false;
@@ -154,11 +150,7 @@ impl Document {
         }
         let mut out = Vec::with_capacity(refs.len());
         for (_, mut line) in lines {
-            line.sort_by(|a, b| {
-                a.1.x
-                    .partial_cmp(&b.1.x)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            line.sort_by(|a, b| a.1.x.total_cmp(&b.1.x));
             out.extend(line.into_iter().map(|(r, _)| r));
         }
         out

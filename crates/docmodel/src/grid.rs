@@ -26,8 +26,24 @@ impl OccupancyGrid {
     /// box. A degenerate area produces an empty grid.
     pub fn rasterize(area: &BBox, boxes: &[BBox], cell: f64) -> Self {
         assert!(cell > 0.0, "cell size must be positive");
-        let cols = (area.w / cell).ceil() as usize;
-        let rows = (area.h / cell).ceil() as usize;
+        // Non-finite extents (or a non-finite extent/cell ratio) rasterise
+        // to an empty grid instead of a nonsense allocation.
+        let cells_along = |extent: f64| -> usize {
+            let n = (extent / cell).ceil();
+            if n.is_finite() && n > 0.0 {
+                n as usize
+            } else {
+                0
+            }
+        };
+        // Hard ceiling on total cells: extents absurdly large relative to
+        // `cell` (saturating the casts above) degrade to an empty grid
+        // rather than overflowing `cols * rows` or aborting on allocation.
+        const MAX_CELLS: usize = 1 << 30;
+        let (cols, rows) = match cells_along(area.w).checked_mul(cells_along(area.h)) {
+            Some(total) if total <= MAX_CELLS => (cells_along(area.w), cells_along(area.h)),
+            _ => (0, 0),
+        };
         let mut occ = vec![false; cols * rows];
         for b in boxes {
             let Some(ib) = b.intersection(area) else {
@@ -196,5 +212,23 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cell_size_panics() {
         OccupancyGrid::rasterize(&BBox::new(0.0, 0.0, 1.0, 1.0), &[], 0.0);
+    }
+
+    #[test]
+    fn non_finite_area_rasterizes_empty() {
+        let area = BBox::new(0.0, 0.0, f64::INFINITY, 10.0);
+        let g = OccupancyGrid::rasterize(&area, &[BBox::new(1.0, 1.0, 2.0, 2.0)], 1.0);
+        assert_eq!(g.cols(), 0);
+        assert_eq!(g.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn absurdly_large_finite_area_rasterizes_empty() {
+        // Past the cell ceiling the grid degrades to empty instead of
+        // overflowing `cols * rows` or attempting a huge allocation.
+        let area = BBox::new(0.0, 0.0, 1.0e300, 800.0);
+        let g = OccupancyGrid::rasterize(&area, &[BBox::new(1.0, 1.0, 2.0, 2.0)], 4.0);
+        assert_eq!((g.cols(), g.rows()), (0, 0));
+        assert_eq!(g.occupancy(), 0.0);
     }
 }

@@ -105,10 +105,16 @@ struct Counters {
 
 struct ResultsState<O> {
     map: BTreeMap<u64, Completed<O>>,
-    /// Every seq ever published — the exactly-once guard. A worker's late
-    /// result must stay discarded even after `wait_result` has consumed
-    /// the watchdog's `TimedOut` entry for the same seq.
+    /// Every live seq already published — the exactly-once guard. A
+    /// worker's late result must stay discarded even after `wait_result`
+    /// has consumed the watchdog's `TimedOut` entry for the same seq.
     done: HashSet<u64>,
+    /// Seqs below this have been drained; `done` forgets them to stay
+    /// bounded, so publishes this old are discarded by the bound alone.
+    /// A watchdog-timed-out job's worker may still be running when its
+    /// seq is drained — without this check its eventual publish would
+    /// re-enter `done` and double-count the job.
+    drained_upto: u64,
 }
 
 struct Shared<J, O> {
@@ -126,7 +132,7 @@ impl<J, O> Shared<J, O> {
     /// did; late results of timed-out jobs are discarded here.
     fn publish(&self, seq: u64, outcome: JobOutcome<O>, latency: Duration) {
         let mut results = self.results.lock().unwrap();
-        if !results.done.insert(seq) {
+        if seq < results.drained_upto || !results.done.insert(seq) {
             return;
         }
         match &outcome {
@@ -175,6 +181,7 @@ impl<J: Send + 'static, O: Send + 'static> BatchEngine<J, O> {
             results: Mutex::new(ResultsState {
                 map: BTreeMap::new(),
                 done: HashSet::new(),
+                drained_upto: 0,
             }),
             results_cv: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
@@ -263,14 +270,13 @@ impl<J: Send + 'static, O: Send + 'static> BatchEngine<J, O> {
             out.push(self.wait_result(seq));
         }
         self.next_drain = upto;
-        // Drained seqs can no longer race with a late worker result, so
-        // the exactly-once guard may forget them.
-        self.shared
-            .results
-            .lock()
-            .unwrap()
-            .done
-            .retain(|&seq| seq >= upto);
+        // Shrink the exactly-once guard: raise the drained bound (so late
+        // publishes for these seqs are discarded by the bound check) and
+        // forget their `done` entries — both under one lock acquisition,
+        // so no publish can slip between the two.
+        let mut results = self.shared.results.lock().unwrap();
+        results.drained_upto = upto;
+        results.done.retain(|&seq| seq >= upto);
         out
     }
 
@@ -514,5 +520,59 @@ mod tests {
             stats.queue_stalls > 0,
             "a 1-deep queue over a slow worker must stall submissions"
         );
+    }
+
+    #[test]
+    fn late_result_after_drain_is_not_recounted() {
+        // Regression: a watchdog-timed-out job whose worker is still
+        // running when the seq is drained used to have its late result
+        // re-enter the exactly-once guard and double-count the job.
+        let mut engine = BatchEngine::new(
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 2,
+                job_timeout: Some(Duration::from_millis(10)),
+            },
+            |_: &u32| {
+                std::thread::sleep(Duration::from_millis(200));
+                1u32
+            },
+        );
+        engine.submit(0);
+        // The watchdog reports TimedOut at ~10ms, long before the worker
+        // wakes; drain consumes the seq while the job is still running.
+        let results = engine.drain();
+        assert_eq!(results[0].outcome, JobOutcome::TimedOut);
+        // Shutdown joins the worker, whose late publish must be dropped.
+        let stats = engine.shutdown();
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.ok, 0);
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_reported() {
+        let mut engine = BatchEngine::new(
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 2,
+                job_timeout: None,
+            },
+            |job: &u32| {
+                if *job == 1 {
+                    std::panic::panic_any(7u8);
+                }
+                *job
+            },
+        );
+        engine.submit(0);
+        engine.submit(1);
+        let results = engine.drain();
+        assert_eq!(results[0].outcome, JobOutcome::Ok(0));
+        assert_eq!(
+            results[1].outcome,
+            JobOutcome::Panicked("non-string panic payload".into())
+        );
+        assert_eq!(engine.shutdown().panicked, 1);
     }
 }

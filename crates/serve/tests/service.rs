@@ -124,3 +124,62 @@ fn one_model_learned_per_dataset() {
     assert_eq!(misses, 3, "one learn per dataset, shared across workers");
     assert_eq!(hits + misses, 12);
 }
+
+#[test]
+fn job_soft_timeout_is_reported_not_fatal() {
+    // A sub-millisecond deadline is shorter than model learning, so the
+    // first job on each dataset must be reported TimedOut — and the
+    // service must keep running, not wedge or panic.
+    let mut service = ExtractService::new(
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 4,
+            job_timeout: Some(Duration::from_micros(1)),
+        },
+        DEFAULT_DOC_SEED,
+        None,
+    );
+    service.submit(job(DatasetId::D2, 0));
+    service.submit(job(DatasetId::D2, 1));
+    let results = service.drain();
+    assert_eq!(results.len(), 2);
+    for done in &results {
+        assert_eq!(
+            done.outcome,
+            JobOutcome::TimedOut,
+            "a 1µs deadline cannot be met by real extraction (seq {})",
+            done.seq
+        );
+        assert!(done.latency >= Duration::from_micros(1));
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.timed_out, 2);
+    assert_eq!(stats.ok, 0);
+    assert_eq!(stats.completed, 2);
+}
+
+#[test]
+fn queue_backpressure_stalls_are_counted() {
+    // A 1-deep queue over a single worker doing real extraction forces
+    // the submitting thread to block; the stall counter must record it.
+    let mut service = ExtractService::new(
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 1,
+            job_timeout: None,
+        },
+        DEFAULT_DOC_SEED,
+        None,
+    );
+    for i in 0..6 {
+        service.submit(job(DatasetId::D2, i));
+    }
+    let results = service.drain();
+    assert_eq!(results.len(), 6);
+    let stats = service.shutdown();
+    assert_eq!(stats.ok, 6);
+    assert!(
+        stats.queue_stalls > 0,
+        "six submissions through a 1-deep queue must stall at least once"
+    );
+}

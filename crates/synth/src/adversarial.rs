@@ -1,0 +1,230 @@
+//! Adversarial documents for conformance testing.
+//!
+//! The three dataset generators produce plausible pages; the conformance
+//! suite also needs the *implausible* ones — inputs that historically
+//! crash layout-analysis code. Each builder here is a named, deterministic
+//! degenerate case, and [`corpus`] assembles them all so a single loop can
+//! assert "the pipeline survives every known-hostile input".
+//!
+//! These documents are test fixtures, not dataset members: they carry no
+//! annotations and never feed model learning.
+
+use vs2_docmodel::{BBox, Document, ImageElement, Lab, TextElement};
+
+/// A page with no elements at all.
+pub fn empty_page() -> Document {
+    Document::new("adv-empty", 612.0, 792.0)
+}
+
+/// A single word on an otherwise blank page — below every
+/// `min_block_elements` threshold.
+pub fn single_element() -> Document {
+    let mut d = Document::new("adv-single", 612.0, 792.0);
+    d.push_text(TextElement::word(
+        "alone",
+        BBox::new(300.0, 400.0, 40.0, 10.0),
+    ));
+    d
+}
+
+/// Every element has a zero-area bounding box (degenerate extents are
+/// clamped to zero by `BBox::new`).
+pub fn zero_area_elements() -> Document {
+    let mut d = Document::new("adv-zero-area", 612.0, 792.0);
+    for i in 0..6 {
+        let x = 50.0 + i as f64 * 90.0;
+        d.push_text(TextElement::word("dot", BBox::new(x, 100.0, 0.0, 0.0)));
+        d.push_text(TextElement::word("line", BBox::new(x, 200.0, 0.0, 12.0)));
+        d.push_text(TextElement::word("bar", BBox::new(x, 300.0, 35.0, 0.0)));
+    }
+    d
+}
+
+/// Many identical words stacked at the exact same position — ties in
+/// every distance computation the clusterer makes.
+pub fn duplicate_positions() -> Document {
+    let mut d = Document::new("adv-duplicates", 612.0, 792.0);
+    for _ in 0..12 {
+        d.push_text(TextElement::word(
+            "echo",
+            BBox::new(100.0, 100.0, 40.0, 10.0),
+        ));
+    }
+    d
+}
+
+/// An extreme-aspect-ratio page: one pixel-row tall, very wide.
+pub fn extreme_aspect_page() -> Document {
+    let mut d = Document::new("adv-aspect", 100_000.0, 1.0);
+    for i in 0..8 {
+        d.push_text(TextElement::word(
+            "strip",
+            BBox::new(i as f64 * 12_000.0, 0.0, 40.0, 1.0),
+        ));
+    }
+    d
+}
+
+/// A handful of words separated by astronomical distances on a huge page.
+/// Before the segmenter capped its raster size, the tight bounding box of
+/// this document demanded a grid of ~6×10¹⁴ cells and the allocation
+/// aborted the process.
+pub fn far_apart_elements() -> Document {
+    let mut d = Document::new("adv-far-apart", 1.0e8, 1.0e8);
+    d.push_text(TextElement::word(
+        "north",
+        BBox::new(10.0, 10.0, 40.0, 10.0),
+    ));
+    d.push_text(TextElement::word("west", BBox::new(20.0, 30.0, 40.0, 10.0)));
+    d.push_text(TextElement::word(
+        "south",
+        BBox::new(9.0e7, 9.0e7, 40.0, 10.0),
+    ));
+    d.push_text(TextElement::word(
+        "east",
+        BBox::new(9.0e7 + 60.0, 9.0e7, 40.0, 10.0),
+    ));
+    d
+}
+
+/// Dense total overlap: every box covers every other box's area.
+pub fn dense_overlap() -> Document {
+    let mut d = Document::new("adv-overlap", 612.0, 792.0);
+    for i in 0..10 {
+        let inset = i as f64 * 2.0;
+        d.push_text(TextElement::word(
+            "layer",
+            BBox::new(100.0 + inset, 100.0 + inset, 200.0 - inset, 100.0 - inset),
+        ));
+    }
+    d
+}
+
+/// Spacing far below the raster cell size — no whitespace position
+/// anywhere between the elements.
+pub fn sub_cell_spacing() -> Document {
+    let mut d = Document::new("adv-subcell", 612.0, 792.0);
+    for row in 0..5 {
+        for col in 0..10 {
+            d.push_text(TextElement::word(
+                "tight",
+                BBox::new(
+                    50.0 + col as f64 * 20.25,
+                    50.0 + row as f64 * 10.25,
+                    20.0,
+                    10.0,
+                ),
+            ));
+        }
+    }
+    d
+}
+
+/// A page containing only images — no text to transcribe, tag, or match.
+pub fn images_only() -> Document {
+    let mut d = Document::new("adv-images", 612.0, 792.0);
+    for i in 0..4 {
+        d.push_image(ImageElement::new(
+            i,
+            BBox::new(50.0 + i as f64 * 140.0, 100.0, 120.0, 90.0),
+            Lab::new(50.0, 5.0 * i as f64, -5.0 * i as f64),
+        ));
+    }
+    d
+}
+
+/// Elements placed entirely outside the nominal page bounds.
+pub fn out_of_bounds_elements() -> Document {
+    let mut d = Document::new("adv-oob", 612.0, 792.0);
+    d.push_text(TextElement::word(
+        "above",
+        BBox::new(100.0, -500.0, 40.0, 10.0),
+    ));
+    d.push_text(TextElement::word(
+        "left",
+        BBox::new(-900.0, 100.0, 40.0, 10.0),
+    ));
+    d.push_text(TextElement::word(
+        "beyond",
+        BBox::new(5_000.0, 5_000.0, 40.0, 10.0),
+    ));
+    d.push_text(TextElement::word(
+        "inside",
+        BBox::new(300.0, 400.0, 40.0, 10.0),
+    ));
+    d
+}
+
+/// A steeply skewed two-line capture — pushes the deskew estimator to a
+/// large rotation angle.
+pub fn steep_skew() -> Document {
+    let mut d = Document::new("adv-skew", 612.0, 792.0);
+    for line in 0..2 {
+        for col in 0..8 {
+            d.push_text(TextElement::word(
+                "slant",
+                BBox::new(
+                    60.0 + col as f64 * 60.0,
+                    100.0 + line as f64 * 120.0 + col as f64 * 18.0,
+                    50.0,
+                    10.0,
+                ),
+            ));
+        }
+    }
+    d
+}
+
+/// Every known-hostile document, paired with a stable name for failure
+/// reports.
+pub fn corpus() -> Vec<(&'static str, Document)> {
+    vec![
+        ("empty_page", empty_page()),
+        ("single_element", single_element()),
+        ("zero_area_elements", zero_area_elements()),
+        ("duplicate_positions", duplicate_positions()),
+        ("extreme_aspect_page", extreme_aspect_page()),
+        ("far_apart_elements", far_apart_elements()),
+        ("dense_overlap", dense_overlap()),
+        ("sub_cell_spacing", sub_cell_spacing()),
+        ("images_only", images_only()),
+        ("out_of_bounds_elements", out_of_bounds_elements()),
+        ("steep_skew", steep_skew()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_names_are_unique_and_documents_distinct() {
+        let corpus = corpus();
+        let mut names: Vec<&str> = corpus.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len());
+        let mut ids: Vec<&str> = corpus.iter().map(|(_, d)| d.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), corpus.len());
+    }
+
+    #[test]
+    fn zero_area_boxes_are_clamped_not_negative() {
+        for (_, b) in zero_area_elements().texts.iter().map(|t| (&t.text, t.bbox)) {
+            assert!(b.w >= 0.0 && b.h >= 0.0);
+        }
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        let a = far_apart_elements();
+        let b = far_apart_elements();
+        assert_eq!(a.texts.len(), b.texts.len());
+        for (x, y) in a.texts.iter().zip(&b.texts) {
+            assert_eq!(x.bbox, y.bbox);
+            assert_eq!(x.text, y.text);
+        }
+    }
+}

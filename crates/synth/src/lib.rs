@@ -13,13 +13,16 @@
 //! * [`holdout`] — the distant-supervision holdout corpora of Table 2;
 //! * [`render`] / [`textgen`] — layout and surface-text generation shared
 //!   by the generators;
-//! * [`dataset`] — one-call assembly of a noised, annotated dataset.
+//! * [`dataset`] — one-call assembly of a noised, annotated dataset;
+//! * [`adversarial`] — known-hostile degenerate documents for the
+//!   conformance suite.
 //!
 //! All generation is deterministic in the provided seeds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod dataset;
 pub mod flyers;
 pub mod holdout;

@@ -6,15 +6,22 @@
 //! `prop_recursive`, [`collection::vec`], and the [`proptest!`] macro
 //! driving a fixed number of deterministic cases per property.
 //!
-//! Differences from upstream: no shrinking (a failing case panics with the
-//! generated inputs via plain `assert!` semantics), and case streams are
-//! seeded from the property's module path + name, so runs are fully
-//! reproducible without an environment variable protocol.
+//! Differences from upstream: no shrinking, and a simpler reproduction
+//! protocol. Every case draws its own 64-bit seed from a master stream
+//! keyed by the property's module path + name, so runs are deterministic;
+//! on failure the runner prints the property label, case index, and the
+//! case seed together with a one-command repro line. Two environment
+//! variables steer the runner:
+//!
+//! - `VS2_PROPTEST_CASES=N` caps the case count of every property (CI
+//!   uses this to bound suite wall time);
+//! - `VS2_PROPTEST_SEED=0x…` re-runs exactly one case with that seed —
+//!   the repro command printed on failure.
 
 #![forbid(unsafe_code)]
 
 use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng as _};
+use rand::{Rng as _, RngCore as _, SeedableRng as _};
 use std::ops::Range;
 use std::rc::Rc;
 
@@ -31,7 +38,18 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        Self(StdRng::seed_from_u64(h))
+        Self::from_seed(h)
+    }
+
+    /// Seeds the RNG from an explicit 64-bit seed — the form printed by
+    /// the runner's failure report.
+    pub fn from_seed(seed: u64) -> Self {
+        Self(StdRng::seed_from_u64(seed))
+    }
+
+    /// Draws a case seed from a master stream.
+    fn next_seed(&mut self) -> u64 {
+        self.0.next_u64()
     }
 
     fn below(&mut self, n: usize) -> usize {
@@ -386,6 +404,79 @@ impl Default for ProptestConfig {
     }
 }
 
+/// The `VS2_PROPTEST_CASES` cap, when set. An unparsable value panics
+/// rather than silently running the default count.
+fn env_cases() -> Option<u32> {
+    let raw = std::env::var("VS2_PROPTEST_CASES").ok()?;
+    Some(
+        raw.trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("VS2_PROPTEST_CASES `{raw}` is not a count: {e}")),
+    )
+}
+
+/// The `VS2_PROPTEST_SEED` single-case seed, when set. Accepts `0x`-hex
+/// or decimal.
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("VS2_PROPTEST_SEED").ok()?;
+    let t = raw.trim();
+    let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => t.parse(),
+    };
+    Some(parsed.unwrap_or_else(|e| panic!("VS2_PROPTEST_SEED `{raw}` is not a seed: {e}")))
+}
+
+/// The seed of case `index` of the property labelled `label` — the value
+/// the runner would hand that case. Exposed for replay tooling and the
+/// shim's own tests.
+pub fn nth_case_seed(label: &str, index: u32) -> u64 {
+    let mut master = TestRng::from_label(label);
+    let mut seed = master.next_seed();
+    for _ in 0..index {
+        seed = master.next_seed();
+    }
+    seed
+}
+
+/// Drives one property: generates per-case seeds from a master stream
+/// keyed by `label`, runs `case` under `catch_unwind`, and on failure
+/// prints the label, case index, seed, and a one-command repro before
+/// re-raising the panic. Honours `VS2_PROPTEST_CASES` (cap) and
+/// `VS2_PROPTEST_SEED` (single-case replay). The [`proptest!`] macro
+/// expands to a call of this function.
+pub fn run_property<F>(label: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng),
+{
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    let test = label.rsplit("::").next().unwrap_or(label);
+    if let Some(seed) = env_seed() {
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+            eprintln!("proptest: property `{label}` failed replaying seed 0x{seed:016x}");
+            resume_unwind(payload);
+        }
+        return;
+    }
+    let cases = env_cases().map_or(config.cases, |cap| config.cases.min(cap));
+    let mut master = TestRng::from_label(label);
+    for index in 0..cases {
+        let seed = master.next_seed();
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+            eprintln!(
+                "proptest: property `{label}` failed at case {index}/{cases} \
+                 (seed 0x{seed:016x})"
+            );
+            eprintln!(
+                "proptest: reproduce with: VS2_PROPTEST_SEED=0x{seed:016x} cargo test {test}"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
 /// Asserts a property-test condition, reporting the failing expression.
 #[macro_export]
 macro_rules! prop_assert {
@@ -429,19 +520,19 @@ macro_rules! proptest {
 #[macro_export]
 macro_rules! __proptest_impl {
     (config = $config:expr; $(
-        #[test]
+        $(#[$meta:meta])*
         fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
     )*) => {$(
-        #[test]
+        // `$meta` captures every attribute on the property, `#[test]`
+        // included (doc comments may precede it), and re-emits them all.
+        $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
-            let mut rng = $crate::TestRng::from_label(concat!(
-                module_path!(), "::", stringify!($name)
-            ));
-            for _case in 0..config.cases {
-                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+            let label = concat!(module_path!(), "::", stringify!($name));
+            $crate::run_property(label, &config, |rng| {
+                $(let $arg = $crate::Strategy::generate(&$strategy, rng);)+
                 $body
-            }
+            });
         }
     )*};
 }
@@ -503,6 +594,38 @@ mod tests {
         fn oneof_and_map_compose(s in prop_oneof![Just(1u8), Just(2u8)].prop_map(|x| x * 10)) {
             prop_assert!(s == 10 || s == 20);
         }
+    }
+
+    #[test]
+    fn failing_case_is_reproducible_from_its_seed() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let label = "shim-test::boom";
+        let mut values: Vec<u32> = Vec::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            crate::run_property(label, &ProptestConfig::with_cases(10), |rng| {
+                let v = Strategy::generate(&(0u32..1_000_000), rng);
+                values.push(v);
+                assert!(values.len() < 4, "fourth case fails by construction");
+            });
+        }));
+        assert!(outcome.is_err(), "property should have failed");
+        assert_eq!(values.len(), 4, "runner should stop at the failing case");
+        // Replaying the reported seed regenerates the exact failing value.
+        let seed = crate::nth_case_seed(label, 3);
+        let mut rng = crate::TestRng::from_seed(seed);
+        assert_eq!(Strategy::generate(&(0u32..1_000_000), &mut rng), values[3]);
+    }
+
+    #[test]
+    fn case_seeds_are_deterministic_per_label() {
+        let a: Vec<u64> = (0..5).map(|i| crate::nth_case_seed("lbl", i)).collect();
+        let b: Vec<u64> = (0..5).map(|i| crate::nth_case_seed("lbl", i)).collect();
+        assert_eq!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "case seeds should differ");
+        assert_ne!(crate::nth_case_seed("other", 0), a[0]);
     }
 
     #[test]
