@@ -43,6 +43,7 @@ fn run(workers: usize, n_docs: usize) -> Run {
             workers,
             queue_capacity: 2 * workers.max(4),
             job_timeout: None,
+            ..EngineConfig::default()
         },
         SEED,
         None,

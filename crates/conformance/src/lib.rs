@@ -17,8 +17,12 @@
 //!
 //! The actual properties live in `tests/`: `properties.rs` (metamorphic
 //! and structural), `differential.rs` (serve-vs-direct and 1-vs-N-worker
-//! byte equality), `golden.rs` (snapshot drift), and `regression.rs`
-//! (previously-panicking degenerate inputs, pinned).
+//! byte equality), `golden.rs` (snapshot drift), `regression.rs`
+//! (previously-panicking degenerate inputs, pinned), and `chaos.rs`
+//! (the serving layer under seeded fault injection: whole-run
+//! determinism across worker counts, fault-free jobs byte-identical to
+//! the no-fault baseline, quarantine-ledger consistency). Chaos runs
+//! are seeded and excluded from the golden snapshots.
 //!
 //! Suite-wide knobs (see the `proptest` shim): `VS2_PROPTEST_CASES` caps
 //! per-property case counts (CI sets a small value), `VS2_PROPTEST_SEED`

@@ -47,6 +47,7 @@ fn run_batch(workers: usize, queue_capacity: usize, specs: &[JobSpec]) -> Vec<St
             workers,
             queue_capacity,
             job_timeout: Some(Duration::from_secs(120)),
+            ..EngineConfig::default()
         },
         DEFAULT_DOC_SEED,
         None,

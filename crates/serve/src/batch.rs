@@ -1,0 +1,321 @@
+//! The JSONL batch runner behind the `vs2d` binary, extracted so its
+//! stream handling — including the malformed-input and quarantine
+//! paths — is testable against in-memory readers and writers.
+//!
+//! One input line, one result line, in input order. Lines that fail to
+//! parse (bad JSON, invalid UTF-8, mid-stream read errors) produce an
+//! `invalid` result line carrying the line number and error instead of
+//! aborting the batch. After the last result line, one `quarantine`
+//! record is emitted per job in the service's quarantine ledger, in
+//! sequence order (see [`crate::job::QuarantineRecord`]).
+
+use std::io::{BufRead, ErrorKind, Write};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use crate::engine::JobOutcome;
+use crate::job::{JobResult, JobSpec, JobStatus, QuarantineRecord};
+use crate::service::ExtractService;
+
+/// Output shaping for [`run_batch`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchOptions {
+    /// Include wall-clock `latency_us` / `elapsed_us` fields on result
+    /// and quarantine lines. Off by default so output is byte-stable
+    /// across runs and worker counts.
+    pub include_latency: bool,
+}
+
+/// What the result emitter must produce for one input line, in order.
+enum LineFate {
+    /// A job went into the engine; wait for its result.
+    Submitted { job_id: String, seq: u64 },
+    /// The line failed to parse or read; report `invalid` immediately.
+    Invalid { job_id: String, error: String },
+}
+
+/// Outcome of the submit/emit phase.
+pub struct BatchRun {
+    /// Per-job processing latencies, in engine-sequence order.
+    pub latencies: Vec<Duration>,
+    /// Input lines that produced no job (parse or read failures).
+    pub invalid: u64,
+    /// Engine sequence number → job id, for correlating engine-side
+    /// artifacts (the quarantine ledger) with the wire.
+    pub job_ids: Vec<String>,
+}
+
+/// Submits every job spec from `reader` while a second thread streams
+/// results to `out` in input order. Engine sequence numbers are assigned
+/// in submission order, so the emitter simply waits on 0, 1, 2, … as the
+/// fates arrive.
+///
+/// Input hardening: a line that is not valid JSON, not valid UTF-8, or
+/// hits a read error mid-stream yields an `invalid` result line (with
+/// the 0-based line number in its `job_id` default and the error text)
+/// and the batch continues — except on non-recoverable I/O errors,
+/// where the batch stops after reporting the failing line.
+pub fn run_batch(
+    service: &ExtractService,
+    reader: impl BufRead,
+    out: impl Write + Send,
+    opts: &BatchOptions,
+) -> BatchRun {
+    let include_latency = opts.include_latency;
+    let (fate_tx, fate_rx) = mpsc::channel::<LineFate>();
+    let mut invalid = 0u64;
+    let (latencies, job_ids) = std::thread::scope(|scope| {
+        let emitter = scope.spawn(move || {
+            let mut out = out;
+            let mut lats = Vec::new();
+            let mut ids: Vec<String> = Vec::new();
+            // Engine seq → (wire seq, job id): the two diverge once an
+            // invalid line consumes a wire seq without entering the
+            // engine, and quarantine records must speak wire seqs.
+            let mut ids_by_seq: std::collections::HashMap<u64, (u64, String)> =
+                std::collections::HashMap::new();
+            for (out_seq, fate) in fate_rx.iter().enumerate() {
+                let out_seq = out_seq as u64;
+                let result = match fate {
+                    LineFate::Submitted { job_id, seq } => {
+                        let done = service.wait_result(seq);
+                        lats.push(done.latency);
+                        ids.push(job_id.clone());
+                        ids_by_seq.insert(seq, (out_seq, job_id.clone()));
+                        let (status, extractions, error) = match done.outcome {
+                            JobOutcome::Ok(ex) => (JobStatus::Ok, ex, None),
+                            JobOutcome::Degraded { output, error } => {
+                                (JobStatus::Degraded, output, Some(error.to_string()))
+                            }
+                            JobOutcome::Failed(error) => {
+                                (JobStatus::Quarantined, vec![], Some(error.to_string()))
+                            }
+                        };
+                        JobResult {
+                            seq: out_seq,
+                            job_id,
+                            status,
+                            extractions,
+                            error,
+                            latency_us: include_latency.then(|| {
+                                u64::try_from(done.latency.as_micros()).unwrap_or(u64::MAX)
+                            }),
+                        }
+                    }
+                    LineFate::Invalid { job_id, error } => JobResult {
+                        seq: out_seq,
+                        job_id,
+                        status: JobStatus::Invalid,
+                        extractions: vec![],
+                        error: Some(error),
+                        latency_us: None,
+                    },
+                };
+                let line = serde_json::to_string(&result).expect("result serialises");
+                writeln!(out, "{line}").expect("write output");
+            }
+            // Every submitted job has completed (each Submitted fate
+            // waited on its result), so the quarantine ledger is final
+            // for this batch. Emit this batch's entries in seq order —
+            // the ledger itself is in quarantine-time order, which is
+            // scheduling-dependent, and (being append-only) may carry
+            // entries from earlier batches on the same service.
+            let mut ledger = service.quarantine();
+            ledger.retain(|e| ids_by_seq.contains_key(&e.seq));
+            ledger.sort_by_key(|e| e.seq);
+            for entry in ledger {
+                let (wire_seq, job_id) = ids_by_seq[&entry.seq].clone();
+                let record = QuarantineRecord {
+                    seq: wire_seq,
+                    job_id,
+                    attempts: entry.attempts,
+                    kind: entry.error.kind().to_string(),
+                    error: entry.error.to_string(),
+                    elapsed_us: include_latency
+                        .then(|| u64::try_from(entry.elapsed.as_micros()).unwrap_or(u64::MAX)),
+                };
+                let line = serde_json::to_string(&record).expect("record serialises");
+                writeln!(out, "{line}").expect("write output");
+            }
+            out.flush().expect("flush output");
+            (lats, ids)
+        });
+        for (line_no, line) in reader.lines().enumerate() {
+            let default_id = format!("job-{line_no}");
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    // A broken line must not abort the batch: report it
+                    // in-stream and keep going. `InvalidData` (non-UTF-8
+                    // bytes) consumes exactly the offending line, so the
+                    // stream stays aligned; any other I/O error means the
+                    // source itself failed — report, then stop.
+                    invalid += 1;
+                    let recoverable = e.kind() == ErrorKind::InvalidData;
+                    let _ = fate_tx.send(LineFate::Invalid {
+                        job_id: default_id,
+                        error: format!("input read error at line {line_no}: {e}"),
+                    });
+                    if recoverable {
+                        continue;
+                    }
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<JobSpec>(&line) {
+                Ok(spec) => {
+                    let job_id = spec.job_id.clone().unwrap_or(default_id);
+                    // Backpressure: blocks while the work queue is full.
+                    let seq = service.submit(spec);
+                    let _ = fate_tx.send(LineFate::Submitted { job_id, seq });
+                }
+                Err(e) => {
+                    invalid += 1;
+                    let _ = fate_tx.send(LineFate::Invalid {
+                        job_id: default_id,
+                        error: format!("invalid job spec at line {line_no}: {e}"),
+                    });
+                }
+            }
+        }
+        drop(fate_tx);
+        emitter.join().expect("emitter thread")
+    });
+    BatchRun {
+        latencies,
+        invalid,
+        job_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::job::DEFAULT_DOC_SEED;
+    use std::io::Cursor;
+
+    fn test_service(workers: usize) -> ExtractService {
+        ExtractService::new(
+            EngineConfig {
+                workers,
+                queue_capacity: 8,
+                ..EngineConfig::default()
+            },
+            DEFAULT_DOC_SEED,
+            None,
+        )
+    }
+
+    fn parse_lines(out: &[u8]) -> Vec<JobResult> {
+        String::from_utf8(out.to_vec())
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str::<JobResult>(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn mixed_good_and_bad_lines_all_get_result_lines() {
+        let input = concat!(
+            "{\"dataset\":\"D1\",\"doc_index\":0}\n",
+            "this is not json\n",
+            "\n",
+            "{\"dataset\":\"D1\",\"doc_index\":1,\"job_id\":\"named\"}\n",
+            "{\"dataset\":\"D1\"}\n",
+            "{\"dataset\":\"D1\",\"doc_index\":2}\n",
+        );
+        let service = test_service(2);
+        let mut out = Vec::new();
+        let run = run_batch(
+            &service,
+            Cursor::new(input),
+            &mut out,
+            &BatchOptions::default(),
+        );
+        assert_eq!(run.invalid, 2);
+        assert_eq!(run.job_ids, vec!["job-0", "named", "job-5"]);
+        let results = parse_lines(&out);
+        // 5 non-empty lines → 5 result lines, in input order.
+        assert_eq!(results.len(), 5);
+        assert_eq!(
+            results.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(results[0].status, JobStatus::Ok);
+        assert_eq!(results[1].status, JobStatus::Invalid);
+        assert!(
+            results[1].error.as_deref().unwrap().contains("line 1"),
+            "{:?}",
+            results[1].error
+        );
+        assert_eq!(results[2].job_id, "named");
+        assert_eq!(results[2].status, JobStatus::Ok);
+        assert_eq!(results[3].status, JobStatus::Invalid);
+        assert_eq!(results[4].status, JobStatus::Ok);
+        service.shutdown();
+    }
+
+    #[test]
+    fn invalid_utf8_line_is_reported_and_the_stream_continues() {
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"{\"dataset\":\"D1\",\"doc_index\":0}\n");
+        input.extend_from_slice(b"\xff\xfe broken bytes \xff\n");
+        input.extend_from_slice(b"{\"dataset\":\"D1\",\"doc_index\":1}\n");
+        let service = test_service(1);
+        let mut out = Vec::new();
+        let run = run_batch(
+            &service,
+            Cursor::new(input),
+            &mut out,
+            &BatchOptions::default(),
+        );
+        assert_eq!(run.invalid, 1);
+        let results = parse_lines(&out);
+        assert_eq!(results.len(), 3, "the bad line must not end the batch");
+        assert_eq!(results[0].status, JobStatus::Ok);
+        assert_eq!(results[1].status, JobStatus::Invalid);
+        assert!(
+            results[1]
+                .error
+                .as_deref()
+                .unwrap()
+                .contains("input read error at line 1"),
+            "{:?}",
+            results[1].error
+        );
+        assert_eq!(results[2].status, JobStatus::Ok);
+        let stats = service.shutdown();
+        assert_eq!(stats.ok, 2);
+    }
+
+    #[test]
+    fn default_output_is_stable_and_latency_is_opt_in() {
+        let input = "{\"dataset\":\"D1\",\"doc_index\":0}\n";
+        let service = test_service(2);
+        let mut plain = Vec::new();
+        run_batch(
+            &service,
+            Cursor::new(input),
+            &mut plain,
+            &BatchOptions::default(),
+        );
+        let mut with_latency = Vec::new();
+        run_batch(
+            &service,
+            Cursor::new(input),
+            &mut with_latency,
+            &BatchOptions {
+                include_latency: true,
+            },
+        );
+        let plain = String::from_utf8(plain).unwrap();
+        let with_latency = String::from_utf8(with_latency).unwrap();
+        assert!(!plain.contains("latency_us"), "{plain}");
+        assert!(with_latency.contains("latency_us"), "{with_latency}");
+        service.shutdown();
+    }
+}

@@ -9,22 +9,27 @@
 //!     | vs2d --workers 4
 //! {"seq":0,"job_id":"job-0","status":"ok","extractions":[...]}
 //! {"seq":1,"job_id":"job-1","status":"ok","extractions":[...]}
-//! vs2d: 2 jobs (2 ok, 0 panicked, 0 timed_out, 0 invalid) in 0.84s — 2.4 docs/s
-//! vs2d: latency p50 212332us p95 341007us p99 341007us | queue stalls 0 | model cache 2 miss, 0 hit | 4 workers
+//! vs2d: 2 jobs (2 ok, 0 degraded, 0 quarantined, 0 invalid) in 0.84s — 2.4 docs/s
+//! vs2d: 0 retries, 0 panics, 0 timeout trips | latency p50 212332us p95 341007us p99 341007us | queue stalls 0 | model cache 2 miss, 0 hit | 4 workers
 //! ```
 //!
 //! Result lines omit `latency_us` unless `--latency` is given, so the
 //! default output of a batch is byte-identical across runs and worker
-//! counts.
+//! counts. Jobs whose primary pipeline fails every attempt either come
+//! back with `status: "degraded"` (XY-cut fallback segmentation) or
+//! `status: "quarantined"`, with one `{"record":"quarantine",...}` line
+//! per quarantined job after the batch.
+//!
+//! Malformed input lines (bad JSON, invalid UTF-8) never abort the
+//! batch: each produces an in-stream `{"status":"invalid",...}` result
+//! carrying the line number and error.
 
-use std::io::{BufRead, BufWriter, Write};
-use std::sync::mpsc;
+use std::io::BufRead;
 use std::time::{Duration, Instant};
 
 use vs2_core::pipeline::Vs2Config;
 use vs2_serve::{
-    EngineConfig, ExtractService, JobOutcome, JobResult, JobSpec, JobStatus, LatencySummary,
-    DEFAULT_DOC_SEED,
+    run_batch, BatchOptions, EngineConfig, ExtractService, FaultPlan, RetryPolicy, DEFAULT_DOC_SEED,
 };
 
 const USAGE: &str = "\
@@ -35,6 +40,9 @@ USAGE: vs2d [OPTIONS]
   --workers N          worker threads (default: available parallelism)
   --queue-capacity N   work-queue bound; submission blocks beyond it (default 32)
   --timeout-ms N       soft per-job deadline; 0 disables (default 0)
+  --max-attempts N     attempt budget for transient failures (default 3)
+  --fault-seed N       enable deterministic chaos fault injection with
+                       this seed (testing only; accepts 0x-prefixed hex)
   --model-seed N       holdout-corpus seed for model learning (default 0xC0FFEE)
   --config PATH        Vs2Config JSON applied to every dataset
                        (default: per-dataset defaults)
@@ -48,6 +56,8 @@ struct Options {
     workers: usize,
     queue_capacity: usize,
     timeout_ms: u64,
+    max_attempts: u32,
+    fault_seed: Option<u64>,
     model_seed: u64,
     config_path: Option<String>,
     latency: bool,
@@ -61,6 +71,8 @@ impl Default for Options {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             queue_capacity: 32,
             timeout_ms: 0,
+            max_attempts: RetryPolicy::default().max_attempts,
+            fault_seed: None,
             model_seed: DEFAULT_DOC_SEED,
             config_path: None,
             latency: false,
@@ -103,6 +115,18 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--timeout-ms: {e}"))?;
             }
+            "--max-attempts" => {
+                opts.max_attempts = value("--max-attempts")?
+                    .parse()
+                    .map_err(|e| format!("--max-attempts: {e}"))?;
+                if opts.max_attempts == 0 {
+                    return Err("--max-attempts must be at least 1".into());
+                }
+            }
+            "--fault-seed" => {
+                let raw = value("--fault-seed")?;
+                opts.fault_seed = Some(parse_seed(&raw).map_err(|e| format!("--fault-seed: {e}"))?);
+            }
             "--model-seed" => {
                 let raw = value("--model-seed")?;
                 opts.model_seed = parse_seed(&raw).map_err(|e| format!("--model-seed: {e}"))?;
@@ -123,111 +147,6 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
 fn fail(message: &str) -> ! {
     eprintln!("vs2d: {message}");
     std::process::exit(2);
-}
-
-/// What the result emitter must produce for one input line, in order.
-enum LineFate {
-    /// A job went into the engine; wait for its result.
-    Submitted { job_id: String },
-    /// The line failed to parse; report `invalid` immediately.
-    Invalid { job_id: String, error: String },
-}
-
-/// Outcome of the submit/emit phase: per-job latencies plus the count of
-/// invalid input lines.
-struct BatchRun {
-    latencies: Vec<Duration>,
-    invalid: u64,
-}
-
-/// Submits every job spec from `reader` while a second thread streams
-/// results to stdout in input order. Engine sequence numbers are
-/// assigned in submission order, so the emitter simply waits on
-/// 0, 1, 2, … as the fates arrive.
-fn run_batch(
-    service: &ExtractService,
-    reader: Box<dyn BufRead>,
-    include_latency: bool,
-) -> BatchRun {
-    let (fate_tx, fate_rx) = mpsc::channel::<LineFate>();
-    let mut invalid = 0u64;
-    let latencies = std::thread::scope(|scope| {
-        let emitter = scope.spawn(move || {
-            let mut out = BufWriter::new(std::io::stdout().lock());
-            let mut lats = Vec::new();
-            let mut engine_seq = 0u64;
-            for (out_seq, fate) in fate_rx.iter().enumerate() {
-                let out_seq = out_seq as u64;
-                let result = match fate {
-                    LineFate::Submitted { job_id } => {
-                        let done = service.wait_result(engine_seq);
-                        engine_seq += 1;
-                        lats.push(done.latency);
-                        let (status, extractions, error) = match done.outcome {
-                            JobOutcome::Ok(ex) => (JobStatus::Ok, ex, None),
-                            JobOutcome::Panicked(msg) => (JobStatus::Panicked, vec![], Some(msg)),
-                            JobOutcome::TimedOut => (JobStatus::TimedOut, vec![], None),
-                        };
-                        JobResult {
-                            seq: out_seq,
-                            job_id,
-                            status,
-                            extractions,
-                            error,
-                            latency_us: if include_latency {
-                                Some(u64::try_from(done.latency.as_micros()).unwrap_or(u64::MAX))
-                            } else {
-                                None
-                            },
-                        }
-                    }
-                    LineFate::Invalid { job_id, error } => JobResult {
-                        seq: out_seq,
-                        job_id,
-                        status: JobStatus::Invalid,
-                        extractions: vec![],
-                        error: Some(error),
-                        latency_us: None,
-                    },
-                };
-                let line = serde_json::to_string(&result).expect("result serialises");
-                writeln!(out, "{line}").expect("write stdout");
-            }
-            out.flush().expect("flush stdout");
-            lats
-        });
-        for (line_no, line) in reader.lines().enumerate() {
-            let line = match line {
-                Ok(l) => l,
-                Err(e) => {
-                    eprintln!("vs2d: input read error: {e}");
-                    break;
-                }
-            };
-            if line.trim().is_empty() {
-                continue;
-            }
-            let default_id = format!("job-{line_no}");
-            match serde_json::from_str::<JobSpec>(&line) {
-                Ok(spec) => {
-                    let job_id = spec.job_id.clone().unwrap_or(default_id);
-                    // Backpressure: blocks while the work queue is full.
-                    service.submit(spec);
-                    let _ = fate_tx.send(LineFate::Submitted { job_id });
-                }
-                Err(e) => {
-                    invalid += 1;
-                    let _ = fate_tx.send(LineFate::Invalid {
-                        job_id: default_id,
-                        error: e.to_string(),
-                    });
-                }
-            }
-        }
-        drop(fate_tx);
-        emitter.join().expect("emitter thread")
-    });
-    BatchRun { latencies, invalid }
 }
 
 fn main() {
@@ -255,20 +174,32 @@ fn main() {
             workers: opts.workers,
             queue_capacity: opts.queue_capacity,
             job_timeout: (opts.timeout_ms > 0).then(|| Duration::from_millis(opts.timeout_ms)),
+            retry: RetryPolicy {
+                max_attempts: opts.max_attempts,
+                ..RetryPolicy::default()
+            },
+            faults: opts.fault_seed.map(FaultPlan::chaos),
         },
         opts.model_seed,
         config,
     );
 
     let started = Instant::now();
-    let run = run_batch(&service, reader, opts.latency);
+    let run = run_batch(
+        &service,
+        reader,
+        std::io::BufWriter::new(std::io::stdout()),
+        &BatchOptions {
+            include_latency: opts.latency,
+        },
+    );
     let wall = started.elapsed();
 
     let stats = service.stats();
     let (cache_hits, cache_misses) = service.cache_counters();
     service.shutdown();
 
-    let lat = LatencySummary::from_latencies(&run.latencies);
+    let lat = vs2_serve::LatencySummary::from_latencies(&run.latencies);
     let jobs = stats.submitted + run.invalid;
     let docs_per_s = if wall.as_secs_f64() > 0.0 {
         stats.completed as f64 / wall.as_secs_f64()
@@ -276,16 +207,19 @@ fn main() {
         0.0
     };
     eprintln!(
-        "vs2d: {jobs} jobs ({} ok, {} panicked, {} timed_out, {} invalid) in {:.2}s — {:.1} docs/s",
+        "vs2d: {jobs} jobs ({} ok, {} degraded, {} quarantined, {} invalid) in {:.2}s — {:.1} docs/s",
         stats.ok,
-        stats.panicked,
-        stats.timed_out,
+        stats.degraded,
+        stats.quarantined,
         run.invalid,
         wall.as_secs_f64(),
         docs_per_s,
     );
     eprintln!(
-        "vs2d: latency p50 {}us p95 {}us p99 {}us | queue stalls {} | model cache {} miss, {} hit | {} workers",
+        "vs2d: {} retries, {} panics, {} timeout trips | latency p50 {}us p95 {}us p99 {}us | queue stalls {} | model cache {} miss, {} hit | {} workers",
+        stats.retried,
+        stats.panicked,
+        stats.timed_out,
         lat.p50_us,
         lat.p95_us,
         lat.p99_us,
@@ -303,6 +237,9 @@ fn main() {
             ),
             ("jobs".into(), serde::Value::UInt(jobs)),
             ("ok".into(), serde::Value::UInt(stats.ok)),
+            ("degraded".into(), serde::Value::UInt(stats.degraded)),
+            ("quarantined".into(), serde::Value::UInt(stats.quarantined)),
+            ("retried".into(), serde::Value::UInt(stats.retried)),
             ("panicked".into(), serde::Value::UInt(stats.panicked)),
             ("timed_out".into(), serde::Value::UInt(stats.timed_out)),
             ("invalid".into(), serde::Value::UInt(run.invalid)),
@@ -325,7 +262,7 @@ fn main() {
             eprintln!("vs2d: cannot write --summary-json {path}: {e}");
         }
     }
-    if stats.panicked + stats.timed_out + run.invalid > 0 {
+    if stats.quarantined + run.invalid > 0 {
         std::process::exit(1);
     }
 }

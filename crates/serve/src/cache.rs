@@ -77,16 +77,7 @@ impl ModelCache {
             model_seed,
             learn: serde_json::to_string(&config.learn).expect("learn config serialises"),
         };
-        let slot = {
-            let mut entries = self.entries.lock().unwrap();
-            Arc::clone(entries.entry(key).or_default())
-        };
-        if let Some(model) = slot.get() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(model);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        Arc::clone(slot.get_or_init(|| {
+        self.model_with_builder(key, || {
             let corpus = holdout_corpus(dataset, model_seed ^ 0x4001);
             let entries: Vec<(String, String, String)> = corpus
                 .entries
@@ -99,7 +90,28 @@ impl ModelCache {
                     .map(|(a, b, c)| (a.as_str(), b.as_str(), c.as_str())),
                 &config.learn,
             ))
-        }))
+        })
+    }
+
+    /// Lookup/learn with an injectable builder — the seam that lets
+    /// tests drive the cache with panicking builders. A builder panic
+    /// propagates to the caller but must not wedge the slot: the
+    /// per-key `OnceLock` stays uninitialized, so the next caller (or a
+    /// concurrent one) simply runs its own builder.
+    fn model_with_builder<F>(&self, key: CacheKey, build: F) -> Arc<Vs2Model>
+    where
+        F: FnOnce() -> Arc<Vs2Model>,
+    {
+        let slot = {
+            let mut entries = self.entries.lock().unwrap();
+            Arc::clone(entries.entry(key).or_default())
+        };
+        if let Some(model) = slot.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(model);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(slot.get_or_init(build))
     }
 
     /// A ready-to-run pipeline over the cached model.
@@ -153,6 +165,70 @@ mod tests {
         for m in &models[1..] {
             assert!(Arc::ptr_eq(&models[0], m));
         }
+    }
+
+    fn test_key(tag: u64) -> CacheKey {
+        CacheKey {
+            dataset: DatasetId::D1,
+            model_seed: tag,
+            learn: "test".into(),
+        }
+    }
+
+    fn tiny_model() -> Arc<Vs2Model> {
+        let cfg = default_config_for(DatasetId::D1);
+        Arc::new(Vs2Model::learn([("entity", "text", "context")], &cfg.learn))
+    }
+
+    #[test]
+    fn panicking_builder_does_not_poison_the_slot() {
+        let cache = ModelCache::new();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.model_with_builder(test_key(1), || panic!("learning blew up"))
+        }));
+        assert!(attempt.is_err(), "the builder panic must propagate");
+        // Same key, next caller: must learn successfully, not deadlock
+        // or return a wedged slot.
+        let model = cache.model_with_builder(test_key(1), tiny_model);
+        let again =
+            cache.model_with_builder(test_key(1), || panic!("must not re-learn a cached key"));
+        assert!(Arc::ptr_eq(&model, &again));
+    }
+
+    #[test]
+    fn concurrent_access_with_panicking_builder_recovers() {
+        let cache = Arc::new(ModelCache::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        cache.model_with_builder(test_key(7), move || {
+                            // Half the racers have broken builders.
+                            if i % 2 == 0 {
+                                panic!("racer {i} failed to learn");
+                            }
+                            tiny_model()
+                        })
+                    }));
+                    result.ok()
+                })
+            })
+            .collect();
+        let models: Vec<Arc<Vs2Model>> = handles
+            .into_iter()
+            .filter_map(|h| h.join().unwrap())
+            .collect();
+        assert!(
+            !models.is_empty(),
+            "at least one healthy builder must have won"
+        );
+        for m in &models[1..] {
+            assert!(Arc::ptr_eq(&models[0], m), "all survivors share one model");
+        }
+        // The key is now warm: a poisoned builder is never invoked again.
+        let cached = cache.model_with_builder(test_key(7), || panic!("no re-learning"));
+        assert!(Arc::ptr_eq(&models[0], &cached));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The batch engine: a worker pool pulling jobs off a bounded queue and
-//! publishing outcomes into an ordered result map.
+//! publishing outcomes into an ordered result map, with structured
+//! fault tolerance.
 //!
 //! Design notes:
 //!
@@ -7,14 +8,28 @@
 //!   sequence number; results are keyed by it. However many workers race,
 //!   [`BatchEngine::drain`] returns outcomes in submission order, so a
 //!   4-worker run is byte-identical to a 1-worker run.
-//! * **Panic isolation.** Each job runs under `catch_unwind`; a panicking
-//!   job is reported as [`JobOutcome::Panicked`] and the worker thread
-//!   returns to the pool.
-//! * **Soft timeouts.** A watchdog thread scans in-flight jobs; one that
-//!   exceeds the deadline is reported as [`JobOutcome::TimedOut`]
-//!   immediately (waiters unblock at the deadline, not at completion).
-//!   The worker keeps running the job — threads cannot be killed safely —
-//!   and its late result is discarded.
+//! * **Error taxonomy.** Processors return `Result<O, ServeError>`; a
+//!   panic is caught per attempt (`catch_unwind`) and folded into
+//!   [`ServeError::Fatal`]. [`ServeError::Retryable`] failures are
+//!   re-run in place with bounded, seeded decorrelated-jitter backoff
+//!   ([`RetryPolicy`]) — no wall-clock randomness, so retried batches
+//!   are reproducible.
+//! * **Soft timeouts with one free retry.** A watchdog thread scans
+//!   in-flight jobs; a job past its deadline is re-enqueued once
+//!   (the stuck worker cannot be killed — its eventual result is
+//!   discarded via the attempt-epoch guard) and quarantined as
+//!   [`ServeError::Timeout`] on the second trip.
+//! * **Quarantine, then degrade.** A job whose attempts are all spent is
+//!   handed to the optional fallback processor
+//!   ([`BatchEngine::with_fallback`]); if that yields an answer the job
+//!   completes as [`JobOutcome::Degraded`], otherwise it is recorded in
+//!   the append-only quarantine ledger and completes as
+//!   [`JobOutcome::Failed`]. Either way the batch always gets exactly
+//!   one outcome per sequence number.
+//! * **Fault injection.** With [`EngineConfig::faults`] set, the
+//!   [`JobCtx`] passed to the processor injects deterministic panics,
+//!   transient errors and latency at named pipeline sites (see
+//!   [`crate::faults`]); with it unset the check is one branch.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -23,7 +38,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::error::{QuarantineEntry, ServeError};
+use crate::faults::{FaultPlan, FaultSite};
 use crate::queue::BoundedQueue;
+use crate::retry::RetryPolicy;
 
 /// Worker-pool configuration.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +53,11 @@ pub struct EngineConfig {
     /// Soft per-job deadline, measured from the moment a worker picks the
     /// job up. `None` disables the watchdog.
     pub job_timeout: Option<Duration>,
+    /// Retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection; `None` (production) costs one
+    /// branch per site checkpoint.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -43,6 +66,42 @@ impl Default for EngineConfig {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             queue_capacity: 32,
             job_timeout: None,
+            retry: RetryPolicy::default(),
+            faults: None,
+        }
+    }
+}
+
+/// Per-attempt context handed to the processor: identifies the job and
+/// attempt, and hosts the fault-injection checkpoints.
+#[derive(Debug, Clone, Copy)]
+pub struct JobCtx {
+    /// Engine sequence number of the job being processed.
+    pub seq: u64,
+    /// 0-based attempt number (retries increment it).
+    pub attempt: u32,
+    faults: Option<FaultPlan>,
+}
+
+impl JobCtx {
+    /// Builds a context explicitly — for driving processors outside an
+    /// engine (direct calls in tests and differential harnesses).
+    pub fn new(seq: u64, attempt: u32, faults: Option<FaultPlan>) -> Self {
+        Self {
+            seq,
+            attempt,
+            faults,
+        }
+    }
+
+    /// Fault-injection checkpoint: a no-op unless the engine was
+    /// configured with a [`FaultPlan`], in which case the plan's
+    /// deterministic decision for `(site, seq, attempt)` is applied
+    /// (sleep / `Err(Retryable)` / panic).
+    pub fn checkpoint(&self, site: FaultSite) -> Result<(), ServeError> {
+        match &self.faults {
+            None => Ok(()),
+            Some(plan) => plan.apply(site, self.seq, self.attempt),
         }
     }
 }
@@ -50,12 +109,19 @@ impl Default for EngineConfig {
 /// Terminal state of one job.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobOutcome<O> {
-    /// The processor returned normally.
+    /// The primary processor returned normally.
     Ok(O),
-    /// The processor panicked; the payload is the panic message.
-    Panicked(String),
-    /// The job exceeded [`EngineConfig::job_timeout`].
-    TimedOut,
+    /// The primary processor failed every attempt but the fallback
+    /// produced an answer.
+    Degraded {
+        /// The fallback's output.
+        output: O,
+        /// The final primary-path error that triggered degradation.
+        error: ServeError,
+    },
+    /// The job failed every attempt and no fallback answer exists; a
+    /// matching entry is in the quarantine ledger.
+    Failed(ServeError),
 }
 
 impl<O> JobOutcome<O> {
@@ -63,19 +129,35 @@ impl<O> JobOutcome<O> {
     pub fn is_ok(&self) -> bool {
         matches!(self, JobOutcome::Ok(_))
     }
+
+    /// `true` for [`JobOutcome::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, JobOutcome::Degraded { .. })
+    }
+
+    /// The output, from either the primary ([`JobOutcome::Ok`]) or the
+    /// degraded path.
+    pub fn output(&self) -> Option<&O> {
+        match self {
+            JobOutcome::Ok(o) | JobOutcome::Degraded { output: o, .. } => Some(o),
+            JobOutcome::Failed(_) => None,
+        }
+    }
 }
 
-/// One finished job: outcome plus processing latency (queue wait
-/// excluded; for a timeout, the latency is the elapsed time at the
-/// moment the watchdog fired).
+/// One finished job: outcome plus processing latency of the attempt that
+/// produced it (queue wait and earlier attempts excluded; for a timeout,
+/// the elapsed time at the moment the final trip fired).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Completed<O> {
     /// Submission sequence number.
     pub seq: u64,
     /// Terminal state.
     pub outcome: JobOutcome<O>,
-    /// Processing latency.
+    /// Processing latency of the deciding attempt.
     pub latency: Duration,
+    /// Attempts consumed (including the first).
+    pub attempts: u32,
 }
 
 /// Counters snapshot; see [`BatchEngine::stats`].
@@ -83,13 +165,19 @@ pub struct Completed<O> {
 pub struct EngineStats {
     /// Jobs accepted by `submit`.
     pub submitted: u64,
-    /// Jobs with a published outcome.
+    /// Jobs with a published outcome (`ok + degraded + quarantined`).
     pub completed: u64,
-    /// Jobs that finished normally.
+    /// Jobs that finished normally on the primary path.
     pub ok: u64,
-    /// Jobs that panicked.
+    /// Jobs answered by the fallback after the primary path failed.
+    pub degraded: u64,
+    /// Jobs that ended in the quarantine ledger with no answer.
+    pub quarantined: u64,
+    /// Retry dispatches (transient re-runs plus watchdog re-enqueues).
+    pub retried: u64,
+    /// Panics caught in the primary processor, over all attempts.
     pub panicked: u64,
-    /// Jobs cut off by the watchdog.
+    /// Watchdog trips, over all attempts.
     pub timed_out: u64,
     /// Submissions that blocked on a full queue.
     pub queue_stalls: u64,
@@ -99,15 +187,33 @@ struct Counters {
     submitted: AtomicU64,
     completed: AtomicU64,
     ok: AtomicU64,
+    degraded: AtomicU64,
+    quarantined: AtomicU64,
+    retried: AtomicU64,
     panicked: AtomicU64,
     timed_out: AtomicU64,
+}
+
+/// One queue entry: a job plus the attempt number it will run as.
+struct QueuedJob<J> {
+    seq: u64,
+    attempt: u32,
+    job: J,
+}
+
+struct Inflight<J> {
+    started: Instant,
+    attempt: u32,
+    /// Clone kept so the watchdog can re-enqueue the job on its first
+    /// deadline trip.
+    job: J,
 }
 
 struct ResultsState<O> {
     map: BTreeMap<u64, Completed<O>>,
     /// Every live seq already published — the exactly-once guard. A
     /// worker's late result must stay discarded even after `wait_result`
-    /// has consumed the watchdog's `TimedOut` entry for the same seq.
+    /// has consumed the final entry for the same seq.
     done: HashSet<u64>,
     /// Seqs below this have been drained; `done` forgets them to stay
     /// bounded, so publishes this old are discarded by the bound alone.
@@ -115,30 +221,96 @@ struct ResultsState<O> {
     /// seq is drained — without this check its eventual publish would
     /// re-enter `done` and double-count the job.
     drained_upto: u64,
+    /// Minimum attempt number whose publish is still accepted, per seq.
+    /// Entries exist only for seqs the watchdog (or a worker detecting
+    /// its own deadline overrun) has claimed: bumping the epoch
+    /// invalidates the stuck attempt's eventual result. `u32::MAX` marks
+    /// a terminally claimed seq (final timeout published; every late
+    /// attempt is dead).
+    epochs: HashMap<u64, u32>,
 }
 
 struct Shared<J, O> {
-    queue: BoundedQueue<(u64, J)>,
+    queue: BoundedQueue<QueuedJob<J>>,
     results: Mutex<ResultsState<O>>,
     results_cv: Condvar,
-    inflight: Mutex<HashMap<u64, Instant>>,
+    inflight: Mutex<HashMap<u64, Inflight<J>>>,
+    quarantine: Mutex<Vec<QuarantineEntry>>,
     counters: Counters,
     timeout: Option<Duration>,
+    retry: RetryPolicy,
+    faults: Option<FaultPlan>,
     stopping: AtomicBool,
 }
 
 impl<J, O> Shared<J, O> {
-    /// Publishes `seq`'s outcome unless something (the watchdog) already
-    /// did; late results of timed-out jobs are discarded here.
-    fn publish(&self, seq: u64, outcome: JobOutcome<O>, latency: Duration) {
+    /// Atomically claims the right to handle a deadline overrun of
+    /// `(seq, attempt)`. Returns `false` if another party (watchdog or
+    /// worker) already claimed this or a later attempt. On success the
+    /// attempt epoch advances, so the stuck attempt's late result is
+    /// discarded; `terminal` marks the seq dead for every future attempt.
+    fn claim_timeout(&self, seq: u64, attempt: u32, terminal: bool) -> bool {
         let mut results = self.results.lock().unwrap();
-        if seq < results.drained_upto || !results.done.insert(seq) {
+        // A decided or drained seq cannot be re-claimed: the stuck
+        // worker eventually waking with `latency >= timeout` must not
+        // re-quarantine a job whose outcome was already published.
+        if seq < results.drained_upto || results.done.contains(&seq) {
+            return false;
+        }
+        let current = results.epochs.get(&seq).copied().unwrap_or(0);
+        if attempt < current {
+            return false;
+        }
+        results
+            .epochs
+            .insert(seq, if terminal { u32::MAX } else { attempt + 1 });
+        true
+    }
+
+    /// Publishes the outcome of `(seq, attempt)` unless the attempt was
+    /// superseded by a timeout retry or the seq already completed.
+    fn publish_attempt(
+        &self,
+        seq: u64,
+        attempt: u32,
+        outcome: JobOutcome<O>,
+        latency: Duration,
+        attempts: u32,
+    ) {
+        self.publish_inner(seq, Some(attempt), outcome, latency, attempts);
+    }
+
+    /// Publishes a final outcome on behalf of a timeout claimer that
+    /// owns the seq (its epoch is `u32::MAX`); skips the epoch check.
+    fn publish_terminal(&self, seq: u64, outcome: JobOutcome<O>, latency: Duration, attempts: u32) {
+        self.publish_inner(seq, None, outcome, latency, attempts);
+    }
+
+    fn publish_inner(
+        &self,
+        seq: u64,
+        attempt: Option<u32>,
+        outcome: JobOutcome<O>,
+        latency: Duration,
+        attempts: u32,
+    ) {
+        let mut results = self.results.lock().unwrap();
+        if seq < results.drained_upto {
             return;
         }
+        if let Some(attempt) = attempt {
+            if results.epochs.get(&seq).copied().unwrap_or(0) > attempt {
+                return;
+            }
+        }
+        if !results.done.insert(seq) {
+            return;
+        }
+        results.epochs.remove(&seq);
         match &outcome {
             JobOutcome::Ok(_) => self.counters.ok.fetch_add(1, Ordering::Relaxed),
-            JobOutcome::Panicked(_) => self.counters.panicked.fetch_add(1, Ordering::Relaxed),
-            JobOutcome::TimedOut => self.counters.timed_out.fetch_add(1, Ordering::Relaxed),
+            JobOutcome::Degraded { .. } => self.counters.degraded.fetch_add(1, Ordering::Relaxed),
+            JobOutcome::Failed(_) => self.counters.quarantined.fetch_add(1, Ordering::Relaxed),
         };
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
         results.map.insert(
@@ -147,6 +319,7 @@ impl<J, O> Shared<J, O> {
                 seq,
                 outcome,
                 latency,
+                attempts,
             },
         );
         drop(results);
@@ -154,11 +327,15 @@ impl<J, O> Shared<J, O> {
     }
 }
 
-/// A concurrent batch processor: submit jobs, harvest outcomes in
-/// submission order. Generic over the job and output types so tests can
-/// inject slow or panicking processors; the extraction service plugs a
-/// shared-model [`crate::cache::ModelCache`] processor in.
-pub struct BatchEngine<J: Send + 'static, O: Send + 'static> {
+type Fallback<J, O> = Arc<dyn Fn(&J) -> Option<O> + Send + Sync>;
+type FallbackRef<'a, J, O> = Option<&'a (dyn Fn(&J) -> Option<O> + Send + Sync)>;
+
+/// A concurrent, fault-tolerant batch processor: submit jobs, harvest
+/// outcomes in submission order. Generic over the job and output types
+/// so tests can inject slow, flaky or panicking processors; the
+/// extraction service plugs a shared-model [`crate::cache::ModelCache`]
+/// processor and an XY-cut degradation fallback in.
+pub struct BatchEngine<J: Send + Clone + 'static, O: Send + 'static> {
     shared: Arc<Shared<J, O>>,
     workers: Vec<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
@@ -167,42 +344,72 @@ pub struct BatchEngine<J: Send + 'static, O: Send + 'static> {
     config: EngineConfig,
 }
 
-impl<J: Send + 'static, O: Send + 'static> BatchEngine<J, O> {
+impl<J: Send + Clone + 'static, O: Send + 'static> BatchEngine<J, O> {
     /// Spawns the worker pool (and, with a timeout configured, the
     /// watchdog). `process` runs on worker threads and must therefore be
     /// `Send + Sync`; shared read-only state (the model cache) goes in
-    /// via `Arc` capture.
+    /// via `Arc` capture. Jobs that fail every attempt are quarantined —
+    /// use [`BatchEngine::with_fallback`] to degrade them instead.
     pub fn new<F>(config: EngineConfig, process: F) -> Self
     where
-        F: Fn(&J) -> O + Send + Sync + 'static,
+        F: Fn(&J, &JobCtx) -> Result<O, ServeError> + Send + Sync + 'static,
     {
+        Self::build(config, Arc::new(process), None)
+    }
+
+    /// Like [`BatchEngine::new`], plus a degradation fallback: when a
+    /// job's primary attempts are all spent (other than by timeout),
+    /// `fallback` gets one shot at producing a cheaper answer. A `Some`
+    /// return completes the job as [`JobOutcome::Degraded`]; `None` or a
+    /// panic sends it to quarantine.
+    pub fn with_fallback<F, G>(config: EngineConfig, process: F, fallback: G) -> Self
+    where
+        F: Fn(&J, &JobCtx) -> Result<O, ServeError> + Send + Sync + 'static,
+        G: Fn(&J) -> Option<O> + Send + Sync + 'static,
+    {
+        Self::build(config, Arc::new(process), Some(Arc::new(fallback)))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn build(
+        config: EngineConfig,
+        process: Arc<dyn Fn(&J, &JobCtx) -> Result<O, ServeError> + Send + Sync>,
+        fallback: Option<Fallback<J, O>>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             results: Mutex::new(ResultsState {
                 map: BTreeMap::new(),
                 done: HashSet::new(),
                 drained_upto: 0,
+                epochs: HashMap::new(),
             }),
             results_cv: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
+            quarantine: Mutex::new(Vec::new()),
             counters: Counters {
                 submitted: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 ok: AtomicU64::new(0),
+                degraded: AtomicU64::new(0),
+                quarantined: AtomicU64::new(0),
+                retried: AtomicU64::new(0),
                 panicked: AtomicU64::new(0),
                 timed_out: AtomicU64::new(0),
             },
             timeout: config.job_timeout,
+            retry: config.retry,
+            faults: config.faults,
             stopping: AtomicBool::new(false),
         });
-        let process = Arc::new(process);
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let process = Arc::clone(&process);
+                let fallback = fallback.clone();
                 std::thread::Builder::new()
                     .name(format!("vs2-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &*process))
+                    .spawn(move || worker_loop(&shared, &*process, fallback.as_deref()))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -240,7 +447,16 @@ impl<J: Send + 'static, O: Send + 'static> BatchEngine<J, O> {
             .counters
             .submitted
             .fetch_add(1, Ordering::Relaxed);
-        if self.shared.queue.push((seq, job)).is_err() {
+        if self
+            .shared
+            .queue
+            .push(QueuedJob {
+                seq,
+                attempt: 0,
+                job,
+            })
+            .is_err()
+        {
             panic!("submit on a shut-down engine");
         }
         seq
@@ -272,11 +488,12 @@ impl<J: Send + 'static, O: Send + 'static> BatchEngine<J, O> {
         self.next_drain = upto;
         // Shrink the exactly-once guard: raise the drained bound (so late
         // publishes for these seqs are discarded by the bound check) and
-        // forget their `done` entries — both under one lock acquisition,
-        // so no publish can slip between the two.
+        // forget their `done`/epoch entries — all under one lock
+        // acquisition, so no publish can slip between the steps.
         let mut results = self.shared.results.lock().unwrap();
         results.drained_upto = upto;
         results.done.retain(|&seq| seq >= upto);
+        results.epochs.retain(|&seq, _| seq >= upto);
         out
     }
 
@@ -286,10 +503,20 @@ impl<J: Send + 'static, O: Send + 'static> BatchEngine<J, O> {
             submitted: self.shared.counters.submitted.load(Ordering::Relaxed),
             completed: self.shared.counters.completed.load(Ordering::Relaxed),
             ok: self.shared.counters.ok.load(Ordering::Relaxed),
+            degraded: self.shared.counters.degraded.load(Ordering::Relaxed),
+            quarantined: self.shared.counters.quarantined.load(Ordering::Relaxed),
+            retried: self.shared.counters.retried.load(Ordering::Relaxed),
             panicked: self.shared.counters.panicked.load(Ordering::Relaxed),
             timed_out: self.shared.counters.timed_out.load(Ordering::Relaxed),
             queue_stalls: self.shared.queue.stall_count(),
         }
+    }
+
+    /// Snapshot of the quarantine ledger, ordered by quarantine time.
+    /// The ledger is append-only for the lifetime of the engine — it is
+    /// not cleared by [`BatchEngine::drain`].
+    pub fn quarantine(&self) -> Vec<QuarantineEntry> {
+        self.shared.quarantine.lock().unwrap().clone()
     }
 
     /// Closes the queue, waits for the workers to finish the backlog and
@@ -311,58 +538,240 @@ impl<J: Send + 'static, O: Send + 'static> BatchEngine<J, O> {
     }
 }
 
-impl<J: Send + 'static, O: Send + 'static> Drop for BatchEngine<J, O> {
+impl<J: Send + Clone + 'static, O: Send + 'static> Drop for BatchEngine<J, O> {
     fn drop(&mut self) {
         self.stop();
     }
 }
 
-fn worker_loop<J, O>(shared: &Shared<J, O>, process: &(dyn Fn(&J) -> O + Send + Sync)) {
-    while let Some((seq, job)) = shared.queue.pop() {
-        let start = Instant::now();
-        shared.inflight.lock().unwrap().insert(seq, start);
-        let result = catch_unwind(AssertUnwindSafe(|| process(&job)));
-        let latency = start.elapsed();
-        shared.inflight.lock().unwrap().remove(&seq);
-        // A job past its deadline reports TimedOut whether or not the
-        // watchdog happened to catch it first — keeps the label
-        // deterministic under scheduling jitter.
-        let late = shared.timeout.is_some_and(|t| latency >= t);
-        let outcome = if late {
-            JobOutcome::TimedOut
-        } else {
-            match result {
-                Ok(output) => JobOutcome::Ok(output),
-                Err(payload) => JobOutcome::Panicked(panic_message(&*payload)),
+/// Quarantines `seq` or, when `allow_degrade` holds and a fallback is
+/// available, completes it with a degraded answer. Ledger append happens
+/// before the publish so any observer of the `Failed` outcome also sees
+/// the ledger entry (quarantine monotonicity).
+#[allow(clippy::too_many_arguments)]
+fn finish_failed<J, O>(
+    shared: &Shared<J, O>,
+    fallback: FallbackRef<'_, J, O>,
+    job: &J,
+    seq: u64,
+    error: ServeError,
+    latency: Duration,
+    attempts: u32,
+    terminal_claim: bool,
+) {
+    let allow_degrade = !matches!(error, ServeError::Timeout { .. });
+    if allow_degrade {
+        if let Some(fallback) = fallback {
+            if let Ok(Some(output)) = catch_unwind(AssertUnwindSafe(|| fallback(job))) {
+                let outcome = JobOutcome::Degraded { output, error };
+                if terminal_claim {
+                    shared.publish_terminal(seq, outcome, latency, attempts);
+                } else {
+                    shared.publish_attempt(seq, attempts - 1, outcome, latency, attempts);
+                }
+                return;
             }
-        };
-        shared.publish(seq, outcome, latency);
+        }
+    }
+    shared.quarantine.lock().unwrap().push(QuarantineEntry {
+        seq,
+        attempts,
+        error: error.clone(),
+        elapsed: latency,
+    });
+    let outcome = JobOutcome::Failed(error);
+    if terminal_claim {
+        shared.publish_terminal(seq, outcome, latency, attempts);
+    } else {
+        shared.publish_attempt(seq, attempts - 1, outcome, latency, attempts);
     }
 }
 
-fn watchdog_loop<J, O>(shared: &Shared<J, O>, timeout: Duration) {
+fn worker_loop<J: Clone, O>(
+    shared: &Shared<J, O>,
+    process: &(dyn Fn(&J, &JobCtx) -> Result<O, ServeError> + Send + Sync),
+    fallback: FallbackRef<'_, J, O>,
+) {
+    while let Some(queued) = shared.queue.pop() {
+        run_job(shared, process, fallback, queued);
+    }
+}
+
+/// Runs one job to a terminal decision, retrying transient failures in
+/// place.
+fn run_job<J: Clone, O>(
+    shared: &Shared<J, O>,
+    process: &(dyn Fn(&J, &JobCtx) -> Result<O, ServeError> + Send + Sync),
+    fallback: FallbackRef<'_, J, O>,
+    queued: QueuedJob<J>,
+) {
+    let QueuedJob {
+        seq,
+        mut attempt,
+        job,
+    } = queued;
+    loop {
+        let start = Instant::now();
+        shared.inflight.lock().unwrap().insert(
+            seq,
+            Inflight {
+                started: start,
+                attempt,
+                job: job.clone(),
+            },
+        );
+        let ctx = JobCtx::new(seq, attempt, shared.faults);
+        let result = catch_unwind(AssertUnwindSafe(|| process(&job, &ctx)));
+        let latency = start.elapsed();
+        {
+            // Remove the in-flight entry only if it is still this
+            // attempt's — the watchdog may have claimed the seq and a
+            // retry may already be registered by another worker.
+            let mut inflight = shared.inflight.lock().unwrap();
+            if inflight.get(&seq).is_some_and(|e| e.attempt == attempt) {
+                inflight.remove(&seq);
+            }
+        }
+        // A job past its deadline is handled as a timeout whether or not
+        // the watchdog happened to catch it first — keeps the label
+        // deterministic under scheduling jitter. This worker is free, so
+        // the retry (if any) runs in place instead of being re-enqueued.
+        let late = shared.timeout.is_some_and(|t| latency >= t);
+        if late {
+            let terminal = attempt + 1 >= shared.retry.max_timeout_trips.max(1);
+            if !shared.claim_timeout(seq, attempt, terminal) {
+                return; // the watchdog owns this trip
+            }
+            shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+            if result.is_err() {
+                // The overrunning attempt also panicked; record it — the
+                // timeout still decides the outcome.
+                shared.counters.panicked.fetch_add(1, Ordering::Relaxed);
+            }
+            if terminal {
+                finish_failed(
+                    shared,
+                    fallback,
+                    &job,
+                    seq,
+                    ServeError::Timeout { elapsed: latency },
+                    latency,
+                    attempt + 1,
+                    true,
+                );
+                return;
+            }
+            shared.counters.retried.fetch_add(1, Ordering::Relaxed);
+            attempt += 1;
+            continue;
+        }
+        let error = match result {
+            Ok(Ok(output)) => {
+                shared.publish_attempt(seq, attempt, JobOutcome::Ok(output), latency, attempt + 1);
+                return;
+            }
+            Ok(Err(error)) => error,
+            Err(payload) => {
+                shared.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                ServeError::Fatal(format!("panic: {}", panic_message(&*payload)))
+            }
+        };
+        if matches!(error, ServeError::Retryable(_)) && attempt + 1 < shared.retry.max_attempts {
+            shared.counters.retried.fetch_add(1, Ordering::Relaxed);
+            let delay = shared.retry.backoff_delay(seq, attempt);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            attempt += 1;
+            continue;
+        }
+        let final_error = match error {
+            ServeError::Retryable(last) => ServeError::Poison {
+                attempts: attempt + 1,
+                last,
+            },
+            other => other,
+        };
+        finish_failed(
+            shared,
+            fallback,
+            &job,
+            seq,
+            final_error,
+            latency,
+            attempt + 1,
+            false,
+        );
+        return;
+    }
+}
+
+fn watchdog_loop<J: Clone, O>(shared: &Shared<J, O>, timeout: Duration) {
     // Wake often enough that a timeout is detected within ~a quarter of
     // the deadline, but never spin faster than once a millisecond.
     let tick = (timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
     loop {
         std::thread::sleep(tick);
         let now = Instant::now();
-        let expired: Vec<(u64, Duration)> = {
+        let expired: Vec<(u64, Inflight<J>)> = {
             let mut inflight = shared.inflight.lock().unwrap();
             let seqs: Vec<u64> = inflight
                 .iter()
-                .filter(|(_, started)| now.duration_since(**started) >= timeout)
+                .filter(|(_, e)| now.duration_since(e.started) >= timeout)
                 .map(|(seq, _)| *seq)
                 .collect();
             seqs.into_iter()
                 .map(|seq| {
-                    let started = inflight.remove(&seq).unwrap();
-                    (seq, now.duration_since(started))
+                    let entry = inflight.remove(&seq).unwrap();
+                    (seq, entry)
                 })
                 .collect()
         };
-        for (seq, elapsed) in expired {
-            shared.publish(seq, JobOutcome::TimedOut, elapsed);
+        for (seq, entry) in expired {
+            let elapsed = now.duration_since(entry.started);
+            let terminal = entry.attempt + 1 >= shared.retry.max_timeout_trips.max(1);
+            if !shared.claim_timeout(seq, entry.attempt, terminal) {
+                continue; // the worker noticed its own overrun first
+            }
+            shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+            if terminal {
+                // No degradation for timeouts: the document already
+                // burnt two deadline windows; the quarantine record *is*
+                // the answer.
+                finish_failed::<J, O>(
+                    shared,
+                    None,
+                    &entry.job,
+                    seq,
+                    ServeError::Timeout { elapsed },
+                    elapsed,
+                    entry.attempt + 1,
+                    true,
+                );
+                continue;
+            }
+            shared.counters.retried.fetch_add(1, Ordering::Relaxed);
+            let requeued = QueuedJob {
+                seq,
+                attempt: entry.attempt + 1,
+                job: entry.job,
+            };
+            // Bounded backpressure: the watchdog must not block on a
+            // stuffed queue — if no slot opens within a tick, the retry
+            // is abandoned and the job quarantined as a timeout.
+            if let Err(err) = shared.queue.push_timeout(requeued, tick) {
+                let abandoned = err.into_inner();
+                finish_failed::<J, O>(
+                    shared,
+                    None,
+                    &abandoned.job,
+                    seq,
+                    ServeError::Timeout { elapsed },
+                    elapsed,
+                    abandoned.attempt,
+                    true,
+                );
+            }
         }
         if shared.stopping.load(Ordering::Relaxed)
             && shared.queue.is_empty()
@@ -386,22 +795,35 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    /// An engine whose processor never fails and needs no retry delay.
+    fn plain_engine<J, O, F>(workers: usize, queue_capacity: usize, f: F) -> BatchEngine<J, O>
+    where
+        J: Send + Clone + 'static,
+        O: Send + 'static,
+        F: Fn(&J) -> O + Send + Sync + 'static,
+    {
+        BatchEngine::new(
+            EngineConfig {
+                workers,
+                queue_capacity,
+                job_timeout: None,
+                retry: RetryPolicy::immediate(3),
+                faults: None,
+            },
+            move |job, _ctx| Ok(f(job)),
+        )
+    }
 
     #[test]
     fn outcomes_arrive_in_submission_order() {
-        let mut engine = BatchEngine::new(
-            EngineConfig {
-                workers: 4,
-                queue_capacity: 8,
-                job_timeout: None,
-            },
-            |job: &u64| {
-                // Earlier jobs sleep longer, so completion order inverts
-                // submission order — drain must still return 0,1,2,…
-                std::thread::sleep(Duration::from_millis(20 - job.min(&19)));
-                job * 2
-            },
-        );
+        let mut engine = plain_engine(4, 8, |job: &u64| {
+            // Earlier jobs sleep longer, so completion order inverts
+            // submission order — drain must still return 0,1,2,…
+            std::thread::sleep(Duration::from_millis(20 - job.min(&19)));
+            job * 2
+        });
         for i in 0..20u64 {
             engine.submit(i);
         }
@@ -415,11 +837,12 @@ mod tests {
             .collect();
         assert_eq!(values, (0..20).map(|i| i * 2).collect::<Vec<_>>());
         assert!(results.iter().all(|c| c.latency > Duration::ZERO));
+        assert!(results.iter().all(|c| c.attempts == 1));
     }
 
     #[test]
     fn drain_is_incremental_and_engine_reusable() {
-        let mut engine = BatchEngine::new(EngineConfig::default(), |j: &u32| j + 1);
+        let mut engine = plain_engine(2, 8, |j: &u32| j + 1);
         engine.submit(1);
         assert_eq!(engine.drain().len(), 1);
         engine.submit(2);
@@ -433,20 +856,13 @@ mod tests {
     }
 
     #[test]
-    fn panicking_job_is_isolated() {
-        let mut engine = BatchEngine::new(
-            EngineConfig {
-                workers: 2,
-                queue_capacity: 4,
-                job_timeout: None,
-            },
-            |job: &u32| {
-                if *job == 13 {
-                    panic!("poisoned document {job}");
-                }
-                *job
-            },
-        );
+    fn panicking_job_is_quarantined_not_fatal_to_the_pool() {
+        let mut engine = plain_engine(2, 4, |job: &u32| {
+            if *job == 13 {
+                panic!("poisoned document {job}");
+            }
+            *job
+        });
         for j in [11u32, 13, 17] {
             engine.submit(j);
         }
@@ -454,28 +870,165 @@ mod tests {
         assert_eq!(results[0].outcome, JobOutcome::Ok(11));
         assert_eq!(
             results[1].outcome,
-            JobOutcome::Panicked("poisoned document 13".into())
+            JobOutcome::Failed(ServeError::Fatal("panic: poisoned document 13".into()))
         );
         assert_eq!(results[2].outcome, JobOutcome::Ok(17));
         // The pool survives the panic and keeps serving.
         engine.submit(23);
         assert_eq!(engine.drain()[0].outcome, JobOutcome::Ok(23));
-        assert_eq!(engine.stats().panicked, 1);
+        let ledger = engine.quarantine();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[0].seq, 1);
+        assert_eq!(ledger[0].attempts, 1);
+        let stats = engine.stats();
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.quarantined, 1);
     }
 
     #[test]
-    fn slow_job_times_out_without_blocking_the_batch() {
-        let mut engine = BatchEngine::new(
+    fn transient_errors_are_retried_until_success() {
+        let attempts_seen = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&attempts_seen);
+        let mut engine: BatchEngine<u32, u32> = BatchEngine::new(
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 4,
+                retry: RetryPolicy::immediate(3),
+                ..EngineConfig::default()
+            },
+            move |job, ctx| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                if ctx.attempt < 2 {
+                    Err(ServeError::Retryable(format!("flaky at {}", ctx.attempt)))
+                } else {
+                    Ok(*job)
+                }
+            },
+        );
+        engine.submit(7);
+        let results = engine.drain();
+        assert_eq!(results[0].outcome, JobOutcome::Ok(7));
+        assert_eq!(results[0].attempts, 3);
+        assert_eq!(attempts_seen.load(Ordering::Relaxed), 3);
+        let stats = engine.shutdown();
+        assert_eq!(stats.retried, 2);
+        assert_eq!(stats.ok, 1);
+        assert_eq!(stats.quarantined, 0);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_poisons_and_degrades() {
+        let mut engine: BatchEngine<u32, u32> = BatchEngine::with_fallback(
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 4,
+                retry: RetryPolicy::immediate(3),
+                ..EngineConfig::default()
+            },
+            |_job, _ctx| Err(ServeError::Retryable("always flaky".into())),
+            |job| Some(job + 100),
+        );
+        engine.submit(1);
+        engine.submit(2);
+        let results = engine.drain();
+        for (i, done) in results.iter().enumerate() {
+            match &done.outcome {
+                JobOutcome::Degraded { output, error } => {
+                    assert_eq!(*output, (i as u32 + 1) + 100);
+                    assert_eq!(
+                        error,
+                        &ServeError::Poison {
+                            attempts: 3,
+                            last: "always flaky".into()
+                        }
+                    );
+                }
+                other => panic!("expected degraded, got {other:?}"),
+            }
+            assert_eq!(done.attempts, 3);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.degraded, 2);
+        assert_eq!(stats.quarantined, 0, "degraded jobs are not quarantined");
+        assert_eq!(stats.retried, 4);
+        assert!(engine.quarantine().is_empty());
+    }
+
+    #[test]
+    fn fatal_errors_skip_the_retry_budget() {
+        let attempts_seen = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&attempts_seen);
+        let mut engine: BatchEngine<u32, u32> = BatchEngine::new(
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 4,
+                retry: RetryPolicy::immediate(5),
+                ..EngineConfig::default()
+            },
+            move |_job, _ctx| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Fatal("unrecoverable".into()))
+            },
+        );
+        engine.submit(0);
+        let results = engine.drain();
+        assert_eq!(
+            results[0].outcome,
+            JobOutcome::Failed(ServeError::Fatal("unrecoverable".into()))
+        );
+        assert_eq!(attempts_seen.load(Ordering::Relaxed), 1, "no retry");
+        let stats = engine.shutdown();
+        assert_eq!(stats.retried, 0);
+        assert_eq!(stats.quarantined, 1);
+    }
+
+    #[test]
+    fn failing_fallback_lands_in_quarantine() {
+        let mut engine: BatchEngine<u32, u32> = BatchEngine::with_fallback(
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 4,
+                retry: RetryPolicy::immediate(1),
+                ..EngineConfig::default()
+            },
+            |_job, _ctx| Err(ServeError::Fatal("primary down".into())),
+            |job| {
+                if *job == 0 {
+                    panic!("fallback panics too");
+                }
+                None // fallback declines
+            },
+        );
+        engine.submit(0);
+        engine.submit(1);
+        let results = engine.drain();
+        for done in &results {
+            assert_eq!(
+                done.outcome,
+                JobOutcome::Failed(ServeError::Fatal("primary down".into()))
+            );
+        }
+        let ledger = engine.quarantine();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(engine.stats().quarantined, 2);
+    }
+
+    #[test]
+    fn slow_job_is_retried_once_then_quarantined_as_timeout() {
+        let mut engine: BatchEngine<u64, u64> = BatchEngine::new(
             EngineConfig {
                 workers: 2,
                 queue_capacity: 8,
                 job_timeout: Some(Duration::from_millis(40)),
+                retry: RetryPolicy::immediate(3),
+                faults: None,
             },
-            |job: &u64| {
+            |job, _ctx| {
                 if *job == 1 {
                     std::thread::sleep(Duration::from_millis(400));
                 }
-                *job
+                Ok(*job)
             },
         );
         let t0 = Instant::now();
@@ -483,27 +1036,63 @@ mod tests {
             engine.submit(j);
         }
         let results = engine.drain();
-        // The timed-out job was reported at its deadline, well before the
-        // sleeping worker finished.
+        // The job tripped the watchdog twice (original + one retry) and
+        // was quarantined well before the sleeping workers woke up.
         assert!(t0.elapsed() < Duration::from_millis(350));
-        assert_eq!(results[1].outcome, JobOutcome::TimedOut);
-        assert!(results[1].latency >= Duration::from_millis(40));
+        match &results[1].outcome {
+            JobOutcome::Failed(ServeError::Timeout { elapsed }) => {
+                assert!(*elapsed >= Duration::from_millis(40));
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
         for i in [0usize, 2, 3] {
             assert_eq!(results[i].outcome, JobOutcome::Ok(i as u64));
         }
-        assert_eq!(engine.stats().timed_out, 1);
+        let ledger = engine.quarantine();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[0].seq, 1);
+        assert_eq!(ledger[0].error.kind(), "timeout");
+        let stats = engine.stats();
+        assert_eq!(stats.timed_out, 2, "two watchdog trips");
+        assert_eq!(stats.retried, 1, "one timeout retry");
+        assert_eq!(stats.quarantined, 1);
+    }
+
+    #[test]
+    fn timeout_retry_can_succeed_on_the_second_attempt() {
+        // Slow only on the first attempt: the watchdog's free retry must
+        // rescue the job.
+        let mut engine: BatchEngine<u64, u64> = BatchEngine::new(
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 8,
+                job_timeout: Some(Duration::from_millis(30)),
+                retry: RetryPolicy::immediate(3),
+                faults: None,
+            },
+            |job, ctx| {
+                if ctx.attempt == 0 {
+                    std::thread::sleep(Duration::from_millis(120));
+                }
+                Ok(*job)
+            },
+        );
+        engine.submit(5);
+        let results = engine.drain();
+        assert_eq!(results[0].outcome, JobOutcome::Ok(5));
+        assert_eq!(results[0].attempts, 2);
+        let stats = engine.shutdown();
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.retried, 1);
+        assert_eq!(stats.ok, 1);
+        assert_eq!(stats.quarantined, 0);
     }
 
     #[test]
     fn submission_backpressure_blocks_and_is_counted() {
-        let engine = Arc::new(BatchEngine::new(
-            EngineConfig {
-                workers: 1,
-                queue_capacity: 1,
-                job_timeout: None,
-            },
-            |_: &u32| std::thread::sleep(Duration::from_millis(15)),
-        ));
+        let engine = Arc::new(plain_engine(1, 1, |_: &u32| {
+            std::thread::sleep(Duration::from_millis(15))
+        }));
         let submitter = {
             let engine = Arc::clone(&engine);
             std::thread::spawn(move || {
@@ -527,52 +1116,109 @@ mod tests {
         // Regression: a watchdog-timed-out job whose worker is still
         // running when the seq is drained used to have its late result
         // re-enter the exactly-once guard and double-count the job.
-        let mut engine = BatchEngine::new(
+        let mut engine: BatchEngine<u32, u32> = BatchEngine::new(
             EngineConfig {
                 workers: 1,
                 queue_capacity: 2,
                 job_timeout: Some(Duration::from_millis(10)),
+                retry: RetryPolicy {
+                    // One trip quarantines: the single worker is stuck, so
+                    // a re-enqueued retry could only run after it wakes.
+                    max_timeout_trips: 1,
+                    ..RetryPolicy::immediate(3)
+                },
+                faults: None,
             },
-            |_: &u32| {
+            |_job, _ctx| {
                 std::thread::sleep(Duration::from_millis(200));
-                1u32
+                Ok(1u32)
             },
         );
         engine.submit(0);
-        // The watchdog reports TimedOut at ~10ms, long before the worker
+        // The watchdog quarantines at ~10ms, long before the worker
         // wakes; drain consumes the seq while the job is still running.
         let results = engine.drain();
-        assert_eq!(results[0].outcome, JobOutcome::TimedOut);
+        assert!(matches!(
+            results[0].outcome,
+            JobOutcome::Failed(ServeError::Timeout { .. })
+        ));
         // Shutdown joins the worker, whose late publish must be dropped.
         let stats = engine.shutdown();
         assert_eq!(stats.timed_out, 1);
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.ok, 0);
+        assert_eq!(stats.quarantined, 1);
     }
 
     #[test]
     fn non_string_panic_payload_is_reported() {
-        let mut engine = BatchEngine::new(
-            EngineConfig {
-                workers: 1,
-                queue_capacity: 2,
-                job_timeout: None,
-            },
-            |job: &u32| {
-                if *job == 1 {
-                    std::panic::panic_any(7u8);
-                }
-                *job
-            },
-        );
+        let mut engine = plain_engine(1, 2, |job: &u32| {
+            if *job == 1 {
+                std::panic::panic_any(7u8);
+            }
+            *job
+        });
         engine.submit(0);
         engine.submit(1);
         let results = engine.drain();
         assert_eq!(results[0].outcome, JobOutcome::Ok(0));
         assert_eq!(
             results[1].outcome,
-            JobOutcome::Panicked("non-string panic payload".into())
+            JobOutcome::Failed(ServeError::Fatal("panic: non-string panic payload".into()))
         );
         assert_eq!(engine.shutdown().panicked, 1);
+    }
+
+    #[test]
+    fn injected_transient_faults_exhaust_the_budget_deterministically() {
+        // A plan that always injects a transient fault at every site:
+        // every job must burn its full budget and poison out.
+        let plan = FaultPlan {
+            seed: 11,
+            panic_per_mille: 0,
+            transient_per_mille: 1000,
+            latency_per_mille: 0,
+            injected_latency: Duration::ZERO,
+        };
+        let run = || {
+            let mut engine: BatchEngine<u32, u32> = BatchEngine::new(
+                EngineConfig {
+                    workers: 2,
+                    queue_capacity: 4,
+                    retry: RetryPolicy::immediate(2),
+                    faults: Some(plan),
+                    ..EngineConfig::default()
+                },
+                |job, ctx| {
+                    ctx.checkpoint(FaultSite::Segment)?;
+                    Ok(*job)
+                },
+            );
+            for j in 0..3 {
+                engine.submit(j);
+            }
+            let outcomes: Vec<String> = engine
+                .drain()
+                .iter()
+                .map(|c| format!("{:?}", c.outcome))
+                .collect();
+            let stats = engine.shutdown();
+            (outcomes, stats.quarantined, stats.retried)
+        };
+        let (outcomes, quarantined, retried) = run();
+        assert_eq!(quarantined, 3);
+        assert_eq!(retried, 3);
+        for o in &outcomes {
+            assert!(o.contains("Poison"), "{o}");
+        }
+        assert_eq!(run().0, outcomes, "fault injection must be deterministic");
+    }
+
+    #[test]
+    fn checkpoints_are_free_without_a_plan() {
+        let ctx = JobCtx::new(0, 0, None);
+        for site in FaultSite::all() {
+            assert!(ctx.checkpoint(site).is_ok());
+        }
     }
 }

@@ -115,6 +115,12 @@ impl Deserialize for JobSpec {
 pub enum JobStatus {
     /// Extraction succeeded.
     Ok,
+    /// The primary pipeline failed every attempt; the extractions come
+    /// from the XY-cut degradation fallback.
+    Degraded,
+    /// The job failed every attempt with no degraded answer; a matching
+    /// `quarantine` record follows the batch.
+    Quarantined,
     /// The job panicked inside the worker.
     Panicked,
     /// The job exceeded the per-job deadline.
@@ -128,6 +134,8 @@ impl JobStatus {
     pub fn as_str(&self) -> &'static str {
         match self {
             JobStatus::Ok => "ok",
+            JobStatus::Degraded => "degraded",
+            JobStatus::Quarantined => "quarantined",
             JobStatus::Panicked => "panicked",
             JobStatus::TimedOut => "timed_out",
             JobStatus::Invalid => "invalid",
@@ -137,6 +145,8 @@ impl JobStatus {
     fn parse(s: &str) -> Result<Self, Error> {
         match s {
             "ok" => Ok(JobStatus::Ok),
+            "degraded" => Ok(JobStatus::Degraded),
+            "quarantined" => Ok(JobStatus::Quarantined),
             "panicked" => Ok(JobStatus::Panicked),
             "timed_out" => Ok(JobStatus::TimedOut),
             "invalid" => Ok(JobStatus::Invalid),
@@ -196,6 +206,68 @@ impl Deserialize for JobResult {
                 Some(val) => Some(String::from_value(val)?),
             },
             latency_us: match v.get("latency_us") {
+                Some(Value::Null) | None => None,
+                Some(val) => Some(u64::from_value(val)?),
+            },
+        })
+    }
+}
+
+/// One quarantine-ledger line, emitted after the batch's result lines:
+///
+/// ```text
+/// {"record":"quarantine","seq":4,"job_id":"job-4","attempts":3,"kind":"poison","error":"..."}
+/// ```
+///
+/// The `record` discriminator keeps these lines distinguishable from
+/// result lines in a mixed stream. `elapsed_us` is wall-clock and only
+/// present with `vs2d --latency`, so default output stays deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRecord {
+    /// Input line number of the quarantined job.
+    pub seq: u64,
+    /// Echo of the job id.
+    pub job_id: String,
+    /// Attempts consumed (including the first).
+    pub attempts: u32,
+    /// Error taxonomy kind (`fatal` / `timeout` / `poison`).
+    pub kind: String,
+    /// Human-readable final error.
+    pub error: String,
+    /// Final-attempt processing time; omitted in stable output.
+    pub elapsed_us: Option<u64>,
+}
+
+impl Serialize for QuarantineRecord {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("record".to_string(), Value::Str("quarantine".to_string())),
+            ("seq".to_string(), Value::UInt(self.seq)),
+            ("job_id".to_string(), Value::Str(self.job_id.clone())),
+            ("attempts".to_string(), Value::UInt(self.attempts as u64)),
+            ("kind".to_string(), Value::Str(self.kind.clone())),
+            ("error".to_string(), Value::Str(self.error.clone())),
+        ];
+        if let Some(us) = self.elapsed_us {
+            fields.push(("elapsed_us".to_string(), Value::UInt(us)));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for QuarantineRecord {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let record: String = v.field("record")?;
+        if record != "quarantine" {
+            return Err(Error::new(format!("not a quarantine record: `{record}`")));
+        }
+        Ok(Self {
+            seq: v.field("seq")?,
+            job_id: v.field("job_id")?,
+            attempts: v.field("attempts")?,
+            kind: v.field("kind")?,
+            error: v.field("error")?,
+            elapsed_us: match v.get("elapsed_us") {
                 Some(Value::Null) | None => None,
                 Some(val) => Some(u64::from_value(val)?),
             },
@@ -278,5 +350,42 @@ mod tests {
         let back: JobResult =
             serde_json::from_str(&serde_json::to_string(&failed).unwrap()).unwrap();
         assert_eq!(back, failed);
+    }
+
+    #[test]
+    fn every_status_round_trips_through_its_wire_name() {
+        for status in [
+            JobStatus::Ok,
+            JobStatus::Degraded,
+            JobStatus::Quarantined,
+            JobStatus::Panicked,
+            JobStatus::TimedOut,
+            JobStatus::Invalid,
+        ] {
+            assert_eq!(JobStatus::parse(status.as_str()).unwrap(), status);
+        }
+        assert!(JobStatus::parse("poisoned").is_err());
+    }
+
+    #[test]
+    fn quarantine_record_round_trips_and_is_discriminated() {
+        let rec = QuarantineRecord {
+            seq: 4,
+            job_id: "job-4".into(),
+            attempts: 3,
+            kind: "poison".into(),
+            error: "poison after 3 attempts: flaky".into(),
+            elapsed_us: None,
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.starts_with(r#"{"record":"quarantine""#), "{json}");
+        assert!(!json.contains("elapsed_us"), "{json}");
+        let back: QuarantineRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+        // A result line must not parse as a quarantine record.
+        assert!(serde_json::from_str::<QuarantineRecord>(
+            r#"{"record":"result","seq":0,"job_id":"a","attempts":1,"kind":"fatal","error":"x"}"#
+        )
+        .is_err());
     }
 }

@@ -27,24 +27,41 @@
 //!
 //! * [`queue::BoundedQueue`] — blocking MPMC queue; the bound is the
 //!   service's backpressure.
+//! * [`error::ServeError`] — the structured failure taxonomy (retryable /
+//!   fatal / timeout / poison) every layer above speaks.
+//! * [`retry::RetryPolicy`] — bounded attempts with seeded
+//!   decorrelated-jitter backoff (no wall-clock randomness).
+//! * [`faults::FaultPlan`] — deterministic fault injection at named
+//!   pipeline sites, enabled only through [`engine::EngineConfig`].
 //! * [`engine::BatchEngine`] — generic worker pool with per-job panic
-//!   isolation, soft timeouts and submission-ordered results.
+//!   isolation, retry/backoff, soft timeouts, poison-job quarantine,
+//!   graceful degradation and submission-ordered results.
 //! * [`cache::ModelCache`] — learn-once/extract-many `Vs2Model` sharing.
-//! * [`service::ExtractService`] — the three wired together over
-//!   [`job::JobSpec`]s.
-//! * the `vs2d` binary — JSONL front end over [`service::ExtractService`].
+//! * [`service::ExtractService`] — the layers wired together over
+//!   [`job::JobSpec`]s, degrading to the XY-cut baseline segmenter when
+//!   the learned pipeline fails a job.
+//! * [`batch::run_batch`] and the `vs2d` binary — JSONL front end over
+//!   [`service::ExtractService`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod engine;
+pub mod error;
+pub mod faults;
 pub mod job;
 pub mod queue;
+pub mod retry;
 pub mod service;
 
+pub use batch::{run_batch, BatchOptions, BatchRun};
 pub use cache::{default_config_for, weights_for, ModelCache};
-pub use engine::{BatchEngine, Completed, EngineConfig, EngineStats, JobOutcome};
-pub use job::{JobResult, JobSource, JobSpec, JobStatus, DEFAULT_DOC_SEED};
-pub use queue::BoundedQueue;
+pub use engine::{BatchEngine, Completed, EngineConfig, EngineStats, JobCtx, JobOutcome};
+pub use error::{QuarantineEntry, ServeError};
+pub use faults::{FaultKind, FaultPlan, FaultSite};
+pub use job::{JobResult, JobSource, JobSpec, JobStatus, QuarantineRecord, DEFAULT_DOC_SEED};
+pub use queue::{BoundedQueue, PushError};
+pub use retry::RetryPolicy;
 pub use service::{ExtractService, LatencySummary};

@@ -10,6 +10,26 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a [`BoundedQueue::push_timeout`] returned the item instead of
+/// enqueuing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was closed before space opened up.
+    Closed(T),
+    /// The deadline passed while the queue stayed full.
+    Timeout(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the item that could not be enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Closed(item) | PushError::Timeout(item) => item,
+        }
+    }
+}
 
 struct QueueState<T> {
     items: VecDeque<T>,
@@ -58,6 +78,39 @@ impl<T> BoundedQueue<T> {
                 self.stalls.fetch_add(1, Ordering::Relaxed);
             }
             st = self.not_full.wait(st).unwrap();
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Like [`BoundedQueue::push`], but gives up once `timeout` has
+    /// elapsed with the queue still full — bounded backpressure for
+    /// producers that must not block indefinitely (the watchdog's retry
+    /// re-enqueue, latency-budgeted front ends). A push that waited at
+    /// all — including one that ultimately timed out — counts in
+    /// [`BoundedQueue::stall_count`].
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), PushError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap();
+        let mut stalled = false;
+        loop {
+            if st.closed {
+                return Err(PushError::Closed(item));
+            }
+            if st.items.len() < self.capacity {
+                break;
+            }
+            if !stalled {
+                stalled = true;
+                self.stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PushError::Timeout(item));
+            }
+            (st, _) = self.not_full.wait_timeout(st, deadline - now).unwrap();
         }
         st.items.push_back(item);
         drop(st);
@@ -157,6 +210,47 @@ mod tests {
         producer.join().unwrap();
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.stall_count(), 1);
+    }
+
+    #[test]
+    fn push_timeout_succeeds_when_space_opens() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            q2.push_timeout(1, Duration::from_secs(5))
+                .expect("space opens within the deadline")
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.stall_count(), 1, "the waiting push must count a stall");
+    }
+
+    #[test]
+    fn push_timeout_expires_on_a_stuck_queue() {
+        let q = BoundedQueue::new(1);
+        q.push(0u32).unwrap();
+        let before = std::time::Instant::now();
+        match q.push_timeout(1, Duration::from_millis(25)) {
+            Err(PushError::Timeout(item)) => assert_eq!(item, 1),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(before.elapsed() >= Duration::from_millis(25));
+        assert_eq!(q.stall_count(), 1, "a timed-out push is a stall");
+        assert_eq!(q.len(), 1, "the item must not be enqueued");
+    }
+
+    #[test]
+    fn push_timeout_reports_closure() {
+        let q = BoundedQueue::new(2);
+        q.close();
+        match q.push_timeout(5u32, Duration::from_millis(5)) {
+            Err(PushError::Closed(item)) => assert_eq!(item, 5),
+            other => panic!("expected closed, got {other:?}"),
+        }
+        assert_eq!(PushError::Closed(7u32).into_inner(), 7);
     }
 
     #[test]

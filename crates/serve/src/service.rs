@@ -1,15 +1,20 @@
 //! The extraction service: a [`BatchEngine`] whose processor resolves
-//! job specs against the shared [`ModelCache`] and runs
-//! `Vs2Pipeline::extract`.
+//! job specs against the shared [`ModelCache`] and runs the VS2
+//! pipeline, checkpointing at each fault-injection site, and whose
+//! degradation fallback re-runs failed jobs through the cheap XY-cut
+//! baseline segmenter.
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use vs2_baselines::{Segmenter, XyCutSegmenter};
 use vs2_core::pipeline::Vs2Config;
 use vs2_core::Extraction;
 
 use crate::cache::{default_config_for, ModelCache};
 use crate::engine::{BatchEngine, Completed, EngineConfig, EngineStats};
+use crate::error::QuarantineEntry;
+use crate::faults::FaultSite;
 use crate::job::JobSpec;
 
 /// Learn-once / extract-many document-extraction service.
@@ -17,6 +22,14 @@ use crate::job::JobSpec;
 /// `submit` blocks when the work queue is full (backpressure); results
 /// come back in submission order regardless of worker count, so batch
 /// output is reproducible byte for byte.
+///
+/// Fault tolerance: the processor is split across the three
+/// [`FaultSite`]s (model build → segment → select), transient failures
+/// are retried per the engine's [`crate::retry::RetryPolicy`], and a job
+/// whose primary attempts are all spent degrades to the XY-cut baseline
+/// segmenter — the extraction still runs, only the segmentation is the
+/// cheap geometric one. Jobs the fallback cannot save land in the
+/// quarantine ledger ([`ExtractService::quarantine`]).
 pub struct ExtractService {
     engine: BatchEngine<JobSpec, Vec<Extraction>>,
     cache: Arc<ModelCache>,
@@ -31,11 +44,32 @@ impl ExtractService {
     pub fn new(engine_config: EngineConfig, model_seed: u64, config: Option<Vs2Config>) -> Self {
         let cache = Arc::new(ModelCache::new());
         let worker_cache = Arc::clone(&cache);
-        let engine = BatchEngine::new(engine_config, move |spec: &JobSpec| {
-            let config = config.unwrap_or_else(|| default_config_for(spec.dataset));
-            let pipeline = worker_cache.pipeline_for(spec.dataset, model_seed, config);
-            pipeline.extract(&spec.document())
-        });
+        let fallback_cache = Arc::clone(&cache);
+        let engine = BatchEngine::with_fallback(
+            engine_config,
+            move |spec: &JobSpec, ctx: &crate::engine::JobCtx| {
+                ctx.checkpoint(FaultSite::ModelBuild)?;
+                let config = config.unwrap_or_else(|| default_config_for(spec.dataset));
+                let pipeline = worker_cache.pipeline_for(spec.dataset, model_seed, config);
+                let doc = spec.document();
+                ctx.checkpoint(FaultSite::Segment)?;
+                let blocks = vs2_core::logical_blocks(&doc, &pipeline.config.segment);
+                ctx.checkpoint(FaultSite::Select)?;
+                Ok(pipeline.extract_on_blocks(&doc, &blocks))
+            },
+            move |spec: &JobSpec| {
+                // Degradation path: same learned pattern inventory, but
+                // segmentation falls back to the geometric XY-cut
+                // baseline. No fault checkpoints here — the fallback must
+                // stay reliable under the same plan that broke the
+                // primary path.
+                let config = config.unwrap_or_else(|| default_config_for(spec.dataset));
+                let pipeline = fallback_cache.pipeline_for(spec.dataset, model_seed, config);
+                let doc = spec.document();
+                let blocks = XyCutSegmenter::default().segment(&doc);
+                Some(pipeline.extract_on_blocks(&doc, &blocks))
+            },
+        );
         Self { engine, cache }
     }
 
@@ -58,6 +92,12 @@ impl ExtractService {
     /// Engine counters.
     pub fn stats(&self) -> EngineStats {
         self.engine.stats()
+    }
+
+    /// Snapshot of the append-only quarantine ledger; see
+    /// [`BatchEngine::quarantine`].
+    pub fn quarantine(&self) -> Vec<QuarantineEntry> {
+        self.engine.quarantine()
     }
 
     /// Model-cache `(hits, misses)`.
@@ -121,6 +161,35 @@ mod tests {
         assert_eq!(s.p50_us, 50);
         assert_eq!(s.p95_us, 95);
         assert_eq!(s.p99_us, 99);
-        assert_eq!(LatencySummary::from_latencies(&[]).p99_us, 0);
+    }
+
+    #[test]
+    fn empty_batch_summarises_to_zeroes() {
+        let s = LatencySummary::from_latencies(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.p95_us, 0);
+        assert_eq!(s.p99_us, 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencySummary::from_latencies(&[Duration::from_micros(37)]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_us, 37);
+        assert_eq!(s.p95_us, 37);
+        assert_eq!(s.p99_us, 37);
+    }
+
+    #[test]
+    fn two_samples_split_median_from_tail() {
+        let s =
+            LatencySummary::from_latencies(&[Duration::from_micros(10), Duration::from_micros(90)]);
+        assert_eq!(s.count, 2);
+        // Nearest rank: ceil(0.5 * 2) = 1 → first sample; the tail
+        // percentiles land on the second.
+        assert_eq!(s.p50_us, 10);
+        assert_eq!(s.p95_us, 90);
+        assert_eq!(s.p99_us, 90);
     }
 }

@@ -3,8 +3,10 @@
 use std::time::Duration;
 
 use serde::Serialize;
+use vs2_baselines::{Segmenter, XyCutSegmenter};
 use vs2_serve::{
-    Completed, EngineConfig, ExtractService, JobOutcome, JobSource, JobSpec, DEFAULT_DOC_SEED,
+    Completed, EngineConfig, ExtractService, FaultPlan, JobOutcome, JobSource, JobSpec,
+    RetryPolicy, ServeError, DEFAULT_DOC_SEED,
 };
 use vs2_synth::dataset::{generate_one, DatasetConfig, DatasetId};
 
@@ -39,6 +41,7 @@ fn run_batch(workers: usize, specs: &[JobSpec]) -> Vec<String> {
             workers,
             queue_capacity: 4,
             job_timeout: Some(Duration::from_secs(60)),
+            ..EngineConfig::default()
         },
         DEFAULT_DOC_SEED,
         None,
@@ -81,7 +84,7 @@ fn extractions_match_unserved_pipeline() {
         EngineConfig {
             workers: 2,
             queue_capacity: 2,
-            job_timeout: None,
+            ..EngineConfig::default()
         },
         DEFAULT_DOC_SEED,
         None,
@@ -110,7 +113,7 @@ fn one_model_learned_per_dataset() {
         EngineConfig {
             workers: 1,
             queue_capacity: 8,
-            job_timeout: None,
+            ..EngineConfig::default()
         },
         DEFAULT_DOC_SEED,
         None,
@@ -126,15 +129,16 @@ fn one_model_learned_per_dataset() {
 }
 
 #[test]
-fn job_soft_timeout_is_reported_not_fatal() {
-    // A sub-millisecond deadline is shorter than model learning, so the
-    // first job on each dataset must be reported TimedOut — and the
-    // service must keep running, not wedge or panic.
+fn job_soft_timeout_retries_then_quarantines() {
+    // A 1µs deadline is shorter than real extraction, so every attempt
+    // overruns: one free watchdog retry, then timeout quarantine — and
+    // the service must keep running, not wedge or panic.
     let mut service = ExtractService::new(
         EngineConfig {
             workers: 1,
             queue_capacity: 4,
             job_timeout: Some(Duration::from_micros(1)),
+            ..EngineConfig::default()
         },
         DEFAULT_DOC_SEED,
         None,
@@ -144,17 +148,23 @@ fn job_soft_timeout_is_reported_not_fatal() {
     let results = service.drain();
     assert_eq!(results.len(), 2);
     for done in &results {
-        assert_eq!(
-            done.outcome,
-            JobOutcome::TimedOut,
-            "a 1µs deadline cannot be met by real extraction (seq {})",
-            done.seq
+        assert!(
+            matches!(done.outcome, JobOutcome::Failed(ServeError::Timeout { .. })),
+            "a 1µs deadline cannot be met by real extraction (seq {}): {:?}",
+            done.seq,
+            done.outcome
         );
         assert!(done.latency >= Duration::from_micros(1));
+        assert_eq!(done.attempts, 2, "one free retry before quarantine");
     }
+    let ledger = service.quarantine();
+    assert_eq!(ledger.len(), 2);
+    assert!(ledger.iter().all(|e| e.error.kind() == "timeout"));
     let stats = service.shutdown();
-    assert_eq!(stats.timed_out, 2);
+    assert_eq!(stats.timed_out, 4, "two trips per job");
+    assert_eq!(stats.retried, 2);
     assert_eq!(stats.ok, 0);
+    assert_eq!(stats.quarantined, 2);
     assert_eq!(stats.completed, 2);
 }
 
@@ -166,7 +176,7 @@ fn queue_backpressure_stalls_are_counted() {
         EngineConfig {
             workers: 1,
             queue_capacity: 1,
-            job_timeout: None,
+            ..EngineConfig::default()
         },
         DEFAULT_DOC_SEED,
         None,
@@ -182,4 +192,96 @@ fn queue_backpressure_stalls_are_counted() {
         stats.queue_stalls > 0,
         "six submissions through a 1-deep queue must stall at least once"
     );
+}
+
+#[test]
+fn poisoned_jobs_degrade_to_xycut_baseline() {
+    // A plan that injects a transient fault at every site exhausts every
+    // job's retry budget; the service must answer each job through the
+    // XY-cut fallback and mark it degraded — nothing is lost.
+    let plan = FaultPlan {
+        seed: 5,
+        panic_per_mille: 0,
+        transient_per_mille: 1000,
+        latency_per_mille: 0,
+        injected_latency: Duration::ZERO,
+    };
+    let run = |workers: usize| {
+        let mut service = ExtractService::new(
+            EngineConfig {
+                workers,
+                queue_capacity: 4,
+                retry: RetryPolicy::immediate(2),
+                faults: Some(plan),
+                ..EngineConfig::default()
+            },
+            DEFAULT_DOC_SEED,
+            None,
+        );
+        for i in 0..3 {
+            service.submit(job(DatasetId::D1, i));
+        }
+        let results = service.drain();
+        let stats = service.stats();
+        assert_eq!(stats.degraded, 3);
+        assert_eq!(stats.quarantined, 0, "the fallback answers every job");
+        assert!(service.quarantine().is_empty());
+        results
+    };
+    let results = run(2);
+    let cache = vs2_serve::ModelCache::new();
+    let pipeline = cache.pipeline_for(
+        DatasetId::D1,
+        DEFAULT_DOC_SEED,
+        vs2_serve::default_config_for(DatasetId::D1),
+    );
+    for (i, done) in results.iter().enumerate() {
+        match &done.outcome {
+            JobOutcome::Degraded { output, error } => {
+                assert!(matches!(error, ServeError::Poison { attempts: 2, .. }));
+                // The degraded answer is exactly the XY-cut baseline
+                // segmentation driven through the same learned patterns.
+                let doc =
+                    generate_one(DatasetId::D1, i, DatasetConfig::new(1, DEFAULT_DOC_SEED)).doc;
+                let blocks = XyCutSegmenter::default().segment(&doc);
+                assert_eq!(output, &pipeline.extract_on_blocks(&doc, &blocks));
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+    }
+    // Degraded output is as deterministic as the healthy path.
+    let again = run(1);
+    for (a, b) in results.iter().zip(&again) {
+        assert_eq!(a.outcome, b.outcome);
+    }
+}
+
+#[test]
+fn inert_fault_plan_changes_nothing() {
+    // Enabling the fault machinery with all-zero rates must produce
+    // byte-identical extractions to a plain run.
+    let specs: Vec<JobSpec> = (0..3).map(|i| job(DatasetId::D3, i)).collect();
+    let baseline = run_batch(2, &specs);
+    let mut service = ExtractService::new(
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 4,
+            faults: Some(FaultPlan::inert(123)),
+            ..EngineConfig::default()
+        },
+        DEFAULT_DOC_SEED,
+        None,
+    );
+    for spec in &specs {
+        service.submit(spec.clone());
+    }
+    let results = service.drain();
+    let with_inert: Vec<String> = results
+        .iter()
+        .map(|done| match &done.outcome {
+            JobOutcome::Ok(ex) => serde_json::to_string(&ex.to_value()).unwrap(),
+            other => panic!("inert plan must not fail jobs: {other:?}"),
+        })
+        .collect();
+    assert_eq!(with_inert, baseline);
 }
