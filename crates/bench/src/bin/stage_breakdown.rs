@@ -1,0 +1,165 @@
+//! Per-stage latency breakdown of the VS2 pipeline over the three
+//! synthetic datasets, measured through the `vs2-obs` span tracer.
+//!
+//! Each document is extracted under an installed [`vs2_obs::Trace`]; the
+//! captured spans are summed per stage per document, and the per-stage
+//! p50/p95 over documents is reported. Writes
+//! `results/stage_breakdown.{txt,json}` plus `BENCH_stages.json` at the
+//! workspace root — the per-stage profile later optimisation PRs can
+//! diff against.
+//!
+//! Usage: `cargo run --release -p vs2-bench --bin stage_breakdown [n_docs]`
+
+use std::collections::BTreeMap;
+
+use vs2_bench::{build_pipeline, dataset_docs, ResultTable, RunConfig};
+use vs2_core::pipeline::Vs2Config;
+use vs2_eval::stats::percentile_nearest_rank;
+use vs2_synth::DatasetId;
+
+const SEED: u64 = 0xC0FFEE;
+
+/// Per-stage latency samples for one dataset: stage → per-document
+/// totals (µs), only over documents where the stage fired.
+struct StageSamples {
+    dataset: DatasetId,
+    n_docs: usize,
+    per_stage: BTreeMap<&'static str, Vec<u64>>,
+}
+
+fn profile(dataset: DatasetId, n_docs: usize) -> StageSamples {
+    let pipeline = build_pipeline(dataset, SEED, Vs2Config::default());
+    let docs = dataset_docs(dataset, &RunConfig { n_docs, seed: SEED });
+    let mut per_stage: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    for ad in &docs {
+        let trace = vs2_obs::Trace::start();
+        let extractions = pipeline.extract(&ad.doc);
+        let spans = trace.finish();
+        assert!(!extractions.is_empty(), "extraction must produce output");
+        // A stage may fire many times per document (one AREA span per
+        // XY-cut recursion step); the sample is the per-document total.
+        let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for span in &spans {
+            let slot = totals.entry(span.stage).or_insert(0);
+            *slot = slot.saturating_add(span.dur_ns);
+        }
+        for (stage, ns) in totals {
+            per_stage.entry(stage).or_default().push(ns / 1_000);
+        }
+    }
+    for samples in per_stage.values_mut() {
+        samples.sort_unstable();
+    }
+    StageSamples {
+        dataset,
+        n_docs,
+        per_stage,
+    }
+}
+
+fn main() {
+    let n_docs: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("n_docs"))
+        .unwrap_or(60);
+
+    let mut table = ResultTable::new(
+        "Per-stage pipeline latency (µs per document, nearest-rank percentiles)",
+        vec![
+            "dataset".into(),
+            "stage".into(),
+            "docs".into(),
+            "p50 (us)".into(),
+            "p95 (us)".into(),
+        ],
+    );
+    table.push_note(format!(
+        "{n_docs} documents per dataset, seed {SEED:#x}; a stage's sample is its \
+         summed span time within one document, over documents where it fired"
+    ));
+
+    let mut datasets = Vec::new();
+    for dataset in DatasetId::ALL {
+        let samples = profile(dataset, n_docs);
+        for stage in vs2_obs::stages::ALL {
+            let Some(us) = samples.per_stage.get(stage) else {
+                continue;
+            };
+            table.push_row(vec![
+                format!("{dataset:?}"),
+                (*stage).to_string(),
+                us.len().to_string(),
+                percentile_nearest_rank(us, 50.0).to_string(),
+                percentile_nearest_rank(us, 95.0).to_string(),
+            ]);
+        }
+        eprintln!(
+            "{:?}: {} stages profiled over {} docs",
+            samples.dataset,
+            samples.per_stage.len(),
+            samples.n_docs
+        );
+        datasets.push(samples);
+    }
+    println!("{}", table.render());
+    table.save("stage_breakdown").expect("write results/");
+
+    let bench = serde::Value::Object(vec![
+        ("n_docs".into(), serde::Value::UInt(n_docs as u64)),
+        ("seed".into(), serde::Value::UInt(SEED)),
+        (
+            "datasets".into(),
+            serde::Value::Array(
+                datasets
+                    .iter()
+                    .map(|s| {
+                        serde::Value::Object(vec![
+                            (
+                                "dataset".into(),
+                                serde::Value::Str(format!("{:?}", s.dataset)),
+                            ),
+                            (
+                                "stages".into(),
+                                serde::Value::Array(
+                                    vs2_obs::stages::ALL
+                                        .iter()
+                                        .filter_map(|stage| {
+                                            let us = s.per_stage.get(stage)?;
+                                            Some(serde::Value::Object(vec![
+                                                (
+                                                    "stage".into(),
+                                                    serde::Value::Str((*stage).into()),
+                                                ),
+                                                (
+                                                    "docs".into(),
+                                                    serde::Value::UInt(us.len() as u64),
+                                                ),
+                                                (
+                                                    "p50_us".into(),
+                                                    serde::Value::UInt(percentile_nearest_rank(
+                                                        us, 50.0,
+                                                    )),
+                                                ),
+                                                (
+                                                    "p95_us".into(),
+                                                    serde::Value::UInt(percentile_nearest_rank(
+                                                        us, 95.0,
+                                                    )),
+                                                ),
+                                            ]))
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(
+        "BENCH_stages.json",
+        serde_json::to_string_pretty(&bench).expect("bench serialises"),
+    )
+    .expect("write BENCH_stages.json");
+}

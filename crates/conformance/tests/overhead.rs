@@ -1,0 +1,156 @@
+//! Overhead regression: the tracing layer must not perturb extraction
+//! output, and its cost must stay a small fraction of pipeline time.
+//!
+//! Two contracts are pinned here:
+//!
+//! * **Byte identity.** A batch run through a `--trace` service, with
+//!   the `{"record":...}` lines stripped, is byte-identical to the same
+//!   batch through a plain service — tracing only *adds* lines.
+//! * **Bounded overhead.** Extracting the adversarial corpus with a
+//!   [`vs2_obs::Trace`] installed takes at most 10% longer (plus a small
+//!   absolute slack for timer noise) than with tracing disabled,
+//!   comparing best-of-N interleaved passes so scheduler drift cannot
+//!   fail the build.
+
+use std::io::Cursor;
+use std::time::{Duration, Instant};
+
+use vs2_obs::Trace;
+use vs2_serve::{
+    default_config_for, run_batch, BatchOptions, EngineConfig, ExtractService, JobSource, JobSpec,
+    ModelCache, ObsHub, DEFAULT_DOC_SEED,
+};
+use vs2_synth::{adversarial, DatasetId};
+
+fn corpus_specs() -> Vec<JobSpec> {
+    let mut specs: Vec<JobSpec> = adversarial::corpus()
+        .into_iter()
+        .map(|(name, doc)| JobSpec {
+            job_id: Some(name.to_string()),
+            dataset: DatasetId::D1,
+            source: JobSource::Inline(Box::new(doc)),
+        })
+        .collect();
+    specs.extend((0..3).map(|doc_index| JobSpec {
+        job_id: None,
+        dataset: DatasetId::D1,
+        source: JobSource::Synthetic {
+            doc_index,
+            seed: DEFAULT_DOC_SEED,
+        },
+    }));
+    specs
+}
+
+fn batch_input(specs: &[JobSpec]) -> String {
+    use serde::Serialize as _;
+    let mut input = String::new();
+    for spec in specs {
+        input.push_str(&serde_json::to_string(&spec.to_value()).unwrap());
+        input.push('\n');
+    }
+    input
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        workers: 2,
+        queue_capacity: 8,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn traced_batch_output_is_plain_output_plus_record_lines() {
+    let specs = corpus_specs();
+    let input = batch_input(&specs);
+
+    let plain_service = ExtractService::new(engine_config(), DEFAULT_DOC_SEED, None);
+    let mut plain = Vec::new();
+    run_batch(
+        &plain_service,
+        Cursor::new(input.as_bytes()),
+        &mut plain,
+        &BatchOptions::default(),
+    );
+    plain_service.shutdown();
+
+    let hub = ObsHub::new(true, 2);
+    let traced_service = ExtractService::with_obs(engine_config(), DEFAULT_DOC_SEED, None, hub);
+    let mut traced = Vec::new();
+    run_batch(
+        &traced_service,
+        Cursor::new(input.as_bytes()),
+        &mut traced,
+        &BatchOptions::default(),
+    );
+    traced_service.shutdown();
+
+    let plain = String::from_utf8(plain).unwrap();
+    let traced = String::from_utf8(traced).unwrap();
+    let stripped: String = traced
+        .lines()
+        .filter(|l| !l.contains("\"record\":"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(
+        plain, stripped,
+        "tracing must only add record lines, never change result lines"
+    );
+    assert!(
+        traced.lines().any(|l| l.contains("\"record\":\"span\"")),
+        "traced run must actually emit spans"
+    );
+}
+
+#[test]
+fn tracing_overhead_is_bounded() {
+    let cache = ModelCache::new();
+    let pipeline = cache.pipeline_for(
+        DatasetId::D1,
+        DEFAULT_DOC_SEED,
+        default_config_for(DatasetId::D1),
+    );
+    let docs: Vec<vs2_docmodel::Document> =
+        corpus_specs().iter().map(|spec| spec.document()).collect();
+
+    let pass_untraced = || {
+        let started = Instant::now();
+        for doc in &docs {
+            std::hint::black_box(pipeline.extract(doc));
+        }
+        started.elapsed()
+    };
+    let pass_traced = || {
+        let started = Instant::now();
+        for doc in &docs {
+            let trace = Trace::start();
+            std::hint::black_box(pipeline.extract(doc));
+            std::hint::black_box(trace.finish());
+        }
+        started.elapsed()
+    };
+
+    // Warm-up: fault in lazy state (model weights, allocator arenas).
+    pass_untraced();
+    pass_traced();
+
+    // Interleave A/B passes so one-sided clock drift (thermal ramps,
+    // noisy CI neighbours) hits both arms; compare the minima, the most
+    // stable order statistic for "how fast can this go".
+    let mut best_untraced = Duration::MAX;
+    let mut best_traced = Duration::MAX;
+    for _ in 0..3 {
+        best_untraced = best_untraced.min(pass_untraced());
+        best_traced = best_traced.min(pass_traced());
+    }
+
+    let budget = best_untraced + best_untraced / 10 + Duration::from_millis(10);
+    assert!(
+        best_traced <= budget,
+        "tracing overhead out of bounds: traced {:?} vs untraced {:?} (budget {:?})",
+        best_traced,
+        best_untraced,
+        budget,
+    );
+}

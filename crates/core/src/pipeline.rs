@@ -245,6 +245,8 @@ impl Vs2Pipeline {
         doc: &Document,
         blocks: &[LogicalBlock],
     ) -> BTreeMap<String, Vec<Extraction>> {
+        let select_span = vs2_obs::span(vs2_obs::stages::SELECT);
+        select_span.tag("blocks", blocks.len() as u64);
         let embedder = LexiconEmbedding;
         let texts: Vec<BlockText> = blocks.iter().map(|b| BlockText::build(doc, b)).collect();
 
@@ -383,6 +385,7 @@ impl Vs2Pipeline {
 
     /// Extracts the best candidate per entity.
     pub fn extract(&self, doc: &Document) -> Vec<Extraction> {
+        let _extract_span = vs2_obs::span(vs2_obs::stages::EXTRACT);
         assign(self.candidates(doc))
     }
 }
@@ -393,6 +396,7 @@ impl Vs2Pipeline {
 /// alternative exists. Entities whose candidates are all claimed fall
 /// back to their best candidate.
 fn assign(candidates: BTreeMap<String, Vec<Extraction>>) -> Vec<Extraction> {
+    let _assign_span = vs2_obs::span(vs2_obs::stages::ASSIGN);
     let block_key = |e: &Extraction| -> (i64, i64, i64, i64) {
         (
             (e.block_bbox.x * 8.0) as i64,

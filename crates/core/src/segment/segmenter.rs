@@ -203,20 +203,29 @@ fn split_by_delimiters(
 /// Runs VS2-Segment over a document and returns the layout tree. The
 /// tree's leaves are the logical blocks.
 pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
+    let _segment_span = vs2_obs::span(vs2_obs::stages::SEGMENT);
     // Cleaning (Fig. 2 step a): straighten a skewed capture first. The
     // resulting tree's boxes live in the original coordinate frame — only
     // the *analysis* runs on the deskewed geometry, and element indices
     // carry the partition back.
     if config.deskew {
+        let deskew_span = vs2_obs::span(vs2_obs::stages::DESKEW);
         let angle = crate::segment::deskew::estimate_skew(doc);
         if angle.abs() >= 0.005 {
             let straightened = crate::segment::deskew::rotate_elements(doc, angle);
+            drop(deskew_span);
             let mut cfg = *config;
             cfg.deskew = false;
-            let tree = segment(&straightened, &cfg);
+            let tree = segment_body(&straightened, &cfg);
             return rebuild_in_original_frame(doc, &tree);
         }
     }
+    segment_body(doc, config)
+}
+
+/// The recursion proper, after any deskew handling: XY-cut area loop,
+/// clustering fallback, and semantic merging.
+fn segment_body(doc: &Document, config: &SegmentConfig) -> LayoutTree {
     let all = doc.element_refs();
     let root_bbox = if all.is_empty() {
         doc.page_bbox()
@@ -234,6 +243,9 @@ pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
         if elements.len() < config.min_block_elements.max(2) {
             continue;
         }
+        let area_span = vs2_obs::span(vs2_obs::stages::AREA);
+        area_span.tag("depth", depth as u64);
+        area_span.tag("elements", elements.len() as u64);
         let tight = tight_bbox(doc, &elements);
         let cell = effective_cell_size(&tight.inflate(config.cell_size), config.cell_size);
         let area = tight.inflate(cell);
@@ -248,7 +260,10 @@ pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
         } else {
             &text_boxes
         };
-        let grid = vs2_docmodel::OccupancyGrid::rasterize(&area, &boxes, cell);
+        let grid = {
+            let _grid_span = vs2_obs::span(vs2_obs::stages::GRID);
+            vs2_docmodel::OccupancyGrid::rasterize(&area, &boxes, cell)
+        };
 
         // Phase 1: explicit delimiters.
         let runs: Vec<CutRun> = all_runs(&grid);
@@ -271,6 +286,7 @@ pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
 
         // Phase 2: implicit modifiers via clustering.
         if parts.len() < 2 && config.use_visual_clustering {
+            let _cluster_span = vs2_obs::span(vs2_obs::stages::CLUSTER);
             let clustered = cluster(doc, &area, &elements, &config.cluster);
             if clustered.len() >= 2 {
                 parts = clustered;
@@ -287,6 +303,7 @@ pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
     }
 
     if config.use_semantic_merge {
+        let _merge_span = vs2_obs::span(vs2_obs::stages::MERGE);
         semantic_merge(doc, &mut tree, &LexiconEmbedding, &config.merge);
     }
     tree

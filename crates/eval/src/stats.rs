@@ -46,6 +46,23 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     }
 }
 
+/// Nearest-rank percentile of a sample: the smallest element whose rank
+/// is at least `ceil(p/100 · n)`. `p` is clamped to `(0, 100]`; an empty
+/// sample yields 0. Never interpolates, so the result is always an
+/// observed value — the convention shared by the serving layer's
+/// latency summaries and the stage-breakdown benchmark.
+pub fn percentile_nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    let rank = ((p.clamp(f64::MIN_POSITIVE, 100.0) / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Result of a two-sample test.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TestResult {
@@ -309,6 +326,20 @@ mod tests {
         assert_eq!(variance(&[1.0, 2.0, 3.0]), 1.0);
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        assert_eq!(percentile_nearest_rank(&[], 50.0), 0);
+        assert_eq!(percentile_nearest_rank(&[7], 50.0), 7);
+        let sample: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_nearest_rank(&sample, 50.0), 50);
+        assert_eq!(percentile_nearest_rank(&sample, 95.0), 95);
+        assert_eq!(percentile_nearest_rank(&sample, 99.0), 99);
+        assert_eq!(percentile_nearest_rank(&sample, 100.0), 100);
+        // Odd / even small n: ceil(0.5·3)=2, ceil(0.5·4)=2.
+        assert_eq!(percentile_nearest_rank(&[10, 20, 30], 50.0), 20);
+        assert_eq!(percentile_nearest_rank(&[10, 20, 30, 40], 50.0), 20);
     }
 
     #[test]

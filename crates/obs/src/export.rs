@@ -1,0 +1,137 @@
+//! JSONL rendering of spans and metrics.
+//!
+//! Hand-rolled JSON (the crate has zero dependencies): every record is a
+//! single line with a `"record"` discriminator, matching the schema
+//! documented in the repository README under "Observability":
+//!
+//! ```text
+//! {"record":"span","seq":0,"job_id":"job-0","id":1,"parent":0,
+//!  "stage":"vs2.segment","start_ns":1200,"dur_ns":51000,"tags":{"depth":0}}
+//! {"record":"metrics","kind":"counter","name":"jobs_ok","value":12}
+//! {"record":"metrics","kind":"histogram","name":"queue_dwell_us",
+//!  "count":12,"sum":3456,"p50":128,"p95":512,"p99":512}
+//! ```
+
+use crate::metrics::HistogramSnapshot;
+use crate::span::SpanRecord;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one span as a `{"record":"span",...}` JSONL line (no trailing
+/// newline), keyed by the job's wire sequence number and id.
+pub fn span_json(seq: u64, job_id: &str, span: &SpanRecord) -> String {
+    let parent = match span.parent {
+        Some(p) => p.to_string(),
+        None => "null".to_string(),
+    };
+    let tags = span
+        .tags
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", escape(k), v))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"record\":\"span\",\"seq\":{seq},\"job_id\":\"{}\",\"id\":{},\"parent\":{parent},\"stage\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"tags\":{{{tags}}}}}",
+        escape(job_id),
+        span.id,
+        escape(span.stage),
+        span.start_ns,
+        span.dur_ns,
+    )
+}
+
+/// Renders one counter as a `{"record":"metrics","kind":"counter",...}`
+/// JSONL line (no trailing newline).
+pub fn counter_json(name: &str, value: u64) -> String {
+    format!(
+        "{{\"record\":\"metrics\",\"kind\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+        escape(name)
+    )
+}
+
+/// Renders one histogram as a
+/// `{"record":"metrics","kind":"histogram",...}` JSONL line (no trailing
+/// newline) with nearest-rank p50/p95/p99 bucket lower bounds.
+pub fn histogram_json(name: &str, snap: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"record\":\"metrics\",\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+        escape(name),
+        snap.count,
+        snap.sum,
+        snap.percentile(50.0),
+        snap.percentile(95.0),
+        snap.percentile(99.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_line_shape() {
+        let span = SpanRecord {
+            id: 1,
+            parent: Some(0),
+            stage: "vs2.segment",
+            start_ns: 1200,
+            dur_ns: 51000,
+            tags: vec![("depth", 2)],
+        };
+        assert_eq!(
+            span_json(7, "job-7", &span),
+            "{\"record\":\"span\",\"seq\":7,\"job_id\":\"job-7\",\"id\":1,\"parent\":0,\"stage\":\"vs2.segment\",\"start_ns\":1200,\"dur_ns\":51000,\"tags\":{\"depth\":2}}"
+        );
+    }
+
+    #[test]
+    fn root_span_has_null_parent_and_empty_tags() {
+        let span = SpanRecord {
+            id: 0,
+            parent: None,
+            stage: "vs2.extract",
+            start_ns: 0,
+            dur_ns: 9,
+            tags: vec![],
+        };
+        let line = span_json(0, "job-0", &span);
+        assert!(line.contains("\"parent\":null"));
+        assert!(line.contains("\"tags\":{}"));
+    }
+
+    #[test]
+    fn metrics_lines_shape() {
+        assert_eq!(
+            counter_json("jobs_ok", 12),
+            "{\"record\":\"metrics\",\"kind\":\"counter\",\"name\":\"jobs_ok\",\"value\":12}"
+        );
+        let mut snap = HistogramSnapshot::empty();
+        snap.record(100);
+        let line = histogram_json("queue_dwell_us", &snap);
+        assert!(line.starts_with("{\"record\":\"metrics\",\"kind\":\"histogram\""));
+        assert!(line.contains("\"count\":1"));
+        assert!(line.contains("\"sum\":100"));
+        assert!(line.contains("\"p50\":64"), "{line}");
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

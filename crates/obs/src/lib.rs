@@ -1,0 +1,79 @@
+//! # vs2-obs
+//!
+//! Zero-external-dependency observability for the VS2 stack: lightweight
+//! thread-local tracing spans around every pipeline stage, and a sharded
+//! [`MetricsRegistry`] that is lock-free on the hot path.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Off means off.** With no [`Trace`] installed, [`span`] reads one
+//!    thread-local flag and returns an inert guard. The serving layer's
+//!    default output must stay byte-identical with instrumentation
+//!    compiled in (the conformance overhead suite enforces this).
+//! 2. **Lock-free recording.** Metrics writers touch only their own
+//!    shard with relaxed atomics; merging happens on scrape.
+//! 3. **Deterministic export.** Spans and metrics render to stable JSONL
+//!    (`{"record":"span",...}` / `{"record":"metrics",...}`) via
+//!    [`export`].
+//!
+//! The canonical stage names live in [`stages`]; instrumented code must
+//! use those constants so the span-tree conformance tests can assert
+//! coverage of the documented stage set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{
+    bucket_lower_bound, bucket_of, CounterId, HistogramId, HistogramSnapshot, MetricsRegistry,
+    MetricsSpec, BUCKET_COUNT,
+};
+pub use span::{enabled, span, SpanGuard, SpanRecord, Trace};
+
+/// Canonical stage names for VS2 pipeline spans.
+///
+/// Nesting (default configuration):
+///
+/// ```text
+/// vs2.extract
+/// ├── vs2.segment
+/// │   ├── vs2.segment.deskew          (once; skew estimation + rotation)
+/// │   ├── vs2.segment.area            (one per visited area, tag depth=N)
+/// │   │   ├── vs2.segment.grid        (occupancy-grid rasterisation)
+/// │   │   └── vs2.segment.cluster     (only when delimiters found < 2 parts)
+/// │   └── vs2.segment.merge           (once; Eq. 1 semantic merging)
+/// ├── vs2.select                      (pattern search + disambiguation)
+/// └── vs2.assign                      (greedy candidate→entity assignment)
+/// ```
+pub mod stages {
+    /// Root span of one document's extraction.
+    pub const EXTRACT: &str = "vs2.extract";
+    /// VS2-Segment: logical-block decomposition.
+    pub const SEGMENT: &str = "vs2.segment";
+    /// Skew estimation (and rotation when skew is detected).
+    pub const DESKEW: &str = "vs2.segment.deskew";
+    /// One XY-cut work-queue area visit; tagged with `depth`.
+    pub const AREA: &str = "vs2.segment.area";
+    /// Occupancy-grid rasterisation of one area.
+    pub const GRID: &str = "vs2.segment.grid";
+    /// Implicit-modifier visual clustering of one area.
+    pub const CLUSTER: &str = "vs2.segment.cluster";
+    /// Semantic merging (Eq. 1) over the converged layout tree.
+    pub const MERGE: &str = "vs2.segment.merge";
+    /// VS2-Select: pattern search and multimodal disambiguation.
+    pub const SELECT: &str = "vs2.select";
+    /// Greedy joint assignment of candidates to entities.
+    pub const ASSIGN: &str = "vs2.assign";
+
+    /// Stages that appear exactly once per document under the default
+    /// configuration (deskew and semantic merging enabled).
+    pub const ONCE_PER_DOC: &[&str] = &[EXTRACT, SEGMENT, DESKEW, MERGE, SELECT, ASSIGN];
+
+    /// Every documented stage name.
+    pub const ALL: &[&str] = &[
+        EXTRACT, SEGMENT, DESKEW, AREA, GRID, CLUSTER, MERGE, SELECT, ASSIGN,
+    ];
+}

@@ -1,0 +1,251 @@
+//! Thread-local tracing spans.
+//!
+//! Tracing is **off by default**: without an installed [`Trace`], the
+//! [`span`] constructor reads one thread-local flag and returns an inert
+//! guard — no allocation, no clock read, no branch in the caller. With a
+//! trace installed, each span records its parent (the innermost open
+//! span on this thread), its start offset and duration against the
+//! trace's monotonic origin, and any `u64` tags attached via
+//! [`SpanGuard::tag`].
+//!
+//! The model is strictly per-thread and per-document: the serving layer
+//! installs a [`Trace`] around one job's extraction on the worker thread
+//! running it, drains the finished spans with [`Trace::finish`], and
+//! ships them to the exporter keyed by job sequence number.
+
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+/// One finished (or still open) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span id, unique within one trace; the root has id 0.
+    pub id: u32,
+    /// Parent span id; `None` for the root span.
+    pub parent: Option<u32>,
+    /// Stage name (see [`crate::stages`]).
+    pub stage: &'static str,
+    /// Start offset from the trace origin, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration, in nanoseconds (0 until the guard drops).
+    pub dur_ns: u64,
+    /// Numeric tags attached while the span was open.
+    pub tags: Vec<(&'static str, u64)>,
+}
+
+struct TraceState {
+    origin: Instant,
+    spans: Vec<SpanRecord>,
+    stack: Vec<u32>,
+}
+
+thread_local! {
+    static TRACING: Cell<bool> = const { Cell::new(false) };
+    static STATE: RefCell<Option<TraceState>> = const { RefCell::new(None) };
+}
+
+/// Whether a trace is installed on this thread.
+pub fn enabled() -> bool {
+    TRACING.with(|t| t.get())
+}
+
+/// An installed trace on the current thread. Spans opened while the
+/// trace is live are collected and returned by [`Trace::finish`];
+/// dropping the trace without finishing (e.g. during a panic unwind)
+/// discards them and uninstalls cleanly.
+#[derive(Debug)]
+pub struct Trace {
+    armed: bool,
+}
+
+impl Trace {
+    /// Installs a trace on the current thread.
+    ///
+    /// # Panics
+    /// If a trace is already installed on this thread — traces do not
+    /// nest; one document's extraction owns the thread.
+    pub fn start() -> Trace {
+        TRACING.with(|t| {
+            assert!(!t.get(), "a Trace is already installed on this thread");
+            t.set(true);
+        });
+        STATE.with(|s| {
+            *s.borrow_mut() = Some(TraceState {
+                origin: Instant::now(),
+                spans: Vec::with_capacity(16),
+                stack: Vec::with_capacity(8),
+            });
+        });
+        Trace { armed: true }
+    }
+
+    /// Uninstalls the trace and returns every span recorded on this
+    /// thread since [`Trace::start`], in opening order.
+    pub fn finish(mut self) -> Vec<SpanRecord> {
+        self.armed = false;
+        TRACING.with(|t| t.set(false));
+        STATE.with(|s| s.borrow_mut().take().map(|st| st.spans).unwrap_or_default())
+    }
+}
+
+impl Drop for Trace {
+    fn drop(&mut self) {
+        if self.armed {
+            TRACING.with(|t| t.set(false));
+            STATE.with(|s| s.borrow_mut().take());
+        }
+    }
+}
+
+/// Opens a span named `stage`. With no trace installed this is a no-op
+/// guard; otherwise the span becomes the innermost open span until the
+/// guard drops.
+#[inline]
+pub fn span(stage: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { id: None };
+    }
+    let id = STATE.with(|s| {
+        let mut borrow = s.borrow_mut();
+        let st = borrow.as_mut()?;
+        let id = st.spans.len() as u32;
+        let parent = st.stack.last().copied();
+        let start_ns = st.origin.elapsed().as_nanos() as u64;
+        st.spans.push(SpanRecord {
+            id,
+            parent,
+            stage,
+            start_ns,
+            dur_ns: 0,
+            tags: Vec::new(),
+        });
+        st.stack.push(id);
+        Some(id)
+    });
+    SpanGuard { id }
+}
+
+/// RAII guard for an open span; dropping it closes the span.
+#[derive(Debug)]
+pub struct SpanGuard {
+    id: Option<u32>,
+}
+
+impl SpanGuard {
+    /// Attaches a numeric tag to the open span. No-op when tracing is
+    /// disabled.
+    pub fn tag(&self, key: &'static str, value: u64) {
+        let Some(id) = self.id else { return };
+        STATE.with(|s| {
+            if let Some(st) = s.borrow_mut().as_mut() {
+                if let Some(rec) = st.spans.get_mut(id as usize) {
+                    rec.tags.push((key, value));
+                }
+            }
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(id) = self.id else { return };
+        STATE.with(|s| {
+            if let Some(st) = s.borrow_mut().as_mut() {
+                let end_ns = st.origin.elapsed().as_nanos() as u64;
+                if let Some(rec) = st.spans.get_mut(id as usize) {
+                    rec.dur_ns = end_ns.saturating_sub(rec.start_ns);
+                }
+                // Guards drop in LIFO order in well-nested code, but a
+                // panic unwind may skip intermediate frames; retain only
+                // strictly shallower spans on the stack.
+                while st.stack.last().is_some_and(|&top| top >= id) {
+                    st.stack.pop();
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        assert!(!enabled());
+        {
+            let g = span("vs2.test");
+            g.tag("k", 1);
+        }
+        let trace = Trace::start();
+        assert!(trace.finish().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_with_parent_links() {
+        let trace = Trace::start();
+        {
+            let root = span("root");
+            root.tag("depth", 0);
+            {
+                let _child = span("child");
+                let _grand = span("grandchild");
+            }
+            let _sibling = span("sibling");
+        }
+        let spans = trace.finish();
+        assert!(!enabled());
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].stage, "root");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].tags, vec![("depth", 0)]);
+        assert_eq!(spans[1].stage, "child");
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].stage, "grandchild");
+        assert_eq!(spans[2].parent, Some(1));
+        assert_eq!(spans[3].stage, "sibling");
+        assert_eq!(spans[3].parent, Some(0));
+        // Children are time-contained in their parents.
+        for s in &spans[1..] {
+            let p = &spans[s.parent.unwrap() as usize];
+            assert!(s.start_ns >= p.start_ns);
+            assert!(s.start_ns + s.dur_ns <= p.start_ns + p.dur_ns);
+        }
+    }
+
+    #[test]
+    fn dropping_a_trace_uninstalls_it() {
+        {
+            let _trace = Trace::start();
+            assert!(enabled());
+            let _s = span("abandoned");
+            // Trace dropped without finish() — e.g. a panic unwind.
+        }
+        assert!(!enabled());
+        let trace = Trace::start();
+        let _s = span("fresh");
+        drop(_s);
+        assert_eq!(trace.finish().len(), 1);
+    }
+
+    #[test]
+    fn traces_are_per_thread() {
+        let trace = Trace::start();
+        let _outer = span("outer");
+        std::thread::spawn(|| {
+            assert!(!enabled());
+            let inner = Trace::start();
+            {
+                let _s = span("inner");
+            }
+            let spans = inner.finish();
+            assert_eq!(spans.len(), 1);
+            assert_eq!(spans[0].stage, "inner");
+            assert_eq!(spans[0].parent, None);
+        })
+        .join()
+        .unwrap();
+        drop(_outer);
+        assert_eq!(trace.finish().len(), 1);
+    }
+}

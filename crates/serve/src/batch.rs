@@ -69,6 +69,10 @@ pub fn run_batch(
             let mut out = out;
             let mut lats = Vec::new();
             let mut ids: Vec<String> = Vec::new();
+            // With tracing on, each result line is followed by that
+            // job's span records, and the batch ends with a metrics
+            // snapshot. Off (the default), the wire format is untouched.
+            let trace_hub = service.obs().filter(|h| h.trace_enabled()).cloned();
             // Engine seq → (wire seq, job id): the two diverge once an
             // invalid line consumes a wire seq without entering the
             // engine, and quarantine records must speak wire seqs.
@@ -76,8 +80,10 @@ pub fn run_batch(
                 std::collections::HashMap::new();
             for (out_seq, fate) in fate_rx.iter().enumerate() {
                 let out_seq = out_seq as u64;
+                let mut engine_seq = None;
                 let result = match fate {
                     LineFate::Submitted { job_id, seq } => {
+                        engine_seq = Some(seq);
                         let done = service.wait_result(seq);
                         lats.push(done.latency);
                         ids.push(job_id.clone());
@@ -113,6 +119,14 @@ pub fn run_batch(
                 };
                 let line = serde_json::to_string(&result).expect("result serialises");
                 writeln!(out, "{line}").expect("write output");
+                if let (Some(hub), Some(seq)) = (&trace_hub, engine_seq) {
+                    if let Some(spans) = hub.take_spans(seq) {
+                        for span in &spans {
+                            let line = vs2_obs::export::span_json(out_seq, &result.job_id, span);
+                            writeln!(out, "{line}").expect("write output");
+                        }
+                    }
+                }
             }
             // Every submitted job has completed (each Submitted fate
             // waited on its result), so the quarantine ledger is final
@@ -136,6 +150,11 @@ pub fn run_batch(
                 };
                 let line = serde_json::to_string(&record).expect("record serialises");
                 writeln!(out, "{line}").expect("write output");
+            }
+            if let Some(hub) = &trace_hub {
+                for line in hub.metrics_lines(service.cache_counters()) {
+                    writeln!(out, "{line}").expect("write output");
+                }
             }
             out.flush().expect("flush output");
             (lats, ids)

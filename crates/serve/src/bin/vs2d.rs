@@ -48,6 +48,9 @@ USAGE: vs2d [OPTIONS]
                        (default: per-dataset defaults)
   --latency            include per-job latency_us on result lines
                        (off by default so output is byte-stable)
+  --trace              interleave {\"record\":\"span\",...} lines after each
+                       result and end the batch with {\"record\":\"metrics\",...}
+                       lines (off by default; see README `Observability`)
   --summary-json PATH  also write the shutdown summary as JSON
 ";
 
@@ -61,6 +64,7 @@ struct Options {
     model_seed: u64,
     config_path: Option<String>,
     latency: bool,
+    trace: bool,
     summary_json: Option<String>,
 }
 
@@ -76,6 +80,7 @@ impl Default for Options {
             model_seed: DEFAULT_DOC_SEED,
             config_path: None,
             latency: false,
+            trace: false,
             summary_json: None,
         }
     }
@@ -133,6 +138,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             }
             "--config" => opts.config_path = Some(value("--config")?),
             "--latency" => opts.latency = true,
+            "--trace" => opts.trace = true,
             "--summary-json" => opts.summary_json = Some(value("--summary-json")?),
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -169,20 +175,22 @@ fn main() {
         }
     };
 
-    let service = ExtractService::new(
-        EngineConfig {
-            workers: opts.workers,
-            queue_capacity: opts.queue_capacity,
-            job_timeout: (opts.timeout_ms > 0).then(|| Duration::from_millis(opts.timeout_ms)),
-            retry: RetryPolicy {
-                max_attempts: opts.max_attempts,
-                ..RetryPolicy::default()
-            },
-            faults: opts.fault_seed.map(FaultPlan::chaos),
+    let engine_config = EngineConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue_capacity,
+        job_timeout: (opts.timeout_ms > 0).then(|| Duration::from_millis(opts.timeout_ms)),
+        retry: RetryPolicy {
+            max_attempts: opts.max_attempts,
+            ..RetryPolicy::default()
         },
-        opts.model_seed,
-        config,
-    );
+        faults: opts.fault_seed.map(FaultPlan::chaos),
+    };
+    let service = if opts.trace {
+        let hub = vs2_serve::ObsHub::new(true, opts.workers);
+        ExtractService::with_obs(engine_config, opts.model_seed, config, hub)
+    } else {
+        ExtractService::new(engine_config, opts.model_seed, config)
+    };
 
     let started = Instant::now();
     let run = run_batch(

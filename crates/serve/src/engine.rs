@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use crate::error::{QuarantineEntry, ServeError};
 use crate::faults::{FaultPlan, FaultSite};
+use crate::obs::EngineMetrics;
 use crate::queue::BoundedQueue;
 use crate::retry::RetryPolicy;
 
@@ -74,13 +75,24 @@ impl Default for EngineConfig {
 
 /// Per-attempt context handed to the processor: identifies the job and
 /// attempt, and hosts the fault-injection checkpoints.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct JobCtx {
     /// Engine sequence number of the job being processed.
     pub seq: u64,
     /// 0-based attempt number (retries increment it).
     pub attempt: u32,
     faults: Option<FaultPlan>,
+    metrics: Option<Arc<EngineMetrics>>,
+}
+
+impl std::fmt::Debug for JobCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobCtx")
+            .field("seq", &self.seq)
+            .field("attempt", &self.attempt)
+            .field("faults", &self.faults)
+            .finish_non_exhaustive()
+    }
 }
 
 impl JobCtx {
@@ -91,17 +103,26 @@ impl JobCtx {
             seq,
             attempt,
             faults,
+            metrics: None,
         }
     }
 
     /// Fault-injection checkpoint: a no-op unless the engine was
     /// configured with a [`FaultPlan`], in which case the plan's
     /// deterministic decision for `(site, seq, attempt)` is applied
-    /// (sleep / `Err(Retryable)` / panic).
+    /// (sleep / `Err(Retryable)` / panic). With engine metrics attached,
+    /// each fired decision also bumps the site's fault-trigger counter.
     pub fn checkpoint(&self, site: FaultSite) -> Result<(), ServeError> {
         match &self.faults {
             None => Ok(()),
-            Some(plan) => plan.apply(site, self.seq, self.attempt),
+            Some(plan) => {
+                if let Some(metrics) = &self.metrics {
+                    if plan.decide(site, self.seq, self.attempt).is_some() {
+                        metrics.on_fault(site, self.seq);
+                    }
+                }
+                plan.apply(site, self.seq, self.attempt)
+            }
         }
     }
 }
@@ -199,6 +220,9 @@ struct QueuedJob<J> {
     seq: u64,
     attempt: u32,
     job: J,
+    /// When the entry went onto the queue — queue dwell is measured from
+    /// here to the moment a worker picks the job up.
+    enqueued: Instant,
 }
 
 struct Inflight<J> {
@@ -240,6 +264,7 @@ struct Shared<J, O> {
     timeout: Option<Duration>,
     retry: RetryPolicy,
     faults: Option<FaultPlan>,
+    metrics: Option<Arc<EngineMetrics>>,
     stopping: AtomicBool,
 }
 
@@ -313,6 +338,14 @@ impl<J, O> Shared<J, O> {
             JobOutcome::Failed(_) => self.counters.quarantined.fetch_add(1, Ordering::Relaxed),
         };
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        if let Some(metrics) = &self.metrics {
+            match &outcome {
+                JobOutcome::Ok(_) => metrics.on_ok(seq),
+                JobOutcome::Degraded { .. } => metrics.on_degraded(seq),
+                JobOutcome::Failed(_) => metrics.on_quarantined(seq),
+            }
+            metrics.on_job_latency(seq, latency);
+        }
         results.map.insert(
             seq,
             Completed {
@@ -354,7 +387,7 @@ impl<J: Send + Clone + 'static, O: Send + 'static> BatchEngine<J, O> {
     where
         F: Fn(&J, &JobCtx) -> Result<O, ServeError> + Send + Sync + 'static,
     {
-        Self::build(config, Arc::new(process), None)
+        Self::build(config, Arc::new(process), None, None)
     }
 
     /// Like [`BatchEngine::new`], plus a degradation fallback: when a
@@ -367,7 +400,27 @@ impl<J: Send + Clone + 'static, O: Send + 'static> BatchEngine<J, O> {
         F: Fn(&J, &JobCtx) -> Result<O, ServeError> + Send + Sync + 'static,
         G: Fn(&J) -> Option<O> + Send + Sync + 'static,
     {
-        Self::build(config, Arc::new(process), Some(Arc::new(fallback)))
+        Self::build(config, Arc::new(process), Some(Arc::new(fallback)), None)
+    }
+
+    /// Like [`BatchEngine::with_fallback`], additionally recording queue
+    /// dwell, retry/panic/timeout and outcome metrics into `metrics`.
+    pub fn with_fallback_observed<F, G>(
+        config: EngineConfig,
+        process: F,
+        fallback: G,
+        metrics: Arc<EngineMetrics>,
+    ) -> Self
+    where
+        F: Fn(&J, &JobCtx) -> Result<O, ServeError> + Send + Sync + 'static,
+        G: Fn(&J) -> Option<O> + Send + Sync + 'static,
+    {
+        Self::build(
+            config,
+            Arc::new(process),
+            Some(Arc::new(fallback)),
+            Some(metrics),
+        )
     }
 
     #[allow(clippy::type_complexity)]
@@ -375,6 +428,7 @@ impl<J: Send + Clone + 'static, O: Send + 'static> BatchEngine<J, O> {
         config: EngineConfig,
         process: Arc<dyn Fn(&J, &JobCtx) -> Result<O, ServeError> + Send + Sync>,
         fallback: Option<Fallback<J, O>>,
+        metrics: Option<Arc<EngineMetrics>>,
     ) -> Self {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
@@ -400,6 +454,7 @@ impl<J: Send + Clone + 'static, O: Send + 'static> BatchEngine<J, O> {
             timeout: config.job_timeout,
             retry: config.retry,
             faults: config.faults,
+            metrics,
             stopping: AtomicBool::new(false),
         });
         let workers = (0..config.workers.max(1))
@@ -454,6 +509,7 @@ impl<J: Send + Clone + 'static, O: Send + 'static> BatchEngine<J, O> {
                 seq,
                 attempt: 0,
                 job,
+                enqueued: Instant::now(),
             })
             .is_err()
         {
@@ -609,7 +665,11 @@ fn run_job<J: Clone, O>(
         seq,
         mut attempt,
         job,
+        enqueued,
     } = queued;
+    if let Some(metrics) = &shared.metrics {
+        metrics.on_dwell(seq, enqueued.elapsed());
+    }
     loop {
         let start = Instant::now();
         shared.inflight.lock().unwrap().insert(
@@ -620,7 +680,12 @@ fn run_job<J: Clone, O>(
                 job: job.clone(),
             },
         );
-        let ctx = JobCtx::new(seq, attempt, shared.faults);
+        let ctx = JobCtx {
+            seq,
+            attempt,
+            faults: shared.faults,
+            metrics: shared.metrics.clone(),
+        };
         let result = catch_unwind(AssertUnwindSafe(|| process(&job, &ctx)));
         let latency = start.elapsed();
         {
@@ -643,10 +708,16 @@ fn run_job<J: Clone, O>(
                 return; // the watchdog owns this trip
             }
             shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+            if let Some(metrics) = &shared.metrics {
+                metrics.on_timeout(seq);
+            }
             if result.is_err() {
                 // The overrunning attempt also panicked; record it — the
                 // timeout still decides the outcome.
                 shared.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                if let Some(metrics) = &shared.metrics {
+                    metrics.on_panic(seq);
+                }
             }
             if terminal {
                 finish_failed(
@@ -662,6 +733,9 @@ fn run_job<J: Clone, O>(
                 return;
             }
             shared.counters.retried.fetch_add(1, Ordering::Relaxed);
+            if let Some(metrics) = &shared.metrics {
+                metrics.on_retry(seq);
+            }
             attempt += 1;
             continue;
         }
@@ -673,11 +747,17 @@ fn run_job<J: Clone, O>(
             Ok(Err(error)) => error,
             Err(payload) => {
                 shared.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                if let Some(metrics) = &shared.metrics {
+                    metrics.on_panic(seq);
+                }
                 ServeError::Fatal(format!("panic: {}", panic_message(&*payload)))
             }
         };
         if matches!(error, ServeError::Retryable(_)) && attempt + 1 < shared.retry.max_attempts {
             shared.counters.retried.fetch_add(1, Ordering::Relaxed);
+            if let Some(metrics) = &shared.metrics {
+                metrics.on_retry(seq);
+            }
             let delay = shared.retry.backoff_delay(seq, attempt);
             if !delay.is_zero() {
                 std::thread::sleep(delay);
@@ -734,6 +814,9 @@ fn watchdog_loop<J: Clone, O>(shared: &Shared<J, O>, timeout: Duration) {
                 continue; // the worker noticed its own overrun first
             }
             shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+            if let Some(metrics) = &shared.metrics {
+                metrics.on_timeout(seq);
+            }
             if terminal {
                 // No degradation for timeouts: the document already
                 // burnt two deadline windows; the quarantine record *is*
@@ -751,10 +834,14 @@ fn watchdog_loop<J: Clone, O>(shared: &Shared<J, O>, timeout: Duration) {
                 continue;
             }
             shared.counters.retried.fetch_add(1, Ordering::Relaxed);
+            if let Some(metrics) = &shared.metrics {
+                metrics.on_retry(seq);
+            }
             let requeued = QueuedJob {
                 seq,
                 attempt: entry.attempt + 1,
                 job: entry.job,
+                enqueued: Instant::now(),
             };
             // Bounded backpressure: the watchdog must not block on a
             // stuffed queue — if no slot opens within a tick, the retry

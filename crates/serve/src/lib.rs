@@ -37,6 +37,8 @@
 //!   isolation, retry/backoff, soft timeouts, poison-job quarantine,
 //!   graceful degradation and submission-ordered results.
 //! * [`cache::ModelCache`] — learn-once/extract-many `Vs2Model` sharing.
+//! * [`obs::EngineMetrics`] / [`obs::ObsHub`] — opt-in serving metrics
+//!   (sharded lock-free registry) and per-job span capture for `--trace`.
 //! * [`service::ExtractService`] — the layers wired together over
 //!   [`job::JobSpec`]s, degrading to the XY-cut baseline segmenter when
 //!   the learned pipeline fails a job.
@@ -52,6 +54,7 @@ pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod job;
+pub mod obs;
 pub mod queue;
 pub mod retry;
 pub mod service;
@@ -62,6 +65,7 @@ pub use engine::{BatchEngine, Completed, EngineConfig, EngineStats, JobCtx, JobO
 pub use error::{QuarantineEntry, ServeError};
 pub use faults::{FaultKind, FaultPlan, FaultSite};
 pub use job::{JobResult, JobSource, JobSpec, JobStatus, QuarantineRecord, DEFAULT_DOC_SEED};
+pub use obs::{EngineMetrics, ObsHub};
 pub use queue::{BoundedQueue, PushError};
 pub use retry::RetryPolicy;
 pub use service::{ExtractService, LatencySummary};

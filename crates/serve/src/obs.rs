@@ -1,0 +1,197 @@
+//! Serving-layer observability: engine metrics over a sharded
+//! [`MetricsRegistry`], and per-job span capture for `--trace` output.
+//!
+//! [`EngineMetrics`] declares the serving metric set once and hands the
+//! engine dense counter/histogram ids; the hot path is one relaxed
+//! atomic add into the shard addressed by the job's sequence number, so
+//! workers never contend on a metrics lock. [`ObsHub`] bundles the
+//! metrics with a span store keyed by engine sequence number — the batch
+//! emitter drains it to produce `{"record":"span",...}` JSONL lines.
+//!
+//! Everything here is opt-in: a service built without a hub records
+//! nothing, and the engine's metrics hooks are one `Option` branch.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use vs2_obs::export::{counter_json, histogram_json};
+use vs2_obs::{CounterId, HistogramId, MetricsRegistry, MetricsSpec, SpanRecord};
+
+use crate::faults::FaultSite;
+
+/// Micros of a duration, saturating into `u64`.
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The serving-layer metric set: queue dwell and job latency histograms,
+/// outcome/retry/panic/timeout counters, and per-site fault triggers.
+pub struct EngineMetrics {
+    registry: MetricsRegistry,
+    queue_dwell_us: HistogramId,
+    job_latency_us: HistogramId,
+    jobs_ok: CounterId,
+    jobs_degraded: CounterId,
+    jobs_quarantined: CounterId,
+    retries: CounterId,
+    panics: CounterId,
+    timeouts: CounterId,
+    faults_model_build: CounterId,
+    faults_segment: CounterId,
+    faults_select: CounterId,
+}
+
+impl EngineMetrics {
+    /// Builds the metric set over `shards` registry shards (use the
+    /// worker count; any stable per-job index works as the shard key).
+    pub fn new(shards: usize) -> Self {
+        let mut spec = MetricsSpec::new();
+        let jobs_ok = spec.counter("jobs_ok");
+        let jobs_degraded = spec.counter("jobs_degraded");
+        let jobs_quarantined = spec.counter("jobs_quarantined");
+        let retries = spec.counter("retries");
+        let panics = spec.counter("panics");
+        let timeouts = spec.counter("timeouts");
+        let faults_model_build = spec.counter("faults_model_build");
+        let faults_segment = spec.counter("faults_segment");
+        let faults_select = spec.counter("faults_select");
+        let queue_dwell_us = spec.histogram("queue_dwell_us");
+        let job_latency_us = spec.histogram("job_latency_us");
+        Self {
+            registry: MetricsRegistry::new(spec, shards),
+            queue_dwell_us,
+            job_latency_us,
+            jobs_ok,
+            jobs_degraded,
+            jobs_quarantined,
+            retries,
+            panics,
+            timeouts,
+            faults_model_build,
+            faults_segment,
+            faults_select,
+        }
+    }
+
+    /// The backing registry (for scraping and tests).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Time a job spent queued before a worker picked it up.
+    pub fn on_dwell(&self, seq: u64, dwell: Duration) {
+        self.registry
+            .observe(seq as usize, self.queue_dwell_us, micros(dwell));
+    }
+
+    /// Processing latency of a job's deciding attempt.
+    pub fn on_job_latency(&self, seq: u64, latency: Duration) {
+        self.registry
+            .observe(seq as usize, self.job_latency_us, micros(latency));
+    }
+
+    /// A retry was dispatched (transient re-run or watchdog re-enqueue).
+    pub fn on_retry(&self, seq: u64) {
+        self.registry.counter_add(seq as usize, self.retries, 1);
+    }
+
+    /// A processor panic was caught.
+    pub fn on_panic(&self, seq: u64) {
+        self.registry.counter_add(seq as usize, self.panics, 1);
+    }
+
+    /// A soft-deadline trip fired.
+    pub fn on_timeout(&self, seq: u64) {
+        self.registry.counter_add(seq as usize, self.timeouts, 1);
+    }
+
+    /// A job completed on the primary path.
+    pub fn on_ok(&self, seq: u64) {
+        self.registry.counter_add(seq as usize, self.jobs_ok, 1);
+    }
+
+    /// A job completed via the degradation fallback.
+    pub fn on_degraded(&self, seq: u64) {
+        self.registry
+            .counter_add(seq as usize, self.jobs_degraded, 1);
+    }
+
+    /// A job was quarantined with no answer.
+    pub fn on_quarantined(&self, seq: u64) {
+        self.registry
+            .counter_add(seq as usize, self.jobs_quarantined, 1);
+    }
+
+    /// An injected fault fired at `site`.
+    pub fn on_fault(&self, site: FaultSite, seq: u64) {
+        let id = match site {
+            FaultSite::ModelBuild => self.faults_model_build,
+            FaultSite::Segment => self.faults_segment,
+            FaultSite::Select => self.faults_select,
+        };
+        self.registry.counter_add(seq as usize, id, 1);
+    }
+}
+
+/// Observability hub for one [`crate::service::ExtractService`]: the
+/// engine metrics plus (when tracing) the per-job span store.
+pub struct ObsHub {
+    metrics: Arc<EngineMetrics>,
+    trace: bool,
+    spans: Mutex<BTreeMap<u64, Vec<SpanRecord>>>,
+}
+
+impl ObsHub {
+    /// Builds a hub. With `trace` set, the service's processor installs
+    /// a [`vs2_obs::Trace`] around each job and the batch emitter writes
+    /// span and metrics JSONL records; without it only the in-memory
+    /// metrics are recorded.
+    pub fn new(trace: bool, shards: usize) -> Arc<Self> {
+        Arc::new(Self {
+            metrics: Arc::new(EngineMetrics::new(shards)),
+            trace,
+            spans: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The engine metric set.
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// Whether span tracing (and wire emission) is on.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
+    }
+
+    /// Stores the spans of a successfully extracted job, keyed by engine
+    /// sequence number. A retried job overwrites its failed attempts'
+    /// (never stored) slot with the deciding attempt's spans.
+    pub fn store_spans(&self, seq: u64, spans: Vec<SpanRecord>) {
+        self.spans.lock().unwrap().insert(seq, spans);
+    }
+
+    /// Removes and returns the spans stored for `seq`.
+    pub fn take_spans(&self, seq: u64) -> Option<Vec<SpanRecord>> {
+        self.spans.lock().unwrap().remove(&seq)
+    }
+
+    /// Renders the current metrics as `{"record":"metrics",...}` JSONL
+    /// lines: every declared counter and histogram in declaration order,
+    /// plus the model cache's `(hits, misses)` counters.
+    pub fn metrics_lines(&self, cache_counters: (u64, u64)) -> Vec<String> {
+        let reg = self.metrics.registry();
+        let mut lines = Vec::new();
+        for (name, total) in reg.counters() {
+            lines.push(counter_json(name, total));
+        }
+        let (hits, misses) = cache_counters;
+        lines.push(counter_json("model_cache_hits", hits));
+        lines.push(counter_json("model_cache_misses", misses));
+        for (name, snap) in reg.histograms() {
+            lines.push(histogram_json(name, &snap));
+        }
+        lines
+    }
+}

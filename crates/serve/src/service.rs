@@ -16,6 +16,7 @@ use crate::engine::{BatchEngine, Completed, EngineConfig, EngineStats};
 use crate::error::QuarantineEntry;
 use crate::faults::FaultSite;
 use crate::job::JobSpec;
+use crate::obs::ObsHub;
 
 /// Learn-once / extract-many document-extraction service.
 ///
@@ -33,6 +34,7 @@ use crate::job::JobSpec;
 pub struct ExtractService {
     engine: BatchEngine<JobSpec, Vec<Extraction>>,
     cache: Arc<ModelCache>,
+    obs: Option<Arc<ObsHub>>,
 }
 
 impl ExtractService {
@@ -42,35 +44,94 @@ impl ExtractService {
     /// the holdout corpus used for learning (see
     /// [`ModelCache::model_for`]).
     pub fn new(engine_config: EngineConfig, model_seed: u64, config: Option<Vs2Config>) -> Self {
+        Self::build(engine_config, model_seed, config, None)
+    }
+
+    /// Builds the service with an observability hub attached: the engine
+    /// records queue dwell, latency, retries, panics, timeouts, outcomes
+    /// and per-site fault triggers into the hub's [`crate::obs::EngineMetrics`],
+    /// and — when the hub has tracing enabled — each successful job's
+    /// pipeline spans are captured for the batch emitter to serialise.
+    pub fn with_obs(
+        engine_config: EngineConfig,
+        model_seed: u64,
+        config: Option<Vs2Config>,
+        hub: Arc<ObsHub>,
+    ) -> Self {
+        Self::build(engine_config, model_seed, config, Some(hub))
+    }
+
+    fn build(
+        engine_config: EngineConfig,
+        model_seed: u64,
+        config: Option<Vs2Config>,
+        hub: Option<Arc<ObsHub>>,
+    ) -> Self {
         let cache = Arc::new(ModelCache::new());
         let worker_cache = Arc::clone(&cache);
         let fallback_cache = Arc::clone(&cache);
-        let engine = BatchEngine::with_fallback(
-            engine_config,
-            move |spec: &JobSpec, ctx: &crate::engine::JobCtx| {
-                ctx.checkpoint(FaultSite::ModelBuild)?;
-                let config = config.unwrap_or_else(|| default_config_for(spec.dataset));
-                let pipeline = worker_cache.pipeline_for(spec.dataset, model_seed, config);
-                let doc = spec.document();
-                ctx.checkpoint(FaultSite::Segment)?;
-                let blocks = vs2_core::logical_blocks(&doc, &pipeline.config.segment);
-                ctx.checkpoint(FaultSite::Select)?;
-                Ok(pipeline.extract_on_blocks(&doc, &blocks))
-            },
-            move |spec: &JobSpec| {
-                // Degradation path: same learned pattern inventory, but
-                // segmentation falls back to the geometric XY-cut
-                // baseline. No fault checkpoints here — the fallback must
-                // stay reliable under the same plan that broke the
-                // primary path.
-                let config = config.unwrap_or_else(|| default_config_for(spec.dataset));
-                let pipeline = fallback_cache.pipeline_for(spec.dataset, model_seed, config);
-                let doc = spec.document();
-                let blocks = XyCutSegmenter::default().segment(&doc);
-                Some(pipeline.extract_on_blocks(&doc, &blocks))
-            },
-        );
-        Self { engine, cache }
+        let worker_hub = hub.clone();
+        let process = move |spec: &JobSpec, ctx: &crate::engine::JobCtx| {
+            let run =
+                |ctx: &crate::engine::JobCtx| -> Result<Vec<Extraction>, crate::error::ServeError> {
+                    // Root span for the serving path; the pipeline stages
+                    // (segment / select / assign) nest under it.
+                    let _extract_span = vs2_obs::span(vs2_obs::stages::EXTRACT);
+                    ctx.checkpoint(FaultSite::ModelBuild)?;
+                    let config = config.unwrap_or_else(|| default_config_for(spec.dataset));
+                    let pipeline = worker_cache.pipeline_for(spec.dataset, model_seed, config);
+                    let doc = spec.document();
+                    ctx.checkpoint(FaultSite::Segment)?;
+                    let blocks = vs2_core::logical_blocks(&doc, &pipeline.config.segment);
+                    ctx.checkpoint(FaultSite::Select)?;
+                    Ok(pipeline.extract_on_blocks(&doc, &blocks))
+                };
+            match worker_hub.as_ref().filter(|h| h.trace_enabled()) {
+                Some(h) => {
+                    let trace = vs2_obs::Trace::start();
+                    let result = run(ctx);
+                    let spans = trace.finish();
+                    if result.is_ok() {
+                        // Only the deciding attempt's spans are kept;
+                        // failed attempts never reach this arm.
+                        h.store_spans(ctx.seq, spans);
+                    }
+                    result
+                }
+                None => run(ctx),
+            }
+        };
+        let fallback = move |spec: &JobSpec| {
+            // Degradation path: same learned pattern inventory, but
+            // segmentation falls back to the geometric XY-cut
+            // baseline. No fault checkpoints here — the fallback must
+            // stay reliable under the same plan that broke the
+            // primary path.
+            let config = config.unwrap_or_else(|| default_config_for(spec.dataset));
+            let pipeline = fallback_cache.pipeline_for(spec.dataset, model_seed, config);
+            let doc = spec.document();
+            let blocks = XyCutSegmenter::default().segment(&doc);
+            Some(pipeline.extract_on_blocks(&doc, &blocks))
+        };
+        let engine = match &hub {
+            Some(h) => BatchEngine::with_fallback_observed(
+                engine_config,
+                process,
+                fallback,
+                Arc::clone(h.metrics()),
+            ),
+            None => BatchEngine::with_fallback(engine_config, process, fallback),
+        };
+        Self {
+            engine,
+            cache,
+            obs: hub,
+        }
+    }
+
+    /// The observability hub, when the service was built with one.
+    pub fn obs(&self) -> Option<&Arc<ObsHub>> {
+        self.obs.as_ref()
     }
 
     /// Submits a job (blocking on a full queue); returns its sequence
@@ -179,6 +240,60 @@ mod tests {
         assert_eq!(s.p50_us, 37);
         assert_eq!(s.p95_us, 37);
         assert_eq!(s.p99_us, 37);
+    }
+
+    fn summary_of(us: &[u64]) -> LatencySummary {
+        let lat: Vec<Duration> = us.iter().copied().map(Duration::from_micros).collect();
+        LatencySummary::from_latencies(&lat)
+    }
+
+    #[test]
+    fn three_samples_pick_the_middle_for_p50() {
+        // ceil(0.5 * 3) = 2 → the true middle element; tail percentiles
+        // hit rank ceil(0.95 * 3) = ceil(0.99 * 3) = 3 → the maximum.
+        let s = summary_of(&[30, 10, 20]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p50_us, 20);
+        assert_eq!(s.p95_us, 30);
+        assert_eq!(s.p99_us, 30);
+    }
+
+    #[test]
+    fn four_samples_pick_the_lower_middle_for_p50() {
+        // ceil(0.5 * 4) = 2 → lower of the two middles (nearest-rank
+        // never interpolates); ceil(0.95 * 4) = 4 → the maximum.
+        let s = summary_of(&[40, 10, 30, 20]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.p50_us, 20);
+        assert_eq!(s.p95_us, 40);
+        assert_eq!(s.p99_us, 40);
+    }
+
+    #[test]
+    fn five_samples_pick_the_middle_for_p50() {
+        // ceil(0.5 * 5) = 3 → the middle; ceil(0.95 * 5) = 5 → max.
+        let s = summary_of(&[50, 10, 40, 20, 30]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.p50_us, 30);
+        assert_eq!(s.p95_us, 50);
+        assert_eq!(s.p99_us, 50);
+    }
+
+    #[test]
+    fn duplicate_values_do_not_shift_ranks() {
+        // Ranks address positions in the sorted multiset, so repeated
+        // values are counted once per occurrence, not collapsed.
+        let s = summary_of(&[7, 7, 7, 7, 7]);
+        assert_eq!(s.p50_us, 7);
+        assert_eq!(s.p95_us, 7);
+        assert_eq!(s.p99_us, 7);
+
+        // Sorted: [1, 5, 5, 5, 9]; p50 rank 3 lands inside the run of
+        // fives, p95/p99 rank 5 on the maximum.
+        let s = summary_of(&[5, 9, 5, 1, 5]);
+        assert_eq!(s.p50_us, 5);
+        assert_eq!(s.p95_us, 9);
+        assert_eq!(s.p99_us, 9);
     }
 
     #[test]
