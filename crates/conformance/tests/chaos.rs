@@ -15,9 +15,10 @@
 //! determinism contract (they get their own engine unit tests).
 
 use serde::Serialize as _;
+use vs2_baselines::{Segmenter, XyCutSegmenter};
 use vs2_serve::{
-    BatchEngine, EngineConfig, ExtractService, FaultPlan, FaultSite, JobOutcome, JobSource,
-    JobSpec, RetryPolicy, ServeError, DEFAULT_DOC_SEED,
+    default_config_for, BatchEngine, EngineConfig, ExtractService, FaultPlan, FaultSite,
+    JobOutcome, JobSource, JobSpec, ModelCache, RetryPolicy, ServeError, DEFAULT_DOC_SEED,
 };
 use vs2_synth::{adversarial, DatasetId};
 
@@ -188,6 +189,58 @@ fn inert_plan_is_indistinguishable_from_no_plan() {
     assert!(
         disabled.0.iter().all(|r| r.starts_with("ok ")),
         "fault-free adversarial corpus must extract on the primary path"
+    );
+}
+
+/// The degradation fallback (XY-cut segmentation + the served model)
+/// runs the same indexed select stage as the primary path — and the
+/// indexed matcher stays equivalent to the naive reference on degraded
+/// block partitions too. Each degraded job's served output must equal a
+/// locally recomputed XY-cut extraction through *both* matchers.
+#[test]
+fn degraded_fallback_goes_through_the_indexed_matcher() {
+    let plan = Some(FaultPlan::chaos(FAULT_SEED));
+    let mut service = ExtractService::new(engine_config(2, plan), DEFAULT_DOC_SEED, None);
+    let specs = chaos_batch();
+    for spec in specs.clone() {
+        service.submit(spec);
+    }
+    let results = service.drain();
+    service.shutdown();
+
+    let cache = ModelCache::new();
+    let mut degraded = 0;
+    for (spec, done) in specs.iter().zip(&results) {
+        let JobOutcome::Degraded { output, .. } = &done.outcome else {
+            continue;
+        };
+        degraded += 1;
+        let pipeline = cache.pipeline_for(
+            spec.dataset,
+            DEFAULT_DOC_SEED,
+            default_config_for(spec.dataset),
+        );
+        let doc = spec.document();
+        let blocks = XyCutSegmenter::default().segment(&doc);
+        let indexed = pipeline.extract_on_blocks(&doc, &blocks);
+        let naive = pipeline.extract_on_blocks_naive(&doc, &blocks);
+        let served = serde_json::to_string(&output.to_value()).unwrap();
+        assert_eq!(
+            served,
+            serde_json::to_string(&indexed.to_value()).unwrap(),
+            "served degraded output diverged from local XY-cut extraction (seq {})",
+            done.seq
+        );
+        assert_eq!(
+            serde_json::to_string(&indexed.to_value()).unwrap(),
+            serde_json::to_string(&naive.to_value()).unwrap(),
+            "matchers diverged on the degraded partition (seq {})",
+            done.seq
+        );
+    }
+    assert!(
+        degraded > 0,
+        "chaos seed degraded no jobs — the comparison is vacuous"
     );
 }
 

@@ -1,0 +1,286 @@
+//! Differential equivalence battery for the select-stage matchers.
+//!
+//! `Vs2Pipeline::candidates_on_blocks` runs the compiled
+//! [`vs2_core::select::PatternIndex`]; `candidates_on_blocks_naive`
+//! drives the original triple-loop matcher kept verbatim in
+//! `vs2_core::select::naive`. Both paths share one scoring function by
+//! construction, so these tests pin exactly the matcher: per-entity
+//! candidate lists — spans, geometry and scores — must be byte-identical
+//! across arbitrary documents, the synthetic benchmark corpora, the
+//! adversarial corpus and hand-built OCR stress cases, under all three
+//! disambiguation modes.
+//!
+//! Case counts honour `VS2_PROPTEST_CASES`; failures print a
+//! `VS2_PROPTEST_SEED` repro command (see the `proptest` shim docs).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use serde::Serialize as _;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+use vs2_conformance::strategy::{arb_any_document, q};
+use vs2_core::segment::logical_blocks;
+use vs2_core::select::{table3, table4, SyntacticPattern};
+use vs2_core::{DisambiguationMode, Extraction, Vs2Config, Vs2Pipeline};
+use vs2_docmodel::{BBox, Document, TextElement};
+use vs2_serve::{default_config_for, ModelCache, DEFAULT_DOC_SEED};
+use vs2_synth::{adversarial, generate_one, DatasetConfig, DatasetId};
+
+const MODES: [DisambiguationMode; 3] = [
+    DisambiguationMode::Multimodal,
+    DisambiguationMode::FirstMatch,
+    DisambiguationMode::Lesk,
+];
+
+/// Serialises a candidate map with every field participating — the
+/// byte-identity half of the comparison (structural `PartialEq` alone
+/// would not catch `-0.0` vs `0.0` score drift, serialisation does).
+fn render_candidates(c: &BTreeMap<String, Vec<Extraction>>) -> String {
+    let fields: Vec<(String, serde::Value)> =
+        c.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+    serde_json::to_string(&serde::Value::Object(fields)).unwrap()
+}
+
+fn render_extractions(e: &[Extraction]) -> String {
+    serde_json::to_string(&e.to_value()).unwrap()
+}
+
+/// The core assertion: indexed and naive paths agree candidate-for-
+/// candidate and byte-for-byte on `doc`, in every disambiguation mode,
+/// both before and after assignment.
+fn assert_equiv(pipeline: &Vs2Pipeline, doc: &Document) {
+    let blocks = logical_blocks(doc, &pipeline.config.segment);
+    for mode in MODES {
+        let mut p = pipeline.clone();
+        p.config.disambiguation = mode;
+        let fast = p.candidates_on_blocks(doc, &blocks);
+        let slow = p.candidates_on_blocks_naive(doc, &blocks);
+        assert_eq!(
+            fast, slow,
+            "candidate structures diverged ({mode:?}, doc {})",
+            doc.id
+        );
+        assert_eq!(
+            render_candidates(&fast),
+            render_candidates(&slow),
+            "candidate bytes diverged ({mode:?}, doc {})",
+            doc.id
+        );
+        assert_eq!(
+            render_extractions(&p.extract_on_blocks(doc, &blocks)),
+            render_extractions(&p.extract_on_blocks_naive(doc, &blocks)),
+            "assigned extractions diverged ({mode:?}, doc {})",
+            doc.id
+        );
+    }
+}
+
+/// The pipelines under test: both hand-written inventories plus a
+/// distantly supervised learned model per dataset (built once — learning
+/// is the expensive phase).
+fn pipelines() -> &'static Vec<(&'static str, Vs2Pipeline)> {
+    static PIPELINES: OnceLock<Vec<(&'static str, Vs2Pipeline)>> = OnceLock::new();
+    PIPELINES.get_or_init(|| {
+        let cache = ModelCache::new();
+        let mut v: Vec<(&'static str, Vs2Pipeline)> = vec![
+            (
+                "table3",
+                Vs2Pipeline::with_patterns(table3(), Vs2Config::default()),
+            ),
+            (
+                "table4",
+                Vs2Pipeline::with_patterns(table4(), Vs2Config::default()),
+            ),
+        ];
+        for (name, dataset) in [
+            ("learned-D1", DatasetId::D1),
+            ("learned-D2", DatasetId::D2),
+            ("learned-D3", DatasetId::D3),
+        ] {
+            v.push((
+                name,
+                cache.pipeline_for(dataset, DEFAULT_DOC_SEED, default_config_for(dataset)),
+            ));
+        }
+        v
+    })
+}
+
+fn doc_from_words(id: &str, words: &[&str]) -> Document {
+    let mut d = Document::new(id, 40.0 * words.len().max(1) as f64 + 20.0, 60.0);
+    for (i, w) in words.iter().enumerate() {
+        d.push_text(TextElement::word(
+            *w,
+            BBox::new(10.0 + 40.0 * i as f64, 10.0, 35.0, 10.0),
+        ));
+    }
+    d
+}
+
+/// Synthetic benchmark corpora: every pipeline is exercised on documents
+/// from all three datasets, not just its own — foreign documents produce
+/// partial and zero-match blocks, the regime where prefilter bugs hide.
+#[test]
+fn indexed_matches_naive_on_synthetic_corpora() {
+    for dataset in [DatasetId::D1, DatasetId::D2, DatasetId::D3] {
+        let docs: Vec<Document> = (0..6)
+            .map(|i| generate_one(dataset, i, DatasetConfig::new(1, DEFAULT_DOC_SEED)).doc)
+            .collect();
+        for (_, pipeline) in pipelines() {
+            for doc in &docs {
+                assert_equiv(pipeline, doc);
+            }
+        }
+    }
+}
+
+/// The adversarial layout corpus (hostile geometry: slivers, overlaps,
+/// huge skew) against every pipeline.
+#[test]
+fn indexed_matches_naive_on_adversarial_corpus() {
+    for (_, doc) in adversarial::corpus() {
+        for (_, pipeline) in pipelines() {
+            assert_equiv(pipeline, &doc);
+        }
+    }
+}
+
+/// A pattern inventory built to stress the trie walk: shared prefixes,
+/// phrases that are prefixes of longer phrases, a phrase whose first
+/// token repeats, the same phrase registered by two entities, and an
+/// exact/window mix within one entity.
+fn stress_patterns() -> BTreeMap<String, Vec<SyntacticPattern>> {
+    let mut m = BTreeMap::new();
+    m.insert(
+        "alpha".to_string(),
+        vec![
+            SyntacticPattern::ExactPhrase("total wages".into()),
+            SyntacticPattern::ExactPhrase("total wages income".into()),
+            SyntacticPattern::ExactPhrase("total".into()),
+        ],
+    );
+    m.insert(
+        "beta".to_string(),
+        vec![
+            SyntacticPattern::ExactPhrase("total wages income".into()),
+            SyntacticPattern::Window {
+                kind: None,
+                required: vec![vs2_core::select::Feature::from_label("NER:person").unwrap()],
+            },
+        ],
+    );
+    m.insert(
+        "gamma".to_string(),
+        vec![SyntacticPattern::ExactPhrase("pay pay stub".into())],
+    );
+    m.insert(
+        "delta".to_string(),
+        vec![SyntacticPattern::ExactPhrase("amount due".into())],
+    );
+    m.insert(
+        "epsilon".to_string(),
+        vec![SyntacticPattern::ExactPhrase("amount due".into())],
+    );
+    m
+}
+
+/// Hand-built OCR stress documents: merged words, split words, edit-one
+/// corruption, repeated first tokens, duplicated phrases — each run
+/// against the stress inventory through both matchers.
+#[test]
+fn indexed_matches_naive_on_ocr_stress_cases() {
+    let pipeline = Vs2Pipeline::with_patterns(stress_patterns(), Vs2Config::default());
+    let cases: &[&[&str]] = &[
+        &["total", "wages", "income", "due"],
+        &["totalwages", "income", "due"],
+        &["total", "wa", "ges", "income"],
+        &["totel", "wages", "income"],
+        &["total", "total", "wages", "wages", "income"],
+        &["pay", "pay", "pay", "stub"],
+        &["amount", "due", "amount", "due"],
+        &["Hosted", "by", "James", "Wilson", "total", "wages"],
+        &["total"],
+        &[],
+    ];
+    for (i, words) in cases.iter().enumerate() {
+        let doc = doc_from_words(&format!("stress-{i}"), words);
+        assert_equiv(&pipeline, &doc);
+    }
+}
+
+/// Vocabulary the randomised documents draw from: pattern words, their
+/// OCR-merged/split/corrupted variants, and filler — so generated pages
+/// hit full matches, partial prefixes and dead ends in random layouts.
+const VOCAB: &[&str] = &[
+    "total",
+    "wages",
+    "income",
+    "totalwages",
+    "wagesincome",
+    "wa",
+    "ges",
+    "totel",
+    "pay",
+    "stub",
+    "amount",
+    "due",
+    "hosted",
+    "by",
+    "james",
+    "wilson",
+    "saturday",
+    "april",
+    "5",
+    "7",
+    "pm",
+    "beds",
+    "filler",
+    "noise",
+    "the",
+];
+
+fn arb_vocab_document() -> BoxedStrategy<Document> {
+    (
+        (800u32..2400, 800u32..2400),
+        vec(
+            (
+                0usize..VOCAB.len(),
+                (0u32..2000, 0u32..2000, 20u32..200, 8u32..60),
+            ),
+            0..30,
+        ),
+    )
+        .prop_map(|(page, words)| {
+            let mut d = Document::new("vocab", q(page.0), q(page.1));
+            for (wi, (x, y, w, h)) in words {
+                d.push_text(TextElement::word(
+                    VOCAB[wi],
+                    BBox::new(q(x), q(y), q(w), q(h)),
+                ));
+            }
+            d
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random vocabulary documents (pattern words in random layouts)
+    /// against the trie-stress inventory.
+    #[test]
+    fn property_indexed_equals_naive_on_vocab_documents(doc in arb_vocab_document()) {
+        let pipeline = Vs2Pipeline::with_patterns(stress_patterns(), Vs2Config::default());
+        assert_equiv(&pipeline, &doc);
+    }
+
+    /// Arbitrary + degenerate documents against the hand-written Table 3
+    /// and Table 4 inventories and a learned model.
+    #[test]
+    fn property_indexed_equals_naive_on_arbitrary_documents(doc in arb_any_document()) {
+        for (name, pipeline) in pipelines().iter().take(3) {
+            let _ = name;
+            assert_equiv(pipeline, &doc);
+        }
+    }
+}

@@ -10,8 +10,10 @@
 use crate::segment::{logical_blocks, LogicalBlock, SegmentConfig};
 use crate::select::blocktext::BlockText;
 use crate::select::disambiguate::{distance_to_nearest, AreaEncoding, Eq2Weights, PageScale};
+use crate::select::index::PatternIndex;
 use crate::select::interest::interest_points;
 use crate::select::learn::{learn_patterns, LearnConfig};
+use crate::select::naive;
 use crate::select::pattern::{PatternMatch, SyntacticPattern};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -92,6 +94,10 @@ struct EntityProfile {
 #[derive(Debug, Clone)]
 pub struct Vs2Model {
     patterns: BTreeMap<String, Vec<SyntacticPattern>>,
+    /// The compiled select-stage matcher, built once from `patterns` at
+    /// model-construction time and shared (read-only) by every pipeline
+    /// holding this model.
+    index: PatternIndex,
     glosses: Lesk,
     profiles: BTreeMap<String, EntityProfile>,
 }
@@ -139,8 +145,10 @@ impl Vs2Model {
                 )
             })
             .collect();
+        let index = PatternIndex::build(&patterns);
         Self {
             patterns,
+            index,
             glosses,
             profiles,
         }
@@ -149,8 +157,10 @@ impl Vs2Model {
     /// Builds a model from an explicit pattern inventory (e.g. the
     /// hand-written Table 3/4 sets) with no glosses or profiles.
     pub fn with_patterns(patterns: BTreeMap<String, Vec<SyntacticPattern>>) -> Self {
+        let index = PatternIndex::build(&patterns);
         Self {
             patterns,
+            index,
             glosses: Lesk::new(),
             profiles: BTreeMap::new(),
         }
@@ -159,6 +169,12 @@ impl Vs2Model {
     /// The learned pattern inventory.
     pub fn patterns(&self) -> &BTreeMap<String, Vec<SyntacticPattern>> {
         &self.patterns
+    }
+
+    /// The compiled select-stage matcher ([`PatternIndex`]), built once
+    /// at model construction.
+    pub fn index(&self) -> &PatternIndex {
+        &self.index
     }
 
     /// Entities the model knows how to extract.
@@ -240,6 +256,11 @@ impl Vs2Pipeline {
     /// Runs the search-and-select phase over an externally provided block
     /// partition — the hook that plugs alternative segmentation
     /// algorithms (the Table 5 baselines) into the same VS2-Select stage.
+    ///
+    /// This is the indexed fast path: one [`PatternIndex::block_best`]
+    /// query per block answers for every entity at once, instead of the
+    /// old entity × block × pattern triple loop (preserved as
+    /// [`candidates_on_blocks_naive`](Self::candidates_on_blocks_naive)).
     pub fn candidates_on_blocks(
         &self,
         doc: &Document,
@@ -247,10 +268,105 @@ impl Vs2Pipeline {
     ) -> BTreeMap<String, Vec<Extraction>> {
         let select_span = vs2_obs::span(vs2_obs::stages::SELECT);
         select_span.tag("blocks", blocks.len() as u64);
+        let (texts, ip_enc, page) = {
+            let _index_span = vs2_obs::span(vs2_obs::stages::SELECT_INDEX);
+            self.select_prep(doc, blocks)
+        };
+        let _scan_span = vs2_obs::span(vs2_obs::stages::SELECT_SCAN);
+
+        // One pass over the blocks; the index answers for all entities at
+        // once. Accumulating per entity in ascending block order keeps the
+        // pre-sort candidate order — and therefore the stable sort's
+        // output — identical to the old entity-outer loop.
+        let entities: Vec<&String> = self.model.patterns.keys().collect();
+        let mut per_entity: Vec<Vec<Extraction>> = vec![Vec::new(); entities.len()];
+        for (bi, bt) in texts.iter().enumerate() {
+            if bt.is_empty() {
+                continue;
+            }
+            for (ei, best) in self.model.index.block_best(bt).into_iter().enumerate() {
+                let Some(b) = best else { continue };
+                per_entity[ei].push(self.score_candidate(
+                    doc,
+                    blocks,
+                    bi,
+                    bt,
+                    entities[ei],
+                    b.m,
+                    b.exact,
+                    b.specificity,
+                    &ip_enc,
+                    &page,
+                ));
+            }
+        }
+
+        let mut out: BTreeMap<String, Vec<Extraction>> = BTreeMap::new();
+        for (ei, mut cands) in per_entity.into_iter().enumerate() {
+            if cands.is_empty() {
+                continue;
+            }
+            cands.sort_by(|a, b| a.score.total_cmp(&b.score));
+            out.insert(entities[ei].clone(), cands);
+        }
+        out
+    }
+
+    /// The original (pre-index) search-and-select loop, kept as the
+    /// executable reference for the differential equivalence suite and
+    /// the select-perf gate. Emits no tracing spans: only the production
+    /// path participates in the documented span tree.
+    pub fn candidates_on_blocks_naive(
+        &self,
+        doc: &Document,
+        blocks: &[LogicalBlock],
+    ) -> BTreeMap<String, Vec<Extraction>> {
+        let (texts, ip_enc, page) = self.select_prep(doc, blocks);
+        let mut out: BTreeMap<String, Vec<Extraction>> = BTreeMap::new();
+        for (entity, patterns) in self.model.patterns() {
+            let mut cands: Vec<Extraction> = Vec::new();
+            for (bi, bt) in texts.iter().enumerate() {
+                if bt.is_empty() {
+                    continue;
+                }
+                // Best (longest) match across this entity's patterns,
+                // tracking the specificity of the most demanding pattern
+                // that fired in this block ("the most optimal matched
+                // pattern", §5.2).
+                let Some((m, exact, specificity)) = naive::block_best(patterns, bt) else {
+                    continue;
+                };
+                cands.push(self.score_candidate(
+                    doc,
+                    blocks,
+                    bi,
+                    bt,
+                    entity,
+                    m,
+                    exact,
+                    specificity,
+                    &ip_enc,
+                    &page,
+                ));
+            }
+            if cands.is_empty() {
+                continue;
+            }
+            cands.sort_by(|a, b| a.score.total_cmp(&b.score));
+            out.insert(entity.clone(), cands);
+        }
+        out
+    }
+
+    /// Shared select-stage preparation: block texts (with their feature
+    /// tables) and the interest-point encodings of the multimodal mode.
+    fn select_prep(
+        &self,
+        doc: &Document,
+        blocks: &[LogicalBlock],
+    ) -> (Vec<BlockText>, Vec<AreaEncoding>, PageScale) {
         let embedder = LexiconEmbedding;
         let texts: Vec<BlockText> = blocks.iter().map(|b| BlockText::build(doc, b)).collect();
-
-        // Interest-point encodings for the multimodal mode.
         let ip_idx = interest_points(doc, blocks, &embedder);
         let encode_block = |b: &LogicalBlock, bt: &BlockText| AreaEncoding {
             bbox: b.bbox,
@@ -265,122 +381,115 @@ impl Vs2Pipeline {
             width: doc.width,
             height: doc.height,
         };
+        (texts, ip_enc, page)
+    }
 
-        let mut out: BTreeMap<String, Vec<Extraction>> = BTreeMap::new();
-        for (entity, patterns) in self.model.patterns() {
-            let mut cands: Vec<Extraction> = Vec::new();
-            for (bi, bt) in texts.iter().enumerate() {
-                if bt.is_empty() {
-                    continue;
-                }
-                // Best (longest) match across this entity's patterns,
-                // tracking the specificity of the most demanding pattern
-                // that fired in this block ("the most optimal matched
-                // pattern", §5.2).
-                let mut best: Option<(PatternMatch, bool)> = None;
-                let mut specificity = 0usize;
-                for p in patterns {
-                    let (exact, spec) = match p {
-                        SyntacticPattern::ExactPhrase(_) => (true, 4),
-                        SyntacticPattern::Window { required, .. } => (false, required.len().min(4)),
-                    };
-                    for m in p.matches(bt) {
-                        specificity = specificity.max(spec);
-                        let better = match &best {
-                            None => true,
-                            Some((cur, _)) => (m.end - m.start) > (cur.end - cur.start),
-                        };
-                        if better {
-                            best = Some((m, exact));
-                        }
-                    }
-                }
-                let Some((m, exact)) = best else { continue };
-                let (text, span_bbox) = if exact {
-                    // D1 semantics: the descriptor locates the field; the
-                    // extraction is the value adjacent to it (bounded to a
-                    // handful of tokens so an under-segmented block does
-                    // not leak the whole page).
-                    let after_end = (m.end + 3).min(bt.len());
-                    let after = bt.span_text(m.end, after_end);
-                    let before_start = m.start.saturating_sub(3);
-                    let before = bt.span_text(before_start, m.start);
-                    if !after.trim().is_empty() {
-                        (after, bt.span_bbox(doc, m.end, after_end))
-                    } else if !before.trim().is_empty() {
-                        (before, bt.span_bbox(doc, before_start, m.start))
-                    } else {
-                        (
-                            bt.span_text(m.start, m.end),
-                            bt.span_bbox(doc, m.start, m.end),
-                        )
-                    }
-                } else {
-                    (
-                        bt.span_text(m.start, m.end),
-                        bt.span_bbox(doc, m.start, m.end),
-                    )
-                };
-                let score = match self.config.disambiguation {
-                    DisambiguationMode::Multimodal => {
-                        let enc = AreaEncoding {
-                            bbox: span_bbox,
-                            embedding: embedder.embed_text(text.split_whitespace()),
-                            density: doc.word_density(&blocks[bi].bbox),
-                        };
-                        // Specificity acts as a tie-break: a block where a
-                        // more demanding pattern fired is a better-typed
-                        // candidate at equal multimodal distance. The
-                        // entity's holdout profile contributes two further
-                        // textual descriptors: embedding affinity and
-                        // verbosity agreement.
-                        let mut score =
-                            distance_to_nearest(&enc, &ip_enc, &self.config.weights, &page)
-                                - 0.05 * specificity as f64;
-                        if let Some(profile) = self.model.profiles.get(entity) {
-                            let sim = vs2_nlp::cosine(&enc.embedding, &profile.centroid);
-                            score += 0.25 * (1.0 - sim.clamp(-1.0, 1.0)) / 2.0;
-                            let n_words = text.split_whitespace().count().max(1);
-                            let dlen = ((n_words as f64).ln() - profile.mean_log_len).abs();
-                            score += 0.25 * (dlen / 2.0).min(1.0);
-                        }
-                        // Holdout-context gloss overlap (the block's words
-                        // vs the entity's fixed-format contexts) — the
-                        // cue that separates "Phone …" from "Fax …".
-                        let ctx = bt.ann.content_words();
-                        score -= 0.15 * self.model.glosses.score(entity, ctx).min(1.0);
-                        score
-                    }
-                    DisambiguationMode::FirstMatch => {
-                        // Reading order: top-to-bottom, left-to-right.
-                        blocks[bi].bbox.y * 10_000.0 + blocks[bi].bbox.x
-                    }
-                    DisambiguationMode::Lesk => {
-                        let ctx = bt.ann.content_words();
-                        -self.model.glosses.score(entity, ctx)
-                    }
-                };
-                cands.push(Extraction {
-                    entity: entity.clone(),
-                    text,
-                    block_bbox: blocks[bi].bbox,
-                    span_bbox,
-                    score,
-                });
+    /// Turns one block-level winning match into a scored [`Extraction`].
+    /// Both matchers funnel through here, so the differential suite pins
+    /// exactly the matcher — scoring is shared by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn score_candidate(
+        &self,
+        doc: &Document,
+        blocks: &[LogicalBlock],
+        bi: usize,
+        bt: &BlockText,
+        entity: &str,
+        m: PatternMatch,
+        exact: bool,
+        specificity: usize,
+        ip_enc: &[AreaEncoding],
+        page: &PageScale,
+    ) -> Extraction {
+        let embedder = LexiconEmbedding;
+        let (text, span_bbox) = if exact {
+            // D1 semantics: the descriptor locates the field; the
+            // extraction is the value adjacent to it (bounded to a
+            // handful of tokens so an under-segmented block does
+            // not leak the whole page).
+            let after_end = (m.end + 3).min(bt.len());
+            let after = bt.span_text(m.end, after_end);
+            let before_start = m.start.saturating_sub(3);
+            let before = bt.span_text(before_start, m.start);
+            if !after.trim().is_empty() {
+                (after, bt.span_bbox(doc, m.end, after_end))
+            } else if !before.trim().is_empty() {
+                (before, bt.span_bbox(doc, before_start, m.start))
+            } else {
+                (
+                    bt.span_text(m.start, m.end),
+                    bt.span_bbox(doc, m.start, m.end),
+                )
             }
-            if cands.is_empty() {
-                continue;
+        } else {
+            (
+                bt.span_text(m.start, m.end),
+                bt.span_bbox(doc, m.start, m.end),
+            )
+        };
+        let score = match self.config.disambiguation {
+            DisambiguationMode::Multimodal => {
+                let enc = AreaEncoding {
+                    bbox: span_bbox,
+                    embedding: embedder.embed_text(text.split_whitespace()),
+                    density: doc.word_density(&blocks[bi].bbox),
+                };
+                // Specificity acts as a tie-break: a block where a
+                // more demanding pattern fired is a better-typed
+                // candidate at equal multimodal distance. The
+                // entity's holdout profile contributes two further
+                // textual descriptors: embedding affinity and
+                // verbosity agreement.
+                let mut score = distance_to_nearest(&enc, ip_enc, &self.config.weights, page)
+                    - 0.05 * specificity as f64;
+                if let Some(profile) = self.model.profiles.get(entity) {
+                    let sim = vs2_nlp::cosine(&enc.embedding, &profile.centroid);
+                    score += 0.25 * (1.0 - sim.clamp(-1.0, 1.0)) / 2.0;
+                    let n_words = text.split_whitespace().count().max(1);
+                    let dlen = ((n_words as f64).ln() - profile.mean_log_len).abs();
+                    score += 0.25 * (dlen / 2.0).min(1.0);
+                }
+                // Holdout-context gloss overlap (the block's words
+                // vs the entity's fixed-format contexts) — the
+                // cue that separates "Phone …" from "Fax …".
+                let ctx = bt.ann.content_words();
+                score -= 0.15 * self.model.glosses.score(entity, ctx).min(1.0);
+                score
             }
-            cands.sort_by(|a, b| a.score.total_cmp(&b.score));
-            out.insert(entity.clone(), cands);
+            DisambiguationMode::FirstMatch => {
+                // Reading order: top-to-bottom, left-to-right.
+                blocks[bi].bbox.y * 10_000.0 + blocks[bi].bbox.x
+            }
+            DisambiguationMode::Lesk => {
+                let ctx = bt.ann.content_words();
+                -self.model.glosses.score(entity, ctx)
+            }
+        };
+        Extraction {
+            entity: entity.to_string(),
+            text,
+            block_bbox: blocks[bi].bbox,
+            span_bbox,
+            score,
         }
-        out
     }
 
     /// Extracts the best candidate per entity over externally provided
     /// blocks.
     pub fn extract_on_blocks(&self, doc: &Document, blocks: &[LogicalBlock]) -> Vec<Extraction> {
         assign(self.candidates_on_blocks(doc, blocks))
+    }
+
+    /// Reference-path variant of
+    /// [`extract_on_blocks`](Self::extract_on_blocks) driving the naive
+    /// matcher — assignment included, so end-to-end differential tests
+    /// can compare full extractions.
+    pub fn extract_on_blocks_naive(
+        &self,
+        doc: &Document,
+        blocks: &[LogicalBlock],
+    ) -> Vec<Extraction> {
+        assign(self.candidates_on_blocks_naive(doc, blocks))
     }
 
     /// Extracts the best candidate per entity.

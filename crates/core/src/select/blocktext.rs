@@ -10,9 +10,179 @@ use crate::segment::LogicalBlock;
 use vs2_docmodel::{BBox, Document, ElementRef};
 use vs2_nlp::annotate::Annotated;
 use vs2_nlp::chunk::chunk;
+use vs2_nlp::hypernym::{self, Sense};
 use vs2_nlp::ner::recognize;
 use vs2_nlp::pos::tag;
+use vs2_nlp::stem::stem;
+use vs2_nlp::stopwords::is_stopword;
 use vs2_nlp::token::{tokenize, Token};
+use vs2_nlp::verbs;
+use vs2_nlp::{geocode, timex};
+
+/// Bit in [`WindowRep::flags`]: a cardinal-number (CD) modifier.
+pub const FLAG_CD: u8 = 1 << 0;
+/// Bit in [`WindowRep::flags`]: an adjectival (JJ) modifier.
+pub const FLAG_JJ: u8 = 1 << 1;
+/// Bit in [`WindowRep::flags`]: the window normalises as TIMEX3.
+pub const FLAG_TIMEX: u8 = 1 << 2;
+/// Bit in [`WindowRep::flags`]: the window carries a valid geocode.
+pub const FLAG_GEO: u8 = 1 << 3;
+
+/// The bitmask feature summary of one candidate phrase window — the
+/// precomputed form of `features_of_span` minus the lexical stems (stems
+/// are tested against the per-token [`FeatureTable::stem`] column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowRep {
+    /// First token index.
+    pub start: usize,
+    /// One past the last token.
+    pub end: usize,
+    /// CD / JJ / TIMEX / GEO bits (see the `FLAG_*` constants).
+    pub flags: u8,
+    /// NER-category bitset (bit index = `pattern::ner_code`).
+    pub ner: u8,
+    /// Hypernym-sense bitset (bit index = sense code; `Entity` omitted,
+    /// mirroring `features_of_span`).
+    pub sense: u16,
+    /// VerbNet-lite sense bitset (bit index = verb-sense code).
+    pub vsense: u8,
+}
+
+/// Per-block feature precomputation: everything `features_of_span`
+/// recomputes per pattern call, hoisted to one pass in
+/// [`BlockText::build`]. Per-token columns feed window aggregation; the
+/// eager window table covers every window any pattern can consider
+/// (shallow phrases, NER spans, the whole block), each with its TIMEX3 /
+/// geocode validation already done.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureTable {
+    /// Per-token CD/JJ bits.
+    pub flags: Vec<u8>,
+    /// Per-token NER-category bitset (union of covering spans).
+    pub ner: Vec<u8>,
+    /// Per-token hypernym-sense bitset (nouns only, `Entity` omitted).
+    pub sense: Vec<u16>,
+    /// Per-token verb-sense bitset (verbs only).
+    pub vsense: Vec<u8>,
+    /// Per-token stem, or `""` when the token contributes no `Stem`
+    /// feature (empty norm, stopword, numeric).
+    pub stem: Vec<String>,
+    /// Window reps aligned index-for-index with `ann.phrases`.
+    pub phrase_windows: Vec<WindowRep>,
+    /// Window reps aligned index-for-index with `ann.ner`.
+    pub ner_windows: Vec<WindowRep>,
+    /// The whole-block window `(0, len)`.
+    pub block_window: WindowRep,
+    /// Union of every window rep — the sound anchor prefilter: a
+    /// feature absent here is absent from every candidate window.
+    pub summary: WindowRep,
+}
+
+impl FeatureTable {
+    fn build(ann: &Annotated) -> Self {
+        let n = ann.tokens.len();
+        let mut t = FeatureTable {
+            flags: vec![0; n],
+            ner: vec![0; n],
+            sense: vec![0; n],
+            vsense: vec![0; n],
+            stem: Vec::with_capacity(n),
+            ..FeatureTable::default()
+        };
+        for (i, tok) in ann.tokens.iter().enumerate() {
+            let pos = ann.pos[i];
+            match pos {
+                vs2_nlp::PosTag::Cd => t.flags[i] |= FLAG_CD,
+                vs2_nlp::PosTag::Jj => t.flags[i] |= FLAG_JJ,
+                _ => {}
+            }
+            if pos.is_verb() {
+                for v in verbs::senses_of(&tok.norm) {
+                    t.vsense[i] |= 1 << crate::select::pattern::vsense_code(v);
+                }
+            } else if pos.is_noun() {
+                let s = hypernym::sense_of(&tok.norm);
+                if s != Sense::Entity {
+                    t.sense[i] |= 1 << crate::select::pattern::sense_code(s);
+                }
+            }
+            if !tok.norm.is_empty() && !is_stopword(&tok.norm) && !tok.is_numeric() {
+                t.stem.push(stem(&tok.norm));
+            } else {
+                t.stem.push(String::new());
+            }
+        }
+        for span in &ann.ner {
+            let code = crate::select::pattern::ner_code(span.tag);
+            for i in span.start..span.end.min(n) {
+                t.ner[i] |= 1 << code;
+            }
+        }
+        t.phrase_windows = ann
+            .phrases
+            .iter()
+            .map(|p| t.window_rep(ann, p.start, p.end))
+            .collect();
+        t.ner_windows = ann
+            .ner
+            .iter()
+            .map(|s| t.window_rep(ann, s.start, s.end))
+            .collect();
+        t.block_window = t.window_rep(ann, 0, n);
+        let mut summary = WindowRep::default();
+        for w in t
+            .phrase_windows
+            .iter()
+            .chain(t.ner_windows.iter())
+            .chain(std::iter::once(&t.block_window))
+        {
+            summary.flags |= w.flags;
+            summary.ner |= w.ner;
+            summary.sense |= w.sense;
+            summary.vsense |= w.vsense;
+        }
+        t.summary = summary;
+        t
+    }
+
+    /// Aggregates the per-token columns over `[start, end)` and runs the
+    /// window-level TIMEX3 / geocode validations — semantically identical
+    /// to `features_of_span`, minus stems.
+    pub fn window_rep(&self, ann: &Annotated, start: usize, end: usize) -> WindowRep {
+        let end = end.min(ann.tokens.len());
+        let mut w = WindowRep {
+            start,
+            end,
+            ..WindowRep::default()
+        };
+        for i in start..end {
+            w.flags |= self.flags[i];
+            w.ner |= self.ner[i];
+            w.sense |= self.sense[i];
+            w.vsense |= self.vsense[i];
+        }
+        let text = ann.span_text(start, end);
+        if timex::is_valid_timex(&text) {
+            w.flags |= FLAG_TIMEX;
+        }
+        if geocode::is_valid_geocode(&text) {
+            w.flags |= FLAG_GEO;
+        }
+        w
+    }
+
+    /// `true` when any token in `[start, end)` stems to `want`.
+    pub fn span_has_stem(&self, start: usize, end: usize, want: &str) -> bool {
+        self.stem[start..end.min(self.stem.len())]
+            .iter()
+            .any(|s| s == want)
+    }
+
+    /// `true` when any token of the block stems to `want`.
+    pub fn block_has_stem(&self, want: &str) -> bool {
+        self.span_has_stem(0, self.stem.len(), want)
+    }
+}
 
 /// The annotated transcription of one logical block, with per-token
 /// element provenance.
@@ -24,6 +194,9 @@ pub struct BlockText {
     pub ann: Annotated,
     /// For each token, the element that produced it.
     pub elem_of: Vec<ElementRef>,
+    /// Precomputed per-token/per-window feature tables (built once here,
+    /// queried by every pattern of every entity).
+    pub features: FeatureTable,
 }
 
 impl BlockText {
@@ -44,15 +217,18 @@ impl BlockText {
         let pos = tag(&tokens);
         let phrases = chunk(&tokens, &pos);
         let ner = recognize(&tokens, &pos);
+        let ann = Annotated {
+            tokens,
+            pos,
+            phrases,
+            ner,
+        };
+        let features = FeatureTable::build(&ann);
         BlockText {
             bbox: block.bbox,
-            ann: Annotated {
-                tokens,
-                pos,
-                phrases,
-                ner,
-            },
+            ann,
             elem_of,
+            features,
         }
     }
 

@@ -1,0 +1,742 @@
+//! The compiled select-stage matcher: [`PatternIndex`].
+//!
+//! `candidates_on_blocks` used to run an entity × block × pattern triple
+//! loop where every [`SyntacticPattern::matches`] call re-tokenised the
+//! needle, re-derived every window's feature set and re-walked the NER
+//! spans from scratch. The index is built **once per
+//! [`crate::Vs2Model`]** and turns the per-block work into:
+//!
+//! * **One trie pass for all exact phrases.** Every entity's
+//!   `ExactPhrase` patterns are interned into a shared token-trie; a
+//!   single left-to-right scan over a block yields the phrase hits of
+//!   every entity at once. The walk reproduces the greedy OCR-tolerant
+//!   aligner of `pattern::exact_matches` branch for branch (direct word
+//!   match first, then needle-merge, then token-split), including the
+//!   rare case where a merge and a split fire on the same edge — the
+//!   split continuation then excludes the merged grandchildren, exactly
+//!   as per-phrase greedy alignment would.
+//! * **Window patterns grouped by anchor feature.** Each compiled
+//!   window pattern is bucketed under its most selective requirement
+//!   (stem ≻ NER ≻ verb sense ≻ noun sense ≻ POS flag ≻ TIMEX/geocode);
+//!   a bucket is evaluated only when its anchor occurs somewhere in the
+//!   block's precomputed feature summary. Surviving patterns test
+//!   candidate windows with bitmask subset checks against the block's
+//!   [`FeatureTable`] instead of rebuilding `BTreeSet<Feature>`s.
+//!
+//! Tie-breaking is bit-for-bit the old loop's: longest match wins, ties
+//! go to the lowest pattern rank, then the earliest `(start, end)` span.
+//! The naive matcher survives as [`crate::select::naive`] and the
+//! `select_equiv` differential suite in `vs2-conformance` proves the two
+//! observationally identical.
+
+use crate::select::blocktext::{BlockText, WindowRep, FLAG_CD, FLAG_GEO, FLAG_JJ, FLAG_TIMEX};
+use crate::select::pattern::{ner_code, Feature, SyntacticPattern};
+use crate::select::PatternMatch;
+use std::collections::BTreeMap;
+use vs2_nlp::chunk::PhraseKind;
+use vs2_nlp::ner::NerTag;
+
+/// The winning match of one entity within one block, as the naive
+/// matcher's inner loop would have produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockBest {
+    /// The winning span.
+    pub m: PatternMatch,
+    /// `true` when an exact-phrase pattern produced it (D1 semantics:
+    /// the descriptor locates the field, the value sits beside it).
+    pub exact: bool,
+    /// Specificity of the most demanding pattern that fired in the
+    /// block (not necessarily the winning one).
+    pub specificity: usize,
+}
+
+/// A registration of one pattern: which entity, at which rank within
+/// that entity's inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    entity: u32,
+    rank: u32,
+}
+
+/// A needle-merge continuation precomputed at build time: consuming one
+/// block token may cover *two* consecutive phrase words (OCR merged
+/// them). `word` is the concatenation, `target` the grandchild node,
+/// `edge_idx` the grandchild's index among the child's edges (used to
+/// exclude it from a simultaneous split continuation).
+#[derive(Debug, Clone)]
+struct Merged {
+    word: String,
+    target: u32,
+    edge_idx: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    word: String,
+    node: u32,
+    merged: Vec<Merged>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TrieNode {
+    children: Vec<Edge>,
+    terminals: Vec<Slot>,
+}
+
+/// A window pattern compiled to bitmasks.
+#[derive(Debug, Clone)]
+struct CompiledWindow {
+    slot: Slot,
+    kind: Option<PhraseKind>,
+    req_flags: u8,
+    req_ner: u8,
+    req_sense: u16,
+    req_vsense: u8,
+    stems: Vec<String>,
+    spec: usize,
+    /// Regex-class categories (email/phone) among the requirements.
+    contact: Vec<NerTag>,
+    /// All required NER codes (drives span extension).
+    required_ner: Vec<u8>,
+}
+
+/// The anchor feature a window pattern is grouped under. Ordered by
+/// selectivity: a stem is rarer than an NER category, which is rarer
+/// than a sense, which is rarer than a POS flag.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Anchor {
+    Stem(String),
+    Ner(u8),
+    VSense(u8),
+    Sense(u8),
+    Flag(u8),
+    /// No requirements: evaluated on every block.
+    Always,
+}
+
+impl Anchor {
+    fn of(required: &[Feature]) -> Anchor {
+        let mut best: Option<Anchor> = None;
+        for f in required {
+            let a = match f {
+                Feature::Stem(s) => Anchor::Stem(s.clone()),
+                Feature::Ner(c) => Anchor::Ner(*c),
+                Feature::VSense(v) => Anchor::VSense(*v),
+                Feature::Sense(s) => Anchor::Sense(*s),
+                Feature::Cd => Anchor::Flag(FLAG_CD),
+                Feature::Jj => Anchor::Flag(FLAG_JJ),
+                Feature::Timex => Anchor::Flag(FLAG_TIMEX),
+                Feature::Geo => Anchor::Flag(FLAG_GEO),
+            };
+            best = Some(match best {
+                None => a,
+                Some(b) => b.min(a),
+            });
+        }
+        best.unwrap_or(Anchor::Always)
+    }
+
+    /// `true` when the anchor feature occurs anywhere in the block — a
+    /// sound prefilter: the summary is the union over every candidate
+    /// window, so an absent anchor means no window can satisfy it.
+    fn present_in(&self, bt: &BlockText) -> bool {
+        let s = &bt.features.summary;
+        match self {
+            Anchor::Stem(w) => bt.features.block_has_stem(w),
+            Anchor::Ner(c) => s.ner & (1 << c) != 0,
+            Anchor::VSense(v) => s.vsense & (1 << v) != 0,
+            Anchor::Sense(c) => s.sense & (1 << c) != 0,
+            Anchor::Flag(f) => s.flags & f != 0,
+            Anchor::Always => true,
+        }
+    }
+}
+
+/// The compiled matching engine for VS2-Select: shared phrase trie plus
+/// anchor-grouped, mask-compiled window patterns. Built once per model;
+/// immutable and `Send + Sync`, so serving workers share it through the
+/// model's `Arc` with no per-document rebuild.
+#[derive(Debug, Clone, Default)]
+pub struct PatternIndex {
+    n_entities: usize,
+    nodes: Vec<TrieNode>,
+    /// Window patterns bucketed by anchor; buckets sorted for
+    /// determinism (evaluation order does not affect results — the
+    /// accumulator's tie-break key is order-free).
+    groups: Vec<(Anchor, Vec<CompiledWindow>)>,
+    n_phrases: usize,
+    n_windows: usize,
+}
+
+/// Mirrors `pattern::exact_matches`' word comparator, with a cheap
+/// length prefilter (equal strings have equal lengths; the edit-one
+/// channel never bridges a length gap above one).
+fn word_matches(have: &str, want: &str) -> bool {
+    if have.len().abs_diff(want.len()) > 1 {
+        return false;
+    }
+    have == want || (want.len() >= 4 && vs2_nlp::lexicon::within_edit_one(have, want))
+}
+
+impl PatternIndex {
+    /// Compiles an entity → pattern inventory. Entity indices follow the
+    /// map's (sorted) key order.
+    pub fn build(patterns: &BTreeMap<String, Vec<SyntacticPattern>>) -> Self {
+        let mut idx = PatternIndex {
+            n_entities: patterns.len(),
+            nodes: vec![TrieNode::default()],
+            ..PatternIndex::default()
+        };
+        let mut grouped: BTreeMap<Anchor, Vec<CompiledWindow>> = BTreeMap::new();
+        for (ei, pats) in patterns.values().enumerate() {
+            for (rank, p) in pats.iter().enumerate() {
+                let slot = Slot {
+                    entity: ei as u32,
+                    rank: rank as u32,
+                };
+                match p {
+                    SyntacticPattern::ExactPhrase(phrase) => {
+                        let needle: Vec<String> = phrase
+                            .split_whitespace()
+                            .map(|w| w.to_lowercase())
+                            .collect();
+                        if needle.is_empty() {
+                            continue;
+                        }
+                        idx.insert_phrase(&needle, slot);
+                        idx.n_phrases += 1;
+                    }
+                    SyntacticPattern::Window { kind, required } => {
+                        let mut w = CompiledWindow {
+                            slot,
+                            kind: *kind,
+                            req_flags: 0,
+                            req_ner: 0,
+                            req_sense: 0,
+                            req_vsense: 0,
+                            stems: Vec::new(),
+                            spec: required.len().min(4),
+                            contact: Vec::new(),
+                            required_ner: Vec::new(),
+                        };
+                        for f in required {
+                            match f {
+                                Feature::Cd => w.req_flags |= FLAG_CD,
+                                Feature::Jj => w.req_flags |= FLAG_JJ,
+                                Feature::Timex => w.req_flags |= FLAG_TIMEX,
+                                Feature::Geo => w.req_flags |= FLAG_GEO,
+                                Feature::Ner(c) => {
+                                    w.req_ner |= 1 << c;
+                                    w.required_ner.push(*c);
+                                    match c {
+                                        6 => w.contact.push(NerTag::Email),
+                                        7 => w.contact.push(NerTag::Phone),
+                                        _ => {}
+                                    }
+                                }
+                                Feature::Sense(s) => w.req_sense |= 1 << s,
+                                Feature::VSense(v) => w.req_vsense |= 1 << v,
+                                Feature::Stem(s) => w.stems.push(s.clone()),
+                            }
+                        }
+                        grouped.entry(Anchor::of(required)).or_default().push(w);
+                        idx.n_windows += 1;
+                    }
+                }
+            }
+        }
+        idx.groups = grouped.into_iter().collect();
+        idx.link_merged();
+        idx
+    }
+
+    fn insert_phrase(&mut self, needle: &[String], slot: Slot) {
+        let mut node = 0u32;
+        for word in needle {
+            let next = match self.nodes[node as usize]
+                .children
+                .iter()
+                .find(|e| &e.word == word)
+            {
+                Some(e) => e.node,
+                None => {
+                    let id = self.nodes.len() as u32;
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[node as usize].children.push(Edge {
+                        word: word.clone(),
+                        node: id,
+                        merged: Vec::new(),
+                    });
+                    id
+                }
+            };
+            node = next;
+        }
+        self.nodes[node as usize].terminals.push(slot);
+    }
+
+    /// Precomputes, for every edge, the concatenated two-word forms the
+    /// OCR-merge branch compares against — so the hot scan never
+    /// allocates needle-side strings.
+    fn link_merged(&mut self) {
+        for id in 0..self.nodes.len() {
+            for ei in 0..self.nodes[id].children.len() {
+                let child = self.nodes[id].children[ei].node;
+                let word = self.nodes[id].children[ei].word.clone();
+                let merged: Vec<Merged> = self.nodes[child as usize]
+                    .children
+                    .iter()
+                    .enumerate()
+                    .map(|(gi, g)| Merged {
+                        word: format!("{}{}", word, g.word),
+                        target: g.node,
+                        edge_idx: gi as u32,
+                    })
+                    .collect();
+                self.nodes[id].children[ei].merged = merged;
+            }
+        }
+    }
+
+    /// Number of entities the index was compiled over.
+    pub fn entity_count(&self) -> usize {
+        self.n_entities
+    }
+
+    /// Number of interned exact phrases.
+    pub fn phrase_count(&self) -> usize {
+        self.n_phrases
+    }
+
+    /// Number of compiled window patterns.
+    pub fn window_count(&self) -> usize {
+        self.n_windows
+    }
+
+    /// The per-entity best match within one block — observationally
+    /// identical to running the naive per-entity loops (see
+    /// [`crate::select::naive`]). Returns one slot per entity, in the
+    /// inventory's entity order.
+    pub fn block_best(&self, bt: &BlockText) -> Vec<Option<BlockBest>> {
+        let mut acc: Vec<Acc> = vec![Acc::default(); self.n_entities];
+        if !bt.is_empty() {
+            self.scan_phrases(bt, &mut acc);
+            self.scan_windows(bt, &mut acc);
+        }
+        acc.into_iter().map(Acc::into_best).collect()
+    }
+
+    /// One left-to-right pass over the block: from every start token,
+    /// walk the trie with the greedy aligner's branch order.
+    fn scan_phrases(&self, bt: &BlockText, acc: &mut [Acc]) {
+        if self.nodes[0].children.is_empty() {
+            return;
+        }
+        let norms: Vec<&str> = bt.ann.tokens.iter().map(|t| t.norm.as_str()).collect();
+        let n = norms.len();
+        // Adjacent-token rejoins for the OCR-split branch, built once
+        // per block instead of once per (phrase, position).
+        let rejoined: Vec<String> = (0..n.saturating_sub(1))
+            .map(|i| format!("{}{}", norms[i], norms[i + 1]))
+            .collect();
+        let mut stack: Vec<(usize, u32, Option<Vec<u32>>)> = Vec::new();
+        for start in 0..n {
+            stack.push((start, 0, None));
+            while let Some((i, node_id, banned)) = stack.pop() {
+                let node = &self.nodes[node_id as usize];
+                for slot in &node.terminals {
+                    update(acc, *slot, PatternMatch { start, end: i }, true, 4);
+                }
+                for (ei, edge) in node.children.iter().enumerate() {
+                    if banned.as_ref().is_some_and(|b| b.contains(&(ei as u32))) {
+                        continue;
+                    }
+                    if i < n && word_matches(norms[i], &edge.word) {
+                        // Greedy: a direct hit commits every phrase
+                        // through this edge; merge/split are fallbacks.
+                        stack.push((i + 1, edge.node, None));
+                        continue;
+                    }
+                    let mut merged_edges: Vec<u32> = Vec::new();
+                    if i < n {
+                        for m in &edge.merged {
+                            if word_matches(norms[i], &m.word) {
+                                stack.push((i + 1, m.target, None));
+                                merged_edges.push(m.edge_idx);
+                            }
+                        }
+                    }
+                    if i + 1 < n && word_matches(&rejoined[i], &edge.word) {
+                        // Phrases whose continuation already merged must
+                        // not also take the split path — per-phrase
+                        // greedy alignment tries merge before split.
+                        let b = (!merged_edges.is_empty()).then_some(merged_edges);
+                        stack.push((i + 2, edge.node, b));
+                    }
+                }
+            }
+        }
+    }
+
+    fn scan_windows(&self, bt: &BlockText, acc: &mut [Acc]) {
+        for (anchor, bucket) in &self.groups {
+            if !anchor.present_in(bt) {
+                continue;
+            }
+            for w in bucket {
+                self.eval_window(bt, w, acc);
+            }
+        }
+    }
+
+    fn eval_window(&self, bt: &BlockText, w: &CompiledWindow, acc: &mut [Acc]) {
+        // Full-requirement prefilter against the block summary — free
+        // once the masks exist, and strictly stronger than the anchor.
+        let s = &bt.features.summary;
+        if w.req_flags & s.flags != w.req_flags
+            || w.req_ner & s.ner != w.req_ner
+            || w.req_sense & s.sense != w.req_sense
+            || w.req_vsense & s.vsense != w.req_vsense
+        {
+            return;
+        }
+        let table = &bt.features;
+        match w.kind {
+            Some(k) => {
+                for (p, rep) in bt.ann.phrases.iter().zip(table.phrase_windows.iter()) {
+                    if p.kind == k {
+                        self.eval_rep(bt, w, rep, acc);
+                    }
+                }
+            }
+            None => {
+                for rep in table
+                    .ner_windows
+                    .iter()
+                    .chain(std::iter::once(&table.block_window))
+                {
+                    self.eval_rep(bt, w, rep, acc);
+                }
+            }
+        }
+    }
+
+    fn eval_rep(&self, bt: &BlockText, w: &CompiledWindow, rep: &WindowRep, acc: &mut [Acc]) {
+        let table = &bt.features;
+        {
+            if rep.end <= rep.start {
+                return;
+            }
+            if w.req_flags & rep.flags != w.req_flags
+                || w.req_ner & rep.ner != w.req_ner
+                || w.req_sense & rep.sense != w.req_sense
+                || w.req_vsense & rep.vsense != w.req_vsense
+            {
+                return;
+            }
+            if !w
+                .stems
+                .iter()
+                .all(|want| table.span_has_stem(rep.start, rep.end, want))
+            {
+                return;
+            }
+            // Post-processing identical to `SyntacticPattern::matches`:
+            // regex-class (phone/e-mail) requirements return the NER
+            // span itself; other windows extend over clipped NER spans
+            // and over required-category spans anywhere in the block.
+            if !w.contact.is_empty() {
+                let mut found = false;
+                for span in &bt.ann.ner {
+                    if w.contact.contains(&span.tag) && span.start < rep.end && span.end > rep.start
+                    {
+                        update(
+                            acc,
+                            w.slot,
+                            PatternMatch {
+                                start: span.start,
+                                end: span.end,
+                            },
+                            false,
+                            w.spec,
+                        );
+                        found = true;
+                    }
+                }
+                if found {
+                    return;
+                }
+            }
+            let (mut s2, mut e2) = (rep.start, rep.end);
+            for span in &bt.ann.ner {
+                let intersects = span.start < e2 && span.end > s2;
+                let required_tag = w.required_ner.contains(&ner_code(span.tag));
+                if intersects || required_tag {
+                    s2 = s2.min(span.start);
+                    e2 = e2.max(span.end);
+                }
+            }
+            update(
+                acc,
+                w.slot,
+                PatternMatch { start: s2, end: e2 },
+                false,
+                w.spec,
+            );
+        }
+    }
+}
+
+/// Per-entity accumulator replicating the naive loop's tie-break: a new
+/// match wins only when strictly longer, so the standing best is the
+/// maximal-length match with the lowest `(rank, start, end)`.
+#[derive(Debug, Clone, Copy, Default)]
+struct Acc {
+    best: Option<(PatternMatch, u32, bool)>,
+    spec: usize,
+}
+
+impl Acc {
+    fn into_best(self) -> Option<BlockBest> {
+        self.best.map(|(m, _, exact)| BlockBest {
+            m,
+            exact,
+            specificity: self.spec,
+        })
+    }
+}
+
+fn update(acc: &mut [Acc], slot: Slot, m: PatternMatch, exact: bool, spec: usize) {
+    let a = &mut acc[slot.entity as usize];
+    a.spec = a.spec.max(spec);
+    let len = m.end - m.start;
+    let key = (std::cmp::Reverse(len), slot.rank, m.start, m.end);
+    let better = match &a.best {
+        None => true,
+        Some((cur, cur_rank, _)) => {
+            key < (
+                std::cmp::Reverse(cur.end - cur.start),
+                *cur_rank,
+                cur.start,
+                cur.end,
+            )
+        }
+    };
+    if better {
+        a.best = Some((m, slot.rank, exact));
+    }
+}
+
+// The serving layer shares the index through the model's `Arc`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PatternIndex>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::LogicalBlock;
+    use crate::select::naive;
+    use vs2_docmodel::{BBox, Document, TextElement};
+    use vs2_nlp::hypernym::Sense;
+    use vs2_nlp::stem::stem;
+
+    fn bt(text: &str) -> (Document, BlockText) {
+        let mut d = Document::new("ix", 900.0, 50.0);
+        let mut elems = Vec::new();
+        for (i, w) in text.split_whitespace().enumerate() {
+            elems.push(d.push_text(TextElement::word(
+                w,
+                BBox::new(10.0 + 40.0 * i as f64, 10.0, 35.0, 10.0),
+            )));
+        }
+        let block = LogicalBlock {
+            bbox: BBox::new(
+                10.0,
+                10.0,
+                40.0 * text.split_whitespace().count().max(1) as f64,
+                10.0,
+            ),
+            elements: elems,
+        };
+        let bt = BlockText::build(&d, &block);
+        (d, bt)
+    }
+
+    fn assert_same_as_naive(patterns: &BTreeMap<String, Vec<SyntacticPattern>>, text: &str) {
+        let (_, b) = bt(text);
+        let index = PatternIndex::build(patterns);
+        let indexed = index.block_best(&b);
+        for (ei, pats) in patterns.values().enumerate() {
+            let expected = naive::block_best(pats, &b).map(|(m, exact, specificity)| BlockBest {
+                m,
+                exact,
+                specificity,
+            });
+            assert_eq!(indexed[ei], expected, "entity #{ei} over {text:?}");
+        }
+    }
+
+    #[test]
+    fn trie_pass_matches_all_entities_at_once() {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "a".to_string(),
+            vec![SyntacticPattern::ExactPhrase("total wages".into())],
+        );
+        m.insert(
+            "b".to_string(),
+            vec![SyntacticPattern::ExactPhrase("wages income".into())],
+        );
+        let index = PatternIndex::build(&m);
+        assert_eq!(index.phrase_count(), 2);
+        let (_, b) = bt("Total wages income due");
+        let best = index.block_best(&b);
+        assert_eq!(
+            best[0].map(|x| x.m),
+            Some(PatternMatch { start: 0, end: 2 })
+        );
+        assert_eq!(
+            best[1].map(|x| x.m),
+            Some(PatternMatch { start: 1, end: 3 })
+        );
+        assert_same_as_naive(&m, "Total wages income due");
+    }
+
+    #[test]
+    fn equal_length_overlap_resolves_by_pattern_rank() {
+        // Two patterns of one entity matching overlapping spans of equal
+        // length (tokens 0..2 and 1..3): the lower-ranked (earlier)
+        // pattern's span must win.
+        let mut m = BTreeMap::new();
+        m.insert(
+            "e".to_string(),
+            vec![
+                SyntacticPattern::ExactPhrase("wages income".into()),
+                SyntacticPattern::ExactPhrase("total wages".into()),
+            ],
+        );
+        let (_, b) = bt("Total wages income due");
+        let index = PatternIndex::build(&m);
+        let best = index.block_best(&b)[0].unwrap();
+        // Rank 0 is "wages income" → span (1, 3), even though (0, 2)
+        // starts earlier.
+        assert_eq!(best.m, PatternMatch { start: 1, end: 3 });
+        assert!(best.exact);
+        assert_eq!(best.specificity, 4);
+        assert_same_as_naive(&m, "Total wages income due");
+    }
+
+    #[test]
+    fn duplicate_phrase_registered_by_two_entities() {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "first".to_string(),
+            vec![SyntacticPattern::ExactPhrase("amount due".into())],
+        );
+        m.insert(
+            "second".to_string(),
+            vec![SyntacticPattern::ExactPhrase("amount due".into())],
+        );
+        let (_, b) = bt("Total amount due now");
+        let index = PatternIndex::build(&m);
+        let best = index.block_best(&b);
+        let expected = PatternMatch { start: 1, end: 3 };
+        assert_eq!(best[0].unwrap().m, expected);
+        assert_eq!(best[1].unwrap().m, expected);
+        assert_same_as_naive(&m, "Total amount due now");
+    }
+
+    #[test]
+    fn window_anchor_token_appearing_twice() {
+        // The stem anchor ("warehouse") appears in two separate noun
+        // phrases; the winner must be the longest window, with ties
+        // broken towards the earliest span.
+        let mut m = BTreeMap::new();
+        m.insert(
+            "e".to_string(),
+            vec![SyntacticPattern::Window {
+                kind: Some(PhraseKind::Np),
+                required: vec![Feature::Stem(stem("warehouse"))],
+            }],
+        );
+        let text = "spacious warehouse available , warehouse parking lot nearby";
+        let (_, b) = bt(text);
+        let index = PatternIndex::build(&m);
+        let naive_best = naive::block_best(&m["e"], &b).unwrap();
+        let best = index.block_best(&b)[0].unwrap();
+        assert_eq!(best.m, naive_best.0, "winning span must match naive");
+        assert_eq!(best.specificity, 1);
+        assert_same_as_naive(&m, text);
+    }
+
+    #[test]
+    fn repeated_first_token_emits_unique_spans() {
+        // Regression for the dedup hardening: a phrase whose first token
+        // repeats inside the match window must yield strictly sorted,
+        // unique spans from both matchers.
+        let p = SyntacticPattern::ExactPhrase("pay pay stub".into());
+        let (_, b) = bt("pay pay pay stub");
+        let ms = p.matches(&b);
+        let mut sorted = ms.clone();
+        crate::select::pattern::dedup_matches(&mut sorted);
+        assert_eq!(ms, sorted, "matches must be sorted and unique");
+        assert!(!ms.is_empty());
+        let mut m = BTreeMap::new();
+        m.insert("e".to_string(), vec![p]);
+        assert_same_as_naive(&m, "pay pay pay stub");
+    }
+
+    #[test]
+    fn anchor_prefilter_skips_absent_features() {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "geo".to_string(),
+            vec![SyntacticPattern::Window {
+                kind: None,
+                required: vec![Feature::Geo],
+            }],
+        );
+        m.insert(
+            "measure".to_string(),
+            vec![SyntacticPattern::Window {
+                kind: Some(PhraseKind::Np),
+                required: vec![Feature::Cd, Feature::sense(Sense::Measure)],
+            }],
+        );
+        // A block with neither geocodes nor numbers: both buckets skip.
+        assert_same_as_naive(&m, "spacious warehouse with parking");
+        // And blocks that do carry the anchors still match.
+        assert_same_as_naive(&m, "4 beds 2 baths");
+        assert_same_as_naive(&m, "1458 Maple Ave Columbus OH 43210");
+    }
+
+    #[test]
+    fn ocr_merge_and_split_branches_match_naive() {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "e".to_string(),
+            vec![SyntacticPattern::ExactPhrase("total wages income".into())],
+        );
+        // OCR merged two needle words into one token.
+        assert_same_as_naive(&m, "totalwages income due");
+        // OCR split one needle word across two tokens.
+        assert_same_as_naive(&m, "total wa ges income");
+        // Edit-one corruption.
+        assert_same_as_naive(&m, "totel wages income");
+    }
+
+    #[test]
+    fn empty_block_yields_nothing() {
+        let m: BTreeMap<String, Vec<SyntacticPattern>> = [(
+            "e".to_string(),
+            vec![SyntacticPattern::ExactPhrase("x".into())],
+        )]
+        .into_iter()
+        .collect();
+        let (_, b) = bt("");
+        let index = PatternIndex::build(&m);
+        assert_eq!(index.block_best(&b), vec![None]);
+    }
+}

@@ -1,0 +1,45 @@
+//! The naive reference matcher — the pre-index entity × pattern × block
+//! inner loop, kept verbatim.
+//!
+//! [`crate::select::index::PatternIndex`] is the production matcher; this
+//! module preserves the original semantics as an executable
+//! specification. The `select_equiv` differential suite in
+//! `vs2-conformance` proptests the two against each other, and the
+//! `select_perf` gate requires the index to be at least as fast. Nothing
+//! in the serving path calls this module.
+
+use crate::select::blocktext::BlockText;
+use crate::select::pattern::{PatternMatch, SyntacticPattern};
+
+/// The best match of one entity's pattern inventory within one block:
+/// `(winning span, came from an exact-phrase pattern, specificity of the
+/// most demanding pattern that fired)`.
+///
+/// Tie-breaking is the original loop's, bit for bit: iterate patterns in
+/// rank order, each pattern's matches in ascending `(start, end)` order,
+/// and replace the standing best only when the new match is *strictly*
+/// longer ("the most optimal matched pattern", §5.2 of the paper).
+pub fn block_best(
+    patterns: &[SyntacticPattern],
+    bt: &BlockText,
+) -> Option<(PatternMatch, bool, usize)> {
+    let mut best: Option<(PatternMatch, bool)> = None;
+    let mut specificity = 0usize;
+    for p in patterns {
+        let (exact, spec) = match p {
+            SyntacticPattern::ExactPhrase(_) => (true, 4),
+            SyntacticPattern::Window { required, .. } => (false, required.len().min(4)),
+        };
+        for m in p.matches(bt) {
+            specificity = specificity.max(spec);
+            let better = match &best {
+                None => true,
+                Some((cur, _)) => (m.end - m.start) > (cur.end - cur.start),
+            };
+            if better {
+                best = Some((m, exact));
+            }
+        }
+    }
+    best.map(|(m, exact)| (m, exact, specificity))
+}

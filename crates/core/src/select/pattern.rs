@@ -107,7 +107,7 @@ fn ner_from_str(s: &str) -> Option<NerTag> {
     })
 }
 
-fn sense_code(s: Sense) -> u8 {
+pub(crate) fn sense_code(s: Sense) -> u8 {
     match s {
         Sense::Measure => 0,
         Sense::Structure => 1,
@@ -140,7 +140,7 @@ fn sense_from_str(s: &str) -> Option<Sense> {
     })
 }
 
-fn vsense_code(v: VerbSense) -> u8 {
+pub(crate) fn vsense_code(v: VerbSense) -> u8 {
     match v {
         VerbSense::Captain => 0,
         VerbSense::Create => 1,
@@ -318,12 +318,24 @@ impl SyntacticPattern {
                         out.push(PatternMatch { start: s2, end: e2 });
                     }
                 }
-                out.sort_by_key(|m| (m.start, m.end));
-                out.dedup();
+                dedup_matches(&mut out);
                 out
             }
         }
     }
+}
+
+/// Canonicalises a match list: sorted by `(start, end)`, duplicates
+/// removed. Every matcher (the window evaluator, the naive subsequence
+/// scanner and the trie scanner in `select::index`) funnels its output
+/// through here, so span dedup lives in exactly one place. Duplicate
+/// spans arise naturally — a phone-NER span intersecting both its own
+/// NER window and the whole-block window is pushed once per window, and
+/// a phrase whose first token repeats inside the match window can be
+/// reached by more than one scan anchor.
+pub(crate) fn dedup_matches(out: &mut Vec<PatternMatch>) {
+    out.sort_by_key(|m| (m.start, m.end));
+    out.dedup();
 }
 
 /// Token-subsequence search for a normalised phrase.
@@ -380,6 +392,10 @@ fn exact_matches(bt: &BlockText, phrase: &str) -> Vec<PatternMatch> {
             out.push(PatternMatch { start: i, end });
         }
     }
+    // One scan start yields at most one span today, but the canonical
+    // sorted/unique form is part of the matcher contract (pinned by the
+    // dedup regression tests) — enforce it here, not in every caller.
+    dedup_matches(&mut out);
     out
 }
 

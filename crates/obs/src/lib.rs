@@ -46,6 +46,8 @@ pub use span::{enabled, span, SpanGuard, SpanRecord, Trace};
 /// │   │   └── vs2.segment.cluster     (only when delimiters found < 2 parts)
 /// │   └── vs2.segment.merge           (once; Eq. 1 semantic merging)
 /// ├── vs2.select                      (pattern search + disambiguation)
+/// │   ├── vs2.select.index            (block texts, feature tables, interest points)
+/// │   └── vs2.select.scan             (indexed pattern scan + scoring)
 /// └── vs2.assign                      (greedy candidate→entity assignment)
 /// ```
 pub mod stages {
@@ -65,15 +67,39 @@ pub mod stages {
     pub const MERGE: &str = "vs2.segment.merge";
     /// VS2-Select: pattern search and multimodal disambiguation.
     pub const SELECT: &str = "vs2.select";
+    /// Select preparation: block texts, per-block feature tables and
+    /// interest-point encodings.
+    pub const SELECT_INDEX: &str = "vs2.select.index";
+    /// The indexed per-block pattern scan plus candidate scoring.
+    pub const SELECT_SCAN: &str = "vs2.select.scan";
     /// Greedy joint assignment of candidates to entities.
     pub const ASSIGN: &str = "vs2.assign";
 
     /// Stages that appear exactly once per document under the default
     /// configuration (deskew and semantic merging enabled).
-    pub const ONCE_PER_DOC: &[&str] = &[EXTRACT, SEGMENT, DESKEW, MERGE, SELECT, ASSIGN];
+    pub const ONCE_PER_DOC: &[&str] = &[
+        EXTRACT,
+        SEGMENT,
+        DESKEW,
+        MERGE,
+        SELECT,
+        SELECT_INDEX,
+        SELECT_SCAN,
+        ASSIGN,
+    ];
 
     /// Every documented stage name.
     pub const ALL: &[&str] = &[
-        EXTRACT, SEGMENT, DESKEW, AREA, GRID, CLUSTER, MERGE, SELECT, ASSIGN,
+        EXTRACT,
+        SEGMENT,
+        DESKEW,
+        AREA,
+        GRID,
+        CLUSTER,
+        MERGE,
+        SELECT,
+        SELECT_INDEX,
+        SELECT_SCAN,
+        ASSIGN,
     ];
 }

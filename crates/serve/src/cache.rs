@@ -8,6 +8,12 @@
 //! share it with no locking on the hot path — the cache's mutex guards
 //! only the lookup table, and learning itself runs under a per-key
 //! `OnceLock` so two workers missing on the same key learn once.
+//!
+//! The model owns its compiled select-stage matcher
+//! ([`vs2_core::select::PatternIndex`], built inside `Vs2Model::learn`),
+//! so caching the model caches the index too: the phrase trie and the
+//! anchor-grouped window patterns are compiled exactly once per key and
+//! shared read-only by every worker's pipeline.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -229,6 +235,23 @@ mod tests {
         // The key is now warm: a poisoned builder is never invoked again.
         let cached = cache.model_with_builder(test_key(7), || panic!("no re-learning"));
         assert!(Arc::ptr_eq(&models[0], &cached));
+    }
+
+    #[test]
+    fn cached_model_shares_one_compiled_index() {
+        let cache = ModelCache::new();
+        let cfg = default_config_for(DatasetId::D2);
+        let a = cache.pipeline_for(DatasetId::D2, 5, cfg);
+        let b = cache.pipeline_for(DatasetId::D2, 5, cfg);
+        // Both pipelines hold the same model Arc, hence the same
+        // compiled PatternIndex — no per-pipeline or per-job rebuild.
+        assert!(Arc::ptr_eq(a.model(), b.model()));
+        assert!(std::ptr::eq(a.model().index(), b.model().index()));
+        // The cached index actually covers the learned inventory.
+        let n_patterns: usize = a.patterns().values().map(Vec::len).sum();
+        let index = a.model().index();
+        assert_eq!(index.entity_count(), a.patterns().len());
+        assert_eq!(index.phrase_count() + index.window_count(), n_patterns);
     }
 
     #[test]
