@@ -1,0 +1,162 @@
+//! Plan-cache serving benchmark: hit rate and end-to-end extract latency
+//! with the segmentation-plan cache on vs off, per corpus.
+//!
+//! Each dataset (the three paper corpora plus the templated serving
+//! corpus) is extracted three ways over the same documents:
+//!
+//! * **off** — the plain pipeline (`Vs2Pipeline::extract`), the
+//!   cache-off serving path;
+//! * **on/cold** — `planned_blocks` against an empty [`PlanStore`]
+//!   (every document fingerprints, misses, and captures a plan);
+//! * **on/warm** — a second pass over the same store, where templated
+//!   traffic replays validated plans.
+//!
+//! The reported hit rate is the warm pass's replay fraction. On the
+//! heterogeneous paper corpora the fingerprints rarely repeat, so the
+//! hit rate stays near zero and the warm p50 tracks the off arm — the
+//! cache is a no-op there by design. Writes `results/plan_cache.{txt,json}`.
+//!
+//! Usage: `cargo run --release -p vs2-bench --bin plan_cache [n_docs]`
+
+use std::time::Instant;
+
+use vs2_bench::{build_pipeline, dataset_docs, pct, ResultTable, RunConfig};
+use vs2_core::pipeline::{Vs2Config, Vs2Pipeline};
+use vs2_core::plan::{planned_blocks, PlanConfig, PlanStore};
+use vs2_docmodel::AnnotatedDocument;
+use vs2_eval::stats::percentile_nearest_rank;
+use vs2_synth::DatasetId;
+
+const SEED: u64 = 0xC0FFEE;
+
+/// Per-document extract latencies (µs), sorted ascending.
+fn time_docs(docs: &[AnnotatedDocument], mut extract: impl FnMut(&AnnotatedDocument)) -> Vec<u64> {
+    let mut us: Vec<u64> = docs
+        .iter()
+        .map(|ad| {
+            let started = Instant::now();
+            extract(ad);
+            started.elapsed().as_micros() as u64
+        })
+        .collect();
+    us.sort_unstable();
+    us
+}
+
+struct Arm {
+    p50_us: u64,
+    p95_us: u64,
+}
+
+fn arm(samples: &[u64]) -> Arm {
+    Arm {
+        p50_us: percentile_nearest_rank(samples, 50.0),
+        p95_us: percentile_nearest_rank(samples, 95.0),
+    }
+}
+
+struct DatasetReport {
+    dataset: DatasetId,
+    n_docs: usize,
+    hit_rate: f64,
+    off: Arm,
+    cold: Arm,
+    warm: Arm,
+}
+
+fn planned_extract(pipeline: &Vs2Pipeline, store: &PlanStore, ad: &AnnotatedDocument) {
+    let plan_cfg = PlanConfig::default();
+    let (blocks, _) = planned_blocks(&ad.doc, &pipeline.config.segment, &plan_cfg, store);
+    std::hint::black_box(pipeline.extract_on_blocks(&ad.doc, &blocks));
+}
+
+fn run(dataset: DatasetId, n_docs: usize) -> DatasetReport {
+    let pipeline = build_pipeline(dataset, SEED, Vs2Config::default());
+    let docs = dataset_docs(dataset, &RunConfig { n_docs, seed: SEED });
+
+    // Warm-up: fault in lazy pipeline state before timing anything.
+    for ad in docs.iter().take(4) {
+        std::hint::black_box(pipeline.extract(&ad.doc));
+    }
+
+    let off = time_docs(&docs, |ad| {
+        std::hint::black_box(pipeline.extract(&ad.doc));
+    });
+
+    let store = PlanStore::default();
+    let cold = time_docs(&docs, |ad| planned_extract(&pipeline, &store, ad));
+    let before = store.counters();
+    let warm = time_docs(&docs, |ad| planned_extract(&pipeline, &store, ad));
+    let after = store.counters();
+
+    DatasetReport {
+        dataset,
+        n_docs: docs.len(),
+        hit_rate: (after.hits - before.hits) as f64 / docs.len().max(1) as f64,
+        off: arm(&off),
+        cold: arm(&cold),
+        warm: arm(&warm),
+    }
+}
+
+fn main() {
+    let n_docs: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("n_docs"))
+        .unwrap_or(60);
+
+    let mut table = ResultTable::new(
+        "Plan cache — warm-pass hit rate and extract latency (µs per document)",
+        vec![
+            "dataset".into(),
+            "docs".into(),
+            "hit rate (%)".into(),
+            "off p50".into(),
+            "on/cold p50".into(),
+            "on/warm p50".into(),
+            "off p95".into(),
+            "on/warm p95".into(),
+        ],
+    );
+    table.push_note(format!(
+        "{n_docs} documents per dataset, seed {SEED:#x}; 'on' arms run \
+         planned_blocks + extract_on_blocks against one shared PlanStore \
+         (cold pass captures, warm pass replays); hit rate is the warm \
+         pass's replayed fraction"
+    ));
+
+    let mut reports = Vec::new();
+    for dataset in DatasetId::ALL.into_iter().chain([DatasetId::Templated]) {
+        let r = run(dataset, n_docs);
+        table.push_row(vec![
+            format!("{:?}", r.dataset),
+            r.n_docs.to_string(),
+            pct(r.hit_rate),
+            r.off.p50_us.to_string(),
+            r.cold.p50_us.to_string(),
+            r.warm.p50_us.to_string(),
+            r.off.p95_us.to_string(),
+            r.warm.p95_us.to_string(),
+        ]);
+        eprintln!(
+            "{:?}: hit rate {}, off p50 {}us, warm p50 {}us",
+            r.dataset,
+            pct(r.hit_rate),
+            r.off.p50_us,
+            r.warm.p50_us
+        );
+        reports.push(r);
+    }
+    println!("{}", table.render());
+    table.save("plan_cache").expect("write results/");
+
+    let templated = reports
+        .iter()
+        .find(|r| r.dataset == DatasetId::Templated)
+        .expect("templated corpus ran");
+    assert!(
+        templated.hit_rate > 0.5,
+        "warm templated traffic must mostly replay, got {}",
+        pct(templated.hit_rate)
+    );
+}

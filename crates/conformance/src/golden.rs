@@ -26,6 +26,7 @@ pub fn dataset_name(dataset: DatasetId) -> &'static str {
         DatasetId::D1 => "D1",
         DatasetId::D2 => "D2",
         DatasetId::D3 => "D3",
+        DatasetId::Templated => "Templated",
     }
 }
 

@@ -1,0 +1,90 @@
+//! Plan-cache performance gate: replaying a validated plan must beat
+//! running full segmentation on templated traffic.
+//!
+//! Both arms produce the same logical blocks (pinned by the
+//! `plan_cache` differential suite); this gate pins the point of the
+//! subsystem — that fingerprint + validate + replay is materially
+//! cheaper than deskew + XY-cut + clustering + merge. Passes are
+//! interleaved and minima compared (the most stable order statistic;
+//! same methodology as the select-stage and tracing-overhead gates).
+//! The ≥2× release gate matches the claim in EXPERIMENTS.md; debug
+//! builds only assert parity, since unoptimised atomics and bounds
+//! checks flatten the gap.
+
+use std::time::{Duration, Instant};
+
+use vs2_core::plan::{planned_blocks, PlanConfig, PlanOutcome, PlanStore};
+use vs2_core::segment::{logical_blocks, SegmentConfig};
+use vs2_synth::templated;
+
+const CORPUS: usize = 64;
+const SEED: u64 = 0xBEEF;
+
+#[test]
+fn plan_replay_is_at_least_twice_as_fast_as_full_segmentation() {
+    let seg = SegmentConfig::default();
+    let plan_cfg = PlanConfig::default();
+    let store = PlanStore::default();
+    let all: Vec<vs2_docmodel::Document> = (0..CORPUS)
+        .map(|i| templated::generate_one(i, SEED).doc)
+        .collect();
+
+    // Warm the store, then keep only the replay-eligible documents: a
+    // few per corpus estimate enough line slope from box jitter to trip
+    // the (correct) skew bypass, and the gate's claim is about replay
+    // hits. The bypass rate itself must stay marginal for the corpus to
+    // mean anything.
+    for doc in &all {
+        planned_blocks(doc, &seg, &plan_cfg, &store);
+    }
+    let docs: Vec<vs2_docmodel::Document> = all
+        .into_iter()
+        .filter(|doc| {
+            matches!(
+                planned_blocks(doc, &seg, &plan_cfg, &store).1,
+                PlanOutcome::Replayed
+            )
+        })
+        .collect();
+    assert!(
+        docs.len() * 4 >= CORPUS * 3,
+        "at least 3/4 of templated traffic must be replay-eligible, got {}/{CORPUS}",
+        docs.len()
+    );
+
+    let pass_replay = || {
+        let started = Instant::now();
+        for doc in &docs {
+            let (blocks, outcome) = planned_blocks(doc, &seg, &plan_cfg, &store);
+            assert!(matches!(outcome, PlanOutcome::Replayed));
+            std::hint::black_box(blocks);
+        }
+        started.elapsed()
+    };
+    let pass_full = || {
+        let started = Instant::now();
+        for doc in &docs {
+            std::hint::black_box(logical_blocks(doc, &seg));
+        }
+        started.elapsed()
+    };
+
+    // Warm-up: fault in lazy state before timing anything.
+    pass_replay();
+    pass_full();
+
+    let mut best_replay = Duration::MAX;
+    let mut best_full = Duration::MAX;
+    for _ in 0..5 {
+        best_full = best_full.min(pass_full());
+        best_replay = best_replay.min(pass_replay());
+    }
+
+    let required = if cfg!(debug_assertions) { 1.0 } else { 2.0 };
+    let ratio = best_full.as_secs_f64() / best_replay.as_secs_f64().max(1e-9);
+    assert!(
+        ratio >= required,
+        "plan replay must be at least {required}x faster than full segmentation on \
+         templated traffic: full {best_full:?} vs replay {best_replay:?} ({ratio:.2}x)"
+    );
+}

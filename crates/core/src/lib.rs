@@ -39,11 +39,16 @@
 #![warn(missing_docs)]
 
 pub mod pipeline;
+pub mod plan;
 pub mod segment;
 pub mod select;
 #[cfg(feature = "serde")]
 mod serde_impls;
 
 pub use pipeline::{DisambiguationMode, Extraction, Vs2Config, Vs2Model, Vs2Pipeline};
+pub use plan::{
+    planned_blocks, FingerprintConfig, LayoutFingerprint, PlanConfig, PlanCounters, PlanOutcome,
+    PlanStore, PlanStoreConfig, SegmentationPlan,
+};
 pub use segment::{logical_blocks, segment, LogicalBlock, SegmentConfig};
 pub use select::{Eq2Weights, SyntacticPattern};

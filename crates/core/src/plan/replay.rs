@@ -1,0 +1,417 @@
+//! Segmentation plans: a serialisable skeleton of one full segmentation
+//! run, replayable against a new document after a cheap validation pass.
+//!
+//! A [`SegmentationPlan`] records the layout tree produced by
+//! [`crate::segment::segment`] — every live node for the skeleton, plus
+//! the leaf partition (region, element count, mean element height) that
+//! [`crate::segment::blocks_of_tree`] would extract. Replay against a
+//! new document does **not** re-run XY-cut, clustering or semantic
+//! merging: it re-assigns the new document's elements to the recorded
+//! leaf regions and materialises fresh tight bounding boxes.
+//!
+//! Validation is deliberately strict — every check that fails falls the
+//! document back to full segmentation, so a false *reject* only costs
+//! latency while a false *accept* could change extraction output:
+//!
+//! 1. page dimensions match the recorded page;
+//! 2. the total element count matches exactly;
+//! 3. every element's centroid lies in exactly one leaf region (strict
+//!    containment first; the `cover_tolerance`-inflated region only
+//!    breaks zero-cover, and any ambiguity rejects);
+//! 4. per leaf: the assigned element count matches exactly, the tight
+//!    bbox of the assigned elements and the recorded region mutually
+//!    contain each other within `cover_tolerance`, and the mean element
+//!    height stays within `height_tolerance` (a font swap between
+//!    near-miss templates moves this even when centroids coincide).
+//!
+//! Capture-time self-validation (see [`crate::plan::planned_blocks`])
+//! additionally guarantees a plan is only ever cached if replaying it
+//! against its *own* source document reproduces the full segmentation
+//! partition bit-for-bit.
+
+use crate::segment::LogicalBlock;
+use vs2_docmodel::{BBox, Document, ElementRef, LayoutTree};
+
+use super::fingerprint::FingerprintConfig;
+
+/// Tolerances of the plan subsystem: fingerprint quantisation plus the
+/// validation slack that absorbs the OCR channel's bbox jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanConfig {
+    /// Fingerprint quantisation (the cache-key sketch).
+    pub fingerprint: FingerprintConfig,
+    /// Slack (document units) for centroid cover and bounds checks.
+    /// Must exceed the worst-case tight-bbox drift under jitter
+    /// (`1.5 ×` the per-coordinate jitter bound).
+    pub cover_tolerance: f64,
+    /// Maximum page width/height drift before a plan is rejected.
+    pub page_tolerance: f64,
+    /// Maximum drift of a leaf's mean element height.
+    pub height_tolerance: f64,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        Self {
+            fingerprint: FingerprintConfig::default(),
+            cover_tolerance: 3.0,
+            page_tolerance: 1.0,
+            height_tolerance: 2.0,
+        }
+    }
+}
+
+/// Why a cached plan refused to replay against a document. Each variant
+/// maps to one validation stage; the daemon surfaces the aggregate as
+/// the `plan_validation_rejects` counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationReject {
+    /// Page dimensions differ from the recorded page.
+    PageMismatch,
+    /// Total element count differs.
+    ElementCount,
+    /// An element's centroid fell outside every leaf region.
+    Uncovered,
+    /// An element's centroid was claimed by more than one leaf region.
+    Ambiguous,
+    /// A leaf received a different number of elements than recorded.
+    LeafCount,
+    /// A leaf's element extent drifted outside the recorded region.
+    LeafBounds,
+    /// A leaf's mean element height drifted beyond tolerance.
+    LeafHeight,
+}
+
+impl ValidationReject {
+    /// Stable kind string for logs and span tags.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ValidationReject::PageMismatch => "page_mismatch",
+            ValidationReject::ElementCount => "element_count",
+            ValidationReject::Uncovered => "uncovered",
+            ValidationReject::Ambiguous => "ambiguous",
+            ValidationReject::LeafCount => "leaf_count",
+            ValidationReject::LeafBounds => "leaf_bounds",
+            ValidationReject::LeafHeight => "leaf_height",
+        }
+    }
+}
+
+impl std::fmt::Display for ValidationReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.kind())
+    }
+}
+
+/// One node of the captured layout-tree skeleton, in live-arena order.
+/// Replay only consumes the leaves; interior nodes keep the plan a
+/// faithful, inspectable record of the cut sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    /// Depth below the root (root = 0).
+    pub depth: usize,
+    /// The node's bounding box at capture time.
+    pub bbox: BBox,
+    /// Number of elements in the node's area.
+    pub count: usize,
+    /// `true` when the node was a leaf (a logical block when non-empty).
+    pub is_leaf: bool,
+}
+
+/// One logical block of the captured partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanLeaf {
+    /// Tight bounding box of the block's elements at capture time.
+    pub region: BBox,
+    /// Exact element count of the block.
+    pub count: usize,
+    /// Mean element height of the block (font-size proxy).
+    pub mean_height: f64,
+}
+
+/// A replayable record of one full segmentation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentationPlan {
+    /// Page width at capture time.
+    pub page_w: f64,
+    /// Page height at capture time.
+    pub page_h: f64,
+    /// Total element count (sum of leaf counts).
+    pub total_elements: usize,
+    /// Layout-tree skeleton, live nodes in arena order.
+    pub nodes: Vec<PlanNode>,
+    /// The leaf partition in arena order — the order
+    /// [`crate::segment::blocks_of_tree`] emits blocks in, which the
+    /// select stage's block indexing depends on.
+    pub leaves: Vec<PlanLeaf>,
+}
+
+impl SegmentationPlan {
+    /// Captures the plan of a finished segmentation run over `doc`.
+    pub fn capture(doc: &Document, tree: &LayoutTree) -> Self {
+        let mut nodes = Vec::new();
+        let mut leaves = Vec::new();
+        let mut total = 0usize;
+        for id in tree.live_ids() {
+            let n = tree.node(id);
+            let is_leaf = n.is_leaf();
+            nodes.push(PlanNode {
+                depth: tree.depth(id),
+                bbox: n.bbox,
+                count: n.elements.len(),
+                is_leaf,
+            });
+            if is_leaf && !n.elements.is_empty() {
+                total += n.elements.len();
+                leaves.push(PlanLeaf {
+                    region: n.bbox,
+                    count: n.elements.len(),
+                    mean_height: mean_height(doc, &n.elements),
+                });
+            }
+        }
+        Self {
+            page_w: doc.width,
+            page_h: doc.height,
+            total_elements: total,
+            nodes,
+            leaves,
+        }
+    }
+
+    /// Validates the plan against `doc` and, on success, returns the
+    /// per-leaf element assignment (leaves in plan order, elements in
+    /// ascending [`ElementRef`] order).
+    pub fn validate(
+        &self,
+        doc: &Document,
+        cfg: &PlanConfig,
+    ) -> Result<Vec<Vec<ElementRef>>, ValidationReject> {
+        if (doc.width - self.page_w).abs() > cfg.page_tolerance
+            || (doc.height - self.page_h).abs() > cfg.page_tolerance
+        {
+            return Err(ValidationReject::PageMismatch);
+        }
+        let refs = doc.element_refs();
+        if refs.len() != self.total_elements {
+            return Err(ValidationReject::ElementCount);
+        }
+        let inflated: Vec<BBox> = self
+            .leaves
+            .iter()
+            .map(|l| l.region.inflate(cfg.cover_tolerance))
+            .collect();
+        let mut assignment: Vec<Vec<ElementRef>> = vec![Vec::new(); self.leaves.len()];
+        // `element_refs` yields texts then images, each in index order —
+        // already ascending in `ElementRef`'s derived ordering — so the
+        // per-leaf element lists come out sorted without an extra pass.
+        for r in refs {
+            let c = doc.bbox_of(r).centroid();
+            let mut strict = None;
+            let mut strict_n = 0usize;
+            for (i, leaf) in self.leaves.iter().enumerate() {
+                if leaf.region.contains_point(c) {
+                    strict = Some(i);
+                    strict_n += 1;
+                }
+            }
+            let owner = match strict_n {
+                1 => strict.expect("counted"),
+                0 => {
+                    let mut loose = None;
+                    let mut loose_n = 0usize;
+                    for (i, region) in inflated.iter().enumerate() {
+                        if region.contains_point(c) {
+                            loose = Some(i);
+                            loose_n += 1;
+                        }
+                    }
+                    match loose_n {
+                        1 => loose.expect("counted"),
+                        0 => return Err(ValidationReject::Uncovered),
+                        _ => return Err(ValidationReject::Ambiguous),
+                    }
+                }
+                _ => return Err(ValidationReject::Ambiguous),
+            };
+            assignment[owner].push(r);
+        }
+        for (leaf, members) in self.leaves.iter().zip(&assignment) {
+            if members.len() != leaf.count {
+                return Err(ValidationReject::LeafCount);
+            }
+            let tight = tight_bbox(doc, members);
+            if !leaf
+                .region
+                .inflate(cfg.cover_tolerance)
+                .contains_box(&tight)
+                || !tight
+                    .inflate(cfg.cover_tolerance)
+                    .contains_box(&leaf.region)
+            {
+                return Err(ValidationReject::LeafBounds);
+            }
+            if (mean_height(doc, members) - leaf.mean_height).abs() > cfg.height_tolerance {
+                return Err(ValidationReject::LeafHeight);
+            }
+        }
+        Ok(assignment)
+    }
+
+    /// Materialises the logical blocks of a validated assignment.
+    /// Bounding boxes are recomputed tight over the *new* document's
+    /// elements — exactly what a full segmentation run would produce
+    /// for the same partition, since leaf boxes are tight by
+    /// construction and box union is order-independent.
+    pub fn replay(&self, doc: &Document, assignment: &[Vec<ElementRef>]) -> Vec<LogicalBlock> {
+        assignment
+            .iter()
+            .map(|members| LogicalBlock {
+                bbox: tight_bbox(doc, members),
+                elements: members.clone(),
+            })
+            .collect()
+    }
+}
+
+fn tight_bbox(doc: &Document, elements: &[ElementRef]) -> BBox {
+    let boxes: Vec<BBox> = elements.iter().map(|r| doc.bbox_of(*r)).collect();
+    BBox::enclosing(boxes.iter()).unwrap_or_default()
+}
+
+fn mean_height(doc: &Document, elements: &[ElementRef]) -> f64 {
+    if elements.is_empty() {
+        return 0.0;
+    }
+    elements.iter().map(|r| doc.bbox_of(*r).h).sum::<f64>() / elements.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::{blocks_of_tree, segment, SegmentConfig};
+    use vs2_docmodel::TextElement;
+
+    /// Two well-separated paragraphs of three words each.
+    fn two_block_doc(jitter: f64) -> Document {
+        let mut d = Document::new("plan-test", 600.0, 800.0);
+        for (bx, by) in [(60.0, 60.0), (60.0, 400.0)] {
+            for i in 0..3 {
+                d.push_text(TextElement::word(
+                    format!("w{i}"),
+                    BBox::new(bx + i as f64 * 50.0 + jitter, by + jitter, 40.0, 12.0),
+                ));
+            }
+        }
+        d
+    }
+
+    fn captured(doc: &Document) -> (SegmentationPlan, Vec<LogicalBlock>) {
+        let cfg = SegmentConfig::default();
+        let tree = segment(doc, &cfg);
+        (SegmentationPlan::capture(doc, &tree), blocks_of_tree(&tree))
+    }
+
+    #[test]
+    fn self_replay_reproduces_the_partition() {
+        let doc = two_block_doc(0.0);
+        let (plan, blocks) = captured(&doc);
+        assert_eq!(plan.leaves.len(), blocks.len());
+        assert_eq!(plan.total_elements, 6);
+        let assignment = plan.validate(&doc, &PlanConfig::default()).expect("valid");
+        let replayed = plan.replay(&doc, &assignment);
+        assert_eq!(replayed.len(), blocks.len());
+        for (r, b) in replayed.iter().zip(&blocks) {
+            assert_eq!(r.bbox, b.bbox);
+            let mut expected = b.elements.clone();
+            expected.sort();
+            assert_eq!(r.elements, expected);
+        }
+    }
+
+    #[test]
+    fn jittered_family_member_replays() {
+        let base = two_block_doc(0.0);
+        let (plan, _) = captured(&base);
+        let shifted = two_block_doc(1.0);
+        let assignment = plan
+            .validate(&shifted, &PlanConfig::default())
+            .expect("jitter within tolerance must validate");
+        let replayed = plan.replay(&shifted, &assignment);
+        assert_eq!(replayed.len(), plan.leaves.len());
+        // Boxes are tight over the *shifted* geometry, not the recorded one.
+        assert_ne!(replayed[0].bbox, plan.leaves[0].region);
+    }
+
+    #[test]
+    fn element_count_change_rejects() {
+        let base = two_block_doc(0.0);
+        let (plan, _) = captured(&base);
+        let mut extra = two_block_doc(0.0);
+        extra.push_text(TextElement::word("x", BBox::new(300.0, 700.0, 30.0, 12.0)));
+        assert_eq!(
+            plan.validate(&extra, &PlanConfig::default()),
+            Err(ValidationReject::ElementCount)
+        );
+    }
+
+    #[test]
+    fn displaced_layout_rejects() {
+        let base = two_block_doc(0.0);
+        let (plan, _) = captured(&base);
+        let mut moved = Document::new("plan-test", 600.0, 800.0);
+        for t in &base.texts {
+            moved.push_text(TextElement::word(
+                t.text.clone(),
+                t.bbox.translate(0.0, 150.0),
+            ));
+        }
+        assert!(plan.validate(&moved, &PlanConfig::default()).is_err());
+    }
+
+    #[test]
+    fn page_resize_rejects() {
+        let base = two_block_doc(0.0);
+        let (plan, _) = captured(&base);
+        let mut resized = Document::new("plan-test", 900.0, 800.0);
+        for t in &base.texts {
+            resized.push_text(t.clone());
+        }
+        assert_eq!(
+            plan.validate(&resized, &PlanConfig::default()),
+            Err(ValidationReject::PageMismatch)
+        );
+    }
+
+    #[test]
+    fn font_swap_rejects_via_height() {
+        let base = two_block_doc(0.0);
+        let (plan, _) = captured(&base);
+        // Same centroids, moderately taller glyph boxes — a near-miss
+        // template with a different typeface scale. The 2.5-unit extent
+        // growth stays inside `cover_tolerance`, so only the mean-height
+        // check can catch it.
+        let mut swapped = Document::new("plan-test", 600.0, 800.0);
+        for t in &base.texts {
+            let c = t.bbox.centroid();
+            swapped.push_text(TextElement::word(
+                t.text.clone(),
+                BBox::new(c.x - t.bbox.w / 2.0, c.y - 8.5, t.bbox.w, 17.0),
+            ));
+        }
+        assert_eq!(
+            plan.validate(&swapped, &PlanConfig::default()),
+            Err(ValidationReject::LeafHeight)
+        );
+    }
+
+    #[test]
+    fn empty_document_round_trips() {
+        let doc = Document::new("empty", 600.0, 800.0);
+        let (plan, blocks) = captured(&doc);
+        assert!(blocks.is_empty());
+        assert_eq!(plan.total_elements, 0);
+        let assignment = plan.validate(&doc, &PlanConfig::default()).expect("valid");
+        assert!(plan.replay(&doc, &assignment).is_empty());
+    }
+}

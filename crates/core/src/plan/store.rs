@@ -1,0 +1,439 @@
+//! The bounded plan store and the cache-aware segmentation entry point.
+//!
+//! [`PlanStore`] maps [`LayoutFingerprint`]s to cached
+//! [`SegmentationPlan`]s with LRU eviction and hit/miss/reject
+//! counters. [`planned_blocks`] is the drop-in replacement for
+//! [`crate::segment::logical_blocks`] used by the serving layer when
+//! the plan cache is enabled: fingerprint → lookup → validate → replay,
+//! falling back to full segmentation (and capturing a new plan) on any
+//! miss or rejection.
+//!
+//! ## Cache-consistency invariants
+//!
+//! * **First plan wins.** A validation reject never replaces the cached
+//!   plan — an adversarial near-miss template that collides with a
+//!   family's fingerprint cannot evict or poison the family's plan by
+//!   merely arriving (it falls back to full segmentation instead).
+//! * **Self-validation before insert.** A freshly captured plan is
+//!   cached only if validating and replaying it against its *own*
+//!   source document reproduces the full-segmentation partition
+//!   exactly. Documents whose geometry defeats the validator (e.g.
+//!   overlapping blocks) are simply never cached.
+//! * **Skew bypass.** When deskew is enabled and the estimated page
+//!   skew reaches [`crate::segment::SKEW_EPSILON`], the plan path is
+//!   bypassed entirely: rotation-corrected analysis is inherently
+//!   content-dependent, so such documents always take the full path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::segment::{self, LogicalBlock, SegmentConfig};
+use vs2_docmodel::Document;
+
+use super::fingerprint::LayoutFingerprint;
+use super::replay::{PlanConfig, SegmentationPlan, ValidationReject};
+
+/// Capacity bound of a [`PlanStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStoreConfig {
+    /// Maximum number of cached plans; the least recently used plan is
+    /// evicted on overflow. A capacity of 0 disables insertion.
+    pub capacity: usize,
+}
+
+impl Default for PlanStoreConfig {
+    fn default() -> Self {
+        Self { capacity: 256 }
+    }
+}
+
+/// Counter snapshot of a [`PlanStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCounters {
+    /// Lookups that validated and replayed a cached plan.
+    pub hits: u64,
+    /// Lookups with no plan under the fingerprint.
+    pub misses: u64,
+    /// Lookups whose cached plan failed validation (full fallback).
+    pub validation_rejects: u64,
+    /// Plans admitted into the store.
+    pub inserts: u64,
+    /// Plans evicted by the LRU bound.
+    pub evictions: u64,
+    /// Documents that bypassed the plan path (page skew).
+    pub bypasses: u64,
+    /// Captured plans refused at insert (failed self-validation).
+    pub uncacheable: u64,
+}
+
+impl PlanCounters {
+    /// Accumulates `other` into `self`, field by field — used to
+    /// aggregate counters across plan namespaces.
+    pub fn add(&mut self, other: &PlanCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.validation_rejects += other.validation_rejects;
+        self.inserts += other.inserts;
+        self.evictions += other.evictions;
+        self.bypasses += other.bypasses;
+        self.uncacheable += other.uncacheable;
+    }
+}
+
+/// How [`planned_blocks`] produced its blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOutcome {
+    /// A cached plan validated and was replayed — no segmentation ran.
+    Replayed,
+    /// No plan was cached; full segmentation ran. `inserted` tells
+    /// whether the captured plan passed self-validation and was cached.
+    Miss {
+        /// `true` when the capture was admitted into the store.
+        inserted: bool,
+    },
+    /// A cached plan failed validation; full segmentation ran and the
+    /// cached plan was left untouched.
+    Rejected(ValidationReject),
+    /// The plan path was skipped (estimated skew at or above
+    /// [`crate::segment::SKEW_EPSILON`] with deskew enabled).
+    Bypassed,
+}
+
+struct Slot {
+    plan: Arc<SegmentationPlan>,
+    last_used: u64,
+}
+
+struct Inner {
+    slots: HashMap<LayoutFingerprint, Slot>,
+    clock: u64,
+}
+
+/// Bounded, thread-safe fingerprint → plan cache with LRU eviction.
+pub struct PlanStore {
+    config: PlanStoreConfig,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    validation_rejects: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    bypasses: AtomicU64,
+    uncacheable: AtomicU64,
+}
+
+impl PlanStore {
+    /// Creates an empty store with the given bound.
+    pub fn new(config: PlanStoreConfig) -> Self {
+        Self {
+            config,
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            validation_rejects: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+            uncacheable: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan store lock").slots.len()
+    }
+
+    /// `true` when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the plan under `fp`, refreshing its LRU stamp.
+    /// Does not touch the hit/miss counters — [`planned_blocks`] counts
+    /// outcomes, not raw probes.
+    pub fn lookup(&self, fp: &LayoutFingerprint) -> Option<Arc<SegmentationPlan>> {
+        let mut inner = self.inner.lock().expect("plan store lock");
+        inner.clock += 1;
+        let now = inner.clock;
+        inner.slots.get_mut(fp).map(|slot| {
+            slot.last_used = now;
+            Arc::clone(&slot.plan)
+        })
+    }
+
+    /// Inserts a plan under `fp`, evicting the least recently used
+    /// entry on overflow. Existing entries are never replaced (first
+    /// plan wins); returns `false` when the insert was skipped.
+    pub fn insert(&self, fp: LayoutFingerprint, plan: Arc<SegmentationPlan>) -> bool {
+        if self.config.capacity == 0 {
+            return false;
+        }
+        let mut inner = self.inner.lock().expect("plan store lock");
+        if inner.slots.contains_key(&fp) {
+            return false;
+        }
+        if inner.slots.len() >= self.config.capacity {
+            // O(n) victim scan: capacities are small (hundreds) and
+            // inserts only happen on cache misses that already paid for
+            // a full segmentation run.
+            if let Some(victim) = inner
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.slots.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.clock += 1;
+        let now = inner.clock;
+        inner.slots.insert(
+            fp,
+            Slot {
+                plan,
+                last_used: now,
+            },
+        );
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> PlanCounters {
+        PlanCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            validation_rejects: self.validation_rejects.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for PlanStore {
+    fn default() -> Self {
+        Self::new(PlanStoreConfig::default())
+    }
+}
+
+/// Cache-aware segmentation: the plan-path equivalent of
+/// [`crate::segment::logical_blocks`]. Returns the logical blocks plus
+/// how they were produced. Emits the `vs2.plan.*` span family; the full
+/// fallback path emits the usual `vs2.segment.*` spans unchanged.
+pub fn planned_blocks(
+    doc: &Document,
+    seg: &SegmentConfig,
+    cfg: &PlanConfig,
+    store: &PlanStore,
+) -> (Vec<LogicalBlock>, PlanOutcome) {
+    let fp = {
+        let span = vs2_obs::span(vs2_obs::stages::PLAN_FINGERPRINT);
+        if seg.deskew && segment::estimate_skew(doc).abs() >= segment::SKEW_EPSILON {
+            span.tag("bypass", 1);
+            drop(span);
+            store.bypasses.fetch_add(1, Ordering::Relaxed);
+            return (segment::logical_blocks(doc, seg), PlanOutcome::Bypassed);
+        }
+        let fp = LayoutFingerprint::compute(doc, &cfg.fingerprint);
+        span.tag("digest", fp.digest());
+        fp
+    };
+
+    if let Some(plan) = store.lookup(&fp) {
+        let validated = {
+            let _span = vs2_obs::span(vs2_obs::stages::PLAN_VALIDATE);
+            plan.validate(doc, cfg)
+        };
+        match validated {
+            Ok(assignment) => {
+                let blocks = {
+                    let span = vs2_obs::span(vs2_obs::stages::PLAN_REPLAY);
+                    span.tag("blocks", assignment.len() as u64);
+                    plan.replay(doc, &assignment)
+                };
+                store.hits.fetch_add(1, Ordering::Relaxed);
+                return (blocks, PlanOutcome::Replayed);
+            }
+            Err(reject) => {
+                store.validation_rejects.fetch_add(1, Ordering::Relaxed);
+                // First plan wins: the cached plan stays; this document
+                // pays for full segmentation and is not captured (its
+                // fingerprint slot is taken).
+                return (
+                    segment::logical_blocks(doc, seg),
+                    PlanOutcome::Rejected(reject),
+                );
+            }
+        }
+    }
+
+    store.misses.fetch_add(1, Ordering::Relaxed);
+    let tree = segment::segment(doc, seg);
+    let blocks = segment::blocks_of_tree(&tree);
+    let plan = SegmentationPlan::capture(doc, &tree);
+    let inserted = if self_replay_matches(&plan, doc, cfg, &blocks) {
+        store.insert(fp, Arc::new(plan))
+    } else {
+        store.uncacheable.fetch_add(1, Ordering::Relaxed);
+        false
+    };
+    (blocks, PlanOutcome::Miss { inserted })
+}
+
+/// Capture-time self-validation: the plan must validate against its own
+/// source document and replay the exact partition the full run
+/// produced — same leaf order, same element sets, same tight boxes.
+fn self_replay_matches(
+    plan: &SegmentationPlan,
+    doc: &Document,
+    cfg: &PlanConfig,
+    blocks: &[LogicalBlock],
+) -> bool {
+    let Ok(assignment) = plan.validate(doc, cfg) else {
+        return false;
+    };
+    let replayed = plan.replay(doc, &assignment);
+    if replayed.len() != blocks.len() {
+        return false;
+    }
+    replayed.iter().zip(blocks).all(|(r, b)| {
+        let mut expected = b.elements.clone();
+        expected.sort();
+        r.bbox == b.bbox && r.elements == expected
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_docmodel::{BBox, TextElement};
+
+    fn block_doc(id: &str, origin_y: f64) -> Document {
+        let mut d = Document::new(id, 600.0, 800.0);
+        for (bx, by) in [(60.0, origin_y), (60.0, origin_y + 300.0)] {
+            for i in 0..3 {
+                d.push_text(TextElement::word(
+                    format!("w{i}"),
+                    BBox::new(bx + i as f64 * 50.0, by, 40.0, 12.0),
+                ));
+            }
+        }
+        d
+    }
+
+    fn run(doc: &Document, store: &PlanStore) -> (Vec<LogicalBlock>, PlanOutcome) {
+        planned_blocks(
+            doc,
+            &SegmentConfig::default(),
+            &PlanConfig::default(),
+            store,
+        )
+    }
+
+    #[test]
+    fn miss_then_hit_produces_identical_blocks() {
+        let store = PlanStore::default();
+        let doc = block_doc("a", 60.0);
+        let (cold, o1) = run(&doc, &store);
+        assert_eq!(o1, PlanOutcome::Miss { inserted: true });
+        let (warm, o2) = run(&doc, &store);
+        assert_eq!(o2, PlanOutcome::Replayed);
+        assert_eq!(cold.len(), warm.len());
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.bbox, w.bbox);
+            let mut ce = c.elements.clone();
+            ce.sort();
+            assert_eq!(ce, w.elements);
+        }
+        let counters = store.counters();
+        assert_eq!(counters.misses, 1);
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.inserts, 1);
+    }
+
+    #[test]
+    fn different_layouts_do_not_share_plans() {
+        let store = PlanStore::default();
+        let (_, o1) = run(&block_doc("a", 60.0), &store);
+        assert_eq!(o1, PlanOutcome::Miss { inserted: true });
+        let (_, o2) = run(&block_doc("b", 200.0), &store);
+        // Shifted layout → different fingerprint → its own plan.
+        assert_eq!(o2, PlanOutcome::Miss { inserted: true });
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order_is_pinned() {
+        let store = PlanStore::new(PlanStoreConfig { capacity: 2 });
+        let a = block_doc("a", 40.0);
+        let b = block_doc("b", 120.0);
+        let c = block_doc("c", 200.0);
+        run(&a, &store);
+        run(&b, &store);
+        run(&a, &store); // refresh a: b is now least recently used
+        run(&c, &store); // evicts b
+        assert_eq!(store.counters().evictions, 1);
+        assert_eq!(run(&a, &store).1, PlanOutcome::Replayed);
+        assert_eq!(run(&c, &store).1, PlanOutcome::Replayed);
+        assert!(matches!(run(&b, &store).1, PlanOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn zero_capacity_disables_insertion() {
+        let store = PlanStore::new(PlanStoreConfig { capacity: 0 });
+        let doc = block_doc("a", 60.0);
+        let (_, o) = run(&doc, &store);
+        assert_eq!(o, PlanOutcome::Miss { inserted: false });
+        assert!(store.is_empty());
+        assert!(matches!(run(&doc, &store).1, PlanOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn first_plan_wins_on_reject() {
+        let store = PlanStore::default();
+        let doc = block_doc("a", 60.0);
+        run(&doc, &store);
+        // Same fingerprint cell occupancy but one extra element →
+        // ElementCount reject; the cached plan must survive.
+        let mut collider = block_doc("a", 60.0);
+        collider.push_text(TextElement::word("x", BBox::new(62.0, 62.0, 10.0, 10.0)));
+        let (_, o) = run(&collider, &store);
+        if let PlanOutcome::Rejected(_) = o {
+            // Reject path: the original family still replays.
+            assert_eq!(run(&doc, &store).1, PlanOutcome::Replayed);
+        } else {
+            // The extra element changed the fingerprint — also fine,
+            // but the original plan must still be intact.
+            assert_eq!(run(&doc, &store).1, PlanOutcome::Replayed);
+        }
+    }
+
+    #[test]
+    fn skewed_documents_bypass() {
+        // A visibly rotated multi-line doc: lines with a consistent slope.
+        let mut d = Document::new("skewed", 600.0, 800.0);
+        for line in 0..6 {
+            for i in 0..8 {
+                let x = 40.0 + i as f64 * 60.0;
+                let y = 80.0 + line as f64 * 60.0 + x * 0.02;
+                d.push_text(TextElement::word(
+                    format!("w{line}{i}"),
+                    BBox::new(x, y, 40.0, 12.0),
+                ));
+            }
+        }
+        assert!(crate::segment::estimate_skew(&d).abs() >= crate::segment::SKEW_EPSILON);
+        let store = PlanStore::default();
+        let (_, o) = run(&d, &store);
+        assert_eq!(o, PlanOutcome::Bypassed);
+        assert!(store.is_empty());
+        assert_eq!(store.counters().bypasses, 1);
+    }
+}

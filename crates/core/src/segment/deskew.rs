@@ -16,6 +16,11 @@ use vs2_docmodel::{BBox, Document, Point};
 /// Minimum words on a line for its slope to vote.
 const MIN_LINE_WORDS: usize = 3;
 
+/// Skew angles below this magnitude (radians) are treated as noise: the
+/// segmenter analyses the raw geometry without rotating, and the plan
+/// cache considers the document un-skewed.
+pub const SKEW_EPSILON: f64 = 0.005;
+
 /// Estimates the page skew in radians (positive = clockwise text flow).
 /// Returns 0.0 when too few usable lines exist.
 pub fn estimate_skew(doc: &Document) -> f64 {

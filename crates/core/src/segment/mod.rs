@@ -15,6 +15,6 @@ pub mod segmenter;
 pub use cluster::ClusterConfig;
 pub use cuts::{all_runs, cut_runs, horizontal_cuts, vertical_cuts, CutRun};
 pub use delimiter::{correlation_profile, pearson, select_delimiters, DelimiterConfig, ScoredRun};
-pub use deskew::{deskew, estimate_skew, rotate_elements};
+pub use deskew::{deskew, estimate_skew, rotate_elements, SKEW_EPSILON};
 pub use merge::{semantic_merge, theta, MergeConfig};
 pub use segmenter::{blocks_of_tree, logical_blocks, segment, LogicalBlock, SegmentConfig};

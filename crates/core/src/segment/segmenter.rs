@@ -211,7 +211,7 @@ pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
     if config.deskew {
         let deskew_span = vs2_obs::span(vs2_obs::stages::DESKEW);
         let angle = crate::segment::deskew::estimate_skew(doc);
-        if angle.abs() >= 0.005 {
+        if angle.abs() >= crate::segment::deskew::SKEW_EPSILON {
             let straightened = crate::segment::deskew::rotate_elements(doc, angle);
             drop(deskew_span);
             let mut cfg = *config;

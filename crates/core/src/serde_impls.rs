@@ -3,6 +3,8 @@
 //! JSON, which the serving layer (`vs2-serve`) relies on.
 
 use crate::pipeline::{DisambiguationMode, Extraction, Vs2Config};
+use crate::plan::fingerprint::{FingerprintConfig, LayoutFingerprint};
+use crate::plan::replay::{PlanConfig, PlanLeaf, PlanNode, SegmentationPlan, ValidationReject};
 use crate::segment::cluster::ClusterConfig;
 use crate::segment::delimiter::DelimiterConfig;
 use crate::segment::merge::MergeConfig;
@@ -71,6 +73,51 @@ serde::impl_serde_struct!(Extraction {
     span_bbox,
     score
 });
+serde::impl_serde_struct!(FingerprintConfig {
+    grid_cols,
+    grid_rows,
+    page_quantum
+});
+serde::impl_serde_struct!(LayoutFingerprint {
+    page_w_q,
+    page_h_q,
+    n_texts,
+    n_images,
+    cells
+});
+serde::impl_serde_struct!(PlanConfig {
+    fingerprint,
+    cover_tolerance,
+    page_tolerance,
+    height_tolerance
+});
+serde::impl_serde_struct!(PlanNode {
+    depth,
+    bbox,
+    count,
+    is_leaf
+});
+serde::impl_serde_struct!(PlanLeaf {
+    region,
+    count,
+    mean_height
+});
+serde::impl_serde_struct!(SegmentationPlan {
+    page_w,
+    page_h,
+    total_elements,
+    nodes,
+    leaves
+});
+serde::impl_serde_unit_enum!(ValidationReject {
+    PageMismatch,
+    ElementCount,
+    Uncovered,
+    Ambiguous,
+    LeafCount,
+    LeafBounds,
+    LeafHeight
+});
 
 #[cfg(test)]
 mod tests {
@@ -107,6 +154,33 @@ mod tests {
         assert_eq!(back.weights, Eq2Weights::visual_heavy());
         assert_eq!(back.segment.max_depth, 3);
         assert_eq!(back.segment.delimiter.min_drop, 2.5);
+    }
+
+    #[test]
+    fn segmentation_plan_round_trips() {
+        use vs2_docmodel::{BBox, Document, TextElement};
+        let mut doc = Document::new("roundtrip", 600.0, 800.0);
+        for (bx, by) in [(60.0, 60.0), (60.0, 400.0)] {
+            for i in 0..3 {
+                doc.push_text(TextElement::word(
+                    format!("w{i}"),
+                    BBox::new(bx + i as f64 * 50.0, by, 40.0, 12.0),
+                ));
+            }
+        }
+        let tree = crate::segment::segment(&doc, &crate::segment::SegmentConfig::default());
+        let plan = SegmentationPlan::capture(&doc, &tree);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: SegmentationPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        let fp = LayoutFingerprint::compute(&doc, &FingerprintConfig::default());
+        let fp_back: LayoutFingerprint =
+            serde_json::from_str(&serde_json::to_string(&fp).unwrap()).unwrap();
+        assert_eq!(fp_back, fp);
+        let rej: ValidationReject =
+            serde_json::from_str(&serde_json::to_string(&ValidationReject::LeafBounds).unwrap())
+                .unwrap();
+        assert_eq!(rej, ValidationReject::LeafBounds);
     }
 
     #[test]

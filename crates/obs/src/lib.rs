@@ -50,6 +50,15 @@ pub use span::{enabled, span, SpanGuard, SpanRecord, Trace};
 /// │   └── vs2.select.scan             (indexed pattern scan + scoring)
 /// └── vs2.assign                      (greedy candidate→entity assignment)
 /// ```
+///
+/// With the plan cache enabled (`vs2-serve --plan-cache`) the segment
+/// subtree is preceded by the plan family, nested under `vs2.extract`:
+///
+/// ```text
+/// vs2.plan.fingerprint                (quantised layout sketch; lookup key)
+/// vs2.plan.validate                   (cache hit only; cover/bounds checks)
+/// vs2.plan.replay                     (validation passed; replaces vs2.segment)
+/// ```
 pub mod stages {
     /// Root span of one document's extraction.
     pub const EXTRACT: &str = "vs2.extract";
@@ -74,6 +83,15 @@ pub mod stages {
     pub const SELECT_SCAN: &str = "vs2.select.scan";
     /// Greedy joint assignment of candidates to entities.
     pub const ASSIGN: &str = "vs2.assign";
+    /// Layout-fingerprint computation over the raw element geometry
+    /// (plan-cache lookup key; emitted before segmentation).
+    pub const PLAN_FINGERPRINT: &str = "vs2.plan.fingerprint";
+    /// Validation of a cached segmentation plan against the incoming
+    /// document (element cover, bounds and count checks).
+    pub const PLAN_VALIDATE: &str = "vs2.plan.validate";
+    /// Replay of a validated plan: block materialisation without a full
+    /// segmentation pass.
+    pub const PLAN_REPLAY: &str = "vs2.plan.replay";
 
     /// Stages that appear exactly once per document under the default
     /// configuration (deskew and semantic merging enabled).
@@ -101,5 +119,8 @@ pub mod stages {
         SELECT_INDEX,
         SELECT_SCAN,
         ASSIGN,
+        PLAN_FINGERPRINT,
+        PLAN_VALIDATE,
+        PLAN_REPLAY,
     ];
 }

@@ -24,6 +24,10 @@ pub struct BatchOptions {
     /// and quarantine lines. Off by default so output is byte-stable
     /// across runs and worker counts.
     pub include_latency: bool,
+    /// End the batch with the `{"record":"metrics",...}` tail even when
+    /// tracing is off. Requires the service to have an [`crate::obs::ObsHub`];
+    /// without one the flag is a no-op. Tracing implies the tail.
+    pub emit_metrics: bool,
 }
 
 /// What the result emitter must produce for one input line, in order.
@@ -62,6 +66,7 @@ pub fn run_batch(
     opts: &BatchOptions,
 ) -> BatchRun {
     let include_latency = opts.include_latency;
+    let emit_metrics = opts.emit_metrics;
     let (fate_tx, fate_rx) = mpsc::channel::<LineFate>();
     let mut invalid = 0u64;
     let (latencies, job_ids) = std::thread::scope(|scope| {
@@ -151,8 +156,9 @@ pub fn run_batch(
                 let line = serde_json::to_string(&record).expect("record serialises");
                 writeln!(out, "{line}").expect("write output");
             }
-            if let Some(hub) = &trace_hub {
-                for line in hub.metrics_lines(service.cache_counters()) {
+            let metrics_hub = service.obs().filter(|h| h.trace_enabled() || emit_metrics);
+            if let Some(hub) = metrics_hub {
+                for line in hub.metrics_lines(&service.cache_snapshot()) {
                     writeln!(out, "{line}").expect("write output");
                 }
             }
@@ -329,6 +335,7 @@ mod tests {
             &mut with_latency,
             &BatchOptions {
                 include_latency: true,
+                ..BatchOptions::default()
             },
         );
         let plain = String::from_utf8(plain).unwrap();

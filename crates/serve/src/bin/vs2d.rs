@@ -51,6 +51,11 @@ USAGE: vs2d [OPTIONS]
   --trace              interleave {\"record\":\"span\",...} lines after each
                        result and end the batch with {\"record\":\"metrics\",...}
                        lines (off by default; see README `Observability`)
+  --metrics            end the batch with the {\"record\":\"metrics\",...}
+                       tail only, without per-job span lines
+  --plan-cache         reuse validated segmentation plans across documents
+                       that share a layout fingerprint (identical output,
+                       faster on templated traffic; see README `Plan cache`)
   --summary-json PATH  also write the shutdown summary as JSON
 ";
 
@@ -65,6 +70,8 @@ struct Options {
     config_path: Option<String>,
     latency: bool,
     trace: bool,
+    metrics: bool,
+    plan_cache: bool,
     summary_json: Option<String>,
 }
 
@@ -81,6 +88,8 @@ impl Default for Options {
             config_path: None,
             latency: false,
             trace: false,
+            metrics: false,
+            plan_cache: false,
             summary_json: None,
         }
     }
@@ -139,6 +148,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             "--config" => opts.config_path = Some(value("--config")?),
             "--latency" => opts.latency = true,
             "--trace" => opts.trace = true,
+            "--metrics" => opts.metrics = true,
+            "--plan-cache" => opts.plan_cache = true,
             "--summary-json" => opts.summary_json = Some(value("--summary-json")?),
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -185,12 +196,15 @@ fn main() {
         },
         faults: opts.fault_seed.map(FaultPlan::chaos),
     };
-    let service = if opts.trace {
-        let hub = vs2_serve::ObsHub::new(true, opts.workers);
-        ExtractService::with_obs(engine_config, opts.model_seed, config, hub)
-    } else {
-        ExtractService::new(engine_config, opts.model_seed, config)
+    let options = vs2_serve::ServiceOptions {
+        plan_cache: opts.plan_cache,
     };
+    // `--metrics` needs a hub for the metrics tail; `--trace` needs one
+    // with span capture on top.
+    let hub =
+        (opts.trace || opts.metrics).then(|| vs2_serve::ObsHub::new(opts.trace, opts.workers));
+    let service =
+        ExtractService::with_options(engine_config, opts.model_seed, config, options, hub);
 
     let started = Instant::now();
     let run = run_batch(
@@ -199,12 +213,14 @@ fn main() {
         std::io::BufWriter::new(std::io::stdout()),
         &BatchOptions {
             include_latency: opts.latency,
+            emit_metrics: opts.metrics,
         },
     );
     let wall = started.elapsed();
 
     let stats = service.stats();
     let (cache_hits, cache_misses) = service.cache_counters();
+    let cache_snapshot = service.cache_snapshot();
     service.shutdown();
 
     let lat = vs2_serve::LatencySummary::from_latencies(&run.latencies);
@@ -236,6 +252,13 @@ fn main() {
         cache_hits,
         opts.workers,
     );
+    if opts.plan_cache {
+        let p = cache_snapshot.plans;
+        eprintln!(
+            "vs2d: plan cache {} hit, {} miss, {} rejected, {} bypassed | {} inserted, {} evicted, {} uncacheable",
+            p.hits, p.misses, p.validation_rejects, p.bypasses, p.inserts, p.evictions, p.uncacheable,
+        );
+    }
     if let Some(path) = &opts.summary_json {
         let summary = serde::Value::Object(vec![
             ("workers".into(), serde::Value::UInt(opts.workers as u64)),
@@ -262,6 +285,22 @@ fn main() {
             ),
             ("cache_misses".into(), serde::Value::UInt(cache_misses)),
             ("cache_hits".into(), serde::Value::UInt(cache_hits)),
+            (
+                "plan_cache_hits".into(),
+                serde::Value::UInt(cache_snapshot.plans.hits),
+            ),
+            (
+                "plan_cache_misses".into(),
+                serde::Value::UInt(cache_snapshot.plans.misses),
+            ),
+            (
+                "plan_cache_rejects".into(),
+                serde::Value::UInt(cache_snapshot.plans.validation_rejects),
+            ),
+            (
+                "plan_cache_bypasses".into(),
+                serde::Value::UInt(cache_snapshot.plans.bypasses),
+            ),
         ]);
         if let Err(e) = std::fs::write(
             path,

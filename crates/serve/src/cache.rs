@@ -1,5 +1,6 @@
-//! The shared model cache: learn a dataset's pattern inventory once,
-//! share it read-only across every worker via `Arc`.
+//! The shared two-level model + plan cache: learn a dataset's pattern
+//! inventory once, share it read-only across every worker via `Arc`,
+//! and hang a per-model segmentation-plan namespace off each slot.
 //!
 //! Pattern mining over the holdout corpus dominates cold-start cost; a
 //! batch of ten thousand jobs against the same dataset must pay it once,
@@ -14,15 +15,31 @@
 //! so caching the model caches the index too: the phrase trie and the
 //! anchor-grouped window patterns are compiled exactly once per key and
 //! shared read-only by every worker's pipeline.
-
+//!
+//! ## Two levels
+//!
+//! The outer level maps `(dataset, model seed, learn config)` to a
+//! model slot; the inner level is each slot's [`PlanStore`] — the
+//! segmentation-plan cache of `vs2_core::plan`, namespaced per model so
+//! plans learned while serving one dataset/configuration can never be
+//! replayed under another. The outer level is bounded: at most
+//! [`ModelCache::capacity`] slots live at once, and the least recently
+//! used slot is evicted on overflow, dropping its plan namespace with
+//! it (plans are derived state and are simply re-captured on demand).
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use vs2_core::pipeline::{Vs2Config, Vs2Pipeline};
+use vs2_core::plan::{PlanCounters, PlanStore};
 use vs2_core::select::Eq2Weights;
 use vs2_core::Vs2Model;
 use vs2_synth::dataset::{holdout_corpus, DatasetId};
+
+/// Default bound on live model slots. Model keys are coarse (dataset ×
+/// seed × learn config) and models are large, so a small bound covers
+/// realistic serving mixes while capping memory.
+pub const DEFAULT_MODEL_CAPACITY: usize = 8;
 
 /// Per-dataset Eq. 2 weights, following §5.3.2 (mirrors the bench
 /// harness: visually ornate posters weight the visual modality up).
@@ -51,19 +68,122 @@ struct CacheKey {
     learn: String,
 }
 
+/// One model slot: the learn-once cell plus the slot's plan namespace.
+struct Entry {
+    model: Arc<OnceLock<Arc<Vs2Model>>>,
+    plans: Arc<PlanStore>,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<CacheKey, Entry>,
+    clock: u64,
+}
+
+/// Counter snapshot of the full two-level cache, for summaries and the
+/// `{"record":"metrics",...}` tail.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Model lookups served from a warm slot.
+    pub model_hits: u64,
+    /// Model lookups that had to learn (or wait on a learner).
+    pub model_misses: u64,
+    /// Model slots evicted by the LRU bound.
+    pub model_evictions: u64,
+    /// Aggregated plan counters over all *live* slots. Evicted slots
+    /// take their counters with them, so these are a floor, not a
+    /// lifetime total.
+    pub plans: PlanCounters,
+}
+
 /// Learn-once, extract-many cache of [`Vs2Model`]s keyed by
-/// `(dataset, model seed, learn config)`.
-#[derive(Default)]
+/// `(dataset, model seed, learn config)`, bounded by an LRU policy,
+/// with a [`PlanStore`] namespace per slot.
 pub struct ModelCache {
-    entries: Mutex<HashMap<CacheKey, Arc<OnceLock<Arc<Vs2Model>>>>>,
+    capacity: usize,
+    inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_MODEL_CAPACITY)
+    }
 }
 
 impl ModelCache {
-    /// An empty cache.
+    /// An empty cache with the default slot bound.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache bounded to `capacity` model slots (clamped to at
+    /// least 1 — a model cache that cannot hold a model cannot serve).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The slot bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live model slots.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// `true` when no slots are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves the slot for `key`, refreshing its LRU stamp; creates it
+    /// (evicting the least recently used slot on overflow) when absent.
+    /// Eviction drops the victim's plan namespace along with its model —
+    /// both are derived state and rebuild on demand. A learner holding
+    /// the evicted `OnceLock` finishes unharmed; the cache just no
+    /// longer remembers the result.
+    fn entry(&self, key: &CacheKey) -> (Arc<OnceLock<Arc<Vs2Model>>>, Arc<PlanStore>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some(e) = inner.entries.get_mut(key) {
+            e.last_used = now;
+            return (Arc::clone(&e.model), Arc::clone(&e.plans));
+        }
+        if inner.entries.len() >= self.capacity {
+            // O(n) victim scan: the bound is small and slot creation is
+            // rare (once per dataset × seed × config).
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let entry = Entry {
+            model: Arc::default(),
+            plans: Arc::new(PlanStore::default()),
+            last_used: now,
+        };
+        let out = (Arc::clone(&entry.model), Arc::clone(&entry.plans));
+        inner.entries.insert(key.clone(), entry);
+        out
     }
 
     /// Returns the learned model for `(dataset, model_seed)`, learning it
@@ -78,11 +198,7 @@ impl ModelCache {
         model_seed: u64,
         config: &Vs2Config,
     ) -> Arc<Vs2Model> {
-        let key = CacheKey {
-            dataset,
-            model_seed,
-            learn: serde_json::to_string(&config.learn).expect("learn config serialises"),
-        };
+        let key = Self::key(dataset, model_seed, config);
         self.model_with_builder(key, || {
             let corpus = holdout_corpus(dataset, model_seed ^ 0x4001);
             let entries: Vec<(String, String, String)> = corpus
@@ -99,6 +215,27 @@ impl ModelCache {
         })
     }
 
+    /// The plan namespace of `(dataset, model_seed, config)`'s slot —
+    /// the second cache level. Creating the slot does *not* learn the
+    /// model; the namespace is shared with [`ModelCache::model_for`]'s
+    /// slot for the same key and dies with it on eviction.
+    pub fn plan_store_for(
+        &self,
+        dataset: DatasetId,
+        model_seed: u64,
+        config: &Vs2Config,
+    ) -> Arc<PlanStore> {
+        self.entry(&Self::key(dataset, model_seed, config)).1
+    }
+
+    fn key(dataset: DatasetId, model_seed: u64, config: &Vs2Config) -> CacheKey {
+        CacheKey {
+            dataset,
+            model_seed,
+            learn: serde_json::to_string(&config.learn).expect("learn config serialises"),
+        }
+    }
+
     /// Lookup/learn with an injectable builder — the seam that lets
     /// tests drive the cache with panicking builders. A builder panic
     /// propagates to the caller but must not wedge the slot: the
@@ -108,10 +245,7 @@ impl ModelCache {
     where
         F: FnOnce() -> Arc<Vs2Model>,
     {
-        let slot = {
-            let mut entries = self.entries.lock().unwrap();
-            Arc::clone(entries.entry(key).or_default())
-        };
+        let (slot, _plans) = self.entry(&key);
         if let Some(model) = slot.get() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(model);
@@ -137,6 +271,32 @@ impl ModelCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Model slots evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Plan counters aggregated over all live slots (evicted slots drop
+    /// their counters).
+    pub fn plan_counters(&self) -> PlanCounters {
+        let inner = self.inner.lock().unwrap();
+        let mut total = PlanCounters::default();
+        for e in inner.entries.values() {
+            total.add(&e.plans.counters());
+        }
+        total
+    }
+
+    /// Full counter snapshot of both cache levels.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            model_hits: self.hits.load(Ordering::Relaxed),
+            model_misses: self.misses.load(Ordering::Relaxed),
+            model_evictions: self.evictions.load(Ordering::Relaxed),
+            plans: self.plan_counters(),
+        }
     }
 }
 
@@ -235,6 +395,87 @@ mod tests {
         // The key is now warm: a poisoned builder is never invoked again.
         let cached = cache.model_with_builder(test_key(7), || panic!("no re-learning"));
         assert!(Arc::ptr_eq(&models[0], &cached));
+    }
+
+    #[test]
+    fn lru_eviction_order_is_pinned() {
+        let cache = ModelCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        cache.model_with_builder(test_key(1), tiny_model);
+        cache.model_with_builder(test_key(2), tiny_model);
+        // Refresh key 1: key 2 becomes the LRU victim.
+        cache.model_with_builder(test_key(1), || panic!("key 1 must be warm"));
+        cache.model_with_builder(test_key(3), tiny_model);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        // Keys 1 and 3 survived; key 2 must re-learn.
+        cache.model_with_builder(test_key(1), || panic!("key 1 was evicted"));
+        cache.model_with_builder(test_key(3), || panic!("key 3 was evicted"));
+        let relearned = std::sync::atomic::AtomicBool::new(false);
+        cache.model_with_builder(test_key(2), || {
+            relearned.store(true, Ordering::Relaxed);
+            tiny_model()
+        });
+        assert!(
+            relearned.load(Ordering::Relaxed),
+            "key 2 must have been evicted"
+        );
+        assert_eq!(
+            cache.evictions(),
+            2,
+            "re-admitting key 2 evicts another slot"
+        );
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let cache = ModelCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.model_with_builder(test_key(1), tiny_model);
+        cache.model_with_builder(test_key(1), || panic!("single slot must hold"));
+    }
+
+    #[test]
+    fn eviction_drops_the_plan_namespace() {
+        let cache = ModelCache::with_capacity(1);
+        let cfg = default_config_for(DatasetId::D1);
+        let plans_a = cache.plan_store_for(DatasetId::D1, 1, &cfg);
+        let again = cache.plan_store_for(DatasetId::D1, 1, &cfg);
+        assert!(Arc::ptr_eq(&plans_a, &again), "same slot, same namespace");
+        // A second key evicts the first slot and its namespace.
+        let _plans_b = cache.plan_store_for(DatasetId::D1, 2, &cfg);
+        assert_eq!(cache.evictions(), 1);
+        let fresh = cache.plan_store_for(DatasetId::D1, 1, &cfg);
+        assert!(
+            !Arc::ptr_eq(&plans_a, &fresh),
+            "an evicted namespace must not resurrect"
+        );
+        assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn snapshot_aggregates_live_plan_counters() {
+        let cache = ModelCache::new();
+        let cfg = default_config_for(DatasetId::D1);
+        let plans = cache.plan_store_for(DatasetId::D1, 1, &cfg);
+        // Drive one miss through the namespace so a counter moves.
+        let mut doc = vs2_docmodel::Document::new("snap", 600.0, 800.0);
+        for i in 0..3 {
+            doc.push_text(vs2_docmodel::TextElement::word(
+                format!("w{i}"),
+                vs2_docmodel::BBox::new(60.0 + i as f64 * 50.0, 60.0, 40.0, 12.0),
+            ));
+        }
+        vs2_core::plan::planned_blocks(
+            &doc,
+            &vs2_core::segment::SegmentConfig::default(),
+            &vs2_core::plan::PlanConfig::default(),
+            &plans,
+        );
+        let snap = cache.snapshot();
+        assert_eq!(snap.plans.misses, 1);
+        assert_eq!(snap.plans.inserts, 1);
+        assert_eq!(snap.model_evictions, 0);
     }
 
     #[test]

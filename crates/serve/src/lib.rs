@@ -60,7 +60,7 @@ pub mod retry;
 pub mod service;
 
 pub use batch::{run_batch, BatchOptions, BatchRun};
-pub use cache::{default_config_for, weights_for, ModelCache};
+pub use cache::{default_config_for, weights_for, CacheSnapshot, ModelCache};
 pub use engine::{BatchEngine, Completed, EngineConfig, EngineStats, JobCtx, JobOutcome};
 pub use error::{QuarantineEntry, ServeError};
 pub use faults::{FaultKind, FaultPlan, FaultSite};
@@ -68,4 +68,4 @@ pub use job::{JobResult, JobSource, JobSpec, JobStatus, QuarantineRecord, DEFAUL
 pub use obs::{EngineMetrics, ObsHub};
 pub use queue::{BoundedQueue, PushError};
 pub use retry::RetryPolicy;
-pub use service::{ExtractService, LatencySummary};
+pub use service::{ExtractService, LatencySummary, ServiceOptions};

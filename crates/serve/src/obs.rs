@@ -15,9 +15,11 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use vs2_core::plan::PlanOutcome;
 use vs2_obs::export::{counter_json, histogram_json};
 use vs2_obs::{CounterId, HistogramId, MetricsRegistry, MetricsSpec, SpanRecord};
 
+use crate::cache::CacheSnapshot;
 use crate::faults::FaultSite;
 
 /// Micros of a duration, saturating into `u64`.
@@ -40,6 +42,10 @@ pub struct EngineMetrics {
     faults_model_build: CounterId,
     faults_segment: CounterId,
     faults_select: CounterId,
+    plan_replayed: CounterId,
+    plan_missed: CounterId,
+    plan_rejected: CounterId,
+    plan_bypassed: CounterId,
 }
 
 impl EngineMetrics {
@@ -56,6 +62,10 @@ impl EngineMetrics {
         let faults_model_build = spec.counter("faults_model_build");
         let faults_segment = spec.counter("faults_segment");
         let faults_select = spec.counter("faults_select");
+        let plan_replayed = spec.counter("plan_replayed");
+        let plan_missed = spec.counter("plan_missed");
+        let plan_rejected = spec.counter("plan_rejected");
+        let plan_bypassed = spec.counter("plan_bypassed");
         let queue_dwell_us = spec.histogram("queue_dwell_us");
         let job_latency_us = spec.histogram("job_latency_us");
         Self {
@@ -71,6 +81,10 @@ impl EngineMetrics {
             faults_model_build,
             faults_segment,
             faults_select,
+            plan_replayed,
+            plan_missed,
+            plan_rejected,
+            plan_bypassed,
         }
     }
 
@@ -121,6 +135,17 @@ impl EngineMetrics {
     pub fn on_quarantined(&self, seq: u64) {
         self.registry
             .counter_add(seq as usize, self.jobs_quarantined, 1);
+    }
+
+    /// The plan cache decided how a job's segmentation ran.
+    pub fn on_plan_outcome(&self, seq: u64, outcome: &PlanOutcome) {
+        let id = match outcome {
+            PlanOutcome::Replayed => self.plan_replayed,
+            PlanOutcome::Miss { .. } => self.plan_missed,
+            PlanOutcome::Rejected(_) => self.plan_rejected,
+            PlanOutcome::Bypassed => self.plan_bypassed,
+        };
+        self.registry.counter_add(seq as usize, id, 1);
     }
 
     /// An injected fault fired at `site`.
@@ -179,16 +204,27 @@ impl ObsHub {
 
     /// Renders the current metrics as `{"record":"metrics",...}` JSONL
     /// lines: every declared counter and histogram in declaration order,
-    /// plus the model cache's `(hits, misses)` counters.
-    pub fn metrics_lines(&self, cache_counters: (u64, u64)) -> Vec<String> {
+    /// plus both levels of the model + plan cache's counters.
+    pub fn metrics_lines(&self, cache: &CacheSnapshot) -> Vec<String> {
         let reg = self.metrics.registry();
         let mut lines = Vec::new();
         for (name, total) in reg.counters() {
             lines.push(counter_json(name, total));
         }
-        let (hits, misses) = cache_counters;
-        lines.push(counter_json("model_cache_hits", hits));
-        lines.push(counter_json("model_cache_misses", misses));
+        lines.push(counter_json("model_cache_hits", cache.model_hits));
+        lines.push(counter_json("model_cache_misses", cache.model_misses));
+        lines.push(counter_json("model_cache_evictions", cache.model_evictions));
+        let p = &cache.plans;
+        lines.push(counter_json("plan_cache_hits", p.hits));
+        lines.push(counter_json("plan_cache_misses", p.misses));
+        lines.push(counter_json(
+            "plan_cache_validation_rejects",
+            p.validation_rejects,
+        ));
+        lines.push(counter_json("plan_cache_inserts", p.inserts));
+        lines.push(counter_json("plan_cache_evictions", p.evictions));
+        lines.push(counter_json("plan_cache_bypasses", p.bypasses));
+        lines.push(counter_json("plan_cache_uncacheable", p.uncacheable));
         for (name, snap) in reg.histograms() {
             lines.push(histogram_json(name, &snap));
         }

@@ -9,14 +9,28 @@ use std::time::Duration;
 
 use vs2_baselines::{Segmenter, XyCutSegmenter};
 use vs2_core::pipeline::Vs2Config;
+use vs2_core::plan::PlanConfig;
 use vs2_core::Extraction;
 
-use crate::cache::{default_config_for, ModelCache};
+use crate::cache::{default_config_for, CacheSnapshot, ModelCache};
 use crate::engine::{BatchEngine, Completed, EngineConfig, EngineStats};
 use crate::error::QuarantineEntry;
 use crate::faults::FaultSite;
 use crate::job::JobSpec;
 use crate::obs::ObsHub;
+
+/// Service-level switches orthogonal to the engine configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceOptions {
+    /// Route segmentation through the per-model plan cache
+    /// ([`vs2_core::plan::planned_blocks`]): fingerprint each document,
+    /// replay a validated cached plan when one exists, fall back to (and
+    /// capture from) full segmentation otherwise. Off by default.
+    /// Extractions are byte-identical either way (the conformance suite
+    /// enforces it); the switch only trades fingerprint/validate work
+    /// for segmentation work on templated traffic.
+    pub plan_cache: bool,
+}
 
 /// Learn-once / extract-many document-extraction service.
 ///
@@ -44,7 +58,13 @@ impl ExtractService {
     /// the holdout corpus used for learning (see
     /// [`ModelCache::model_for`]).
     pub fn new(engine_config: EngineConfig, model_seed: u64, config: Option<Vs2Config>) -> Self {
-        Self::build(engine_config, model_seed, config, None)
+        Self::build(
+            engine_config,
+            model_seed,
+            config,
+            ServiceOptions::default(),
+            None,
+        )
     }
 
     /// Builds the service with an observability hub attached: the engine
@@ -58,19 +78,40 @@ impl ExtractService {
         config: Option<Vs2Config>,
         hub: Arc<ObsHub>,
     ) -> Self {
-        Self::build(engine_config, model_seed, config, Some(hub))
+        Self::build(
+            engine_config,
+            model_seed,
+            config,
+            ServiceOptions::default(),
+            Some(hub),
+        )
+    }
+
+    /// Builds the service with explicit [`ServiceOptions`] (and an
+    /// optional observability hub) — the constructor behind the `vs2d`
+    /// `--plan-cache` / `--metrics` flags.
+    pub fn with_options(
+        engine_config: EngineConfig,
+        model_seed: u64,
+        config: Option<Vs2Config>,
+        options: ServiceOptions,
+        hub: Option<Arc<ObsHub>>,
+    ) -> Self {
+        Self::build(engine_config, model_seed, config, options, hub)
     }
 
     fn build(
         engine_config: EngineConfig,
         model_seed: u64,
         config: Option<Vs2Config>,
+        options: ServiceOptions,
         hub: Option<Arc<ObsHub>>,
     ) -> Self {
         let cache = Arc::new(ModelCache::new());
         let worker_cache = Arc::clone(&cache);
         let fallback_cache = Arc::clone(&cache);
         let worker_hub = hub.clone();
+        let plan_config = PlanConfig::default();
         let process = move |spec: &JobSpec, ctx: &crate::engine::JobCtx| {
             let run =
                 |ctx: &crate::engine::JobCtx| -> Result<Vec<Extraction>, crate::error::ServeError> {
@@ -82,7 +123,27 @@ impl ExtractService {
                     let pipeline = worker_cache.pipeline_for(spec.dataset, model_seed, config);
                     let doc = spec.document();
                     ctx.checkpoint(FaultSite::Segment)?;
-                    let blocks = vs2_core::logical_blocks(&doc, &pipeline.config.segment);
+                    // The plan path sits strictly between the Segment and
+                    // Select fault sites: a fault before it leaves the
+                    // plan store untouched, and a fault after it can only
+                    // follow a successful, self-validated capture — so
+                    // degraded/quarantined jobs never poison cached plans
+                    // (the XY-cut fallback below never touches them).
+                    let blocks = if options.plan_cache {
+                        let plans = worker_cache.plan_store_for(spec.dataset, model_seed, &config);
+                        let (blocks, outcome) = vs2_core::planned_blocks(
+                            &doc,
+                            &pipeline.config.segment,
+                            &plan_config,
+                            &plans,
+                        );
+                        if let Some(h) = &worker_hub {
+                            h.metrics().on_plan_outcome(ctx.seq, &outcome);
+                        }
+                        blocks
+                    } else {
+                        vs2_core::logical_blocks(&doc, &pipeline.config.segment)
+                    };
                     ctx.checkpoint(FaultSite::Select)?;
                     Ok(pipeline.extract_on_blocks(&doc, &blocks))
                 };
@@ -164,6 +225,12 @@ impl ExtractService {
     /// Model-cache `(hits, misses)`.
     pub fn cache_counters(&self) -> (u64, u64) {
         self.cache.counters()
+    }
+
+    /// Counter snapshot of both cache levels (model slots + plan
+    /// namespaces).
+    pub fn cache_snapshot(&self) -> CacheSnapshot {
+        self.cache.snapshot()
     }
 
     /// Shuts the worker pool down and returns final counters.

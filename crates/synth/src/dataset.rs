@@ -3,7 +3,7 @@
 
 use crate::holdout::{self, HoldoutCorpus};
 use crate::ocr::{self, OcrConfig};
-use crate::{flyers, posters, tax};
+use crate::{flyers, posters, tax, templated};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vs2_docmodel::AnnotatedDocument;
@@ -17,10 +17,16 @@ pub enum DatasetId {
     D2,
     /// Real-estate flyers (HTML, per-broker templates).
     D3,
+    /// Fixed-geometry template families (`crate::templated`): the
+    /// plan-cache workload. Not one of the paper's datasets, so it is
+    /// excluded from [`DatasetId::ALL`]; it shares D3's entity schema
+    /// and holdout corpus.
+    Templated,
 }
 
 impl DatasetId {
-    /// All datasets.
+    /// The paper's three experimental datasets (excludes
+    /// [`DatasetId::Templated`], the serving-layer workload).
     pub const ALL: [DatasetId; 3] = [DatasetId::D1, DatasetId::D2, DatasetId::D3];
 
     /// Display name used in tables.
@@ -29,6 +35,7 @@ impl DatasetId {
             DatasetId::D1 => "D1",
             DatasetId::D2 => "D2",
             DatasetId::D3 => "D3",
+            DatasetId::Templated => "Templated",
         }
     }
 
@@ -36,7 +43,7 @@ impl DatasetId {
     /// baselines; D1 is scanned and has none — "Evidently, A4 could not
     /// be applied on dataset D1").
     pub fn has_markup(&self) -> bool {
-        !matches!(self, DatasetId::D1)
+        !matches!(self, DatasetId::D1 | DatasetId::Templated)
     }
 
     /// Entity keys of the dataset's IE task.
@@ -50,7 +57,7 @@ impl DatasetId {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
-            DatasetId::D3 => flyers::entities::ALL
+            DatasetId::D3 | DatasetId::Templated => flyers::entities::ALL
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
@@ -60,7 +67,12 @@ impl DatasetId {
 
 // Job specs address datasets by name ("D1"…); see `vs2-serve`.
 #[cfg(feature = "serde")]
-serde::impl_serde_unit_enum!(DatasetId { D1, D2, D3 });
+serde::impl_serde_unit_enum!(DatasetId {
+    D1,
+    D2,
+    D3,
+    Templated
+});
 
 /// Generation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -113,6 +125,7 @@ pub fn generate_one(id: DatasetId, doc_index: usize, config: DatasetConfig) -> A
         DatasetId::D1 => tax::generate_form(doc_index, config.seed),
         DatasetId::D2 => posters::generate_poster(doc_index, config.seed),
         DatasetId::D3 => flyers::generate_flyer(doc_index, config.seed),
+        DatasetId::Templated => templated::generate_clean(doc_index, config.seed),
     };
     let noise = config.ocr.unwrap_or_else(|| default_ocr(id, doc_index));
     // Per-document OCR stream: splitting by doc index keeps document i
@@ -136,6 +149,7 @@ pub fn default_ocr(id: DatasetId, doc_index: usize) -> OcrConfig {
             }
         }
         DatasetId::D3 => OcrConfig::clean(),
+        DatasetId::Templated => templated::template_ocr(),
     }
 }
 
@@ -146,7 +160,9 @@ pub fn holdout_corpus(id: DatasetId, seed: u64) -> HoldoutCorpus {
         // "first 500 results obtained from the search queries" for D2 and
         // "top 100 results for each search query" for D3.
         DatasetId::D2 => holdout::build_d2(100, seed),
-        DatasetId::D3 => holdout::build_d3(60, seed),
+        // The templated corpus shares D3's entity schema, so D3's
+        // holdout (and hence D3's model) serves it.
+        DatasetId::D3 | DatasetId::Templated => holdout::build_d3(60, seed),
     }
 }
 

@@ -15,7 +15,9 @@
 //!   by the generators;
 //! * [`dataset`] — one-call assembly of a noised, annotated dataset;
 //! * [`adversarial`] — known-hostile degenerate documents for the
-//!   conformance suite.
+//!   conformance suite;
+//! * [`templated`] — fixed-geometry template families plus adversarial
+//!   near-miss templates for the plan-cache subsystem.
 //!
 //! All generation is deterministic in the provided seeds.
 
@@ -30,6 +32,7 @@ pub mod ocr;
 pub mod posters;
 pub mod render;
 pub mod tax;
+pub mod templated;
 pub mod textgen;
 
 pub use dataset::{generate, generate_one, holdout_corpus, DatasetConfig, DatasetId};

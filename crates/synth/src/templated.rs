@@ -1,0 +1,430 @@
+//! Templated-traffic corpus: per-template document families plus
+//! adversarial near-miss templates, built for the plan-cache subsystem
+//! (`vs2_core::plan`).
+//!
+//! D3 already models per-broker template reuse, but its renderer sizes
+//! word boxes by their text, so two flyers of one family differ
+//! geometrically. This corpus models the other extreme — form-like
+//! rendering where token boxes are *template-fixed* and only glyph
+//! content varies (the ReportMiner premise): every document of a family
+//! has bit-identical clean geometry, hence an identical layout
+//! fingerprint, and differs only in token text plus OCR noise.
+//!
+//! ## Geometry contract
+//!
+//! Word centroids are grid-locked to the default fingerprint lattice
+//! (16×16 cells on a 612×792 page): every centroid keeps at least
+//! [`CENTROID_MARGIN`] document units from every cell boundary, which
+//! is comfortably above `vs2_core::plan`'s `CENTROID_MARGIN` contract,
+//! so bbox jitter up to [`template_ocr`]'s bound can never move a
+//! centroid across a cell. The conformance suite asserts both the
+//! margin property and fingerprint stability under the full noise
+//! channel.
+//!
+//! ## Near-miss templates
+//!
+//! Each family has [`NEAR_MISS_KINDS`] adversarial variants *designed to
+//! collide* with the family fingerprint while requiring a different
+//! segmentation judgement:
+//!
+//! * kind 0 — **font swap**: identical centroids, glyph boxes 6 units
+//!   taller. Same occupancy histogram, but the per-leaf mean-height
+//!   check must reject the family's plan.
+//! * kind 1 — **within-cell shift**: every word moved by (+5, +6)
+//!   units, small enough to stay inside its fingerprint cell, large
+//!   enough that leaf regions drift beyond the plan validator's cover
+//!   tolerance even under worst-case jitter.
+//!
+//! Entity keys are D3's six (Table 4), so D3 models serve this corpus.
+
+use crate::ocr::{self, OcrConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use vs2_docmodel::{AnnotatedDocument, BBox, Document, EntityAnnotation, TextElement};
+
+use crate::flyers::entities;
+
+const PAGE_W: f64 = 612.0;
+const PAGE_H: f64 = 792.0;
+/// Fingerprint-lattice geometry the templates are locked to: the
+/// default `FingerprintConfig` (16×16 grid) on this page size.
+const FP_GRID: f64 = 16.0;
+const COL_STEP: f64 = PAGE_W / FP_GRID; // 38.25
+const ROW_STEP: f64 = PAGE_H / FP_GRID; // 49.5
+/// Horizontal pitch between word centroids: two words per lattice cell.
+const WORD_PITCH: f64 = COL_STEP / 2.0;
+
+/// Number of template families.
+pub const FAMILIES: usize = 8;
+/// Adversarial near-miss variants per family.
+pub const NEAR_MISS_KINDS: usize = 2;
+/// Minimum distance every clean word centroid keeps from all
+/// fingerprint-cell boundaries. Must stay ≥ `vs2_core::plan`'s
+/// `CENTROID_MARGIN` (verified by the conformance suite).
+pub const CENTROID_MARGIN: f64 = 4.0;
+
+/// The corpus noise channel: bbox jitter and character substitutions
+/// only. Drops, merges, splits and rotation all change the element
+/// count or displace centroids unboundedly, which this corpus models as
+/// out of scope for the fingerprint robustness contract (such documents
+/// simply miss or bypass the plan cache).
+///
+/// The jitter bound is well below the fingerprint contract's
+/// `STABLE_JITTER` (1.0): digitally rendered forms carry only light OCR
+/// box noise, and — more binding — the segmenter's skew estimator fits
+/// slopes through word lines as short as three tokens, where jitter
+/// near 1.0 routinely pushes the estimate past `SKEW_EPSILON` and
+/// (correctly, but wastefully) diverts the document around the plan
+/// cache. At 0.25 the bypass rate on templated traffic stays marginal.
+pub fn template_ocr() -> OcrConfig {
+    OcrConfig {
+        char_sub_rate: 0.02,
+        word_drop_rate: 0.0,
+        word_merge_rate: 0.0,
+        word_split_rate: 0.0,
+        bbox_jitter: 0.25,
+        rotation_deg: 0.0,
+    }
+}
+
+/// Per-block token counts, in layout order: broker name, phone line,
+/// email line, address, size, description.
+const BLOCK_WIDTHS: [usize; 6] = [2, 2, 2, 4, 3, 6];
+
+/// Layout skeleton shared by every document of one family.
+#[derive(Debug, Clone, Copy)]
+struct FamilySpec {
+    /// Centroid x-offset within a lattice cell.
+    x_off: f64,
+    /// Centroid y-offset within a lattice row.
+    y_off: f64,
+    /// Fixed token box width (independent of glyph content).
+    word_w: f64,
+    /// Fixed token box height (the family's font size).
+    word_h: f64,
+    /// Per-block (lattice row, lattice start column).
+    blocks: [(usize, usize); 6],
+}
+
+fn family_spec(fam: usize) -> FamilySpec {
+    let mut rng = StdRng::seed_from_u64(0x7E3A_0000 + fam as u64);
+    let x_off = [6.0, 8.0, 10.0][rng.gen_range(0..3usize)];
+    let y_off = [10.0, 14.0, 18.0][rng.gen_range(0..3usize)];
+    let word_w = [15.0, 16.0, 17.0][rng.gen_range(0..3usize)];
+    let word_h = [11.0, 12.0, 13.0][rng.gen_range(0..3usize)];
+    // Six distinct lattice rows (pitch 49.5 ≫ word height: every block
+    // is whitespace-separated from its neighbours by delimiter-strength
+    // gaps, so segmentation decisions are content-independent).
+    let mut rows: Vec<usize> = (1..=14).collect();
+    for i in (1..rows.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        rows.swap(i, j);
+    }
+    let mut blocks = [(0usize, 0usize); 6];
+    for (i, width) in BLOCK_WIDTHS.iter().enumerate() {
+        let span = (*width as f64 - 1.0) * WORD_PITCH;
+        let max_col = ((PAGE_W - 16.0 - span) / COL_STEP) as usize;
+        blocks[i] = (rows[i], rng.gen_range(0..=max_col.min(13)));
+    }
+    FamilySpec {
+        x_off,
+        y_off,
+        word_w,
+        word_h,
+        blocks,
+    }
+}
+
+const FIRST: [&str; 8] = [
+    "Alice", "Brian", "Carla", "Derek", "Elena", "Frank", "Grace", "Henry",
+];
+const LAST: [&str; 8] = [
+    "Alvarez", "Burton", "Chen", "Dawson", "Ellis", "Foster", "Griffin", "Hayes",
+];
+const STREET: [&str; 6] = ["Maple", "Oak", "Cedar", "Pine", "Walnut", "Birch"];
+const SUFFIX: [&str; 4] = ["Street", "Avenue", "Road", "Drive"];
+const CITY: [&str; 4] = ["Columbus", "Dayton", "Akron", "Toledo"];
+const DESC: [&str; 12] = [
+    "spacious",
+    "modern",
+    "office",
+    "suite",
+    "retail",
+    "parking",
+    "downtown",
+    "corner",
+    "renovated",
+    "bright",
+    "open",
+    "floor",
+];
+
+/// Per-document token content for the six blocks, with fixed token
+/// counts so geometry never depends on the draw.
+fn content(rng: &mut StdRng) -> ([Vec<String>; 6], [String; 6]) {
+    let first = FIRST[rng.gen_range(0..FIRST.len())];
+    let last = LAST[rng.gen_range(0..LAST.len())];
+    let phone = format!(
+        "614-555-{:02}{:02}",
+        rng.gen_range(10..100),
+        rng.gen_range(10..100)
+    );
+    let email = format!(
+        "{}.{}@realty.example.net",
+        first.to_lowercase(),
+        last.to_lowercase()
+    );
+    let number = (rng.gen_range(1..90u32) * 100 + rng.gen_range(1..100u32)).to_string();
+    let street = STREET[rng.gen_range(0..STREET.len())];
+    let suffix = SUFFIX[rng.gen_range(0..SUFFIX.len())];
+    let city = CITY[rng.gen_range(0..CITY.len())];
+    let size = (rng.gen_range(8..90u32) * 100).to_string();
+    let mut desc = Vec::with_capacity(6);
+    for _ in 0..6 {
+        desc.push(DESC[rng.gen_range(0..DESC.len())].to_string());
+    }
+    let tokens = [
+        vec![first.to_string(), last.to_string()],
+        vec!["Phone".to_string(), phone.clone()],
+        vec!["Email".to_string(), email.clone()],
+        vec![
+            number.clone(),
+            street.to_string(),
+            suffix.to_string(),
+            city.to_string(),
+        ],
+        vec![size.clone(), "sq".to_string(), "ft".to_string()],
+        desc.clone(),
+    ];
+    let texts = [
+        format!("{first} {last}"),
+        phone,
+        email,
+        format!("{number} {street} {suffix} {city}"),
+        format!("{size} sq ft"),
+        desc.join(" "),
+    ];
+    (tokens, texts)
+}
+
+/// Builds one clean document. `variant` 0 is the family base; 1 and 2
+/// are the near-miss kinds (see module docs).
+fn build(fam: usize, variant: usize, content_index: usize, seed: u64) -> AnnotatedDocument {
+    let spec = family_spec(fam % FAMILIES);
+    let (dx, dy, word_h) = match variant {
+        0 => (0.0, 0.0, spec.word_h),
+        1 => (0.0, 0.0, spec.word_h + 6.0),
+        _ => (5.0, 6.0, spec.word_h),
+    };
+    let mut rng = StdRng::seed_from_u64(
+        (seed ^ 0x7E3A_C0DE)
+            .wrapping_add((content_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((variant as u64) << 56),
+    );
+    let (tokens, texts) = content(&mut rng);
+    let mut doc = Document::new(
+        format!("tpl-{}-{variant}-{content_index:04}", fam % FAMILIES),
+        PAGE_W,
+        PAGE_H,
+    );
+    let mut annotations = Vec::new();
+    for (b, words) in tokens.iter().enumerate() {
+        let (row, col) = spec.blocks[b];
+        let cy = row as f64 * ROW_STEP + spec.y_off + dy;
+        let mut boxes = Vec::with_capacity(words.len());
+        for (i, w) in words.iter().enumerate() {
+            let cx = col as f64 * COL_STEP + spec.x_off + i as f64 * WORD_PITCH + dx;
+            let bbox = BBox::new(
+                cx - spec.word_w / 2.0,
+                cy - word_h / 2.0,
+                spec.word_w,
+                word_h,
+            );
+            doc.push_text(TextElement::word(w.clone(), bbox));
+            boxes.push(bbox);
+        }
+        let span = BBox::enclosing(boxes.iter()).expect("block has words");
+        annotations.push(EntityAnnotation::new(
+            entities::ALL[b],
+            span,
+            texts[b].clone(),
+        ));
+    }
+    AnnotatedDocument { doc, annotations }
+}
+
+/// One clean (noise-free) family document; family = `doc_index % FAMILIES`.
+pub fn generate_clean(doc_index: usize, seed: u64) -> AnnotatedDocument {
+    build(doc_index % FAMILIES, 0, doc_index, seed)
+}
+
+/// One clean adversarial near-miss of `family` (`kind < NEAR_MISS_KINDS`).
+pub fn generate_near_miss_clean(
+    family: usize,
+    kind: usize,
+    content_index: usize,
+    seed: u64,
+) -> AnnotatedDocument {
+    build(
+        family,
+        1 + kind.min(NEAR_MISS_KINDS - 1),
+        content_index,
+        seed,
+    )
+}
+
+fn noised(clean: &AnnotatedDocument, stream: u64, seed: u64) -> AnnotatedDocument {
+    let mut rng = StdRng::seed_from_u64(
+        (seed ^ 0x7E0C).wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    ocr::apply(clean, &template_ocr(), &mut rng)
+}
+
+/// Document `doc_index` of the noised templated stream — the
+/// doc-id-addressable entry point, mirroring `dataset::generate_one`.
+pub fn generate_one(doc_index: usize, seed: u64) -> AnnotatedDocument {
+    noised(&generate_clean(doc_index, seed), doc_index as u64, seed)
+}
+
+/// `n` noised family documents, round-robin over the families.
+pub fn corpus(n: usize, seed: u64) -> Vec<AnnotatedDocument> {
+    (0..n).map(|i| generate_one(i, seed)).collect()
+}
+
+/// One noised near-miss per (family, kind) pair: the adversarial
+/// companion corpus for plan-cache differential testing.
+pub fn adversarial_corpus(seed: u64) -> Vec<AnnotatedDocument> {
+    let mut out = Vec::with_capacity(FAMILIES * NEAR_MISS_KINDS);
+    for fam in 0..FAMILIES {
+        for kind in 0..NEAR_MISS_KINDS {
+            let clean = generate_near_miss_clean(fam, kind, fam, seed);
+            out.push(noised(
+                &clean,
+                0x4000 + (fam * NEAR_MISS_KINDS + kind) as u64,
+                seed,
+            ));
+        }
+    }
+    out
+}
+
+/// Template family of a corpus document index.
+pub fn family_of(doc_index: usize) -> usize {
+    doc_index % FAMILIES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_members_share_clean_geometry() {
+        for fam in 0..FAMILIES {
+            let a = generate_clean(fam, 7);
+            let b = generate_clean(fam + FAMILIES, 7);
+            assert_eq!(a.doc.texts.len(), b.doc.texts.len());
+            for (x, y) in a.doc.texts.iter().zip(&b.doc.texts) {
+                assert_eq!(x.bbox, y.bbox, "family {fam} geometry drifted");
+            }
+            // Content still varies somewhere across the family.
+            let texts_differ = a
+                .doc
+                .texts
+                .iter()
+                .zip(&b.doc.texts)
+                .any(|(x, y)| x.text != y.text);
+            assert!(texts_differ, "family {fam} content is frozen");
+        }
+    }
+
+    #[test]
+    fn centroids_respect_the_lattice_margin() {
+        for fam in 0..FAMILIES {
+            for variant in 0..=NEAR_MISS_KINDS {
+                let d = build(fam, variant, 3, 7);
+                for t in &d.doc.texts {
+                    let c = t.bbox.centroid();
+                    for (v, step) in [(c.x, COL_STEP), (c.y, ROW_STEP)] {
+                        let r = v.rem_euclid(step);
+                        let margin = r.min(step - r);
+                        assert!(
+                            margin >= CENTROID_MARGIN,
+                            "family {fam} variant {variant}: centroid {v} margin {margin}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn near_misses_keep_cell_occupancy() {
+        // Same lattice cell per word across base and both near-miss
+        // kinds — the designed fingerprint collision.
+        let base = generate_clean(2, 7);
+        for kind in 0..NEAR_MISS_KINDS {
+            let nm = generate_near_miss_clean(2, kind, 2, 7);
+            assert_eq!(base.doc.texts.len(), nm.doc.texts.len());
+            for (a, b) in base.doc.texts.iter().zip(&nm.doc.texts) {
+                let (ca, cb) = (a.bbox.centroid(), b.bbox.centroid());
+                assert_eq!(
+                    (ca.x / COL_STEP) as usize,
+                    (cb.x / COL_STEP) as usize,
+                    "kind {kind} crossed a column"
+                );
+                assert_eq!(
+                    (ca.y / ROW_STEP) as usize,
+                    (cb.y / ROW_STEP) as usize,
+                    "kind {kind} crossed a row"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn near_miss_shift_exceeds_cover_tolerance() {
+        let base = generate_clean(0, 7);
+        let nm = generate_near_miss_clean(0, 1, 0, 7);
+        let d = (nm.doc.texts[0].bbox.x - base.doc.texts[0].bbox.x)
+            .hypot(nm.doc.texts[0].bbox.y - base.doc.texts[0].bbox.y);
+        // (+5, +6): even with ±1.5 worst-case jitter on both documents
+        // the per-axis drift stays above the validator's 3.0 tolerance.
+        assert!(d > 7.0, "shift too small: {d}");
+    }
+
+    #[test]
+    fn all_six_entities_annotated() {
+        let d = generate_one(5, 11);
+        for e in entities::ALL {
+            assert_eq!(d.annotations_for(e).len(), 1, "missing {e}");
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_noised() {
+        let a = corpus(6, 3);
+        let b = corpus(6, 3);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.doc, y.doc);
+        }
+        // Jitter moved at least one box relative to the clean geometry.
+        let clean = generate_clean(0, 3);
+        assert!(a[0]
+            .doc
+            .texts
+            .iter()
+            .zip(&clean.doc.texts)
+            .any(|(n, c)| n.bbox != c.bbox));
+    }
+
+    #[test]
+    fn adversarial_corpus_covers_every_family_and_kind() {
+        let docs = adversarial_corpus(3);
+        assert_eq!(docs.len(), FAMILIES * NEAR_MISS_KINDS);
+        for d in &docs {
+            assert!(!d.doc.texts.is_empty());
+        }
+    }
+}
