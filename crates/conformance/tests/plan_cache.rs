@@ -106,7 +106,10 @@ fn run_passes(
         engine_config(workers, faults),
         DEFAULT_DOC_SEED,
         None,
-        ServiceOptions { plan_cache },
+        ServiceOptions {
+            plan_cache,
+            ..Default::default()
+        },
         None,
     );
     let mut rendered = Vec::with_capacity(passes);
@@ -290,7 +293,10 @@ fn templated_dataset_serves_extractions() {
         engine_config(1, None),
         DEFAULT_DOC_SEED,
         None,
-        ServiceOptions { plan_cache: true },
+        ServiceOptions {
+            plan_cache: true,
+            ..Default::default()
+        },
         None,
     );
     for i in 0..4 {

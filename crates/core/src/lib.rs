@@ -50,5 +50,7 @@ pub use plan::{
     planned_blocks, FingerprintConfig, LayoutFingerprint, PlanConfig, PlanCounters, PlanOutcome,
     PlanStore, PlanStoreConfig, SegmentationPlan,
 };
-pub use segment::{logical_blocks, segment, LogicalBlock, SegmentConfig};
+pub use segment::{
+    logical_blocks, logical_blocks_naive, segment, segment_naive, LogicalBlock, SegmentConfig,
+};
 pub use select::{Eq2Weights, SyntacticPattern};

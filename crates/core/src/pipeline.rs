@@ -273,7 +273,42 @@ impl Vs2Pipeline {
             self.select_prep(doc, blocks)
         };
         let _scan_span = vs2_obs::span(vs2_obs::stages::SELECT_SCAN);
+        self.scan_indexed(doc, blocks, &texts, &ip_enc, &page)
+    }
 
+    /// [`candidates_on_blocks`](Self::candidates_on_blocks) over
+    /// externally built [`BlockText`]s — the feature-table sharing seam.
+    /// A caller that already holds the per-block tables (e.g. built once
+    /// via [`block_texts`](Self::block_texts) next to segmentation) hands
+    /// them in and the select stage re-derives nothing. `BlockText::build`
+    /// is deterministic, so the output is identical to the self-building
+    /// entry point; the feature-table regression test in the conformance
+    /// suite pins exactly that.
+    pub fn candidates_on_blocks_with_texts(
+        &self,
+        doc: &Document,
+        blocks: &[LogicalBlock],
+        texts: &[BlockText],
+    ) -> BTreeMap<String, Vec<Extraction>> {
+        let select_span = vs2_obs::span(vs2_obs::stages::SELECT);
+        select_span.tag("blocks", blocks.len() as u64);
+        let (ip_enc, page) = {
+            let _index_span = vs2_obs::span(vs2_obs::stages::SELECT_INDEX);
+            self.select_prep_rest(doc, blocks, texts)
+        };
+        let _scan_span = vs2_obs::span(vs2_obs::stages::SELECT_SCAN);
+        self.scan_indexed(doc, blocks, texts, &ip_enc, &page)
+    }
+
+    /// The indexed per-block scan shared by both select entry points.
+    fn scan_indexed(
+        &self,
+        doc: &Document,
+        blocks: &[LogicalBlock],
+        texts: &[BlockText],
+        ip_enc: &[AreaEncoding],
+        page: &PageScale,
+    ) -> BTreeMap<String, Vec<Extraction>> {
         // One pass over the blocks; the index answers for all entities at
         // once. Accumulating per entity in ascending block order keeps the
         // pre-sort candidate order — and therefore the stable sort's
@@ -295,8 +330,8 @@ impl Vs2Pipeline {
                     b.m,
                     b.exact,
                     b.specificity,
-                    &ip_enc,
-                    &page,
+                    ip_enc,
+                    page,
                 ));
             }
         }
@@ -358,6 +393,22 @@ impl Vs2Pipeline {
         out
     }
 
+    /// Builds the select-side [`BlockText`] — tokenised reading-order
+    /// text plus its [`FeatureTable`](crate::select::FeatureTable) — of
+    /// every block. This is the feature-table sharing seam: a consumer
+    /// that needs per-block text features (the segment side, diagnostics,
+    /// a caller batching several selects over one partition) builds them
+    /// once here and hands them to
+    /// [`candidates_on_blocks_with_texts`](Self::candidates_on_blocks_with_texts),
+    /// instead of every stage re-tokenising the same blocks privately.
+    /// `BlockText::build` is a pure function of `(doc, block)`, so tables
+    /// built through this seam are identical to the ones
+    /// [`candidates_on_blocks`](Self::candidates_on_blocks) builds
+    /// internally.
+    pub fn block_texts(&self, doc: &Document, blocks: &[LogicalBlock]) -> Vec<BlockText> {
+        blocks.iter().map(|b| BlockText::build(doc, b)).collect()
+    }
+
     /// Shared select-stage preparation: block texts (with their feature
     /// tables) and the interest-point encodings of the multimodal mode.
     fn select_prep(
@@ -365,8 +416,20 @@ impl Vs2Pipeline {
         doc: &Document,
         blocks: &[LogicalBlock],
     ) -> (Vec<BlockText>, Vec<AreaEncoding>, PageScale) {
+        let texts = self.block_texts(doc, blocks);
+        let (ip_enc, page) = self.select_prep_rest(doc, blocks, &texts);
+        (texts, ip_enc, page)
+    }
+
+    /// The non-text half of select preparation, over already-built block
+    /// texts.
+    fn select_prep_rest(
+        &self,
+        doc: &Document,
+        blocks: &[LogicalBlock],
+        texts: &[BlockText],
+    ) -> (Vec<AreaEncoding>, PageScale) {
         let embedder = LexiconEmbedding;
-        let texts: Vec<BlockText> = blocks.iter().map(|b| BlockText::build(doc, b)).collect();
         let ip_idx = interest_points(doc, blocks, &embedder);
         let encode_block = |b: &LogicalBlock, bt: &BlockText| AreaEncoding {
             bbox: b.bbox,
@@ -381,7 +444,7 @@ impl Vs2Pipeline {
             width: doc.width,
             height: doc.height,
         };
-        (texts, ip_enc, page)
+        (ip_enc, page)
     }
 
     /// Turns one block-level winning match into a scored [`Extraction`].

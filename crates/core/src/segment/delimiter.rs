@@ -18,7 +18,7 @@
 //! are documented in DESIGN.md.
 
 use crate::segment::cuts::CutRun;
-use vs2_docmodel::{BBox, OccupancyGrid};
+use vs2_docmodel::{BBox, OccupancyGrid, Point};
 
 /// A separator strip with its Algorithm-1 statistics.
 #[derive(Debug, Clone, Copy)]
@@ -57,17 +57,22 @@ impl Default for DelimiterConfig {
 
 /// The bounding box of the strip a run occupies, in document coordinates.
 pub fn run_strip(run: &CutRun, grid: &OccupancyGrid, area: &BBox) -> BBox {
-    let cell = grid.cell_size();
+    run_strip_geom(run, grid.origin(), grid.cell_size(), area)
+}
+
+/// [`run_strip`] over bare raster geometry (origin + cell size) — the
+/// grid-representation-independent form shared by the packed fast path.
+pub fn run_strip_geom(run: &CutRun, origin: Point, cell: f64, area: &BBox) -> BBox {
     if run.horizontal {
         BBox::new(
             area.x,
-            grid.origin().y + run.start as f64 * cell,
+            origin.y + run.start as f64 * cell,
             area.w,
             run.len as f64 * cell,
         )
     } else {
         BBox::new(
-            grid.origin().x + run.start as f64 * cell,
+            origin.x + run.start as f64 * cell,
             area.y,
             run.len as f64 * cell,
             area.h,
@@ -91,6 +96,28 @@ pub fn score_runs(
     all_boxes: &[BBox],
     text_boxes: &[BBox],
 ) -> Vec<ScoredRun> {
+    score_runs_geom(
+        runs,
+        grid.origin(),
+        grid.cell_size(),
+        area,
+        all_boxes,
+        text_boxes,
+    )
+}
+
+/// [`score_runs`] over bare raster geometry — shared with the packed fast
+/// path, which has no [`OccupancyGrid`] to hand. The scoring touches only
+/// the raster's origin and cell size, so both entry points compute the
+/// same statistics by construction.
+pub fn score_runs_geom(
+    runs: &[CutRun],
+    origin: Point,
+    cell: f64,
+    area: &BBox,
+    all_boxes: &[BBox],
+    text_boxes: &[BBox],
+) -> Vec<ScoredRun> {
     let text_boxes = if text_boxes.is_empty() {
         all_boxes
     } else {
@@ -99,7 +126,7 @@ pub fn score_runs(
     let max_h = text_boxes.iter().map(|b| b.h).fold(0.0, f64::max).max(1e-9);
     runs.iter()
         .map(|run| {
-            let strip = run_strip(run, grid, area);
+            let strip = run_strip_geom(run, origin, cell, area);
             // Neighbouring bounding box: minimum distance from the strip.
             let neighbor_height = text_boxes
                 .iter()
@@ -138,7 +165,7 @@ pub fn score_runs(
             let gap = if gap.is_finite() && gap > 0.0 {
                 gap
             } else {
-                run.len as f64 * grid.cell_size()
+                run.len as f64 * cell
             };
             ScoredRun {
                 run: *run,

@@ -55,7 +55,13 @@ pub fn theta(cfg: &MergeConfig, h: usize) -> f64 {
 }
 
 /// Embedding of a node: the normalised mean of its words' vectors.
-fn node_embedding<E: Embedder>(doc: &Document, elements: &[ElementRef], embedder: &E) -> Vector {
+/// Shared with the fast path's embedding cache so cached and recomputed
+/// vectors are identical by construction.
+pub(crate) fn node_embedding<E: Embedder>(
+    doc: &Document,
+    elements: &[ElementRef],
+    embedder: &E,
+) -> Vector {
     let words: Vec<&str> = elements.iter().filter_map(|r| doc.text_of(*r)).collect();
     embedder.embed_text(words)
 }
@@ -66,7 +72,7 @@ fn node_embedding<E: Embedder>(doc: &Document, elements: &[ElementRef], embedder
 /// sibling, or (2) the whitespace gap between the two areas is of
 /// delimiter strength relative to their text size (a gap a visual
 /// delimiter would claim must not be merged across).
-fn visually_separated(
+pub(crate) fn visually_separated(
     doc: &Document,
     tree: &LayoutTree,
     a: NodeId,

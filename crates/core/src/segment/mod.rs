@@ -9,7 +9,9 @@ pub mod cluster;
 pub mod cuts;
 pub mod delimiter;
 pub mod deskew;
+pub mod fast;
 pub mod merge;
+pub mod naive;
 pub mod segmenter;
 
 pub use cluster::ClusterConfig;
@@ -17,4 +19,5 @@ pub use cuts::{all_runs, cut_runs, horizontal_cuts, vertical_cuts, CutRun};
 pub use delimiter::{correlation_profile, pearson, select_delimiters, DelimiterConfig, ScoredRun};
 pub use deskew::{deskew, estimate_skew, rotate_elements, SKEW_EPSILON};
 pub use merge::{semantic_merge, theta, MergeConfig};
+pub use naive::{logical_blocks_naive, segment_naive};
 pub use segmenter::{blocks_of_tree, logical_blocks, segment, LogicalBlock, SegmentConfig};

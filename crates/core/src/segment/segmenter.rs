@@ -8,14 +8,13 @@
 //! semantic-merging step of Eq. 1 repairs over-segmentation. The leaves
 //! of the resulting tree are the document's logical blocks.
 
-use crate::segment::cluster::{cluster, ClusterConfig};
-use crate::segment::cuts::{all_runs, CutRun};
+use crate::segment::cluster::ClusterConfig;
+use crate::segment::cuts::all_runs;
 use crate::segment::delimiter::{
     run_strip, score_runs, select_delimiters, DelimiterConfig, ScoredRun,
 };
-use crate::segment::merge::{semantic_merge, MergeConfig};
+use crate::segment::merge::MergeConfig;
 use vs2_docmodel::{BBox, Document, ElementRef, LayoutTree, NodeId};
-use vs2_nlp::LexiconEmbedding;
 
 /// Full configuration of VS2-Segment, including the ablation switches of
 /// §6.5 (Table 9).
@@ -67,7 +66,7 @@ pub struct LogicalBlock {
     pub elements: Vec<ElementRef>,
 }
 
-fn tight_bbox(doc: &Document, elements: &[ElementRef]) -> BBox {
+pub(crate) fn tight_bbox(doc: &Document, elements: &[ElementRef]) -> BBox {
     BBox::enclosing(
         elements
             .iter()
@@ -86,7 +85,7 @@ const MAX_GRID_CELLS: f64 = 4_000_000.0;
 
 /// The configured cell size, grown just enough that rasterising `area`
 /// stays within [`MAX_GRID_CELLS`].
-fn effective_cell_size(area: &BBox, cell: f64) -> f64 {
+pub(crate) fn effective_cell_size(area: &BBox, cell: f64) -> f64 {
     let cells = (area.w / cell) * (area.h / cell);
     // Within budget — and NaN/degenerate areas rasterise to an empty grid,
     // so they keep the configured cell too.
@@ -105,7 +104,7 @@ fn effective_cell_size(area: &BBox, cell: f64) -> f64 {
 /// An interior delimiter must have content on both sides of its centre
 /// line (a drift path may extend a run past the last element, so the
 /// strip's extremities are not a reliable boundary test).
-fn is_interior(delim: &ScoredRun, boxes: &[BBox], grid_area: &BBox, cell: f64) -> bool {
+pub(crate) fn is_interior(delim: &ScoredRun, boxes: &[BBox], grid_area: &BBox, cell: f64) -> bool {
     let run = &delim.run;
     let center = run.center() * cell;
     if run.horizontal {
@@ -152,7 +151,7 @@ fn group_lines(doc: &Document, elements: &[ElementRef]) -> Vec<Vec<ElementRef>> 
 /// Splits elements into bands along the chosen delimiters (all of one
 /// direction). Horizontal splits band whole text lines; vertical splits
 /// band individual elements by centroid.
-fn split_by_delimiters(
+pub(crate) fn split_by_delimiters(
     doc: &Document,
     elements: &[ElementRef],
     delims: &[ScoredRun],
@@ -202,6 +201,12 @@ fn split_by_delimiters(
 
 /// Runs VS2-Segment over a document and returns the layout tree. The
 /// tree's leaves are the logical blocks.
+///
+/// This is the packed fast path ([`fast`](crate::segment::fast)):
+/// word-packed whitespace sweeps, incremental extents and cached merge
+/// embeddings. The pre-fast driver is preserved verbatim as
+/// [`naive::segment_naive`](crate::segment::naive::segment_naive), and
+/// the differential battery holds the two to byte-identical trees.
 pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
     let _segment_span = vs2_obs::span(vs2_obs::stages::SEGMENT);
     // Cleaning (Fig. 2 step a): straighten a skewed capture first. The
@@ -216,102 +221,16 @@ pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
             drop(deskew_span);
             let mut cfg = *config;
             cfg.deskew = false;
-            let tree = segment_body(&straightened, &cfg);
+            let tree = crate::segment::fast::segment_body_fast(&straightened, &cfg);
             return rebuild_in_original_frame(doc, &tree);
         }
     }
-    segment_body(doc, config)
-}
-
-/// The recursion proper, after any deskew handling: XY-cut area loop,
-/// clustering fallback, and semantic merging.
-fn segment_body(doc: &Document, config: &SegmentConfig) -> LayoutTree {
-    let all = doc.element_refs();
-    let root_bbox = if all.is_empty() {
-        doc.page_bbox()
-    } else {
-        tight_bbox(doc, &all)
-    };
-    let mut tree = LayoutTree::new(root_bbox, all.clone());
-    let mut queue: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
-
-    while let Some((node, depth)) = queue.pop() {
-        if depth >= config.max_depth {
-            continue;
-        }
-        let elements = tree.node(node).elements.clone();
-        if elements.len() < config.min_block_elements.max(2) {
-            continue;
-        }
-        let area_span = vs2_obs::span(vs2_obs::stages::AREA);
-        area_span.tag("depth", depth as u64);
-        area_span.tag("elements", elements.len() as u64);
-        let tight = tight_bbox(doc, &elements);
-        let cell = effective_cell_size(&tight.inflate(config.cell_size), config.cell_size);
-        let area = tight.inflate(cell);
-        let boxes: Vec<BBox> = elements.iter().map(|r| doc.bbox_of(*r)).collect();
-        let text_boxes: Vec<BBox> = elements
-            .iter()
-            .filter(|r| r.is_text())
-            .map(|r| doc.bbox_of(*r))
-            .collect();
-        let norm_boxes = if text_boxes.is_empty() {
-            &boxes
-        } else {
-            &text_boxes
-        };
-        let grid = {
-            let _grid_span = vs2_obs::span(vs2_obs::stages::GRID);
-            vs2_docmodel::OccupancyGrid::rasterize(&area, &boxes, cell)
-        };
-
-        // Phase 1: explicit delimiters.
-        let runs: Vec<CutRun> = all_runs(&grid);
-        let scored = score_runs(&runs, &grid, &area, &boxes, norm_boxes);
-        let interior: Vec<ScoredRun> = scored
-            .into_iter()
-            .filter(|s| is_interior(s, &boxes, &area, cell))
-            .collect();
-        let delims = select_delimiters(&interior, &config.delimiter);
-
-        let mut parts: Vec<Vec<ElementRef>> = Vec::new();
-        // Split along the direction of the widest delimiter first; the
-        // recursion handles the other direction. (`max_by` is None on an
-        // empty delimiter set — degenerate areas simply fall through to
-        // clustering instead of panicking.)
-        if let Some(widest) = delims.iter().max_by(|a, b| a.width.total_cmp(&b.width)) {
-            let horizontal = widest.run.horizontal;
-            parts = split_by_delimiters(doc, &elements, &delims, horizontal, &area, cell);
-        }
-
-        // Phase 2: implicit modifiers via clustering.
-        if parts.len() < 2 && config.use_visual_clustering {
-            let _cluster_span = vs2_obs::span(vs2_obs::stages::CLUSTER);
-            let clustered = cluster(doc, &area, &elements, &config.cluster);
-            if clustered.len() >= 2 {
-                parts = clustered;
-            }
-        }
-
-        if parts.len() >= 2 {
-            for part in parts {
-                let bbox = tight_bbox(doc, &part);
-                let child = tree.add_child(node, bbox, part);
-                queue.push((child, depth + 1));
-            }
-        }
-    }
-
-    if config.use_semantic_merge {
-        let _merge_span = vs2_obs::span(vs2_obs::stages::MERGE);
-        semantic_merge(doc, &mut tree, &LexiconEmbedding, &config.merge);
-    }
-    tree
+    crate::segment::fast::segment_body_fast(doc, config)
 }
 
 /// Recomputes every node's bounding box from its elements in the
 /// original (pre-deskew) document frame, preserving the tree structure.
-fn rebuild_in_original_frame(doc: &Document, tree: &LayoutTree) -> LayoutTree {
+pub(crate) fn rebuild_in_original_frame(doc: &Document, tree: &LayoutTree) -> LayoutTree {
     let root_elems = tree.node(tree.root()).elements.clone();
     let root_bbox = if root_elems.is_empty() {
         doc.page_bbox()

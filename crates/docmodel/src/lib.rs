@@ -28,6 +28,7 @@ pub mod element;
 pub mod geometry;
 pub mod grid;
 pub mod layout;
+pub mod packed;
 #[cfg(feature = "serde")]
 mod serde_impls;
 pub mod svg;
@@ -38,6 +39,7 @@ pub use element::{ElementRef, ImageElement, MarkupClass, TextElement};
 pub use geometry::{BBox, Point};
 pub use grid::OccupancyGrid;
 pub use layout::{LayoutNode, LayoutTree, NodeId};
+pub use packed::PackedGrid;
 
 #[cfg(test)]
 mod proptests {

@@ -42,9 +42,11 @@ pub use span::{enabled, span, SpanGuard, SpanRecord, Trace};
 /// ├── vs2.segment
 /// │   ├── vs2.segment.deskew          (once; skew estimation + rotation)
 /// │   ├── vs2.segment.area            (one per visited area, tag depth=N)
-/// │   │   ├── vs2.segment.grid        (occupancy-grid rasterisation)
+/// │   │   ├── vs2.segment.grid        (packed-raster rasterisation)
+/// │   │   ├── vs2.segment.fast.cuts   (word-packed whitespace sweep)
 /// │   │   └── vs2.segment.cluster     (only when delimiters found < 2 parts)
 /// │   └── vs2.segment.merge           (once; Eq. 1 semantic merging)
+/// │       └── vs2.segment.fast.embed  (per-sweep embedding-cache fill)
 /// ├── vs2.select                      (pattern search + disambiguation)
 /// │   ├── vs2.select.index            (block texts, feature tables, interest points)
 /// │   └── vs2.select.scan             (indexed pattern scan + scoring)
@@ -74,6 +76,12 @@ pub mod stages {
     pub const CLUSTER: &str = "vs2.segment.cluster";
     /// Semantic merging (Eq. 1) over the converged layout tree.
     pub const MERGE: &str = "vs2.segment.merge";
+    /// The word-packed whitespace sweep of one area (segment fast path);
+    /// child of [`AREA`].
+    pub const FAST_CUTS: &str = "vs2.segment.fast.cuts";
+    /// Per-sweep embedding-cache fill of the fast semantic merge; child
+    /// of [`MERGE`].
+    pub const FAST_EMBED: &str = "vs2.segment.fast.embed";
     /// VS2-Select: pattern search and multimodal disambiguation.
     pub const SELECT: &str = "vs2.select";
     /// Select preparation: block texts, per-block feature tables and
@@ -113,8 +121,10 @@ pub mod stages {
         DESKEW,
         AREA,
         GRID,
+        FAST_CUTS,
         CLUSTER,
         MERGE,
+        FAST_EMBED,
         SELECT,
         SELECT_INDEX,
         SELECT_SCAN,

@@ -56,6 +56,9 @@ USAGE: vs2d [OPTIONS]
   --plan-cache         reuse validated segmentation plans across documents
                        that share a layout fingerprint (identical output,
                        faster on templated traffic; see README `Plan cache`)
+  --naive-segment      segment with the preserved naive reference path
+                       instead of the fast path (identical output; escape
+                       hatch — see README `Segment fast path`)
   --summary-json PATH  also write the shutdown summary as JSON
 ";
 
@@ -72,6 +75,7 @@ struct Options {
     trace: bool,
     metrics: bool,
     plan_cache: bool,
+    naive_segment: bool,
     summary_json: Option<String>,
 }
 
@@ -90,6 +94,7 @@ impl Default for Options {
             trace: false,
             metrics: false,
             plan_cache: false,
+            naive_segment: false,
             summary_json: None,
         }
     }
@@ -150,6 +155,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             "--trace" => opts.trace = true,
             "--metrics" => opts.metrics = true,
             "--plan-cache" => opts.plan_cache = true,
+            "--naive-segment" => opts.naive_segment = true,
             "--summary-json" => opts.summary_json = Some(value("--summary-json")?),
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -198,6 +204,7 @@ fn main() {
     };
     let options = vs2_serve::ServiceOptions {
         plan_cache: opts.plan_cache,
+        naive_segment: opts.naive_segment,
     };
     // `--metrics` needs a hub for the metrics tail; `--trace` needs one
     // with span capture on top.

@@ -30,6 +30,14 @@ pub struct ServiceOptions {
     /// enforces it); the switch only trades fingerprint/validate work
     /// for segmentation work on templated traffic.
     pub plan_cache: bool,
+    /// Route segmentation through the preserved naive segmenter
+    /// ([`vs2_core::segment_naive`]) instead of the default fast path —
+    /// the escape hatch behind `vs2d --naive-segment`. Both produce
+    /// byte-identical layout trees and extractions (the conformance
+    /// suite enforces it); the switch only trades speed for the
+    /// executable-specification code path. Takes precedence over
+    /// `plan_cache` for the segmentation stage. Off by default.
+    pub naive_segment: bool,
 }
 
 /// Learn-once / extract-many document-extraction service.
@@ -129,7 +137,9 @@ impl ExtractService {
                     // follow a successful, self-validated capture — so
                     // degraded/quarantined jobs never poison cached plans
                     // (the XY-cut fallback below never touches them).
-                    let blocks = if options.plan_cache {
+                    let blocks = if options.naive_segment {
+                        vs2_core::logical_blocks_naive(&doc, &pipeline.config.segment)
+                    } else if options.plan_cache {
                         let plans = worker_cache.plan_store_for(spec.dataset, model_seed, &config);
                         let (blocks, outcome) = vs2_core::planned_blocks(
                             &doc,
