@@ -31,6 +31,8 @@ fn chaos_batch() -> Vec<JobSpec> {
     let mut specs: Vec<JobSpec> = (0..6)
         .map(|doc_index| JobSpec {
             job_id: None,
+            client: None,
+            lane: None,
             dataset: DatasetId::D1,
             source: JobSource::Synthetic {
                 doc_index,
@@ -43,6 +45,8 @@ fn chaos_batch() -> Vec<JobSpec> {
             .into_iter()
             .map(|(name, doc)| JobSpec {
                 job_id: Some(name.to_string()),
+                client: None,
+                lane: None,
                 dataset: DatasetId::D1,
                 source: JobSource::Inline(Box::new(doc)),
             }),
@@ -57,6 +61,7 @@ fn engine_config(workers: usize, faults: Option<FaultPlan>) -> EngineConfig {
         job_timeout: None,
         retry: RetryPolicy::immediate(3),
         faults,
+        admit: None,
     }
 }
 
@@ -70,6 +75,10 @@ fn render(done: &vs2_serve::Completed<Vec<vs2_core::Extraction>>) -> String {
         JobOutcome::Failed(error) => {
             static EMPTY: Vec<vs2_core::Extraction> = Vec::new();
             ("failed", error.to_string(), &EMPTY)
+        }
+        JobOutcome::Shed(reason) => {
+            static EMPTY: Vec<vs2_core::Extraction> = Vec::new();
+            ("shed", reason.to_string(), &EMPTY)
         }
     };
     format!(

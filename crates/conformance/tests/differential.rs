@@ -19,6 +19,8 @@ use vs2_synth::{generate_one, DatasetConfig, DatasetId};
 fn job(dataset: DatasetId, doc_index: usize) -> JobSpec {
     JobSpec {
         job_id: None,
+        client: None,
+        lane: None,
         dataset,
         source: JobSource::Synthetic {
             doc_index,
@@ -118,6 +120,8 @@ fn inline_and_synthetic_sources_agree() {
     let doc = generate_one(dataset, 2, DatasetConfig::new(1, DEFAULT_DOC_SEED)).doc;
     let inline_spec = JobSpec {
         job_id: None,
+        client: None,
+        lane: None,
         dataset,
         source: JobSource::Inline(Box::new(doc)),
     };

@@ -30,6 +30,8 @@ fn traced_corpus() -> Vec<(String, vs2_docmodel::Document)> {
     for i in 0..3 {
         let spec = JobSpec {
             job_id: None,
+            client: None,
+            lane: None,
             dataset: DatasetId::D1,
             source: JobSource::Synthetic {
                 doc_index: i,

@@ -27,12 +27,16 @@ fn corpus_specs() -> Vec<JobSpec> {
         .into_iter()
         .map(|(name, doc)| JobSpec {
             job_id: Some(name.to_string()),
+            client: None,
+            lane: None,
             dataset: DatasetId::D1,
             source: JobSource::Inline(Box::new(doc)),
         })
         .collect();
     specs.extend((0..3).map(|doc_index| JobSpec {
         job_id: None,
+        client: None,
+        lane: None,
         dataset: DatasetId::D1,
         source: JobSource::Synthetic {
             doc_index,

@@ -1,0 +1,339 @@
+//! Overload suite: admission control, fairness lanes and deterministic
+//! load shedding under a two-wave overload scenario.
+//!
+//! The contract pinned here:
+//!
+//! * **Fairness** — a flooding batch-lane client exhausting its token
+//!   bucket degrades (or sheds) *its own* traffic only; an interleaved
+//!   interactive client inside its own budget is never shed and never
+//!   degraded.
+//! * **Exactly-once accounting** — every submitted job lands in exactly
+//!   one of {ok, degraded, quarantined, shed}, and the engine counters
+//!   agree with the published outcomes.
+//! * **Determinism** — the token-bucket lane (refill driven by the
+//!   admission tick counter, not wall clock) produces byte-identical
+//!   runs for 1 and 4 workers, with and without chaos fault injection;
+//!   and an inert admission controller is byte-indistinguishable from
+//!   no admission at all.
+//!
+//! Pressure-watermark shedding (backlog depth / latency EWMA) is
+//! wall-clock-coupled, so here it is pinned only up to accounting — the
+//! byte-determinism arm runs with pressure watermarks inert.
+
+use serde::Serialize as _;
+use vs2_serve::{
+    AdmitConfig, BatchEngine, EngineConfig, ExtractService, FaultPlan, JobOutcome, JobSource,
+    JobSpec, Lane, RetryPolicy, DEFAULT_DOC_SEED,
+};
+use vs2_synth::DatasetId;
+
+const FAULT_SEED: u64 = 0xC4A0_5EED;
+const SHED_SEED: u64 = 0x0BAD_10AD;
+
+fn spec(doc_index: usize, client: &str, lane: Lane) -> JobSpec {
+    JobSpec {
+        job_id: None,
+        client: Some(client.to_string()),
+        lane: Some(lane),
+        dataset: DatasetId::D1,
+        source: JobSource::Synthetic {
+            doc_index,
+            seed: DEFAULT_DOC_SEED,
+        },
+    }
+}
+
+/// The two-wave overload batch: a flooding tenant pushing 40 batch-lane
+/// jobs with a 10-job interactive tenant interleaved 1-in-5.
+fn overload_batch() -> Vec<JobSpec> {
+    (0..50)
+        .map(|i| {
+            if i % 5 == 4 {
+                spec(i, "ui", Lane::Interactive)
+            } else {
+                spec(i, "flood", Lane::Batch)
+            }
+        })
+        .collect()
+}
+
+fn overload_config(workers: usize, faults: Option<FaultPlan>) -> EngineConfig {
+    EngineConfig {
+        workers,
+        queue_capacity: 8,
+        job_timeout: None,
+        retry: RetryPolicy::immediate(3),
+        faults,
+        // 12 tokens per client, no refill, pressure watermarks inert:
+        // every admission decision is a pure function of the submission
+        // stream, independent of scheduling.
+        admit: Some(
+            AdmitConfig::for_queue(8, SHED_SEED)
+                .inert_pressure()
+                .with_buckets(12, 0),
+        ),
+    }
+}
+
+fn render(done: &vs2_serve::Completed<Vec<vs2_core::Extraction>>) -> String {
+    let (label, error, extractions) = match &done.outcome {
+        JobOutcome::Ok(ex) => ("ok", String::new(), ex),
+        JobOutcome::Degraded { output, error } => ("degraded", error.to_string(), output),
+        JobOutcome::Failed(error) => {
+            static EMPTY: Vec<vs2_core::Extraction> = Vec::new();
+            ("failed", error.to_string(), &EMPTY)
+        }
+        JobOutcome::Shed(reason) => {
+            static EMPTY: Vec<vs2_core::Extraction> = Vec::new();
+            ("shed", reason.to_string(), &EMPTY)
+        }
+    };
+    format!(
+        "{} seq={} attempts={} error={:?} extractions={}",
+        label,
+        done.seq,
+        done.attempts,
+        error,
+        serde_json::to_string(&extractions.to_value()).unwrap()
+    )
+}
+
+/// Runs the two-wave batch and checks exactly-once accounting: one
+/// outcome per submission, in order, with an exact counter partition.
+/// Fairness asserts live in the fault-free test only — chaos faults add
+/// their own (deterministic) degrades and quarantines on top.
+fn run_overload(workers: usize, faults: Option<FaultPlan>) -> Vec<String> {
+    let mut service = ExtractService::new(overload_config(workers, faults), DEFAULT_DOC_SEED, None);
+    let batch = overload_batch();
+    for spec in batch.iter().cloned() {
+        service.submit_spec(spec, Lane::Interactive);
+    }
+    let results = service.drain();
+    let rendered: Vec<String> = results.iter().map(render).collect();
+
+    let stats = service.shutdown();
+    assert_eq!(results.len(), batch.len());
+    for (i, done) in results.iter().enumerate() {
+        assert_eq!(done.seq, i as u64, "outcomes must replay submission order");
+    }
+    assert_eq!(stats.submitted, batch.len() as u64);
+    assert_eq!(stats.completed, batch.len() as u64);
+    assert_eq!(
+        stats.completed,
+        stats.ok + stats.degraded + stats.quarantined + stats.shed
+    );
+    rendered
+}
+
+#[test]
+fn two_wave_overload_protects_the_interactive_lane_deterministically() {
+    let mut service = ExtractService::new(overload_config(4, None), DEFAULT_DOC_SEED, None);
+    let batch = overload_batch();
+    for spec in batch.iter().cloned() {
+        service.submit_spec(spec, Lane::Interactive);
+    }
+    let results = service.drain();
+    let stats = service.shutdown();
+
+    // Fairness: the interactive tenant is inside its budget — never
+    // shed, never degraded by admission. The flooding tenant pays for
+    // its own overload: its first 12 jobs are admitted normally, the
+    // remaining 28 degrade through the XY-cut fallback.
+    for (i, done) in results.iter().enumerate() {
+        if i % 5 == 4 {
+            assert!(
+                done.outcome.is_ok(),
+                "interactive job {i} must be untouched: {}",
+                render(done)
+            );
+        }
+    }
+    let flood_degraded = results
+        .iter()
+        .enumerate()
+        .filter(|(i, r)| i % 5 != 4 && matches!(r.outcome, JobOutcome::Degraded { .. }))
+        .count();
+    assert_eq!(
+        flood_degraded, 28,
+        "flood jobs past the 12-token budget must degrade, not vanish"
+    );
+    assert_eq!(stats.shed, 0, "batch-lane overload degrades, never sheds");
+    assert_eq!(stats.ok, 22, "10 interactive + 12 in-budget flood jobs");
+
+    // Byte determinism across worker counts and repeats.
+    let one = run_overload(1, None);
+    let four = run_overload(4, None);
+    assert_eq!(
+        one, four,
+        "admission decisions must not depend on worker count"
+    );
+    let again = run_overload(4, None);
+    assert_eq!(four, again, "repeat runs must be byte-identical");
+}
+
+#[test]
+fn overload_and_chaos_compose_deterministically() {
+    let plan = Some(FaultPlan::chaos(FAULT_SEED));
+    let one = run_overload(1, plan);
+    let four = run_overload(4, plan);
+    assert_eq!(
+        one, four,
+        "admission + fault injection must stay deterministic across worker counts"
+    );
+}
+
+/// A same-lane flood where the overflow is interactive: interactive
+/// jobs past the bucket shed (typed, in-order), they never degrade.
+#[test]
+fn interactive_overflow_sheds_with_typed_outcomes() {
+    let mut service = ExtractService::new(overload_config(2, None), DEFAULT_DOC_SEED, None);
+    for i in 0..20 {
+        service.submit_spec(spec(i, "burst", Lane::Interactive), Lane::Interactive);
+    }
+    let results = service.drain();
+    let stats = service.shutdown();
+    assert_eq!(stats.shed, 8);
+    assert_eq!(stats.ok, 12);
+    for (i, done) in results.iter().enumerate() {
+        if i < 12 {
+            assert!(done.outcome.is_ok(), "job {i} within budget must run");
+        } else {
+            assert!(
+                matches!(
+                    done.outcome,
+                    JobOutcome::Shed(vs2_serve::ShedReason::RateLimited)
+                ),
+                "job {i} past budget must shed as rate_limited"
+            );
+            assert_eq!(done.attempts, 0, "shed jobs must never run");
+            assert_eq!(done.latency, std::time::Duration::ZERO);
+        }
+    }
+}
+
+/// Inert admission (buckets off, watermarks inert) must be
+/// byte-indistinguishable from no admission controller at all.
+#[test]
+fn inert_admission_is_indistinguishable_from_none() {
+    let run = |admit: Option<AdmitConfig>| {
+        let mut service = ExtractService::new(
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 8,
+                job_timeout: None,
+                retry: RetryPolicy::immediate(3),
+                faults: Some(FaultPlan::chaos(FAULT_SEED)),
+                admit,
+            },
+            DEFAULT_DOC_SEED,
+            None,
+        );
+        for spec in overload_batch() {
+            service.submit_spec(spec, Lane::Interactive);
+        }
+        let rendered: Vec<String> = service.drain().iter().map(render).collect();
+        service.shutdown();
+        rendered
+    };
+    let none = run(None);
+    let inert = run(Some(AdmitConfig::for_queue(8, SHED_SEED).inert_pressure()));
+    assert_eq!(none, inert);
+}
+
+/// Real pressure shedding (backlog watermarks, scheduling-dependent):
+/// the byte contract does not apply, but exactly-once accounting must
+/// hold and the open-loop producer must never block.
+#[test]
+fn pressure_shedding_keeps_exactly_once_accounting() {
+    let engine: BatchEngine<u64, u64> = BatchEngine::new(
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 4,
+            job_timeout: None,
+            retry: RetryPolicy::immediate(1),
+            faults: None,
+            admit: Some(AdmitConfig::for_queue(4, SHED_SEED)),
+        },
+        |job, _ctx| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            Ok(job * 2)
+        },
+    );
+    let n = 200u64;
+    let seqs: Vec<u64> = (0..n).map(|j| engine.submit(j)).collect();
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for seq in seqs {
+        match engine.wait_result(seq).outcome {
+            JobOutcome::Ok(v) => {
+                assert_eq!(v, seq * 2);
+                ok += 1;
+            }
+            JobOutcome::Shed(_) => shed += 1,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    let stats = engine.shutdown();
+    assert_eq!(ok + shed, n, "every job accounted exactly once");
+    assert_eq!(stats.ok, ok);
+    assert_eq!(stats.shed, shed);
+    assert_eq!(stats.completed, n);
+    assert!(
+        shed > 0,
+        "an open loop at 2ms/job into a 4-deep queue must trip the backlog watermark"
+    );
+    assert_eq!(stats.queue_stalls, 0, "shedding must fire before blocking");
+}
+
+/// The seeded shed draw is a pure function of (seed, client, seq):
+/// replaying the same submission stream yields the same shed set, and
+/// changing the seed changes it.
+#[test]
+fn saturation_shed_draw_is_seeded_and_reproducible() {
+    let run = |seed: u64| -> Vec<bool> {
+        let engine: BatchEngine<u64, u64> = BatchEngine::new(
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 64,
+                job_timeout: None,
+                retry: RetryPolicy::immediate(1),
+                faults: None,
+                // Partial shed: queue watermarks stay inert and only the
+                // latency EWMA (pinned past critical by the warm-up job)
+                // saturates the controller, so 300‰ of interactive jobs
+                // go to the seeded draw.
+                admit: Some(AdmitConfig {
+                    shed_per_mille: 300,
+                    latency_high_us: 1,
+                    latency_critical_us: 1,
+                    ..AdmitConfig::for_queue(64, seed).inert_pressure()
+                }),
+            },
+            |job, _ctx| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                Ok(*job)
+            },
+        );
+        // Prime the EWMA: one completed job pushes it past the 1us
+        // critical watermark, pinning the controller at Saturated.
+        let warm = engine.submit(0);
+        engine.wait_result(warm);
+        let seqs: Vec<u64> = (1..101).map(|j| engine.submit(j)).collect();
+        let outcomes: Vec<bool> = seqs
+            .iter()
+            .map(|&s| engine.wait_result(s).outcome.is_shed())
+            .collect();
+        engine.shutdown();
+        outcomes
+    };
+    let a = run(1);
+    let b = run(1);
+    assert_eq!(a, b, "same seed, same stream → same shed set");
+    let shed_count = a.iter().filter(|&&s| s).count();
+    assert!(
+        (10..=60).contains(&shed_count),
+        "300‰ draw over 100 jobs should shed roughly 30, got {shed_count}"
+    );
+    let c = run(2);
+    assert_ne!(a, c, "a different shed seed must reshuffle the draw");
+}

@@ -26,6 +26,8 @@ use vs2_synth::{generate_one, DatasetConfig, DatasetId};
 fn synthetic(dataset: DatasetId, doc_index: usize) -> JobSpec {
     JobSpec {
         job_id: None,
+        client: None,
+        lane: None,
         dataset,
         source: JobSource::Synthetic {
             doc_index,
@@ -55,6 +57,8 @@ fn differential_batch() -> Vec<JobSpec> {
     {
         specs.push(JobSpec {
             job_id: Some(format!("near-miss-{i}")),
+            client: None,
+            lane: None,
             dataset: DatasetId::Templated,
             source: JobSource::Inline(Box::new(labelled.doc)),
         });
@@ -69,6 +73,7 @@ fn engine_config(workers: usize, faults: Option<FaultPlan>) -> EngineConfig {
         job_timeout: faults.is_none().then(|| Duration::from_secs(120)),
         retry: RetryPolicy::immediate(3),
         faults,
+        admit: None,
     }
 }
 
@@ -81,6 +86,10 @@ fn render(done: &Completed<Vec<vs2_core::Extraction>>) -> String {
         JobOutcome::Failed(error) => {
             static EMPTY: Vec<vs2_core::Extraction> = Vec::new();
             ("failed", error.to_string(), &EMPTY)
+        }
+        JobOutcome::Shed(reason) => {
+            static EMPTY: Vec<vs2_core::Extraction> = Vec::new();
+            ("shed", reason.to_string(), &EMPTY)
         }
     };
     format!(

@@ -276,6 +276,7 @@ fn engine_config(workers: usize, faults: Option<FaultPlan>) -> EngineConfig {
         job_timeout: faults.is_none().then(|| Duration::from_secs(120)),
         retry: RetryPolicy::immediate(3),
         faults,
+        admit: None,
     }
 }
 
@@ -288,6 +289,10 @@ fn render(done: &Completed<Vec<vs2_core::Extraction>>) -> String {
         JobOutcome::Failed(error) => {
             static EMPTY: Vec<vs2_core::Extraction> = Vec::new();
             ("failed", error.to_string(), &EMPTY)
+        }
+        JobOutcome::Shed(reason) => {
+            static EMPTY: Vec<vs2_core::Extraction> = Vec::new();
+            ("shed", reason.to_string(), &EMPTY)
         }
     };
     format!(
@@ -305,6 +310,8 @@ fn interaction_batch() -> Vec<JobSpec> {
     let mut specs: Vec<JobSpec> = (0..4)
         .map(|doc_index| JobSpec {
             job_id: None,
+            client: None,
+            lane: None,
             dataset: DatasetId::D1,
             source: JobSource::Synthetic {
                 doc_index,
@@ -317,6 +324,8 @@ fn interaction_batch() -> Vec<JobSpec> {
             .into_iter()
             .map(|(name, doc)| JobSpec {
                 job_id: Some(name.to_string()),
+                client: None,
+                lane: None,
                 dataset: DatasetId::D1,
                 source: JobSource::Inline(Box::new(doc)),
             }),

@@ -203,6 +203,55 @@ impl PlanStore {
         true
     }
 
+    /// Exports every cached plan, sorted by fingerprint digest — the
+    /// drain/handoff serialization order. Counters and LRU stamps are
+    /// left untouched.
+    pub fn export(&self) -> Vec<(LayoutFingerprint, Arc<SegmentationPlan>)> {
+        let inner = self.inner.lock().expect("plan store lock");
+        let mut out: Vec<_> = inner
+            .slots
+            .iter()
+            .map(|(fp, slot)| (fp.clone(), Arc::clone(&slot.plan)))
+            .collect();
+        out.sort_by_key(|(fp, _)| fp.digest());
+        out
+    }
+
+    /// Preloads plans into an empty-or-warm store without touching the
+    /// insert/eviction counters — warm-starting from a handoff snapshot
+    /// must not masquerade as serving traffic. Existing fingerprints are
+    /// never replaced (first plan wins) and loading stops at capacity.
+    /// Returns the number of plans admitted.
+    pub fn preload(
+        &self,
+        entries: impl IntoIterator<Item = (LayoutFingerprint, Arc<SegmentationPlan>)>,
+    ) -> usize {
+        if self.config.capacity == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.lock().expect("plan store lock");
+        let mut admitted = 0;
+        for (fp, plan) in entries {
+            if inner.slots.len() >= self.config.capacity {
+                break;
+            }
+            if inner.slots.contains_key(&fp) {
+                continue;
+            }
+            inner.clock += 1;
+            let now = inner.clock;
+            inner.slots.insert(
+                fp,
+                Slot {
+                    plan,
+                    last_used: now,
+                },
+            );
+            admitted += 1;
+        }
+        admitted
+    }
+
     /// Counter snapshot.
     pub fn counters(&self) -> PlanCounters {
         PlanCounters {
@@ -413,6 +462,36 @@ mod tests {
             // but the original plan must still be intact.
             assert_eq!(run(&doc, &store).1, PlanOutcome::Replayed);
         }
+    }
+
+    #[test]
+    fn export_and_preload_round_trip_without_counter_noise() {
+        let store = PlanStore::default();
+        run(&block_doc("a", 60.0), &store);
+        run(&block_doc("b", 200.0), &store);
+        let exported = store.export();
+        assert_eq!(exported.len(), 2);
+        // Export order is pinned by digest.
+        assert!(exported[0].0.digest() < exported[1].0.digest());
+
+        let warm = PlanStore::default();
+        assert_eq!(warm.preload(exported.clone()), 2);
+        assert_eq!(warm.len(), 2);
+        // Preload is invisible to the counters...
+        assert_eq!(warm.counters(), PlanCounters::default());
+        // ...but the plans replay as first-class cache hits.
+        assert_eq!(run(&block_doc("a", 60.0), &warm).1, PlanOutcome::Replayed);
+        assert_eq!(run(&block_doc("b", 200.0), &warm).1, PlanOutcome::Replayed);
+        assert_eq!(warm.counters().hits, 2);
+        assert_eq!(warm.counters().misses, 0);
+
+        // First plan wins on preload too, and capacity bounds the load.
+        assert_eq!(warm.preload(exported.clone()), 0);
+        let tiny = PlanStore::new(PlanStoreConfig { capacity: 1 });
+        assert_eq!(tiny.preload(exported), 1);
+        let disabled = PlanStore::new(PlanStoreConfig { capacity: 0 });
+        assert_eq!(disabled.preload(store.export()), 0);
+        assert!(disabled.is_empty());
     }
 
     #[test]

@@ -1,24 +1,45 @@
 //! The JSONL batch runner behind the `vs2d` binary, extracted so its
-//! stream handling — including the malformed-input and quarantine
-//! paths — is testable against in-memory readers and writers.
+//! stream handling — including the malformed-input, shed, drain and
+//! quarantine paths — is testable against in-memory readers and writers.
 //!
-//! One input line, one result line, in input order. Lines that fail to
-//! parse (bad JSON, invalid UTF-8, mid-stream read errors) produce an
-//! `invalid` result line carrying the line number and error instead of
-//! aborting the batch. After the last result line, one `quarantine`
-//! record is emitted per job in the service's quarantine ledger, in
-//! sequence order (see [`crate::job::QuarantineRecord`]).
+//! One consumed input line, one result line, in input order. Lines that
+//! fail to parse (bad JSON, invalid UTF-8, mid-stream read errors)
+//! produce an `invalid` result line carrying the line number and error
+//! instead of aborting the batch; jobs refused by admission control (or
+//! submitted after a drain began) produce a `shed` result line — an
+//! overloaded server answers every request, it never silently drops
+//! one. After the last result line, one `quarantine` record is emitted
+//! per job in the service's quarantine ledger, in sequence order (see
+//! [`crate::job::QuarantineRecord`]).
+//!
+//! Two line forms are consumed without producing a job:
+//!
+//! * empty lines (skipped entirely, no wire seq consumed), and
+//! * the control record `{"control":"drain"}`, which flips the service
+//!   into draining (also no wire seq) — the in-stream equivalent of
+//!   `vs2d --drain-after`.
+//!
+//! With [`BatchOptions::resume_completed`] set (warm restart from a
+//! [`crate::handoff::HandoffSnapshot`]), lines whose wire seq the
+//! predecessor already answered are skipped; each skipped *valid* spec
+//! burns one engine sequence number so seq-keyed decisions (fault
+//! plans, retry backoff, shed draws) line up with an uninterrupted run.
 
+use std::collections::HashSet;
 use std::io::{BufRead, ErrorKind, Write};
 use std::sync::mpsc;
 use std::time::Duration;
 
+use serde::Value;
+
+use crate::admit::Lane;
 use crate::engine::JobOutcome;
+use crate::error::ServeError;
 use crate::job::{JobResult, JobSpec, JobStatus, QuarantineRecord};
 use crate::service::ExtractService;
 
 /// Output shaping for [`run_batch`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BatchOptions {
     /// Include wall-clock `latency_us` / `elapsed_us` fields on result
     /// and quarantine lines. Off by default so output is byte-stable
@@ -28,31 +49,64 @@ pub struct BatchOptions {
     /// tracing is off. Requires the service to have an [`crate::obs::ObsHub`];
     /// without one the flag is a no-op. Tracing implies the tail.
     pub emit_metrics: bool,
+    /// Client identity applied to specs that carry none — the `vs2d
+    /// --client` default feeding per-client admission fairness.
+    pub default_client: Option<String>,
+    /// Lane applied to specs that carry none (`vs2d --lane`).
+    pub default_lane: Lane,
+    /// Begin draining after this many submissions: later lines are
+    /// still answered, but as `shed` lines with reason `draining`.
+    pub drain_after: Option<u64>,
+    /// Wire seqs already answered by a predecessor (from a handoff
+    /// snapshot): skip them, burning engine seqs for the valid ones.
+    pub resume_completed: Option<HashSet<u64>>,
 }
 
-/// What the result emitter must produce for one input line, in order.
+/// What the result emitter must produce for one consumed input line.
+/// Fates arrive in wire order; `wire_seq` is explicit because resumed
+/// runs skip lines without emitting anything.
 enum LineFate {
     /// A job went into the engine; wait for its result.
-    Submitted { job_id: String, seq: u64 },
+    Submitted {
+        wire_seq: u64,
+        job_id: String,
+        seq: u64,
+    },
     /// The line failed to parse or read; report `invalid` immediately.
-    Invalid { job_id: String, error: String },
+    Invalid {
+        wire_seq: u64,
+        job_id: String,
+        error: String,
+    },
 }
 
 /// Outcome of the submit/emit phase.
 pub struct BatchRun {
-    /// Per-job processing latencies, in engine-sequence order.
+    /// Processing latencies of jobs that ran (shed jobs excluded), in
+    /// engine-sequence order.
     pub latencies: Vec<Duration>,
     /// Input lines that produced no job (parse or read failures).
     pub invalid: u64,
+    /// Result lines answered with `status:"shed"`.
+    pub shed: u64,
+    /// Input lines skipped because a predecessor already answered them.
+    pub skipped: u64,
     /// Engine sequence number → job id, for correlating engine-side
     /// artifacts (the quarantine ledger) with the wire.
     pub job_ids: Vec<String>,
+    /// Wire seqs this run answered terminally (every emitted result
+    /// line except `shed`), in increasing order — the `completed` list
+    /// of a drain/handoff snapshot.
+    pub completed_wire_seqs: Vec<u64>,
+    /// The quarantine records emitted after the result lines, in
+    /// increasing wire-seq order.
+    pub quarantine_records: Vec<QuarantineRecord>,
 }
 
 /// Submits every job spec from `reader` while a second thread streams
 /// results to `out` in input order. Engine sequence numbers are assigned
-/// in submission order, so the emitter simply waits on 0, 1, 2, … as the
-/// fates arrive.
+/// in submission order, so the emitter simply waits on them as the fates
+/// arrive.
 ///
 /// Input hardening: a line that is not valid JSON, not valid UTF-8, or
 /// hits a read error mid-stream yields an `invalid` result line (with
@@ -69,156 +123,243 @@ pub fn run_batch(
     let emit_metrics = opts.emit_metrics;
     let (fate_tx, fate_rx) = mpsc::channel::<LineFate>();
     let mut invalid = 0u64;
-    let (latencies, job_ids) = std::thread::scope(|scope| {
-        let emitter = scope.spawn(move || {
-            let mut out = out;
-            let mut lats = Vec::new();
-            let mut ids: Vec<String> = Vec::new();
-            // With tracing on, each result line is followed by that
-            // job's span records, and the batch ends with a metrics
-            // snapshot. Off (the default), the wire format is untouched.
-            let trace_hub = service.obs().filter(|h| h.trace_enabled()).cloned();
-            // Engine seq → (wire seq, job id): the two diverge once an
-            // invalid line consumes a wire seq without entering the
-            // engine, and quarantine records must speak wire seqs.
-            let mut ids_by_seq: std::collections::HashMap<u64, (u64, String)> =
-                std::collections::HashMap::new();
-            for (out_seq, fate) in fate_rx.iter().enumerate() {
-                let out_seq = out_seq as u64;
-                let mut engine_seq = None;
-                let result = match fate {
-                    LineFate::Submitted { job_id, seq } => {
-                        engine_seq = Some(seq);
-                        let done = service.wait_result(seq);
-                        lats.push(done.latency);
-                        ids.push(job_id.clone());
-                        ids_by_seq.insert(seq, (out_seq, job_id.clone()));
-                        let (status, extractions, error) = match done.outcome {
-                            JobOutcome::Ok(ex) => (JobStatus::Ok, ex, None),
-                            JobOutcome::Degraded { output, error } => {
-                                (JobStatus::Degraded, output, Some(error.to_string()))
-                            }
-                            JobOutcome::Failed(error) => {
-                                (JobStatus::Quarantined, vec![], Some(error.to_string()))
-                            }
-                        };
-                        JobResult {
-                            seq: out_seq,
+    let mut skipped = 0u64;
+    let (latencies, job_ids, shed, completed_wire_seqs, quarantine_records) =
+        std::thread::scope(|scope| {
+            let emitter = scope.spawn(move || {
+                let mut out = out;
+                let mut lats = Vec::new();
+                let mut ids: Vec<String> = Vec::new();
+                let mut shed = 0u64;
+                let mut completed: Vec<u64> = Vec::new();
+                // With tracing on, each result line is followed by that
+                // job's span records, and the batch ends with a metrics
+                // snapshot. Off (the default), the wire format is untouched.
+                let trace_hub = service.obs().filter(|h| h.trace_enabled()).cloned();
+                // Engine seq → (wire seq, job id): the two diverge once an
+                // invalid line consumes a wire seq without entering the
+                // engine, and quarantine records must speak wire seqs.
+                let mut ids_by_seq: std::collections::HashMap<u64, (u64, String)> =
+                    std::collections::HashMap::new();
+                for fate in fate_rx.iter() {
+                    let mut engine_seq = None;
+                    let result = match fate {
+                        LineFate::Submitted {
+                            wire_seq,
                             job_id,
-                            status,
-                            extractions,
+                            seq,
+                        } => {
+                            engine_seq = Some(seq);
+                            let done = service.wait_result(seq);
+                            ids.push(job_id.clone());
+                            ids_by_seq.insert(seq, (wire_seq, job_id.clone()));
+                            let (status, extractions, error) = match done.outcome {
+                                JobOutcome::Ok(ex) => (JobStatus::Ok, ex, None),
+                                JobOutcome::Degraded { output, error } => {
+                                    (JobStatus::Degraded, output, Some(error.to_string()))
+                                }
+                                JobOutcome::Failed(error) => {
+                                    (JobStatus::Quarantined, vec![], Some(error.to_string()))
+                                }
+                                JobOutcome::Shed(reason) => (
+                                    JobStatus::Shed,
+                                    vec![],
+                                    Some(ServeError::Overloaded { reason }.to_string()),
+                                ),
+                            };
+                            let is_shed = status == JobStatus::Shed;
+                            if is_shed {
+                                shed += 1;
+                            } else {
+                                lats.push(done.latency);
+                                completed.push(wire_seq);
+                            }
+                            JobResult {
+                                seq: wire_seq,
+                                job_id,
+                                status,
+                                extractions,
+                                error,
+                                latency_us: (include_latency && !is_shed).then(|| {
+                                    u64::try_from(done.latency.as_micros()).unwrap_or(u64::MAX)
+                                }),
+                            }
+                        }
+                        LineFate::Invalid {
+                            wire_seq,
+                            job_id,
                             error,
-                            latency_us: include_latency.then(|| {
-                                u64::try_from(done.latency.as_micros()).unwrap_or(u64::MAX)
-                            }),
+                        } => {
+                            completed.push(wire_seq);
+                            JobResult {
+                                seq: wire_seq,
+                                job_id,
+                                status: JobStatus::Invalid,
+                                extractions: vec![],
+                                error: Some(error),
+                                latency_us: None,
+                            }
                         }
-                    }
-                    LineFate::Invalid { job_id, error } => JobResult {
-                        seq: out_seq,
-                        job_id,
-                        status: JobStatus::Invalid,
-                        extractions: vec![],
-                        error: Some(error),
-                        latency_us: None,
-                    },
-                };
-                let line = serde_json::to_string(&result).expect("result serialises");
-                writeln!(out, "{line}").expect("write output");
-                if let (Some(hub), Some(seq)) = (&trace_hub, engine_seq) {
-                    if let Some(spans) = hub.take_spans(seq) {
-                        for span in &spans {
-                            let line = vs2_obs::export::span_json(out_seq, &result.job_id, span);
-                            writeln!(out, "{line}").expect("write output");
-                        }
-                    }
-                }
-            }
-            // Every submitted job has completed (each Submitted fate
-            // waited on its result), so the quarantine ledger is final
-            // for this batch. Emit this batch's entries in seq order —
-            // the ledger itself is in quarantine-time order, which is
-            // scheduling-dependent, and (being append-only) may carry
-            // entries from earlier batches on the same service.
-            let mut ledger = service.quarantine();
-            ledger.retain(|e| ids_by_seq.contains_key(&e.seq));
-            ledger.sort_by_key(|e| e.seq);
-            for entry in ledger {
-                let (wire_seq, job_id) = ids_by_seq[&entry.seq].clone();
-                let record = QuarantineRecord {
-                    seq: wire_seq,
-                    job_id,
-                    attempts: entry.attempts,
-                    kind: entry.error.kind().to_string(),
-                    error: entry.error.to_string(),
-                    elapsed_us: include_latency
-                        .then(|| u64::try_from(entry.elapsed.as_micros()).unwrap_or(u64::MAX)),
-                };
-                let line = serde_json::to_string(&record).expect("record serialises");
-                writeln!(out, "{line}").expect("write output");
-            }
-            let metrics_hub = service.obs().filter(|h| h.trace_enabled() || emit_metrics);
-            if let Some(hub) = metrics_hub {
-                for line in hub.metrics_lines(&service.cache_snapshot()) {
+                    };
+                    let line = serde_json::to_string(&result).expect("result serialises");
                     writeln!(out, "{line}").expect("write output");
+                    if let (Some(hub), Some(seq)) = (&trace_hub, engine_seq) {
+                        if let Some(spans) = hub.take_spans(seq) {
+                            for span in &spans {
+                                let line =
+                                    vs2_obs::export::span_json(result.seq, &result.job_id, span);
+                                writeln!(out, "{line}").expect("write output");
+                            }
+                        }
+                    }
                 }
-            }
-            out.flush().expect("flush output");
-            (lats, ids)
-        });
-        for (line_no, line) in reader.lines().enumerate() {
-            let default_id = format!("job-{line_no}");
-            let line = match line {
-                Ok(l) => l,
-                Err(e) => {
-                    // A broken line must not abort the batch: report it
-                    // in-stream and keep going. `InvalidData` (non-UTF-8
-                    // bytes) consumes exactly the offending line, so the
-                    // stream stays aligned; any other I/O error means the
-                    // source itself failed — report, then stop.
-                    invalid += 1;
-                    let recoverable = e.kind() == ErrorKind::InvalidData;
-                    let _ = fate_tx.send(LineFate::Invalid {
-                        job_id: default_id,
-                        error: format!("input read error at line {line_no}: {e}"),
-                    });
-                    if recoverable {
+                // Every submitted job has completed (each Submitted fate
+                // waited on its result), so the quarantine ledger is final
+                // for this batch. Emit this batch's entries in seq order —
+                // the ledger itself is in quarantine-time order, which is
+                // scheduling-dependent, and (being append-only) may carry
+                // entries from earlier batches on the same service.
+                let mut ledger = service.quarantine();
+                ledger.retain(|e| ids_by_seq.contains_key(&e.seq));
+                ledger.sort_by_key(|e| e.seq);
+                let mut records = Vec::with_capacity(ledger.len());
+                for entry in ledger {
+                    let (wire_seq, job_id) = ids_by_seq[&entry.seq].clone();
+                    let record = QuarantineRecord {
+                        seq: wire_seq,
+                        job_id,
+                        attempts: entry.attempts,
+                        kind: entry.error.kind().to_string(),
+                        error: entry.error.to_string(),
+                        elapsed_us: include_latency
+                            .then(|| u64::try_from(entry.elapsed.as_micros()).unwrap_or(u64::MAX)),
+                    };
+                    let line = serde_json::to_string(&record).expect("record serialises");
+                    writeln!(out, "{line}").expect("write output");
+                    records.push(record);
+                }
+                let metrics_hub = service.obs().filter(|h| h.trace_enabled() || emit_metrics);
+                if let Some(hub) = metrics_hub {
+                    for line in hub.metrics_lines(&service.cache_snapshot()) {
+                        writeln!(out, "{line}").expect("write output");
+                    }
+                }
+                out.flush().expect("flush output");
+                (lats, ids, shed, completed, records)
+            });
+            let mut wire_seq = 0u64;
+            let mut submissions = 0u64;
+            for (line_no, line) in reader.lines().enumerate() {
+                let default_id = format!("job-{line_no}");
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => {
+                        // A broken line must not abort the batch: report it
+                        // in-stream and keep going. `InvalidData` (non-UTF-8
+                        // bytes) consumes exactly the offending line, so the
+                        // stream stays aligned; any other I/O error means the
+                        // source itself failed — report, then stop.
+                        invalid += 1;
+                        let recoverable = e.kind() == ErrorKind::InvalidData;
+                        let _ = fate_tx.send(LineFate::Invalid {
+                            wire_seq,
+                            job_id: default_id,
+                            error: format!("input read error at line {line_no}: {e}"),
+                        });
+                        wire_seq += 1;
+                        if recoverable {
+                            continue;
+                        }
+                        break;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                // Control records steer the service without consuming a
+                // wire seq — they are commands, not jobs, and must not
+                // shift the seqs of surrounding result lines.
+                if let Ok(value) = serde_json::parse(&line) {
+                    if let Some(ctl) = value.get("control") {
+                        if matches!(ctl, Value::Str(cmd) if cmd == "drain") {
+                            service.begin_drain();
+                        } else {
+                            invalid += 1;
+                            let _ = fate_tx.send(LineFate::Invalid {
+                                wire_seq,
+                                job_id: default_id,
+                                error: format!("unknown control record at line {line_no}"),
+                            });
+                            wire_seq += 1;
+                        }
                         continue;
                     }
-                    break;
                 }
-            };
-            if line.trim().is_empty() {
-                continue;
+                // Warm restart: lines the predecessor already answered
+                // are skipped; a valid skipped spec still burns an
+                // engine seq so seq-keyed decisions stay aligned with
+                // an uninterrupted run.
+                if let Some(done) = &opts.resume_completed {
+                    if done.contains(&wire_seq) {
+                        if serde_json::from_str::<JobSpec>(&line).is_ok() {
+                            service.reserve_seq();
+                        }
+                        skipped += 1;
+                        wire_seq += 1;
+                        continue;
+                    }
+                }
+                match serde_json::from_str::<JobSpec>(&line) {
+                    Ok(mut spec) => {
+                        if spec.client.is_none() {
+                            spec.client = opts.default_client.clone();
+                        }
+                        let job_id = spec.job_id.clone().unwrap_or(default_id);
+                        if opts.drain_after == Some(submissions) {
+                            service.begin_drain();
+                        }
+                        // Backpressure: blocks while the work queue is full
+                        // (shed decisions fire before the queue, so an
+                        // admission-controlled service never blocks here
+                        // under overload).
+                        let seq = service.submit_spec(spec, opts.default_lane);
+                        submissions += 1;
+                        let _ = fate_tx.send(LineFate::Submitted {
+                            wire_seq,
+                            job_id,
+                            seq,
+                        });
+                        wire_seq += 1;
+                    }
+                    Err(e) => {
+                        invalid += 1;
+                        let _ = fate_tx.send(LineFate::Invalid {
+                            wire_seq,
+                            job_id: default_id,
+                            error: format!("invalid job spec at line {line_no}: {e}"),
+                        });
+                        wire_seq += 1;
+                    }
+                }
             }
-            match serde_json::from_str::<JobSpec>(&line) {
-                Ok(spec) => {
-                    let job_id = spec.job_id.clone().unwrap_or(default_id);
-                    // Backpressure: blocks while the work queue is full.
-                    let seq = service.submit(spec);
-                    let _ = fate_tx.send(LineFate::Submitted { job_id, seq });
-                }
-                Err(e) => {
-                    invalid += 1;
-                    let _ = fate_tx.send(LineFate::Invalid {
-                        job_id: default_id,
-                        error: format!("invalid job spec at line {line_no}: {e}"),
-                    });
-                }
-            }
-        }
-        drop(fate_tx);
-        emitter.join().expect("emitter thread")
-    });
+            drop(fate_tx);
+            emitter.join().expect("emitter thread")
+        });
     BatchRun {
         latencies,
         invalid,
+        shed,
+        skipped,
         job_ids,
+        completed_wire_seqs,
+        quarantine_records,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::admit::AdmitConfig;
     use crate::engine::EngineConfig;
     use crate::job::DEFAULT_DOC_SEED;
     use std::io::Cursor;
@@ -262,7 +403,10 @@ mod tests {
             &BatchOptions::default(),
         );
         assert_eq!(run.invalid, 2);
+        assert_eq!(run.shed, 0);
+        assert_eq!(run.skipped, 0);
         assert_eq!(run.job_ids, vec!["job-0", "named", "job-5"]);
+        assert_eq!(run.completed_wire_seqs, vec![0, 1, 2, 3, 4]);
         let results = parse_lines(&out);
         // 5 non-empty lines → 5 result lines, in input order.
         assert_eq!(results.len(), 5);
@@ -343,5 +487,184 @@ mod tests {
         assert!(!plain.contains("latency_us"), "{plain}");
         assert!(with_latency.contains("latency_us"), "{with_latency}");
         service.shutdown();
+    }
+
+    fn admission_service(workers: usize, bucket_capacity: u32) -> ExtractService {
+        ExtractService::new(
+            EngineConfig {
+                workers,
+                queue_capacity: 8,
+                admit: Some(
+                    AdmitConfig::for_queue(8, 0x5EED)
+                        .inert_pressure()
+                        .with_buckets(bucket_capacity, 0),
+                ),
+                ..EngineConfig::default()
+            },
+            DEFAULT_DOC_SEED,
+            None,
+        )
+    }
+
+    #[test]
+    fn shed_jobs_get_in_stream_result_lines_not_silence() {
+        // One token per client, no refill: of three same-client jobs,
+        // the first is served and the rest are shed — each with its own
+        // result line.
+        let input = concat!(
+            "{\"dataset\":\"D1\",\"doc_index\":0,\"client\":\"t\"}\n",
+            "{\"dataset\":\"D1\",\"doc_index\":1,\"client\":\"t\"}\n",
+            "{\"dataset\":\"D1\",\"doc_index\":2,\"client\":\"t\"}\n",
+        );
+        let service = admission_service(1, 1);
+        let mut out = Vec::new();
+        let run = run_batch(
+            &service,
+            Cursor::new(input),
+            &mut out,
+            &BatchOptions::default(),
+        );
+        assert_eq!(run.shed, 2);
+        assert_eq!(run.completed_wire_seqs, vec![0]);
+        let results = parse_lines(&out);
+        assert_eq!(results.len(), 3, "shed jobs still get result lines");
+        assert_eq!(results[0].status, JobStatus::Ok);
+        for r in &results[1..] {
+            assert_eq!(r.status, JobStatus::Shed);
+            assert!(
+                r.error.as_deref().unwrap().contains("rate_limited"),
+                "{:?}",
+                r.error
+            );
+            assert!(r.extractions.is_empty());
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn drain_control_record_sheds_the_rest_of_the_stream() {
+        let input = concat!(
+            "{\"dataset\":\"D1\",\"doc_index\":0}\n",
+            "{\"control\":\"drain\"}\n",
+            "{\"dataset\":\"D1\",\"doc_index\":1}\n",
+        );
+        let service = test_service(1);
+        let mut out = Vec::new();
+        let run = run_batch(
+            &service,
+            Cursor::new(input),
+            &mut out,
+            &BatchOptions::default(),
+        );
+        assert!(service.is_draining());
+        assert_eq!(run.shed, 1);
+        assert_eq!(run.invalid, 0);
+        let results = parse_lines(&out);
+        // The control record consumes no wire seq.
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].status, JobStatus::Ok);
+        assert_eq!(results[1].seq, 1);
+        assert_eq!(results[1].status, JobStatus::Shed);
+        assert!(
+            results[1].error.as_deref().unwrap().contains("draining"),
+            "{:?}",
+            results[1].error
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_control_records_are_invalid_lines() {
+        let input = concat!(
+            "{\"control\":\"reboot\"}\n",
+            "{\"dataset\":\"D1\",\"doc_index\":0}\n",
+        );
+        let service = test_service(1);
+        let mut out = Vec::new();
+        let run = run_batch(
+            &service,
+            Cursor::new(input),
+            &mut out,
+            &BatchOptions::default(),
+        );
+        assert_eq!(run.invalid, 1);
+        assert!(!service.is_draining());
+        let results = parse_lines(&out);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].status, JobStatus::Invalid);
+        assert!(
+            results[0]
+                .error
+                .as_deref()
+                .unwrap()
+                .contains("unknown control record"),
+            "{:?}",
+            results[0].error
+        );
+        assert_eq!(results[1].status, JobStatus::Ok);
+        service.shutdown();
+    }
+
+    #[test]
+    fn drain_after_sheds_the_tail_deterministically() {
+        let input: String = (0..6)
+            .map(|i| format!("{{\"dataset\":\"D1\",\"doc_index\":{i}}}\n"))
+            .collect();
+        let service = test_service(2);
+        let mut out = Vec::new();
+        let run = run_batch(
+            &service,
+            Cursor::new(input),
+            &mut out,
+            &BatchOptions {
+                drain_after: Some(4),
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(run.shed, 2);
+        assert_eq!(run.completed_wire_seqs, vec![0, 1, 2, 3]);
+        let results = parse_lines(&out);
+        for r in &results[..4] {
+            assert_eq!(r.status, JobStatus::Ok);
+        }
+        for r in &results[4..] {
+            assert_eq!(r.status, JobStatus::Shed);
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn resume_skips_answered_lines_and_burns_engine_seqs() {
+        let input = concat!(
+            "{\"dataset\":\"D1\",\"doc_index\":0}\n",
+            "not json either\n",
+            "{\"dataset\":\"D1\",\"doc_index\":1}\n",
+            "{\"dataset\":\"D1\",\"doc_index\":2}\n",
+        );
+        // Wire seqs 0 and 1 (one valid, one invalid) were answered by
+        // the predecessor.
+        let service = test_service(1);
+        let mut out = Vec::new();
+        let run = run_batch(
+            &service,
+            Cursor::new(input),
+            &mut out,
+            &BatchOptions {
+                resume_completed: Some([0u64, 1u64].into_iter().collect()),
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(run.skipped, 2);
+        assert_eq!(run.invalid, 0);
+        assert_eq!(run.completed_wire_seqs, vec![2, 3]);
+        let results = parse_lines(&out);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].seq, 2);
+        assert_eq!(results[1].seq, 3);
+        // The skipped valid spec burned engine seq 0; the invalid line
+        // never had one. Submitted jobs then took seqs 1 and 2.
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.ok, 2);
     }
 }

@@ -9,7 +9,7 @@
 //!     | vs2d --workers 4
 //! {"seq":0,"job_id":"job-0","status":"ok","extractions":[...]}
 //! {"seq":1,"job_id":"job-1","status":"ok","extractions":[...]}
-//! vs2d: 2 jobs (2 ok, 0 degraded, 0 quarantined, 0 invalid) in 0.84s — 2.4 docs/s
+//! vs2d: 2 jobs (2 ok, 0 degraded, 0 quarantined, 0 shed, 0 invalid) in 0.84s — 2.4 docs/s
 //! vs2d: 0 retries, 0 panics, 0 timeout trips | latency p50 212332us p95 341007us p99 341007us | queue stalls 0 | model cache 2 miss, 0 hit | 4 workers
 //! ```
 //!
@@ -25,12 +25,17 @@
 //! carrying the line number and error.
 
 use std::io::BufRead;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use vs2_core::pipeline::Vs2Config;
 use vs2_serve::{
-    run_batch, BatchOptions, EngineConfig, ExtractService, FaultPlan, RetryPolicy, DEFAULT_DOC_SEED,
+    run_batch, AdmitConfig, BatchOptions, EngineConfig, ExtractService, FaultPlan, HandoffSnapshot,
+    Lane, PlanEntry, PlanNamespace, RetryPolicy, DEFAULT_DOC_SEED,
 };
+
+/// Default shed seed when admission is enabled without `--shed-seed`.
+const DEFAULT_SHED_SEED: u64 = 0x5EED;
 
 const USAGE: &str = "\
 vs2d — VS2 batch document-extraction service
@@ -60,6 +65,26 @@ USAGE: vs2d [OPTIONS]
                        instead of the fast path (identical output; escape
                        hatch — see README `Segment fast path`)
   --summary-json PATH  also write the shutdown summary as JSON
+  --admit              enable admission control with watermarks derived
+                       from --queue-capacity; overload answers jobs with
+                       in-stream {\"status\":\"shed\",...} lines instead of
+                       blocking (see README `Overload protection & drain`)
+  --shed-seed N        seed of the deterministic shed draw under saturation
+                       (implies --admit; accepts 0x-prefixed hex)
+  --bucket-capacity N  per-client fairness token buckets of N tokens
+                       (implies --admit; 0 disables, the default)
+  --client NAME        client identity for specs that carry no `client`
+                       field (feeds per-client fairness)
+  --lane LANE          default queue class for specs that carry no `lane`
+                       field: `interactive` (default) or `batch`
+  --drain-after N      stop admitting after N submissions: later lines are
+                       answered as shed (reason `draining`) while queued
+                       work flushes; pair with --handoff for a warm restart
+  --handoff PATH       on shutdown, write a handoff snapshot (answered wire
+                       seqs + quarantine ledger + cached segmentation plans)
+  --resume-from PATH   warm-start from a handoff snapshot: skip answered
+                       lines, preload cached plans, keep seq-keyed decisions
+                       aligned with an uninterrupted run
 ";
 
 struct Options {
@@ -77,6 +102,14 @@ struct Options {
     plan_cache: bool,
     naive_segment: bool,
     summary_json: Option<String>,
+    admit: bool,
+    shed_seed: Option<u64>,
+    bucket_capacity: Option<u32>,
+    client: Option<String>,
+    lane: Lane,
+    drain_after: Option<u64>,
+    handoff: Option<String>,
+    resume_from: Option<String>,
 }
 
 impl Default for Options {
@@ -96,6 +129,14 @@ impl Default for Options {
             plan_cache: false,
             naive_segment: false,
             summary_json: None,
+            admit: false,
+            shed_seed: None,
+            bucket_capacity: None,
+            client: None,
+            lane: Lane::Interactive,
+            drain_after: None,
+            handoff: None,
+            resume_from: None,
         }
     }
 }
@@ -157,6 +198,33 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             "--plan-cache" => opts.plan_cache = true,
             "--naive-segment" => opts.naive_segment = true,
             "--summary-json" => opts.summary_json = Some(value("--summary-json")?),
+            "--admit" => opts.admit = true,
+            "--shed-seed" => {
+                let raw = value("--shed-seed")?;
+                opts.shed_seed = Some(parse_seed(&raw).map_err(|e| format!("--shed-seed: {e}"))?);
+            }
+            "--bucket-capacity" => {
+                opts.bucket_capacity = Some(
+                    value("--bucket-capacity")?
+                        .parse()
+                        .map_err(|e| format!("--bucket-capacity: {e}"))?,
+                );
+            }
+            "--client" => opts.client = Some(value("--client")?),
+            "--lane" => {
+                let raw = value("--lane")?;
+                opts.lane = Lane::parse(&raw)
+                    .ok_or_else(|| format!("--lane: unknown lane `{raw}` (interactive|batch)"))?;
+            }
+            "--drain-after" => {
+                opts.drain_after = Some(
+                    value("--drain-after")?
+                        .parse()
+                        .map_err(|e| format!("--drain-after: {e}"))?,
+                );
+            }
+            "--handoff" => opts.handoff = Some(value("--handoff")?),
+            "--resume-from" => opts.resume_from = Some(value("--resume-from")?),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -183,6 +251,12 @@ fn main() {
         serde_json::from_str(&raw)
             .unwrap_or_else(|e| fail(&format!("invalid --config {path}: {e}")))
     });
+    let resume: Option<HandoffSnapshot> = opts.resume_from.as_ref().map(|path| {
+        let raw = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read --resume-from {path}: {e}")));
+        HandoffSnapshot::parse(&raw)
+            .unwrap_or_else(|e| fail(&format!("invalid --resume-from {path}: {e}")))
+    });
     let reader: Box<dyn BufRead> = if opts.input == "-" {
         Box::new(std::io::stdin().lock())
     } else {
@@ -201,6 +275,18 @@ fn main() {
             ..RetryPolicy::default()
         },
         faults: opts.fault_seed.map(FaultPlan::chaos),
+        admit: (opts.admit || opts.shed_seed.is_some() || opts.bucket_capacity.is_some()).then(
+            || {
+                let cfg = AdmitConfig::for_queue(
+                    opts.queue_capacity,
+                    opts.shed_seed.unwrap_or(DEFAULT_SHED_SEED),
+                );
+                match opts.bucket_capacity {
+                    Some(cap) => cfg.with_buckets(cap, cfg.refill_per_mille),
+                    None => cfg,
+                }
+            },
+        ),
     };
     let options = vs2_serve::ServiceOptions {
         plan_cache: opts.plan_cache,
@@ -212,6 +298,19 @@ fn main() {
         (opts.trace || opts.metrics).then(|| vs2_serve::ObsHub::new(opts.trace, opts.workers));
     let service =
         ExtractService::with_options(engine_config, opts.model_seed, config, options, hub);
+    if let Some(snap) = &resume {
+        for ns in &snap.plans {
+            service.preload_plan_namespace(
+                ns.dataset,
+                ns.model_seed,
+                &ns.learn,
+                ns.entries
+                    .iter()
+                    .map(|e| (e.fingerprint.clone(), Arc::new(e.plan.clone())))
+                    .collect(),
+            );
+        }
+    }
 
     let started = Instant::now();
     let run = run_batch(
@@ -221,9 +320,54 @@ fn main() {
         &BatchOptions {
             include_latency: opts.latency,
             emit_metrics: opts.metrics,
+            default_client: opts.client.clone(),
+            default_lane: opts.lane,
+            drain_after: opts.drain_after,
+            resume_completed: resume
+                .as_ref()
+                .map(|s| s.completed.iter().copied().collect()),
         },
     );
     let wall = started.elapsed();
+
+    if let Some(path) = &opts.handoff {
+        // A resumed run's snapshot covers the whole stream: its own
+        // answered lines plus everything the predecessor answered, so a
+        // chain of restarts stays exactly-once end to end.
+        let mut completed = run.completed_wire_seqs.clone();
+        let mut quarantine = run.quarantine_records.clone();
+        if let Some(snap) = &resume {
+            completed.extend(snap.completed.iter().copied());
+            quarantine.extend(snap.quarantine.iter().cloned());
+        }
+        completed.sort_unstable();
+        completed.dedup();
+        quarantine.sort_by_key(|r| r.seq);
+        let snapshot = HandoffSnapshot {
+            completed,
+            quarantine,
+            plans: service
+                .export_plan_namespaces()
+                .into_iter()
+                .map(|ns| PlanNamespace {
+                    dataset: ns.dataset,
+                    model_seed: ns.model_seed,
+                    learn: ns.learn,
+                    entries: ns
+                        .entries
+                        .into_iter()
+                        .map(|(fingerprint, plan)| PlanEntry {
+                            fingerprint,
+                            plan: (*plan).clone(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        };
+        if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+            eprintln!("vs2d: cannot write --handoff {path}: {e}");
+        }
+    }
 
     let stats = service.stats();
     let (cache_hits, cache_misses) = service.cache_counters();
@@ -238,14 +382,21 @@ fn main() {
         0.0
     };
     eprintln!(
-        "vs2d: {jobs} jobs ({} ok, {} degraded, {} quarantined, {} invalid) in {:.2}s — {:.1} docs/s",
+        "vs2d: {jobs} jobs ({} ok, {} degraded, {} quarantined, {} shed, {} invalid) in {:.2}s — {:.1} docs/s",
         stats.ok,
         stats.degraded,
         stats.quarantined,
+        stats.shed,
         run.invalid,
         wall.as_secs_f64(),
         docs_per_s,
     );
+    if run.skipped > 0 {
+        eprintln!(
+            "vs2d: resumed from handoff — {} lines already answered by the predecessor",
+            run.skipped
+        );
+    }
     eprintln!(
         "vs2d: {} retries, {} panics, {} timeout trips | latency p50 {}us p95 {}us p99 {}us | queue stalls {} | model cache {} miss, {} hit | {} workers",
         stats.retried,
@@ -277,6 +428,7 @@ fn main() {
             ("ok".into(), serde::Value::UInt(stats.ok)),
             ("degraded".into(), serde::Value::UInt(stats.degraded)),
             ("quarantined".into(), serde::Value::UInt(stats.quarantined)),
+            ("shed".into(), serde::Value::UInt(stats.shed)),
             ("retried".into(), serde::Value::UInt(stats.retried)),
             ("panicked".into(), serde::Value::UInt(stats.panicked)),
             ("timed_out".into(), serde::Value::UInt(stats.timed_out)),

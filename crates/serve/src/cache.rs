@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use vs2_core::pipeline::{Vs2Config, Vs2Pipeline};
-use vs2_core::plan::{PlanCounters, PlanStore};
+use vs2_core::plan::{LayoutFingerprint, PlanCounters, PlanStore, SegmentationPlan};
 use vs2_core::select::Eq2Weights;
 use vs2_core::Vs2Model;
 use vs2_synth::dataset::{holdout_corpus, DatasetId};
@@ -94,6 +94,19 @@ pub struct CacheSnapshot {
     /// take their counters with them, so these are a floor, not a
     /// lifetime total.
     pub plans: PlanCounters,
+}
+
+/// The exported plans of one namespace, keyed by the slot identity —
+/// the in-memory face of a drain/handoff snapshot's plan section.
+pub struct PlanNamespaceSnapshot {
+    /// Dataset of the namespace's slot.
+    pub dataset: DatasetId,
+    /// Model seed of the namespace's slot.
+    pub model_seed: u64,
+    /// Canonical JSON of the slot's learning configuration.
+    pub learn: String,
+    /// Cached plans, sorted by fingerprint digest.
+    pub entries: Vec<(LayoutFingerprint, Arc<SegmentationPlan>)>,
 }
 
 /// Learn-once, extract-many cache of [`Vs2Model`]s keyed by
@@ -289,6 +302,53 @@ impl ModelCache {
         total
     }
 
+    /// Exports every non-empty plan namespace for a drain/handoff
+    /// snapshot, sorted by `(dataset name, model seed, learn config)` so
+    /// the serialized order is stable.
+    pub fn export_plan_namespaces(&self) -> Vec<PlanNamespaceSnapshot> {
+        let inner = self.inner.lock().unwrap();
+        let mut out: Vec<PlanNamespaceSnapshot> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.plans.is_empty())
+            .map(|(key, e)| PlanNamespaceSnapshot {
+                dataset: key.dataset,
+                model_seed: key.model_seed,
+                learn: key.learn.clone(),
+                entries: e.plans.export(),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            (a.dataset.name(), a.model_seed, &a.learn).cmp(&(
+                b.dataset.name(),
+                b.model_seed,
+                &b.learn,
+            ))
+        });
+        out
+    }
+
+    /// Preloads plans into the namespace of `(dataset, model_seed,
+    /// learn)` — the warm-start half of [`Self::export_plan_namespaces`].
+    /// Creates the slot (without learning its model) when absent; the
+    /// plan store's own first-plan-wins and capacity rules apply.
+    /// Returns the number of plans admitted.
+    pub fn preload_plan_namespace(
+        &self,
+        dataset: DatasetId,
+        model_seed: u64,
+        learn: &str,
+        entries: Vec<(LayoutFingerprint, Arc<SegmentationPlan>)>,
+    ) -> usize {
+        let key = CacheKey {
+            dataset,
+            model_seed,
+            learn: learn.to_string(),
+        };
+        let (_model, plans) = self.entry(&key);
+        plans.preload(entries)
+    }
+
     /// Full counter snapshot of both cache levels.
     pub fn snapshot(&self) -> CacheSnapshot {
         CacheSnapshot {
@@ -476,6 +536,56 @@ mod tests {
         assert_eq!(snap.plans.misses, 1);
         assert_eq!(snap.plans.inserts, 1);
         assert_eq!(snap.model_evictions, 0);
+    }
+
+    #[test]
+    fn plan_namespaces_export_and_preload_across_caches() {
+        let cache = ModelCache::new();
+        let cfg = default_config_for(DatasetId::D1);
+        let plans = cache.plan_store_for(DatasetId::D1, 1, &cfg);
+        // An empty namespace exports nothing.
+        assert!(cache.export_plan_namespaces().is_empty());
+        let mut doc = vs2_docmodel::Document::new("ns", 600.0, 800.0);
+        for i in 0..3 {
+            doc.push_text(vs2_docmodel::TextElement::word(
+                format!("w{i}"),
+                vs2_docmodel::BBox::new(60.0 + i as f64 * 50.0, 60.0, 40.0, 12.0),
+            ));
+        }
+        vs2_core::plan::planned_blocks(
+            &doc,
+            &vs2_core::segment::SegmentConfig::default(),
+            &vs2_core::plan::PlanConfig::default(),
+            &plans,
+        );
+        let exported = cache.export_plan_namespaces();
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].dataset, DatasetId::D1);
+        assert_eq!(exported[0].model_seed, 1);
+        assert_eq!(exported[0].entries.len(), 1);
+
+        // Warm-start a second cache from the export: the repeat document
+        // replays with zero misses.
+        let successor = ModelCache::new();
+        let ns = &exported[0];
+        assert_eq!(
+            successor.preload_plan_namespace(
+                ns.dataset,
+                ns.model_seed,
+                &ns.learn,
+                ns.entries.clone()
+            ),
+            1
+        );
+        let warm = successor.plan_store_for(DatasetId::D1, 1, &cfg);
+        let (_, outcome) = vs2_core::plan::planned_blocks(
+            &doc,
+            &vs2_core::segment::SegmentConfig::default(),
+            &vs2_core::plan::PlanConfig::default(),
+            &warm,
+        );
+        assert_eq!(outcome, vs2_core::plan::PlanOutcome::Replayed);
+        assert_eq!(successor.snapshot().plans.misses, 0);
     }
 
     #[test]

@@ -38,10 +38,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::admit::{AdmitConfig, AdmitController, AdmitDecision, AdmitSnapshot, Lane, ShedReason};
 use crate::error::{QuarantineEntry, ServeError};
 use crate::faults::{FaultPlan, FaultSite};
 use crate::obs::EngineMetrics;
-use crate::queue::BoundedQueue;
+use crate::queue::LaneQueue;
 use crate::retry::RetryPolicy;
 
 /// Worker-pool configuration.
@@ -59,6 +60,10 @@ pub struct EngineConfig {
     /// Deterministic fault injection; `None` (production) costs one
     /// branch per site checkpoint.
     pub faults: Option<FaultPlan>,
+    /// Admission control (load shedding, fairness buckets, degrade
+    /// routing); `None` admits everything, byte-identical to the
+    /// pre-admission engine.
+    pub admit: Option<AdmitConfig>,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +74,7 @@ impl Default for EngineConfig {
             job_timeout: None,
             retry: RetryPolicy::default(),
             faults: None,
+            admit: None,
         }
     }
 }
@@ -143,6 +149,10 @@ pub enum JobOutcome<O> {
     /// The job failed every attempt and no fallback answer exists; a
     /// matching entry is in the quarantine ledger.
     Failed(ServeError),
+    /// Admission control rejected the job at submit time: it was never
+    /// enqueued or processed, its outcome published immediately. Not a
+    /// quarantine — resubmit once pressure clears.
+    Shed(ShedReason),
 }
 
 impl<O> JobOutcome<O> {
@@ -156,12 +166,17 @@ impl<O> JobOutcome<O> {
         matches!(self, JobOutcome::Degraded { .. })
     }
 
+    /// `true` for [`JobOutcome::Shed`].
+    pub fn is_shed(&self) -> bool {
+        matches!(self, JobOutcome::Shed(_))
+    }
+
     /// The output, from either the primary ([`JobOutcome::Ok`]) or the
     /// degraded path.
     pub fn output(&self) -> Option<&O> {
         match self {
             JobOutcome::Ok(o) | JobOutcome::Degraded { output: o, .. } => Some(o),
-            JobOutcome::Failed(_) => None,
+            JobOutcome::Failed(_) | JobOutcome::Shed(_) => None,
         }
     }
 }
@@ -177,6 +192,10 @@ pub struct Completed<O> {
     pub outcome: JobOutcome<O>,
     /// Processing latency of the deciding attempt.
     pub latency: Duration,
+    /// Queue dwell before the deciding attempt was picked up (zero for
+    /// shed jobs and watchdog-decided timeouts). `dwell + latency` is
+    /// the job's sojourn time — what a caller actually waited.
+    pub dwell: Duration,
     /// Attempts consumed (including the first).
     pub attempts: u32,
 }
@@ -186,7 +205,8 @@ pub struct Completed<O> {
 pub struct EngineStats {
     /// Jobs accepted by `submit`.
     pub submitted: u64,
-    /// Jobs with a published outcome (`ok + degraded + quarantined`).
+    /// Jobs with a published outcome
+    /// (`ok + degraded + quarantined + shed`).
     pub completed: u64,
     /// Jobs that finished normally on the primary path.
     pub ok: u64,
@@ -200,6 +220,8 @@ pub struct EngineStats {
     pub panicked: u64,
     /// Watchdog trips, over all attempts.
     pub timed_out: u64,
+    /// Jobs rejected by admission control (overload or drain).
+    pub shed: u64,
     /// Submissions that blocked on a full queue.
     pub queue_stalls: u64,
 }
@@ -213,6 +235,7 @@ struct Counters {
     retried: AtomicU64,
     panicked: AtomicU64,
     timed_out: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// One queue entry: a job plus the attempt number it will run as.
@@ -220,6 +243,12 @@ struct QueuedJob<J> {
     seq: u64,
     attempt: u32,
     job: J,
+    /// Queue class — the watchdog re-enqueues on the same lane.
+    lane: Lane,
+    /// `Some(reason)` routes the job straight to the degradation
+    /// fallback (admission's pressure valve); the primary processor
+    /// never runs.
+    degrade: Option<ShedReason>,
     /// When the entry went onto the queue — queue dwell is measured from
     /// here to the moment a worker picks the job up.
     enqueued: Instant,
@@ -231,6 +260,8 @@ struct Inflight<J> {
     /// Clone kept so the watchdog can re-enqueue the job on its first
     /// deadline trip.
     job: J,
+    /// Lane the job was admitted on (watchdog re-enqueues preserve it).
+    lane: Lane,
 }
 
 struct ResultsState<O> {
@@ -255,7 +286,7 @@ struct ResultsState<O> {
 }
 
 struct Shared<J, O> {
-    queue: BoundedQueue<QueuedJob<J>>,
+    queue: LaneQueue<QueuedJob<J>>,
     results: Mutex<ResultsState<O>>,
     results_cv: Condvar,
     inflight: Mutex<HashMap<u64, Inflight<J>>>,
@@ -265,6 +296,11 @@ struct Shared<J, O> {
     retry: RetryPolicy,
     faults: Option<FaultPlan>,
     metrics: Option<Arc<EngineMetrics>>,
+    admit: Option<AdmitController>,
+    /// Once set, every new submission is shed with
+    /// [`ShedReason::Draining`]; in-flight and queued work still
+    /// completes (the handoff flush).
+    draining: AtomicBool,
     stopping: AtomicBool,
 }
 
@@ -294,21 +330,43 @@ impl<J, O> Shared<J, O> {
 
     /// Publishes the outcome of `(seq, attempt)` unless the attempt was
     /// superseded by a timeout retry or the seq already completed.
+    #[allow(clippy::too_many_arguments)]
     fn publish_attempt(
         &self,
         seq: u64,
         attempt: u32,
         outcome: JobOutcome<O>,
         latency: Duration,
+        dwell: Duration,
         attempts: u32,
     ) {
-        self.publish_inner(seq, Some(attempt), outcome, latency, attempts);
+        self.publish_inner(seq, Some(attempt), outcome, latency, dwell, attempts);
     }
 
     /// Publishes a final outcome on behalf of a timeout claimer that
     /// owns the seq (its epoch is `u32::MAX`); skips the epoch check.
-    fn publish_terminal(&self, seq: u64, outcome: JobOutcome<O>, latency: Duration, attempts: u32) {
-        self.publish_inner(seq, None, outcome, latency, attempts);
+    fn publish_terminal(
+        &self,
+        seq: u64,
+        outcome: JobOutcome<O>,
+        latency: Duration,
+        dwell: Duration,
+        attempts: u32,
+    ) {
+        self.publish_inner(seq, None, outcome, latency, dwell, attempts);
+    }
+
+    /// Publishes a shed decided at submit time: the job never entered
+    /// the queue, so its outcome is immediate and zero-cost.
+    fn publish_shed(&self, seq: u64, reason: ShedReason) {
+        self.publish_inner(
+            seq,
+            Some(0),
+            JobOutcome::Shed(reason),
+            Duration::ZERO,
+            Duration::ZERO,
+            0,
+        );
     }
 
     fn publish_inner(
@@ -317,6 +375,7 @@ impl<J, O> Shared<J, O> {
         attempt: Option<u32>,
         outcome: JobOutcome<O>,
         latency: Duration,
+        dwell: Duration,
         attempts: u32,
     ) {
         let mut results = self.results.lock().unwrap();
@@ -336,15 +395,28 @@ impl<J, O> Shared<J, O> {
             JobOutcome::Ok(_) => self.counters.ok.fetch_add(1, Ordering::Relaxed),
             JobOutcome::Degraded { .. } => self.counters.degraded.fetch_add(1, Ordering::Relaxed),
             JobOutcome::Failed(_) => self.counters.quarantined.fetch_add(1, Ordering::Relaxed),
+            JobOutcome::Shed(_) => self.counters.shed.fetch_add(1, Ordering::Relaxed),
         };
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        let is_shed = outcome.is_shed();
         if let Some(metrics) = &self.metrics {
             match &outcome {
                 JobOutcome::Ok(_) => metrics.on_ok(seq),
                 JobOutcome::Degraded { .. } => metrics.on_degraded(seq),
                 JobOutcome::Failed(_) => metrics.on_quarantined(seq),
+                JobOutcome::Shed(_) => metrics.on_shed(seq),
             }
-            metrics.on_job_latency(seq, latency);
+            if !is_shed {
+                metrics.on_job_latency(seq, latency);
+            }
+        }
+        // Engine progress — not wall clock — advances the admission
+        // controller's latency EWMA. Shed jobs did no work and would
+        // only drag the signal toward zero.
+        if !is_shed {
+            if let Some(admit) = &self.admit {
+                admit.on_completion(latency);
+            }
         }
         results.map.insert(
             seq,
@@ -352,6 +424,7 @@ impl<J, O> Shared<J, O> {
                 seq,
                 outcome,
                 latency,
+                dwell,
                 attempts,
             },
         );
@@ -431,7 +504,7 @@ impl<J: Send + Clone + 'static, O: Send + 'static> BatchEngine<J, O> {
         metrics: Option<Arc<EngineMetrics>>,
     ) -> Self {
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_capacity),
+            queue: LaneQueue::new(config.queue_capacity),
             results: Mutex::new(ResultsState {
                 map: BTreeMap::new(),
                 done: HashSet::new(),
@@ -450,11 +523,14 @@ impl<J: Send + Clone + 'static, O: Send + 'static> BatchEngine<J, O> {
                 retried: AtomicU64::new(0),
                 panicked: AtomicU64::new(0),
                 timed_out: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
             },
             timeout: config.job_timeout,
             retry: config.retry,
             faults: config.faults,
             metrics,
+            admit: config.admit.map(AdmitController::new),
+            draining: AtomicBool::new(false),
             stopping: AtomicBool::new(false),
         });
         let workers = (0..config.workers.max(1))
@@ -490,32 +566,108 @@ impl<J: Send + Clone + 'static, O: Send + 'static> BatchEngine<J, O> {
         self.config
     }
 
-    /// Submits a job, blocking while the queue is full (backpressure).
-    /// Returns the job's sequence number.
+    /// Submits an anonymous interactive-lane job, blocking while the
+    /// queue is full (backpressure). Returns the job's sequence number.
     ///
     /// # Panics
     /// If called after [`BatchEngine::shutdown`] began (the queue is
     /// closed).
     pub fn submit(&self, job: J) -> u64 {
+        self.submit_with(job, None, Lane::Interactive)
+    }
+
+    /// Submits a job attributed to `client` on `lane`, running it
+    /// through admission control (when configured). The job *always*
+    /// gets a sequence number and exactly one outcome: a shed decision
+    /// publishes [`JobOutcome::Shed`] immediately instead of enqueuing;
+    /// a degrade decision enqueues the job routed straight to the
+    /// fallback.
+    ///
+    /// # Panics
+    /// If called after [`BatchEngine::shutdown`] began (the queue is
+    /// closed).
+    pub fn submit_with(&self, job: J, client: Option<&str>, lane: Lane) -> u64 {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         self.shared
             .counters
             .submitted
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(metrics) = &self.shared.metrics {
+            metrics.on_lane(seq, lane);
+        }
+        let decision = if self.shared.draining.load(Ordering::Relaxed) {
+            if let Some(admit) = &self.shared.admit {
+                admit.count_shed(ShedReason::Draining);
+            }
+            AdmitDecision::Shed(ShedReason::Draining)
+        } else {
+            match &self.shared.admit {
+                Some(admit) => admit.decide(client, lane, seq, self.shared.queue.len()),
+                None => AdmitDecision::Accept,
+            }
+        };
+        let degrade = match decision {
+            AdmitDecision::Shed(reason) => {
+                self.shared.publish_shed(seq, reason);
+                return seq;
+            }
+            AdmitDecision::Degrade(reason) => {
+                if let Some(metrics) = &self.shared.metrics {
+                    metrics.on_admit_degrade(seq);
+                }
+                Some(reason)
+            }
+            AdmitDecision::Accept => None,
+        };
         if self
             .shared
             .queue
-            .push(QueuedJob {
-                seq,
-                attempt: 0,
-                job,
-                enqueued: Instant::now(),
-            })
+            .push(
+                QueuedJob {
+                    seq,
+                    attempt: 0,
+                    job,
+                    lane,
+                    degrade,
+                    enqueued: Instant::now(),
+                },
+                lane,
+            )
             .is_err()
         {
             panic!("submit on a shut-down engine");
         }
         seq
+    }
+
+    /// Reserves (burns) one sequence number without submitting or
+    /// publishing anything. Warm-restart alignment: a successor process
+    /// skipping already-completed wire lines still consumes the engine
+    /// seqs those lines would have used, so seq-keyed decisions (fault
+    /// plan, retry backoff, shed draw) stay aligned with an
+    /// uninterrupted run. Incompatible with [`BatchEngine::drain`]
+    /// (which would block forever on the hole) — use
+    /// [`BatchEngine::wait_result`] per submitted seq instead.
+    pub fn reserve_seq(&self) -> u64 {
+        self.next_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Enters the draining state: every subsequent submission is shed
+    /// with [`ShedReason::Draining`]; queued and in-flight jobs still
+    /// complete. Irreversible for the engine's lifetime.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`BatchEngine::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Relaxed)
+    }
+
+    /// Admission-controller counter snapshot; `None` without
+    /// [`EngineConfig::admit`].
+    pub fn admit_snapshot(&self) -> Option<AdmitSnapshot> {
+        self.shared.admit.as_ref().map(|a| a.snapshot())
     }
 
     /// Blocks until job `seq`'s outcome is available and removes it.
@@ -564,6 +716,7 @@ impl<J: Send + Clone + 'static, O: Send + 'static> BatchEngine<J, O> {
             retried: self.shared.counters.retried.load(Ordering::Relaxed),
             panicked: self.shared.counters.panicked.load(Ordering::Relaxed),
             timed_out: self.shared.counters.timed_out.load(Ordering::Relaxed),
+            shed: self.shared.counters.shed.load(Ordering::Relaxed),
             queue_stalls: self.shared.queue.stall_count(),
         }
     }
@@ -612,6 +765,7 @@ fn finish_failed<J, O>(
     seq: u64,
     error: ServeError,
     latency: Duration,
+    dwell: Duration,
     attempts: u32,
     terminal_claim: bool,
 ) {
@@ -621,9 +775,9 @@ fn finish_failed<J, O>(
             if let Ok(Some(output)) = catch_unwind(AssertUnwindSafe(|| fallback(job))) {
                 let outcome = JobOutcome::Degraded { output, error };
                 if terminal_claim {
-                    shared.publish_terminal(seq, outcome, latency, attempts);
+                    shared.publish_terminal(seq, outcome, latency, dwell, attempts);
                 } else {
-                    shared.publish_attempt(seq, attempts - 1, outcome, latency, attempts);
+                    shared.publish_attempt(seq, attempts - 1, outcome, latency, dwell, attempts);
                 }
                 return;
             }
@@ -637,9 +791,9 @@ fn finish_failed<J, O>(
     });
     let outcome = JobOutcome::Failed(error);
     if terminal_claim {
-        shared.publish_terminal(seq, outcome, latency, attempts);
+        shared.publish_terminal(seq, outcome, latency, dwell, attempts);
     } else {
-        shared.publish_attempt(seq, attempts - 1, outcome, latency, attempts);
+        shared.publish_attempt(seq, attempts - 1, outcome, latency, dwell, attempts);
     }
 }
 
@@ -665,10 +819,44 @@ fn run_job<J: Clone, O>(
         seq,
         mut attempt,
         job,
+        lane,
+        degrade,
         enqueued,
     } = queued;
+    let dwell = enqueued.elapsed();
     if let Some(metrics) = &shared.metrics {
-        metrics.on_dwell(seq, enqueued.elapsed());
+        metrics.on_dwell(seq, dwell);
+    }
+    // Degrade-routed jobs skip the primary pipeline entirely: one shot
+    // at the cheap fallback, no retries, no watchdog registration. A
+    // missing or panicking fallback quarantines the job.
+    if let Some(reason) = degrade {
+        let start = Instant::now();
+        let error = ServeError::Overloaded { reason };
+        let output = fallback
+            .and_then(|f| catch_unwind(AssertUnwindSafe(|| f(&job))).ok())
+            .flatten();
+        let latency = start.elapsed();
+        match output {
+            Some(output) => shared.publish_attempt(
+                seq,
+                0,
+                JobOutcome::Degraded { output, error },
+                latency,
+                dwell,
+                1,
+            ),
+            None => {
+                shared.quarantine.lock().unwrap().push(QuarantineEntry {
+                    seq,
+                    attempts: 1,
+                    error: error.clone(),
+                    elapsed: latency,
+                });
+                shared.publish_attempt(seq, 0, JobOutcome::Failed(error), latency, dwell, 1);
+            }
+        }
+        return;
     }
     loop {
         let start = Instant::now();
@@ -678,6 +866,7 @@ fn run_job<J: Clone, O>(
                 started: start,
                 attempt,
                 job: job.clone(),
+                lane,
             },
         );
         let ctx = JobCtx {
@@ -727,6 +916,7 @@ fn run_job<J: Clone, O>(
                     seq,
                     ServeError::Timeout { elapsed: latency },
                     latency,
+                    dwell,
                     attempt + 1,
                     true,
                 );
@@ -741,7 +931,14 @@ fn run_job<J: Clone, O>(
         }
         let error = match result {
             Ok(Ok(output)) => {
-                shared.publish_attempt(seq, attempt, JobOutcome::Ok(output), latency, attempt + 1);
+                shared.publish_attempt(
+                    seq,
+                    attempt,
+                    JobOutcome::Ok(output),
+                    latency,
+                    dwell,
+                    attempt + 1,
+                );
                 return;
             }
             Ok(Err(error)) => error,
@@ -779,6 +976,7 @@ fn run_job<J: Clone, O>(
             seq,
             final_error,
             latency,
+            dwell,
             attempt + 1,
             false,
         );
@@ -828,6 +1026,7 @@ fn watchdog_loop<J: Clone, O>(shared: &Shared<J, O>, timeout: Duration) {
                     seq,
                     ServeError::Timeout { elapsed },
                     elapsed,
+                    Duration::ZERO,
                     entry.attempt + 1,
                     true,
                 );
@@ -837,16 +1036,19 @@ fn watchdog_loop<J: Clone, O>(shared: &Shared<J, O>, timeout: Duration) {
             if let Some(metrics) = &shared.metrics {
                 metrics.on_retry(seq);
             }
+            let lane = entry.lane;
             let requeued = QueuedJob {
                 seq,
                 attempt: entry.attempt + 1,
                 job: entry.job,
+                lane,
+                degrade: None,
                 enqueued: Instant::now(),
             };
             // Bounded backpressure: the watchdog must not block on a
             // stuffed queue — if no slot opens within a tick, the retry
             // is abandoned and the job quarantined as a timeout.
-            if let Err(err) = shared.queue.push_timeout(requeued, tick) {
+            if let Err(err) = shared.queue.push_timeout(requeued, lane, tick) {
                 let abandoned = err.into_inner();
                 finish_failed::<J, O>(
                     shared,
@@ -855,6 +1057,7 @@ fn watchdog_loop<J: Clone, O>(shared: &Shared<J, O>, timeout: Duration) {
                     seq,
                     ServeError::Timeout { elapsed },
                     elapsed,
+                    Duration::ZERO,
                     abandoned.attempt,
                     true,
                 );
@@ -898,6 +1101,7 @@ mod tests {
                 job_timeout: None,
                 retry: RetryPolicy::immediate(3),
                 faults: None,
+                admit: None,
             },
             move |job, _ctx| Ok(f(job)),
         )
@@ -1110,6 +1314,7 @@ mod tests {
                 job_timeout: Some(Duration::from_millis(40)),
                 retry: RetryPolicy::immediate(3),
                 faults: None,
+                admit: None,
             },
             |job, _ctx| {
                 if *job == 1 {
@@ -1156,6 +1361,7 @@ mod tests {
                 job_timeout: Some(Duration::from_millis(30)),
                 retry: RetryPolicy::immediate(3),
                 faults: None,
+                admit: None,
             },
             |job, ctx| {
                 if ctx.attempt == 0 {
@@ -1215,6 +1421,7 @@ mod tests {
                     ..RetryPolicy::immediate(3)
                 },
                 faults: None,
+                admit: None,
             },
             |_job, _ctx| {
                 std::thread::sleep(Duration::from_millis(200));
@@ -1307,5 +1514,189 @@ mod tests {
         for site in FaultSite::all() {
             assert!(ctx.checkpoint(site).is_ok());
         }
+    }
+
+    #[test]
+    fn rate_limited_jobs_shed_with_published_outcomes() {
+        // Bucket of 2, zero refill: the third "flood" job on the
+        // interactive lane must shed, with an outcome published
+        // immediately (never silently dropped).
+        let admit = AdmitConfig::for_queue(8, 7)
+            .inert_pressure()
+            .with_buckets(2, 0);
+        let mut engine: BatchEngine<u32, u32> = BatchEngine::new(
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 8,
+                retry: RetryPolicy::immediate(1),
+                admit: Some(admit),
+                ..EngineConfig::default()
+            },
+            |job, _ctx| Ok(*job),
+        );
+        for j in 0..4u32 {
+            engine.submit_with(j, Some("flood"), Lane::Interactive);
+        }
+        let results = engine.drain();
+        assert_eq!(results[0].outcome, JobOutcome::Ok(0));
+        assert_eq!(results[1].outcome, JobOutcome::Ok(1));
+        assert_eq!(
+            results[2].outcome,
+            JobOutcome::Shed(ShedReason::RateLimited)
+        );
+        assert_eq!(
+            results[3].outcome,
+            JobOutcome::Shed(ShedReason::RateLimited)
+        );
+        for shed in &results[2..] {
+            assert_eq!(shed.latency, Duration::ZERO);
+            assert_eq!(shed.dwell, Duration::ZERO);
+            assert_eq!(shed.attempts, 0);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.shed, 2);
+        assert_eq!(stats.ok, 2);
+        assert_eq!(
+            stats.completed,
+            stats.ok + stats.degraded + stats.quarantined + stats.shed,
+            "every job must be accounted exactly once"
+        );
+        assert!(engine.quarantine().is_empty(), "sheds never hit the ledger");
+        let snap = engine.admit_snapshot().unwrap();
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.shed_rate_limited, 2);
+    }
+
+    #[test]
+    fn rate_limited_batch_jobs_degrade_through_the_fallback() {
+        let admit = AdmitConfig::for_queue(8, 7)
+            .inert_pressure()
+            .with_buckets(1, 0);
+        let mut engine: BatchEngine<u32, u32> = BatchEngine::with_fallback(
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 8,
+                retry: RetryPolicy::immediate(1),
+                admit: Some(admit),
+                ..EngineConfig::default()
+            },
+            |job, _ctx| Ok(*job),
+            |job| Some(job + 100),
+        );
+        engine.submit_with(1, Some("flood"), Lane::Batch);
+        engine.submit_with(2, Some("flood"), Lane::Batch);
+        let results = engine.drain();
+        assert_eq!(results[0].outcome, JobOutcome::Ok(1));
+        match &results[1].outcome {
+            JobOutcome::Degraded { output, error } => {
+                assert_eq!(*output, 102, "routed straight to the fallback");
+                assert_eq!(
+                    error,
+                    &ServeError::Overloaded {
+                        reason: ShedReason::RateLimited
+                    }
+                );
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        assert_eq!(results[1].attempts, 1);
+        let stats = engine.stats();
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(stats.shed, 0, "batch over-rate degrades, never sheds");
+        assert!(engine.quarantine().is_empty());
+    }
+
+    #[test]
+    fn degrade_without_fallback_quarantines_as_overloaded() {
+        let admit = AdmitConfig::for_queue(8, 7)
+            .inert_pressure()
+            .with_buckets(1, 0);
+        let mut engine: BatchEngine<u32, u32> = BatchEngine::new(
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 8,
+                retry: RetryPolicy::immediate(1),
+                admit: Some(admit),
+                ..EngineConfig::default()
+            },
+            |job, _ctx| Ok(*job),
+        );
+        engine.submit_with(1, Some("flood"), Lane::Batch);
+        engine.submit_with(2, Some("flood"), Lane::Batch);
+        let results = engine.drain();
+        assert_eq!(
+            results[1].outcome,
+            JobOutcome::Failed(ServeError::Overloaded {
+                reason: ShedReason::RateLimited
+            })
+        );
+        let ledger = engine.quarantine();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[0].error.kind(), "overloaded");
+    }
+
+    #[test]
+    fn draining_sheds_new_work_but_flushes_the_backlog() {
+        let mut engine = plain_engine(2, 8, |job: &u32| {
+            std::thread::sleep(Duration::from_millis(5));
+            job * 2
+        });
+        for j in 0..4u32 {
+            engine.submit(j);
+        }
+        assert!(!engine.is_draining());
+        engine.begin_drain();
+        assert!(engine.is_draining());
+        for j in 4..6u32 {
+            engine.submit(j);
+        }
+        let results = engine.drain();
+        for (i, done) in results.iter().take(4).enumerate() {
+            assert_eq!(
+                done.outcome,
+                JobOutcome::Ok(i as u32 * 2),
+                "pre-drain work must flush"
+            );
+        }
+        for done in &results[4..] {
+            assert_eq!(done.outcome, JobOutcome::Shed(ShedReason::Draining));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.ok, 4);
+        assert_eq!(stats.shed, 2);
+        assert_eq!(stats.completed, 6);
+    }
+
+    #[test]
+    fn reserve_seq_burns_numbers_without_outcomes() {
+        let engine = plain_engine(1, 4, |job: &u32| *job);
+        assert_eq!(engine.reserve_seq(), 0);
+        assert_eq!(engine.reserve_seq(), 1);
+        let seq = engine.submit(7);
+        assert_eq!(seq, 2, "submit continues after the reserved hole");
+        assert_eq!(engine.wait_result(seq).outcome, JobOutcome::Ok(7));
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 1, "reservations are not submissions");
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn dwell_is_reported_for_processed_jobs() {
+        let mut engine = plain_engine(1, 8, |job: &u32| {
+            std::thread::sleep(Duration::from_millis(10));
+            *job
+        });
+        for j in 0..3u32 {
+            engine.submit(j);
+        }
+        let results = engine.drain();
+        // Job 2 waited behind two 10ms jobs on the single worker.
+        assert!(
+            results[2].dwell >= Duration::from_millis(15),
+            "dwell {:?} must reflect queue wait",
+            results[2].dwell
+        );
+        assert!(results[0].dwell < results[2].dwell);
     }
 }

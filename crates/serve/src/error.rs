@@ -11,6 +11,8 @@
 
 use std::time::Duration;
 
+use crate::admit::ShedReason;
+
 /// Terminal or transient failure of one job attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
@@ -36,6 +38,13 @@ pub enum ServeError {
         /// The last transient error observed.
         last: String,
     },
+    /// Admission control rejected (shed) or degrade-routed the job.
+    /// Never retried: the caller should back off and resubmit, or accept
+    /// the degraded answer.
+    Overloaded {
+        /// What tripped admission control.
+        reason: ShedReason,
+    },
 }
 
 impl ServeError {
@@ -53,6 +62,7 @@ impl ServeError {
             ServeError::Fatal(_) => "fatal",
             ServeError::Timeout { .. } => "timeout",
             ServeError::Poison { .. } => "poison",
+            ServeError::Overloaded { .. } => "overloaded",
         }
     }
 }
@@ -67,6 +77,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Poison { attempts, last } => {
                 write!(f, "poison after {attempts} attempts: {last}")
+            }
+            ServeError::Overloaded { reason } => {
+                write!(f, "overloaded: {reason}")
             }
         }
     }
@@ -126,5 +139,11 @@ mod tests {
         assert_eq!(t.kind(), "timeout");
         assert_eq!(t.to_string(), "timeout after 42ms");
         assert_eq!(ServeError::Fatal("boom".into()).to_string(), "fatal: boom");
+        let o = ServeError::Overloaded {
+            reason: ShedReason::QueueDepth,
+        };
+        assert_eq!(o.kind(), "overloaded");
+        assert_eq!(o.to_string(), "overloaded: queue_depth");
+        assert!(!o.is_retryable());
     }
 }

@@ -1,0 +1,335 @@
+//! Drain/handoff snapshots: the state a draining `vs2d` process writes
+//! so a successor can warm-start and finish the stream.
+//!
+//! A snapshot captures three things:
+//!
+//! * **Completed wire seqs** — the input line numbers whose result lines
+//!   the draining process already emitted. The successor skips these
+//!   (burning their engine sequence numbers with
+//!   [`crate::engine::BatchEngine::reserve_seq`] so seq-keyed decisions
+//!   line up with an uninterrupted run) and processes only the rest,
+//!   giving exactly-once output across the pair of processes.
+//! * **Quarantine ledger** — the records behind the draining run's
+//!   `{"record":"quarantine",...}` lines, so accounting survives the
+//!   process boundary.
+//! * **Plan namespaces** — the contents of every non-empty
+//!   segmentation-plan cache namespace, so the successor replays
+//!   template plans instead of re-learning layouts it has never seen.
+//!
+//! [`HandoffSnapshot::parse`] is strict: an unknown version or a ledger
+//! whose wire seqs are not strictly increasing is rejected with a typed
+//! [`HandoffError`], never silently accepted — a corrupted snapshot must
+//! fail the warm start, not corrupt the successor's accounting.
+
+use std::fmt;
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use vs2_core::plan::{LayoutFingerprint, SegmentationPlan};
+use vs2_synth::dataset::DatasetId;
+
+use crate::job::QuarantineRecord;
+
+/// Snapshot format version written by this build.
+pub const HANDOFF_VERSION: u64 = 1;
+
+/// One cached plan: the fingerprint key and the plan replayed under it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEntry {
+    /// The layout fingerprint the plan is cached under.
+    pub fingerprint: LayoutFingerprint,
+    /// The cached segmentation plan.
+    pub plan: SegmentationPlan,
+}
+
+/// The exported contents of one plan-cache namespace
+/// (`dataset × model seed × learn config`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNamespace {
+    /// Dataset of the namespace's model slot.
+    pub dataset: DatasetId,
+    /// Model seed of the namespace's model slot.
+    pub model_seed: u64,
+    /// Canonical JSON of the slot's learning configuration.
+    pub learn: String,
+    /// Cached plans, sorted by fingerprint digest.
+    pub entries: Vec<PlanEntry>,
+}
+
+/// Everything a successor needs to warm-start after a drain.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HandoffSnapshot {
+    /// Wire seqs (input line numbers) whose result lines the draining
+    /// process emitted, in strictly increasing order.
+    pub completed: Vec<u64>,
+    /// The draining run's quarantine ledger, in strictly increasing
+    /// wire-seq order.
+    pub quarantine: Vec<QuarantineRecord>,
+    /// Exported plan-cache namespaces.
+    pub plans: Vec<PlanNamespace>,
+}
+
+/// Typed rejection of a handoff snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HandoffError {
+    /// The snapshot was not valid JSON or was missing required fields.
+    Parse(String),
+    /// The snapshot's `version` field is not one this build understands.
+    Version(u64),
+    /// The `completed` list is not strictly increasing.
+    NonMonotonicCompleted {
+        /// The seq preceding the violation.
+        prev: u64,
+        /// The offending seq (≤ `prev`).
+        next: u64,
+    },
+    /// The quarantine ledger's wire seqs are not strictly increasing.
+    NonMonotonicLedger {
+        /// The seq preceding the violation.
+        prev: u64,
+        /// The offending seq (≤ `prev`).
+        next: u64,
+    },
+}
+
+impl fmt::Display for HandoffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandoffError::Parse(msg) => write!(f, "handoff parse error: {msg}"),
+            HandoffError::Version(v) => {
+                write!(
+                    f,
+                    "unsupported handoff version {v} (expected {HANDOFF_VERSION})"
+                )
+            }
+            HandoffError::NonMonotonicCompleted { prev, next } => write!(
+                f,
+                "non-monotonic completed seqs in handoff: {next} after {prev}"
+            ),
+            HandoffError::NonMonotonicLedger { prev, next } => write!(
+                f,
+                "non-monotonic quarantine ledger seqs in handoff: {next} after {prev}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HandoffError {}
+
+impl Serialize for PlanEntry {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("fingerprint".to_string(), self.fingerprint.to_value()),
+            ("plan".to_string(), self.plan.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PlanEntry {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        Ok(Self {
+            fingerprint: v.field("fingerprint")?,
+            plan: v.field("plan")?,
+        })
+    }
+}
+
+impl Serialize for PlanNamespace {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("dataset".to_string(), self.dataset.to_value()),
+            ("model_seed".to_string(), Value::UInt(self.model_seed)),
+            ("learn".to_string(), Value::Str(self.learn.clone())),
+            ("entries".to_string(), self.entries.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PlanNamespace {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        Ok(Self {
+            dataset: v.field("dataset")?,
+            model_seed: v.field("model_seed")?,
+            learn: v.field("learn")?,
+            entries: v.field("entries")?,
+        })
+    }
+}
+
+impl Serialize for HandoffSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("record".to_string(), Value::Str("handoff".to_string())),
+            ("version".to_string(), Value::UInt(HANDOFF_VERSION)),
+            ("completed".to_string(), self.completed.to_value()),
+            ("quarantine".to_string(), self.quarantine.to_value()),
+            ("plans".to_string(), self.plans.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for HandoffSnapshot {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        Ok(Self {
+            completed: v.field("completed")?,
+            quarantine: v.field("quarantine")?,
+            plans: v.field("plans")?,
+        })
+    }
+}
+
+/// Asserts that `seqs` is strictly increasing, returning the violating
+/// pair otherwise.
+fn check_monotonic(seqs: impl Iterator<Item = u64>) -> Result<(), (u64, u64)> {
+    let mut prev: Option<u64> = None;
+    for next in seqs {
+        if let Some(p) = prev {
+            if next <= p {
+                return Err((p, next));
+            }
+        }
+        prev = Some(next);
+    }
+    Ok(())
+}
+
+impl HandoffSnapshot {
+    /// Renders the snapshot as one JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("handoff snapshot serialises")
+    }
+
+    /// Parses and validates a snapshot: the version must match and both
+    /// the completed list and the quarantine ledger must be strictly
+    /// increasing in wire seq.
+    pub fn parse(raw: &str) -> Result<Self, HandoffError> {
+        let value: Value =
+            serde_json::parse(raw).map_err(|e| HandoffError::Parse(e.to_string()))?;
+        let version: u64 = value
+            .field("version")
+            .map_err(|e| HandoffError::Parse(e.to_string()))?;
+        if version != HANDOFF_VERSION {
+            return Err(HandoffError::Version(version));
+        }
+        let snapshot =
+            HandoffSnapshot::from_value(&value).map_err(|e| HandoffError::Parse(e.to_string()))?;
+        check_monotonic(snapshot.completed.iter().copied())
+            .map_err(|(prev, next)| HandoffError::NonMonotonicCompleted { prev, next })?;
+        check_monotonic(snapshot.quarantine.iter().map(|r| r.seq))
+            .map_err(|(prev, next)| HandoffError::NonMonotonicLedger { prev, next })?;
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs2_core::plan::{FingerprintConfig, PlanConfig};
+    use vs2_core::segment::{self, SegmentConfig};
+    use vs2_docmodel::{BBox, Document, TextElement};
+
+    fn quarantine(seq: u64) -> QuarantineRecord {
+        QuarantineRecord {
+            seq,
+            job_id: format!("job-{seq}"),
+            attempts: 3,
+            kind: "poison".to_string(),
+            error: "panic: boom".to_string(),
+            elapsed_us: None,
+        }
+    }
+
+    fn plan_namespace() -> PlanNamespace {
+        let mut doc = Document::new("h", 600.0, 800.0);
+        for i in 0..3 {
+            doc.push_text(TextElement::word(
+                format!("w{i}"),
+                BBox::new(60.0 + i as f64 * 50.0, 60.0, 40.0, 12.0),
+            ));
+        }
+        let fp = LayoutFingerprint::compute(&doc, &FingerprintConfig::default());
+        let tree = segment::segment(&doc, &SegmentConfig::default());
+        let plan = SegmentationPlan::capture(&doc, &tree);
+        PlanNamespace {
+            dataset: DatasetId::Templated,
+            model_seed: 7,
+            learn: "{}".to_string(),
+            entries: vec![PlanEntry {
+                fingerprint: fp,
+                plan,
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = HandoffSnapshot {
+            completed: vec![0, 1, 4, 9],
+            quarantine: vec![quarantine(2), quarantine(5)],
+            plans: vec![plan_namespace()],
+        };
+        let back = HandoffSnapshot::parse(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        // Replayability survives the round trip.
+        let entry = &back.plans[0].entries[0];
+        let mut doc = Document::new("h", 600.0, 800.0);
+        for i in 0..3 {
+            doc.push_text(TextElement::word(
+                format!("w{i}"),
+                BBox::new(60.0 + i as f64 * 50.0, 60.0, 40.0, 12.0),
+            ));
+        }
+        let assignment = entry.plan.validate(&doc, &PlanConfig::default()).unwrap();
+        assert!(!entry.plan.replay(&doc, &assignment).is_empty());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = HandoffSnapshot::default();
+        assert_eq!(HandoffSnapshot::parse(&snap.to_json()).unwrap(), snap);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let snap = HandoffSnapshot::default();
+        let raw = snap.to_json().replace("\"version\":1", "\"version\":9");
+        assert_eq!(HandoffSnapshot::parse(&raw), Err(HandoffError::Version(9)));
+    }
+
+    #[test]
+    fn garbage_is_a_parse_error() {
+        assert!(matches!(
+            HandoffSnapshot::parse("not json"),
+            Err(HandoffError::Parse(_))
+        ));
+        assert!(matches!(
+            HandoffSnapshot::parse("{\"record\":\"handoff\"}"),
+            Err(HandoffError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn non_monotonic_completed_is_rejected() {
+        let snap = HandoffSnapshot {
+            completed: vec![0, 3, 3],
+            ..HandoffSnapshot::default()
+        };
+        assert_eq!(
+            HandoffSnapshot::parse(&snap.to_json()),
+            Err(HandoffError::NonMonotonicCompleted { prev: 3, next: 3 })
+        );
+    }
+
+    #[test]
+    fn non_monotonic_ledger_is_rejected() {
+        let snap = HandoffSnapshot {
+            quarantine: vec![quarantine(4), quarantine(2)],
+            ..HandoffSnapshot::default()
+        };
+        assert_eq!(
+            HandoffSnapshot::parse(&snap.to_json()),
+            Err(HandoffError::NonMonotonicLedger { prev: 4, next: 2 })
+        );
+        let display = HandoffError::NonMonotonicLedger { prev: 4, next: 2 }.to_string();
+        assert!(display.contains("non-monotonic"), "{display}");
+    }
+}

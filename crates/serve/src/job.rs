@@ -20,6 +20,8 @@ use vs2_core::Extraction;
 use vs2_docmodel::Document;
 use vs2_synth::dataset::{generate_one, DatasetConfig, DatasetId};
 
+use crate::admit::Lane;
+
 /// Generation seed used when a synthetic job spec omits `seed`; matches
 /// the bench harness default.
 pub const DEFAULT_DOC_SEED: u64 = 0xC0FFEE;
@@ -48,6 +50,12 @@ pub struct JobSpec {
     pub dataset: DatasetId,
     /// Document source.
     pub source: JobSource,
+    /// Originating client, the fairness key for admission control's
+    /// per-client token buckets. `None` is never rate limited.
+    pub client: Option<String>,
+    /// Queue class. `None` takes the daemon default (`vs2d --lane`),
+    /// which itself defaults to interactive.
+    pub lane: Option<Lane>,
 }
 
 impl JobSpec {
@@ -67,6 +75,12 @@ impl Serialize for JobSpec {
         let mut fields = Vec::new();
         if let Some(id) = &self.job_id {
             fields.push(("job_id".to_string(), Value::Str(id.clone())));
+        }
+        if let Some(client) = &self.client {
+            fields.push(("client".to_string(), Value::Str(client.clone())));
+        }
+        if let Some(lane) = self.lane {
+            fields.push(("lane".to_string(), Value::Str(lane.as_str().to_string())));
         }
         fields.push(("dataset".to_string(), self.dataset.to_value()));
         match &self.source {
@@ -88,6 +102,20 @@ impl Deserialize for JobSpec {
             Some(Value::Null) | None => None,
             Some(val) => Some(String::from_value(val)?),
         };
+        let client = match v.get("client") {
+            Some(Value::Null) | None => None,
+            Some(val) => Some(String::from_value(val)?),
+        };
+        let lane = match v.get("lane") {
+            Some(Value::Null) | None => None,
+            Some(val) => {
+                let name = String::from_value(val)?;
+                Some(
+                    Lane::parse(&name)
+                        .ok_or_else(|| Error::new(format!("unknown lane `{name}`")))?,
+                )
+            }
+        };
         let dataset: DatasetId = v.field("dataset")?;
         let source = if let Some(doc) = v.get("doc") {
             if v.get("doc_index").is_some() {
@@ -106,6 +134,8 @@ impl Deserialize for JobSpec {
             job_id,
             dataset,
             source,
+            client,
+            lane,
         })
     }
 }
@@ -125,6 +155,9 @@ pub enum JobStatus {
     Panicked,
     /// The job exceeded the per-job deadline.
     TimedOut,
+    /// Admission control rejected the job (overload or drain); it was
+    /// never processed. Resubmit once pressure clears.
+    Shed,
     /// The input line was not a valid job spec.
     Invalid,
 }
@@ -138,6 +171,7 @@ impl JobStatus {
             JobStatus::Quarantined => "quarantined",
             JobStatus::Panicked => "panicked",
             JobStatus::TimedOut => "timed_out",
+            JobStatus::Shed => "shed",
             JobStatus::Invalid => "invalid",
         }
     }
@@ -149,6 +183,7 @@ impl JobStatus {
             "quarantined" => Ok(JobStatus::Quarantined),
             "panicked" => Ok(JobStatus::Panicked),
             "timed_out" => Ok(JobStatus::TimedOut),
+            "shed" => Ok(JobStatus::Shed),
             "invalid" => Ok(JobStatus::Invalid),
             other => Err(Error::new(format!("unknown job status `{other}`"))),
         }
@@ -302,10 +337,35 @@ mod tests {
             job_id: None,
             dataset: DatasetId::D3,
             source: JobSource::Inline(Box::new(doc.clone())),
+            client: None,
+            lane: None,
         };
         let back: JobSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
         assert_eq!(back, spec);
         assert_eq!(back.document(), doc);
+    }
+
+    #[test]
+    fn client_and_lane_round_trip_and_are_omitted_when_absent() {
+        let spec: JobSpec =
+            serde_json::from_str(r#"{"job_id":"a","dataset":"D1","doc_index":4}"#).unwrap();
+        assert_eq!(spec.client, None);
+        assert_eq!(spec.lane, None);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(!json.contains("client"), "{json}");
+        assert!(!json.contains("lane"), "{json}");
+        let tagged: JobSpec = serde_json::from_str(
+            r#"{"client":"tenant-7","lane":"batch","dataset":"D1","doc_index":4}"#,
+        )
+        .unwrap();
+        assert_eq!(tagged.client.as_deref(), Some("tenant-7"));
+        assert_eq!(tagged.lane, Some(Lane::Batch));
+        let back: JobSpec = serde_json::from_str(&serde_json::to_string(&tagged).unwrap()).unwrap();
+        assert_eq!(back, tagged);
+        assert!(
+            serde_json::from_str::<JobSpec>(r#"{"lane":"bulk","dataset":"D1","doc_index":4}"#)
+                .is_err()
+        );
     }
 
     #[test]
@@ -360,6 +420,7 @@ mod tests {
             JobStatus::Quarantined,
             JobStatus::Panicked,
             JobStatus::TimedOut,
+            JobStatus::Shed,
             JobStatus::Invalid,
         ] {
             assert_eq!(JobStatus::parse(status.as_str()).unwrap(), status);

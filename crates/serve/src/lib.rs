@@ -25,8 +25,12 @@
 //!
 //! Layers, bottom up:
 //!
-//! * [`queue::BoundedQueue`] — blocking MPMC queue; the bound is the
-//!   service's backpressure.
+//! * [`queue::BoundedQueue`] / [`queue::LaneQueue`] — blocking MPMC
+//!   queues; the bound is the service's backpressure, the lanes the
+//!   interactive/batch priority split.
+//! * [`admit::AdmitController`] — admission control: deterministic
+//!   per-client token buckets, backlog/latency pressure watermarks,
+//!   seeded load shedding and degrade routing.
 //! * [`error::ServeError`] — the structured failure taxonomy (retryable /
 //!   fatal / timeout / poison) every layer above speaks.
 //! * [`retry::RetryPolicy`] — bounded attempts with seeded
@@ -48,24 +52,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admit;
 pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod faults;
+pub mod handoff;
 pub mod job;
 pub mod obs;
 pub mod queue;
 pub mod retry;
 pub mod service;
 
+pub use admit::{
+    AdmitConfig, AdmitController, AdmitDecision, AdmitSnapshot, Lane, PressureLevel, ShedReason,
+};
 pub use batch::{run_batch, BatchOptions, BatchRun};
-pub use cache::{default_config_for, weights_for, CacheSnapshot, ModelCache};
+pub use cache::{
+    default_config_for, weights_for, CacheSnapshot, ModelCache, PlanNamespaceSnapshot,
+};
 pub use engine::{BatchEngine, Completed, EngineConfig, EngineStats, JobCtx, JobOutcome};
 pub use error::{QuarantineEntry, ServeError};
 pub use faults::{FaultKind, FaultPlan, FaultSite};
+pub use handoff::{HandoffError, HandoffSnapshot, PlanEntry, PlanNamespace};
 pub use job::{JobResult, JobSource, JobSpec, JobStatus, QuarantineRecord, DEFAULT_DOC_SEED};
 pub use obs::{EngineMetrics, ObsHub};
-pub use queue::{BoundedQueue, PushError};
+pub use queue::{BoundedQueue, LaneQueue, PushError};
 pub use retry::RetryPolicy;
 pub use service::{ExtractService, LatencySummary, ServiceOptions};

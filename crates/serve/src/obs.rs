@@ -19,6 +19,7 @@ use vs2_core::plan::PlanOutcome;
 use vs2_obs::export::{counter_json, histogram_json};
 use vs2_obs::{CounterId, HistogramId, MetricsRegistry, MetricsSpec, SpanRecord};
 
+use crate::admit::Lane;
 use crate::cache::CacheSnapshot;
 use crate::faults::FaultSite;
 
@@ -46,6 +47,10 @@ pub struct EngineMetrics {
     plan_missed: CounterId,
     plan_rejected: CounterId,
     plan_bypassed: CounterId,
+    jobs_shed: CounterId,
+    admit_degrades: CounterId,
+    lane_interactive: CounterId,
+    lane_batch: CounterId,
 }
 
 impl EngineMetrics {
@@ -66,6 +71,10 @@ impl EngineMetrics {
         let plan_missed = spec.counter("plan_missed");
         let plan_rejected = spec.counter("plan_rejected");
         let plan_bypassed = spec.counter("plan_bypassed");
+        let jobs_shed = spec.counter("jobs_shed");
+        let admit_degrades = spec.counter("admit_degrades");
+        let lane_interactive = spec.counter("lane_interactive");
+        let lane_batch = spec.counter("lane_batch");
         let queue_dwell_us = spec.histogram("queue_dwell_us");
         let job_latency_us = spec.histogram("job_latency_us");
         Self {
@@ -85,6 +94,10 @@ impl EngineMetrics {
             plan_missed,
             plan_rejected,
             plan_bypassed,
+            jobs_shed,
+            admit_degrades,
+            lane_interactive,
+            lane_batch,
         }
     }
 
@@ -135,6 +148,26 @@ impl EngineMetrics {
     pub fn on_quarantined(&self, seq: u64) {
         self.registry
             .counter_add(seq as usize, self.jobs_quarantined, 1);
+    }
+
+    /// A job was shed by admission control.
+    pub fn on_shed(&self, seq: u64) {
+        self.registry.counter_add(seq as usize, self.jobs_shed, 1);
+    }
+
+    /// Admission routed a job straight to the degradation fallback.
+    pub fn on_admit_degrade(&self, seq: u64) {
+        self.registry
+            .counter_add(seq as usize, self.admit_degrades, 1);
+    }
+
+    /// A job was submitted on `lane`.
+    pub fn on_lane(&self, seq: u64, lane: Lane) {
+        let id = match lane {
+            Lane::Interactive => self.lane_interactive,
+            Lane::Batch => self.lane_batch,
+        };
+        self.registry.counter_add(seq as usize, id, 1);
     }
 
     /// The plan cache decided how a job's segmentation ran.

@@ -12,7 +12,11 @@ use vs2_core::pipeline::Vs2Config;
 use vs2_core::plan::PlanConfig;
 use vs2_core::Extraction;
 
-use crate::cache::{default_config_for, CacheSnapshot, ModelCache};
+use vs2_core::plan::{LayoutFingerprint, SegmentationPlan};
+use vs2_synth::dataset::DatasetId;
+
+use crate::admit::{AdmitSnapshot, Lane};
+use crate::cache::{default_config_for, CacheSnapshot, ModelCache, PlanNamespaceSnapshot};
 use crate::engine::{BatchEngine, Completed, EngineConfig, EngineStats};
 use crate::error::QuarantineEntry;
 use crate::faults::FaultSite;
@@ -209,6 +213,59 @@ impl ExtractService {
     /// number.
     pub fn submit(&self, spec: JobSpec) -> u64 {
         self.engine.submit(spec)
+    }
+
+    /// Submits a job routing the spec's own `client` / `lane` fields
+    /// through admission control; `default_lane` applies when the spec
+    /// leaves the lane unset. Returns the job's sequence number (shed
+    /// jobs still get one — their outcome is published immediately).
+    pub fn submit_spec(&self, spec: JobSpec, default_lane: Lane) -> u64 {
+        let lane = spec.lane.unwrap_or(default_lane);
+        let client = spec.client.clone();
+        self.engine.submit_with(spec, client.as_deref(), lane)
+    }
+
+    /// Burns one sequence number without submitting work; see
+    /// [`BatchEngine::reserve_seq`].
+    pub fn reserve_seq(&self) -> u64 {
+        self.engine.reserve_seq()
+    }
+
+    /// Stops admitting new work: every subsequent submission is shed
+    /// with [`crate::admit::ShedReason::Draining`] while queued and
+    /// in-flight jobs run to completion.
+    pub fn begin_drain(&self) {
+        self.engine.begin_drain()
+    }
+
+    /// `true` once [`Self::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.engine.is_draining()
+    }
+
+    /// Admission-control counters; zeroes when admission is off.
+    pub fn admit_snapshot(&self) -> AdmitSnapshot {
+        self.engine.admit_snapshot().unwrap_or_default()
+    }
+
+    /// Exports every non-empty plan-cache namespace for a drain/handoff
+    /// snapshot; see [`ModelCache::export_plan_namespaces`].
+    pub fn export_plan_namespaces(&self) -> Vec<PlanNamespaceSnapshot> {
+        self.cache.export_plan_namespaces()
+    }
+
+    /// Warm-starts one plan-cache namespace from a handoff snapshot;
+    /// see [`ModelCache::preload_plan_namespace`]. Returns the number of
+    /// plans admitted.
+    pub fn preload_plan_namespace(
+        &self,
+        dataset: DatasetId,
+        model_seed: u64,
+        learn: &str,
+        entries: Vec<(LayoutFingerprint, Arc<SegmentationPlan>)>,
+    ) -> usize {
+        self.cache
+            .preload_plan_namespace(dataset, model_seed, learn, entries)
     }
 
     /// Blocks until job `seq` finishes; see [`BatchEngine::wait_result`].

@@ -13,6 +13,8 @@ use vs2_synth::dataset::{generate_one, DatasetConfig, DatasetId};
 fn job(dataset: DatasetId, doc_index: usize) -> JobSpec {
     JobSpec {
         job_id: None,
+        client: None,
+        lane: None,
         dataset,
         source: JobSource::Synthetic {
             doc_index,
