@@ -58,6 +58,7 @@ fn spec(doc_index: usize) -> JobSpec {
             doc_index,
             seed: SEED,
         },
+        doc_cache: Default::default(),
     }
 }
 

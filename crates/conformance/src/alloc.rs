@@ -1,0 +1,160 @@
+//! Counting global allocator for allocation-regression tests.
+//!
+//! Every test binary that links `vs2-conformance` gets [`CountingAlloc`]
+//! installed as the `#[global_allocator]`. It delegates straight to
+//! [`std::alloc::System`] and bumps thread-local counters, so the only
+//! overhead on non-probing threads is three `Cell` increments per
+//! allocator call and probes on one test thread are never polluted by
+//! allocations made on another.
+//!
+//! Use [`AllocProbe`] to measure a scoped region:
+//!
+//! ```ignore
+//! let probe = AllocProbe::start();
+//! let blocks = vs2_core::logical_blocks(&doc, &config);
+//! let stats = probe.finish();
+//! assert!(stats.allocs <= CEILING);
+//! ```
+//!
+//! Counters are per-thread: run the probed section on the probing
+//! thread itself (serve-engine worker threads are invisible to a probe
+//! on the test thread — probe the direct pipeline entry points instead).
+
+// The allocator shim is the one place in the workspace that needs
+// `unsafe`: implementing `GlobalAlloc` requires it by signature.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static DEALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A `GlobalAlloc` that delegates to [`System`] and counts calls on
+/// thread-local counters. Installed by this crate's
+/// `#[global_allocator]`; not constructed directly by tests.
+pub struct CountingAlloc;
+
+#[inline]
+fn bump(cell: &'static std::thread::LocalKey<Cell<u64>>, by: u64) {
+    // `try_with` keeps allocator calls safe during TLS teardown at
+    // thread exit, when the counter cells may already be destroyed.
+    let _ = cell.try_with(|c| c.set(c.get().wrapping_add(by)));
+}
+
+// SAFETY: pure delegation to `System`; the counter bumps never allocate
+// (const-initialised `Cell<u64>` thread-locals) and never unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump(&ALLOCS, 1);
+        bump(&BYTES, layout.size() as u64);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        bump(&DEALLOCS, 1);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump(&ALLOCS, 1);
+        bump(&BYTES, layout.size() as u64);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Count a realloc as one allocation of the new size (the grow
+        // path is what regression tests care about; the old block's
+        // release is folded in rather than counted as a dealloc).
+        bump(&ALLOCS, 1);
+        bump(&BYTES, new_size as u64);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Snapshot of the allocation counters accumulated on the current
+/// thread over a probed region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of `alloc`/`alloc_zeroed`/`realloc` calls.
+    pub allocs: u64,
+    /// Number of `dealloc` calls.
+    pub deallocs: u64,
+    /// Total bytes requested across counted allocations.
+    pub bytes: u64,
+}
+
+/// Scoped RAII probe over the current thread's allocation counters.
+///
+/// [`AllocProbe::start`] records the counters; [`AllocProbe::finish`]
+/// (or [`AllocProbe::stats`], which leaves the probe running) returns
+/// the deltas since `start`.
+#[derive(Debug)]
+pub struct AllocProbe {
+    allocs0: u64,
+    deallocs0: u64,
+    bytes0: u64,
+}
+
+impl AllocProbe {
+    /// Begin a probe at the current counter values.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            allocs0: ALLOCS.with(Cell::get),
+            deallocs0: DEALLOCS.with(Cell::get),
+            bytes0: BYTES.with(Cell::get),
+        }
+    }
+
+    /// Counter deltas since [`AllocProbe::start`], without consuming
+    /// the probe.
+    #[must_use]
+    pub fn stats(&self) -> AllocStats {
+        AllocStats {
+            allocs: ALLOCS.with(Cell::get).wrapping_sub(self.allocs0),
+            deallocs: DEALLOCS.with(Cell::get).wrapping_sub(self.deallocs0),
+            bytes: BYTES.with(Cell::get).wrapping_sub(self.bytes0),
+        }
+    }
+
+    /// Consume the probe and return the deltas since `start`.
+    #[must_use]
+    pub fn finish(self) -> AllocStats {
+        self.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_counts_a_vec_allocation() {
+        let probe = AllocProbe::start();
+        let v: Vec<u64> = Vec::with_capacity(32);
+        let stats = probe.stats();
+        drop(v);
+        let after = probe.finish();
+        assert!(stats.allocs >= 1, "Vec::with_capacity must allocate");
+        assert!(stats.bytes >= 256, "32 * 8 bytes requested");
+        assert!(after.deallocs > stats.deallocs, "drop must deallocate");
+    }
+
+    #[test]
+    fn probe_deltas_are_scoped() {
+        // Warm-up allocations before the probe must not be counted.
+        let warm: Vec<u8> = vec![0; 4096];
+        drop(warm);
+        let probe = AllocProbe::start();
+        let stats = probe.finish();
+        assert_eq!(stats.allocs, 0);
+        assert_eq!(stats.bytes, 0);
+    }
+}

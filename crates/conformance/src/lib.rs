@@ -28,9 +28,10 @@
 //! per-property case counts (CI sets a small value), `VS2_PROPTEST_SEED`
 //! replays one failing case.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod golden;
 pub mod invariants;
 pub mod strategy;

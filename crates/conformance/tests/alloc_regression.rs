@@ -1,0 +1,270 @@
+//! Allocation-regression gates for the zero-copy arena pipeline.
+//!
+//! `vs2-conformance` installs a counting `#[global_allocator]` (see
+//! `vs2_conformance::alloc`), so these tests meter exactly how many heap
+//! allocations each pipeline stage performs per document and fail CI
+//! when a change quietly re-introduces per-document allocation.
+//!
+//! Two kinds of gate:
+//!
+//! * the **one-third extract gate** — the context (zero-copy) path must
+//!   allocate at most one third of the recorded pre-refactor owned-path
+//!   allocations per document on the full extract path, per dataset;
+//! * **pinned ceilings** — segment / select / extract on the context
+//!   path are pinned at their achieved values plus ~10% headroom, so a
+//!   regression well short of the ⅓ line still trips.
+//!
+//! Counts are deterministic: fixed corpora (8 docs, `DEFAULT_DOC_SEED`),
+//! one warm pass to populate the per-thread token-form and embedding
+//! caches (exactly what a warm serve worker sees), then a metered pass.
+//! The gates only assert in release builds — debug builds of `std` and
+//! the test scaffolding allocate differently — and the CI `arena` job
+//! runs this suite with `--release`.
+
+use vs2_conformance::alloc::AllocProbe;
+use vs2_core::{logical_blocks, logical_blocks_ctx, DocContext, Vs2Pipeline};
+use vs2_docmodel::Document;
+use vs2_serve::{default_config_for, ModelCache, DEFAULT_DOC_SEED};
+use vs2_synth::{generate, DatasetConfig, DatasetId};
+
+const CORPUS_DOCS: usize = 8;
+
+/// Pre-refactor owned-path allocations per document, recorded with this
+/// same probe over the same corpora at the PR tip before the zero-copy
+/// pipeline landed. These are the denominators of the ⅓ gate — they are
+/// history, not targets, and must not be re-recorded when the pipeline
+/// changes.
+struct PreRefactor {
+    dataset: DatasetId,
+    segment: u64,
+    select: u64,
+    extract: u64,
+}
+
+const PRE_REFACTOR: [PreRefactor; 3] = [
+    PreRefactor {
+        dataset: DatasetId::D1,
+        segment: 2935,
+        select: 4471,
+        extract: 7487,
+    },
+    PreRefactor {
+        dataset: DatasetId::D2,
+        segment: 1803,
+        select: 1744,
+        extract: 3566,
+    },
+    PreRefactor {
+        dataset: DatasetId::D3,
+        segment: 1043,
+        select: 1713,
+        extract: 2778,
+    },
+];
+
+/// Pinned allocations-per-doc ceilings for the context path: the values
+/// measured when the zero-copy pipeline landed, plus ~10% headroom.
+/// Tightening these after further allocation work is encouraged;
+/// loosening them is a regression and needs justification in review.
+struct CtxCeiling {
+    segment: u64,
+    select: u64,
+    extract: u64,
+}
+
+const CTX_CEILINGS: [CtxCeiling; 3] = [
+    // D1 (measured: segment 696, select 1602, extract 2379)
+    CtxCeiling {
+        segment: 765,
+        select: 1760,
+        extract: 2615,
+    },
+    // D2 (measured: segment 255, select 704, extract 978)
+    CtxCeiling {
+        segment: 280,
+        select: 775,
+        extract: 1075,
+    },
+    // D3 (measured: segment 192, select 680, extract 894)
+    CtxCeiling {
+        segment: 211,
+        select: 750,
+        extract: 983,
+    },
+];
+
+struct StageAllocs {
+    segment: u64,
+    select: u64,
+    extract: u64,
+}
+
+fn corpus(dataset: DatasetId) -> (std::sync::Arc<Vs2Pipeline>, Vec<Document>) {
+    let cache = ModelCache::new();
+    let pipeline = cache.pipeline_for(dataset, DEFAULT_DOC_SEED, default_config_for(dataset));
+    let docs: Vec<Document> = generate(dataset, DatasetConfig::new(CORPUS_DOCS, DEFAULT_DOC_SEED))
+        .into_iter()
+        .map(|labeled| labeled.doc)
+        .collect();
+    (pipeline.into(), docs)
+}
+
+/// Allocations per document of the owned (naive-signature) path.
+fn measure_owned(pipeline: &Vs2Pipeline, docs: &[Document]) -> StageAllocs {
+    // Warm pass: lazy globals (lexicon centroids, gazetteers) off-probe.
+    for doc in docs {
+        let blocks = logical_blocks(doc, &pipeline.config.segment);
+        std::hint::black_box(pipeline.extract_on_blocks(doc, &blocks));
+    }
+
+    let n = docs.len() as u64;
+    let probe = AllocProbe::start();
+    let block_sets: Vec<_> = docs
+        .iter()
+        .map(|doc| logical_blocks(doc, &pipeline.config.segment))
+        .collect();
+    let segment = probe.finish().allocs / n;
+
+    let probe = AllocProbe::start();
+    for (doc, blocks) in docs.iter().zip(&block_sets) {
+        std::hint::black_box(pipeline.candidates_on_blocks(doc, blocks));
+    }
+    let select = probe.finish().allocs / n;
+
+    let probe = AllocProbe::start();
+    for doc in docs {
+        let blocks = logical_blocks(doc, &pipeline.config.segment);
+        std::hint::black_box(pipeline.extract_on_blocks(doc, &blocks));
+    }
+    let extract = probe.finish().allocs / n;
+
+    StageAllocs {
+        segment,
+        select,
+        extract,
+    }
+}
+
+/// Allocations per document of the context (zero-copy) path. The
+/// per-stage numbers include `DocContext::build` — each stage is metered
+/// as a serve worker would run it, context construction and all.
+fn measure_ctx(pipeline: &Vs2Pipeline, docs: &[Document]) -> StageAllocs {
+    for doc in docs {
+        let ctx = DocContext::build(doc);
+        let blocks = logical_blocks_ctx(&ctx, &pipeline.config.segment);
+        std::hint::black_box(pipeline.extract_on_blocks_ctx(&ctx, &blocks));
+    }
+
+    let n = docs.len() as u64;
+    let probe = AllocProbe::start();
+    for doc in docs {
+        let ctx = DocContext::build(doc);
+        std::hint::black_box(logical_blocks_ctx(&ctx, &pipeline.config.segment));
+    }
+    let segment = probe.finish().allocs / n;
+
+    let ctxs: Vec<DocContext> = docs.iter().map(DocContext::build).collect();
+    let block_sets: Vec<_> = ctxs
+        .iter()
+        .map(|ctx| logical_blocks_ctx(ctx, &pipeline.config.segment))
+        .collect();
+    let probe = AllocProbe::start();
+    for (ctx, blocks) in ctxs.iter().zip(&block_sets) {
+        std::hint::black_box(pipeline.candidates_on_blocks_ctx(ctx, blocks));
+    }
+    let select = probe.finish().allocs / n;
+    drop(ctxs);
+
+    let probe = AllocProbe::start();
+    for doc in docs {
+        let ctx = DocContext::build(doc);
+        let blocks = logical_blocks_ctx(&ctx, &pipeline.config.segment);
+        std::hint::black_box(pipeline.extract_on_blocks_ctx(&ctx, &blocks));
+    }
+    let extract = probe.finish().allocs / n;
+
+    StageAllocs {
+        segment,
+        select,
+        extract,
+    }
+}
+
+#[test]
+fn allocation_gates() {
+    let asserting = !cfg!(debug_assertions);
+    if !asserting {
+        eprintln!("debug build: printing allocation counts, skipping gate assertions");
+    }
+    for (pre, ceiling) in PRE_REFACTOR.iter().zip(&CTX_CEILINGS) {
+        let (pipeline, docs) = corpus(pre.dataset);
+        let owned = measure_owned(&pipeline, &docs);
+        let ctx = measure_ctx(&pipeline, &docs);
+        println!(
+            "{:?} allocs/doc owned: segment {} select {} extract {}",
+            pre.dataset, owned.segment, owned.select, owned.extract,
+        );
+        println!(
+            "{:?} allocs/doc ctx:   segment {} select {} extract {} (⅓ extract gate: {})",
+            pre.dataset,
+            ctx.segment,
+            ctx.select,
+            ctx.extract,
+            pre.extract / 3,
+        );
+        if !asserting {
+            continue;
+        }
+
+        // The hard gate: the extract path allocates at most one third of
+        // what the pre-refactor pipeline did.
+        assert!(
+            ctx.extract <= pre.extract / 3,
+            "{:?}: ctx extract path allocates {}/doc, over the one-third \
+             gate of {} (pre-refactor owned baseline {})",
+            pre.dataset,
+            ctx.extract,
+            pre.extract / 3,
+            pre.extract,
+        );
+
+        // Pinned per-stage ceilings on the context path.
+        for (stage, got, cap) in [
+            ("segment", ctx.segment, ceiling.segment),
+            ("select", ctx.select, ceiling.select),
+            ("extract", ctx.extract, ceiling.extract),
+        ] {
+            assert!(
+                got <= cap,
+                "{:?}: ctx {stage} allocates {got}/doc, over the pinned \
+                 ceiling of {cap}",
+                pre.dataset,
+            );
+        }
+
+        // The owned path shares the scratch-buffer work and must never
+        // regress past its own pre-refactor baseline.
+        for (stage, got, cap) in [
+            ("segment", owned.segment, pre.segment),
+            ("select", owned.select, pre.select),
+            ("extract", owned.extract, pre.extract),
+        ] {
+            assert!(
+                got <= cap,
+                "{:?}: owned {stage} allocates {got}/doc, over the \
+                 pre-refactor baseline of {cap}",
+                pre.dataset,
+            );
+        }
+
+        // And the context path must beat the owned path stage-for-stage —
+        // the whole point of the zero-copy pipeline.
+        assert!(
+            ctx.extract < owned.extract,
+            "{:?}: ctx extract ({}) not below owned extract ({})",
+            pre.dataset,
+            ctx.extract,
+            owned.extract,
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Arena ≡ owned differential battery — the zero-copy pipeline contract.
+//!
+//! The arena path (one [`DocContext`] per job: interned tokens, shared
+//! derived columns, memoising embedder, borrow-based stage interfaces)
+//! must be *observationally identical* to the owned path that clones and
+//! re-derives everything per stage. These tests pin that equivalence at
+//! every seam and at full-service scale:
+//!
+//! * layout trees and logical blocks — byte-identical debug renderings
+//!   (full `f64` precision participates);
+//! * per-entity candidates and final extractions — byte-identical JSON,
+//!   under all three disambiguation modes;
+//! * corpora: the three paper datasets, the templated corpus and its
+//!   adversarial near-miss variants, the adversarial layout corpus, and
+//!   proptest-generated arbitrary/degenerate documents;
+//! * service arms: the ctx-path serving tier equals offline owned
+//!   extraction job-for-job through plan-cache replay (cold and warm)
+//!   and stays byte-identical between 1 and 4 workers under chaos fault
+//!   injection.
+//!
+//! Case counts honour `VS2_PROPTEST_CASES` (the CI `arena` job runs the
+//! full 256); failures print a `VS2_PROPTEST_SEED` repro command.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use serde::Serialize as _;
+use vs2_conformance::strategy::arb_any_document;
+use vs2_core::segment::{logical_blocks, logical_blocks_ctx, segment, segment_with_embedder};
+use vs2_core::{DisambiguationMode, DocContext, Vs2Pipeline};
+use vs2_docmodel::Document;
+use vs2_serve::{
+    default_config_for, Completed, EngineConfig, ExtractService, FaultPlan, JobOutcome, JobSource,
+    JobSpec, ModelCache, RetryPolicy, ServiceOptions, DEFAULT_DOC_SEED,
+};
+use vs2_synth::{adversarial, generate_one, templated, DatasetConfig, DatasetId};
+
+const MODES: [DisambiguationMode; 3] = [
+    DisambiguationMode::Multimodal,
+    DisambiguationMode::FirstMatch,
+    DisambiguationMode::Lesk,
+];
+
+/// The core assertion: the arena path agrees with the owned path on
+/// `doc` — tree, blocks, candidates and extractions, every mode, byte
+/// for byte.
+fn assert_arena_equiv(pipeline: &Vs2Pipeline, doc: &Document) {
+    let ctx = DocContext::build(doc);
+
+    let owned_tree = segment(doc, &pipeline.config.segment);
+    let ctx_tree = segment_with_embedder(doc, &pipeline.config.segment, &ctx.embedder());
+    assert_eq!(
+        format!("{owned_tree:?}"),
+        format!("{ctx_tree:?}"),
+        "layout trees diverged (doc {})",
+        doc.id
+    );
+
+    let owned_blocks = logical_blocks(doc, &pipeline.config.segment);
+    let ctx_blocks = logical_blocks_ctx(&ctx, &pipeline.config.segment);
+    assert_eq!(
+        format!("{owned_blocks:?}"),
+        format!("{ctx_blocks:?}"),
+        "logical blocks diverged (doc {})",
+        doc.id
+    );
+
+    for mode in MODES {
+        let mut p = pipeline.clone();
+        p.config.disambiguation = mode;
+
+        let owned_cands = p.candidates_on_blocks(doc, &owned_blocks);
+        let ctx_cands = p.candidates_on_blocks_ctx(&ctx, &ctx_blocks);
+        let owned_json: Vec<String> = owned_cands
+            .iter()
+            .map(|(k, v)| format!("{k}={}", serde_json::to_string(&v.to_value()).unwrap()))
+            .collect();
+        let ctx_json: Vec<String> = ctx_cands
+            .iter()
+            .map(|(k, v)| format!("{k}={}", serde_json::to_string(&v.to_value()).unwrap()))
+            .collect();
+        assert_eq!(
+            owned_json, ctx_json,
+            "candidates diverged ({mode:?}, doc {})",
+            doc.id
+        );
+
+        let owned_ex = p.extract_on_blocks(doc, &owned_blocks);
+        let ctx_ex = p.extract_on_blocks_ctx(&ctx, &ctx_blocks);
+        assert_eq!(
+            serde_json::to_string(&owned_ex.to_value()).unwrap(),
+            serde_json::to_string(&ctx_ex.to_value()).unwrap(),
+            "extractions diverged ({mode:?}, doc {})",
+            doc.id
+        );
+    }
+}
+
+#[test]
+fn arena_matches_owned_on_paper_datasets() {
+    let cache = ModelCache::new();
+    for dataset in [DatasetId::D1, DatasetId::D2, DatasetId::D3] {
+        let pipeline = cache.pipeline_for(dataset, DEFAULT_DOC_SEED, default_config_for(dataset));
+        for i in 0..6 {
+            let doc = generate_one(dataset, i, DatasetConfig::new(1, DEFAULT_DOC_SEED)).doc;
+            assert_arena_equiv(&pipeline, &doc);
+        }
+    }
+}
+
+#[test]
+fn arena_matches_owned_on_templated_corpus() {
+    let cache = ModelCache::new();
+    let pipeline = cache.pipeline_for(
+        DatasetId::Templated,
+        DEFAULT_DOC_SEED,
+        default_config_for(DatasetId::Templated),
+    );
+    for i in 0..2 * templated::FAMILIES {
+        let doc = templated::generate_one(i, DEFAULT_DOC_SEED).doc;
+        assert_arena_equiv(&pipeline, &doc);
+    }
+    for labelled in templated::adversarial_corpus(DEFAULT_DOC_SEED) {
+        assert_arena_equiv(&pipeline, &labelled.doc);
+    }
+}
+
+#[test]
+fn arena_matches_owned_on_adversarial_layouts() {
+    let cache = ModelCache::new();
+    let pipeline = cache.pipeline_for(
+        DatasetId::D1,
+        DEFAULT_DOC_SEED,
+        default_config_for(DatasetId::D1),
+    );
+    for (_, doc) in adversarial::corpus() {
+        assert_arena_equiv(&pipeline, &doc);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary and degenerate documents (empty pages, zero-area boxes,
+    /// duplicates, extreme aspect ratios — `arb_any_document` mixes them
+    /// in) through the full arena-vs-owned witness.
+    #[test]
+    fn property_arena_equals_owned_on_arbitrary_documents(doc in arb_any_document()) {
+        static PIPELINE: std::sync::OnceLock<Vs2Pipeline> = std::sync::OnceLock::new();
+        let pipeline = PIPELINE.get_or_init(|| {
+            let cache = ModelCache::new();
+            cache.pipeline_for(
+                DatasetId::D1,
+                DEFAULT_DOC_SEED,
+                default_config_for(DatasetId::D1),
+            )
+        });
+        assert_arena_equiv(pipeline, &doc);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Service arms: the arena path as the serving tier actually runs it.
+// ---------------------------------------------------------------------
+
+fn synthetic(dataset: DatasetId, doc_index: usize) -> JobSpec {
+    JobSpec {
+        job_id: None,
+        client: None,
+        lane: None,
+        dataset,
+        source: JobSource::Synthetic {
+            doc_index,
+            seed: DEFAULT_DOC_SEED,
+        },
+        doc_cache: Default::default(),
+    }
+}
+
+/// Every paper dataset plus templated traffic (several docs per family,
+/// so warm passes replay plans).
+fn service_batch() -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for i in 0..3 {
+        for id in [DatasetId::D1, DatasetId::D2, DatasetId::D3] {
+            specs.push(synthetic(id, i));
+        }
+    }
+    for i in 0..2 * templated::FAMILIES {
+        specs.push(synthetic(DatasetId::Templated, i));
+    }
+    specs
+}
+
+fn run_passes(
+    workers: usize,
+    faults: Option<FaultPlan>,
+    specs: &[JobSpec],
+    passes: usize,
+) -> Vec<Vec<String>> {
+    let mut service = ExtractService::with_options(
+        EngineConfig {
+            workers,
+            queue_capacity: 8,
+            job_timeout: faults.is_none().then(|| Duration::from_secs(120)),
+            retry: RetryPolicy::immediate(3),
+            faults,
+            admit: None,
+        },
+        DEFAULT_DOC_SEED,
+        None,
+        ServiceOptions {
+            plan_cache: true,
+            ..Default::default()
+        },
+        None,
+    );
+    let mut rendered = Vec::with_capacity(passes);
+    for _ in 0..passes {
+        for spec in specs {
+            service.submit(spec.clone());
+        }
+        let results = service.drain();
+        rendered.push(results.iter().map(render).collect());
+    }
+    service.shutdown();
+    rendered
+}
+
+/// Renders one outcome without wall-clock fields.
+fn render(done: &Completed<Vec<vs2_core::Extraction>>) -> String {
+    let (label, error, extractions) = match &done.outcome {
+        JobOutcome::Ok(ex) => ("ok", String::new(), ex),
+        JobOutcome::Degraded { output, error } => ("degraded", error.to_string(), output),
+        JobOutcome::Failed(error) => {
+            static EMPTY: Vec<vs2_core::Extraction> = Vec::new();
+            ("failed", error.to_string(), &EMPTY)
+        }
+        JobOutcome::Shed(reason) => {
+            static EMPTY: Vec<vs2_core::Extraction> = Vec::new();
+            ("shed", reason.to_string(), &EMPTY)
+        }
+    };
+    // No seq: the same service serves every pass, so sequence numbers
+    // keep counting across passes — results are compared in submission
+    // order instead.
+    format!(
+        "{} error={:?} extractions={}",
+        label,
+        error,
+        serde_json::to_string(&extractions.to_value()).unwrap()
+    )
+}
+
+/// Plan-replay arm: the ctx-path service — cold pass (plans learned) and
+/// warm pass (plans replayed) — equals offline owned-path extraction for
+/// every job, at 1 and 4 workers, and the passes are byte-identical to
+/// each other.
+#[test]
+fn served_arena_path_equals_offline_owned_through_plan_replay() {
+    let specs = service_batch();
+
+    // Offline owned-path expectation, one JSON string per spec.
+    let cache = ModelCache::new();
+    let expected: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            let pipeline = cache.pipeline_for(
+                spec.dataset,
+                DEFAULT_DOC_SEED,
+                default_config_for(spec.dataset),
+            );
+            let JobSource::Synthetic { doc_index, seed } = &spec.source else {
+                panic!("batch is synthetic by construction");
+            };
+            let doc = generate_one(spec.dataset, *doc_index, DatasetConfig::new(1, *seed)).doc;
+            let blocks = logical_blocks(&doc, &pipeline.config.segment);
+            let ex = pipeline.extract_on_blocks(&doc, &blocks);
+            serde_json::to_string(&ex.to_value()).unwrap()
+        })
+        .collect();
+
+    for workers in [1, 4] {
+        let passes = run_passes(workers, None, &specs, 2);
+        assert_eq!(
+            passes[0], passes[1],
+            "cold and warm (plan-replay) passes diverged ({workers} workers)"
+        );
+        for (pass, rendered) in passes.iter().enumerate() {
+            for ((spec, want), got) in specs.iter().zip(&expected).zip(rendered) {
+                assert_eq!(
+                    got,
+                    &format!("ok error=\"\" extractions={want}"),
+                    "served arena output diverged from offline owned extraction \
+                     ({:?}, pass {pass}, {workers} workers)",
+                    spec.dataset
+                );
+            }
+        }
+    }
+}
+
+/// Chaos arm: under deterministic fault injection the ctx-path service
+/// stays byte-identical between 1 and 4 workers, pass for pass — worker
+/// parallelism over shared arena state changes nothing, even on retry /
+/// degraded paths.
+#[test]
+fn chaos_arena_service_identical_at_one_and_four_workers() {
+    let specs = service_batch();
+    let faults = Some(FaultPlan::chaos(0xA3E7_11D5));
+    let single = run_passes(1, faults, &specs, 3);
+    let parallel = run_passes(4, faults, &specs, 3);
+    for (pass, (a, b)) in single.iter().zip(&parallel).enumerate() {
+        assert_eq!(a, b, "chaos pass {pass} diverged between 1 and 4 workers");
+    }
+}

@@ -1,0 +1,94 @@
+//! Arena-pipeline performance gate: the zero-copy context path must
+//! deliver the ≥15% cold-extract speedup on D1 that motivated it.
+//!
+//! Both arms run the full extract path — segmentation, selection,
+//! extraction — over the same 40-doc D1 corpus, the dataset with the
+//! deepest layout trees and the heaviest token traffic. The owned arm is
+//! the historical per-stage re-derivation path
+//! (`logical_blocks` + `extract_on_blocks`); the arena arm builds one
+//! [`DocContext`] per document and runs
+//! `logical_blocks_ctx` + `extract_on_blocks_ctx`, exactly as a serve
+//! worker does. Passes are interleaved and the minima compared (the most
+//! stable order statistic, same methodology as the segment / select /
+//! overhead gates). The ratio floor only arms under `--release`; a debug
+//! run checks parity only. CI runs this in the `arena` job.
+
+use std::time::{Duration, Instant};
+
+use vs2_core::{logical_blocks, logical_blocks_ctx, DocContext};
+use vs2_serve::{default_config_for, ModelCache, DEFAULT_DOC_SEED};
+use vs2_synth::{generate, DatasetConfig, DatasetId};
+
+/// The release-mode speedup floor, from the issue: the arena path is at
+/// least 15% faster on cold D1 extract.
+const RELEASE_SPEEDUP_FLOOR: f64 = 1.15;
+
+#[test]
+fn arena_extract_is_at_least_15_percent_faster_on_d1() {
+    let cache = ModelCache::new();
+    let pipeline = cache.pipeline_for(
+        DatasetId::D1,
+        DEFAULT_DOC_SEED,
+        default_config_for(DatasetId::D1),
+    );
+    let docs: Vec<vs2_docmodel::Document> =
+        generate(DatasetId::D1, DatasetConfig::new(40, DEFAULT_DOC_SEED))
+            .into_iter()
+            .map(|labeled| labeled.doc)
+            .collect();
+
+    let pass_owned = || {
+        let started = Instant::now();
+        for doc in &docs {
+            let blocks = logical_blocks(doc, &pipeline.config.segment);
+            std::hint::black_box(pipeline.extract_on_blocks(doc, &blocks));
+        }
+        started.elapsed()
+    };
+    let pass_arena = || {
+        let started = Instant::now();
+        for doc in &docs {
+            let ctx = DocContext::build(doc);
+            let blocks = logical_blocks_ctx(&ctx, &pipeline.config.segment);
+            std::hint::black_box(pipeline.extract_on_blocks_ctx(&ctx, &blocks));
+        }
+        started.elapsed()
+    };
+
+    // Warm-up: lazy globals (lexicon centroids, gazetteers) and the
+    // per-thread token-form / embedding caches, off-clock — both arms
+    // then run against identical ambient state.
+    pass_owned();
+    pass_arena();
+
+    let mut best_owned = Duration::MAX;
+    let mut best_arena = Duration::MAX;
+    for _ in 0..3 {
+        best_owned = best_owned.min(pass_owned());
+        best_arena = best_arena.min(pass_arena());
+    }
+
+    let speedup = best_owned.as_secs_f64() / best_arena.as_secs_f64().max(1e-9);
+    println!(
+        "arena-perf: arena {:?} vs owned {:?} over {} docs (speedup {:.2}x)",
+        best_arena,
+        best_owned,
+        docs.len(),
+        speedup,
+    );
+
+    // Parity floor in any profile: the arena path must never be slower
+    // (small absolute slack so timer noise cannot fail a parity build).
+    assert!(
+        best_arena <= best_owned + Duration::from_millis(10),
+        "arena extract regressed below the owned path: arena {best_arena:?} vs owned {best_owned:?}",
+    );
+    if cfg!(debug_assertions) {
+        return;
+    }
+    assert!(
+        speedup >= RELEASE_SPEEDUP_FLOOR,
+        "arena extract speedup {speedup:.2}x is below the {RELEASE_SPEEDUP_FLOOR}x release floor \
+         (arena {best_arena:?} vs owned {best_owned:?})",
+    );
+}

@@ -38,6 +38,7 @@ fn chaos_batch() -> Vec<JobSpec> {
                 doc_index,
                 seed: DEFAULT_DOC_SEED,
             },
+            doc_cache: Default::default(),
         })
         .collect();
     specs.extend(
@@ -48,7 +49,8 @@ fn chaos_batch() -> Vec<JobSpec> {
                 client: None,
                 lane: None,
                 dataset: DatasetId::D1,
-                source: JobSource::Inline(Box::new(doc)),
+                source: JobSource::Inline(std::sync::Arc::new(doc)),
+                doc_cache: Default::default(),
             }),
     );
     specs

@@ -26,6 +26,7 @@ fn job(dataset: DatasetId, doc_index: usize) -> JobSpec {
             doc_index,
             seed: DEFAULT_DOC_SEED,
         },
+        doc_cache: Default::default(),
     }
 }
 
@@ -123,7 +124,8 @@ fn inline_and_synthetic_sources_agree() {
         client: None,
         lane: None,
         dataset,
-        source: JobSource::Inline(Box::new(doc)),
+        source: JobSource::Inline(std::sync::Arc::new(doc)),
+        doc_cache: Default::default(),
     };
     let synthetic = run_batch(2, 4, &[job(dataset, 2)]);
     let inline = run_batch(2, 4, &[inline_spec]);

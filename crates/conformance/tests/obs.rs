@@ -37,6 +37,7 @@ fn traced_corpus() -> Vec<(String, vs2_docmodel::Document)> {
                 doc_index: i,
                 seed: DEFAULT_DOC_SEED,
             },
+            doc_cache: Default::default(),
         };
         docs.push((format!("synthetic-{i}"), spec.document()));
     }

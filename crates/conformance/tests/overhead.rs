@@ -30,7 +30,8 @@ fn corpus_specs() -> Vec<JobSpec> {
             client: None,
             lane: None,
             dataset: DatasetId::D1,
-            source: JobSource::Inline(Box::new(doc)),
+            source: JobSource::Inline(std::sync::Arc::new(doc)),
+            doc_cache: Default::default(),
         })
         .collect();
     specs.extend((0..3).map(|doc_index| JobSpec {
@@ -42,6 +43,7 @@ fn corpus_specs() -> Vec<JobSpec> {
             doc_index,
             seed: DEFAULT_DOC_SEED,
         },
+        doc_cache: Default::default(),
     }));
     specs
 }

@@ -40,6 +40,7 @@ fn spec(doc_index: usize, client: &str, lane: Lane) -> JobSpec {
             doc_index,
             seed: DEFAULT_DOC_SEED,
         },
+        doc_cache: Default::default(),
     }
 }
 

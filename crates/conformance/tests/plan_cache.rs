@@ -33,6 +33,7 @@ fn synthetic(dataset: DatasetId, doc_index: usize) -> JobSpec {
             doc_index,
             seed: DEFAULT_DOC_SEED,
         },
+        doc_cache: Default::default(),
     }
 }
 
@@ -60,7 +61,8 @@ fn differential_batch() -> Vec<JobSpec> {
             client: None,
             lane: None,
             dataset: DatasetId::Templated,
-            source: JobSource::Inline(Box::new(labelled.doc)),
+            source: JobSource::Inline(std::sync::Arc::new(labelled.doc)),
+            doc_cache: Default::default(),
         });
     }
     specs

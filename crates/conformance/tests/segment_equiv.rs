@@ -317,6 +317,7 @@ fn interaction_batch() -> Vec<JobSpec> {
                 doc_index,
                 seed: DEFAULT_DOC_SEED,
             },
+            doc_cache: Default::default(),
         })
         .collect();
     specs.extend(
@@ -327,7 +328,8 @@ fn interaction_batch() -> Vec<JobSpec> {
                 client: None,
                 lane: None,
                 dataset: DatasetId::D1,
-                source: JobSource::Inline(Box::new(doc)),
+                source: JobSource::Inline(std::sync::Arc::new(doc)),
+                doc_cache: Default::default(),
             }),
     );
     specs

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod pipeline;
 pub mod plan;
 pub mod segment;
@@ -45,12 +46,14 @@ pub mod select;
 #[cfg(feature = "serde")]
 mod serde_impls;
 
+pub use context::{CtxEmbedder, DocContext};
 pub use pipeline::{DisambiguationMode, Extraction, Vs2Config, Vs2Model, Vs2Pipeline};
 pub use plan::{
-    planned_blocks, FingerprintConfig, LayoutFingerprint, PlanConfig, PlanCounters, PlanOutcome,
-    PlanStore, PlanStoreConfig, SegmentationPlan,
+    planned_blocks, planned_blocks_ctx, FingerprintConfig, LayoutFingerprint, PlanConfig,
+    PlanCounters, PlanOutcome, PlanStore, PlanStoreConfig, SegmentationPlan,
 };
 pub use segment::{
-    logical_blocks, logical_blocks_naive, segment, segment_naive, LogicalBlock, SegmentConfig,
+    logical_blocks, logical_blocks_ctx, logical_blocks_naive, segment, segment_naive,
+    segment_with_embedder, LogicalBlock, SegmentConfig,
 };
 pub use select::{Eq2Weights, SyntacticPattern};

@@ -7,6 +7,7 @@
 //! (3) resolves multiple matches with the multimodal disambiguation of
 //! Eq. 2 (or, for the §6.5 ablations, first-match / Lesk selection).
 
+use crate::context::DocContext;
 use crate::segment::{logical_blocks, LogicalBlock, SegmentConfig};
 use crate::select::blocktext::BlockText;
 use crate::select::disambiguate::{distance_to_nearest, AreaEncoding, Eq2Weights, PageScale};
@@ -273,7 +274,33 @@ impl Vs2Pipeline {
             self.select_prep(doc, blocks)
         };
         let _scan_span = vs2_obs::span(vs2_obs::stages::SELECT_SCAN);
-        self.scan_indexed(doc, blocks, &texts, &ip_enc, &page)
+        self.scan_indexed(doc, blocks, &texts, &ip_enc, &page, &LexiconEmbedding)
+    }
+
+    /// [`candidates_on_blocks`](Self::candidates_on_blocks) over a
+    /// per-job [`DocContext`] — the zero-copy select entry point. Block
+    /// texts come from the context's interned token view
+    /// ([`BlockText::build_in`]) and every embedding goes through the
+    /// context's per-job memo, so nothing is re-tokenised, re-stemmed or
+    /// re-embedded per block. Observationally identical to
+    /// [`candidates_on_blocks`](Self::candidates_on_blocks); pinned by
+    /// `tests/arena_equiv.rs` in `vs2-conformance`.
+    pub fn candidates_on_blocks_ctx(
+        &self,
+        ctx: &DocContext<'_>,
+        blocks: &[LogicalBlock],
+    ) -> BTreeMap<String, Vec<Extraction>> {
+        let select_span = vs2_obs::span(vs2_obs::stages::SELECT);
+        select_span.tag("blocks", blocks.len() as u64);
+        let embedder = ctx.embedder();
+        let (texts, ip_enc, page) = {
+            let _index_span = vs2_obs::span(vs2_obs::stages::SELECT_INDEX);
+            let texts = self.block_texts_ctx(ctx, blocks);
+            let (ip_enc, page) = self.select_prep_rest(ctx.doc(), blocks, &texts, &embedder);
+            (texts, ip_enc, page)
+        };
+        let _scan_span = vs2_obs::span(vs2_obs::stages::SELECT_SCAN);
+        self.scan_indexed(ctx.doc(), blocks, &texts, &ip_enc, &page, &embedder)
     }
 
     /// [`candidates_on_blocks`](Self::candidates_on_blocks) over
@@ -294,20 +321,21 @@ impl Vs2Pipeline {
         select_span.tag("blocks", blocks.len() as u64);
         let (ip_enc, page) = {
             let _index_span = vs2_obs::span(vs2_obs::stages::SELECT_INDEX);
-            self.select_prep_rest(doc, blocks, texts)
+            self.select_prep_rest(doc, blocks, texts, &LexiconEmbedding)
         };
         let _scan_span = vs2_obs::span(vs2_obs::stages::SELECT_SCAN);
-        self.scan_indexed(doc, blocks, texts, &ip_enc, &page)
+        self.scan_indexed(doc, blocks, texts, &ip_enc, &page, &LexiconEmbedding)
     }
 
-    /// The indexed per-block scan shared by both select entry points.
-    fn scan_indexed(
+    /// The indexed per-block scan shared by every select entry point.
+    fn scan_indexed<E: Embedder>(
         &self,
         doc: &Document,
         blocks: &[LogicalBlock],
         texts: &[BlockText],
         ip_enc: &[AreaEncoding],
         page: &PageScale,
+        embedder: &E,
     ) -> BTreeMap<String, Vec<Extraction>> {
         // One pass over the blocks; the index answers for all entities at
         // once. Accumulating per entity in ascending block order keeps the
@@ -315,12 +343,17 @@ impl Vs2Pipeline {
         // output — identical to the old entity-outer loop.
         let entities: Vec<&String> = self.model.patterns.keys().collect();
         let mut per_entity: Vec<Vec<Extraction>> = vec![Vec::new(); entities.len()];
+        let mut scratch = crate::select::ScanScratch::default();
+        let mut bests: Vec<Option<crate::select::BlockBest>> = Vec::new();
         for (bi, bt) in texts.iter().enumerate() {
             if bt.is_empty() {
                 continue;
             }
-            for (ei, best) in self.model.index.block_best(bt).into_iter().enumerate() {
-                let Some(b) = best else { continue };
+            self.model
+                .index
+                .block_best_into(bt, &mut scratch, &mut bests);
+            for (ei, best) in bests.iter().enumerate() {
+                let Some(b) = *best else { continue };
                 per_entity[ei].push(self.score_candidate(
                     doc,
                     blocks,
@@ -332,6 +365,7 @@ impl Vs2Pipeline {
                     b.specificity,
                     ip_enc,
                     page,
+                    embedder,
                 ));
             }
         }
@@ -382,6 +416,7 @@ impl Vs2Pipeline {
                     specificity,
                     &ip_enc,
                     &page,
+                    &LexiconEmbedding,
                 ));
             }
             if cands.is_empty() {
@@ -409,6 +444,14 @@ impl Vs2Pipeline {
         blocks.iter().map(|b| BlockText::build(doc, b)).collect()
     }
 
+    /// [`block_texts`](Self::block_texts) over a per-job [`DocContext`]:
+    /// tokens come from the context's interned view instead of
+    /// re-tokenising every block's elements
+    /// ([`BlockText::build_in`]). Byte-identical tables.
+    pub fn block_texts_ctx(&self, ctx: &DocContext<'_>, blocks: &[LogicalBlock]) -> Vec<BlockText> {
+        blocks.iter().map(|b| BlockText::build_in(ctx, b)).collect()
+    }
+
     /// Shared select-stage preparation: block texts (with their feature
     /// tables) and the interest-point encodings of the multimodal mode.
     fn select_prep(
@@ -417,20 +460,20 @@ impl Vs2Pipeline {
         blocks: &[LogicalBlock],
     ) -> (Vec<BlockText>, Vec<AreaEncoding>, PageScale) {
         let texts = self.block_texts(doc, blocks);
-        let (ip_enc, page) = self.select_prep_rest(doc, blocks, &texts);
+        let (ip_enc, page) = self.select_prep_rest(doc, blocks, &texts, &LexiconEmbedding);
         (texts, ip_enc, page)
     }
 
     /// The non-text half of select preparation, over already-built block
     /// texts.
-    fn select_prep_rest(
+    fn select_prep_rest<E: Embedder>(
         &self,
         doc: &Document,
         blocks: &[LogicalBlock],
         texts: &[BlockText],
+        embedder: &E,
     ) -> (Vec<AreaEncoding>, PageScale) {
-        let embedder = LexiconEmbedding;
-        let ip_idx = interest_points(doc, blocks, &embedder);
+        let ip_idx = interest_points(doc, blocks, embedder);
         let encode_block = |b: &LogicalBlock, bt: &BlockText| AreaEncoding {
             bbox: b.bbox,
             embedding: embedder.embed_text(bt.ann.content_words()),
@@ -451,7 +494,7 @@ impl Vs2Pipeline {
     /// Both matchers funnel through here, so the differential suite pins
     /// exactly the matcher — scoring is shared by construction.
     #[allow(clippy::too_many_arguments)]
-    fn score_candidate(
+    fn score_candidate<E: Embedder>(
         &self,
         doc: &Document,
         blocks: &[LogicalBlock],
@@ -463,8 +506,8 @@ impl Vs2Pipeline {
         specificity: usize,
         ip_enc: &[AreaEncoding],
         page: &PageScale,
+        embedder: &E,
     ) -> Extraction {
-        let embedder = LexiconEmbedding;
         let (text, span_bbox) = if exact {
             // D1 semantics: the descriptor locates the field; the
             // extraction is the value adjacent to it (bounded to a
@@ -541,6 +584,29 @@ impl Vs2Pipeline {
     /// blocks.
     pub fn extract_on_blocks(&self, doc: &Document, blocks: &[LogicalBlock]) -> Vec<Extraction> {
         assign(self.candidates_on_blocks(doc, blocks))
+    }
+
+    /// [`extract_on_blocks`](Self::extract_on_blocks) over a per-job
+    /// [`DocContext`] — the zero-copy serve path. Byte-identical output;
+    /// nothing is cloned or re-tokenised across the stage boundary.
+    pub fn extract_on_blocks_ctx(
+        &self,
+        ctx: &DocContext<'_>,
+        blocks: &[LogicalBlock],
+    ) -> Vec<Extraction> {
+        assign(self.candidates_on_blocks_ctx(ctx, blocks))
+    }
+
+    /// End-to-end zero-copy extraction: builds one [`DocContext`] for
+    /// `doc`, segments with the context's memoising embedder, and runs
+    /// the interned select stage — the single-call equivalent of what a
+    /// serve worker does per job. Byte-identical to
+    /// [`extract`](Self::extract).
+    pub fn extract_ctx(&self, doc: &Document) -> Vec<Extraction> {
+        let _extract_span = vs2_obs::span(vs2_obs::stages::EXTRACT);
+        let ctx = DocContext::build(doc);
+        let blocks = crate::segment::logical_blocks_ctx(&ctx, &self.config.segment);
+        assign(self.candidates_on_blocks_ctx(&ctx, &blocks))
     }
 
     /// Reference-path variant of

@@ -27,4 +27,6 @@ pub mod store;
 
 pub use fingerprint::{FingerprintConfig, LayoutFingerprint, CENTROID_MARGIN, STABLE_JITTER};
 pub use replay::{PlanConfig, PlanLeaf, PlanNode, SegmentationPlan, ValidationReject};
-pub use store::{planned_blocks, PlanCounters, PlanOutcome, PlanStore, PlanStoreConfig};
+pub use store::{
+    planned_blocks, planned_blocks_ctx, PlanCounters, PlanOutcome, PlanStore, PlanStoreConfig,
+};

@@ -282,13 +282,39 @@ pub fn planned_blocks(
     cfg: &PlanConfig,
     store: &PlanStore,
 ) -> (Vec<LogicalBlock>, PlanOutcome) {
+    planned_blocks_with(doc, seg, cfg, store, &vs2_nlp::LexiconEmbedding)
+}
+
+/// Cache-aware segmentation over a borrowed [`DocContext`]: identical
+/// decision logic to [`planned_blocks`], but every full-segmentation
+/// fallback (skew bypass, validation reject, cache miss) runs through
+/// the context's memoizing embedder instead of re-deriving embeddings
+/// per call. Replay and fingerprinting are embedding-free, so hit-path
+/// behaviour is unchanged.
+pub fn planned_blocks_ctx(
+    ctx: &crate::context::DocContext<'_>,
+    seg: &SegmentConfig,
+    cfg: &PlanConfig,
+    store: &PlanStore,
+) -> (Vec<LogicalBlock>, PlanOutcome) {
+    planned_blocks_with(ctx.doc(), seg, cfg, store, &ctx.embedder())
+}
+
+fn planned_blocks_with<E: vs2_nlp::Embedder>(
+    doc: &Document,
+    seg: &SegmentConfig,
+    cfg: &PlanConfig,
+    store: &PlanStore,
+    embedder: &E,
+) -> (Vec<LogicalBlock>, PlanOutcome) {
     let fp = {
         let span = vs2_obs::span(vs2_obs::stages::PLAN_FINGERPRINT);
         if seg.deskew && segment::estimate_skew(doc).abs() >= segment::SKEW_EPSILON {
             span.tag("bypass", 1);
             drop(span);
             store.bypasses.fetch_add(1, Ordering::Relaxed);
-            return (segment::logical_blocks(doc, seg), PlanOutcome::Bypassed);
+            let tree = segment::segment_with_embedder(doc, seg, embedder);
+            return (segment::blocks_of_tree(&tree), PlanOutcome::Bypassed);
         }
         let fp = LayoutFingerprint::compute(doc, &cfg.fingerprint);
         span.tag("digest", fp.digest());
@@ -315,8 +341,9 @@ pub fn planned_blocks(
                 // First plan wins: the cached plan stays; this document
                 // pays for full segmentation and is not captured (its
                 // fingerprint slot is taken).
+                let tree = segment::segment_with_embedder(doc, seg, embedder);
                 return (
-                    segment::logical_blocks(doc, seg),
+                    segment::blocks_of_tree(&tree),
                     PlanOutcome::Rejected(reject),
                 );
             }
@@ -324,7 +351,7 @@ pub fn planned_blocks(
     }
 
     store.misses.fetch_add(1, Ordering::Relaxed);
-    let tree = segment::segment(doc, seg);
+    let tree = segment::segment_with_embedder(doc, seg, embedder);
     let blocks = segment::blocks_of_tree(&tree);
     let plan = SegmentationPlan::capture(doc, &tree);
     let inserted = if self_replay_matches(&plan, doc, cfg, &blocks) {

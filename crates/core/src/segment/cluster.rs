@@ -10,6 +10,8 @@
 //! area (the medoid of each occupied cell) and elements are iteratively
 //! reassigned to their nearest cluster until a fixed point.
 
+use std::cell::RefCell;
+
 use vs2_docmodel::{BBox, Document, ElementRef, Lab, Point};
 
 /// The Table 1 feature encoding of one atomic element, normalised to the
@@ -96,6 +98,21 @@ pub fn feature_distance(a: &VisualFeatures, b: &VisualFeatures, cfg: &ClusterCon
         + cfg.w_sum_angular * sa
 }
 
+/// Reused working buffers of one thread's cluster calls — cleared and
+/// refilled identically on every call, so reuse cannot change decisions.
+#[derive(Default)]
+struct ClusterScratch {
+    feats: Vec<VisualFeatures>,
+    seeds: Vec<usize>,
+    members: Vec<usize>,
+    assign: Vec<usize>,
+    parts: Vec<Vec<usize>>,
+}
+
+thread_local! {
+    static CLUSTER_SCRATCH: RefCell<ClusterScratch> = RefCell::new(ClusterScratch::default());
+}
+
 /// Clusters the elements of an area. Returns a partition (each part
 /// non-empty); a single part means "no split found".
 pub fn cluster(
@@ -107,17 +124,29 @@ pub fn cluster(
     // Images are atomic visual units: each forms its own part, and only
     // the text elements participate in feature clustering (merging text
     // into an image's cluster by mere proximity would glue banners to
-    // titles).
-    let images: Vec<ElementRef> = elements.iter().copied().filter(|r| !r.is_text()).collect();
-    let texts: Vec<ElementRef> = elements.iter().copied().filter(|r| r.is_text()).collect();
-    if !images.is_empty() {
-        let mut parts: Vec<Vec<ElementRef>> = images.into_iter().map(|r| vec![r]).collect();
+    // titles). All-text areas (the common case) skip the partition.
+    if elements.iter().any(|r| !r.is_text()) {
+        let images = elements.iter().copied().filter(|r| !r.is_text());
+        let texts: Vec<ElementRef> = elements.iter().copied().filter(|r| r.is_text()).collect();
+        let mut parts: Vec<Vec<ElementRef>> = images.map(|r| vec![r]).collect();
         if !texts.is_empty() {
-            parts.extend(cluster(doc, area, &texts, cfg));
+            parts.extend(
+                CLUSTER_SCRATCH.with(|s| cluster_core(doc, area, &texts, cfg, &mut s.borrow_mut())),
+            );
         }
         return parts;
     }
-    let elements = &texts[..];
+    CLUSTER_SCRATCH.with(|s| cluster_core(doc, area, elements, cfg, &mut s.borrow_mut()))
+}
+
+/// The text-only clustering core, over caller-owned scratch.
+fn cluster_core(
+    doc: &Document,
+    area: &BBox,
+    elements: &[ElementRef],
+    cfg: &ClusterConfig,
+    scratch: &mut ClusterScratch,
+) -> Vec<Vec<ElementRef>> {
     let n = elements.len();
     if n < 2 {
         return vec![elements.to_vec()];
@@ -126,24 +155,24 @@ pub fn cluster(
         .iter()
         .map(|r| doc.bbox_of(*r).h)
         .fold(0.0, f64::max);
-    let feats: Vec<VisualFeatures> = elements
-        .iter()
-        .map(|r| features_of(doc, area, *r, max_h))
-        .collect();
+    let feats = &mut scratch.feats;
+    feats.clear();
+    feats.extend(elements.iter().map(|r| features_of(doc, area, *r, max_h)));
+    let feats: &[VisualFeatures] = feats;
 
     // 2×2 grid seeding: the medoid of each occupied quadrant.
-    let mut seeds: Vec<usize> = Vec::new();
+    let seeds = &mut scratch.seeds;
+    seeds.clear();
+    let members = &mut scratch.members;
     for qy in 0..2 {
         for qx in 0..2 {
-            let members: Vec<usize> = (0..n)
-                .filter(|&i| {
-                    let c = feats[i].centroid;
-                    (c.x >= qx as f64 * 0.5 && c.x < (qx + 1) as f64 * 0.5
-                        || (qx == 1 && c.x == 1.0))
-                        && (c.y >= qy as f64 * 0.5 && c.y < (qy + 1) as f64 * 0.5
-                            || (qy == 1 && c.y == 1.0))
-                })
-                .collect();
+            members.clear();
+            members.extend((0..n).filter(|&i| {
+                let c = feats[i].centroid;
+                (c.x >= qx as f64 * 0.5 && c.x < (qx + 1) as f64 * 0.5 || (qx == 1 && c.x == 1.0))
+                    && (c.y >= qy as f64 * 0.5 && c.y < (qy + 1) as f64 * 0.5
+                        || (qy == 1 && c.y == 1.0))
+            }));
             if members.is_empty() {
                 continue;
             }
@@ -171,19 +200,19 @@ pub fn cluster(
 
     // Iterative reassignment to the nearest cluster (by average distance
     // to members) until stable.
-    let mut assign: Vec<usize> = (0..n)
-        .map(|i| {
-            seeds
-                .iter()
-                .enumerate()
-                .min_by(|(_, &a), (_, &b)| {
-                    feature_distance(&feats[i], &feats[a], cfg)
-                        .total_cmp(&feature_distance(&feats[i], &feats[b], cfg))
-                })
-                .map(|(k, _)| k)
-                .unwrap()
-        })
-        .collect();
+    let assign = &mut scratch.assign;
+    assign.clear();
+    assign.extend((0..n).map(|i| {
+        seeds
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| {
+                feature_distance(&feats[i], &feats[a], cfg)
+                    .total_cmp(&feature_distance(&feats[i], &feats[b], cfg))
+            })
+            .map(|(k, _)| k)
+            .unwrap()
+    }));
 
     for _ in 0..cfg.max_iters {
         let mut changed = false;
@@ -191,15 +220,19 @@ pub fn cluster(
             let mut best = assign[i];
             let mut best_d = f64::INFINITY;
             for k in 0..seeds.len() {
-                let members: Vec<usize> = (0..n).filter(|&j| assign[j] == k && j != i).collect();
-                if members.is_empty() {
+                // Average distance to cluster k's members, streamed in
+                // index order (same summation order as the collected
+                // form, so the floats are bit-identical).
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for j in (0..n).filter(|&j| assign[j] == k && j != i) {
+                    sum += feature_distance(&feats[i], &feats[j], cfg);
+                    count += 1;
+                }
+                if count == 0 {
                     continue;
                 }
-                let d: f64 = members
-                    .iter()
-                    .map(|&m| feature_distance(&feats[i], &feats[m], cfg))
-                    .sum::<f64>()
-                    / members.len() as f64;
+                let d = sum / count as f64;
                 if d < best_d {
                     best_d = d;
                     best = k;
@@ -215,11 +248,27 @@ pub fn cluster(
         }
     }
 
-    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); seeds.len()];
-    for (i, &k) in assign.iter().enumerate() {
-        parts[k].push(i);
+    // Partition by assignment into pooled index lists; only the returned
+    // element lists below allocate.
+    let pool = &mut scratch.parts;
+    while pool.len() < seeds.len() {
+        pool.push(Vec::new());
     }
-    parts.retain(|p| !p.is_empty());
+    for p in pool.iter_mut() {
+        p.clear();
+    }
+    for (i, &k) in assign.iter().enumerate() {
+        pool[k].push(i);
+    }
+    // Compact non-empty parts to the front, preserving order — the
+    // pooled analogue of `retain(|p| !p.is_empty())`.
+    let mut live = 0usize;
+    for k in 0..seeds.len() {
+        if !pool[k].is_empty() {
+            pool.swap(live, k);
+            live += 1;
+        }
+    }
 
     // Collapse clusters that are not meaningfully separated: a visually
     // homogeneous area must stay one block, not four grid shards. Average
@@ -251,13 +300,12 @@ pub fn cluster(
     // are not visually separated, whatever the feature ratio says — a
     // continuous line of text must never shatter by position alone.
     let part_bbox = |p: &[usize]| -> BBox {
-        BBox::enclosing(
-            p.iter()
-                .map(|&i| doc.bbox_of(elements[i]))
-                .collect::<Vec<_>>()
-                .iter(),
-        )
-        .unwrap_or_default()
+        // Same left fold as `BBox::enclosing`, without the collect.
+        let mut it = p.iter().map(|&i| doc.bbox_of(elements[i]));
+        match it.next() {
+            Some(first) => it.fold(first, |acc, b| acc.union(&b)),
+            None => BBox::default(),
+        }
     };
     // The font scale of a cluster pair for the adjacency test: each
     // cluster's tallest *text* element (an image's extent is not a font
@@ -282,14 +330,14 @@ pub fn cluster(
     loop {
         let mut best: Option<(usize, usize)> = None;
         let mut best_ratio = cfg.collapse_factor;
-        for i in 0..parts.len() {
-            for j in i + 1..parts.len() {
-                let spread = intra(&parts[i]).max(intra(&parts[j])).max(1e-3);
-                let mut ratio = inter(&parts[i], &parts[j]) / spread;
-                let gap = part_bbox(&parts[i]).distance(&part_bbox(&parts[j]));
-                let font = pair_font(&parts[i], &parts[j]).max(1e-9);
+        for i in 0..live {
+            for j in i + 1..live {
+                let spread = intra(&pool[i]).max(intra(&pool[j])).max(1e-3);
+                let mut ratio = inter(&pool[i], &pool[j]) / spread;
+                let gap = part_bbox(&pool[i]).distance(&part_bbox(&pool[j]));
+                let font = pair_font(&pool[i], &pool[j]).max(1e-9);
                 let has_text = |p: &[usize]| p.iter().any(|&k| elements[k].is_text());
-                let (ti, tj) = (has_text(&parts[i]), has_text(&parts[j]));
+                let (ti, tj) = (has_text(&pool[i]), has_text(&pool[j]));
                 if ti != tj {
                     // An image is its own visual unit; it never joins a
                     // text cluster, however close or similar.
@@ -306,16 +354,23 @@ pub fn cluster(
         }
         match best {
             Some((i, j)) => {
-                let merged = parts.remove(j);
-                parts[i].extend(merged);
+                // Merge j into i, then close the gap — the pooled,
+                // order-preserving analogue of `remove(j)` + `extend`
+                // (the emptied list rotates past the live region and
+                // keeps its capacity for the next call).
+                let (head, tail) = pool.split_at_mut(j);
+                head[i].extend_from_slice(&tail[0]);
+                tail[0].clear();
+                pool[j..live].rotate_left(1);
+                live -= 1;
             }
             None => break,
         }
     }
 
-    parts
-        .into_iter()
-        .map(|p| p.into_iter().map(|i| elements[i]).collect())
+    pool[..live]
+        .iter()
+        .map(|p| p.iter().map(|&i| elements[i]).collect())
         .collect()
 }
 

@@ -181,6 +181,13 @@ pub fn vertical_cuts(grid: &OccupancyGrid) -> Vec<usize> {
 /// Groups sorted cut origins into maximal consecutive runs.
 pub fn cut_runs(origins: &[usize], horizontal: bool) -> Vec<CutRun> {
     let mut runs = Vec::new();
+    cut_runs_into(origins, horizontal, &mut runs);
+    runs
+}
+
+/// [`cut_runs`] appending into a caller-owned buffer — the fast path
+/// reuses one run buffer across the whole recursion.
+pub fn cut_runs_into(origins: &[usize], horizontal: bool, runs: &mut Vec<CutRun>) {
     let mut i = 0;
     while i < origins.len() {
         let start = origins[i];
@@ -196,7 +203,6 @@ pub fn cut_runs(origins: &[usize], horizontal: bool) -> Vec<CutRun> {
         });
         i += 1;
     }
-    runs
 }
 
 /// Convenience: both kinds of runs for a grid.

@@ -118,63 +118,79 @@ pub fn score_runs_geom(
     all_boxes: &[BBox],
     text_boxes: &[BBox],
 ) -> Vec<ScoredRun> {
+    let mut out = Vec::with_capacity(runs.len());
+    score_runs_geom_into(runs, origin, cell, area, all_boxes, text_boxes, &mut out);
+    out
+}
+
+/// [`score_runs_geom`] appending into a caller-owned buffer — the fast
+/// path reuses one scored-run buffer across the whole recursion. Pushes
+/// the same values in the same order as the allocating form.
+#[allow(clippy::too_many_arguments)]
+pub fn score_runs_geom_into(
+    runs: &[CutRun],
+    origin: Point,
+    cell: f64,
+    area: &BBox,
+    all_boxes: &[BBox],
+    text_boxes: &[BBox],
+    out: &mut Vec<ScoredRun>,
+) {
     let text_boxes = if text_boxes.is_empty() {
         all_boxes
     } else {
         text_boxes
     };
     let max_h = text_boxes.iter().map(|b| b.h).fold(0.0, f64::max).max(1e-9);
-    runs.iter()
-        .map(|run| {
-            let strip = run_strip_geom(run, origin, cell, area);
-            // Neighbouring bounding box: minimum distance from the strip.
-            let neighbor_height = text_boxes
+    out.extend(runs.iter().map(|run| {
+        let strip = run_strip_geom(run, origin, cell, area);
+        // Neighbouring bounding box: minimum distance from the strip.
+        let neighbor_height = text_boxes
+            .iter()
+            .min_by(|a, b| strip.distance(a).total_cmp(&strip.distance(b)))
+            .map(|b| b.h)
+            .unwrap_or(max_h);
+        // True gap: distance between the closest content on either
+        // side of the strip centre. Falls back to the run extent for
+        // offset layouts where the sides overlap.
+        let center = strip.centroid();
+        let gap = if run.horizontal {
+            let above = all_boxes
                 .iter()
-                .min_by(|a, b| strip.distance(a).total_cmp(&strip.distance(b)))
-                .map(|b| b.h)
-                .unwrap_or(max_h);
-            // True gap: distance between the closest content on either
-            // side of the strip centre. Falls back to the run extent for
-            // offset layouts where the sides overlap.
-            let center = strip.centroid();
-            let gap = if run.horizontal {
-                let above = all_boxes
-                    .iter()
-                    .filter(|b| b.centroid().y < center.y)
-                    .map(|b| b.bottom())
-                    .fold(f64::NEG_INFINITY, f64::max);
-                let below = all_boxes
-                    .iter()
-                    .filter(|b| b.centroid().y > center.y)
-                    .map(|b| b.y)
-                    .fold(f64::INFINITY, f64::min);
-                below - above
-            } else {
-                let left = all_boxes
-                    .iter()
-                    .filter(|b| b.centroid().x < center.x)
-                    .map(|b| b.right())
-                    .fold(f64::NEG_INFINITY, f64::max);
-                let right = all_boxes
-                    .iter()
-                    .filter(|b| b.centroid().x > center.x)
-                    .map(|b| b.x)
-                    .fold(f64::INFINITY, f64::min);
-                right - left
-            };
-            let gap = if gap.is_finite() && gap > 0.0 {
-                gap
-            } else {
-                run.len as f64 * cell
-            };
-            ScoredRun {
-                run: *run,
-                gap,
-                neighbor_height: neighbor_height.max(1e-9),
-                width: gap / neighbor_height.max(1e-9),
-            }
-        })
-        .collect()
+                .filter(|b| b.centroid().y < center.y)
+                .map(|b| b.bottom())
+                .fold(f64::NEG_INFINITY, f64::max);
+            let below = all_boxes
+                .iter()
+                .filter(|b| b.centroid().y > center.y)
+                .map(|b| b.y)
+                .fold(f64::INFINITY, f64::min);
+            below - above
+        } else {
+            let left = all_boxes
+                .iter()
+                .filter(|b| b.centroid().x < center.x)
+                .map(|b| b.right())
+                .fold(f64::NEG_INFINITY, f64::max);
+            let right = all_boxes
+                .iter()
+                .filter(|b| b.centroid().x > center.x)
+                .map(|b| b.x)
+                .fold(f64::INFINITY, f64::min);
+            right - left
+        };
+        let gap = if gap.is_finite() && gap > 0.0 {
+            gap
+        } else {
+            run.len as f64 * cell
+        };
+        ScoredRun {
+            run: *run,
+            gap,
+            neighbor_height: neighbor_height.max(1e-9),
+            width: gap / neighbor_height.max(1e-9),
+        }
+    }));
 }
 
 /// Pearson correlation coefficient; 0 when undefined.
@@ -219,10 +235,29 @@ pub fn correlation_profile(scored: &[ScoredRun]) -> Vec<f64> {
 /// splits delimiters from intra-block spacing, guarded by the configured
 /// width-ratio floor and ceiling.
 pub fn select_delimiters(scored: &[ScoredRun], config: &DelimiterConfig) -> Vec<ScoredRun> {
+    let mut ranked = Vec::new();
+    let mut out = Vec::new();
+    select_delimiters_into(scored, config, &mut ranked, &mut out);
+    out
+}
+
+/// [`select_delimiters`] over caller-owned rank/output buffers — the
+/// fast path reuses both across the whole recursion. `ranked` is scratch
+/// (`ScoredRun` is `Copy`; a stable sort of copies ranks identically to
+/// a stable sort of references); `out` receives the selected delimiters
+/// in the same order as the allocating form.
+pub fn select_delimiters_into(
+    scored: &[ScoredRun],
+    config: &DelimiterConfig,
+    ranked: &mut Vec<ScoredRun>,
+    out: &mut Vec<ScoredRun>,
+) {
+    out.clear();
     if scored.is_empty() {
-        return Vec::new();
+        return;
     }
-    let mut ranked: Vec<&ScoredRun> = scored.iter().collect();
+    ranked.clear();
+    ranked.extend_from_slice(scored);
     ranked.sort_by(|a, b| b.width.total_cmp(&a.width));
 
     // First inflection: the largest relative drop in the ranked widths.
@@ -240,25 +275,24 @@ pub fn select_delimiters(scored: &[ScoredRun], config: &DelimiterConfig) -> Vec<
         }
     }
 
-    ranked
-        .into_iter()
-        .enumerate()
-        .filter(|(rank, s)| {
-            if s.width < config.min_width_ratio {
-                return false;
-            }
-            if s.width >= config.strong_width_ratio {
-                return true;
-            }
-            // Mid-band: a horizontal strip that cleanly separates complete
-            // lines is a delimiter at ≥ min ratio (intra-line content never
-            // produces horizontal runs, so there is no uniform-leading
-            // distribution to confuse it with once true gaps are used).
-            // Vertical strips need the inflection contrast.
-            s.run.horizontal || *rank < split
-        })
-        .map(|(_, s)| *s)
-        .collect()
+    out.extend(ranked.iter().enumerate().filter_map(|(rank, s)| {
+        if s.width < config.min_width_ratio {
+            return None;
+        }
+        if s.width >= config.strong_width_ratio {
+            return Some(*s);
+        }
+        // Mid-band: a horizontal strip that cleanly separates complete
+        // lines is a delimiter at ≥ min ratio (intra-line content never
+        // produces horizontal runs, so there is no uniform-leading
+        // distribution to confuse it with once true gaps are used).
+        // Vertical strips need the inflection contrast.
+        if s.run.horizontal || rank < split {
+            Some(*s)
+        } else {
+            None
+        }
+    }));
 }
 
 #[cfg(test)]

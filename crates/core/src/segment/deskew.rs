@@ -11,10 +11,26 @@
 //! centroids (least squares) and takes the median slope — robust to
 //! short lines and to the odd vertical feature.
 
+use std::cell::RefCell;
+
 use vs2_docmodel::{BBox, Document, Point};
 
 /// Minimum words on a line for its slope to vote.
 const MIN_LINE_WORDS: usize = 3;
+
+/// Reused estimation buffers (cleared and refilled on every call, so
+/// reuse is a pure capacity optimisation).
+#[derive(Default)]
+struct SkewScratch {
+    items: Vec<BBox>,
+    line_boxes: Vec<BBox>,
+    tagged: Vec<(u32, Point)>,
+    slopes: Vec<f64>,
+}
+
+thread_local! {
+    static SKEW_SCRATCH: RefCell<SkewScratch> = RefCell::new(SkewScratch::default());
+}
 
 /// Skew angles below this magnitude (radians) are treated as noise: the
 /// segmenter analyses the raw geometry without rotating, and the plan
@@ -24,54 +40,64 @@ pub const SKEW_EPSILON: f64 = 0.005;
 /// Estimates the page skew in radians (positive = clockwise text flow).
 /// Returns 0.0 when too few usable lines exist.
 pub fn estimate_skew(doc: &Document) -> f64 {
-    // Group words into lines by vertical overlap (same rule the reading
-    // order uses).
-    let refs = doc.element_refs();
-    let mut items: Vec<BBox> = refs
-        .iter()
-        .filter(|r| r.is_text())
-        .map(|r| doc.bbox_of(*r))
-        .collect();
-    items.sort_by(|a, b| a.y.total_cmp(&b.y));
-    let mut lines: Vec<(BBox, Vec<Point>)> = Vec::new();
-    for b in items {
-        let c = b.centroid();
-        let mut placed = false;
-        for (lb, pts) in lines.iter_mut() {
-            let overlap = (lb.bottom().min(b.bottom()) - lb.y.max(b.y)).max(0.0);
-            if overlap / lb.h.min(b.h).max(1e-9) > 0.5 {
-                *lb = lb.union(&b);
-                pts.push(c);
-                placed = true;
-                break;
+    SKEW_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        // Group words into lines by vertical overlap (same rule the reading
+        // order uses). Points are tagged with the (first-matching) line they
+        // join; iterating the flat tagged list filtered by line preserves
+        // each line's insertion order, so the per-line least-squares sums
+        // below are bit-identical to a per-line point list.
+        let items = &mut scratch.items;
+        items.clear();
+        items.extend(doc.texts.iter().map(|t| t.bbox));
+        items.sort_by(|a, b| a.y.total_cmp(&b.y));
+        let line_boxes = &mut scratch.line_boxes;
+        line_boxes.clear();
+        let tagged = &mut scratch.tagged;
+        tagged.clear();
+        for &b in items.iter() {
+            let c = b.centroid();
+            let mut placed = None;
+            for (li, lb) in line_boxes.iter_mut().enumerate() {
+                let overlap = (lb.bottom().min(b.bottom()) - lb.y.max(b.y)).max(0.0);
+                if overlap / lb.h.min(b.h).max(1e-9) > 0.5 {
+                    *lb = lb.union(&b);
+                    placed = Some(li as u32);
+                    break;
+                }
             }
+            let li = placed.unwrap_or_else(|| {
+                line_boxes.push(b);
+                (line_boxes.len() - 1) as u32
+            });
+            tagged.push((li, c));
         }
-        if !placed {
-            lines.push((b, vec![c]));
-        }
-    }
 
-    // Least-squares slope per line; median over lines.
-    let mut slopes: Vec<f64> = Vec::new();
-    for (_, pts) in &lines {
-        if pts.len() < MIN_LINE_WORDS {
-            continue;
+        // Least-squares slope per line; median over lines.
+        let slopes = &mut scratch.slopes;
+        slopes.clear();
+        for li in 0..line_boxes.len() as u32 {
+            let pts = || tagged.iter().filter(|(l, _)| *l == li).map(|(_, p)| p);
+            let count = pts().count();
+            if count < MIN_LINE_WORDS {
+                continue;
+            }
+            let n = count as f64;
+            let mx = pts().map(|p| p.x).sum::<f64>() / n;
+            let my = pts().map(|p| p.y).sum::<f64>() / n;
+            let sxx: f64 = pts().map(|p| (p.x - mx).powi(2)).sum();
+            if sxx < 1e-9 {
+                continue;
+            }
+            let sxy: f64 = pts().map(|p| (p.x - mx) * (p.y - my)).sum();
+            slopes.push(sxy / sxx);
         }
-        let n = pts.len() as f64;
-        let mx = pts.iter().map(|p| p.x).sum::<f64>() / n;
-        let my = pts.iter().map(|p| p.y).sum::<f64>() / n;
-        let sxx: f64 = pts.iter().map(|p| (p.x - mx).powi(2)).sum();
-        if sxx < 1e-9 {
-            continue;
+        if slopes.is_empty() {
+            return 0.0;
         }
-        let sxy: f64 = pts.iter().map(|p| (p.x - mx) * (p.y - my)).sum();
-        slopes.push(sxy / sxx);
-    }
-    if slopes.is_empty() {
-        return 0.0;
-    }
-    slopes.sort_by(|a, b| a.total_cmp(b));
-    slopes[slopes.len() / 2].atan()
+        slopes.sort_by(|a, b| a.total_cmp(b));
+        slopes[slopes.len() / 2].atan()
+    })
 }
 
 fn rotate_bbox(b: &BBox, center: Point, cos: f64, sin: f64) -> BBox {

@@ -56,15 +56,14 @@
 //! fill). The naive module emits no spans.
 
 use crate::segment::cluster::cluster;
-use crate::segment::cuts::{cut_runs, CutRun, DRIFT_PERIOD};
-use crate::segment::delimiter::{score_runs_geom, select_delimiters, ScoredRun};
+use crate::segment::cuts::{cut_runs_into, CutRun, DRIFT_PERIOD};
+use crate::segment::delimiter::{score_runs_geom_into, select_delimiters_into, ScoredRun};
 use crate::segment::merge::{node_embedding, theta, visually_separated, MergeConfig};
 use crate::segment::segmenter::{
     effective_cell_size, is_interior, split_by_delimiters, tight_bbox, SegmentConfig,
 };
 use vs2_docmodel::{BBox, Document, ElementRef, LayoutTree, NodeId, PackedGrid};
 use vs2_nlp::embedding::{cosine, Embedder, Vector};
-use vs2_nlp::LexiconEmbedding;
 
 /// Reused buffers of the packed frontier sweep: group masks, the
 /// all-steps AND, the accepted-origin set, and the two frontier words.
@@ -97,10 +96,15 @@ fn ones(words: &mut Vec<u64>, len: usize, n: usize) {
 }
 
 /// The packed equivalent of `cuts::sweep` over one grid orientation.
-/// Returns the same origins, ascending. `horizontal` selects per-column
-/// masks over rows (horizontal cuts); otherwise per-row masks over
-/// columns.
-fn sweep_packed(grid: &PackedGrid, horizontal: bool, s: &mut SweepScratch) -> Vec<usize> {
+/// Clears `out` and fills it with the same origins, ascending.
+/// `horizontal` selects per-column masks over rows (horizontal cuts);
+/// otherwise per-row masks over columns.
+fn sweep_packed_into(
+    grid: &PackedGrid,
+    horizontal: bool,
+    s: &mut SweepScratch,
+    out: &mut Vec<usize>,
+) {
     let (n_steps, n_positions) = if horizontal {
         (grid.cols(), grid.rows())
     } else {
@@ -202,7 +206,7 @@ fn sweep_packed(grid: &PackedGrid, horizontal: bool, s: &mut SweepScratch) -> Ve
         }
     }
 
-    let mut out = Vec::new();
+    out.clear();
     for wi in 0..words {
         let mut w = s.accepted[wi];
         while w != 0 {
@@ -211,25 +215,40 @@ fn sweep_packed(grid: &PackedGrid, horizontal: bool, s: &mut SweepScratch) -> Ve
             out.push(wi * 64 + bit);
         }
     }
-    out
 }
 
 /// Both kinds of runs for a packed grid — the fast equivalent of
-/// [`all_runs`](crate::segment::cuts::all_runs).
-fn packed_all_runs(grid: &PackedGrid, scratch: &mut SweepScratch) -> Vec<CutRun> {
+/// [`all_runs`](crate::segment::cuts::all_runs). Clears `runs` and fills
+/// it; `origins` is scratch for the sweeps.
+fn packed_all_runs_into(
+    grid: &PackedGrid,
+    scratch: &mut SweepScratch,
+    origins: &mut Vec<usize>,
+    runs: &mut Vec<CutRun>,
+) {
+    runs.clear();
     if grid.cols() == 0 || grid.rows() == 0 {
-        return Vec::new();
+        return;
     }
-    let mut runs = cut_runs(&sweep_packed(grid, true, scratch), true);
-    runs.extend(cut_runs(&sweep_packed(grid, false, scratch), false));
-    runs
+    sweep_packed_into(grid, true, scratch, origins);
+    cut_runs_into(origins, true, runs);
+    sweep_packed_into(grid, false, scratch, origins);
+    cut_runs_into(origins, false, runs);
 }
 
 /// The fast recursion body: identical control flow to
 /// [`naive::segment_body_naive`](crate::segment::naive), with the packed
 /// raster, grouped sweeps, incremental extents and cached merge
 /// embeddings substituted underneath.
-pub(crate) fn segment_body_fast(doc: &Document, config: &SegmentConfig) -> LayoutTree {
+/// The merge embedder is injected — the zero-copy pipeline passes the
+/// per-job memoising embedder ([`crate::context::CtxEmbedder`]) here;
+/// `embed` purity keeps the result bit-identical to the default
+/// [`LexiconEmbedding`].
+pub(crate) fn segment_body_fast_with<E: Embedder>(
+    doc: &Document,
+    config: &SegmentConfig,
+    embedder: &E,
+) -> LayoutTree {
     let all = doc.element_refs();
     let root_bbox = if all.is_empty() {
         doc.page_bbox()
@@ -241,12 +260,24 @@ pub(crate) fn segment_body_fast(doc: &Document, config: &SegmentConfig) -> Layou
     let mut boxes: Vec<BBox> = Vec::new();
     let mut text_boxes: Vec<BBox> = Vec::new();
     let mut scratch = SweepScratch::default();
+    // Per-pop working buffers, reused across the whole recursion: the
+    // node's element list (copied out so the tree stays mutable), sweep
+    // origins, cut runs, scored runs and the two delimiter-selection
+    // buffers. Only the child element lists are allocated per node — the
+    // tree owns those.
+    let mut elements: Vec<ElementRef> = Vec::new();
+    let mut origins: Vec<usize> = Vec::new();
+    let mut runs: Vec<CutRun> = Vec::new();
+    let mut scored: Vec<ScoredRun> = Vec::new();
+    let mut ranked: Vec<ScoredRun> = Vec::new();
+    let mut delims: Vec<ScoredRun> = Vec::new();
 
     while let Some((node, depth)) = queue.pop() {
         if depth >= config.max_depth {
             continue;
         }
-        let elements = tree.node(node).elements.clone();
+        elements.clear();
+        elements.extend_from_slice(&tree.node(node).elements);
         if elements.len() < config.min_block_elements.max(2) {
             continue;
         }
@@ -280,16 +311,24 @@ pub(crate) fn segment_body_fast(doc: &Document, config: &SegmentConfig) -> Layou
         };
 
         // Phase 1: explicit delimiters, over the packed sweep.
-        let runs: Vec<CutRun> = {
+        {
             let _cuts_span = vs2_obs::span(vs2_obs::stages::FAST_CUTS);
-            packed_all_runs(&grid, &mut scratch)
-        };
-        let scored = score_runs_geom(&runs, grid.origin(), cell, &area, &boxes, norm_boxes);
-        let interior: Vec<ScoredRun> = scored
-            .into_iter()
-            .filter(|s| is_interior(s, &boxes, &area, cell))
-            .collect();
-        let delims = select_delimiters(&interior, &config.delimiter);
+            packed_all_runs_into(&grid, &mut scratch, &mut origins, &mut runs);
+        }
+        scored.clear();
+        score_runs_geom_into(
+            &runs,
+            grid.origin(),
+            cell,
+            &area,
+            &boxes,
+            norm_boxes,
+            &mut scored,
+        );
+        // In-place interior filter: `retain` keeps order, matching the
+        // collecting filter of the allocating form.
+        scored.retain(|s| is_interior(s, &boxes, &area, cell));
+        select_delimiters_into(&scored, &config.delimiter, &mut ranked, &mut delims);
 
         let mut parts: Vec<Vec<ElementRef>> = Vec::new();
         if let Some(widest) = delims.iter().max_by(|a, b| a.width.total_cmp(&b.width)) {
@@ -317,7 +356,7 @@ pub(crate) fn segment_body_fast(doc: &Document, config: &SegmentConfig) -> Layou
 
     if config.use_semantic_merge {
         let _merge_span = vs2_obs::span(vs2_obs::stages::MERGE);
-        semantic_merge_fast(doc, &mut tree, &LexiconEmbedding, &config.merge);
+        semantic_merge_fast(doc, &mut tree, embedder, &config.merge);
     }
     tree
 }
@@ -356,6 +395,15 @@ pub(crate) fn semantic_merge_fast<E: Embedder>(
 ) -> usize {
     let mut cache: Vec<Option<Vector>> = Vec::new();
     let mut merges = 0;
+    // Sweep-scoped scratch, reused across all sweeps. Each buffer is
+    // cleared and refilled in the same order the per-sweep collects
+    // produced, so every sum and comparison sees identical sequences.
+    let mut parents: Vec<NodeId> = Vec::new();
+    let mut children: Vec<NodeId> = Vec::new();
+    let mut embeddings: Vec<Vector> = Vec::new();
+    let mut same_level: Vec<NodeId> = Vec::new();
+    let mut sibling_sims: Vec<f64> = Vec::new();
+    let mut non_sibling_sims: Vec<f64> = Vec::new();
     for _ in 0..cfg.max_sweeps {
         let h = tree.height();
         let threshold = theta(cfg, h);
@@ -365,48 +413,49 @@ pub(crate) fn semantic_merge_fast<E: Embedder>(
             // Pre-fill the cache for every live node; embeddings are pure
             // in the element list, so extra fills cannot change decisions.
             let _embed_span = vs2_obs::span(vs2_obs::stages::FAST_EMBED);
-            let live: Vec<NodeId> = tree.live_ids().collect();
-            for id in live {
+            for id in tree.live_ids() {
                 cached_embedding(&mut cache, doc, tree, embedder, id);
             }
         }
 
-        let parents: Vec<NodeId> = tree
-            .live_ids()
-            .filter(|id| tree.node(*id).children.len() >= 2)
-            .collect();
-        'outer: for parent in parents {
-            let children: Vec<NodeId> = tree
-                .node(parent)
-                .children
-                .clone()
-                .into_iter()
-                .filter(|c| tree.node(*c).is_leaf())
-                .collect();
+        parents.clear();
+        parents.extend(
+            tree.live_ids()
+                .filter(|id| tree.node(*id).children.len() >= 2),
+        );
+        'outer: for &parent in &parents {
+            children.clear();
+            children.extend(
+                tree.node(parent)
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|c| tree.node(*c).is_leaf()),
+            );
             if children.len() < 2 {
                 continue;
             }
-            let embeddings: Vec<Vector> = children
-                .iter()
-                .map(|c| cached_embedding(&mut cache, doc, tree, embedder, *c))
-                .collect();
+            embeddings.clear();
+            for &child in &children {
+                let e = cached_embedding(&mut cache, doc, tree, embedder, child);
+                embeddings.push(e);
+            }
             for (ci, &c) in children.iter().enumerate() {
-                let same_level = tree.same_level(c);
-                let sibling_sims: Vec<f64> = (0..children.len())
-                    .filter(|&j| j != ci)
-                    .map(|j| cosine(&embeddings[ci], &embeddings[j]))
-                    .collect();
-                let non_siblings: Vec<NodeId> = same_level
-                    .into_iter()
-                    .filter(|n| !children.contains(n))
-                    .collect();
-                let non_sibling_sims: Vec<f64> = non_siblings
-                    .iter()
-                    .map(|n| {
-                        let e = cached_embedding(&mut cache, doc, tree, embedder, *n);
-                        cosine(&embeddings[ci], &e)
-                    })
-                    .collect();
+                tree.same_level_into(c, &mut same_level);
+                sibling_sims.clear();
+                sibling_sims.extend(
+                    (0..children.len())
+                        .filter(|&j| j != ci)
+                        .map(|j| cosine(&embeddings[ci], &embeddings[j])),
+                );
+                non_sibling_sims.clear();
+                for &n in &same_level {
+                    if children.contains(&n) {
+                        continue;
+                    }
+                    let e = cached_embedding(&mut cache, doc, tree, embedder, n);
+                    non_sibling_sims.push(cosine(&embeddings[ci], &e));
+                }
                 let avg = |v: &[f64]| {
                     if v.is_empty() {
                         0.0
@@ -454,6 +503,19 @@ mod tests {
     use crate::segment::naive::segment_naive;
     use crate::segment::segment;
     use vs2_docmodel::{OccupancyGrid, TextElement};
+    use vs2_nlp::LexiconEmbedding;
+
+    fn sweep_packed(grid: &PackedGrid, horizontal: bool, s: &mut SweepScratch) -> Vec<usize> {
+        let mut out = Vec::new();
+        sweep_packed_into(grid, horizontal, s, &mut out);
+        out
+    }
+
+    fn packed_all_runs(grid: &PackedGrid, scratch: &mut SweepScratch) -> Vec<CutRun> {
+        let (mut origins, mut runs) = (Vec::new(), Vec::new());
+        packed_all_runs_into(grid, scratch, &mut origins, &mut runs);
+        runs
+    }
 
     /// Packed sweeps agree with the reference bitset sweep, origin for
     /// origin, over hand-built rasters including word-boundary sizes.

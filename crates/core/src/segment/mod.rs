@@ -20,4 +20,7 @@ pub use delimiter::{correlation_profile, pearson, select_delimiters, DelimiterCo
 pub use deskew::{deskew, estimate_skew, rotate_elements, SKEW_EPSILON};
 pub use merge::{semantic_merge, theta, MergeConfig};
 pub use naive::{logical_blocks_naive, segment_naive};
-pub use segmenter::{blocks_of_tree, logical_blocks, segment, LogicalBlock, SegmentConfig};
+pub use segmenter::{
+    blocks_of_tree, logical_blocks, logical_blocks_ctx, segment, segment_with_embedder,
+    LogicalBlock, SegmentConfig,
+};

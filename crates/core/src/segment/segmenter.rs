@@ -8,6 +8,8 @@
 //! semantic-merging step of Eq. 1 repairs over-segmentation. The leaves
 //! of the resulting tree are the document's logical blocks.
 
+use std::cell::RefCell;
+
 use crate::segment::cluster::ClusterConfig;
 use crate::segment::cuts::all_runs;
 use crate::segment::delimiter::{
@@ -15,6 +17,21 @@ use crate::segment::delimiter::{
 };
 use crate::segment::merge::MergeConfig;
 use vs2_docmodel::{BBox, Document, ElementRef, LayoutTree, NodeId};
+
+/// Reused buffers for [`split_by_delimiters`] / [`group_lines`]. The
+/// splitter runs once per delimiter-bearing tree node, so buffer reuse
+/// (clear + extend, never read stale) is a pure capacity optimisation.
+#[derive(Default)]
+struct SplitScratch {
+    cuts: Vec<f64>,
+    items: Vec<(ElementRef, BBox)>,
+    tagged: Vec<(u32, ElementRef)>,
+    line_boxes: Vec<BBox>,
+}
+
+thread_local! {
+    static SPLIT_SCRATCH: RefCell<SplitScratch> = RefCell::new(SplitScratch::default());
+}
 
 /// Full configuration of VS2-Segment, including the ablation switches of
 /// §6.5 (Table 9).
@@ -67,14 +84,11 @@ pub struct LogicalBlock {
 }
 
 pub(crate) fn tight_bbox(doc: &Document, elements: &[ElementRef]) -> BBox {
-    BBox::enclosing(
-        elements
-            .iter()
-            .map(|r| doc.bbox_of(*r))
-            .collect::<Vec<_>>()
-            .iter(),
-    )
-    .unwrap_or_default()
+    let mut it = elements.iter().map(|r| doc.bbox_of(*r));
+    match it.next() {
+        Some(first) => it.fold(first, |acc, b| acc.union(&b)),
+        None => BBox::default(),
+    }
 }
 
 /// Upper bound on raster cells per area. A handful of far-apart elements
@@ -124,28 +138,41 @@ pub(crate) fn is_interior(delim: &ScoredRun, boxes: &[BBox], grid_area: &BBox, c
 /// elements share a line when their vertical extents overlap by more than
 /// half the smaller height. A horizontal delimiter must never split a
 /// line — on skewed scans a line straddles the cut's centre row.
-fn group_lines(doc: &Document, elements: &[ElementRef]) -> Vec<Vec<ElementRef>> {
-    let mut items: Vec<(ElementRef, BBox)> =
-        elements.iter().map(|r| (*r, doc.bbox_of(*r))).collect();
+///
+/// Elements are tagged with the index of the (first-matching) line they
+/// join; `line_boxes[i]` is the running union of line `i`'s element
+/// boxes, which equals the enclosing box of its members exactly (union
+/// is min/max). Returns the tagged elements in y-sorted order plus the
+/// per-line boxes in line-creation order.
+fn group_lines(
+    doc: &Document,
+    elements: &[ElementRef],
+    items: &mut Vec<(ElementRef, BBox)>,
+    tagged: &mut Vec<(u32, ElementRef)>,
+    line_boxes: &mut Vec<BBox>,
+) {
+    items.clear();
+    items.extend(elements.iter().map(|r| (*r, doc.bbox_of(*r))));
     items.sort_by(|a, b| a.1.y.total_cmp(&b.1.y));
-    let mut lines: Vec<(BBox, Vec<ElementRef>)> = Vec::new();
-    for (r, b) in items {
-        let mut placed = false;
-        for (lb, line) in lines.iter_mut() {
+    line_boxes.clear();
+    tagged.clear();
+    for &(r, b) in items.iter() {
+        let mut placed = None;
+        for (li, lb) in line_boxes.iter_mut().enumerate() {
             let overlap = (lb.bottom().min(b.bottom()) - lb.y.max(b.y)).max(0.0);
             let min_h = lb.h.min(b.h).max(1e-9);
             if overlap / min_h > 0.5 {
                 *lb = lb.union(&b);
-                line.push(r);
-                placed = true;
+                placed = Some(li as u32);
                 break;
             }
         }
-        if !placed {
-            lines.push((b, vec![r]));
-        }
+        let li = placed.unwrap_or_else(|| {
+            line_boxes.push(b);
+            (line_boxes.len() - 1) as u32
+        });
+        tagged.push((li, r));
     }
-    lines.into_iter().map(|(_, l)| l).collect()
 }
 
 /// Splits elements into bands along the chosen delimiters (all of one
@@ -159,44 +186,60 @@ pub(crate) fn split_by_delimiters(
     grid_area: &BBox,
     cell: f64,
 ) -> Vec<Vec<ElementRef>> {
-    let mut cuts: Vec<f64> = delims
-        .iter()
-        .filter(|d| d.run.horizontal == horizontal)
-        .map(|d| {
-            let c = d.run.center() * cell;
-            if horizontal {
-                grid_area.y + c
-            } else {
-                grid_area.x + c
+    SPLIT_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        let cuts = &mut scratch.cuts;
+        cuts.clear();
+        cuts.extend(
+            delims
+                .iter()
+                .filter(|d| d.run.horizontal == horizontal)
+                .map(|d| {
+                    let c = d.run.center() * cell;
+                    if horizontal {
+                        grid_area.y + c
+                    } else {
+                        grid_area.x + c
+                    }
+                }),
+        );
+        cuts.sort_by(|a, b| a.total_cmp(b));
+        cuts.dedup_by(|a, b| (*a - *b).abs() < cell);
+        if cuts.is_empty() {
+            return vec![elements.to_vec()];
+        }
+        let mut bands: Vec<Vec<ElementRef>> = vec![Vec::new(); cuts.len() + 1];
+        if horizontal {
+            // Band whole lines by the centroid of the line's union box (the
+            // running union equals the enclosing box of the line's members).
+            group_lines(
+                doc,
+                elements,
+                &mut scratch.items,
+                &mut scratch.tagged,
+                &mut scratch.line_boxes,
+            );
+            for (li, lb) in scratch.line_boxes.iter().enumerate() {
+                let cy = lb.centroid().y;
+                let band = cuts.iter().position(|&cut| cy < cut).unwrap_or(cuts.len());
+                bands[band].extend(
+                    scratch
+                        .tagged
+                        .iter()
+                        .filter(|(l, _)| *l == li as u32)
+                        .map(|(_, r)| *r),
+                );
             }
-        })
-        .collect();
-    cuts.sort_by(|a, b| a.total_cmp(b));
-    cuts.dedup_by(|a, b| (*a - *b).abs() < cell);
-    if cuts.is_empty() {
-        return vec![elements.to_vec()];
-    }
-    let mut bands: Vec<Vec<ElementRef>> = vec![Vec::new(); cuts.len() + 1];
-    if horizontal {
-        for line in group_lines(doc, elements) {
-            let cy = {
-                let boxes: Vec<BBox> = line.iter().map(|r| doc.bbox_of(*r)).collect();
-                BBox::enclosing(boxes.iter())
-                    .map(|b| b.centroid().y)
-                    .unwrap_or(0.0)
-            };
-            let band = cuts.iter().position(|&cut| cy < cut).unwrap_or(cuts.len());
-            bands[band].extend(line);
+        } else {
+            for &r in elements {
+                let cx = doc.bbox_of(r).centroid().x;
+                let band = cuts.iter().position(|&cut| cx < cut).unwrap_or(cuts.len());
+                bands[band].push(r);
+            }
         }
-    } else {
-        for &r in elements {
-            let cx = doc.bbox_of(r).centroid().x;
-            let band = cuts.iter().position(|&cut| cx < cut).unwrap_or(cuts.len());
-            bands[band].push(r);
-        }
-    }
-    bands.retain(|b| !b.is_empty());
-    bands
+        bands.retain(|b| !b.is_empty());
+        bands
+    })
 }
 
 /// Runs VS2-Segment over a document and returns the layout tree. The
@@ -208,6 +251,21 @@ pub(crate) fn split_by_delimiters(
 /// [`naive::segment_naive`](crate::segment::naive::segment_naive), and
 /// the differential battery holds the two to byte-identical trees.
 pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
+    segment_with_embedder(doc, config, &vs2_nlp::LexiconEmbedding)
+}
+
+/// [`segment`] with an injected semantic-merge embedder. The zero-copy
+/// pipeline passes its per-job memoising embedder
+/// ([`crate::context::CtxEmbedder`]) so each distinct word is embedded
+/// once per job across segmentation *and* selection. The embedder keys
+/// on word strings, so it stays valid on the deskew branch's rotated
+/// copy of the document (rotation changes geometry, not words); `embed`
+/// purity keeps the tree bit-identical to the default embedder.
+pub fn segment_with_embedder<E: vs2_nlp::Embedder>(
+    doc: &Document,
+    config: &SegmentConfig,
+    embedder: &E,
+) -> LayoutTree {
     let _segment_span = vs2_obs::span(vs2_obs::stages::SEGMENT);
     // Cleaning (Fig. 2 step a): straighten a skewed capture first. The
     // resulting tree's boxes live in the original coordinate frame — only
@@ -221,11 +279,11 @@ pub fn segment(doc: &Document, config: &SegmentConfig) -> LayoutTree {
             drop(deskew_span);
             let mut cfg = *config;
             cfg.deskew = false;
-            let tree = crate::segment::fast::segment_body_fast(&straightened, &cfg);
+            let tree = crate::segment::fast::segment_body_fast_with(&straightened, &cfg, embedder);
             return rebuild_in_original_frame(doc, &tree);
         }
     }
-    crate::segment::fast::segment_body_fast(doc, config)
+    crate::segment::fast::segment_body_fast_with(doc, config, embedder)
 }
 
 /// Recomputes every node's bounding box from its elements in the
@@ -264,6 +322,17 @@ pub(crate) fn rebuild_in_original_frame(doc: &Document, tree: &LayoutTree) -> La
 /// Convenience: the logical blocks (leaves with at least one element).
 pub fn logical_blocks(doc: &Document, config: &SegmentConfig) -> Vec<LogicalBlock> {
     let tree = segment(doc, config);
+    blocks_of_tree(&tree)
+}
+
+/// [`logical_blocks`] over a per-job [`crate::context::DocContext`]:
+/// segmentation runs with the context's memoising embedder, so merge
+/// embeddings are shared with the select stage of the same job.
+pub fn logical_blocks_ctx(
+    ctx: &crate::context::DocContext<'_>,
+    config: &SegmentConfig,
+) -> Vec<LogicalBlock> {
+    let tree = segment_with_embedder(ctx.doc(), config, &ctx.embedder());
     blocks_of_tree(&tree)
 }
 

@@ -6,8 +6,11 @@
 //! knows which atomic element produced it, and carries the full NLP
 //! annotation of the block's text.
 
+use std::sync::Arc;
+
+use crate::context::{empty_arc, DocContext};
 use crate::segment::LogicalBlock;
-use vs2_docmodel::{BBox, Document, ElementRef};
+use vs2_docmodel::{BBox, Document, ElementRef, TokenId};
 use vs2_nlp::annotate::Annotated;
 use vs2_nlp::chunk::chunk;
 use vs2_nlp::hypernym::{self, Sense};
@@ -65,8 +68,13 @@ pub struct FeatureTable {
     /// Per-token verb-sense bitset (verbs only).
     pub vsense: Vec<u8>,
     /// Per-token stem, or `""` when the token contributes no `Stem`
-    /// feature (empty norm, stopword, numeric).
-    pub stem: Vec<String>,
+    /// feature (empty norm, stopword, numeric). Shared `Arc<str>`s: on
+    /// the interned path the whole column is refcount bumps into the
+    /// per-document stem table.
+    pub stem: Vec<Arc<str>>,
+    /// Interned token id per token, when built from a [`DocContext`]
+    /// (`BlockText::build_in`); empty on the owned path.
+    pub ids: Vec<TokenId>,
     /// Window reps aligned index-for-index with `ann.phrases`.
     pub phrase_windows: Vec<WindowRep>,
     /// Window reps aligned index-for-index with `ann.ner`.
@@ -107,9 +115,9 @@ impl FeatureTable {
                 }
             }
             if !tok.norm.is_empty() && !is_stopword(&tok.norm) && !tok.is_numeric() {
-                t.stem.push(stem(&tok.norm));
+                t.stem.push(Arc::from(stem(&tok.norm).as_str()));
             } else {
-                t.stem.push(String::new());
+                t.stem.push(empty_arc());
             }
         }
         for span in &ann.ner {
@@ -145,6 +153,103 @@ impl FeatureTable {
         t
     }
 
+    /// Builds the table from a [`DocContext`]'s interned columns: stems,
+    /// noun senses and verb senses come from the per-distinct-token
+    /// tables (computed once per document) instead of being re-derived
+    /// per token instance. `ids[i]` is the interned id of `ann.tokens[i]`.
+    /// Column-for-column byte-identical to [`FeatureTable::build`] —
+    /// pinned by the interner proptest battery in `vs2-conformance`.
+    fn build_interned(ann: &Annotated, ids: &[TokenId], ctx: &DocContext<'_>) -> Self {
+        debug_assert_eq!(ann.tokens.len(), ids.len());
+        let n = ann.tokens.len();
+        let mut t = FeatureTable {
+            flags: vec![0; n],
+            ner: vec![0; n],
+            sense: vec![0; n],
+            vsense: vec![0; n],
+            stem: Vec::with_capacity(n),
+            ids: ids.to_vec(),
+            ..FeatureTable::default()
+        };
+        for (i, id) in ids.iter().enumerate() {
+            let pos = ann.pos[i];
+            match pos {
+                vs2_nlp::PosTag::Cd => t.flags[i] |= FLAG_CD,
+                vs2_nlp::PosTag::Jj => t.flags[i] |= FLAG_JJ,
+                _ => {}
+            }
+            if pos.is_verb() {
+                t.vsense[i] |= ctx.vsense_mask(*id);
+            } else if pos.is_noun() {
+                t.sense[i] |= ctx.sense_mask(*id);
+            }
+            t.stem.push(ctx.stem_of(*id).clone());
+        }
+        for span in &ann.ner {
+            let code = crate::select::pattern::ner_code(span.tag);
+            for i in span.start..span.end.min(n) {
+                t.ner[i] |= 1 << code;
+            }
+        }
+        let mut scratch = String::new();
+        t.phrase_windows = ann
+            .phrases
+            .iter()
+            .map(|p| t.window_rep_into(ann, p.start, p.end, &mut scratch))
+            .collect();
+        t.ner_windows = ann
+            .ner
+            .iter()
+            .map(|s| t.window_rep_into(ann, s.start, s.end, &mut scratch))
+            .collect();
+        t.block_window = t.window_rep_into(ann, 0, n, &mut scratch);
+        let mut summary = WindowRep::default();
+        for w in t
+            .phrase_windows
+            .iter()
+            .chain(t.ner_windows.iter())
+            .chain(std::iter::once(&t.block_window))
+        {
+            summary.flags |= w.flags;
+            summary.ner |= w.ner;
+            summary.sense |= w.sense;
+            summary.vsense |= w.vsense;
+        }
+        t.summary = summary;
+        t
+    }
+
+    /// [`FeatureTable::window_rep`] with a caller-owned span-text buffer,
+    /// so table construction reuses one allocation across windows.
+    fn window_rep_into(
+        &self,
+        ann: &Annotated,
+        start: usize,
+        end: usize,
+        scratch: &mut String,
+    ) -> WindowRep {
+        let end = end.min(ann.tokens.len());
+        let mut w = WindowRep {
+            start,
+            end,
+            ..WindowRep::default()
+        };
+        for i in start..end {
+            w.flags |= self.flags[i];
+            w.ner |= self.ner[i];
+            w.sense |= self.sense[i];
+            w.vsense |= self.vsense[i];
+        }
+        ann.span_text_into(start, end, scratch);
+        if timex::is_valid_timex(scratch) {
+            w.flags |= FLAG_TIMEX;
+        }
+        if geocode::is_valid_geocode(scratch) {
+            w.flags |= FLAG_GEO;
+        }
+        w
+    }
+
     /// Aggregates the per-token columns over `[start, end)` and runs the
     /// window-level TIMEX3 / geocode validations — semantically identical
     /// to `features_of_span`, minus stems.
@@ -175,7 +280,7 @@ impl FeatureTable {
     pub fn span_has_stem(&self, start: usize, end: usize, want: &str) -> bool {
         self.stem[start..end.min(self.stem.len())]
             .iter()
-            .any(|s| s == want)
+            .any(|s| &**s == want)
     }
 
     /// `true` when any token of the block stems to `want`.
@@ -232,14 +337,63 @@ impl BlockText {
         }
     }
 
+    /// Builds the aligned, annotated text of a block from a per-job
+    /// [`DocContext`]: tokens come from the document's interned token
+    /// view (tokenised once per job, cloned here by `Arc` refcount
+    /// bumps) instead of re-tokenising every element's text per block —
+    /// the double-tokenisation `BlockText::build` pays. Per-instance
+    /// annotation (POS, chunking, NER) still runs per block because it
+    /// is context-dependent; all string derivation is interned.
+    /// Observationally identical to [`BlockText::build`].
+    pub fn build_in(ctx: &DocContext<'_>, block: &LogicalBlock) -> Self {
+        let doc = ctx.doc();
+        let order = doc.reading_order(&block.elements);
+        let count: usize = order
+            .iter()
+            .filter_map(|r| match r {
+                ElementRef::Text(i) => Some(ctx.view.tokens_of_text(*i).len()),
+                _ => None,
+            })
+            .sum();
+        let mut tokens: Vec<Token> = Vec::with_capacity(count);
+        let mut ids: Vec<TokenId> = Vec::with_capacity(count);
+        let mut elem_of: Vec<ElementRef> = Vec::with_capacity(count);
+        for r in order {
+            let ElementRef::Text(i) = r else { continue };
+            for id in ctx.view.tokens_of_text(i) {
+                tokens.push(ctx.token(*id).clone());
+                ids.push(*id);
+                elem_of.push(r);
+            }
+        }
+        let pos = tag(&tokens);
+        let phrases = chunk(&tokens, &pos);
+        let ner = recognize(&tokens, &pos);
+        let ann = Annotated {
+            tokens,
+            pos,
+            phrases,
+            ner,
+        };
+        let features = FeatureTable::build_interned(&ann, &ids, ctx);
+        BlockText {
+            bbox: block.bbox,
+            ann,
+            elem_of,
+            features,
+        }
+    }
+
     /// Bounding box of the token span `[start, end)` — the union of the
     /// producing elements' boxes.
     pub fn span_bbox(&self, doc: &Document, start: usize, end: usize) -> BBox {
-        let boxes: Vec<BBox> = self.elem_of[start..end.min(self.elem_of.len())]
+        let mut it = self.elem_of[start..end.min(self.elem_of.len())]
             .iter()
-            .map(|r| doc.bbox_of(*r))
-            .collect();
-        BBox::enclosing(boxes.iter()).unwrap_or(self.bbox)
+            .map(|r| doc.bbox_of(*r));
+        match it.next() {
+            Some(first) => it.fold(first, |acc, b| acc.union(&b)),
+            None => self.bbox,
+        }
     }
 
     /// Raw text of a token span.

@@ -50,6 +50,19 @@ pub struct BlockBest {
     pub specificity: usize,
 }
 
+/// Reusable buffers for the per-block scan: the phrase-walk DFS stack
+/// and the OCR-split rejoin text (one buffer + span table instead of a
+/// `String` per adjacent token pair). Create once per worker (or via
+/// [`PatternIndex::scratch`]) and pass to
+/// [`PatternIndex::block_best_with`] for every block of a job.
+#[derive(Debug, Default)]
+pub struct ScanScratch {
+    stack: Vec<(usize, u32, Option<Vec<u32>>)>,
+    rejoined_text: String,
+    rejoined_spans: Vec<(u32, u32)>,
+    acc: Vec<Acc>,
+}
+
 /// A registration of one pattern: which entity, at which rank within
 /// that entity's inventory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -313,33 +326,86 @@ impl PatternIndex {
         self.n_windows
     }
 
+    /// Scratch for [`PatternIndex::block_best_with`] — kept across
+    /// blocks so the phrase-scan DFS stack and the OCR-split rejoin
+    /// buffer are allocated once per worker, not once per block.
+    /// (Defined on the impl for discoverability; see [`ScanScratch`].)
+    pub fn scratch() -> ScanScratch {
+        ScanScratch::default()
+    }
+
     /// The per-entity best match within one block — observationally
     /// identical to running the naive per-entity loops (see
     /// [`crate::select::naive`]). Returns one slot per entity, in the
     /// inventory's entity order.
     pub fn block_best(&self, bt: &BlockText) -> Vec<Option<BlockBest>> {
-        let mut acc: Vec<Acc> = vec![Acc::default(); self.n_entities];
+        self.block_best_with(bt, &mut ScanScratch::default())
+    }
+
+    /// [`PatternIndex::block_best`] with caller-owned scan scratch, so a
+    /// worker processing many blocks reuses the DFS stack and the
+    /// rejoined-pair buffer instead of reallocating them per block.
+    pub fn block_best_with(
+        &self,
+        bt: &BlockText,
+        scratch: &mut ScanScratch,
+    ) -> Vec<Option<BlockBest>> {
+        let mut out = Vec::new();
+        self.block_best_into(bt, scratch, &mut out);
+        out
+    }
+
+    /// [`PatternIndex::block_best_with`] into a caller-owned output
+    /// buffer, with the per-entity accumulators also drawn from the
+    /// scratch — zero allocations per block once the buffers are warm.
+    pub fn block_best_into(
+        &self,
+        bt: &BlockText,
+        scratch: &mut ScanScratch,
+        out: &mut Vec<Option<BlockBest>>,
+    ) {
+        // Take the accumulator out of the scratch so the scan borrows
+        // don't collide; put it back when done.
+        let mut acc = std::mem::take(&mut scratch.acc);
+        acc.clear();
+        acc.resize(self.n_entities, Acc::default());
         if !bt.is_empty() {
-            self.scan_phrases(bt, &mut acc);
+            self.scan_phrases(bt, &mut acc, scratch);
             self.scan_windows(bt, &mut acc);
         }
-        acc.into_iter().map(Acc::into_best).collect()
+        out.clear();
+        out.extend(acc.iter().map(|a| a.into_best()));
+        scratch.acc = acc;
     }
 
     /// One left-to-right pass over the block: from every start token,
     /// walk the trie with the greedy aligner's branch order.
-    fn scan_phrases(&self, bt: &BlockText, acc: &mut [Acc]) {
+    fn scan_phrases(&self, bt: &BlockText, acc: &mut [Acc], scratch: &mut ScanScratch) {
         if self.nodes[0].children.is_empty() {
             return;
         }
-        let norms: Vec<&str> = bt.ann.tokens.iter().map(|t| t.norm.as_str()).collect();
-        let n = norms.len();
+        let tokens = &bt.ann.tokens;
+        let n = tokens.len();
+        let norm = |i: usize| -> &str { &tokens[i].norm };
         // Adjacent-token rejoins for the OCR-split branch, built once
-        // per block instead of once per (phrase, position).
-        let rejoined: Vec<String> = (0..n.saturating_sub(1))
-            .map(|i| format!("{}{}", norms[i], norms[i + 1]))
-            .collect();
-        let mut stack: Vec<(usize, u32, Option<Vec<u32>>)> = Vec::new();
+        // per block into one reused buffer instead of one `String` per
+        // adjacent pair.
+        scratch.rejoined_text.clear();
+        scratch.rejoined_spans.clear();
+        for i in 0..n.saturating_sub(1) {
+            let start = scratch.rejoined_text.len() as u32;
+            scratch.rejoined_text.push_str(norm(i));
+            scratch.rejoined_text.push_str(norm(i + 1));
+            scratch
+                .rejoined_spans
+                .push((start, scratch.rejoined_text.len() as u32));
+        }
+        let rejoined = |i: usize| -> &str {
+            let (s, e) = scratch.rejoined_spans[i];
+            &scratch.rejoined_text[s as usize..e as usize]
+        };
+        let stack = &mut scratch.stack;
+        stack.clear();
         for start in 0..n {
             stack.push((start, 0, None));
             while let Some((i, node_id, banned)) = stack.pop() {
@@ -351,7 +417,7 @@ impl PatternIndex {
                     if banned.as_ref().is_some_and(|b| b.contains(&(ei as u32))) {
                         continue;
                     }
-                    if i < n && word_matches(norms[i], &edge.word) {
+                    if i < n && word_matches(norm(i), &edge.word) {
                         // Greedy: a direct hit commits every phrase
                         // through this edge; merge/split are fallbacks.
                         stack.push((i + 1, edge.node, None));
@@ -360,13 +426,13 @@ impl PatternIndex {
                     let mut merged_edges: Vec<u32> = Vec::new();
                     if i < n {
                         for m in &edge.merged {
-                            if word_matches(norms[i], &m.word) {
+                            if word_matches(norm(i), &m.word) {
                                 stack.push((i + 1, m.target, None));
                                 merged_edges.push(m.edge_idx);
                             }
                         }
                     }
-                    if i + 1 < n && word_matches(&rejoined[i], &edge.word) {
+                    if i + 1 < n && word_matches(rejoined(i), &edge.word) {
                         // Phrases whose continuation already merged must
                         // not also take the split path — per-phrase
                         // greedy alignment tries merge before split.

@@ -8,9 +8,17 @@
 //! large blocks are highlights) — and takes the first-order Pareto front
 //! by non-dominated sorting.
 
+use std::cell::RefCell;
+
 use crate::segment::LogicalBlock;
 use vs2_docmodel::Document;
-use vs2_nlp::embedding::{cosine, Embedder};
+use vs2_nlp::embedding::{cosine, Embedder, Vector};
+
+thread_local! {
+    /// Reused per-block word-vector buffer (`Vector` is `Copy`, so reuse
+    /// is a pure capacity optimisation).
+    static VECTOR_SCRATCH: RefCell<Vec<Vector>> = const { RefCell::new(Vec::new()) };
+}
 
 /// The objective values of one block.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,21 +40,30 @@ pub fn objectives<E: Embedder>(doc: &Document, block: &LogicalBlock, embedder: &
         .iter()
         .map(|r| doc.bbox_of(*r).h)
         .fold(0.0, f64::max);
-    let words: Vec<&str> = block
-        .elements
-        .iter()
-        .filter_map(|r| doc.text_of(*r))
-        .collect();
-    let vectors: Vec<_> = words.iter().map(|w| embedder.embed(w)).collect();
-    let mut coh = 0.0;
-    let mut pairs = 0usize;
-    for i in 0..vectors.len() {
-        for j in i + 1..vectors.len() {
-            coh += cosine(&vectors[i], &vectors[j]);
-            pairs += 1;
+    let coherence = VECTOR_SCRATCH.with(|s| {
+        let mut vectors = s.borrow_mut();
+        vectors.clear();
+        vectors.extend(
+            block
+                .elements
+                .iter()
+                .filter_map(|r| doc.text_of(*r))
+                .map(|w| embedder.embed(w)),
+        );
+        let mut coh = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..vectors.len() {
+            for j in i + 1..vectors.len() {
+                coh += cosine(&vectors[i], &vectors[j]);
+                pairs += 1;
+            }
         }
-    }
-    let coherence = if pairs == 0 { 0.0 } else { coh / pairs as f64 };
+        if pairs == 0 {
+            0.0
+        } else {
+            coh / pairs as f64
+        }
+    });
     Objectives {
         height,
         coherence,

@@ -347,7 +347,7 @@ fn exact_matches(bt: &BlockText, phrase: &str) -> Vec<PatternMatch> {
     if needle.is_empty() {
         return Vec::new();
     }
-    let norms: Vec<&str> = bt.ann.tokens.iter().map(|t| t.norm.as_str()).collect();
+    let norms: Vec<&str> = bt.ann.tokens.iter().map(|t| &*t.norm).collect();
     let word_matches = |have: &str, want: &str| -> bool {
         have == want || (want.len() >= 4 && vs2_nlp::lexicon::within_edit_one(have, want))
     };

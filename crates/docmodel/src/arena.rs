@@ -1,0 +1,301 @@
+//! Arena-backed document token representation (the zero-copy pipeline
+//! substrate).
+//!
+//! The serving pipeline historically re-tokenised and re-normalised the
+//! same transcription at every stage boundary: segmentation embeds each
+//! candidate block's words, `BlockText::build` tokenises every block,
+//! and the FeatureTable / pattern trie each re-derive normal forms and
+//! stems from scratch. This module pays token materialisation exactly
+//! once per job:
+//!
+//! * [`TokenInterner`] — a per-document bump region: one contiguous
+//!   `String` holding every distinct token's surface and normal form,
+//!   plus a span table indexed by [`TokenId`]. Interning is by surface
+//!   string (the normal form is a pure function of the surface form, so
+//!   equal raws share one entry).
+//! * [`DocView`] — a borrow of a [`Document`] plus the interner and the
+//!   flat `TokenId` stream of every text element, in element order.
+//!   Stages pass `&DocView` down instead of cloning the document; the
+//!   serve queue hands workers `Arc<Document>` and each worker builds
+//!   one view per job.
+//!
+//! `vs2-docmodel` stays dependency-free: the tokenizer is injected into
+//! [`DocView::build`] as a closure (`vs2-core` passes the `vs2-nlp`
+//! streaming tokenizer), so this crate defines the arena without
+//! depending on the NLP stack.
+
+use crate::document::Document;
+
+/// Identifier of a distinct token string within one document's
+/// [`TokenInterner`]. Ids are dense (`0..interner.len()`) and only
+/// meaningful for the document they were interned from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The id as a usize index into per-token side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Byte spans of one interned token inside the interner's text region:
+/// `[raw_start, raw_end)` is the surface form, `[norm_start, norm_end)`
+/// the normal form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TokenSpan {
+    raw_start: u32,
+    raw_end: u32,
+    norm_start: u32,
+    norm_end: u32,
+}
+
+/// Per-document token interner: one bump allocation region (a single
+/// contiguous `String`) holding every distinct `(raw, norm)` pair once,
+/// addressed by dense [`TokenId`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TokenInterner {
+    /// The bump region. Grows by amortised doubling while interning;
+    /// all token text of a document lives in this one allocation.
+    text: String,
+    spans: Vec<TokenSpan>,
+    /// Token ids sorted by their raw string, for binary-search interning
+    /// without a hash map (and without hashing nondeterminism).
+    sorted: Vec<u32>,
+}
+
+impl TokenInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct tokens interned.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total bytes of the bump text region.
+    pub fn text_bytes(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Interns a `(raw, norm)` pair, returning the existing id when the
+    /// surface form was seen before. The normal form must be the one
+    /// derived from `raw` (it is a pure function of `raw`, which is what
+    /// makes raw-keyed deduplication sound).
+    pub fn intern(&mut self, raw: &str, norm: &str) -> TokenId {
+        match self.lookup(raw) {
+            Ok(pos) => TokenId(self.sorted[pos]),
+            Err(pos) => {
+                let id = self.spans.len() as u32;
+                let raw_start = self.text.len() as u32;
+                self.text.push_str(raw);
+                let raw_end = self.text.len() as u32;
+                let norm_start = self.text.len() as u32;
+                self.text.push_str(norm);
+                let norm_end = self.text.len() as u32;
+                self.spans.push(TokenSpan {
+                    raw_start,
+                    raw_end,
+                    norm_start,
+                    norm_end,
+                });
+                self.sorted.insert(pos, id);
+                TokenId(id)
+            }
+        }
+    }
+
+    /// Id of an already-interned surface form, if present.
+    pub fn get(&self, raw: &str) -> Option<TokenId> {
+        self.lookup(raw).ok().map(|pos| TokenId(self.sorted[pos]))
+    }
+
+    fn lookup(&self, raw: &str) -> Result<usize, usize> {
+        self.sorted.binary_search_by(|&id| self.raw_of(id).cmp(raw))
+    }
+
+    fn raw_of(&self, id: u32) -> &str {
+        let s = &self.spans[id as usize];
+        &self.text[s.raw_start as usize..s.raw_end as usize]
+    }
+
+    /// Surface form of `id`.
+    pub fn raw(&self, id: TokenId) -> &str {
+        self.raw_of(id.0)
+    }
+
+    /// Normal form of `id`.
+    pub fn norm(&self, id: TokenId) -> &str {
+        let s = &self.spans[id.index()];
+        &self.text[s.norm_start as usize..s.norm_end as usize]
+    }
+
+    /// Iterates `(id, raw, norm)` over all distinct tokens in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str, &str)> {
+        (0..self.spans.len() as u32).map(move |i| {
+            let id = TokenId(i);
+            (id, self.raw(id), self.norm(id))
+        })
+    }
+}
+
+/// Token range of one text element inside [`DocView::elem_tokens`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElemTokens {
+    /// Start index into the flat token stream.
+    pub start: u32,
+    /// End index (exclusive).
+    pub end: u32,
+}
+
+/// A borrowed, tokenised view of a [`Document`]: the document reference,
+/// the per-document [`TokenInterner`], and the `TokenId` stream of every
+/// text element. Built once per job; every downstream stage borrows it.
+#[derive(Debug)]
+pub struct DocView<'d> {
+    /// The underlying document (geometry, images, raw text).
+    pub doc: &'d Document,
+    /// Distinct-token table for this document.
+    pub interner: TokenInterner,
+    /// Flat `TokenId` stream: tokens of text element 0, then 1, …
+    pub elem_tokens: Vec<TokenId>,
+    /// `elem_ranges[i]` is text element `i`'s slice of `elem_tokens`.
+    pub elem_ranges: Vec<ElemTokens>,
+}
+
+impl<'d> DocView<'d> {
+    /// Tokenises every text element of `doc` with the injected streaming
+    /// tokenizer and interns the results. `tokenize_into` must call its
+    /// sink once per `(raw, norm)` token of the given text, in order —
+    /// `vs2-core` passes `vs2_nlp::tokenize_each` here.
+    pub fn build(
+        doc: &'d Document,
+        mut tokenize_into: impl FnMut(&str, &mut dyn FnMut(&str, &str)),
+    ) -> Self {
+        let mut interner = TokenInterner::new();
+        let mut elem_tokens: Vec<TokenId> = Vec::new();
+        let mut elem_ranges: Vec<ElemTokens> = Vec::with_capacity(doc.texts.len());
+        for t in &doc.texts {
+            let start = elem_tokens.len() as u32;
+            tokenize_into(&t.text, &mut |raw, norm| {
+                elem_tokens.push(interner.intern(raw, norm));
+            });
+            elem_ranges.push(ElemTokens {
+                start,
+                end: elem_tokens.len() as u32,
+            });
+        }
+        Self {
+            doc,
+            interner,
+            elem_tokens,
+            elem_ranges,
+        }
+    }
+
+    /// Token ids of text element `text_index`, in transcription order.
+    pub fn tokens_of_text(&self, text_index: usize) -> &[TokenId] {
+        let r = self.elem_ranges[text_index];
+        &self.elem_tokens[r.start as usize..r.end as usize]
+    }
+
+    /// Number of distinct token strings in the document.
+    pub fn distinct_tokens(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Number of token instances across all text elements.
+    pub fn token_instances(&self) -> usize {
+        self.elem_tokens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::TextElement;
+    use crate::geometry::BBox;
+
+    /// Whitespace splitter with identity norm — enough for arena tests;
+    /// the real pipeline injects the NLP tokenizer.
+    fn split_ws(text: &str, sink: &mut dyn FnMut(&str, &str)) {
+        for w in text.split_whitespace() {
+            sink(w, w);
+        }
+    }
+
+    fn doc_with(texts: &[&str]) -> Document {
+        let mut doc = Document::new("t", 100.0, 100.0);
+        for (i, t) in texts.iter().enumerate() {
+            doc.push_text(TextElement::word(
+                *t,
+                BBox::new(0.0, i as f64 * 10.0, 50.0, 8.0),
+            ));
+        }
+        doc
+    }
+
+    #[test]
+    fn interning_dedupes_equal_raws() {
+        let mut interner = TokenInterner::new();
+        let a = interner.intern("jazz", "jazz");
+        let b = interner.intern("gala", "gala");
+        let a2 = interner.intern("jazz", "jazz");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.raw(a), "jazz");
+        assert_eq!(interner.norm(b), "gala");
+    }
+
+    #[test]
+    fn distinct_raws_get_distinct_ids() {
+        let mut interner = TokenInterner::new();
+        let words = ["b", "a", "c", "aa", "", "A"];
+        let ids: Vec<TokenId> = words.iter().map(|w| interner.intern(w, w)).collect();
+        for (i, a) in ids.iter().enumerate() {
+            for (j, b) in ids.iter().enumerate() {
+                assert_eq!(a == b, i == j, "{:?} vs {:?}", words[i], words[j]);
+            }
+        }
+        for (w, id) in words.iter().zip(&ids) {
+            assert_eq!(interner.get(w), Some(*id));
+            assert_eq!(interner.raw(*id), *w);
+        }
+        assert_eq!(interner.get("missing"), None);
+    }
+
+    #[test]
+    fn view_streams_tokens_per_element() {
+        let doc = doc_with(&["jazz night gala", "", "gala jazz"]);
+        let view = DocView::build(&doc, split_ws);
+        assert_eq!(view.elem_ranges.len(), 3);
+        assert_eq!(view.token_instances(), 5);
+        assert_eq!(view.distinct_tokens(), 3);
+        let words: Vec<&str> = view
+            .tokens_of_text(0)
+            .iter()
+            .map(|id| view.interner.raw(*id))
+            .collect();
+        assert_eq!(words, vec!["jazz", "night", "gala"]);
+        assert!(view.tokens_of_text(1).is_empty());
+        // Repeated words resolve to the same ids across elements.
+        assert_eq!(view.tokens_of_text(2)[1], view.tokens_of_text(0)[0]);
+    }
+
+    #[test]
+    fn bump_region_is_one_buffer() {
+        let doc = doc_with(&["a bb ccc", "bb a dddd"]);
+        let view = DocView::build(&doc, split_ws);
+        // raw+norm of each of the 4 distinct identity-norm tokens.
+        assert_eq!(view.interner.text_bytes(), 2 * (1 + 2 + 3 + 4));
+    }
+}

@@ -127,33 +127,37 @@ impl Document {
     /// [`Document::transcribe`]). Images participate via their bounding box
     /// but produce no text.
     pub fn reading_order(&self, refs: &[ElementRef]) -> Vec<ElementRef> {
-        let mut items: Vec<(ElementRef, BBox)> =
-            refs.iter().map(|r| (*r, self.bbox_of(*r))).collect();
         // Group into lines: two elements are on the same line when their
         // vertical extents overlap by more than half the smaller height.
-        items.sort_by(|a, b| a.1.y.total_cmp(&b.1.y));
-        let mut lines: Vec<(BBox, Vec<(ElementRef, BBox)>)> = Vec::new();
-        for (r, b) in items {
-            let mut placed = false;
-            if let Some((lb, line)) = lines.last_mut() {
-                let overlap = (lb.bottom().min(b.bottom()) - lb.y.max(b.y)).max(0.0);
-                let min_h = lb.h.min(b.h).max(1e-9);
-                if overlap / min_h > 0.5 {
-                    *lb = lb.union(&b);
-                    line.push((r, b));
-                    placed = true;
+        // Elements are tagged with a line ordinal in y order; one stable
+        // sort by (line, x) then equals sorting each line by x.
+        let mut items: Vec<(u32, f64, ElementRef, BBox)> = refs
+            .iter()
+            .map(|r| (0, 0.0, *r, self.bbox_of(*r)))
+            .collect();
+        items.sort_by(|a, b| a.3.y.total_cmp(&b.3.y));
+        let mut line = 0u32;
+        let mut lb: Option<BBox> = None;
+        for item in &mut items {
+            let b = item.3;
+            match &mut lb {
+                Some(cur) => {
+                    let overlap = (cur.bottom().min(b.bottom()) - cur.y.max(b.y)).max(0.0);
+                    let min_h = cur.h.min(b.h).max(1e-9);
+                    if overlap / min_h > 0.5 {
+                        *cur = cur.union(&b);
+                    } else {
+                        line += 1;
+                        *cur = b;
+                    }
                 }
+                None => lb = Some(b),
             }
-            if !placed {
-                lines.push((b, vec![(r, b)]));
-            }
+            item.0 = line;
+            item.1 = b.x;
         }
-        let mut out = Vec::with_capacity(refs.len());
-        for (_, mut line) in lines {
-            line.sort_by(|a, b| a.1.x.total_cmp(&b.1.x));
-            out.extend(line.into_iter().map(|(r, _)| r));
-        }
-        out
+        items.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        items.into_iter().map(|(_, _, r, _)| r).collect()
     }
 
     /// Average word density of a region: words per unit area, scaled by
@@ -164,9 +168,9 @@ impl Document {
             return 0.0;
         }
         let n = self
-            .elements_intersecting(area)
+            .texts
             .iter()
-            .filter(|r| r.is_text())
+            .filter(|t| area.intersects(&t.bbox))
             .count();
         n as f64 * 1e4 / area.area()
     }

@@ -13,6 +13,9 @@
 //!   the *logical blocks* (§4.2);
 //! * [`BBox`] / [`Point`] / [`Lab`] — geometry and colour primitives;
 //! * [`OccupancyGrid`] — the whitespace raster the cut machinery runs on;
+//! * [`arena`] — the per-job interned token arena ([`TokenInterner`]) and
+//!   borrowed document view ([`DocView`]) the zero-copy pipeline passes
+//!   between stages;
 //! * [`svg`] — rendering of documents and block overlays for the paper's
 //!   qualitative figures.
 //!
@@ -22,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod color;
 pub mod document;
 pub mod element;
@@ -33,6 +37,7 @@ pub mod packed;
 mod serde_impls;
 pub mod svg;
 
+pub use arena::{DocView, TokenId, TokenInterner};
 pub use color::{Lab, Rgb};
 pub use document::{AnnotatedDocument, Document, EntityAnnotation};
 pub use element::{ElementRef, ImageElement, MarkupClass, TextElement};

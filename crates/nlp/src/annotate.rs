@@ -29,11 +29,25 @@ pub struct Annotated {
 impl Annotated {
     /// Raw text of the token span `[start, end)`.
     pub fn span_text(&self, start: usize, end: usize) -> String {
-        self.tokens[start..end.min(self.tokens.len())]
+        let mut out = String::new();
+        self.span_text_into(start, end, &mut out);
+        out
+    }
+
+    /// Writes the raw text of the token span `[start, end)` into `out`
+    /// (cleared first). Lets hot loops reuse one buffer instead of
+    /// allocating a `Vec` + `String` per probed span.
+    pub fn span_text_into(&self, start: usize, end: usize, out: &mut String) {
+        out.clear();
+        for (i, t) in self.tokens[start..end.min(self.tokens.len())]
             .iter()
-            .map(|t| t.raw.as_str())
-            .collect::<Vec<_>>()
-            .join(" ")
+            .enumerate()
+        {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&t.raw);
+        }
     }
 
     /// Normalised content words of the whole text (stopwords and bare
@@ -42,7 +56,7 @@ impl Annotated {
         self.tokens
             .iter()
             .filter(|t| !t.norm.is_empty() && !is_stopword(&t.norm))
-            .map(|t| t.norm.as_str())
+            .map(|t| &*t.norm)
             .collect()
     }
 

@@ -177,7 +177,7 @@ mod tests {
         chunk(&toks, &pos)
             .into_iter()
             .map(|p| {
-                let words: Vec<&str> = (p.start..p.end).map(|i| toks[i].raw.as_str()).collect();
+                let words: Vec<&str> = (p.start..p.end).map(|i| &*toks[i].raw).collect();
                 (p.kind, words.join(" "))
             })
             .collect()

@@ -162,8 +162,18 @@ impl LexiconEmbedding {
 
 impl Embedder for LexiconEmbedding {
     fn embed(&self, word: &str) -> Vector {
-        let w = word.to_lowercase();
-        let word_noise = hash_vector(fnv1a(&w));
+        // Lower only when needed: block transcriptions are mostly
+        // already-normalised lower-case words, so the common case is
+        // zero-alloc.
+        let needs_lowering = !word.is_ascii() || word.bytes().any(|b| b.is_ascii_uppercase());
+        let lowered;
+        let w: &str = if needs_lowering {
+            lowered = word.to_lowercase();
+            &lowered
+        } else {
+            word
+        };
+        let word_noise = hash_vector(fnv1a(w));
         let centroid = if w
             .chars()
             .all(|c| c.is_ascii_digit() || c == ',' || c == '.')
@@ -171,7 +181,7 @@ impl Embedder for LexiconEmbedding {
         {
             Some(Self::numeric_centroid())
         } else {
-            lexicon::topic_of_fuzzy(&w).map(Self::centroid_of)
+            lexicon::topic_of_fuzzy(w).map(Self::centroid_of)
         };
         match centroid {
             Some(c) => {

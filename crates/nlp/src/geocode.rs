@@ -121,10 +121,39 @@ pub fn geocode(text: &str) -> Option<Geocode> {
     }
 }
 
+/// Sound zero-allocation prefilter for [`geocode`]: every accepted span
+/// contains a street-suffix, city or state lexicon word (`has_street`
+/// needs the suffix, `has_locality` needs city or state). Words the
+/// stack buffer cannot lower-case without allocating (non-ASCII or very
+/// long) conservatively pass the span through to the full parse.
+fn might_geocode(text: &str) -> bool {
+    let mut buf = [0u8; 24];
+    for w in text.split_whitespace() {
+        let t = w.trim_matches(|c: char| matches!(c, ',' | '.' | '!' | '?' | '(' | ')' | '#'));
+        if t.is_empty() {
+            continue;
+        }
+        if !t.is_ascii() || t.len() > buf.len() {
+            return true;
+        }
+        let b = &mut buf[..t.len()];
+        b.copy_from_slice(t.as_bytes());
+        b.make_ascii_lowercase();
+        let lowered = std::str::from_utf8(b).expect("ascii stays utf-8");
+        if matches!(
+            lexicon::topic_of(lowered),
+            Some(Topic::StreetSuffix | Topic::City | Topic::State)
+        ) {
+            return true;
+        }
+    }
+    false
+}
+
 /// `true` when the span earns a geocode tag — the validity test used by
 /// the Event Place / Property Address patterns.
 pub fn is_valid_geocode(text: &str) -> bool {
-    geocode(text).is_some()
+    might_geocode(text) && geocode(text).is_some()
 }
 
 #[cfg(test)]

@@ -51,7 +51,7 @@ pub use deptree::DepNode;
 pub use embedding::{cosine, Embedder, LexiconEmbedding, TrainedEmbedding, Vector, DIM};
 pub use ner::{NerSpan, NerTag};
 pub use pos::PosTag;
-pub use token::{tokenize, Token};
+pub use token::{tokenize, tokenize_call_count, tokenize_each, Token};
 
 #[cfg(test)]
 mod proptests {

@@ -83,15 +83,16 @@ pub fn is_email(token: &str) -> bool {
 /// `true` when the token is a phone-number fragment of `d{3}-d{4}` or
 /// longer dashed/dotted digit groups (`614-555-0175`, `555.0175`).
 pub fn is_phone_fragment(token: &str) -> bool {
-    let groups: Vec<&str> = token.split(['-', '.']).collect();
-    if groups.len() < 2 {
-        return false;
+    let mut groups = 0usize;
+    let mut digits = 0usize;
+    for g in token.split(['-', '.']) {
+        if g.is_empty() || !g.chars().all(|c| c.is_ascii_digit()) {
+            return false;
+        }
+        groups += 1;
+        digits += g.len();
     }
-    let digits: usize = groups.iter().map(|g| g.len()).sum();
-    groups
-        .iter()
-        .all(|g| !g.is_empty() && g.chars().all(|c| c.is_ascii_digit()))
-        && (7..=11).contains(&digits)
+    groups >= 2 && (7..=11).contains(&digits)
 }
 
 /// `true` when the token is a date written with separators
@@ -103,23 +104,30 @@ pub fn is_slashed_date(token: &str) -> bool {
     if !(1..=2).contains(&seps) {
         return false;
     }
-    let groups: Vec<&str> = token.split(['/', '-']).collect();
-    if groups.len() < 2
-        || !groups
-            .iter()
-            .all(|g| !g.is_empty() && g.len() <= 4 && g.chars().all(|c| c.is_ascii_digit()))
-    {
-        return false;
-    }
-    let nums: Vec<u32> = groups.iter().map(|g| g.parse().unwrap()).collect();
-    let plausible_year = |y: u32, len: usize| (len == 2) || (1900..=2100).contains(&y);
-    match nums.as_slice() {
-        [m, d] => (1..=12).contains(m) && (1..=31).contains(d),
-        [y, m, d] if groups[0].len() == 4 => {
-            (1900..=2100).contains(y) && (1..=12).contains(m) && (1..=31).contains(d)
+    // `seps` ∈ {1, 2} so the split yields 2 or 3 groups — a stack buffer
+    // holds them without allocating.
+    let mut groups = [""; 3];
+    let mut k = 0usize;
+    for g in token.split(['/', '-']) {
+        if g.is_empty() || g.len() > 4 || !g.chars().all(|c| c.is_ascii_digit()) {
+            return false;
         }
-        [m, d, y] => {
-            (1..=12).contains(m) && (1..=31).contains(d) && plausible_year(*y, groups[2].len())
+        groups[k] = g;
+        k += 1;
+    }
+    let num = |i: usize| groups[i].parse::<u32>().unwrap();
+    let plausible_year = |y: u32, len: usize| (len == 2) || (1900..=2100).contains(&y);
+    match k {
+        2 => (1..=12).contains(&num(0)) && (1..=31).contains(&num(1)),
+        3 if groups[0].len() == 4 => {
+            (1900..=2100).contains(&num(0))
+                && (1..=12).contains(&num(1))
+                && (1..=31).contains(&num(2))
+        }
+        3 => {
+            (1..=12).contains(&num(0))
+                && (1..=31).contains(&num(1))
+                && plausible_year(num(2), groups[2].len())
         }
         _ => false,
     }
@@ -177,11 +185,11 @@ pub fn recognize(tokens: &[Token], pos: &[PosTag]) -> Vec<NerSpan> {
         if used[i] {
             continue;
         }
-        if tokens[i].raw == "("
+        if &*tokens[i].raw == "("
             && i + 3 < n
             && tokens[i + 1].raw.len() == 3
             && tokens[i + 1].raw.chars().all(|c| c.is_ascii_digit())
-            && tokens[i + 2].raw == ")"
+            && &*tokens[i + 2].raw == ")"
             && is_phone_fragment(&tokens[i + 3].raw)
         {
             claim(&mut spans, &mut used, NerSpan::new(NerTag::Phone, i, i + 4));
@@ -195,8 +203,7 @@ pub fn recognize(tokens: &[Token], pos: &[PosTag]) -> Vec<NerSpan> {
         if used[i] {
             continue;
         }
-        let is_ampm =
-            |j: usize| j < n && matches!(tokens[j].norm.as_str(), "am" | "pm" | "a.m" | "p.m");
+        let is_ampm = |j: usize| j < n && matches!(&*tokens[j].norm, "am" | "pm" | "a.m" | "p.m");
         if is_clock_time(&tokens[i].raw) {
             let end = if is_ampm(i + 1) { i + 2 } else { i + 1 };
             claim(&mut spans, &mut used, NerSpan::new(NerTag::Time, i, end));
@@ -221,7 +228,7 @@ pub fn recognize(tokens: &[Token], pos: &[PosTag]) -> Vec<NerSpan> {
                 if end < n && pos[end] == PosTag::Cd && !used[end] {
                     end += 1;
                     if end + 1 < n
-                        && tokens[end].raw == ","
+                        && &*tokens[end].raw == ","
                         && pos[end + 1] == PosTag::Cd
                         && !used[end + 1]
                     {
@@ -329,7 +336,7 @@ mod tests {
         recognize(&toks, &pos)
             .into_iter()
             .map(|s| {
-                let words: Vec<&str> = (s.start..s.end).map(|i| toks[i].raw.as_str()).collect();
+                let words: Vec<&str> = (s.start..s.end).map(|i| &*toks[i].raw).collect();
                 (s.tag, words.join(" "))
             })
             .collect()

@@ -93,7 +93,7 @@ const BE_VERBS: &[&str] = &["is", "are", "was", "were", "be", "been", "am"];
 /// Tags a single token given whether it starts a sentence (sentence-initial
 /// capitalisation is not evidence of a proper noun).
 pub fn tag_token(tok: &Token, sentence_initial: bool) -> PosTag {
-    let norm = tok.norm.as_str();
+    let norm: &str = &tok.norm;
     if norm.is_empty() {
         return if tok
             .raw
@@ -205,7 +205,7 @@ pub fn tag(tokens: &[Token]) -> Vec<PosTag> {
     let mut sentence_initial = true;
     for t in tokens {
         out.push(tag_token(t, sentence_initial));
-        sentence_initial = matches!(t.raw.as_str(), "." | "!" | "?");
+        sentence_initial = matches!(&*t.raw, "." | "!" | "?");
     }
     out
 }

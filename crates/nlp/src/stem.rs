@@ -6,6 +6,19 @@
 //! subset of Porter's algorithm — steps 1a/1b/1c plus a few common
 //! derivational suffixes — which is all the synthetic vocabulary needs.
 
+use std::cell::Cell;
+
+thread_local! {
+    static STEM_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of [`stem`] invocations on this thread since it started.
+/// Conformance tests diff this across a pipeline call to pin
+/// once-per-distinct-token stemming on the interned path.
+pub fn stem_call_count() -> u64 {
+    STEM_CALLS.with(Cell::get)
+}
+
 fn is_vowel(bytes: &[u8], i: usize) -> bool {
     match bytes[i] {
         b'a' | b'e' | b'i' | b'o' | b'u' => true,
@@ -44,6 +57,7 @@ fn ends_double_consonant(word: &str) -> bool {
 /// Stems a lower-cased word. Words of three characters or fewer, and words
 /// containing non-alphabetic characters, pass through unchanged.
 pub fn stem(word: &str) -> String {
+    STEM_CALLS.with(|c| c.set(c.get() + 1));
     if word.len() <= 3 || !word.chars().all(|c| c.is_ascii_alphabetic()) {
         return word.to_string();
     }

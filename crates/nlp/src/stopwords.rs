@@ -44,7 +44,7 @@ mod tests {
     fn remove_stopwords_filters_punctuation_too() {
         let toks = tokenize("The concert, and the gala!");
         let kept = remove_stopwords(&toks);
-        let kept: Vec<&str> = kept.iter().map(|t| t.norm.as_str()).collect();
+        let kept: Vec<&str> = kept.iter().map(|t| &*t.norm).collect();
         assert_eq!(kept, vec!["concert", "gala"]);
     }
 }

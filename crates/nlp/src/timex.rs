@@ -229,10 +229,36 @@ pub fn normalize(text: &str) -> Option<Timex> {
     })
 }
 
+/// Sound zero-allocation prefilter for [`normalize`]: every form it
+/// accepts either contains an ASCII digit (clock times, numeric dates,
+/// month-day forms) or opens with an anchor / weekday / month word, all
+/// of which are keyed by their first three letters. A span rejected here
+/// can never normalise; a span passing here still runs the full parse.
+fn might_normalize(text: &str) -> bool {
+    if text.bytes().any(|b| b.is_ascii_digit()) {
+        return true;
+    }
+    const KEYS: [&str; 21] = [
+        "noo", "mid", "mon", "tue", "wed", "thu", "fri", "sat", "sun", "jan", "feb", "mar", "apr",
+        "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+    ];
+    text.split_whitespace()
+        .find_map(|w| {
+            let t = w.trim_matches(|c: char| matches!(c, ',' | '.' | '!' | '?' | '(' | ')'));
+            (!t.is_empty()).then_some(t)
+        })
+        .is_some_and(|w| {
+            w.len() >= 3
+                && KEYS
+                    .iter()
+                    .any(|k| w.as_bytes()[..3].eq_ignore_ascii_case(k.as_bytes()))
+        })
+}
+
 /// `true` when the span normalises to a TIMEX3 value — the validity test
 /// used by the Event Time pattern of Table 3.
 pub fn is_valid_timex(text: &str) -> bool {
-    normalize(text).is_some()
+    might_normalize(text) && normalize(text).is_some()
 }
 
 #[cfg(test)]

@@ -5,14 +5,43 @@
 //! detached, and a lower-cased normal form is retained alongside the raw
 //! surface form (the raw form drives capitalisation cues in the POS tagger
 //! and NER).
+//!
+//! Two entry points share one splitting core:
+//!
+//! * [`tokenize`] materialises owned [`Token`]s — the historical API.
+//! * [`tokenize_each`] streams `(raw, norm)` string slices into a sink
+//!   without allocating per token, so an interner can deduplicate them
+//!   into a per-document arena (`vs2_docmodel::arena`).
+//!
+//! Both bump a thread-local call counter ([`tokenize_call_count`]) used
+//! by conformance tests to pin how many times a pipeline path
+//! re-tokenises the same text.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+thread_local! {
+    static TOKENIZE_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of `tokenize`/`tokenize_each` invocations on this thread since
+/// it started. Conformance tests diff this across a pipeline call to pin
+/// single-tokenisation guarantees.
+pub fn tokenize_call_count() -> u64 {
+    TOKENIZE_CALLS.with(Cell::get)
+}
 
 /// A single token with its surface and normalised forms.
+///
+/// Both forms are shared `Arc<str>` slices: cloning a token (or a column
+/// of tokens) is a pair of reference-count bumps, not string copies, so
+/// interned per-document token tables can hand out cheap copies.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Token {
     /// Surface form exactly as transcribed.
-    pub raw: String,
+    pub raw: Arc<str>,
     /// Lower-cased form with surrounding punctuation stripped.
-    pub norm: String,
+    pub norm: Arc<str>,
 }
 
 impl Token {
@@ -22,6 +51,15 @@ impl Token {
         let norm = raw
             .trim_matches(|c: char| !c.is_alphanumeric())
             .to_lowercase();
+        Self {
+            raw: Arc::from(raw.as_str()),
+            norm: Arc::from(norm.as_str()),
+        }
+    }
+
+    /// Creates a token from already-derived parts (e.g. an interner that
+    /// computed the normal form once per distinct surface string).
+    pub fn from_parts(raw: Arc<str>, norm: Arc<str>) -> Self {
         Self { raw, norm }
     }
 
@@ -65,33 +103,87 @@ impl Token {
 /// so emails, phone numbers, prices and dates survive as single tokens.
 pub fn tokenize(text: &str) -> Vec<Token> {
     let mut out = Vec::new();
+    let mut scratch = String::new();
+    tokenize_each(text, &mut scratch, |raw, norm| {
+        out.push(Token {
+            raw: Arc::from(raw),
+            norm: Arc::from(norm),
+        });
+    });
+    out
+}
+
+/// Streams the tokens of `text` into `sink` as `(raw, norm)` slices
+/// without allocating per token. `raw` always borrows from `text`; `norm`
+/// borrows from `text` when normalisation is the identity, or from
+/// `scratch` (a caller-owned reusable buffer) when lowering was needed.
+///
+/// The split and the normal form are byte-identical to [`tokenize`]: the
+/// two share this routine.
+pub fn tokenize_each(text: &str, scratch: &mut String, mut sink: impl FnMut(&str, &str)) {
+    TOKENIZE_CALLS.with(|c| c.set(c.get() + 1));
     for chunk in text.split_whitespace() {
-        // Strip leading detachable punctuation.
+        // Strip leading detachable punctuation; detachables are never
+        // alphanumeric, so their normal form is always empty.
         let mut s = chunk;
         while let Some(c) = s.chars().next() {
             if is_detachable(c) {
-                out.push(Token::new(c.to_string()));
+                sink(&s[..c.len_utf8()], "");
                 s = &s[c.len_utf8()..];
             } else {
                 break;
             }
         }
-        // Strip trailing detachable punctuation (collected then reversed).
-        let mut trailing = Vec::new();
-        while let Some(c) = s.chars().last() {
-            if is_detachable(c) && !keeps_trailing(s, c) {
-                trailing.push(Token::new(c.to_string()));
-                s = &s[..s.len() - c.len_utf8()];
-            } else {
-                break;
+        // Locate where trailing detachable punctuation starts. The
+        // `keeps_trailing` check runs against each progressively shorter
+        // prefix, exactly as the historical strip-loop did.
+        let mut end = s.len();
+        loop {
+            let tail = &s[..end];
+            match tail.chars().last() {
+                Some(c) if is_detachable(c) && !keeps_trailing(tail, c) => {
+                    end -= c.len_utf8();
+                }
+                _ => break,
             }
         }
-        if !s.is_empty() {
-            out.push(Token::new(s));
+        let body = &s[..end];
+        if !body.is_empty() {
+            sink(body, norm_of(body, scratch));
         }
-        out.extend(trailing.into_iter().rev());
+        // Emit the detached trailing punctuation left-to-right (the
+        // historical path collected right-to-left, then reversed).
+        let mut rest = &s[end..];
+        while let Some(c) = rest.chars().next() {
+            sink(&rest[..c.len_utf8()], "");
+            rest = &rest[c.len_utf8()..];
+        }
     }
-    out
+}
+
+/// Derives the normal form of `raw` into either a subslice of `raw`
+/// itself (ASCII, already lower-case — the common case, zero-alloc) or
+/// `scratch`. Matches `raw.trim_matches(!alphanumeric).to_lowercase()`
+/// byte for byte, including full Unicode lowering on the non-ASCII path.
+fn norm_of<'a>(raw: &'a str, scratch: &'a mut String) -> &'a str {
+    let trimmed = raw.trim_matches(|c: char| !c.is_alphanumeric());
+    if trimmed.is_ascii() {
+        if trimmed.bytes().any(|b| b.is_ascii_uppercase()) {
+            scratch.clear();
+            scratch.push_str(trimmed);
+            scratch.make_ascii_lowercase();
+            scratch.as_str()
+        } else {
+            trimmed
+        }
+    } else {
+        // Full `str::to_lowercase` for exact parity (final sigma,
+        // titlecase chars); rare enough that the allocation is noise.
+        let lowered = trimmed.to_lowercase();
+        scratch.clear();
+        scratch.push_str(&lowered);
+        scratch.as_str()
+    }
 }
 
 fn is_detachable(c: char) -> bool {
@@ -119,7 +211,7 @@ pub fn normalize_join(tokens: &[Token]) -> String {
     tokens
         .iter()
         .filter(|t| !t.norm.is_empty())
-        .map(|t| t.norm.as_str())
+        .map(|t| &*t.norm)
         .collect::<Vec<_>>()
         .join(" ")
 }
@@ -129,7 +221,10 @@ mod tests {
     use super::*;
 
     fn norms(text: &str) -> Vec<String> {
-        tokenize(text).into_iter().map(|t| t.raw).collect()
+        tokenize(text)
+            .into_iter()
+            .map(|t| t.raw.to_string())
+            .collect()
     }
 
     #[test]
@@ -175,8 +270,8 @@ mod tests {
 
     #[test]
     fn norm_strips_punctuation_and_lowercases() {
-        assert_eq!(Token::new("\"Hello\"").norm, "hello");
-        assert_eq!(Token::new("p.m.").norm, "p.m");
+        assert_eq!(&*Token::new("\"Hello\"").norm, "hello");
+        assert_eq!(&*Token::new("p.m.").norm, "p.m");
     }
 
     #[test]
@@ -189,5 +284,37 @@ mod tests {
     fn empty_input() {
         assert!(tokenize("").is_empty());
         assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn streamed_tokens_match_owned_tokenize() {
+        let cases = [
+            "Hello, world! Visit bob@example.com at 7 p.m. (RSVP).",
+            "Σίσυφος ΣΊΣΥΦΟΣ \"ΤΈΛΟΣ\" 2,465 acres... {x} 'y' [z]:",
+            "...  ..a.. 3.14. p.m.. !!",
+            "",
+        ];
+        for text in cases {
+            let owned = tokenize(text);
+            let mut streamed = Vec::new();
+            let mut scratch = String::new();
+            tokenize_each(text, &mut scratch, |raw, norm| {
+                streamed.push((raw.to_string(), norm.to_string()));
+            });
+            let owned: Vec<(String, String)> = owned
+                .into_iter()
+                .map(|t| (t.raw.to_string(), t.norm.to_string()))
+                .collect();
+            assert_eq!(owned, streamed, "split/norm divergence on {text:?}");
+        }
+    }
+
+    #[test]
+    fn call_counter_counts_each_invocation() {
+        let before = tokenize_call_count();
+        tokenize("a b c");
+        let mut scratch = String::new();
+        tokenize_each("d e", &mut scratch, |_, _| {});
+        assert_eq!(tokenize_call_count(), before + 2);
     }
 }

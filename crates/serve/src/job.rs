@@ -15,6 +15,8 @@
 //! when requested (`vs2d --latency`) so that default output is
 //! byte-identical across runs and worker counts.
 
+use std::sync::{Arc, OnceLock};
+
 use serde::{Deserialize, Error, Serialize, Value};
 use vs2_core::Extraction;
 use vs2_docmodel::Document;
@@ -36,8 +38,43 @@ pub enum JobSource {
         /// Stream master seed.
         seed: u64,
     },
-    /// The document is embedded in the job spec.
-    Inline(Box<Document>),
+    /// The document is embedded in the job spec. `Arc` so that job
+    /// clones across the queue boundary share one allocation.
+    Inline(Arc<Document>),
+}
+
+/// Per-job memo of the materialised document, so retries, the degraded
+/// fallback and the primary attempt all share one `Arc<Document>`
+/// instead of re-generating (synthetic) or re-cloning (inline).
+///
+/// Identity-transparent: clones carry the cached value forward (a
+/// refcount bump, never a deep copy) and every `JobDocCache` compares
+/// equal — the cache is derived state, not part of the job's value.
+#[derive(Default)]
+pub struct JobDocCache(OnceLock<Arc<Document>>);
+
+impl Clone for JobDocCache {
+    fn clone(&self) -> Self {
+        let cell = OnceLock::new();
+        if let Some(doc) = self.0.get() {
+            let _ = cell.set(Arc::clone(doc));
+        }
+        Self(cell)
+    }
+}
+
+impl PartialEq for JobDocCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for JobDocCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("JobDocCache")
+            .field(&self.0.get().map(|d| d.id.as_str()))
+            .finish()
+    }
 }
 
 /// One extraction job.
@@ -56,17 +93,28 @@ pub struct JobSpec {
     /// Queue class. `None` takes the daemon default (`vs2d --lane`),
     /// which itself defaults to interactive.
     pub lane: Option<Lane>,
+    /// Materialisation memo for [`JobSpec::document_arc`]. Ignored by
+    /// equality and the wire format.
+    pub doc_cache: JobDocCache,
 }
 
 impl JobSpec {
     /// Materialises the job's document (generating it if synthetic).
     pub fn document(&self) -> Document {
-        match &self.source {
+        (*self.document_arc()).clone()
+    }
+
+    /// Materialises the job's document behind a shared `Arc`, memoised
+    /// per job: the first call generates (synthetic) or shares (inline)
+    /// the document; later calls — retries, fallback, observability —
+    /// are refcount bumps.
+    pub fn document_arc(&self) -> Arc<Document> {
+        Arc::clone(self.doc_cache.0.get_or_init(|| match &self.source {
             JobSource::Synthetic { doc_index, seed } => {
-                generate_one(self.dataset, *doc_index, DatasetConfig::new(1, *seed)).doc
+                Arc::new(generate_one(self.dataset, *doc_index, DatasetConfig::new(1, *seed)).doc)
             }
-            JobSource::Inline(doc) => (**doc).clone(),
-        }
+            JobSource::Inline(doc) => Arc::clone(doc),
+        }))
     }
 }
 
@@ -121,7 +169,7 @@ impl Deserialize for JobSpec {
             if v.get("doc_index").is_some() {
                 return Err(Error::new("job has both `doc` and `doc_index`"));
             }
-            JobSource::Inline(Box::new(Document::from_value(doc)?))
+            JobSource::Inline(Arc::new(Document::from_value(doc)?))
         } else {
             JobSource::Synthetic {
                 doc_index: v
@@ -136,6 +184,7 @@ impl Deserialize for JobSpec {
             source,
             client,
             lane,
+            doc_cache: JobDocCache::default(),
         })
     }
 }
@@ -336,9 +385,10 @@ mod tests {
         let spec = JobSpec {
             job_id: None,
             dataset: DatasetId::D3,
-            source: JobSource::Inline(Box::new(doc.clone())),
+            source: JobSource::Inline(Arc::new(doc.clone())),
             client: None,
             lane: None,
+            doc_cache: JobDocCache::default(),
         };
         let back: JobSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
         assert_eq!(back, spec);

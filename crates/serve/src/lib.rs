@@ -76,7 +76,9 @@ pub use engine::{BatchEngine, Completed, EngineConfig, EngineStats, JobCtx, JobO
 pub use error::{QuarantineEntry, ServeError};
 pub use faults::{FaultKind, FaultPlan, FaultSite};
 pub use handoff::{HandoffError, HandoffSnapshot, PlanEntry, PlanNamespace};
-pub use job::{JobResult, JobSource, JobSpec, JobStatus, QuarantineRecord, DEFAULT_DOC_SEED};
+pub use job::{
+    JobDocCache, JobResult, JobSource, JobSpec, JobStatus, QuarantineRecord, DEFAULT_DOC_SEED,
+};
 pub use obs::{EngineMetrics, ObsHub};
 pub use queue::{BoundedQueue, LaneQueue, PushError};
 pub use retry::RetryPolicy;

@@ -133,7 +133,7 @@ impl ExtractService {
                     ctx.checkpoint(FaultSite::ModelBuild)?;
                     let config = config.unwrap_or_else(|| default_config_for(spec.dataset));
                     let pipeline = worker_cache.pipeline_for(spec.dataset, model_seed, config);
-                    let doc = spec.document();
+                    let doc = spec.document_arc();
                     ctx.checkpoint(FaultSite::Segment)?;
                     // The plan path sits strictly between the Segment and
                     // Select fault sites: a fault before it leaves the
@@ -141,12 +141,21 @@ impl ExtractService {
                     // follow a successful, self-validated capture — so
                     // degraded/quarantined jobs never poison cached plans
                     // (the XY-cut fallback below never touches them).
-                    let blocks = if options.naive_segment {
-                        vs2_core::logical_blocks_naive(&doc, &pipeline.config.segment)
-                    } else if options.plan_cache {
+                    if options.naive_segment {
+                        // Executable-specification escape hatch: owned
+                        // signatures end to end, no arena context.
+                        let blocks = vs2_core::logical_blocks_naive(&doc, &pipeline.config.segment);
+                        ctx.checkpoint(FaultSite::Select)?;
+                        return Ok(pipeline.extract_on_blocks(&doc, &blocks));
+                    }
+                    // Zero-copy path: one DocContext per job carries the
+                    // interned tokens, stem/sense tables and memoised
+                    // embeddings through segment → select → assign.
+                    let dctx = vs2_core::DocContext::build(&doc);
+                    let blocks = if options.plan_cache {
                         let plans = worker_cache.plan_store_for(spec.dataset, model_seed, &config);
-                        let (blocks, outcome) = vs2_core::planned_blocks(
-                            &doc,
+                        let (blocks, outcome) = vs2_core::planned_blocks_ctx(
+                            &dctx,
                             &pipeline.config.segment,
                             &plan_config,
                             &plans,
@@ -156,10 +165,10 @@ impl ExtractService {
                         }
                         blocks
                     } else {
-                        vs2_core::logical_blocks(&doc, &pipeline.config.segment)
+                        vs2_core::logical_blocks_ctx(&dctx, &pipeline.config.segment)
                     };
                     ctx.checkpoint(FaultSite::Select)?;
-                    Ok(pipeline.extract_on_blocks(&doc, &blocks))
+                    Ok(pipeline.extract_on_blocks_ctx(&dctx, &blocks))
                 };
             match worker_hub.as_ref().filter(|h| h.trace_enabled()) {
                 Some(h) => {
@@ -184,7 +193,8 @@ impl ExtractService {
             // primary path.
             let config = config.unwrap_or_else(|| default_config_for(spec.dataset));
             let pipeline = fallback_cache.pipeline_for(spec.dataset, model_seed, config);
-            let doc = spec.document();
+            // Reuses the Arc the primary attempt already materialised.
+            let doc = spec.document_arc();
             let blocks = XyCutSegmenter::default().segment(&doc);
             Some(pipeline.extract_on_blocks(&doc, &blocks))
         };

@@ -20,6 +20,7 @@ fn job(dataset: DatasetId, doc_index: usize) -> JobSpec {
             doc_index,
             seed: DEFAULT_DOC_SEED,
         },
+        doc_cache: Default::default(),
     }
 }
 
