@@ -125,6 +125,33 @@ fn profile_replay(n_docs: usize) -> StageSamples {
     }
 }
 
+/// The triage-routed arm: the D4 invoices corpus through
+/// [`Vs2Pipeline::extract_routed`], so the `vs2.triage` scoring span and
+/// the cheap XY-cut path show up in place of the full segmentation
+/// subtree on every cheap-routed document.
+fn profile_routed(n_docs: usize) -> StageSamples {
+    let dataset = DatasetId::D4;
+    let pipeline = build_pipeline(dataset, SEED, Vs2Config::default());
+    let docs = dataset_docs(dataset, &RunConfig { n_docs, seed: SEED });
+    let triage = vs2_core::triage::TriageConfig::default();
+    let mut per_stage: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    for ad in &docs {
+        let trace = vs2_obs::Trace::start();
+        let (extractions, _) = pipeline.extract_routed(&ad.doc, &triage);
+        let spans = trace.finish();
+        assert!(!extractions.is_empty(), "extraction must produce output");
+        fold_spans(&mut per_stage, &spans);
+    }
+    for samples in per_stage.values_mut() {
+        samples.sort_unstable();
+    }
+    StageSamples {
+        label: "D4(routed)".into(),
+        n_docs,
+        per_stage,
+    }
+}
+
 fn main() {
     let n_docs: usize = std::env::args()
         .nth(1)
@@ -149,9 +176,9 @@ fn main() {
     let mut datasets = Vec::new();
     let arms = DatasetId::ALL
         .into_iter()
-        .chain([DatasetId::Templated])
+        .chain([DatasetId::D4, DatasetId::Templated])
         .flat_map(|dataset| [profile(dataset, n_docs), profile_ctx(dataset, n_docs)])
-        .chain([profile_replay(n_docs)]);
+        .chain([profile_replay(n_docs), profile_routed(n_docs)]);
     for samples in arms {
         for stage in vs2_obs::stages::ALL {
             let Some(us) = samples.per_stage.get(stage) else {

@@ -1,0 +1,261 @@
+//! Routed-vs-full accuracy/throughput trade-off of the triage router
+//! (`vs2_core::triage`), per dataset and on the mixed serving batch the
+//! conformance perf gate pins.
+//!
+//! Two arms per dataset over the same documents and the same learned
+//! model: **full** runs `Vs2Pipeline::extract_ctx` (the serve workers'
+//! default path), **routed** runs `Vs2Pipeline::extract_routed` (triage
+//! → cheap XY-cut | full VS2). The table reports phase-2 F1 of both
+//! arms, the wall-clock per document, and the routing mix. A final
+//! `Mixed` row measures the D4-heavy serving blend (templated invoice
+//! traffic with a heterogeneous D1–D3 tail) that the conformance
+//! release gate replays.
+//!
+//! Writes `results/triage.{txt,json}` — the numbers EXPERIMENTS.md
+//! quotes.
+//!
+//! Usage: `cargo run --release -p vs2-bench --bin triage [n_docs]`
+
+use std::time::Instant;
+
+use vs2_bench::{build_pipeline, dataset_docs, pct, ResultTable, RunConfig};
+use vs2_core::pipeline::{Vs2Config, Vs2Pipeline};
+use vs2_core::triage::{TriageConfig, TriageDecision};
+use vs2_docmodel::AnnotatedDocument;
+use vs2_eval::{evaluate_end_to_end, ExtractionItem, PrCounts};
+use vs2_synth::DatasetId;
+
+const SEED: u64 = 0xC0FFEE;
+
+/// The mixed serving blend of the perf gate: per 16 documents, twelve
+/// D4 invoices, two D1 forms, one D2 poster, one D3 flyer.
+pub const MIX: [DatasetId; 16] = [
+    DatasetId::D4,
+    DatasetId::D4,
+    DatasetId::D1,
+    DatasetId::D4,
+    DatasetId::D4,
+    DatasetId::D2,
+    DatasetId::D4,
+    DatasetId::D4,
+    DatasetId::D1,
+    DatasetId::D4,
+    DatasetId::D4,
+    DatasetId::D3,
+    DatasetId::D4,
+    DatasetId::D4,
+    DatasetId::D4,
+    DatasetId::D4,
+];
+
+struct ArmResult {
+    counts: PrCounts,
+    wall_us_per_doc: f64,
+    decisions: [usize; 3], // full, cheap, replay
+}
+
+fn f1_of(preds: &[(String, vs2_docmodel::BBox, String)], ad: &AnnotatedDocument) -> PrCounts {
+    let preds: Vec<ExtractionItem> = preds
+        .iter()
+        .map(|(e, b, t)| ExtractionItem::new(e.clone(), *b, t.clone()))
+        .collect();
+    let truth: Vec<ExtractionItem> = ad
+        .annotations
+        .iter()
+        .map(|a| ExtractionItem::new(a.entity.clone(), a.bbox, a.text.clone()))
+        .collect();
+    evaluate_end_to_end(&preds, &truth)
+}
+
+/// Timed passes per arm; the reported wall clock is the best pass, the
+/// same minimum-of-passes methodology as the conformance perf gates.
+const PASSES: usize = 3;
+
+fn run_full(pipelines: &[&Vs2Pipeline], docs: &[AnnotatedDocument]) -> ArmResult {
+    let mut wall = std::time::Duration::MAX;
+    let mut outputs = Vec::new();
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        outputs = docs
+            .iter()
+            .zip(pipelines)
+            .map(|(ad, p)| p.extract_ctx(&ad.doc))
+            .collect();
+        wall = wall.min(start.elapsed());
+    }
+    let mut counts = PrCounts::default();
+    for (ad, extractions) in docs.iter().zip(&outputs) {
+        let preds: Vec<_> = extractions
+            .iter()
+            .map(|e| (e.entity.clone(), e.span_bbox, e.text.clone()))
+            .collect();
+        counts.add(&f1_of(&preds, ad));
+    }
+    ArmResult {
+        counts,
+        wall_us_per_doc: wall.as_micros() as f64 / docs.len() as f64,
+        decisions: [docs.len(), 0, 0],
+    }
+}
+
+fn run_routed(
+    pipelines: &[&Vs2Pipeline],
+    docs: &[AnnotatedDocument],
+    triage: &TriageConfig,
+) -> ArmResult {
+    let mut wall = std::time::Duration::MAX;
+    let mut outputs = Vec::new();
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        outputs = docs
+            .iter()
+            .zip(pipelines)
+            .map(|(ad, p)| p.extract_routed(&ad.doc, triage))
+            .collect();
+        wall = wall.min(start.elapsed());
+    }
+    let mut counts = PrCounts::default();
+    let mut decisions = [0usize; 3];
+    for (ad, (extractions, decision)) in docs.iter().zip(&outputs) {
+        decisions[match decision {
+            TriageDecision::FullVs2 => 0,
+            TriageDecision::CheapPath => 1,
+            TriageDecision::PlanReplay => 2,
+        }] += 1;
+        let preds: Vec<_> = extractions
+            .iter()
+            .map(|e| (e.entity.clone(), e.span_bbox, e.text.clone()))
+            .collect();
+        counts.add(&f1_of(&preds, ad));
+    }
+    ArmResult {
+        counts,
+        wall_us_per_doc: wall.as_micros() as f64 / docs.len() as f64,
+        decisions,
+    }
+}
+
+fn main() {
+    let n_docs: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("n_docs"))
+        .unwrap_or(96);
+    let triage = TriageConfig::default();
+
+    let mut table = ResultTable::new(
+        "Triage routing: accuracy/throughput trade-off (routed vs full VS2)",
+        vec![
+            "dataset".into(),
+            "arm".into(),
+            "docs".into(),
+            "F1".into(),
+            "us/doc".into(),
+            "full".into(),
+            "cheap".into(),
+            "replay".into(),
+            "speedup".into(),
+        ],
+    );
+    table.push_note(format!(
+        "{n_docs} documents per dataset, seed {SEED:#x}; full = extract_ctx, \
+         routed = extract_routed at default TriageConfig; Mixed = the \
+         12:2:1:1 D4:D1:D2:D3 serving blend of the conformance perf gate"
+    ));
+
+    // Warm the per-dataset pipelines once; both arms share the model.
+    let ids = DatasetId::EXTENDED;
+    let pipelines: Vec<Vs2Pipeline> = ids
+        .iter()
+        .map(|id| build_pipeline(*id, SEED, Vs2Config::default()))
+        .collect();
+    let pipeline_of = |id: DatasetId| &pipelines[ids.iter().position(|x| *x == id).unwrap()];
+
+    let mut json_rows = Vec::new();
+    let mut per_dataset =
+        |label: String, docs: &[AnnotatedDocument], per_doc: Vec<&Vs2Pipeline>| {
+            // Untimed warmup pass to stabilise caches.
+            for (ad, p) in docs.iter().zip(&per_doc) {
+                let _ = p.extract_ctx(&ad.doc);
+            }
+            let full = run_full(&per_doc, docs);
+            let routed = run_routed(&per_doc, docs, &triage);
+            let speedup = full.wall_us_per_doc / routed.wall_us_per_doc;
+            for (arm, r) in [("full", &full), ("routed", &routed)] {
+                table.push_row(vec![
+                    label.clone(),
+                    arm.into(),
+                    docs.len().to_string(),
+                    pct(r.counts.f1()),
+                    format!("{:.0}", r.wall_us_per_doc),
+                    r.decisions[0].to_string(),
+                    r.decisions[1].to_string(),
+                    r.decisions[2].to_string(),
+                    if arm == "routed" {
+                        format!("{speedup:.2}x")
+                    } else {
+                        String::new()
+                    },
+                ]);
+            }
+            json_rows.push(serde::Value::Object(vec![
+                ("dataset".into(), serde::Value::Str(label.clone())),
+                ("docs".into(), serde::Value::UInt(docs.len() as u64)),
+                ("f1_full".into(), serde::Value::Float(full.counts.f1())),
+                ("f1_routed".into(), serde::Value::Float(routed.counts.f1())),
+                (
+                    "us_per_doc_full".into(),
+                    serde::Value::Float(full.wall_us_per_doc),
+                ),
+                (
+                    "us_per_doc_routed".into(),
+                    serde::Value::Float(routed.wall_us_per_doc),
+                ),
+                ("speedup".into(), serde::Value::Float(speedup)),
+                (
+                    "routed_full".into(),
+                    serde::Value::UInt(routed.decisions[0] as u64),
+                ),
+                (
+                    "routed_cheap".into(),
+                    serde::Value::UInt(routed.decisions[1] as u64),
+                ),
+                (
+                    "routed_replay".into(),
+                    serde::Value::UInt(routed.decisions[2] as u64),
+                ),
+            ]));
+            eprintln!(
+                "{label}: full F1 {:.2} routed F1 {:.2} speedup {speedup:.2}x (mix {:?})",
+                100.0 * full.counts.f1(),
+                100.0 * routed.counts.f1(),
+                routed.decisions
+            );
+        };
+
+    for id in ids {
+        let docs = dataset_docs(id, &RunConfig { n_docs, seed: SEED });
+        let per_doc: Vec<&Vs2Pipeline> = docs.iter().map(|_| pipeline_of(id)).collect();
+        per_dataset(id.name().to_string(), &docs, per_doc);
+    }
+
+    // The mixed serving blend, interleaved as a serving queue would see it.
+    let mixed: Vec<(DatasetId, AnnotatedDocument)> = (0..n_docs)
+        .map(|i| {
+            let id = MIX[i % MIX.len()];
+            let doc =
+                vs2_synth::generate_one(id, i / MIX.len(), vs2_synth::DatasetConfig::new(1, SEED));
+            (id, doc)
+        })
+        .collect();
+    let docs: Vec<AnnotatedDocument> = mixed.iter().map(|(_, d)| d.clone()).collect();
+    let per_doc: Vec<&Vs2Pipeline> = mixed.iter().map(|(id, _)| pipeline_of(*id)).collect();
+    per_dataset("Mixed".into(), &docs, per_doc);
+
+    println!("{}", table.render());
+    table.save("triage").expect("write results/");
+    std::fs::write(
+        "results/triage_rows.json",
+        serde_json::to_string_pretty(&serde::Value::Array(json_rows)).expect("serialises"),
+    )
+    .expect("write results/triage_rows.json");
+}

@@ -8,8 +8,26 @@
 
 use std::process::ExitCode;
 
-use vs2_conformance::golden::{check_golden, dataset_name, golden_path, golden_snapshot};
+use vs2_conformance::golden::{
+    check_golden, check_tree_golden, dataset_name, golden_path, golden_snapshot, tree_golden_path,
+    tree_snapshot,
+};
 use vs2_synth::DatasetId;
+
+fn bless_file(path: &std::path::Path, snapshot: &str) -> Result<(), ExitCode> {
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return Err(ExitCode::FAILURE);
+        }
+    }
+    if let Err(e) = std::fs::write(path, snapshot) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return Err(ExitCode::FAILURE);
+    }
+    println!("blessed {} ({} bytes)", path.display(), snapshot.len());
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,21 +41,11 @@ fn main() -> ExitCode {
     };
 
     let mut failed = false;
-    for dataset in DatasetId::ALL {
+    for dataset in DatasetId::EXTENDED {
         if bless {
-            let path = golden_path(dataset);
-            if let Some(dir) = path.parent() {
-                if let Err(e) = std::fs::create_dir_all(dir) {
-                    eprintln!("cannot create {}: {e}", dir.display());
-                    return ExitCode::FAILURE;
-                }
+            if let Err(code) = bless_file(&golden_path(dataset), &golden_snapshot(dataset)) {
+                return code;
             }
-            let snapshot = golden_snapshot(dataset);
-            if let Err(e) = std::fs::write(&path, &snapshot) {
-                eprintln!("cannot write {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-            println!("blessed {} ({} bytes)", path.display(), snapshot.len());
         } else {
             match check_golden(dataset) {
                 Ok(()) => println!("{}: ok", dataset_name(dataset)),
@@ -45,6 +53,26 @@ fn main() -> ExitCode {
                     eprintln!("{}: {e}", dataset_name(dataset));
                     failed = true;
                 }
+            }
+        }
+    }
+    // The triage corpus additionally pins its segmentation trees: the
+    // routed cheap path never runs the full segmenter, so extraction
+    // goldens alone would not catch full-path tree drift on D4.
+    let tree_dataset = DatasetId::D4;
+    if bless {
+        if let Err(code) = bless_file(
+            &tree_golden_path(tree_dataset),
+            &tree_snapshot(tree_dataset),
+        ) {
+            return code;
+        }
+    } else {
+        match check_tree_golden(tree_dataset) {
+            Ok(()) => println!("{} trees: ok", dataset_name(tree_dataset)),
+            Err(e) => {
+                eprintln!("{} trees: {e}", dataset_name(tree_dataset));
+                failed = true;
             }
         }
     }

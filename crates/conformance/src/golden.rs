@@ -26,6 +26,7 @@ pub fn dataset_name(dataset: DatasetId) -> &'static str {
         DatasetId::D1 => "D1",
         DatasetId::D2 => "D2",
         DatasetId::D3 => "D3",
+        DatasetId::D4 => "D4",
         DatasetId::Templated => "Templated",
     }
 }
@@ -64,6 +65,48 @@ pub fn golden_snapshot(dataset: DatasetId) -> String {
     text
 }
 
+/// Path of the checked-in segmentation-tree fixture for `dataset`.
+pub fn tree_golden_path(dataset: DatasetId) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{}.tree.txt", dataset_name(dataset)))
+}
+
+/// Renders the segmentation-tree snapshot for `dataset`: the layout
+/// tree dump ([`vs2_docmodel::LayoutTree::dump`]) of every golden
+/// document under the served segment configuration, one header line per
+/// document. Pins the full tree — structure, bounding boxes, element
+/// counts — not just the flattened blocks the extraction golden sees.
+pub fn tree_snapshot(dataset: DatasetId) -> String {
+    let config = default_config_for(dataset);
+    let mut text = String::new();
+    for i in 0..N_GOLDEN_DOCS {
+        let doc = generate_one(dataset, i, DatasetConfig::new(1, DEFAULT_DOC_SEED)).doc;
+        let tree = vs2_core::segment(&doc, &config.segment);
+        text.push_str(&format!("== {} ==\n", doc.id));
+        text.push_str(&tree.dump());
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+    }
+    text
+}
+
+/// Compares the live segmentation trees for `dataset` against the
+/// checked-in `.tree.txt` fixture; same contract as [`check_golden`].
+pub fn check_tree_golden(dataset: DatasetId) -> Result<(), String> {
+    let path = tree_golden_path(dataset);
+    let expected = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "missing tree golden fixture {} ({e}); generate it with \
+             `cargo run -p vs2-conformance --bin golden -- --bless`",
+            path.display()
+        )
+    })?;
+    let actual = tree_snapshot(dataset);
+    diff_against(dataset, &expected, &actual)
+}
+
 /// Compares the live snapshot for `dataset` against the checked-in
 /// fixture. `Ok(())` on a match; `Err` describes the drift (or a missing
 /// fixture) and names the bless command.
@@ -77,6 +120,10 @@ pub fn check_golden(dataset: DatasetId) -> Result<(), String> {
         )
     })?;
     let actual = golden_snapshot(dataset);
+    diff_against(dataset, &expected, &actual)
+}
+
+fn diff_against(dataset: DatasetId, expected: &str, actual: &str) -> Result<(), String> {
     if actual == expected {
         return Ok(());
     }
@@ -112,8 +159,19 @@ mod tests {
 
     #[test]
     fn golden_paths_are_distinct_per_dataset() {
-        let paths: Vec<_> = DatasetId::ALL.iter().map(|d| golden_path(*d)).collect();
-        assert_eq!(paths.len(), 3);
+        let paths: Vec<_> = DatasetId::EXTENDED
+            .iter()
+            .map(|d| golden_path(*d))
+            .collect();
+        assert_eq!(paths.len(), 4);
         assert!(paths.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn tree_snapshot_is_deterministic_and_headed() {
+        let a = tree_snapshot(DatasetId::D4);
+        assert_eq!(a, tree_snapshot(DatasetId::D4));
+        assert_eq!(a.matches("== inv-").count(), N_GOLDEN_DOCS);
+        assert!(a.ends_with('\n'));
     }
 }

@@ -99,7 +99,7 @@ fn assert_arena_equiv(pipeline: &Vs2Pipeline, doc: &Document) {
 #[test]
 fn arena_matches_owned_on_paper_datasets() {
     let cache = ModelCache::new();
-    for dataset in [DatasetId::D1, DatasetId::D2, DatasetId::D3] {
+    for dataset in DatasetId::EXTENDED {
         let pipeline = cache.pipeline_for(dataset, DEFAULT_DOC_SEED, default_config_for(dataset));
         for i in 0..6 {
             let doc = generate_one(dataset, i, DatasetConfig::new(1, DEFAULT_DOC_SEED)).doc;

@@ -5,7 +5,7 @@
 //! re-bless with `cargo run -p vs2-conformance --bin golden -- --bless`
 //! and review the fixture diff in the PR.
 
-use vs2_conformance::golden::check_golden;
+use vs2_conformance::golden::{check_golden, check_tree_golden};
 use vs2_synth::DatasetId;
 
 #[test]
@@ -21,4 +21,14 @@ fn d2_snapshot_matches_fixture() {
 #[test]
 fn d3_snapshot_matches_fixture() {
     check_golden(DatasetId::D3).unwrap();
+}
+
+#[test]
+fn d4_snapshot_matches_fixture() {
+    check_golden(DatasetId::D4).unwrap();
+}
+
+#[test]
+fn d4_tree_snapshot_matches_fixture() {
+    check_tree_golden(DatasetId::D4).unwrap();
 }

@@ -37,15 +37,22 @@ fn synthetic(dataset: DatasetId, doc_index: usize) -> JobSpec {
     }
 }
 
-/// The full differential batch: all three paper datasets, the templated
-/// corpus (several documents per family so warm runs replay), and every
-/// adversarial near-miss template as an inline job.
+/// The full differential batch: the paper datasets plus the D4 invoices
+/// corpus, the templated corpus (several documents per family so warm
+/// runs replay), and every adversarial near-miss template as an inline
+/// job. D4 shares families the same way Templated does, so it also
+/// exercises warm replays.
 fn differential_batch() -> Vec<JobSpec> {
     let mut specs = Vec::new();
     for i in 0..3 {
-        for id in [DatasetId::D1, DatasetId::D2, DatasetId::D3] {
+        for id in DatasetId::EXTENDED {
             specs.push(synthetic(id, i));
         }
+    }
+    // 2 × FAMILIES invoices: every D4 family seen twice, so a warm pass
+    // replays each family at least once.
+    for i in 0..2 * vs2_synth::invoices::FAMILIES {
+        specs.push(synthetic(DatasetId::D4, i));
     }
     // 3 × FAMILIES documents: every family seen three times, so a warm
     // pass replays at least two of each.

@@ -96,12 +96,12 @@ fn assert_extractions_equiv(pipeline: &Vs2Pipeline, doc: &Document) {
 }
 
 /// Synthetic benchmark corpora: the fast path must reproduce the naive
-/// trees on all three paper datasets under their per-dataset configs and
-/// the whole ablation grid, and extractions must follow.
+/// trees on the D1–D4 corpora under their per-dataset configs and the
+/// whole ablation grid, and extractions must follow.
 #[test]
 fn fast_matches_naive_on_synthetic_corpora() {
     let cache = ModelCache::new();
-    for dataset in [DatasetId::D1, DatasetId::D2, DatasetId::D3] {
+    for dataset in DatasetId::EXTENDED {
         let pipeline = cache.pipeline_for(dataset, DEFAULT_DOC_SEED, default_config_for(dataset));
         for i in 0..6 {
             let doc = generate_one(dataset, i, DatasetConfig::new(1, DEFAULT_DOC_SEED)).doc;

@@ -1,0 +1,146 @@
+//! Triage-routing release gate: on the mixed serving blend (12:2:1:1
+//! D4:D1:D2:D3 — templated invoice traffic with a heterogeneous tail),
+//! the routed pipeline must be at least 1.3× faster than full VS2 while
+//! dropping at most 0.5 F1 points.
+//!
+//! Both arms run the same documents through the same learned models;
+//! passes are interleaved and minima compared (the same methodology as
+//! the plan-replay and select-stage gates). Debug builds only assert
+//! the accuracy half — unoptimised builds flatten the throughput gap.
+//! The bench bin (`cargo run --release -p vs2-bench --bin triage`)
+//! reports the same trade-off per dataset for EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+
+use vs2_core::pipeline::Vs2Pipeline;
+use vs2_core::triage::TriageConfig;
+use vs2_docmodel::AnnotatedDocument;
+use vs2_eval::{evaluate_end_to_end, ExtractionItem, PrCounts};
+use vs2_serve::{default_config_for, ModelCache, DEFAULT_DOC_SEED};
+use vs2_synth::{generate_one, DatasetConfig, DatasetId};
+
+/// The mixed serving blend; kept in lockstep with the bench bin's `MIX`.
+const MIX: [DatasetId; 16] = [
+    DatasetId::D4,
+    DatasetId::D4,
+    DatasetId::D1,
+    DatasetId::D4,
+    DatasetId::D4,
+    DatasetId::D2,
+    DatasetId::D4,
+    DatasetId::D4,
+    DatasetId::D1,
+    DatasetId::D4,
+    DatasetId::D4,
+    DatasetId::D3,
+    DatasetId::D4,
+    DatasetId::D4,
+    DatasetId::D4,
+    DatasetId::D4,
+];
+
+const N_DOCS: usize = 96;
+
+fn f1(counts: &PrCounts) -> f64 {
+    counts.f1()
+}
+
+fn score(preds: &[vs2_core::Extraction], ad: &AnnotatedDocument) -> PrCounts {
+    let preds: Vec<ExtractionItem> = preds
+        .iter()
+        .map(|e| ExtractionItem::new(e.entity.clone(), e.span_bbox, e.text.clone()))
+        .collect();
+    let truth: Vec<ExtractionItem> = ad
+        .annotations
+        .iter()
+        .map(|a| ExtractionItem::new(a.entity.clone(), a.bbox, a.text.clone()))
+        .collect();
+    evaluate_end_to_end(&preds, &truth)
+}
+
+#[test]
+fn routed_mixed_batch_beats_full_vs2_with_bounded_f1_drop() {
+    let cache = ModelCache::new();
+    let triage = TriageConfig::default();
+    let batch: Vec<(DatasetId, AnnotatedDocument)> = (0..N_DOCS)
+        .map(|i| {
+            let id = MIX[i % MIX.len()];
+            let ad = generate_one(id, i / MIX.len(), DatasetConfig::new(1, DEFAULT_DOC_SEED));
+            (id, ad)
+        })
+        .collect();
+    // One pipeline per dataset (the model halves are shared through the
+    // cache), referenced per document like a serving worker would.
+    let by_dataset: Vec<Vs2Pipeline> = DatasetId::EXTENDED
+        .iter()
+        .map(|id| cache.pipeline_for(*id, DEFAULT_DOC_SEED, default_config_for(*id)))
+        .collect();
+    let pipelines: Vec<&Vs2Pipeline> = batch
+        .iter()
+        .map(|(id, _)| {
+            let at = DatasetId::EXTENDED.iter().position(|x| x == id).unwrap();
+            &by_dataset[at]
+        })
+        .collect();
+
+    // Accuracy half of the gate, measured once (extractions are
+    // deterministic, timing is not).
+    let mut full_counts = PrCounts::default();
+    let mut routed_counts = PrCounts::default();
+    let mut cheap_routed = 0usize;
+    for ((_, ad), p) in batch.iter().zip(&pipelines) {
+        full_counts.add(&score(&p.extract_ctx(&ad.doc), ad));
+        let (ex, decision) = p.extract_routed(&ad.doc, &triage);
+        if decision == vs2_core::TriageDecision::CheapPath {
+            cheap_routed += 1;
+        }
+        routed_counts.add(&score(&ex, ad));
+    }
+    let drop_points = 100.0 * (f1(&full_counts) - f1(&routed_counts));
+    assert!(
+        drop_points <= 0.5,
+        "routed F1 may trail full VS2 by at most 0.5 points on the mixed \
+         blend, dropped {drop_points:.2} (full {:.2}, routed {:.2})",
+        100.0 * f1(&full_counts),
+        100.0 * f1(&routed_counts),
+    );
+    // The gate is vacuous unless the router actually diverts the D4
+    // majority: 12 of every 16 documents are invoices.
+    assert!(
+        cheap_routed * 16 >= N_DOCS * 12,
+        "the D4 majority must route cheap, got {cheap_routed}/{N_DOCS}"
+    );
+
+    if cfg!(debug_assertions) {
+        return; // throughput half is release-only
+    }
+
+    let pass_full = || {
+        let started = Instant::now();
+        for ((_, ad), p) in batch.iter().zip(&pipelines) {
+            std::hint::black_box(p.extract_ctx(&ad.doc));
+        }
+        started.elapsed()
+    };
+    let pass_routed = || {
+        let started = Instant::now();
+        for ((_, ad), p) in batch.iter().zip(&pipelines) {
+            std::hint::black_box(p.extract_routed(&ad.doc, &triage));
+        }
+        started.elapsed()
+    };
+    pass_full();
+    pass_routed();
+    let mut best_full = Duration::MAX;
+    let mut best_routed = Duration::MAX;
+    for _ in 0..7 {
+        best_full = best_full.min(pass_full());
+        best_routed = best_routed.min(pass_routed());
+    }
+    let ratio = best_full.as_secs_f64() / best_routed.as_secs_f64().max(1e-9);
+    assert!(
+        ratio >= 1.3,
+        "routed extraction must be at least 1.3x faster than full VS2 on \
+         the mixed blend: full {best_full:?} vs routed {best_routed:?} ({ratio:.2}x)"
+    );
+}

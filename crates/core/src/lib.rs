@@ -45,6 +45,7 @@ pub mod segment;
 pub mod select;
 #[cfg(feature = "serde")]
 mod serde_impls;
+pub mod triage;
 
 pub use context::{CtxEmbedder, DocContext};
 pub use pipeline::{DisambiguationMode, Extraction, Vs2Config, Vs2Model, Vs2Pipeline};
@@ -57,3 +58,7 @@ pub use segment::{
     segment_with_embedder, LogicalBlock, SegmentConfig,
 };
 pub use select::{Eq2Weights, SyntacticPattern};
+pub use triage::{
+    cheap_blocks, routed_blocks_ctx, triage_doc, CheapPathConfig, TriageConfig, TriageDecision,
+    TriageFeatures,
+};

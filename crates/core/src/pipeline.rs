@@ -609,6 +609,29 @@ impl Vs2Pipeline {
         assign(self.candidates_on_blocks_ctx(&ctx, &blocks))
     }
 
+    /// Triage-routed zero-copy extraction: scores the document's layout
+    /// complexity first ([`crate::triage`]) and segments via the XY-cut
+    /// cheap path when the layout is trivially regular, full VS2
+    /// otherwise — the single-call equivalent of a `--triage` serve
+    /// worker (without a plan store). Returns the extractions plus the
+    /// routing decision. On a [`crate::triage::TriageDecision::FullVs2`]
+    /// decision the output is byte-identical to
+    /// [`extract_ctx`](Self::extract_ctx).
+    pub fn extract_routed(
+        &self,
+        doc: &Document,
+        triage: &crate::triage::TriageConfig,
+    ) -> (Vec<Extraction>, crate::triage::TriageDecision) {
+        let _extract_span = vs2_obs::span(vs2_obs::stages::EXTRACT);
+        let ctx = DocContext::build(doc);
+        let (blocks, decision, _) =
+            crate::triage::routed_blocks_ctx(&ctx, &self.config.segment, triage, None);
+        (
+            assign(self.candidates_on_blocks_ctx(&ctx, &blocks)),
+            decision,
+        )
+    }
+
     /// Reference-path variant of
     /// [`extract_on_blocks`](Self::extract_on_blocks) driving the naive
     /// matcher — assignment included, so end-to-end differential tests

@@ -100,6 +100,10 @@ pub mod stages {
     /// Replay of a validated plan: block materialisation without a full
     /// segmentation pass.
     pub const PLAN_REPLAY: &str = "vs2.plan.replay";
+    /// Pre-segmentation layout-complexity triage (routing decision);
+    /// tagged with the fingerprint `digest` and the `cheap` verdict.
+    /// Emitted only on the routed path (`--triage`).
+    pub const TRIAGE: &str = "vs2.triage";
 
     /// Stages that appear exactly once per document under the default
     /// configuration (deskew and semantic merging enabled).
@@ -132,5 +136,6 @@ pub mod stages {
         PLAN_FINGERPRINT,
         PLAN_VALIDATE,
         PLAN_REPLAY,
+        TRIAGE,
     ];
 }

@@ -64,6 +64,10 @@ USAGE: vs2d [OPTIONS]
   --naive-segment      segment with the preserved naive reference path
                        instead of the fast path (identical output; escape
                        hatch — see README `Segment fast path`)
+  --triage             route whitespace-regular documents through the cheap
+                       XY-cut path instead of full VS2 (faster on templated
+                       traffic, bounded accuracy cost; composes with
+                       --plan-cache — see README `Triage routing`)
   --summary-json PATH  also write the shutdown summary as JSON
   --admit              enable admission control with watermarks derived
                        from --queue-capacity; overload answers jobs with
@@ -101,6 +105,7 @@ struct Options {
     metrics: bool,
     plan_cache: bool,
     naive_segment: bool,
+    triage: bool,
     summary_json: Option<String>,
     admit: bool,
     shed_seed: Option<u64>,
@@ -128,6 +133,7 @@ impl Default for Options {
             metrics: false,
             plan_cache: false,
             naive_segment: false,
+            triage: false,
             summary_json: None,
             admit: false,
             shed_seed: None,
@@ -197,6 +203,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             "--metrics" => opts.metrics = true,
             "--plan-cache" => opts.plan_cache = true,
             "--naive-segment" => opts.naive_segment = true,
+            "--triage" => opts.triage = true,
             "--summary-json" => opts.summary_json = Some(value("--summary-json")?),
             "--admit" => opts.admit = true,
             "--shed-seed" => {
@@ -291,11 +298,13 @@ fn main() {
     let options = vs2_serve::ServiceOptions {
         plan_cache: opts.plan_cache,
         naive_segment: opts.naive_segment,
+        triage: opts.triage,
     };
     // `--metrics` needs a hub for the metrics tail; `--trace` needs one
-    // with span capture on top.
-    let hub =
-        (opts.trace || opts.metrics).then(|| vs2_serve::ObsHub::new(opts.trace, opts.workers));
+    // with span capture on top; `--triage` needs one for the routing
+    // counters in the shutdown summary.
+    let hub = (opts.trace || opts.metrics || opts.triage)
+        .then(|| vs2_serve::ObsHub::new(opts.trace, opts.workers));
     let service =
         ExtractService::with_options(engine_config, opts.model_seed, config, options, hub);
     if let Some(snap) = &resume {
@@ -372,6 +381,19 @@ fn main() {
     let stats = service.stats();
     let (cache_hits, cache_misses) = service.cache_counters();
     let cache_snapshot = service.cache_snapshot();
+    // [full, cheap, replay] routing counts, when --triage recorded them.
+    let triage_counts = service.obs().map(|h| {
+        let mut t = [0u64; 3];
+        for (name, total) in h.metrics().registry().counters() {
+            match name {
+                "triage_full" => t[0] = total,
+                "triage_cheap" => t[1] = total,
+                "triage_replay" => t[2] = total,
+                _ => {}
+            }
+        }
+        t
+    });
     service.shutdown();
 
     let lat = vs2_serve::LatencySummary::from_latencies(&run.latencies);
@@ -417,6 +439,10 @@ fn main() {
             p.hits, p.misses, p.validation_rejects, p.bypasses, p.inserts, p.evictions, p.uncacheable,
         );
     }
+    if opts.triage {
+        let [full, cheap, replay] = triage_counts.unwrap_or_default();
+        eprintln!("vs2d: triage routed {full} full, {cheap} cheap, {replay} replay");
+    }
     if let Some(path) = &opts.summary_json {
         let summary = serde::Value::Object(vec![
             ("workers".into(), serde::Value::UInt(opts.workers as u64)),
@@ -459,6 +485,18 @@ fn main() {
             (
                 "plan_cache_bypasses".into(),
                 serde::Value::UInt(cache_snapshot.plans.bypasses),
+            ),
+            (
+                "triage_full".into(),
+                serde::Value::UInt(triage_counts.map_or(0, |t| t[0])),
+            ),
+            (
+                "triage_cheap".into(),
+                serde::Value::UInt(triage_counts.map_or(0, |t| t[1])),
+            ),
+            (
+                "triage_replay".into(),
+                serde::Value::UInt(triage_counts.map_or(0, |t| t[2])),
             ),
         ]);
         if let Err(e) = std::fs::write(

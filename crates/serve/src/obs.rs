@@ -16,6 +16,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use vs2_core::plan::PlanOutcome;
+use vs2_core::triage::TriageDecision;
 use vs2_obs::export::{counter_json, histogram_json};
 use vs2_obs::{CounterId, HistogramId, MetricsRegistry, MetricsSpec, SpanRecord};
 
@@ -47,6 +48,9 @@ pub struct EngineMetrics {
     plan_missed: CounterId,
     plan_rejected: CounterId,
     plan_bypassed: CounterId,
+    triage_full: CounterId,
+    triage_cheap: CounterId,
+    triage_replay: CounterId,
     jobs_shed: CounterId,
     admit_degrades: CounterId,
     lane_interactive: CounterId,
@@ -71,6 +75,9 @@ impl EngineMetrics {
         let plan_missed = spec.counter("plan_missed");
         let plan_rejected = spec.counter("plan_rejected");
         let plan_bypassed = spec.counter("plan_bypassed");
+        let triage_full = spec.counter("triage_full");
+        let triage_cheap = spec.counter("triage_cheap");
+        let triage_replay = spec.counter("triage_replay");
         let jobs_shed = spec.counter("jobs_shed");
         let admit_degrades = spec.counter("admit_degrades");
         let lane_interactive = spec.counter("lane_interactive");
@@ -94,6 +101,9 @@ impl EngineMetrics {
             plan_missed,
             plan_rejected,
             plan_bypassed,
+            triage_full,
+            triage_cheap,
+            triage_replay,
             jobs_shed,
             admit_degrades,
             lane_interactive,
@@ -177,6 +187,16 @@ impl EngineMetrics {
             PlanOutcome::Miss { .. } => self.plan_missed,
             PlanOutcome::Rejected(_) => self.plan_rejected,
             PlanOutcome::Bypassed => self.plan_bypassed,
+        };
+        self.registry.counter_add(seq as usize, id, 1);
+    }
+
+    /// The triage router decided how a job's segmentation ran.
+    pub fn on_triage(&self, seq: u64, decision: TriageDecision) {
+        let id = match decision {
+            TriageDecision::FullVs2 => self.triage_full,
+            TriageDecision::CheapPath => self.triage_cheap,
+            TriageDecision::PlanReplay => self.triage_replay,
         };
         self.registry.counter_add(seq as usize, id, 1);
     }

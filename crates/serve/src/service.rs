@@ -42,6 +42,17 @@ pub struct ServiceOptions {
     /// executable-specification code path. Takes precedence over
     /// `plan_cache` for the segmentation stage. Off by default.
     pub naive_segment: bool,
+    /// Route segmentation through the layout-complexity triage scorer
+    /// ([`vs2_core::routed_blocks_ctx`]): whitespace-regular documents
+    /// take the cheap XY-cut path, everything else full VS2 — the
+    /// switch behind `vs2d --triage`. Composes with `plan_cache` (a
+    /// validated cached plan replays instead of the cheap path, and the
+    /// full path still runs the plan driver); `naive_segment` takes
+    /// precedence. Unlike the other two switches this one trades
+    /// accuracy on routed documents for throughput; the conformance
+    /// suite pins the trade-off and pins full-routed documents
+    /// byte-identical to the unrouted path. Off by default.
+    pub triage: bool,
 }
 
 /// Learn-once / extract-many document-extraction service.
@@ -124,6 +135,7 @@ impl ExtractService {
         let fallback_cache = Arc::clone(&cache);
         let worker_hub = hub.clone();
         let plan_config = PlanConfig::default();
+        let triage_config = vs2_core::triage::TriageConfig::default();
         let process = move |spec: &JobSpec, ctx: &crate::engine::JobCtx| {
             let run =
                 |ctx: &crate::engine::JobCtx| -> Result<Vec<Extraction>, crate::error::ServeError> {
@@ -152,6 +164,29 @@ impl ExtractService {
                     // interned tokens, stem/sense tables and memoised
                     // embeddings through segment → select → assign.
                     let dctx = vs2_core::DocContext::build(&doc);
+                    if options.triage {
+                        // Triage routing: score first, then plan replay
+                        // beats cheap path beats full segmentation. The
+                        // plan store only participates when the plan
+                        // cache is also on.
+                        let plans = options.plan_cache.then(|| {
+                            worker_cache.plan_store_for(spec.dataset, model_seed, &config)
+                        });
+                        let (blocks, decision, outcome) = vs2_core::routed_blocks_ctx(
+                            &dctx,
+                            &pipeline.config.segment,
+                            &triage_config,
+                            plans.as_ref().map(|s| (&plan_config, &**s)),
+                        );
+                        if let Some(h) = &worker_hub {
+                            h.metrics().on_triage(ctx.seq, decision);
+                            if let Some(o) = &outcome {
+                                h.metrics().on_plan_outcome(ctx.seq, o);
+                            }
+                        }
+                        ctx.checkpoint(FaultSite::Select)?;
+                        return Ok(pipeline.extract_on_blocks_ctx(&dctx, &blocks));
+                    }
                     let blocks = if options.plan_cache {
                         let plans = worker_cache.plan_store_for(spec.dataset, model_seed, &config);
                         let (blocks, outcome) = vs2_core::planned_blocks_ctx(

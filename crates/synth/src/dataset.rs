@@ -3,7 +3,7 @@
 
 use crate::holdout::{self, HoldoutCorpus};
 use crate::ocr::{self, OcrConfig};
-use crate::{flyers, posters, tax, templated};
+use crate::{flyers, invoices, posters, tax, templated};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vs2_docmodel::AnnotatedDocument;
@@ -17,6 +17,11 @@ pub enum DatasetId {
     D2,
     /// Real-estate flyers (HTML, per-broker templates).
     D3,
+    /// Invoices and receipts (`crate::invoices`): whitespace-regular
+    /// line-item tables — the triage-routing workload. Not one of the
+    /// paper's datasets, so it is excluded from [`DatasetId::ALL`];
+    /// it has its own entity schema and holdout corpus.
+    D4,
     /// Fixed-geometry template families (`crate::templated`): the
     /// plan-cache workload. Not one of the paper's datasets, so it is
     /// excluded from [`DatasetId::ALL`]; it shares D3's entity schema
@@ -26,8 +31,15 @@ pub enum DatasetId {
 
 impl DatasetId {
     /// The paper's three experimental datasets (excludes
-    /// [`DatasetId::Templated`], the serving-layer workload).
+    /// [`DatasetId::D4`] and [`DatasetId::Templated`], the
+    /// serving-layer workloads).
     pub const ALL: [DatasetId; 3] = [DatasetId::D1, DatasetId::D2, DatasetId::D3];
+
+    /// The paper's datasets plus the D4 invoices corpus — the span the
+    /// serving-tier equivalence batteries and the triage experiments
+    /// run over.
+    pub const EXTENDED: [DatasetId; 4] =
+        [DatasetId::D1, DatasetId::D2, DatasetId::D3, DatasetId::D4];
 
     /// Display name used in tables.
     pub fn name(&self) -> &'static str {
@@ -35,6 +47,7 @@ impl DatasetId {
             DatasetId::D1 => "D1",
             DatasetId::D2 => "D2",
             DatasetId::D3 => "D3",
+            DatasetId::D4 => "D4",
             DatasetId::Templated => "Templated",
         }
     }
@@ -43,7 +56,7 @@ impl DatasetId {
     /// baselines; D1 is scanned and has none — "Evidently, A4 could not
     /// be applied on dataset D1").
     pub fn has_markup(&self) -> bool {
-        !matches!(self, DatasetId::D1 | DatasetId::Templated)
+        !matches!(self, DatasetId::D1 | DatasetId::D4 | DatasetId::Templated)
     }
 
     /// Entity keys of the dataset's IE task.
@@ -61,6 +74,10 @@ impl DatasetId {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
+            DatasetId::D4 => invoices::entities::ALL
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
         }
     }
 }
@@ -71,6 +88,7 @@ serde::impl_serde_unit_enum!(DatasetId {
     D1,
     D2,
     D3,
+    D4,
     Templated
 });
 
@@ -125,6 +143,7 @@ pub fn generate_one(id: DatasetId, doc_index: usize, config: DatasetConfig) -> A
         DatasetId::D1 => tax::generate_form(doc_index, config.seed),
         DatasetId::D2 => posters::generate_poster(doc_index, config.seed),
         DatasetId::D3 => flyers::generate_flyer(doc_index, config.seed),
+        DatasetId::D4 => invoices::generate_clean(doc_index, config.seed),
         DatasetId::Templated => templated::generate_clean(doc_index, config.seed),
     };
     let noise = config.ocr.unwrap_or_else(|| default_ocr(id, doc_index));
@@ -149,6 +168,7 @@ pub fn default_ocr(id: DatasetId, doc_index: usize) -> OcrConfig {
             }
         }
         DatasetId::D3 => OcrConfig::clean(),
+        DatasetId::D4 => invoices::invoice_ocr(),
         DatasetId::Templated => templated::template_ocr(),
     }
 }
@@ -163,6 +183,7 @@ pub fn holdout_corpus(id: DatasetId, seed: u64) -> HoldoutCorpus {
         // The templated corpus shares D3's entity schema, so D3's
         // holdout (and hence D3's model) serves it.
         DatasetId::D3 | DatasetId::Templated => holdout::build_d3(60, seed),
+        DatasetId::D4 => holdout::build_d4(60, seed),
     }
 }
 

@@ -207,6 +207,90 @@ pub fn build_d3(per_entity: usize, seed: u64) -> HoldoutCorpus {
     HoldoutCorpus { entries }
 }
 
+/// D4 holdout corpus: billing boilerplate in fixed-format contexts (the
+/// invoice analogue of Table 2). The context keywords mirror the D4
+/// document surface forms (`Invoice No …`, `Date …`, `Due …`,
+/// `Bill To …`, `Total $…`) so the mined patterns transfer.
+pub fn build_d4(per_entity: usize, seed: u64) -> HoldoutCorpus {
+    use crate::invoices::entities as e4;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD4);
+    let mut entries = Vec::new();
+    for _ in 0..per_entity {
+        let vendor = format!(
+            "{} {}",
+            textgen::pick_cap(&mut rng, Topic::PersonLast),
+            textgen::pick_cap(&mut rng, Topic::Organization)
+        );
+        let ctx = match rng.gen_range(0..3) {
+            0 => format!("issued by {vendor}"),
+            1 => format!("{vendor} accounts receivable"),
+            _ => format!("remit payment to {vendor}"),
+        };
+        entries.push(HoldoutEntry {
+            entity: e4::VENDOR_NAME.into(),
+            text: vendor,
+            context: ctx,
+        });
+
+        let number = textgen::invoice_number(&mut rng);
+        let ctx = match rng.gen_range(0..2) {
+            0 => format!("invoice no {number}"),
+            _ => format!("invoice number {number}"),
+        };
+        entries.push(HoldoutEntry {
+            entity: e4::INVOICE_NUMBER.into(),
+            text: number,
+            context: ctx,
+        });
+
+        let date = textgen::calendar_date(&mut rng);
+        let ctx = match rng.gen_range(0..2) {
+            0 => format!("date {date}"),
+            _ => format!("invoice date {date}"),
+        };
+        entries.push(HoldoutEntry {
+            entity: e4::INVOICE_DATE.into(),
+            text: date,
+            context: ctx,
+        });
+
+        let due = textgen::calendar_date(&mut rng);
+        let ctx = match rng.gen_range(0..2) {
+            0 => format!("due {due}"),
+            _ => format!("payment due {due}"),
+        };
+        entries.push(HoldoutEntry {
+            entity: e4::DUE_DATE.into(),
+            text: due,
+            context: ctx,
+        });
+
+        let customer = textgen::person_name(&mut rng);
+        let ctx = match rng.gen_range(0..2) {
+            0 => format!("bill to {customer}"),
+            _ => format!("sold to {customer}"),
+        };
+        entries.push(HoldoutEntry {
+            entity: e4::CUSTOMER_NAME.into(),
+            text: customer,
+            context: ctx,
+        });
+
+        let total = textgen::money_amount(&mut rng);
+        let ctx = match rng.gen_range(0..3) {
+            0 => format!("total {total}"),
+            1 => format!("total due {total}"),
+            _ => format!("balance due {total}"),
+        };
+        entries.push(HoldoutEntry {
+            entity: e4::TOTAL_DUE.into(),
+            text: total,
+            context: ctx,
+        });
+    }
+    HoldoutCorpus { entries }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +318,23 @@ mod tests {
         assert_eq!(c.entities().len(), 6);
         for e in crate::flyers::entities::ALL {
             assert_eq!(c.for_entity(e).len(), 30);
+        }
+    }
+
+    #[test]
+    fn d4_corpus_covers_all_entities() {
+        let c = build_d4(30, 1);
+        assert_eq!(c.entities().len(), 6);
+        for e in crate::invoices::entities::ALL {
+            assert_eq!(c.for_entity(e).len(), 30);
+        }
+        for e in &c.entries {
+            assert!(
+                e.context.contains(&e.text),
+                "context {:?} lacks text {:?}",
+                e.context,
+                e.text
+            );
         }
     }
 

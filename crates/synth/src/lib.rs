@@ -17,7 +17,9 @@
 //! * [`adversarial`] — known-hostile degenerate documents for the
 //!   conformance suite;
 //! * [`templated`] — fixed-geometry template families plus adversarial
-//!   near-miss templates for the plan-cache subsystem.
+//!   near-miss templates for the plan-cache subsystem;
+//! * [`invoices`] — D4, whitespace-regular invoices and receipts: the
+//!   triage-routing workload.
 //!
 //! All generation is deterministic in the provided seeds.
 
@@ -28,6 +30,7 @@ pub mod adversarial;
 pub mod dataset;
 pub mod flyers;
 pub mod holdout;
+pub mod invoices;
 pub mod ocr;
 pub mod posters;
 pub mod render;

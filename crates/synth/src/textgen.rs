@@ -170,6 +170,27 @@ pub fn description_sentence(rng: &mut StdRng, topic: Topic) -> String {
     }
 }
 
+/// A calendar date, e.g. `March 3 2021` (three tokens, no punctuation —
+/// the surface form shared by the D4 invoices and their holdout corpus).
+pub fn calendar_date(rng: &mut StdRng) -> String {
+    format!(
+        "{} {} {}",
+        pick_cap(rng, Topic::Month),
+        rng.gen_range(1..29),
+        rng.gen_range(2018..2023)
+    )
+}
+
+/// A money amount with currency sign, e.g. `$1482.16` (one token).
+pub fn money_amount(rng: &mut StdRng) -> String {
+    format!("${}.{:02}", rng.gen_range(40..9000), rng.gen_range(0..100))
+}
+
+/// An invoice number, e.g. `57213` (one five-digit token).
+pub fn invoice_number(rng: &mut StdRng) -> String {
+    rng.gen_range(10_000..100_000u32).to_string()
+}
+
 /// A property-size line, e.g. `4 beds 2 baths 2,465 sqft`.
 pub fn property_size(rng: &mut StdRng) -> String {
     let beds = rng.gen_range(1..8);
